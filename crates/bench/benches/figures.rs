@@ -1,0 +1,176 @@
+//! Criterion benches, one group per paper figure.
+//!
+//! Each group benchmarks the same solver pairing as its figure on a fixed
+//! mid-size workload (the `figures` binary does the full sweeps; these
+//! benches exist for regression tracking with statistical rigor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rds_bench::harness::{Scheme, Workload};
+use rds_core::blackbox::BlackBoxPushRelabel;
+use rds_core::ff::{FordFulkersonBasic, FordFulkersonIncremental};
+use rds_core::parallel::ParallelPushRelabelBinary;
+use rds_core::pr::{PushRelabelBinary, PushRelabelIncremental};
+use rds_core::solver::RetrievalSolver;
+use rds_decluster::load::{Load, QueryKind};
+use rds_storage::experiments::ExperimentId;
+
+const N: usize = 16;
+const QUERIES: usize = 5;
+const SEED: u64 = 2012;
+
+fn solve_all(solver: &dyn RetrievalSolver, w: &Workload) -> u64 {
+    w.instances
+        .iter()
+        .map(|inst| solver.solve(inst).response_time.as_micros())
+        .sum()
+}
+
+fn bench_pair(
+    c: &mut Criterion,
+    group: &str,
+    w: &Workload,
+    solvers: &[(&str, &dyn RetrievalSolver)],
+) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    for (label, solver) in solvers {
+        g.bench_with_input(BenchmarkId::from_parameter(label), w, |b, w| {
+            b.iter(|| solve_all(*solver, w))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 5: basic problem, RDA — Algorithm 1 vs Algorithm 6.
+fn fig5(c: &mut Criterion) {
+    let w = Workload::build(
+        ExperimentId::Exp1,
+        Scheme::Rda,
+        QueryKind::Range,
+        Load::Load1,
+        N,
+        QUERIES,
+        SEED,
+    );
+    bench_pair(
+        c,
+        "fig5_ff_vs_pr_basic",
+        &w,
+        &[
+            ("ford-fulkerson", &FordFulkersonBasic),
+            ("push-relabel", &PushRelabelBinary),
+        ],
+    );
+}
+
+/// Figure 6: generalized problem, Orthogonal — Algorithm 2 vs Algorithm 6.
+fn fig6(c: &mut Criterion) {
+    let w = Workload::build(
+        ExperimentId::Exp5,
+        Scheme::Orthogonal,
+        QueryKind::Arbitrary,
+        Load::Load1,
+        N,
+        QUERIES,
+        SEED,
+    );
+    bench_pair(
+        c,
+        "fig6_ff_vs_pr_generalized",
+        &w,
+        &[
+            ("ford-fulkerson", &FordFulkersonIncremental),
+            ("push-relabel", &PushRelabelBinary),
+        ],
+    );
+}
+
+/// Figure 7: basic problem — black box vs integrated push-relabel.
+fn fig7(c: &mut Criterion) {
+    let w = Workload::build(
+        ExperimentId::Exp1,
+        Scheme::Orthogonal,
+        QueryKind::Range,
+        Load::Load1,
+        N,
+        QUERIES,
+        SEED,
+    );
+    bench_pair(
+        c,
+        "fig7_bb_vs_int_basic",
+        &w,
+        &[
+            ("black-box", &BlackBoxPushRelabel),
+            ("integrated", &PushRelabelBinary),
+        ],
+    );
+}
+
+/// Figure 8: Experiment 3 — black box vs integrated per scheme (RDA shown).
+fn fig8(c: &mut Criterion) {
+    let w = Workload::build(
+        ExperimentId::Exp3,
+        Scheme::Rda,
+        QueryKind::Arbitrary,
+        Load::Load1,
+        N,
+        QUERIES,
+        SEED,
+    );
+    bench_pair(
+        c,
+        "fig8_bb_vs_int_exp3",
+        &w,
+        &[
+            ("black-box", &BlackBoxPushRelabel),
+            ("integrated", &PushRelabelBinary),
+        ],
+    );
+}
+
+/// Figure 9: Experiment 5 — black box vs integrated (the headline ratio).
+fn fig9(c: &mut Criterion) {
+    let w = Workload::build(
+        ExperimentId::Exp5,
+        Scheme::Rda,
+        QueryKind::Arbitrary,
+        Load::Load1,
+        N,
+        QUERIES,
+        SEED,
+    );
+    bench_pair(
+        c,
+        "fig9_bb_vs_int_exp5",
+        &w,
+        &[
+            ("black-box", &BlackBoxPushRelabel),
+            ("integrated", &PushRelabelBinary),
+            ("integrated-incremental", &PushRelabelIncremental),
+        ],
+    );
+}
+
+/// Figure 10: Experiment 5 — sequential vs parallel integrated solver.
+fn fig10(c: &mut Criterion) {
+    let w = Workload::build(
+        ExperimentId::Exp5,
+        Scheme::Orthogonal,
+        QueryKind::Arbitrary,
+        Load::Load1,
+        N,
+        QUERIES,
+        SEED,
+    );
+    let par2 = ParallelPushRelabelBinary::new(2);
+    bench_pair(
+        c,
+        "fig10_sequential_vs_parallel",
+        &w,
+        &[("sequential", &PushRelabelBinary), ("parallel-2t", &par2)],
+    );
+}
+
+criterion_group!(figures, fig5, fig6, fig7, fig8, fig9, fig10);
+criterion_main!(figures);

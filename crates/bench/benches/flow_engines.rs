@@ -1,0 +1,123 @@
+//! Ablation benches on the max-flow substrate itself.
+//!
+//! DESIGN.md calls out three load-bearing design choices; each gets a
+//! bench:
+//!
+//! * heuristics — FIFO push-relabel with vs without global-relabel/gap
+//!   (the paper's "exact height calculation heuristics suggested by [19]");
+//! * engines — push-relabel vs Ford-Fulkerson vs Dinic on retrieval
+//!   networks (why push-relabel is the right engine, §IV);
+//! * conservation — `resume` after a capacity increment vs a from-scratch
+//!   recomputation (the paper's core claim isolated at the engine level).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rds_bench::harness::{Scheme, Workload};
+use rds_core::network::RetrievalInstance;
+use rds_decluster::load::{Load, QueryKind};
+use rds_flow::dinic::Dinic;
+use rds_flow::ford_fulkerson::ford_fulkerson;
+use rds_flow::push_relabel::PushRelabel;
+use rds_storage::experiments::ExperimentId;
+use rds_storage::time::Micros;
+
+const SEED: u64 = 7;
+
+/// A mid-size retrieval network with capacities set to a feasible budget.
+fn instance() -> (RetrievalInstance, Micros) {
+    let w = Workload::build(
+        ExperimentId::Exp5,
+        Scheme::Orthogonal,
+        QueryKind::Arbitrary,
+        Load::Load1,
+        20,
+        1,
+        SEED,
+    );
+    let inst = w.instances.into_iter().next().unwrap();
+    let (_, t_max, _) = inst.budget_bounds();
+    (inst, t_max)
+}
+
+fn engines(c: &mut Criterion) {
+    let (inst, budget) = instance();
+    let mut g = c.benchmark_group("engine_comparison");
+    g.sample_size(20);
+    let (s, t) = (inst.source(), inst.sink());
+
+    g.bench_function(BenchmarkId::from_parameter("push-relabel"), |b| {
+        let mut graph = inst.graph.clone();
+        inst.set_caps_for_budget(&mut graph, budget);
+        let mut pr = PushRelabel::new();
+        b.iter(|| pr.max_flow(&mut graph, s, t))
+    });
+    g.bench_function(BenchmarkId::from_parameter("push-relabel-plain"), |b| {
+        let mut graph = inst.graph.clone();
+        inst.set_caps_for_budget(&mut graph, budget);
+        let mut pr = PushRelabel::plain();
+        b.iter(|| pr.max_flow(&mut graph, s, t))
+    });
+    g.bench_function(BenchmarkId::from_parameter("push-relabel-highest"), |b| {
+        let mut graph = inst.graph.clone();
+        inst.set_caps_for_budget(&mut graph, budget);
+        let mut pr = rds_flow::highest_label::HighestLabelPushRelabel::new();
+        b.iter(|| pr.max_flow(&mut graph, s, t))
+    });
+    g.bench_function(BenchmarkId::from_parameter("ford-fulkerson"), |b| {
+        let mut graph = inst.graph.clone();
+        inst.set_caps_for_budget(&mut graph, budget);
+        b.iter(|| {
+            graph.zero_flows();
+            ford_fulkerson(&mut graph, s, t)
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("dinic"), |b| {
+        let mut graph = inst.graph.clone();
+        inst.set_caps_for_budget(&mut graph, budget);
+        let mut dinic = Dinic::new();
+        b.iter(|| {
+            graph.zero_flows();
+            dinic.max_flow(&mut graph, s, t)
+        })
+    });
+    g.finish();
+}
+
+/// The integrated claim at engine level: after one capacity increment, a
+/// conserving resume vs a from-scratch recomputation.
+fn conservation(c: &mut Criterion) {
+    let (inst, _) = instance();
+    let (t_min, t_max, _) = inst.budget_bounds();
+    let near_optimal = t_min.midpoint(t_max);
+    let (s, t) = (inst.source(), inst.sink());
+    let mut g = c.benchmark_group("flow_conservation");
+    g.sample_size(20);
+
+    g.bench_function(BenchmarkId::from_parameter("resume"), |b| {
+        let mut graph = inst.graph.clone();
+        inst.set_caps_for_budget(&mut graph, near_optimal);
+        let mut pr = PushRelabel::new();
+        pr.max_flow(&mut graph, s, t);
+        b.iter(|| {
+            // Raise every disk cap by one and resume on the existing flow.
+            for &e in &inst.disk_edges {
+                graph.set_cap(e, graph.cap(e) + 1);
+            }
+            pr.resume(&mut graph, s, t)
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("from-scratch"), |b| {
+        let mut graph = inst.graph.clone();
+        inst.set_caps_for_budget(&mut graph, near_optimal);
+        let mut pr = PushRelabel::new();
+        b.iter(|| {
+            for &e in &inst.disk_edges {
+                graph.set_cap(e, graph.cap(e) + 1);
+            }
+            pr.max_flow(&mut graph, s, t)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(flow_engines, engines, conservation);
+criterion_main!(flow_engines);

@@ -1,0 +1,259 @@
+//! Ford-Fulkerson based integrated retrieval (paper Algorithms 1-3).
+//!
+//! Both solvers route one unit of flow per bucket with a residual DFS from
+//! the bucket's vertex to the sink (the source is excluded from the search,
+//! matching the paper's pre-assigned source flows). When no augmenting path
+//! exists, disk-edge capacities are raised:
+//!
+//! * [`FordFulkersonBasic`] (Algorithm 1) — basic problem only: capacities
+//!   start at `⌈|Q|/N⌉` and are incremented *all together*.
+//! * [`FordFulkersonIncremental`] (Algorithms 2+3) — generalized problem:
+//!   capacities start at 0 and only the minimum-next-cost edges are
+//!   incremented ([`crate::increment::MinCostIncrementer`]).
+//!
+//! The residual-graph representation makes the paper's explicit
+//! `reverse_edge` / `fixReversedEdges` bookkeeping unnecessary: augmenting
+//! along a path that traverses a reverse edge *is* the re-decision of a
+//! previously assigned bucket.
+
+use crate::increment::MinCostIncrementer;
+use crate::network::RetrievalInstance;
+use crate::schedule::{RetrievalOutcome, SolveStats};
+use crate::solver::RetrievalSolver;
+use rds_flow::ford_fulkerson::AugmentingPath;
+
+/// Algorithm 1: integrated Ford-Fulkerson for the **basic** retrieval
+/// problem (homogeneous unloaded disks).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FordFulkersonBasic;
+
+impl RetrievalSolver for FordFulkersonBasic {
+    fn name(&self) -> &'static str {
+        "FF-basic"
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the system is not homogeneous and unloaded — Algorithm 1's
+    /// uniform capacity increments are only optimal in that setting; use
+    /// [`FordFulkersonIncremental`] otherwise.
+    fn solve(&self, inst: &RetrievalInstance) -> RetrievalOutcome {
+        let homogeneous = inst.disks.windows(2).all(|w| w[0] == w[1])
+            && inst
+                .disks
+                .first()
+                .map(|d| d.overhead() == rds_storage::time::Micros::ZERO)
+                .unwrap_or(true);
+        assert!(
+            homogeneous,
+            "FordFulkersonBasic requires homogeneous unloaded disks"
+        );
+
+        let mut g = inst.graph.clone();
+        let mut stats = SolveStats::default();
+        let q = inst.query_size();
+        let n = inst.num_disks();
+        if q == 0 {
+            return RetrievalOutcome::from_flow(inst, &g, stats);
+        }
+
+        // Lines 1-2: caps ← ⌈|Q|/N⌉ (the theoretical lower bound; the
+        // paper's 6-bucket example on 7 disks uses capacity 1).
+        let lower = (q.div_ceil(n)) as i64;
+        for &e in &inst.disk_edges {
+            g.set_cap(e, lower);
+        }
+
+        let s = inst.source();
+        let t = inst.sink();
+        let mut search = AugmentingPath::new();
+        for i in 0..q {
+            // The source edge of bucket i is pre-assigned flow 1.
+            g.push(inst.bucket_edges[i], 1);
+            let from = inst.bucket_vertex(i);
+            loop {
+                stats.dfs_calls += 1;
+                if search.dfs_augment_avoiding(&mut g, from, t, Some(s)) > 0 {
+                    break;
+                }
+                // Lines 5-8: raise every disk-edge capacity by one.
+                for &e in &inst.disk_edges {
+                    g.set_cap(e, g.cap(e) + 1);
+                }
+                stats.increments += 1;
+            }
+        }
+        debug_assert_eq!(g.net_inflow(t) as usize, q);
+        RetrievalOutcome::from_flow(inst, &g, stats)
+    }
+}
+
+/// Algorithms 2+3: integrated Ford-Fulkerson for the **generalized**
+/// retrieval problem.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FordFulkersonIncremental;
+
+impl RetrievalSolver for FordFulkersonIncremental {
+    fn name(&self) -> &'static str {
+        "FF-incremental"
+    }
+
+    fn solve(&self, inst: &RetrievalInstance) -> RetrievalOutcome {
+        let mut g = inst.graph.clone();
+        let mut stats = SolveStats::default();
+        let q = inst.query_size();
+        if q == 0 {
+            return RetrievalOutcome::from_flow(inst, &g, stats);
+        }
+
+        // Lines 1-2: capacities start at zero — no closed-form lower bound
+        // exists for heterogeneous disks.
+        let s = inst.source();
+        let t = inst.sink();
+        let mut search = AugmentingPath::new();
+        let mut inc = MinCostIncrementer::new(inst);
+        for i in 0..q {
+            g.push(inst.bucket_edges[i], 1);
+            let from = inst.bucket_vertex(i);
+            loop {
+                stats.dfs_calls += 1;
+                if search.dfs_augment_avoiding(&mut g, from, t, Some(s)) > 0 {
+                    break;
+                }
+                // Line 6: raise only the minimum-cost edge(s).
+                let raised = inc.increment(inst, &mut g);
+                stats.increments += 1;
+                assert!(raised > 0, "retrieval instance is infeasible");
+            }
+        }
+        debug_assert_eq!(g.net_inflow(t) as usize, q);
+        RetrievalOutcome::from_flow(inst, &g, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{assert_outcome_valid, oracle_optimal_response};
+    use rds_decluster::allocation::Placement;
+    use rds_decluster::orthogonal::OrthogonalAllocation;
+    use rds_decluster::query::{Query, RangeQuery};
+    use rds_storage::experiments::paper_example;
+    use rds_storage::model::SystemConfig;
+    use rds_storage::specs::CHEETAH;
+    use rds_storage::time::Micros;
+
+    fn basic_instance() -> RetrievalInstance {
+        let system = SystemConfig::homogeneous(CHEETAH, 7);
+        let alloc = OrthogonalAllocation::new(7, Placement::SingleSite);
+        let q1 = RangeQuery::new(0, 0, 3, 2);
+        RetrievalInstance::build(&system, &alloc, &q1.buckets(7))
+    }
+
+    #[test]
+    fn basic_solves_paper_q1_in_one_access_per_disk() {
+        // q1 has 6 buckets on 7 disks with replication: optimal is one
+        // bucket per disk, 6.1 ms.
+        let inst = basic_instance();
+        let outcome = FordFulkersonBasic.solve(&inst);
+        assert_eq!(outcome.flow_value, 6);
+        assert_eq!(outcome.response_time, Micros::from_tenths_ms(61));
+        assert_outcome_valid(&inst, &outcome);
+    }
+
+    #[test]
+    fn incremental_matches_basic_on_basic_problem() {
+        let inst = basic_instance();
+        let a = FordFulkersonBasic.solve(&inst);
+        let b = FordFulkersonIncremental.solve(&inst);
+        assert_eq!(a.response_time, b.response_time);
+        assert_outcome_valid(&inst, &b);
+    }
+
+    #[test]
+    fn incremental_solves_generalized_paper_example() {
+        let system = paper_example();
+        let alloc = OrthogonalAllocation::paper_7x7();
+        let q1 = RangeQuery::new(0, 0, 3, 2);
+        let inst = RetrievalInstance::build(&system, &alloc, &q1.buckets(7));
+        let outcome = FordFulkersonIncremental.solve(&inst);
+        assert_eq!(outcome.flow_value, 6);
+        assert_outcome_valid(&inst, &outcome);
+        assert_eq!(outcome.response_time, oracle_optimal_response(&inst));
+    }
+
+    #[test]
+    fn incremental_is_optimal_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for _ in 0..10 {
+            let n = rng.gen_range(3..8);
+            let system = rds_storage::experiments::experiment(
+                rds_storage::experiments::ExperimentId::Exp5,
+                n,
+                rng.gen(),
+            );
+            let alloc = OrthogonalAllocation::new(n, Placement::PerSite);
+            let r = rng.gen_range(1..=n);
+            let c = rng.gen_range(1..=n);
+            let q = RangeQuery::new(rng.gen_range(0..n), rng.gen_range(0..n), r, c);
+            let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(n));
+            let outcome = FordFulkersonIncremental.solve(&inst);
+            assert_outcome_valid(&inst, &outcome);
+            assert_eq!(
+                outcome.response_time,
+                oracle_optimal_response(&inst),
+                "n={n} q={:?}",
+                q
+            );
+        }
+    }
+
+    #[test]
+    fn empty_query_is_trivial() {
+        let system = SystemConfig::homogeneous(CHEETAH, 4);
+        let alloc = OrthogonalAllocation::new(4, Placement::SingleSite);
+        let inst = RetrievalInstance::build(&system, &alloc, &[]);
+        let a = FordFulkersonBasic.solve(&inst);
+        let b = FordFulkersonIncremental.solve(&inst);
+        assert_eq!(a.flow_value, 0);
+        assert_eq!(b.response_time, Micros::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "homogeneous")]
+    fn basic_rejects_heterogeneous_system() {
+        let system = paper_example();
+        let alloc = OrthogonalAllocation::paper_7x7();
+        let q1 = RangeQuery::new(0, 0, 2, 2);
+        let inst = RetrievalInstance::build(&system, &alloc, &q1.buckets(7));
+        FordFulkersonBasic.solve(&inst);
+    }
+
+    #[test]
+    fn worst_case_all_buckets_on_one_disk() {
+        // Degenerate allocation: every bucket only on disk 0 → the disk
+        // serves everything; increments scale O(|Q|).
+        use rds_decluster::allocation::{ReplicaSource, Replicas};
+        struct OneDisk;
+        impl ReplicaSource for OneDisk {
+            fn grid_size(&self) -> usize {
+                4
+            }
+            fn num_disks(&self) -> usize {
+                4
+            }
+            fn replicas(&self, _b: rds_decluster::query::Bucket) -> Replicas {
+                Replicas::from_slice(&[0])
+            }
+        }
+        let system = SystemConfig::homogeneous(CHEETAH, 4);
+        let q = RangeQuery::new(0, 0, 2, 2);
+        let inst = RetrievalInstance::build(&system, &OneDisk, &q.buckets(4));
+        let outcome = FordFulkersonIncremental.solve(&inst);
+        assert_eq!(outcome.flow_value, 4);
+        // All four buckets from disk 0: 4 * 6.1ms.
+        assert_eq!(outcome.response_time, Micros::from_tenths_ms(244));
+        assert_outcome_valid(&inst, &outcome);
+    }
+}

@@ -1,0 +1,60 @@
+//! # rds-core
+//!
+//! The paper's contribution: **integrated maximum-flow algorithms for the
+//! generalized optimal response time retrieval problem** (Altiparmak &
+//! Tosun, ICPP 2012).
+//!
+//! Given a query (a set of buckets), a replicated declustering (which disks
+//! hold each bucket) and a storage system (per-disk cost `C_j`, network
+//! delay `D_j`, initial load `X_j`), the solvers compute a retrieval
+//! schedule — one replica disk per bucket — minimizing the completion time
+//! of the slowest disk.
+//!
+//! | Paper algorithm | Type |
+//! |---|---|
+//! | Algorithm 1 | [`ff::FordFulkersonBasic`] — basic problem, integrated FF |
+//! | Algorithm 2 + 3 | [`ff::FordFulkersonIncremental`] — generalized, integrated FF |
+//! | Algorithm 4 | `rds_flow::push_relabel::PushRelabel` — FIFO push-relabel engine |
+//! | Algorithm 5 | [`pr::PushRelabelIncremental`] — integrated incremental PR |
+//! | Algorithm 6 | [`pr::PushRelabelBinary`] — binary capacity scaling + flow conservation |
+//! | Section V | [`parallel::ParallelPushRelabelBinary`] — lock-free parallel Algorithm 6 |
+//! | Baseline \[12\] | [`blackbox::BlackBoxPushRelabel`] — binary scaling, from-scratch max-flow |
+//! | Baseline \[18\] | [`blackbox::BlackBoxFordFulkerson`] — from-scratch FF per probe |
+//!
+//! All solvers implement [`solver::RetrievalSolver`] and return identical
+//! optimal response times (they differ only in execution time), which the
+//! test suite verifies extensively.
+//!
+//! ## Example
+//!
+//! ```
+//! use rds_core::network::RetrievalInstance;
+//! use rds_core::pr::PushRelabelBinary;
+//! use rds_core::solver::RetrievalSolver;
+//! use rds_decluster::orthogonal::OrthogonalAllocation;
+//! use rds_decluster::query::{Query, RangeQuery};
+//! use rds_storage::experiments::paper_example;
+//!
+//! let system = paper_example();                 // Table II, 14 disks
+//! let alloc = OrthogonalAllocation::paper_7x7();
+//! let q1 = RangeQuery::new(0, 0, 3, 2);         // the paper's q1
+//!
+//! let inst = RetrievalInstance::build(&system, &alloc, &q1.buckets(7));
+//! let outcome = PushRelabelBinary::default().solve(&inst);
+//! assert_eq!(outcome.schedule.len(), 6);
+//! ```
+
+pub mod blackbox;
+pub mod ff;
+pub mod increment;
+pub mod network;
+pub mod parallel;
+pub mod pr;
+pub mod schedule;
+pub mod session;
+pub mod solver;
+pub mod verify;
+
+pub use network::RetrievalInstance;
+pub use schedule::{RetrievalOutcome, Schedule, SolveStats};
+pub use solver::RetrievalSolver;

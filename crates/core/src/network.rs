@@ -1,0 +1,408 @@
+//! Construction of the retrieval flow network (paper Figures 3 and 4).
+//!
+//! For a query `Q` over a system of `N` disks, the network has
+//! `|Q| + N + 2` vertices:
+//!
+//! ```text
+//! vertex 0            source s
+//! vertices 1..=|Q|    one per requested bucket
+//! vertices |Q|+1..=|Q|+N   one per disk
+//! vertex |Q|+N+1      sink t
+//! ```
+//!
+//! Edges: `s → bucket_i` with capacity 1; `bucket_i → disk_j` with
+//! capacity 1 for every disk `j` holding a replica of bucket `i`; and
+//! `disk_j → t` whose capacity encodes the response-time budget — the only
+//! capacities the retrieval algorithms mutate.
+
+use rds_decluster::allocation::ReplicaSource;
+use rds_decluster::query::Bucket;
+use rds_flow::graph::{EdgeId, FlowGraph, VertexId};
+use rds_storage::model::{Disk, SystemConfig};
+use rds_storage::time::Micros;
+
+/// A bucket whose every replica sits on a failed disk — retrieval is
+/// impossible until a disk recovers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnavailableBucket {
+    /// The unreachable bucket.
+    pub bucket: Bucket,
+}
+
+impl std::fmt::Display for UnavailableBucket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bucket {} has no surviving replica", self.bucket)
+    }
+}
+
+impl std::error::Error for UnavailableBucket {}
+
+/// An immutable template of one retrieval problem: the flow network plus
+/// the disk parameters needed to translate time budgets into capacities.
+///
+/// Solvers clone the embedded graph and mutate the clone, so one instance
+/// can be solved by many algorithms (and the results compared).
+#[derive(Clone, Debug)]
+pub struct RetrievalInstance {
+    /// The flow network with all disk-edge capacities set to 0.
+    pub graph: FlowGraph,
+    /// The requested buckets, in bucket-vertex order.
+    pub buckets: Vec<Bucket>,
+    /// Per-disk parameters (global disk index order).
+    pub disks: Vec<Disk>,
+    /// `disk_edges[j]` is the `disk_j → t` edge.
+    pub disk_edges: Vec<EdgeId>,
+    /// `bucket_edges[i]` is the `s → bucket_i` edge.
+    pub bucket_edges: Vec<EdgeId>,
+    /// Number of query buckets with a replica on each disk — the
+    /// `in_degree` consulted by `IncrementMinCost` (Algorithm 3).
+    pub replicas_per_disk: Vec<u64>,
+    /// Maximum replica count of any bucket (the `c` of the complexity
+    /// bounds).
+    pub max_copies: usize,
+}
+
+impl RetrievalInstance {
+    /// Builds the retrieval network for `buckets` under `alloc` on
+    /// `system`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation addresses more disks than the system has,
+    /// or any bucket has no replica.
+    pub fn build<A: ReplicaSource + ?Sized>(
+        system: &SystemConfig,
+        alloc: &A,
+        buckets: &[Bucket],
+    ) -> RetrievalInstance {
+        Self::build_with_failed_disks(system, alloc, buckets, &[])
+            .expect("no disks failed, every bucket has a replica")
+    }
+
+    /// Like [`RetrievalInstance::build`], but treats the disks in `failed`
+    /// as unavailable: no replica edge is created to them and their sink
+    /// edge never receives capacity, so the schedule routes around them —
+    /// the fault-tolerance benefit of replication the paper's introduction
+    /// highlights.
+    ///
+    /// Returns `Err` with the first bucket whose replicas are *all* on
+    /// failed disks (retrieval impossible).
+    pub fn build_with_failed_disks<A: ReplicaSource + ?Sized>(
+        system: &SystemConfig,
+        alloc: &A,
+        buckets: &[Bucket],
+        failed: &[usize],
+    ) -> Result<RetrievalInstance, UnavailableBucket> {
+        assert!(
+            alloc.num_disks() <= system.num_disks(),
+            "allocation addresses {} disks but the system has {}",
+            alloc.num_disks(),
+            system.num_disks()
+        );
+        let q = buckets.len();
+        let n = system.num_disks();
+        let mut graph = FlowGraph::with_capacity(q + n + 2, q * 3 + n);
+        let source = 0;
+        let sink = q + n + 1;
+        // Vertex ids are implicit: 0 = source, 1..=q buckets, q+1..=q+n
+        // disks, q+n+1 sink.
+        debug_assert_eq!(graph.num_vertices(), q + n + 2);
+
+        let mut bucket_edges = Vec::with_capacity(q);
+        let mut replicas_per_disk = vec![0u64; n];
+        let mut max_copies = 0;
+        for (i, &b) in buckets.iter().enumerate() {
+            bucket_edges.push(graph.add_edge(source, 1 + i, 1));
+            let reps = alloc.replicas(b);
+            assert!(!reps.is_empty(), "bucket {b} has no replicas");
+            max_copies = max_copies.max(reps.len());
+            // Deduplicate replica disks (a bucket stored twice on one disk
+            // still needs only one retrieval path).
+            let mut seen = [usize::MAX; rds_decluster::allocation::MAX_COPIES];
+            let mut seen_len = 0;
+            let mut available = 0;
+            for d in reps.iter() {
+                assert!(d < n, "replica disk {d} out of range for {n} disks");
+                if failed.contains(&d) {
+                    continue;
+                }
+                available += 1;
+                if !seen[..seen_len].contains(&d) {
+                    seen[seen_len] = d;
+                    seen_len += 1;
+                    graph.add_edge(1 + i, q + 1 + d, 1);
+                    replicas_per_disk[d] += 1;
+                }
+            }
+            if available == 0 {
+                return Err(UnavailableBucket { bucket: b });
+            }
+        }
+        let disk_edges = (0..n).map(|j| graph.add_edge(q + 1 + j, sink, 0)).collect();
+
+        Ok(RetrievalInstance {
+            graph,
+            buckets: buckets.to_vec(),
+            disks: system.disks().to_vec(),
+            disk_edges,
+            bucket_edges,
+            replicas_per_disk,
+            max_copies,
+        })
+    }
+
+    /// Query size `|Q|`.
+    #[inline]
+    pub fn query_size(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of disks `N`.
+    #[inline]
+    pub fn num_disks(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Source vertex id.
+    #[inline]
+    pub fn source(&self) -> VertexId {
+        0
+    }
+
+    /// Sink vertex id.
+    #[inline]
+    pub fn sink(&self) -> VertexId {
+        self.query_size() + self.num_disks() + 1
+    }
+
+    /// Vertex id of bucket `i`.
+    #[inline]
+    pub fn bucket_vertex(&self, i: usize) -> VertexId {
+        1 + i
+    }
+
+    /// Vertex id of disk `j`.
+    #[inline]
+    pub fn disk_vertex(&self, j: usize) -> VertexId {
+        1 + self.query_size() + j
+    }
+
+    /// Disk index of a disk vertex.
+    #[inline]
+    pub fn disk_of_vertex(&self, v: VertexId) -> usize {
+        debug_assert!(v > self.query_size() && v <= self.query_size() + self.num_disks());
+        v - 1 - self.query_size()
+    }
+
+    /// Sets every disk-edge capacity to the number of buckets the disk can
+    /// serve within budget `t` (Algorithm 6, lines 14-15 and 40-41).
+    pub fn set_caps_for_budget(&self, g: &mut FlowGraph, t: Micros) {
+        for (j, &e) in self.disk_edges.iter().enumerate() {
+            g.set_cap(e, self.disks[j].capacity_within(t) as i64);
+        }
+    }
+
+    /// The response time implied by the flow currently in `g`: the maximum
+    /// completion time over disks retrieving at least one bucket.
+    pub fn response_time_of_flow(&self, g: &FlowGraph) -> Micros {
+        self.disk_edges
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &e)| {
+                let k = g.flow(e);
+                (k > 0).then(|| self.disks[j].completion_time(k as u64))
+            })
+            .max()
+            .unwrap_or(Micros::ZERO)
+    }
+
+    /// The initial binary-search bounds of Algorithm 6 (lines 1-11):
+    /// returns `(t_min, t_max, min_speed)` with `t_max` feasible and
+    /// `t_min` strictly below the optimum.
+    pub fn budget_bounds(&self) -> (Micros, Micros, Micros) {
+        let q = self.query_size() as u64;
+        let n = self.num_disks() as u64;
+        let mut t_max = Micros::ZERO;
+        let mut t_min = Micros::MAX;
+        let mut min_speed = Micros::MAX;
+        for d in &self.disks {
+            let all_here = d.completion_time(q);
+            if all_here > t_max {
+                t_max = all_here;
+            }
+            // floor(q*C/N) keeps the bound a true lower bound in integer
+            // arithmetic (Algorithm 6 line 7-8 uses |Q|/N * C).
+            let fair_share = d.overhead() + Micros(d.cost().as_micros() * q / n.max(1));
+            if fair_share < t_min {
+                t_min = fair_share;
+            }
+            if d.cost() < min_speed {
+                min_speed = d.cost();
+            }
+        }
+        // Ensure t_min is infeasible (Algorithm 6 line 11).
+        t_min = t_min.saturating_sub(min_speed);
+        (t_min, t_max, min_speed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_decluster::orthogonal::OrthogonalAllocation;
+    use rds_decluster::query::{Query, RangeQuery};
+    use rds_storage::experiments::paper_example;
+    use rds_storage::specs::CHEETAH;
+
+    fn paper_instance() -> RetrievalInstance {
+        let system = paper_example();
+        let alloc = OrthogonalAllocation::paper_7x7();
+        let q1 = RangeQuery::new(0, 0, 3, 2);
+        RetrievalInstance::build(&system, &alloc, &q1.buckets(7))
+    }
+
+    #[test]
+    fn structure_matches_figure_4() {
+        let inst = paper_instance();
+        // |Q| + N + 2 vertices: 6 + 14 + 2 = 22.
+        assert_eq!(inst.graph.num_vertices(), 22);
+        assert_eq!(inst.query_size(), 6);
+        assert_eq!(inst.num_disks(), 14);
+        assert_eq!(inst.sink(), 21);
+        // 6 source edges + 12 replica edges (2 copies each) + 14 disk edges.
+        assert_eq!(inst.graph.num_edges(), 6 + 12 + 14);
+        // Source edges have capacity 1, disk edges start at 0.
+        for &e in &inst.bucket_edges {
+            assert_eq!(inst.graph.cap(e), 1);
+        }
+        for &e in &inst.disk_edges {
+            assert_eq!(inst.graph.cap(e), 0);
+        }
+    }
+
+    #[test]
+    fn replica_counts_cover_query() {
+        let inst = paper_instance();
+        let total: u64 = inst.replicas_per_disk.iter().sum();
+        assert_eq!(total, 12, "6 buckets × 2 copies");
+        assert_eq!(inst.max_copies, 2);
+    }
+
+    #[test]
+    fn set_caps_for_budget_uses_cost_model() {
+        let inst = paper_instance();
+        let mut g = inst.graph.clone();
+        // Budget 11.3 ms: site-1 disks (8.3ms cost, 3ms overhead) fit 1;
+        // fast site-2 disks (6.1ms, 1ms) also 1; slow (13.2ms, 1ms) fit 0.
+        inst.set_caps_for_budget(&mut g, Micros::from_tenths_ms(113));
+        assert_eq!(g.cap(inst.disk_edges[0]), 1);
+        assert_eq!(g.cap(inst.disk_edges[7]), 1);
+        assert_eq!(g.cap(inst.disk_edges[9]), 0);
+    }
+
+    #[test]
+    fn budget_bounds_bracket_optimum() {
+        let inst = paper_instance();
+        let (t_min, t_max, min_speed) = inst.budget_bounds();
+        assert!(t_min < t_max);
+        assert_eq!(min_speed, Micros::from_tenths_ms(61));
+        // t_max: slowest disk retrieving everything: 1 + 0 + 6*13.2 = 80.2ms.
+        assert_eq!(t_max, Micros::from_tenths_ms(802));
+        // At t_max every disk can hold all 6 buckets.
+        let mut g = inst.graph.clone();
+        inst.set_caps_for_budget(&mut g, t_max);
+        for (j, &e) in inst.disk_edges.iter().enumerate() {
+            assert!(g.cap(e) >= 6, "disk {j} cap {}", g.cap(e));
+        }
+    }
+
+    #[test]
+    fn response_time_of_flow_takes_slowest_used_disk() {
+        let inst = paper_instance();
+        let mut g = inst.graph.clone();
+        inst.set_caps_for_budget(&mut g, Micros::from_millis(100));
+        // Push 2 buckets to disk 0 (completion 3 + 2*8.3 = 19.6ms) and one
+        // to disk 7 (1 + 6.1 = 7.1ms) by hand.
+        g.push(inst.disk_edges[0], 2);
+        g.push(inst.disk_edges[7], 1);
+        assert_eq!(inst.response_time_of_flow(&g), Micros::from_tenths_ms(196));
+    }
+
+    #[test]
+    fn empty_query_builds() {
+        let system = rds_storage::model::SystemConfig::homogeneous(CHEETAH, 4);
+        let alloc = OrthogonalAllocation::new(4, rds_decluster::allocation::Placement::SingleSite);
+        let inst = RetrievalInstance::build(&system, &alloc, &[]);
+        assert_eq!(inst.query_size(), 0);
+        assert_eq!(inst.response_time_of_flow(&inst.graph), Micros::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation addresses")]
+    fn oversized_allocation_rejected() {
+        let system = rds_storage::model::SystemConfig::homogeneous(CHEETAH, 4);
+        let alloc = OrthogonalAllocation::paper_7x7(); // 14 disks
+        RetrievalInstance::build(&system, &alloc, &[Bucket::new(0, 0)]);
+    }
+
+    #[test]
+    fn failed_disks_are_routed_around() {
+        let system = paper_example();
+        let alloc = OrthogonalAllocation::paper_7x7();
+        let q = RangeQuery::new(0, 0, 3, 2);
+        let buckets = q.buckets(7);
+        // Fail the entire fast half of site 2.
+        let failed = [7usize, 8, 10, 13];
+        let inst = RetrievalInstance::build_with_failed_disks(&system, &alloc, &buckets, &failed)
+            .expect("site 1 still holds every bucket");
+        for &d in &failed {
+            assert_eq!(inst.replicas_per_disk[d], 0, "failed disk {d} unused");
+        }
+        use crate::pr::PushRelabelBinary;
+        use crate::solver::RetrievalSolver;
+        let outcome = PushRelabelBinary.solve(&inst);
+        assert_eq!(outcome.flow_value, 6);
+        for &(_, d) in outcome.schedule.assignments() {
+            assert!(!failed.contains(&d), "schedule used failed disk {d}");
+        }
+    }
+
+    #[test]
+    fn losing_both_replicas_is_detected() {
+        let system = paper_example();
+        let alloc = OrthogonalAllocation::paper_7x7();
+        let b = Bucket::new(0, 0);
+        // Both replicas of (0,0).
+        let reps: Vec<usize> = rds_decluster::allocation::ReplicaSource::replicas(&alloc, b)
+            .iter()
+            .collect();
+        let err =
+            RetrievalInstance::build_with_failed_disks(&system, &alloc, &[b], &reps).unwrap_err();
+        assert_eq!(err.bucket, b);
+        assert!(err.to_string().contains("no surviving replica"));
+    }
+
+    #[test]
+    fn duplicate_replicas_deduplicated() {
+        use rds_decluster::allocation::{ReplicaSource, Replicas};
+
+        struct SameDisk;
+        impl ReplicaSource for SameDisk {
+            fn grid_size(&self) -> usize {
+                2
+            }
+            fn num_disks(&self) -> usize {
+                2
+            }
+            fn replicas(&self, _b: Bucket) -> Replicas {
+                Replicas::from_slice(&[1, 1])
+            }
+        }
+
+        let system = rds_storage::model::SystemConfig::homogeneous(CHEETAH, 2);
+        let inst = RetrievalInstance::build(&system, &SameDisk, &[Bucket::new(0, 0)]);
+        // 1 source edge + 1 (deduped) replica edge + 2 disk edges.
+        assert_eq!(inst.graph.num_edges(), 4);
+        assert_eq!(inst.replicas_per_disk, vec![0, 1]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Push-relabel based integrated retrieval (paper Algorithms 5 and 6).
+//!
+//! * [`PushRelabelIncremental`] — Algorithm 5 run standalone from zero
+//!   capacities: alternate `IncrementMinCost` with a flow-conserving
+//!   push-relabel resume until the sink receives `|Q|` units.
+//! * [`PushRelabelBinary`] — Algorithm 6: first a binary search over the
+//!   response-time budget narrows `[t_min, t_max)` below the fastest
+//!   disk's per-bucket cost, **conserving flows across probes** (storing
+//!   the flow state of failed probes, restoring it after successful ones);
+//!   then the incremental phase of Algorithm 5 finds the exact optimum.
+//!
+//! The `binary_scaling_integrated` driver is generic over any
+//! [`IncrementalMaxFlow`] engine, so the sequential and the parallel
+//! (Section V) solvers share one implementation.
+
+use crate::increment::MinCostIncrementer;
+use crate::network::RetrievalInstance;
+use crate::schedule::{RetrievalOutcome, SolveStats};
+use crate::solver::RetrievalSolver;
+use rds_flow::graph::FlowGraph;
+use rds_flow::incremental::IncrementalMaxFlow;
+use rds_flow::push_relabel::PushRelabel;
+
+/// Algorithm 5 standalone: integrated incremental push-relabel from zero
+/// capacities.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PushRelabelIncremental;
+
+impl RetrievalSolver for PushRelabelIncremental {
+    fn name(&self) -> &'static str {
+        "PR-incremental"
+    }
+
+    fn solve(&self, inst: &RetrievalInstance) -> RetrievalOutcome {
+        let mut g = inst.graph.clone();
+        let mut stats = SolveStats::default();
+        let mut engine = PushRelabel::new();
+        incremental_phase(&mut engine, inst, &mut g, &mut stats);
+        RetrievalOutcome::from_flow(inst, &g, stats)
+    }
+}
+
+/// Algorithm 6: binary capacity scaling with flow conservation — the
+/// paper's headline sequential algorithm.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PushRelabelBinary;
+
+impl RetrievalSolver for PushRelabelBinary {
+    fn name(&self) -> &'static str {
+        "PR-binary"
+    }
+
+    fn solve(&self, inst: &RetrievalInstance) -> RetrievalOutcome {
+        let mut g = inst.graph.clone();
+        let mut stats = SolveStats::default();
+        let mut engine = PushRelabel::new();
+        binary_scaling_integrated(&mut engine, inst, &mut g, &mut stats);
+        RetrievalOutcome::from_flow(inst, &g, stats)
+    }
+}
+
+/// The incremental phase (Algorithm 5): alternate `IncrementMinCost` and a
+/// flow-conserving resume until the sink's excess reaches `|Q|`.
+pub(crate) fn incremental_phase<E: IncrementalMaxFlow>(
+    engine: &mut E,
+    inst: &RetrievalInstance,
+    g: &mut FlowGraph,
+    stats: &mut SolveStats,
+) {
+    let q = inst.query_size() as i64;
+    if q == 0 {
+        return;
+    }
+    let (s, t) = (inst.source(), inst.sink());
+    let mut inc = MinCostIncrementer::new(inst);
+    // The capacities may already admit the full flow (e.g. after the
+    // binary phase lands exactly on the optimum's predecessor); probe once
+    // before incrementing only if flow is already recorded.
+    while engine.excess(t) != q {
+        let raised = inc.increment(inst, g);
+        stats.increments += 1;
+        assert!(raised > 0, "retrieval instance is infeasible");
+        engine.resume(g, s, t);
+        stats.resume_calls += 1;
+    }
+}
+
+/// The full Algorithm 6 driver, generic over the max-flow engine.
+pub(crate) fn binary_scaling_integrated<E: IncrementalMaxFlow>(
+    engine: &mut E,
+    inst: &RetrievalInstance,
+    g: &mut FlowGraph,
+    stats: &mut SolveStats,
+) {
+    let q = inst.query_size() as i64;
+    if q == 0 {
+        return;
+    }
+    let (s, t) = (inst.source(), inst.sink());
+    let n = g.num_vertices();
+    let (mut t_min, mut t_max, min_speed) = inst.budget_bounds();
+
+    // `StoreFlows` state: flow and excess of the most recent *failed*
+    // probe (a preflow that stays feasible for every budget above its
+    // probe point). Initially the zero state.
+    let mut stored_flows = g.store_flows();
+    let mut stored_excess = vec![0i64; n];
+
+    while t_max - t_min >= min_speed {
+        let t_mid = t_min.midpoint(t_max);
+        inst.set_caps_for_budget(g, t_mid);
+        let flow = engine.resume(g, s, t);
+        stats.probes += 1;
+        stats.resume_calls += 1;
+        if flow != q {
+            // No solution at t_mid (lines 30-33): keep the state we just
+            // computed — it stays feasible for all larger budgets.
+            stored_flows = g.store_flows();
+            stored_excess = engine.excess_snapshot(n);
+            t_min = t_mid;
+        } else {
+            // Solution found but possibly not optimal (lines 34-37):
+            // shrink from above and roll back to the last failed state so
+            // the smaller capacities of future probes are respected.
+            g.restore_flows(&stored_flows);
+            engine.restore_excess(&stored_excess);
+            t_max = t_mid;
+        }
+    }
+
+    // Lines 38-42: roll back, fix capacities at t_min, finish with the
+    // incremental phase.
+    g.restore_flows(&stored_flows);
+    engine.restore_excess(&stored_excess);
+    inst.set_caps_for_budget(g, t_min);
+    incremental_phase(engine, inst, g, stats);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ff::FordFulkersonIncremental;
+    use crate::verify::{assert_outcome_valid, oracle_optimal_response};
+    use rds_decluster::allocation::Placement;
+    use rds_decluster::orthogonal::OrthogonalAllocation;
+    use rds_decluster::periodic::DependentPeriodicAllocation;
+    use rds_decluster::query::{Query, RangeQuery};
+    use rds_decluster::rda::RandomDuplicateAllocation;
+    use rds_storage::experiments::{experiment, paper_example, ExperimentId};
+    use rds_storage::model::SystemConfig;
+    use rds_storage::specs::CHEETAH;
+    use rds_storage::time::Micros;
+
+    #[test]
+    fn binary_solves_paper_q1_basic() {
+        let system = SystemConfig::homogeneous(CHEETAH, 7);
+        let alloc = OrthogonalAllocation::new(7, Placement::SingleSite);
+        let q1 = RangeQuery::new(0, 0, 3, 2);
+        let inst = RetrievalInstance::build(&system, &alloc, &q1.buckets(7));
+        let outcome = PushRelabelBinary.solve(&inst);
+        assert_eq!(outcome.flow_value, 6);
+        assert_eq!(outcome.response_time, Micros::from_tenths_ms(61));
+        assert_outcome_valid(&inst, &outcome);
+    }
+
+    #[test]
+    fn incremental_and_binary_agree_on_paper_example() {
+        let system = paper_example();
+        let alloc = OrthogonalAllocation::paper_7x7();
+        for (r, c) in [(3usize, 2usize), (7, 7), (1, 1), (4, 6)] {
+            let q = RangeQuery::new(1, 2, r, c);
+            let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(7));
+            let a = PushRelabelIncremental.solve(&inst);
+            let b = PushRelabelBinary.solve(&inst);
+            assert_eq!(a.response_time, b.response_time, "query {r}x{c}");
+            assert_outcome_valid(&inst, &a);
+            assert_outcome_valid(&inst, &b);
+            assert_eq!(b.response_time, oracle_optimal_response(&inst));
+        }
+    }
+
+    #[test]
+    fn binary_uses_fewer_increments_than_incremental() {
+        // The whole point of the binary phase: capacity values are brought
+        // near the optimum in O(log |Q|) probes instead of O(c|Q|)
+        // single-step increments.
+        let system = paper_example();
+        let alloc = OrthogonalAllocation::paper_7x7();
+        let q = RangeQuery::new(0, 0, 7, 7);
+        let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(7));
+        let a = PushRelabelIncremental.solve(&inst);
+        let b = PushRelabelBinary.solve(&inst);
+        assert!(
+            b.stats.increments < a.stats.increments,
+            "binary {} vs incremental {}",
+            b.stats.increments,
+            a.stats.increments
+        );
+    }
+
+    #[test]
+    fn agrees_with_ford_fulkerson_across_experiments() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for id in ExperimentId::ALL {
+            let n = rng.gen_range(4..9);
+            let system = experiment(id, n, rng.gen());
+            let alloc = RandomDuplicateAllocation::two_site(n, rng.gen());
+            let r = rng.gen_range(1..=n);
+            let c = rng.gen_range(1..=n);
+            let q = RangeQuery::new(rng.gen_range(0..n), rng.gen_range(0..n), r, c);
+            let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(n));
+            let ff = FordFulkersonIncremental.solve(&inst);
+            let pr = PushRelabelBinary.solve(&inst);
+            assert_eq!(
+                ff.response_time, pr.response_time,
+                "experiment {:?} n={n}",
+                id
+            );
+            assert_outcome_valid(&inst, &pr);
+        }
+    }
+
+    #[test]
+    fn optimal_on_random_exp5_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for case in 0..8 {
+            let n = rng.gen_range(3..8);
+            let system = experiment(ExperimentId::Exp5, n, rng.gen());
+            let alloc = DependentPeriodicAllocation::new(n, Placement::PerSite);
+            let r = rng.gen_range(1..=n);
+            let c = rng.gen_range(1..=n);
+            let q = RangeQuery::new(rng.gen_range(0..n), rng.gen_range(0..n), r, c);
+            let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(n));
+            let outcome = PushRelabelBinary.solve(&inst);
+            assert_outcome_valid(&inst, &outcome);
+            assert_eq!(
+                outcome.response_time,
+                oracle_optimal_response(&inst),
+                "case {case} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_query() {
+        let system = SystemConfig::homogeneous(CHEETAH, 4);
+        let alloc = OrthogonalAllocation::new(4, Placement::SingleSite);
+        let inst = RetrievalInstance::build(&system, &alloc, &[]);
+        let outcome = PushRelabelBinary.solve(&inst);
+        assert_eq!(outcome.flow_value, 0);
+        assert_eq!(outcome.response_time, Micros::ZERO);
+    }
+
+    #[test]
+    fn single_bucket_query_picks_fastest_replica() {
+        let system = paper_example();
+        let alloc = OrthogonalAllocation::paper_7x7();
+        let q = RangeQuery::new(0, 0, 1, 1);
+        let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(7));
+        let outcome = PushRelabelBinary.solve(&inst);
+        assert_eq!(outcome.flow_value, 1);
+        // The best replica is whichever of the two copies has the lower
+        // single-bucket completion time; both candidates are 11.3ms
+        // (site 1 raptor) or 7.1/14.2ms (site 2).
+        let (b, d) = outcome.schedule.assignments()[0];
+        assert_eq!(b, rds_decluster::query::Bucket::new(0, 0));
+        assert_eq!(outcome.response_time, inst.disks[d].completion_time(1));
+        assert_eq!(outcome.response_time, oracle_optimal_response(&inst));
+    }
+
+    #[test]
+    fn probes_scale_logarithmically() {
+        let system = experiment(ExperimentId::Exp5, 10, 3);
+        let alloc = OrthogonalAllocation::new(10, Placement::PerSite);
+        let q = RangeQuery::new(0, 0, 10, 10);
+        let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(10));
+        let outcome = PushRelabelBinary.solve(&inst);
+        // The budget range spans ~|Q| * C_max / min_speed values; probes
+        // are its base-2 log — generously under 64.
+        assert!(outcome.stats.probes < 64, "{} probes", outcome.stats.probes);
+        assert_outcome_valid(&inst, &outcome);
+    }
+}

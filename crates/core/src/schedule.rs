@@ -1,0 +1,180 @@
+//! Retrieval schedules and solver outcomes.
+
+use crate::network::RetrievalInstance;
+use rds_decluster::query::Bucket;
+use rds_flow::graph::FlowGraph;
+use rds_storage::model::Disk;
+use rds_storage::time::Micros;
+
+/// A complete retrieval schedule: which disk serves each requested bucket.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    assignments: Vec<(Bucket, usize)>,
+}
+
+impl Schedule {
+    /// Builds a schedule from explicit assignments.
+    pub fn new(assignments: Vec<(Bucket, usize)>) -> Schedule {
+        Schedule { assignments }
+    }
+
+    /// Extracts the schedule from a solved flow: each bucket vertex has
+    /// exactly one saturated forward edge to a disk vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some bucket carries no unit of flow (i.e. the flow is not
+    /// a complete retrieval).
+    pub fn from_flow(inst: &RetrievalInstance, g: &FlowGraph) -> Schedule {
+        let mut assignments = Vec::with_capacity(inst.query_size());
+        for (i, &b) in inst.buckets.iter().enumerate() {
+            let v = inst.bucket_vertex(i);
+            let disk = g
+                .out_edges(v)
+                .iter()
+                .find_map(|&e| {
+                    let e = e as usize;
+                    (e.is_multiple_of(2) && g.flow(e) > 0).then(|| inst.disk_of_vertex(g.target(e)))
+                })
+                .unwrap_or_else(|| panic!("bucket {b} is not retrieved by the flow"));
+            assignments.push((b, disk));
+        }
+        Schedule { assignments }
+    }
+
+    /// Number of scheduled buckets.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// The `(bucket, disk)` assignments in bucket order.
+    pub fn assignments(&self) -> &[(Bucket, usize)] {
+        &self.assignments
+    }
+
+    /// Buckets retrieved per disk.
+    pub fn per_disk_counts(&self, num_disks: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; num_disks];
+        for &(_, d) in &self.assignments {
+            counts[d] += 1;
+        }
+        counts
+    }
+
+    /// Response time of this schedule on the given disks: the maximum
+    /// completion time over disks serving at least one bucket.
+    pub fn response_time(&self, disks: &[Disk]) -> Micros {
+        self.per_disk_counts(disks.len())
+            .iter()
+            .zip(disks)
+            .filter(|(&k, _)| k > 0)
+            .map(|(&k, d)| d.completion_time(k))
+            .max()
+            .unwrap_or(Micros::ZERO)
+    }
+}
+
+/// Work counters reported by every solver, for algorithm comparisons and
+/// the paper's execution-time figures.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Full from-scratch max-flow computations (black-box algorithms).
+    pub maxflow_calls: u64,
+    /// Flow-conserving resume calls (integrated algorithms).
+    pub resume_calls: u64,
+    /// Binary-search probes over the budget range.
+    pub probes: u64,
+    /// `IncrementMinCost` capacity-increment steps.
+    pub increments: u64,
+    /// Augmenting-path searches (Ford-Fulkerson solvers).
+    pub dfs_calls: u64,
+}
+
+/// The result of solving one retrieval instance.
+#[derive(Clone, Debug)]
+pub struct RetrievalOutcome {
+    /// The optimal schedule found.
+    pub schedule: Schedule,
+    /// Optimal response time (identical across all correct solvers).
+    pub response_time: Micros,
+    /// Total flow delivered (equals the query size).
+    pub flow_value: u64,
+    /// Work counters.
+    pub stats: SolveStats,
+}
+
+impl RetrievalOutcome {
+    /// Assembles an outcome from a solved graph.
+    pub fn from_flow(inst: &RetrievalInstance, g: &FlowGraph, stats: SolveStats) -> Self {
+        let schedule = if inst.query_size() == 0 {
+            Schedule::new(Vec::new())
+        } else {
+            Schedule::from_flow(inst, g)
+        };
+        let response_time = schedule.response_time(&inst.disks);
+        RetrievalOutcome {
+            flow_value: schedule.len() as u64,
+            schedule,
+            response_time,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_storage::model::SystemConfig;
+    use rds_storage::specs::{CHEETAH, VERTEX};
+
+    #[test]
+    fn per_disk_counts_aggregate() {
+        let s = Schedule::new(vec![
+            (Bucket::new(0, 0), 1),
+            (Bucket::new(0, 1), 1),
+            (Bucket::new(1, 0), 3),
+        ]);
+        assert_eq!(s.per_disk_counts(4), vec![0, 2, 0, 1]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn response_time_ignores_idle_disks() {
+        let sys = SystemConfig::homogeneous(CHEETAH, 3);
+        let s = Schedule::new(vec![(Bucket::new(0, 0), 0), (Bucket::new(0, 1), 0)]);
+        // Disk 0 serves 2 buckets: 2 * 6.1ms; disks 1-2 idle.
+        assert_eq!(s.response_time(sys.disks()), Micros::from_tenths_ms(122));
+    }
+
+    #[test]
+    fn response_time_of_empty_schedule_is_zero() {
+        let sys = SystemConfig::homogeneous(VERTEX, 2);
+        let s = Schedule::new(vec![]);
+        assert_eq!(s.response_time(sys.disks()), Micros::ZERO);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn response_time_takes_max_over_used() {
+        let sys = SystemConfig::new(vec![rds_storage::model::Site {
+            name: "s".into(),
+            disks: vec![
+                rds_storage::model::Disk::unloaded(CHEETAH), // 6.1ms
+                rds_storage::model::Disk::unloaded(VERTEX),  // 0.5ms
+            ],
+        }]);
+        let s = Schedule::new(vec![
+            (Bucket::new(0, 0), 0),
+            (Bucket::new(0, 1), 1),
+            (Bucket::new(1, 1), 1),
+        ]);
+        // disk0: 6.1, disk1: 1.0 → max 6.1ms.
+        assert_eq!(s.response_time(sys.disks()), Micros::from_tenths_ms(61));
+    }
+}

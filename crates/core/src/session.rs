@@ -1,0 +1,230 @@
+//! Multi-query sessions with initial-load feedback.
+//!
+//! The paper motivates the `X_j` term as load left by *previous queries*:
+//! "initial loads of the disks from the previous queries can also be
+//! calculated easily since it is based on how the previous queries are
+//! scheduled" (§II-A). This module closes that loop: a
+//! [`RetrievalSession`] tracks each disk's busy-until time, derives the
+//! `X_j` of every incoming query from the schedules of the queries before
+//! it, solves, and charges the resulting work back to the disks.
+//!
+//! Time is virtual: the caller supplies each query's arrival time
+//! (monotone non-decreasing), so sessions are deterministic and
+//! simulation-friendly.
+
+use crate::network::RetrievalInstance;
+use crate::schedule::RetrievalOutcome;
+use crate::solver::RetrievalSolver;
+use rds_decluster::allocation::ReplicaSource;
+use rds_decluster::query::Bucket;
+use rds_storage::model::{Disk, SystemConfig};
+use rds_storage::time::Micros;
+
+/// A stateful retrieval session over one storage system and allocation.
+pub struct RetrievalSession<'a, A: ReplicaSource, S: RetrievalSolver> {
+    system: &'a SystemConfig,
+    alloc: &'a A,
+    solver: S,
+    /// Absolute time at which each disk finishes its outstanding work.
+    busy_until: Vec<Micros>,
+    /// Arrival time of the most recent query.
+    now: Micros,
+    /// Completed queries.
+    served: u64,
+}
+
+/// The outcome of one session query, with absolute-time bookkeeping.
+#[derive(Clone, Debug)]
+pub struct SessionOutcome {
+    /// The solver outcome (relative response time, schedule, stats).
+    pub outcome: RetrievalOutcome,
+    /// Arrival time of the query.
+    pub arrival: Micros,
+    /// Absolute completion time (`arrival + response_time`).
+    pub completion: Micros,
+}
+
+impl<'a, A: ReplicaSource, S: RetrievalSolver> RetrievalSession<'a, A, S> {
+    /// Opens a session; all disks start idle.
+    pub fn new(system: &'a SystemConfig, alloc: &'a A, solver: S) -> Self {
+        RetrievalSession {
+            busy_until: vec![Micros::ZERO; system.num_disks()],
+            system,
+            alloc,
+            solver,
+            now: Micros::ZERO,
+            served: 0,
+        }
+    }
+
+    /// Number of queries served so far.
+    pub fn queries_served(&self) -> u64 {
+        self.served
+    }
+
+    /// Current virtual time (arrival of the latest query).
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// The initial load `X_j` disk `j` would present to a query arriving
+    /// now: the remaining busy time, 0 if idle.
+    pub fn current_load(&self, j: usize) -> Micros {
+        self.busy_until[j].saturating_sub(self.now)
+    }
+
+    /// Submits a query arriving at `arrival` (must be ≥ the previous
+    /// arrival), solves it with per-disk initial loads derived from the
+    /// outstanding work, and charges the schedule back to the disks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival` precedes the previous query's arrival.
+    pub fn submit(&mut self, arrival: Micros, buckets: &[Bucket]) -> SessionOutcome {
+        assert!(
+            arrival >= self.now,
+            "query arrivals must be monotone: {arrival} < {}",
+            self.now
+        );
+        self.now = arrival;
+
+        // Instantiate the system with the session-derived X_j.
+        let disks: Vec<Disk> = self
+            .system
+            .disks()
+            .iter()
+            .enumerate()
+            .map(|(j, d)| Disk {
+                initial_load: d.initial_load + self.current_load(j),
+                ..*d
+            })
+            .collect();
+        let loaded = SystemConfig::new(vec![rds_storage::model::Site {
+            name: "session".to_string(),
+            disks,
+        }]);
+
+        let inst = RetrievalInstance::build(&loaded, self.alloc, buckets);
+        let outcome = self.solver.solve(&inst);
+
+        // Charge each disk: it starts when idle (and reachable) and works
+        // k_j * C_j; its new busy-until is exactly its completion time in
+        // the solved schedule, measured from `arrival`.
+        let counts = outcome.schedule.per_disk_counts(loaded.num_disks());
+        for (j, &k) in counts.iter().enumerate() {
+            if k > 0 {
+                let completion = arrival + loaded.disk(j).completion_time(k);
+                self.busy_until[j] = self.busy_until[j].max(completion);
+            }
+        }
+        self.served += 1;
+        SessionOutcome {
+            completion: arrival + outcome.response_time,
+            outcome,
+            arrival,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pr::PushRelabelBinary;
+    use rds_decluster::allocation::Placement;
+    use rds_decluster::orthogonal::OrthogonalAllocation;
+    use rds_decluster::query::{Query, RangeQuery};
+    use rds_storage::specs::CHEETAH;
+
+    fn setup() -> (SystemConfig, OrthogonalAllocation) {
+        (
+            SystemConfig::homogeneous(CHEETAH, 5),
+            OrthogonalAllocation::new(5, Placement::SingleSite),
+        )
+    }
+
+    #[test]
+    fn first_query_sees_idle_disks() {
+        let (system, alloc) = setup();
+        let mut session = RetrievalSession::new(&system, &alloc, PushRelabelBinary);
+        for j in 0..5 {
+            assert_eq!(session.current_load(j), Micros::ZERO);
+        }
+        let q = RangeQuery::new(0, 0, 1, 5);
+        let out = session.submit(Micros::ZERO, &q.buckets(5));
+        assert_eq!(out.outcome.flow_value, 5);
+        // 5 buckets over 5 idle cheetahs: one each, 6.1ms.
+        assert_eq!(out.outcome.response_time, Micros::from_tenths_ms(61));
+        assert_eq!(session.queries_served(), 1);
+    }
+
+    #[test]
+    fn back_to_back_queries_queue_behind_each_other() {
+        let (system, alloc) = setup();
+        let mut session = RetrievalSession::new(&system, &alloc, PushRelabelBinary);
+        let q = RangeQuery::new(0, 0, 1, 5);
+        let first = session.submit(Micros::ZERO, &q.buckets(5));
+        // Same query immediately again: every disk still busy 6.1ms, so
+        // the second response is 6.1 (wait) + 6.1 (work).
+        let second = session.submit(Micros::ZERO, &q.buckets(5));
+        assert_eq!(
+            second.outcome.response_time,
+            first.outcome.response_time * 2
+        );
+    }
+
+    #[test]
+    fn loads_drain_over_time() {
+        let (system, alloc) = setup();
+        let mut session = RetrievalSession::new(&system, &alloc, PushRelabelBinary);
+        let q = RangeQuery::new(0, 0, 1, 5);
+        session.submit(Micros::ZERO, &q.buckets(5));
+        // Arrive after the disks are idle again: no queueing.
+        let late = session.submit(Micros::from_millis(50), &q.buckets(5));
+        assert_eq!(late.outcome.response_time, Micros::from_tenths_ms(61));
+        for j in 0..5 {
+            // busy_until = 50ms + 6.1ms.
+            assert_eq!(session.current_load(j), Micros::from_tenths_ms(61));
+        }
+    }
+
+    #[test]
+    fn partial_overlap_steers_to_idle_disks() {
+        let (system, alloc) = setup();
+        let mut session = RetrievalSession::new(&system, &alloc, PushRelabelBinary);
+        // Load only the disk serving bucket (0,1), via a 1-bucket query.
+        // (Column 0 buckets have identical copies under the single-site
+        // lattice pair, so use column 1 where the replicas differ.)
+        let single = RangeQuery::new(0, 1, 1, 1);
+        let first = session.submit(Micros::ZERO, &single.buckets(5));
+        let (_, loaded_disk) = first.outcome.schedule.assignments()[0];
+        assert!(session.current_load(loaded_disk) > Micros::ZERO);
+
+        // The same bucket again: the optimal schedule should use the
+        // *other* replica (idle) rather than queue behind the first.
+        let second = session.submit(Micros::ZERO, &single.buckets(5));
+        let (_, second_disk) = second.outcome.schedule.assignments()[0];
+        assert_ne!(second_disk, loaded_disk);
+        assert_eq!(second.outcome.response_time, Micros::from_tenths_ms(61));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn time_travel_rejected() {
+        let (system, alloc) = setup();
+        let mut session = RetrievalSession::new(&system, &alloc, PushRelabelBinary);
+        let q = RangeQuery::new(0, 0, 1, 1);
+        session.submit(Micros::from_millis(10), &q.buckets(5));
+        session.submit(Micros::from_millis(5), &q.buckets(5));
+    }
+
+    #[test]
+    fn completion_is_arrival_plus_response() {
+        let (system, alloc) = setup();
+        let mut session = RetrievalSession::new(&system, &alloc, PushRelabelBinary);
+        let q = RangeQuery::new(1, 1, 2, 2);
+        let arrival = Micros::from_millis(7);
+        let out = session.submit(arrival, &q.buckets(5));
+        assert_eq!(out.completion, arrival + out.outcome.response_time);
+        assert_eq!(out.arrival, arrival);
+    }
+}

@@ -1,0 +1,46 @@
+//! The uniform solver interface.
+
+use crate::network::RetrievalInstance;
+use crate::schedule::RetrievalOutcome;
+
+/// A retrieval-scheduling algorithm.
+///
+/// All implementations compute the *optimal* response time schedule; they
+/// differ only in how much work they spend finding it. `solve` takes the
+/// instance by shared reference and clones its graph internally, so one
+/// instance can be solved by several algorithms and the outcomes compared.
+pub trait RetrievalSolver {
+    /// Short algorithm name for reports ("PR-binary", "BB-PR", ...).
+    fn name(&self) -> &'static str;
+
+    /// Computes an optimal response time retrieval schedule.
+    fn solve(&self, instance: &RetrievalInstance) -> RetrievalOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Schedule, SolveStats};
+
+    struct Nop;
+
+    impl RetrievalSolver for Nop {
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+        fn solve(&self, _instance: &RetrievalInstance) -> RetrievalOutcome {
+            RetrievalOutcome {
+                schedule: Schedule::new(Vec::new()),
+                response_time: rds_storage::time::Micros::ZERO,
+                flow_value: 0,
+                stats: SolveStats::default(),
+            }
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let solvers: Vec<Box<dyn RetrievalSolver>> = vec![Box::new(Nop)];
+        assert_eq!(solvers[0].name(), "nop");
+    }
+}

@@ -1,0 +1,291 @@
+//! The allocation interface: mapping buckets to the disks holding their
+//! replicas.
+//!
+//! Every scheme computes, for each copy `k < c`, a disk *within the copy's
+//! own group of `N` disks*; [`Placement`] decides how copy-local disk
+//! numbers map to global disk indices:
+//!
+//! * [`Placement::SingleSite`] — all copies share one group of `N` disks
+//!   (the paper's basic setting, Fig. 2/3: both grids over disks 0-6).
+//! * [`Placement::PerSite`] — copy `k` lives on disks `[k·N, (k+1)·N)`
+//!   (the generalized setting, Fig. 4: copy 1 on disks 0-6 at site 1,
+//!   copy 2 on disks 7-13 at site 2).
+
+use crate::query::Bucket;
+
+/// Maximum supported replica count per bucket. The paper evaluates `c = 2`;
+/// the schemes here accept up to 4 copies.
+pub const MAX_COPIES: usize = 4;
+
+/// The disks holding one bucket's replicas — a tiny inline set to avoid a
+/// heap allocation per bucket lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Replicas {
+    len: u8,
+    disks: [u32; MAX_COPIES],
+}
+
+impl Replicas {
+    /// Builds a replica set from disk indices.
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_COPIES`] disks are given.
+    pub fn from_slice(disks: &[usize]) -> Replicas {
+        assert!(disks.len() <= MAX_COPIES, "too many replicas");
+        let mut arr = [0u32; MAX_COPIES];
+        for (i, &d) in disks.iter().enumerate() {
+            arr[i] = d as u32;
+        }
+        Replicas {
+            len: disks.len() as u8,
+            disks: arr,
+        }
+    }
+
+    /// Number of replicas.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if the bucket has no replicas (never produced by the schemes).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Disk index of copy `k`.
+    #[inline]
+    pub fn disk(&self, k: usize) -> usize {
+        debug_assert!(k < self.len());
+        self.disks[k] as usize
+    }
+
+    /// Iterator over the replica disks.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.disks[..self.len()].iter().map(|&d| d as usize)
+    }
+}
+
+/// How copy-local disk numbers map to global disk indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// All copies on the same `N` disks (basic problem).
+    SingleSite,
+    /// Copy `k` on disks `[k·N, (k+1)·N)` (one complete copy per site).
+    PerSite,
+}
+
+impl Placement {
+    /// Maps copy `k`'s local disk `d` (`d < n`) to a global disk index.
+    #[inline]
+    pub fn global_disk(self, k: usize, d: usize, n: usize) -> usize {
+        match self {
+            Placement::SingleSite => d,
+            Placement::PerSite => k * n + d,
+        }
+    }
+}
+
+/// The minimal read-only interface the retrieval-network builder needs:
+/// implemented by every allocation scheme (via the [`Allocation`]
+/// supertrait relationship) and by the precomputed [`ReplicaMap`].
+pub trait ReplicaSource {
+    /// Grid dimension `N` (also the per-copy disk-group size).
+    fn grid_size(&self) -> usize;
+    /// Total number of global disks addressed.
+    fn num_disks(&self) -> usize;
+    /// The global disks holding the replicas of `b`.
+    fn replicas(&self, b: Bucket) -> Replicas;
+}
+
+/// A replicated declustering scheme over an `N × N` grid.
+///
+/// The bucket-to-disks mapping itself lives in the [`ReplicaSource`]
+/// supertrait; this trait adds the scheme-level metadata.
+pub trait Allocation: ReplicaSource {
+    /// Number of copies `c` per bucket.
+    fn copies(&self) -> usize;
+
+    /// Placement of copies onto global disks.
+    fn placement(&self) -> Placement;
+
+    /// Human-readable scheme name (for reports).
+    fn name(&self) -> &'static str;
+}
+
+/// The conventional disk count for a scheme: `N` for single-site
+/// placement, `c · N` when each copy owns its own site.
+pub fn standard_num_disks(placement: Placement, n: usize, copies: usize) -> usize {
+    match placement {
+        Placement::SingleSite => n,
+        Placement::PerSite => n * copies,
+    }
+}
+
+impl ReplicaSource for ReplicaMap {
+    fn grid_size(&self) -> usize {
+        ReplicaMap::grid_size(self)
+    }
+    fn num_disks(&self) -> usize {
+        ReplicaMap::num_disks(self)
+    }
+    fn replicas(&self, b: Bucket) -> Replicas {
+        ReplicaMap::replicas(self, b)
+    }
+}
+
+/// A dense precomputed bucket-to-replicas table.
+///
+/// The retrieval algorithms consult replica sets for every bucket of every
+/// query; materializing the map once per allocation makes those lookups a
+/// single indexed read and removes all virtual dispatch from the hot path.
+#[derive(Clone, Debug)]
+pub struct ReplicaMap {
+    n: usize,
+    copies: usize,
+    num_disks: usize,
+    name: &'static str,
+    table: Vec<Replicas>,
+}
+
+impl ReplicaMap {
+    /// Materializes the replica table of `alloc`.
+    pub fn build<A: Allocation + ?Sized>(alloc: &A) -> ReplicaMap {
+        let n = alloc.grid_size();
+        let mut table = Vec::with_capacity(n * n);
+        for row in 0..n as u32 {
+            for col in 0..n as u32 {
+                table.push(alloc.replicas(Bucket::new(row, col)));
+            }
+        }
+        ReplicaMap {
+            n,
+            copies: alloc.copies(),
+            num_disks: alloc.num_disks(),
+            name: alloc.name(),
+            table,
+        }
+    }
+
+    /// Grid dimension `N`.
+    #[inline]
+    pub fn grid_size(&self) -> usize {
+        self.n
+    }
+
+    /// Copies per bucket `c`.
+    #[inline]
+    pub fn copies(&self) -> usize {
+        self.copies
+    }
+
+    /// Total global disks.
+    #[inline]
+    pub fn num_disks(&self) -> usize {
+        self.num_disks
+    }
+
+    /// Scheme name.
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Replicas of bucket `b`.
+    #[inline]
+    pub fn replicas(&self, b: Bucket) -> Replicas {
+        self.table[b.row as usize * self.n + b.col as usize]
+    }
+
+    /// Number of grid buckets stored (at least partially) on disk `d`.
+    pub fn buckets_on_disk(&self, d: usize) -> usize {
+        self.table
+            .iter()
+            .filter(|r| r.iter().any(|x| x == d))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicas_inline_set() {
+        let r = Replicas::from_slice(&[3, 9]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.disk(0), 3);
+        assert_eq!(r.disk(1), 9);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![3, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many replicas")]
+    fn replicas_overflow_rejected() {
+        Replicas::from_slice(&[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn placement_maps_copies() {
+        assert_eq!(Placement::SingleSite.global_disk(1, 3, 7), 3);
+        assert_eq!(Placement::PerSite.global_disk(0, 3, 7), 3);
+        assert_eq!(Placement::PerSite.global_disk(1, 3, 7), 10);
+    }
+
+    struct Diagonal;
+
+    impl ReplicaSource for Diagonal {
+        fn grid_size(&self) -> usize {
+            4
+        }
+        fn num_disks(&self) -> usize {
+            8
+        }
+        fn replicas(&self, b: Bucket) -> Replicas {
+            let d0 = (b.row as usize + b.col as usize) % 4;
+            let d1 = (b.row as usize + 2 * b.col as usize) % 4;
+            Replicas::from_slice(&[d0, 4 + d1])
+        }
+    }
+
+    impl Allocation for Diagonal {
+        fn copies(&self) -> usize {
+            2
+        }
+        fn placement(&self) -> Placement {
+            Placement::PerSite
+        }
+        fn name(&self) -> &'static str {
+            "diagonal"
+        }
+    }
+
+    #[test]
+    fn replica_map_matches_allocation() {
+        let alloc = Diagonal;
+        let map = ReplicaMap::build(&alloc);
+        assert_eq!(map.grid_size(), 4);
+        assert_eq!(map.copies(), 2);
+        assert_eq!(map.num_disks(), 8);
+        assert_eq!(map.name(), "diagonal");
+        for row in 0..4 {
+            for col in 0..4 {
+                let b = Bucket::new(row, col);
+                assert_eq!(map.replicas(b), ReplicaSource::replicas(&alloc, b));
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_on_disk_counts() {
+        let map = ReplicaMap::build(&Diagonal);
+        // Copy 1 is a balanced lattice: each of disks 0..4 holds 4 buckets.
+        for d in 0..4 {
+            assert_eq!(map.buckets_on_disk(d), 4);
+        }
+        let total: usize = (0..8).map(|d| map.buckets_on_disk(d)).sum();
+        assert_eq!(total, 2 * 16);
+    }
+}

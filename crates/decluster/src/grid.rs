@@ -1,0 +1,110 @@
+//! The `N × N` bucket grid.
+//!
+//! The paper's data space is a two-dimensional grid of `N × N` buckets
+//! declustered over `N` disks, with wraparound semantics for range queries
+//! ("we assume a wraparound grid consistent with the choice of disk
+//! allocations", §VI-B).
+
+use crate::query::Bucket;
+
+/// An `n × n` grid of buckets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid {
+    n: usize,
+}
+
+impl Grid {
+    /// Creates an `n × n` grid.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Grid {
+        assert!(n > 0, "grid dimension must be positive");
+        Grid { n }
+    }
+
+    /// Grid dimension `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of buckets `N²`.
+    #[inline]
+    pub fn num_buckets(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// Linear index of a bucket (row-major).
+    #[inline]
+    pub fn index(&self, b: Bucket) -> usize {
+        debug_assert!(self.contains(b));
+        b.row as usize * self.n + b.col as usize
+    }
+
+    /// Bucket at a linear index.
+    #[inline]
+    pub fn bucket(&self, index: usize) -> Bucket {
+        debug_assert!(index < self.num_buckets());
+        Bucket::new((index / self.n) as u32, (index % self.n) as u32)
+    }
+
+    /// Whether `b` lies inside the grid.
+    #[inline]
+    pub fn contains(&self, b: Bucket) -> bool {
+        (b.row as usize) < self.n && (b.col as usize) < self.n
+    }
+
+    /// Wraps a possibly-out-of-range coordinate pair onto the grid.
+    #[inline]
+    pub fn wrap(&self, row: usize, col: usize) -> Bucket {
+        Bucket::new((row % self.n) as u32, (col % self.n) as u32)
+    }
+
+    /// Iterates over all buckets in row-major order.
+    pub fn buckets(&self) -> impl Iterator<Item = Bucket> + '_ {
+        (0..self.num_buckets()).map(move |i| self.bucket(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let g = Grid::new(7);
+        for i in 0..g.num_buckets() {
+            assert_eq!(g.index(g.bucket(i)), i);
+        }
+    }
+
+    #[test]
+    fn wrap_folds_coordinates() {
+        let g = Grid::new(5);
+        assert_eq!(g.wrap(7, 12), Bucket::new(2, 2));
+        assert_eq!(g.wrap(4, 4), Bucket::new(4, 4));
+    }
+
+    #[test]
+    fn buckets_iterates_all() {
+        let g = Grid::new(3);
+        let all: Vec<_> = g.buckets().collect();
+        assert_eq!(all.len(), 9);
+        assert_eq!(all[0], Bucket::new(0, 0));
+        assert_eq!(all[8], Bucket::new(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_grid_rejected() {
+        Grid::new(0);
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let g = Grid::new(4);
+        assert!(g.contains(Bucket::new(3, 3)));
+        assert!(!g.contains(Bucket::new(4, 0)));
+    }
+}

@@ -1,0 +1,52 @@
+//! # rds-decluster
+//!
+//! Replicated declustering substrate: the data layout half of the optimal
+//! response time retrieval problem.
+//!
+//! A *declustering* partitions an `N × N` grid of buckets across `N` disks;
+//! a *replicated* declustering stores `c` copies of every bucket on
+//! different disks (or different sites). This crate implements the three
+//! allocation schemes evaluated by the paper (§VI-A):
+//!
+//! * [`rda::RandomDuplicateAllocation`] — each bucket on two randomly
+//!   chosen disks (Sanders et al., SODA 2000).
+//! * [`periodic::DependentPeriodicAllocation`] — lattice allocations
+//!   `f(i, j) = (a₁·i + a₂·j) mod N` with a shifted second copy.
+//! * [`orthogonal::OrthogonalAllocation`] — two lattice copies whose disk
+//!   pairs cover every `(disk, disk)` combination exactly once.
+//!
+//! plus the paper's query types (§VI-B: wraparound range queries and
+//! arbitrary queries) and query-load generators (§VI-C: Loads 1–3).
+//!
+//! ## Example
+//!
+//! ```
+//! use rds_decluster::allocation::{Placement, ReplicaMap, ReplicaSource};
+//! use rds_decluster::orthogonal::OrthogonalAllocation;
+//! use rds_decluster::query::{Bucket, Query, RangeQuery};
+//!
+//! // A 7x7 grid, one copy per site (14 disks total).
+//! let alloc = OrthogonalAllocation::new(7, Placement::PerSite);
+//! let map = ReplicaMap::build(&alloc);
+//! let q = RangeQuery::new(0, 0, 3, 2);
+//! for bucket in q.buckets(7) {
+//!     let replicas = map.replicas(bucket);
+//!     assert_eq!(replicas.len(), 2);
+//!     assert!(replicas.disk(0) < 7);       // copy 1 at site 1
+//!     assert!(replicas.disk(1) >= 7);      // copy 2 at site 2
+//! }
+//! ```
+
+pub mod allocation;
+pub mod grid;
+pub mod load;
+pub mod metrics;
+pub mod orthogonal;
+pub mod periodic;
+pub mod query;
+pub mod rda;
+pub mod threshold;
+
+pub use allocation::{Allocation, Placement, ReplicaMap, Replicas};
+pub use load::{Load, QueryGenerator, QueryKind};
+pub use query::{ArbitraryQuery, Bucket, Query, RangeQuery};

@@ -1,0 +1,330 @@
+//! Query-load generators (paper §VI-C).
+//!
+//! Loads are expressed through `p^i_k`, the probability that a query of
+//! load `i` can optimally be retrieved in `k` disk accesses; once `k` is
+//! drawn, the bucket count `|Q|` is uniform in `[(k−1)·N + 1, k·N]`:
+//!
+//! * **Load 1** — the natural distribution of the query type: uniform
+//!   random shapes for range queries (expected size ≈ N²/4), each bucket
+//!   independently with probability ½ for arbitrary queries (expected
+//!   size N²/2).
+//! * **Load 2** — uniform `p²_k = 1/N` (expected size ≈ N²/2).
+//! * **Load 3** — geometric `p³_k = 2N / ((2N−1)·2^k)`, so
+//!   `p³_k = ½·p³_(k−1)`: much smaller queries (expected size ≈ 3N/2).
+//!
+//! Interpretation note (DESIGN.md): for range queries under Loads 2 and 3
+//! the paper does not specify how a target size maps to a rectangle; we
+//! draw the row count uniformly and set the column count to the nearest
+//! ratio, clamping to the grid — preserving the target size up to
+//! rounding.
+
+use crate::query::{ArbitraryQuery, Bucket, Query, RangeQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Which query type to generate (paper §VI-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Rectangular wraparound range queries.
+    Range,
+    /// Arbitrary bucket subsets.
+    Arbitrary,
+}
+
+/// The three query-size distributions of §VI-C.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Load {
+    /// Natural distribution of the query type.
+    Load1,
+    /// Uniform over optimal access counts.
+    Load2,
+    /// Geometric: small queries dominate.
+    Load3,
+}
+
+/// A generated query of either kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GeneratedQuery {
+    /// A rectangular range query.
+    Range(RangeQuery),
+    /// An arbitrary bucket set.
+    Arbitrary(ArbitraryQuery),
+}
+
+impl Query for GeneratedQuery {
+    fn buckets(&self, n: usize) -> Vec<Bucket> {
+        match self {
+            GeneratedQuery::Range(q) => q.buckets(n),
+            GeneratedQuery::Arbitrary(q) => q.buckets(n),
+        }
+    }
+
+    fn len(&self, n: usize) -> usize {
+        match self {
+            GeneratedQuery::Range(q) => q.len(n),
+            GeneratedQuery::Arbitrary(q) => q.len(n),
+        }
+    }
+}
+
+/// Deterministic generator of queries for an `N × N` grid.
+#[derive(Clone, Debug)]
+pub struct QueryGenerator {
+    n: usize,
+    kind: QueryKind,
+    load: Load,
+    rng: StdRng,
+}
+
+impl QueryGenerator {
+    /// Creates a generator for grid dimension `n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, kind: QueryKind, load: Load, seed: u64) -> QueryGenerator {
+        assert!(n > 0, "grid dimension must be positive");
+        QueryGenerator {
+            n,
+            kind,
+            load,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Grid dimension.
+    pub fn grid_size(&self) -> usize {
+        self.n
+    }
+
+    /// Generates the next query.
+    pub fn next_query(&mut self) -> GeneratedQuery {
+        match (self.kind, self.load) {
+            (QueryKind::Range, Load::Load1) => GeneratedQuery::Range(self.natural_range()),
+            (QueryKind::Arbitrary, Load::Load1) => {
+                GeneratedQuery::Arbitrary(self.natural_arbitrary())
+            }
+            (kind, load) => {
+                let k = match load {
+                    Load::Load2 => self.rng.gen_range(1..=self.n),
+                    Load::Load3 => self.geometric_k(),
+                    Load::Load1 => unreachable!("handled above"),
+                };
+                let q = self
+                    .rng
+                    .gen_range((k - 1) * self.n + 1..=k * self.n)
+                    .min(self.n * self.n);
+                match kind {
+                    QueryKind::Range => GeneratedQuery::Range(self.range_of_size(q)),
+                    QueryKind::Arbitrary => GeneratedQuery::Arbitrary(self.arbitrary_of_size(q)),
+                }
+            }
+        }
+    }
+
+    /// Generates a batch of queries.
+    pub fn take(&mut self, count: usize) -> Vec<GeneratedQuery> {
+        (0..count).map(|_| self.next_query()).collect()
+    }
+
+    /// Load-1 range query: uniform over all `(i, j, r, c)`.
+    fn natural_range(&mut self) -> RangeQuery {
+        RangeQuery::new(
+            self.rng.gen_range(0..self.n),
+            self.rng.gen_range(0..self.n),
+            self.rng.gen_range(1..=self.n),
+            self.rng.gen_range(1..=self.n),
+        )
+    }
+
+    /// Load-1 arbitrary query: each bucket independently with p = 1/2.
+    fn natural_arbitrary(&mut self) -> ArbitraryQuery {
+        let mut buckets = Vec::with_capacity(self.n * self.n / 2);
+        for row in 0..self.n as u32 {
+            for col in 0..self.n as u32 {
+                if self.rng.gen_bool(0.5) {
+                    buckets.push(Bucket::new(row, col));
+                }
+            }
+        }
+        if buckets.is_empty() {
+            buckets.push(Bucket::new(
+                self.rng.gen_range(0..self.n) as u32,
+                self.rng.gen_range(0..self.n) as u32,
+            ));
+        }
+        ArbitraryQuery::new(buckets)
+    }
+
+    /// Samples `k` with `p_k = 2N / ((2N−1)·2^k)`, truncated at `N`.
+    fn geometric_k(&mut self) -> usize {
+        let mut k = 1;
+        while k < self.n && self.rng.gen_bool(0.5) {
+            k += 1;
+        }
+        k
+    }
+
+    /// A range query of approximately `q` buckets.
+    fn range_of_size(&mut self, q: usize) -> RangeQuery {
+        let r = self.rng.gen_range(1..=self.n);
+        let c = (q.div_ceil(r)).clamp(1, self.n);
+        RangeQuery::new(
+            self.rng.gen_range(0..self.n),
+            self.rng.gen_range(0..self.n),
+            r,
+            c,
+        )
+    }
+
+    /// An arbitrary query of exactly `q` distinct buckets.
+    fn arbitrary_of_size(&mut self, q: usize) -> ArbitraryQuery {
+        let total = self.n * self.n;
+        let q = q.min(total);
+        if q * 2 <= total {
+            // Rejection sampling is cheap below half density.
+            let mut chosen = HashSet::with_capacity(q);
+            while chosen.len() < q {
+                chosen.insert(self.rng.gen_range(0..total));
+            }
+            ArbitraryQuery::new(
+                chosen
+                    .into_iter()
+                    .map(|i| Bucket::new((i / self.n) as u32, (i % self.n) as u32))
+                    .collect(),
+            )
+        } else {
+            // Dense query: partial Fisher-Yates over all indices.
+            let mut idx: Vec<usize> = (0..total).collect();
+            for i in 0..q {
+                let j = self.rng.gen_range(i..total);
+                idx.swap(i, j);
+            }
+            ArbitraryQuery::new(
+                idx[..q]
+                    .iter()
+                    .map(|&i| Bucket::new((i / self.n) as u32, (i % self.n) as u32))
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_size(n: usize, kind: QueryKind, load: Load, samples: usize) -> f64 {
+        let mut g = QueryGenerator::new(n, kind, load, 7);
+        let total: usize = (0..samples).map(|_| g.next_query().len(n)).sum();
+        total as f64 / samples as f64
+    }
+
+    #[test]
+    fn load1_range_mean_is_quarter_grid() {
+        // Expected size ((N+1)/2)² ≈ N²/4.
+        let n = 20;
+        let mean = mean_size(n, QueryKind::Range, Load::Load1, 2000);
+        let expect = ((n as f64 + 1.0) / 2.0).powi(2);
+        assert!(
+            (mean - expect).abs() < 0.15 * expect,
+            "mean {mean} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn load1_arbitrary_mean_is_half_grid() {
+        let n = 20;
+        let mean = mean_size(n, QueryKind::Arbitrary, Load::Load1, 500);
+        let expect = (n * n) as f64 / 2.0;
+        assert!(
+            (mean - expect).abs() < 0.1 * expect,
+            "mean {mean} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn load2_arbitrary_mean_is_half_grid() {
+        let n = 20;
+        let mean = mean_size(n, QueryKind::Arbitrary, Load::Load2, 2000);
+        let expect = (n * n) as f64 / 2.0;
+        assert!(
+            (mean - expect).abs() < 0.15 * expect,
+            "mean {mean} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn load3_arbitrary_mean_is_three_halves_n() {
+        let n = 20;
+        let mean = mean_size(n, QueryKind::Arbitrary, Load::Load3, 4000);
+        let expect = 1.5 * n as f64;
+        assert!(
+            (mean - expect).abs() < 0.25 * expect,
+            "mean {mean} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn load3_much_smaller_than_load2() {
+        let n = 30;
+        let m2 = mean_size(n, QueryKind::Arbitrary, Load::Load2, 500);
+        let m3 = mean_size(n, QueryKind::Arbitrary, Load::Load3, 500);
+        assert!(m3 * 5.0 < m2, "load3 {m3} should be far below load2 {m2}");
+    }
+
+    #[test]
+    fn arbitrary_queries_have_exact_size() {
+        let n = 15;
+        let mut g = QueryGenerator::new(n, QueryKind::Arbitrary, Load::Load2, 3);
+        for _ in 0..100 {
+            let q = g.next_query();
+            let b = q.buckets(n);
+            let unique: HashSet<_> = b.iter().collect();
+            assert_eq!(unique.len(), b.len(), "buckets must be distinct");
+            assert!((1..=n * n).contains(&b.len()));
+        }
+    }
+
+    #[test]
+    fn range_queries_fit_grid() {
+        let n = 9;
+        for load in [Load::Load1, Load::Load2, Load::Load3] {
+            let mut g = QueryGenerator::new(n, QueryKind::Range, load, 11);
+            for _ in 0..200 {
+                if let GeneratedQuery::Range(r) = g.next_query() {
+                    assert!(r.rows >= 1 && r.rows <= n);
+                    assert!(r.cols >= 1 && r.cols <= n);
+                    assert!(r.i < n && r.j < n);
+                } else {
+                    panic!("range generator produced arbitrary query");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = QueryGenerator::new(10, QueryKind::Arbitrary, Load::Load3, 5);
+        let mut b = QueryGenerator::new(10, QueryKind::Arbitrary, Load::Load3, 5);
+        for _ in 0..20 {
+            assert_eq!(a.next_query(), b.next_query());
+        }
+    }
+
+    #[test]
+    fn take_produces_count() {
+        let mut g = QueryGenerator::new(6, QueryKind::Range, Load::Load2, 1);
+        assert_eq!(g.take(17).len(), 17);
+    }
+
+    #[test]
+    fn dense_arbitrary_sampling_path() {
+        // Force the Fisher-Yates branch with a tiny grid and big k.
+        let mut g = QueryGenerator::new(3, QueryKind::Arbitrary, Load::Load2, 2);
+        for _ in 0..50 {
+            let q = g.next_query();
+            assert!(q.len(3) <= 9);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Dependent periodic allocation (paper §VI-A, third scheme).
+//!
+//! A two-dimensional allocation is *periodic* if
+//! `f(i, j) = (a₁·i + a₂·j) mod N` with `gcd(aᵢ, N) = 1` and `aᵢ ≠ 0`
+//! (Altiparmak & Tosun, "Equivalent disk allocations", TPDS 2012). The
+//! paper's dependent scheme uses a periodic first copy with low additive
+//! error and a *shifted* second copy:
+//! `g(i, j) = (f(i, j) + m) mod N`, `1 ≤ m ≤ N − 1`.
+//!
+//! Substitution note (see DESIGN.md): the reference tables of best
+//! coefficients from the TPDS paper are not available, so the first copy
+//! uses the golden-ratio multiplier — the canonical low-discrepancy lattice
+//! choice — adjusted to be coprime with `N`. For small `N` an exhaustive
+//! search ([`best_multiplier`]) over all coprime multipliers picks the one
+//! minimizing the worst-case additive error over every range-query shape.
+
+use crate::allocation::{standard_num_disks, Allocation, Placement, ReplicaSource, Replicas};
+use crate::query::Bucket;
+
+/// Greatest common divisor.
+pub(crate) fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// The multiplier `round(N / φ)` adjusted upward to the nearest value
+/// coprime with `N` (and at least 1). Golden-ratio lattices give provably
+/// low discrepancy for range queries.
+pub fn golden_ratio_multiplier(n: usize) -> usize {
+    if n == 1 {
+        return 0; // single disk: the multiplier is irrelevant
+    }
+    let phi = (1.0 + 5.0_f64.sqrt()) / 2.0;
+    let base = ((n as f64 / phi).round() as usize).clamp(1, n - 1);
+    // Search outward for a coprime multiplier.
+    for delta in 0..n {
+        for cand in [base.saturating_sub(delta), base + delta] {
+            if (1..n).contains(&cand) && gcd(cand, n) == 1 {
+                return cand;
+            }
+        }
+    }
+    1
+}
+
+/// Exhaustively finds the multiplier `a` (with `a₁ = 1`, `a₂ = a`) whose
+/// periodic allocation minimizes the worst-case additive error over all
+/// range-query shapes on an `n × n` grid. `O(n⁴)` — intended for small `n`
+/// and for validating [`golden_ratio_multiplier`].
+pub fn best_multiplier(n: usize) -> usize {
+    let mut best = (usize::MAX, 1);
+    for a in 1..n {
+        if gcd(a, n) != 1 {
+            continue;
+        }
+        let err = crate::metrics::max_additive_error_lattice(n, 1, a);
+        if err < best.0 {
+            best = (err, a);
+        }
+    }
+    best.1
+}
+
+/// A dependent periodic replicated allocation: first copy
+/// `f(i,j) = (a₁·i + a₂·j) mod N`; copy `k` is the shifted lattice
+/// `(f + shift_k) mod N` (`shift_0 = 0`). The paper evaluates `c = 2`;
+/// the general model supports any `c ≤ MAX_COPIES`
+/// ([`DependentPeriodicAllocation::with_copies`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DependentPeriodicAllocation {
+    n: usize,
+    a1: usize,
+    a2: usize,
+    copies: usize,
+    shifts: [usize; crate::allocation::MAX_COPIES],
+    placement: Placement,
+}
+
+impl DependentPeriodicAllocation {
+    /// Creates the two-copy scheme with explicit coefficients.
+    ///
+    /// # Panics
+    /// Panics if the periodicity conditions are violated (`aᵢ = 0` or
+    /// `gcd(aᵢ, N) ≠ 1` for `N > 1`) or `shift` is outside `1..N`.
+    pub fn with_coefficients(
+        n: usize,
+        a1: usize,
+        a2: usize,
+        shift: usize,
+        placement: Placement,
+    ) -> Self {
+        assert!(n > 1, "need at least 2 disks for a shifted copy");
+        assert!(a1 != 0 && gcd(a1, n) == 1, "a1={a1} violates gcd(a1,N)=1");
+        assert!(a2 != 0 && gcd(a2, n) == 1, "a2={a2} violates gcd(a2,N)=1");
+        assert!((1..n).contains(&shift), "shift must be in 1..N");
+        let mut shifts = [0usize; crate::allocation::MAX_COPIES];
+        shifts[1] = shift;
+        DependentPeriodicAllocation {
+            n,
+            a1,
+            a2,
+            copies: 2,
+            shifts,
+            placement,
+        }
+    }
+
+    /// The default instantiation used by the experiment harness: `a₁ = 1`,
+    /// `a₂` from the golden-ratio rule, shift `⌈N/2⌉` adjusted to `≥ 1`.
+    pub fn new(n: usize, placement: Placement) -> Self {
+        let a2 = golden_ratio_multiplier(n);
+        let shift = (n / 2).max(1);
+        Self::with_coefficients(n, 1, a2, shift, placement)
+    }
+
+    /// A `c`-copy variant: copy `k` is shifted by `k · ⌊N/c⌋` — the `c`
+    /// shifts are pairwise distinct, so on a single site every bucket's
+    /// replicas land on `c` distinct disks.
+    ///
+    /// # Panics
+    /// Panics unless `2 ≤ copies ≤ MAX_COPIES` and `n ≥ copies`.
+    pub fn with_copies(n: usize, copies: usize, placement: Placement) -> Self {
+        assert!(
+            (2..=crate::allocation::MAX_COPIES).contains(&copies),
+            "copies must be in 2..={}",
+            crate::allocation::MAX_COPIES
+        );
+        assert!(
+            n >= copies,
+            "need at least {copies} disks for {copies} distinct copies"
+        );
+        let a2 = golden_ratio_multiplier(n);
+        let step = (n / copies).max(1);
+        let mut shifts = [0usize; crate::allocation::MAX_COPIES];
+        for (k, s) in shifts.iter_mut().enumerate().take(copies) {
+            *s = (k * step) % n;
+        }
+        DependentPeriodicAllocation {
+            n,
+            a1: 1,
+            a2,
+            copies,
+            shifts,
+            placement,
+        }
+    }
+
+    /// Copy-1 disk for bucket `b` (the lattice function `f`).
+    #[inline]
+    pub fn f(&self, b: Bucket) -> usize {
+        (self.a1 * b.row as usize + self.a2 * b.col as usize) % self.n
+    }
+
+    /// Copy-2 disk within its own group (the shifted lattice `g`).
+    #[inline]
+    pub fn g(&self, b: Bucket) -> usize {
+        (self.f(b) + self.shifts[1]) % self.n
+    }
+
+    /// Copy-`k` disk within its own group.
+    #[inline]
+    pub fn copy(&self, k: usize, b: Bucket) -> usize {
+        debug_assert!(k < self.copies);
+        (self.f(b) + self.shifts[k]) % self.n
+    }
+}
+
+impl ReplicaSource for DependentPeriodicAllocation {
+    fn grid_size(&self) -> usize {
+        self.n
+    }
+
+    fn num_disks(&self) -> usize {
+        standard_num_disks(self.placement, self.n, self.copies)
+    }
+
+    fn replicas(&self, b: Bucket) -> Replicas {
+        let mut disks = [0usize; crate::allocation::MAX_COPIES];
+        for (k, d) in disks.iter_mut().enumerate().take(self.copies) {
+            *d = self.placement.global_disk(k, self.copy(k, b), self.n);
+        }
+        Replicas::from_slice(&disks[..self.copies])
+    }
+}
+
+impl Allocation for DependentPeriodicAllocation {
+    fn copies(&self) -> usize {
+        self.copies
+    }
+
+    fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    fn name(&self) -> &'static str {
+        "Dependent"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::ReplicaMap;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 8), 4);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(5, 0), 5);
+    }
+
+    #[test]
+    fn golden_multiplier_is_coprime() {
+        for n in 2..60 {
+            let a = golden_ratio_multiplier(n);
+            assert!(a >= 1 && a < n, "n={n} a={a}");
+            assert_eq!(gcd(a, n), 1, "n={n} a={a}");
+        }
+    }
+
+    #[test]
+    fn copies_are_balanced() {
+        let alloc = DependentPeriodicAllocation::new(7, Placement::PerSite);
+        let map = ReplicaMap::build(&alloc);
+        for d in 0..14 {
+            assert_eq!(map.buckets_on_disk(d), 7, "disk {d}");
+        }
+    }
+
+    #[test]
+    fn single_site_copies_differ() {
+        let alloc = DependentPeriodicAllocation::new(9, Placement::SingleSite);
+        for row in 0..9 {
+            for col in 0..9 {
+                let r = alloc.replicas(Bucket::new(row, col));
+                assert_ne!(r.disk(0), r.disk(1), "shifted copy must differ");
+            }
+        }
+    }
+
+    #[test]
+    fn shift_relation_holds() {
+        let alloc =
+            DependentPeriodicAllocation::with_coefficients(8, 1, 3, 2, Placement::SingleSite);
+        for row in 0..8 {
+            for col in 0..8 {
+                let b = Bucket::new(row, col);
+                assert_eq!(alloc.g(b), (alloc.f(b) + 2) % 8);
+            }
+        }
+    }
+
+    #[test]
+    fn periodicity_property() {
+        // f(i1+i2, j1+j2) = f(i1,j1) + f(i2,j2) mod N.
+        let alloc = DependentPeriodicAllocation::new(11, Placement::SingleSite);
+        for (i1, j1, i2, j2) in [
+            (0usize, 1usize, 3usize, 2usize),
+            (5, 5, 4, 9),
+            (10, 0, 0, 10),
+        ] {
+            let a = alloc.f(Bucket::new(i1 as u32, j1 as u32));
+            let b = alloc.f(Bucket::new(i2 as u32, j2 as u32));
+            let c = alloc.f(Bucket::new(
+                ((i1 + i2) % 11) as u32,
+                ((j1 + j2) % 11) as u32,
+            ));
+            assert_eq!((a + b) % 11, c);
+        }
+    }
+
+    #[test]
+    fn three_copy_variant_is_balanced_and_distinct() {
+        let alloc = DependentPeriodicAllocation::with_copies(9, 3, Placement::SingleSite);
+        assert_eq!(Allocation::copies(&alloc), 3);
+        assert_eq!(alloc.num_disks(), 9);
+        let map = ReplicaMap::build(&alloc);
+        for d in 0..9 {
+            assert_eq!(map.buckets_on_disk(d), 27, "3 copies × 9 per disk");
+        }
+        for row in 0..9u32 {
+            for col in 0..9u32 {
+                let r = alloc.replicas(Bucket::new(row, col));
+                assert_eq!(r.len(), 3);
+                let set: std::collections::HashSet<usize> = r.iter().collect();
+                assert_eq!(set.len(), 3, "copies must be on distinct disks");
+            }
+        }
+    }
+
+    #[test]
+    fn four_copy_per_site_variant() {
+        let alloc = DependentPeriodicAllocation::with_copies(5, 4, Placement::PerSite);
+        assert_eq!(alloc.num_disks(), 20);
+        for row in 0..5u32 {
+            for col in 0..5u32 {
+                let r = alloc.replicas(Bucket::new(row, col));
+                for k in 0..4 {
+                    let d = r.disk(k);
+                    assert!((k * 5..(k + 1) * 5).contains(&d), "copy {k} in its site");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "copies must be in")]
+    fn too_many_copies_rejected() {
+        DependentPeriodicAllocation::with_copies(8, 5, Placement::PerSite);
+    }
+
+    #[test]
+    fn best_multiplier_beats_or_matches_golden_on_small_grids() {
+        for n in [5usize, 7, 8] {
+            let best = best_multiplier(n);
+            let golden = golden_ratio_multiplier(n);
+            let be = crate::metrics::max_additive_error_lattice(n, 1, best);
+            let ge = crate::metrics::max_additive_error_lattice(n, 1, golden);
+            assert!(
+                be <= ge,
+                "n={n}: best {best}({be}) vs golden {golden}({ge})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gcd")]
+    fn non_coprime_coefficient_rejected() {
+        DependentPeriodicAllocation::with_coefficients(8, 2, 3, 1, Placement::SingleSite);
+    }
+
+    #[test]
+    #[should_panic(expected = "shift")]
+    fn zero_shift_rejected() {
+        DependentPeriodicAllocation::with_coefficients(8, 1, 3, 0, Placement::SingleSite);
+    }
+}

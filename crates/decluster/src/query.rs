@@ -1,0 +1,195 @@
+//! Query types: wraparound range queries and arbitrary queries (paper
+//! §VI-B).
+
+/// A bucket of the data grid, identified by its (row, column) coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bucket {
+    /// Row index.
+    pub row: u32,
+    /// Column index.
+    pub col: u32,
+}
+
+impl Bucket {
+    /// Creates a bucket at `(row, col)`.
+    pub const fn new(row: u32, col: u32) -> Bucket {
+        Bucket { row, col }
+    }
+}
+
+impl std::fmt::Display for Bucket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{},{}]", self.row, self.col)
+    }
+}
+
+/// Anything that selects a set of buckets from an `N × N` grid.
+pub trait Query {
+    /// The buckets requested, on a grid of dimension `n`.
+    fn buckets(&self, n: usize) -> Vec<Bucket>;
+
+    /// Number of buckets requested (`|Q|`).
+    fn len(&self, n: usize) -> usize {
+        self.buckets(n).len()
+    }
+
+    /// True if the query requests nothing.
+    fn is_empty(&self, n: usize) -> bool {
+        self.len(n) == 0
+    }
+}
+
+/// A rectangular wraparound range query, identified by the 4 parameters
+/// `(i, j, r, c)` of §VI-B: `(i, j)` is the top-left corner, `r`/`c` the
+/// number of rows/columns. Coordinates wrap around the grid edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RangeQuery {
+    /// Top-left row `i`.
+    pub i: usize,
+    /// Top-left column `j`.
+    pub j: usize,
+    /// Number of rows `r ≥ 1`.
+    pub rows: usize,
+    /// Number of columns `c ≥ 1`.
+    pub cols: usize,
+}
+
+impl RangeQuery {
+    /// Creates an `r × c` query anchored at `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if `rows == 0 || cols == 0`.
+    pub fn new(i: usize, j: usize, rows: usize, cols: usize) -> RangeQuery {
+        assert!(rows > 0 && cols > 0, "range query must be non-degenerate");
+        RangeQuery { i, j, rows, cols }
+    }
+
+    /// Number of buckets `r * c` (independent of the grid size as long as
+    /// `r, c ≤ N`).
+    pub fn area(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+impl Query for RangeQuery {
+    fn buckets(&self, n: usize) -> Vec<Bucket> {
+        assert!(
+            self.rows <= n && self.cols <= n,
+            "query shape {}x{} exceeds grid dimension {n}",
+            self.rows,
+            self.cols
+        );
+        let mut out = Vec::with_capacity(self.area());
+        for dr in 0..self.rows {
+            for dc in 0..self.cols {
+                out.push(Bucket::new(
+                    ((self.i + dr) % n) as u32,
+                    ((self.j + dc) % n) as u32,
+                ));
+            }
+        }
+        out
+    }
+
+    fn len(&self, _n: usize) -> usize {
+        self.area()
+    }
+}
+
+/// An arbitrary query: any subset of the grid's buckets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArbitraryQuery {
+    buckets: Vec<Bucket>,
+}
+
+impl ArbitraryQuery {
+    /// Creates an arbitrary query from a bucket set, deduplicating.
+    pub fn new(mut buckets: Vec<Bucket>) -> ArbitraryQuery {
+        buckets.sort_unstable();
+        buckets.dedup();
+        ArbitraryQuery { buckets }
+    }
+
+    /// The requested buckets.
+    pub fn as_slice(&self) -> &[Bucket] {
+        &self.buckets
+    }
+}
+
+impl Query for ArbitraryQuery {
+    fn buckets(&self, n: usize) -> Vec<Bucket> {
+        debug_assert!(self
+            .buckets
+            .iter()
+            .all(|b| (b.row as usize) < n && (b.col as usize) < n));
+        self.buckets.clone()
+    }
+
+    fn len(&self, _n: usize) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_q1_is_3x2() {
+        // The paper's q1 is a 3×2 query with 6 buckets [0,0]..[2,1].
+        let q = RangeQuery::new(0, 0, 3, 2);
+        let b = q.buckets(7);
+        assert_eq!(b.len(), 6);
+        assert!(b.contains(&Bucket::new(0, 0)));
+        assert!(b.contains(&Bucket::new(2, 1)));
+        assert!(!b.contains(&Bucket::new(3, 0)));
+    }
+
+    #[test]
+    fn range_query_wraps_around() {
+        let q = RangeQuery::new(3, 3, 2, 2);
+        let b = q.buckets(4);
+        assert_eq!(b.len(), 4);
+        assert!(b.contains(&Bucket::new(3, 3)));
+        assert!(b.contains(&Bucket::new(0, 0)));
+        assert!(b.contains(&Bucket::new(3, 0)));
+        assert!(b.contains(&Bucket::new(0, 3)));
+    }
+
+    #[test]
+    fn full_grid_query() {
+        let q = RangeQuery::new(0, 0, 3, 3);
+        let b = q.buckets(3);
+        assert_eq!(b.len(), 9);
+        let unique: std::collections::HashSet<_> = b.into_iter().collect();
+        assert_eq!(unique.len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-degenerate")]
+    fn degenerate_range_rejected() {
+        RangeQuery::new(0, 0, 0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds grid")]
+    fn oversized_range_rejected() {
+        RangeQuery::new(0, 0, 5, 5).buckets(4);
+    }
+
+    #[test]
+    fn arbitrary_query_deduplicates() {
+        let q = ArbitraryQuery::new(vec![
+            Bucket::new(1, 1),
+            Bucket::new(0, 0),
+            Bucket::new(1, 1),
+        ]);
+        assert_eq!(q.len(8), 2);
+        assert_eq!(q.as_slice()[0], Bucket::new(0, 0));
+    }
+
+    #[test]
+    fn bucket_display() {
+        assert_eq!(Bucket::new(2, 1).to_string(), "[2,1]");
+    }
+}

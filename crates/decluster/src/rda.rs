@@ -1,0 +1,187 @@
+//! Random Duplicate Allocation (RDA) — Sanders, Egner & Korst, SODA 2000.
+//!
+//! Each bucket is stored on two disks chosen at random. For single-site
+//! placement the two disks are distinct; for per-site placement each copy
+//! picks a random disk within its own site (the sites are disjoint, so
+//! distinctness is automatic). Retrieval cost of RDA is at most one above
+//! optimal with high probability for single-site retrieval.
+
+use crate::allocation::{standard_num_disks, Allocation, Placement, ReplicaSource, Replicas};
+use crate::query::Bucket;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random Duplicate Allocation over an `N × N` grid.
+#[derive(Clone, Debug)]
+pub struct RandomDuplicateAllocation {
+    n: usize,
+    copies: usize,
+    placement: Placement,
+    /// Precomputed copy-local disk per (bucket, copy).
+    table: Vec<[u32; crate::allocation::MAX_COPIES]>,
+}
+
+impl RandomDuplicateAllocation {
+    /// Generates an RDA with `copies` copies from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, `copies < 1`, `copies > MAX_COPIES`, or
+    /// single-site placement is requested with `copies > n` (distinct disks
+    /// would be impossible).
+    pub fn new(n: usize, copies: usize, placement: Placement, seed: u64) -> Self {
+        assert!(n > 0, "grid dimension must be positive");
+        assert!(
+            (1..=crate::allocation::MAX_COPIES).contains(&copies),
+            "copies must be in 1..={}",
+            crate::allocation::MAX_COPIES
+        );
+        if placement == Placement::SingleSite {
+            assert!(
+                copies <= n,
+                "cannot place {copies} distinct copies on {n} disks"
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut table = Vec::with_capacity(n * n);
+        for _ in 0..n * n {
+            let mut picks = [0u32; crate::allocation::MAX_COPIES];
+            match placement {
+                Placement::PerSite => {
+                    for p in picks.iter_mut().take(copies) {
+                        *p = rng.gen_range(0..n) as u32;
+                    }
+                }
+                Placement::SingleSite => {
+                    // Distinct disks per bucket (rejection sampling; c ≤ 4
+                    // makes this cheap).
+                    let mut chosen = 0usize;
+                    while chosen < copies {
+                        let d = rng.gen_range(0..n) as u32;
+                        if !picks[..chosen].contains(&d) {
+                            picks[chosen] = d;
+                            chosen += 1;
+                        }
+                    }
+                }
+            }
+            table.push(picks);
+        }
+        RandomDuplicateAllocation {
+            n,
+            copies,
+            placement,
+            table,
+        }
+    }
+
+    /// Two copies, one complete copy per site (the paper's generalized
+    /// setting).
+    pub fn two_site(n: usize, seed: u64) -> Self {
+        Self::new(n, 2, Placement::PerSite, seed)
+    }
+}
+
+impl ReplicaSource for RandomDuplicateAllocation {
+    fn grid_size(&self) -> usize {
+        self.n
+    }
+
+    fn num_disks(&self) -> usize {
+        standard_num_disks(self.placement, self.n, self.copies)
+    }
+
+    fn replicas(&self, b: Bucket) -> Replicas {
+        let picks = &self.table[b.row as usize * self.n + b.col as usize];
+        let mut disks = [0usize; crate::allocation::MAX_COPIES];
+        for k in 0..self.copies {
+            disks[k] = self.placement.global_disk(k, picks[k] as usize, self.n);
+        }
+        Replicas::from_slice(&disks[..self.copies])
+    }
+}
+
+impl Allocation for RandomDuplicateAllocation {
+    fn copies(&self) -> usize {
+        self.copies
+    }
+
+    fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    fn name(&self) -> &'static str {
+        "RDA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_site_copies_are_distinct() {
+        let a = RandomDuplicateAllocation::new(7, 2, Placement::SingleSite, 3);
+        for row in 0..7 {
+            for col in 0..7 {
+                let r = a.replicas(Bucket::new(row, col));
+                assert_eq!(r.len(), 2);
+                assert_ne!(r.disk(0), r.disk(1));
+                assert!(r.disk(0) < 7 && r.disk(1) < 7);
+            }
+        }
+    }
+
+    #[test]
+    fn per_site_copies_land_in_their_sites() {
+        let a = RandomDuplicateAllocation::two_site(10, 5);
+        assert_eq!(a.num_disks(), 20);
+        for row in 0..10 {
+            for col in 0..10 {
+                let r = a.replicas(Bucket::new(row, col));
+                assert!(r.disk(0) < 10, "copy 1 in site 1");
+                assert!((10..20).contains(&r.disk(1)), "copy 2 in site 2");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = RandomDuplicateAllocation::two_site(8, 42);
+        let b = RandomDuplicateAllocation::two_site(8, 42);
+        for row in 0..8 {
+            for col in 0..8 {
+                let bk = Bucket::new(row, col);
+                assert_eq!(a.replicas(bk), b.replicas(bk));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = RandomDuplicateAllocation::two_site(8, 1);
+        let b = RandomDuplicateAllocation::two_site(8, 2);
+        let same = (0..8)
+            .flat_map(|r| (0..8).map(move |c| (r, c)))
+            .all(|(r, c)| a.replicas(Bucket::new(r, c)) == b.replicas(Bucket::new(r, c)));
+        assert!(!same);
+    }
+
+    #[test]
+    fn roughly_balanced() {
+        // Each of the 2n disks should hold about n/2 ... 2n buckets out of
+        // n² (expected n); allow a generous band.
+        let n = 20;
+        let a = RandomDuplicateAllocation::two_site(n, 9);
+        let map = crate::allocation::ReplicaMap::build(&a);
+        for d in 0..2 * n {
+            let cnt = map.buckets_on_disk(d);
+            assert!(cnt > n / 4 && cnt < 3 * n, "disk {d} holds {cnt}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct copies")]
+    fn too_many_single_site_copies_rejected() {
+        RandomDuplicateAllocation::new(2, 3, Placement::SingleSite, 0);
+    }
+}

@@ -1,0 +1,354 @@
+//! Threshold-based declustering (Tosun, *Information Sciences* 2007) and
+//! orthogonal complements of arbitrary balanced first copies.
+//!
+//! A single-copy declustering has **threshold** `T` when every range query
+//! with at most `T` buckets is retrieved optimally (one access per disk).
+//! The threshold-based scheme of \[44\] — the paper's first copy for its
+//! Orthogonal allocation — picks the allocation maximizing `T`.
+//!
+//! This module implements:
+//!
+//! * [`threshold_of`] — the exact threshold of any single-copy allocation
+//!   (exhaustive over shapes and anchors; meant for the moderate `N` of
+//!   the paper's experiments);
+//! * [`ThresholdAllocation`] — a single-copy scheme choosing, among
+//!   periodic lattices, the one with the largest threshold (ties broken
+//!   by worst-case additive error);
+//! * [`orthogonal_complement`] — a second copy for *any* balanced first
+//!   copy such that every (copy-1 disk, copy-2 disk) pair appears exactly
+//!   once;
+//! * [`ThresholdOrthogonalAllocation`] — the two combined: the paper's
+//!   Orthogonal scheme with a threshold-based first copy.
+
+use crate::allocation::{standard_num_disks, Allocation, Placement, ReplicaSource, Replicas};
+use crate::metrics::max_additive_error_lattice;
+use crate::periodic::gcd;
+use crate::query::Bucket;
+
+/// Exact threshold of the single-copy allocation `disk_of` on an `n × n`
+/// wraparound grid: the largest `T ≤ n` such that **every** range query
+/// with at most `T` buckets touches as many distinct disks as it has
+/// buckets.
+///
+/// Complexity `O(n³ · T)` over anchors × shapes; fine for the `n ≤ ~30`
+/// used in scheme construction.
+pub fn threshold_of<F>(n: usize, disk_of: F) -> usize
+where
+    F: Fn(Bucket) -> usize,
+{
+    let mut counts = vec![0u32; n];
+    let mut threshold = n;
+    for r in 1..=n {
+        for c in 1..=n {
+            let area = r * c;
+            if area > n || area > threshold {
+                continue;
+            }
+            for i in 0..n {
+                'anchor: for j in 0..n {
+                    counts.iter_mut().for_each(|x| *x = 0);
+                    for dr in 0..r {
+                        for dc in 0..c {
+                            let b = Bucket::new(((i + dr) % n) as u32, ((j + dc) % n) as u32);
+                            let d = disk_of(b);
+                            counts[d] += 1;
+                            if counts[d] > 1 {
+                                // This query of `area` buckets is
+                                // suboptimal: the threshold is below it.
+                                threshold = threshold.min(area - 1);
+                                break 'anchor;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    threshold
+}
+
+/// A single-copy threshold-based declustering: the periodic lattice
+/// `f(i, j) = (i + a·j) mod N` whose threshold is maximal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThresholdAllocation {
+    n: usize,
+    /// The chosen column multiplier.
+    pub multiplier: usize,
+    /// The achieved threshold.
+    pub threshold: usize,
+}
+
+impl ThresholdAllocation {
+    /// Searches all coprime lattice multipliers for the largest threshold.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> ThresholdAllocation {
+        assert!(n > 0, "grid dimension must be positive");
+        if n == 1 {
+            return ThresholdAllocation {
+                n,
+                multiplier: 0,
+                threshold: 1,
+            };
+        }
+        let mut best: Option<(usize, usize, usize)> = None; // (thr, -err, a)
+        for a in 1..n {
+            if gcd(a, n) != 1 {
+                continue;
+            }
+            let thr = threshold_of(n, |b| (b.row as usize + a * b.col as usize) % n);
+            let err = max_additive_error_lattice(n, 1, a);
+            let better = match best {
+                None => true,
+                Some((bt, be, _)) => thr > bt || (thr == bt && err < be),
+            };
+            if better {
+                best = Some((thr, err, a));
+            }
+        }
+        let (threshold, _, multiplier) = best.expect("n >= 2 has a coprime multiplier");
+        ThresholdAllocation {
+            n,
+            multiplier,
+            threshold,
+        }
+    }
+
+    /// Grid dimension.
+    pub fn grid_size(&self) -> usize {
+        self.n
+    }
+
+    /// Disk of bucket `b` (single copy).
+    #[inline]
+    pub fn disk_of(&self, b: Bucket) -> usize {
+        (b.row as usize + self.multiplier * b.col as usize) % self.n
+    }
+
+    /// The full first-copy table in row-major order.
+    pub fn table(&self) -> Vec<u32> {
+        let mut t = Vec::with_capacity(self.n * self.n);
+        for row in 0..self.n as u32 {
+            for col in 0..self.n as u32 {
+                t.push(self.disk_of(Bucket::new(row, col)) as u32);
+            }
+        }
+        t
+    }
+}
+
+/// Builds a second copy for an arbitrary **balanced** first copy (each
+/// disk holds exactly `N` buckets) such that every ordered
+/// (copy-1 disk, copy-2 disk) pair appears exactly once.
+///
+/// Construction: group the buckets by first-copy disk — `N` groups of `N`
+/// buckets — and assign the second-copy disks `0..N` within each group.
+/// To keep the second copy useful as a declustering in its own right, the
+/// buckets of each group are assigned in column order with a rotating
+/// offset, spreading consecutive columns over distinct disks.
+///
+/// # Panics
+///
+/// Panics if `first` is not a balanced allocation over `n` disks.
+pub fn orthogonal_complement(n: usize, first: &[u32]) -> Vec<u32> {
+    assert_eq!(first.len(), n * n, "first copy must cover the grid");
+    let mut groups: Vec<Vec<usize>> = vec![Vec::with_capacity(n); n];
+    for (idx, &d) in first.iter().enumerate() {
+        assert!((d as usize) < n, "disk {d} out of range");
+        groups[d as usize].push(idx);
+    }
+    for (d, g) in groups.iter().enumerate() {
+        assert_eq!(
+            g.len(),
+            n,
+            "disk {d} holds {} buckets, expected {n}",
+            g.len()
+        );
+    }
+    let mut second = vec![0u32; n * n];
+    for (d, group) in groups.iter().enumerate() {
+        // `group` is in row-major order; rotate by the group's disk id so
+        // that neighbouring groups use different disks for neighbouring
+        // buckets.
+        for (rank, &idx) in group.iter().enumerate() {
+            second[idx] = ((rank + d) % n) as u32;
+        }
+    }
+    second
+}
+
+/// The paper's Orthogonal allocation with a threshold-based first copy:
+/// copy 1 from [`ThresholdAllocation`], copy 2 its orthogonal complement.
+#[derive(Clone, Debug)]
+pub struct ThresholdOrthogonalAllocation {
+    n: usize,
+    placement: Placement,
+    first: Vec<u32>,
+    second: Vec<u32>,
+    /// Threshold achieved by the first copy.
+    pub threshold: usize,
+}
+
+impl ThresholdOrthogonalAllocation {
+    /// Builds the scheme for an `n × n` grid.
+    pub fn new(n: usize, placement: Placement) -> Self {
+        let base = ThresholdAllocation::new(n);
+        let first = base.table();
+        let second = orthogonal_complement(n, &first);
+        ThresholdOrthogonalAllocation {
+            n,
+            placement,
+            first,
+            second,
+            threshold: base.threshold,
+        }
+    }
+
+    /// Copy-1 disk (within its group).
+    #[inline]
+    pub fn f(&self, b: Bucket) -> usize {
+        self.first[b.row as usize * self.n + b.col as usize] as usize
+    }
+
+    /// Copy-2 disk (within its group).
+    #[inline]
+    pub fn g(&self, b: Bucket) -> usize {
+        self.second[b.row as usize * self.n + b.col as usize] as usize
+    }
+}
+
+impl ReplicaSource for ThresholdOrthogonalAllocation {
+    fn grid_size(&self) -> usize {
+        self.n
+    }
+
+    fn num_disks(&self) -> usize {
+        standard_num_disks(self.placement, self.n, 2)
+    }
+
+    fn replicas(&self, b: Bucket) -> Replicas {
+        let d0 = self.placement.global_disk(0, self.f(b), self.n);
+        let d1 = self.placement.global_disk(1, self.g(b), self.n);
+        Replicas::from_slice(&[d0, d1])
+    }
+}
+
+impl Allocation for ThresholdOrthogonalAllocation {
+    fn copies(&self) -> usize {
+        2
+    }
+
+    fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    fn name(&self) -> &'static str {
+        "Threshold-Orthogonal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::ReplicaMap;
+    use std::collections::HashSet;
+
+    #[test]
+    fn threshold_of_column_allocation_is_one() {
+        // All buckets of a column on one disk: any 2-bucket vertical query
+        // is suboptimal, but horizontal pairs are fine → threshold 1? A
+        // 1x2 query hits two distinct columns → optimal; 2x1 hits one
+        // disk twice → threshold is 1.
+        let t = threshold_of(5, |b| b.col as usize);
+        assert_eq!(t, 1);
+    }
+
+    #[test]
+    fn threshold_of_good_lattice_is_larger() {
+        let n = 13;
+        let a = crate::periodic::golden_ratio_multiplier(n);
+        let t = threshold_of(n, |b| (b.row as usize + a * b.col as usize) % n);
+        assert!(t >= 4, "threshold {t} unexpectedly small for n={n}");
+    }
+
+    #[test]
+    fn threshold_allocation_maximizes() {
+        for n in [5usize, 7, 8, 13] {
+            let best = ThresholdAllocation::new(n);
+            for a in 1..n {
+                if gcd(a, n) != 1 {
+                    continue;
+                }
+                let t = threshold_of(n, |b| (b.row as usize + a * b.col as usize) % n);
+                assert!(
+                    best.threshold >= t,
+                    "n={n}: a={a} has threshold {t} > chosen {}",
+                    best.threshold
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_allocation_is_balanced() {
+        let alloc = ThresholdAllocation::new(9);
+        let mut counts = [0usize; 9];
+        for d in alloc.table() {
+            counts[d as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 9));
+    }
+
+    #[test]
+    fn complement_is_orthogonal_and_balanced() {
+        for n in [4usize, 7, 10] {
+            let base = ThresholdAllocation::new(n);
+            let first = base.table();
+            let second = orthogonal_complement(n, &first);
+            let mut pairs = HashSet::new();
+            let mut counts = vec![0usize; n];
+            for i in 0..n * n {
+                assert!(pairs.insert((first[i], second[i])), "n={n} pair repeated");
+                counts[second[i] as usize] += 1;
+            }
+            assert_eq!(pairs.len(), n * n);
+            assert!(counts.iter().all(|&c| c == n), "second copy balanced");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4")]
+    fn complement_rejects_unbalanced_first_copy() {
+        let first = vec![0u32; 16]; // everything on disk 0
+        orthogonal_complement(4, &first);
+    }
+
+    #[test]
+    fn threshold_orthogonal_allocation_properties() {
+        let alloc = ThresholdOrthogonalAllocation::new(7, Placement::PerSite);
+        assert_eq!(alloc.num_disks(), 14);
+        assert_eq!(Allocation::copies(&alloc), 2);
+        assert!(alloc.threshold >= 2);
+        let map = ReplicaMap::build(&alloc);
+        for d in 0..14 {
+            assert_eq!(map.buckets_on_disk(d), 7, "disk {d}");
+        }
+        // Pairwise orthogonality through the public interface.
+        let mut pairs = HashSet::new();
+        for row in 0..7u32 {
+            for col in 0..7u32 {
+                let r = map.replicas(Bucket::new(row, col));
+                assert!(pairs.insert((r.disk(0), r.disk(1))));
+            }
+        }
+        assert_eq!(pairs.len(), 49);
+    }
+
+    #[test]
+    fn single_disk_grid_threshold() {
+        let alloc = ThresholdAllocation::new(1);
+        assert_eq!(alloc.threshold, 1);
+        assert_eq!(alloc.disk_of(Bucket::new(0, 0)), 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Flow decomposition: express an s-t flow as a sum of source-to-sink
+//! paths (plus any circulation cycles).
+//!
+//! Used to explain retrieval schedules (each unit path is one bucket's
+//! route `s → bucket → disk → t`) and as a verification aid: the path
+//! amounts must sum to the flow value.
+
+use crate::graph::{EdgeId, FlowGraph, VertexId};
+
+/// One component of a decomposition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathFlow {
+    /// Forward edges from `s` to `t` (or around a cycle).
+    pub edges: Vec<EdgeId>,
+    /// Amount of flow carried.
+    pub amount: i64,
+    /// True if this component is a cycle (carries no s-t value).
+    pub is_cycle: bool,
+}
+
+/// Decomposes the flow stored in `g` into s-t paths and cycles.
+///
+/// The graph is not modified (the walk uses a scratch copy of the flow
+/// values). Path amounts sum to the net inflow at `t`; cycle amounts are
+/// circulation that contributes nothing to the flow value.
+pub fn decompose(g: &FlowGraph, s: VertexId, t: VertexId) -> Vec<PathFlow> {
+    let mut flow: Vec<i64> = (0..g.num_edge_slots()).map(|e| g.flow(e)).collect();
+    let mut out = Vec::new();
+    let n = g.num_vertices();
+
+    // Repeatedly walk positive-flow forward edges from s; detect cycles by
+    // tracking the walk's visit order.
+    loop {
+        // Find an outgoing saturated edge at s.
+        let start = g
+            .out_edges(s)
+            .iter()
+            .map(|&e| e as EdgeId)
+            .find(|&e| e % 2 == 0 && flow[e] > 0);
+        let Some(first) = start else { break };
+        let mut visited_at: Vec<Option<usize>> = vec![None; n];
+        let mut walk: Vec<EdgeId> = vec![first];
+        visited_at[s] = Some(0);
+        let mut cur = g.target(first);
+        loop {
+            if cur == t {
+                // Path found; bottleneck and subtract.
+                let amount = walk.iter().map(|&e| flow[e]).min().expect("non-empty");
+                for &e in &walk {
+                    flow[e] -= amount;
+                    flow[e ^ 1] += amount;
+                }
+                out.push(PathFlow {
+                    edges: walk,
+                    amount,
+                    is_cycle: false,
+                });
+                break;
+            }
+            if let Some(pos) = visited_at[cur] {
+                // Cycle: cancel the looping suffix, keep the prefix for a
+                // future walk (simplest: restart from scratch).
+                let cycle: Vec<EdgeId> = walk.split_off(pos);
+                let amount = cycle.iter().map(|&e| flow[e]).min().expect("non-empty");
+                for &e in &cycle {
+                    flow[e] -= amount;
+                    flow[e ^ 1] += amount;
+                }
+                out.push(PathFlow {
+                    edges: cycle,
+                    amount,
+                    is_cycle: true,
+                });
+                break;
+            }
+            visited_at[cur] = Some(walk.len());
+            let next = g
+                .out_edges(cur)
+                .iter()
+                .map(|&e| e as EdgeId)
+                .find(|&e| e % 2 == 0 && flow[e] > 0)
+                .unwrap_or_else(|| {
+                    panic!("flow conservation violated at vertex {cur} during decomposition")
+                });
+            walk.push(next);
+            cur = g.target(next);
+        }
+    }
+
+    // Remaining positive flow (disconnected circulations not reachable
+    // from s): cancel them as cycles.
+    loop {
+        let seed = (0..g.num_edge_slots()).step_by(2).find(|&e| flow[e] > 0);
+        let Some(first) = seed else { break };
+        let origin = g.source(first);
+        let mut visited_at: Vec<Option<usize>> = vec![None; n];
+        visited_at[origin] = Some(0);
+        let mut walk = vec![first];
+        let mut cur = g.target(first);
+        loop {
+            if let Some(pos) = visited_at[cur] {
+                let cycle: Vec<EdgeId> = walk.split_off(pos);
+                let amount = cycle.iter().map(|&e| flow[e]).min().expect("non-empty");
+                for &e in &cycle {
+                    flow[e] -= amount;
+                    flow[e ^ 1] += amount;
+                }
+                out.push(PathFlow {
+                    edges: cycle,
+                    amount,
+                    is_cycle: true,
+                });
+                break;
+            }
+            visited_at[cur] = Some(walk.len());
+            let next = g
+                .out_edges(cur)
+                .iter()
+                .map(|&e| e as EdgeId)
+                .find(|&e| e % 2 == 0 && flow[e] > 0)
+                .unwrap_or_else(|| {
+                    panic!("flow conservation violated at vertex {cur} during decomposition")
+                });
+            walk.push(next);
+            cur = g.target(next);
+        }
+    }
+    out
+}
+
+/// Sum of the s-t path amounts in a decomposition.
+pub fn path_value(decomposition: &[PathFlow]) -> i64 {
+    decomposition
+        .iter()
+        .filter(|p| !p.is_cycle)
+        .map(|p| p.amount)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::push_relabel::PushRelabel;
+
+    fn clrs() -> (FlowGraph, VertexId, VertexId) {
+        let mut g = FlowGraph::new(6);
+        g.add_edge(0, 1, 16);
+        g.add_edge(0, 2, 13);
+        g.add_edge(1, 3, 12);
+        g.add_edge(2, 1, 4);
+        g.add_edge(2, 4, 14);
+        g.add_edge(3, 2, 9);
+        g.add_edge(3, 5, 20);
+        g.add_edge(4, 3, 7);
+        g.add_edge(4, 5, 4);
+        (g, 0, 5)
+    }
+
+    #[test]
+    fn decomposition_value_matches_flow() {
+        let (mut g, s, t) = clrs();
+        let value = PushRelabel::new().max_flow(&mut g, s, t);
+        let d = decompose(&g, s, t);
+        assert_eq!(path_value(&d), value);
+        for p in &d {
+            assert!(p.amount > 0);
+            if !p.is_cycle {
+                assert_eq!(g.source(p.edges[0]), s);
+                assert_eq!(g.target(*p.edges.last().unwrap()), t);
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_edge_consistent() {
+        let (mut g, s, t) = clrs();
+        PushRelabel::new().max_flow(&mut g, s, t);
+        for p in decompose(&g, s, t) {
+            for w in p.edges.windows(2) {
+                assert_eq!(g.target(w[0]), g.source(w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_flow_decomposes_to_nothing() {
+        let (g, s, t) = clrs();
+        assert!(decompose(&g, s, t).is_empty());
+    }
+
+    #[test]
+    fn pure_cycle_is_detected() {
+        let mut g = FlowGraph::new(4);
+        // s and t disconnected from a 2-cycle carrying circulation.
+        let a = g.add_edge(2, 3, 5);
+        let b = g.add_edge(3, 2, 5);
+        g.push(a, 3);
+        g.push(b, 3);
+        let d = decompose(&g, 0, 1);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].is_cycle);
+        assert_eq!(d[0].amount, 3);
+        assert_eq!(path_value(&d), 0);
+    }
+
+    #[test]
+    fn unit_retrieval_paths_have_length_three() {
+        // A retrieval-shaped network: s -> b1,b2 -> d1,d2 -> t.
+        let mut g = FlowGraph::new(6);
+        let (s, b1, b2, d1, d2, t) = (0, 1, 2, 3, 4, 5);
+        g.add_edge(s, b1, 1);
+        g.add_edge(s, b2, 1);
+        g.add_edge(b1, d1, 1);
+        g.add_edge(b2, d2, 1);
+        g.add_edge(d1, t, 1);
+        g.add_edge(d2, t, 1);
+        let v = PushRelabel::new().max_flow(&mut g, s, t);
+        assert_eq!(v, 2);
+        let d = decompose(&g, s, t);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|p| p.edges.len() == 3 && p.amount == 1));
+    }
+}

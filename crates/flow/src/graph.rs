@@ -1,0 +1,350 @@
+//! Residual flow-graph arena.
+//!
+//! Edges are stored in pairs: for every forward edge `e` added through
+//! [`FlowGraph::add_edge`], the reverse (residual) edge is `e ^ 1`. The
+//! reverse edge has capacity 0 and its flow mirrors the forward edge's flow
+//! negated, so `residual(e ^ 1) == flow(e)`.
+//!
+//! Capacities are mutable after construction ([`FlowGraph::set_cap`]): the
+//! integrated retrieval algorithms of the paper repeatedly *increase*
+//! disk-edge capacities while keeping the flow computed so far, so the graph
+//! is designed to keep flow and capacity as separate arrays rather than a
+//! single residual-capacity array.
+
+/// Index of a vertex in a [`FlowGraph`].
+pub type VertexId = usize;
+
+/// Index of a directed edge in a [`FlowGraph`]. The reverse edge of `e` is
+/// always `e ^ 1`.
+pub type EdgeId = usize;
+
+/// A directed flow network with mutable capacities and explicit flow state.
+///
+/// The graph is append-only in topology (vertices and edges can be added,
+/// never removed); capacities and flows are mutable. This matches the
+/// retrieval workload: the network shape is fixed per query while disk-edge
+/// capacities evolve during the budget search.
+#[derive(Clone, Debug, Default)]
+pub struct FlowGraph {
+    /// `head[e]` is the target vertex of edge `e`.
+    head: Vec<u32>,
+    /// Capacity of each edge. Reverse edges have capacity 0.
+    cap: Vec<i64>,
+    /// Current flow on each edge; `flow[e ^ 1] == -flow[e]`.
+    flow: Vec<i64>,
+    /// Outgoing edge ids (forward and reverse) per vertex.
+    adj: Vec<Vec<u32>>,
+}
+
+impl FlowGraph {
+    /// Creates an empty graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowGraph {
+            head: Vec::new(),
+            cap: Vec::new(),
+            flow: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Creates an empty graph with `n` vertices, reserving space for
+    /// `edges` forward edges (twice that many edge slots).
+    pub fn with_capacity(n: usize, edges: usize) -> Self {
+        let mut g = FlowGraph {
+            head: Vec::with_capacity(2 * edges),
+            cap: Vec::with_capacity(2 * edges),
+            flow: Vec::with_capacity(2 * edges),
+            adj: Vec::with_capacity(n),
+        };
+        g.adj.resize(n, Vec::new());
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of directed edge slots (twice the number of added edges).
+    #[inline]
+    pub fn num_edge_slots(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Number of forward edges added via [`FlowGraph::add_edge`].
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.head.len() / 2
+    }
+
+    /// Adds a vertex and returns its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Adds a forward edge `u -> v` with capacity `cap` and its paired
+    /// reverse edge `v -> u` with capacity 0. Returns the forward edge id
+    /// (always even).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range or `cap < 0`.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, cap: i64) -> EdgeId {
+        assert!(u < self.adj.len(), "source vertex {u} out of range");
+        assert!(v < self.adj.len(), "target vertex {v} out of range");
+        assert!(cap >= 0, "negative capacity {cap}");
+        let e = self.head.len();
+        self.head.push(v as u32);
+        self.cap.push(cap);
+        self.flow.push(0);
+        self.head.push(u as u32);
+        self.cap.push(0);
+        self.flow.push(0);
+        self.adj[u].push(e as u32);
+        self.adj[v].push((e + 1) as u32);
+        e
+    }
+
+    /// Target vertex of edge `e`.
+    #[inline]
+    pub fn target(&self, e: EdgeId) -> VertexId {
+        self.head[e] as usize
+    }
+
+    /// Source vertex of edge `e` (the target of its reverse edge).
+    #[inline]
+    pub fn source(&self, e: EdgeId) -> VertexId {
+        self.head[e ^ 1] as usize
+    }
+
+    /// Capacity of edge `e`.
+    #[inline]
+    pub fn cap(&self, e: EdgeId) -> i64 {
+        self.cap[e]
+    }
+
+    /// Sets the capacity of edge `e`.
+    ///
+    /// The integrated algorithms only ever *raise* capacities while flow is
+    /// conserved; lowering a capacity below the current flow leaves the
+    /// stored flow infeasible, which callers must handle (the binary
+    /// capacity-scaling driver restores a compatible flow snapshot first).
+    #[inline]
+    pub fn set_cap(&mut self, e: EdgeId, cap: i64) {
+        debug_assert!(cap >= 0, "negative capacity {cap}");
+        self.cap[e] = cap;
+    }
+
+    /// Current flow on edge `e` (negative on reverse edges).
+    #[inline]
+    pub fn flow(&self, e: EdgeId) -> i64 {
+        self.flow[e]
+    }
+
+    /// Residual capacity of edge `e`: `cap(e) - flow(e)`.
+    #[inline]
+    pub fn residual(&self, e: EdgeId) -> i64 {
+        self.cap[e] - self.flow[e]
+    }
+
+    /// Pushes `delta` units of flow along edge `e`, updating the paired
+    /// reverse edge.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `delta` exceeds the residual capacity of `e`.
+    #[inline]
+    pub fn push(&mut self, e: EdgeId, delta: i64) {
+        debug_assert!(
+            delta <= self.residual(e),
+            "push of {delta} exceeds residual {} on edge {e}",
+            self.residual(e)
+        );
+        self.flow[e] += delta;
+        self.flow[e ^ 1] -= delta;
+    }
+
+    /// Overwrites the raw flow value of a single edge slot *without*
+    /// touching its pair. Used by the parallel solver to copy atomic flow
+    /// state back into the graph; both slots of every pair must be written
+    /// for the pairing invariant to hold afterwards.
+    #[inline]
+    pub fn set_flow_raw(&mut self, e: EdgeId, flow: i64) {
+        self.flow[e] = flow;
+    }
+
+    /// Outgoing edge ids of vertex `v` (both forward and reverse slots).
+    #[inline]
+    pub fn out_edges(&self, v: VertexId) -> &[u32] {
+        &self.adj[v]
+    }
+
+    /// Out-degree counting only *forward* edges (even ids), i.e. edges added
+    /// explicitly with `v` as the source.
+    pub fn forward_out_degree(&self, v: VertexId) -> usize {
+        self.adj[v].iter().filter(|&&e| e % 2 == 0).count()
+    }
+
+    /// In-degree counting only forward edges pointing at `v`. This is the
+    /// `in_degree` used by the paper's `IncrementMinCost` (Algorithm 3): for
+    /// a disk vertex it equals the number of query buckets stored on the
+    /// disk.
+    pub fn forward_in_degree(&self, v: VertexId) -> usize {
+        self.adj[v].iter().filter(|&&e| e % 2 == 1).count()
+    }
+
+    /// Resets all flow values to zero, keeping topology and capacities.
+    pub fn zero_flows(&mut self) {
+        self.flow.iter_mut().for_each(|f| *f = 0);
+    }
+
+    /// Snapshot of the current flow state (for `StoreFlows`, Algorithm 6).
+    pub fn store_flows(&self) -> Vec<i64> {
+        self.flow.clone()
+    }
+
+    /// Restores a flow snapshot taken with [`FlowGraph::store_flows`]
+    /// (`RestoreFlows`, Algorithm 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot length does not match the edge count.
+    pub fn restore_flows(&mut self, snapshot: &[i64]) {
+        assert_eq!(
+            snapshot.len(),
+            self.flow.len(),
+            "flow snapshot does not match graph topology"
+        );
+        self.flow.copy_from_slice(snapshot);
+    }
+
+    /// Net flow into vertex `v` over forward edges; for the sink this is the
+    /// flow value.
+    pub fn net_inflow(&self, v: VertexId) -> i64 {
+        self.adj[v]
+            .iter()
+            .map(|&e| {
+                let e = e as usize;
+                if e % 2 == 1 {
+                    // reverse slot: the paired forward edge points at v
+                    self.flow[e ^ 1]
+                } else {
+                    -self.flow[e]
+                }
+            })
+            .sum()
+    }
+
+    /// Iterator over all forward edge ids.
+    pub fn forward_edges(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.head.len()).step_by(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> FlowGraph {
+        let mut g = FlowGraph::new(4);
+        g.add_edge(0, 1, 3);
+        g.add_edge(0, 2, 2);
+        g.add_edge(1, 3, 2);
+        g.add_edge(2, 3, 3);
+        g
+    }
+
+    #[test]
+    fn edge_pairing_invariants() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        for e in g.forward_edges() {
+            assert_eq!(g.source(e), g.target(e ^ 1));
+            assert_eq!(g.target(e), g.source(e ^ 1));
+            assert_eq!(g.cap(e ^ 1), 0);
+        }
+    }
+
+    #[test]
+    fn push_updates_both_directions() {
+        let mut g = diamond();
+        g.push(0, 2);
+        assert_eq!(g.flow(0), 2);
+        assert_eq!(g.flow(1), -2);
+        assert_eq!(g.residual(0), 1);
+        assert_eq!(g.residual(1), 2); // reverse residual equals pushed flow
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds residual")]
+    #[cfg(debug_assertions)]
+    fn push_over_residual_panics_in_debug() {
+        let mut g = diamond();
+        g.push(0, 4);
+    }
+
+    #[test]
+    fn degrees_count_forward_edges_only() {
+        let g = diamond();
+        assert_eq!(g.forward_out_degree(0), 2);
+        assert_eq!(g.forward_in_degree(0), 0);
+        assert_eq!(g.forward_in_degree(3), 2);
+        assert_eq!(g.forward_out_degree(3), 0);
+        assert_eq!(g.forward_in_degree(1), 1);
+        assert_eq!(g.forward_out_degree(1), 1);
+    }
+
+    #[test]
+    fn store_restore_round_trip() {
+        let mut g = diamond();
+        g.push(0, 1);
+        g.push(4, 1);
+        let snap = g.store_flows();
+        g.push(2, 1);
+        g.restore_flows(&snap);
+        assert_eq!(g.flow(0), 1);
+        assert_eq!(g.flow(4), 1);
+        assert_eq!(g.flow(2), 0);
+    }
+
+    #[test]
+    fn net_inflow_tracks_flow_value() {
+        let mut g = diamond();
+        g.push(0, 2); // s -> 1
+        g.push(4, 2); // 1 -> t
+        assert_eq!(g.net_inflow(3), 2);
+        assert_eq!(g.net_inflow(1), 0);
+        assert_eq!(g.net_inflow(0), -2);
+    }
+
+    #[test]
+    fn zero_flows_resets() {
+        let mut g = diamond();
+        g.push(0, 2);
+        g.zero_flows();
+        assert_eq!(g.flow(0), 0);
+        assert_eq!(g.flow(1), 0);
+    }
+
+    #[test]
+    fn add_vertex_extends_graph() {
+        let mut g = diamond();
+        let v = g.add_vertex();
+        assert_eq!(v, 4);
+        let e = g.add_edge(3, v, 5);
+        assert_eq!(g.target(e), v);
+        assert_eq!(g.residual(e), 5);
+    }
+
+    #[test]
+    fn set_cap_changes_residual() {
+        let mut g = diamond();
+        g.push(0, 3);
+        assert_eq!(g.residual(0), 0);
+        g.set_cap(0, 5);
+        assert_eq!(g.residual(0), 2);
+    }
+}

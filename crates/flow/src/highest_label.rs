@@ -1,0 +1,223 @@
+//! Highest-label push-relabel — the other classic vertex-selection rule.
+//!
+//! The paper's Algorithm 4 uses FIFO selection ("we use the FIFO ordering
+//! for selecting vertices ... suggested by \[19\]"); Cherkassky and
+//! Goldberg's study also evaluates the highest-label rule, which achieves
+//! the better `O(V²·√E)` bound. This implementation exists as an ablation
+//! point: `cargo bench -p rds-bench` compares it against the FIFO engine
+//! on retrieval networks, grounding the paper's choice empirically.
+
+use crate::graph::{EdgeId, FlowGraph, VertexId};
+
+/// Highest-label push-relabel solver (from-scratch solves only — the
+/// integrated drivers use the FIFO engine, matching the paper).
+#[derive(Clone, Debug, Default)]
+pub struct HighestLabelPushRelabel {
+    height: Vec<u32>,
+    excess: Vec<i64>,
+    cur_arc: Vec<u32>,
+    /// `buckets[h]` holds active vertices at height `h`.
+    buckets: Vec<Vec<u32>>,
+    in_bucket: Vec<bool>,
+    /// Gap-heuristic counters.
+    height_count: Vec<u32>,
+}
+
+impl HighestLabelPushRelabel {
+    /// Creates a solver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes a maximum flow from scratch. Returns the flow value.
+    pub fn max_flow(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let n = g.num_vertices();
+        g.zero_flows();
+        self.height = vec![0; n];
+        self.excess = vec![0; n];
+        self.cur_arc = vec![0; n];
+        self.in_bucket = vec![false; n];
+        self.buckets = vec![Vec::new(); 2 * n + 2];
+        self.height_count = vec![0; 2 * n + 2];
+        self.height[s] = n as u32;
+        self.height_count[0] = (n - 1) as u32;
+        self.height_count[n] += 1;
+
+        // Saturate source edges.
+        for i in 0..g.out_edges(s).len() {
+            let e = g.out_edges(s)[i] as EdgeId;
+            if !e.is_multiple_of(2) {
+                continue;
+            }
+            let delta = g.residual(e);
+            if delta > 0 {
+                let v = g.target(e);
+                g.push(e, delta);
+                self.excess[v] += delta;
+            }
+        }
+        let mut highest = 0usize;
+        for v in 0..n {
+            if v != s && v != t && self.excess[v] > 0 {
+                self.activate(v, &mut highest);
+            }
+        }
+
+        // Main loop: always discharge an active vertex of maximal height.
+        loop {
+            // Find the highest non-empty bucket at or below `highest`.
+            while highest > 0 && self.buckets[highest].is_empty() {
+                highest -= 1;
+            }
+            if self.buckets[highest].is_empty() {
+                break;
+            }
+            let v = self.buckets[highest].pop().expect("non-empty") as usize;
+            self.in_bucket[v] = false;
+            self.discharge(g, v, s, t, &mut highest);
+        }
+        self.excess[t]
+    }
+
+    fn activate(&mut self, v: VertexId, highest: &mut usize) {
+        if !self.in_bucket[v] {
+            self.in_bucket[v] = true;
+            let h = self.height[v] as usize;
+            self.buckets[h].push(v as u32);
+            *highest = (*highest).max(h);
+        }
+    }
+
+    fn discharge(
+        &mut self,
+        g: &mut FlowGraph,
+        v: VertexId,
+        s: VertexId,
+        t: VertexId,
+        highest: &mut usize,
+    ) {
+        let n = g.num_vertices() as u32;
+        while self.excess[v] > 0 {
+            let edges_len = g.out_edges(v).len();
+            if (self.cur_arc[v] as usize) >= edges_len {
+                if !self.relabel(g, v, n) {
+                    break;
+                }
+                if self.height[v] >= 2 * n {
+                    break;
+                }
+                continue;
+            }
+            let e = g.out_edges(v)[self.cur_arc[v] as usize] as EdgeId;
+            let w = g.target(e);
+            if g.residual(e) > 0 && self.height[v] == self.height[w] + 1 {
+                let delta = self.excess[v].min(g.residual(e));
+                g.push(e, delta);
+                self.excess[v] -= delta;
+                self.excess[w] += delta;
+                if w != s && w != t {
+                    self.activate(w, highest);
+                }
+            } else {
+                self.cur_arc[v] += 1;
+            }
+        }
+    }
+
+    fn relabel(&mut self, g: &FlowGraph, v: VertexId, n: u32) -> bool {
+        let mut min_h = u32::MAX;
+        for &e in g.out_edges(v) {
+            if g.residual(e as EdgeId) > 0 {
+                min_h = min_h.min(self.height[g.target(e as EdgeId)]);
+            }
+        }
+        if min_h == u32::MAX {
+            return false;
+        }
+        let old = self.height[v];
+        let new = min_h + 1;
+        self.height[v] = new;
+        self.cur_arc[v] = 0;
+        self.height_count[old as usize] -= 1;
+        self.height_count[new as usize] += 1;
+        // Gap heuristic.
+        if self.height_count[old as usize] == 0 && old < n {
+            for u in 0..self.height.len() {
+                let h = self.height[u];
+                if h > old && h < n {
+                    self.height_count[h as usize] -= 1;
+                    self.height[u] = n + 1;
+                    self.height_count[(n + 1) as usize] += 1;
+                    self.cur_arc[u] = 0;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dinic;
+
+    #[test]
+    fn clrs_max_flow() {
+        let mut g = FlowGraph::new(6);
+        g.add_edge(0, 1, 16);
+        g.add_edge(0, 2, 13);
+        g.add_edge(1, 3, 12);
+        g.add_edge(2, 1, 4);
+        g.add_edge(2, 4, 14);
+        g.add_edge(3, 2, 9);
+        g.add_edge(3, 5, 20);
+        g.add_edge(4, 3, 7);
+        g.add_edge(4, 5, 4);
+        assert_eq!(HighestLabelPushRelabel::new().max_flow(&mut g, 0, 5), 23);
+        crate::validate::assert_valid_flow(&g, 0, 5);
+    }
+
+    #[test]
+    fn agrees_with_dinic_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        for case in 0..60 {
+            let n = rng.gen_range(4..22);
+            let m = rng.gen_range(n..5 * n);
+            let mut g = FlowGraph::new(n);
+            for _ in 0..m {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    g.add_edge(u, v, rng.gen_range(0..25));
+                }
+            }
+            let mut oracle = g.clone();
+            let want = dinic::max_flow(&mut oracle, 0, n - 1);
+            let got = HighestLabelPushRelabel::new().max_flow(&mut g, 0, n - 1);
+            assert_eq!(got, want, "case {case}");
+            crate::validate::assert_valid_flow(&g, 0, n - 1);
+        }
+    }
+
+    #[test]
+    fn disconnected_network() {
+        let mut g = FlowGraph::new(4);
+        g.add_edge(0, 1, 3);
+        g.add_edge(2, 3, 3);
+        assert_eq!(HighestLabelPushRelabel::new().max_flow(&mut g, 0, 3), 0);
+    }
+
+    #[test]
+    fn reusable_across_graphs() {
+        let mut solver = HighestLabelPushRelabel::new();
+        let mut g1 = FlowGraph::new(2);
+        g1.add_edge(0, 1, 9);
+        assert_eq!(solver.max_flow(&mut g1, 0, 1), 9);
+        let mut g2 = FlowGraph::new(3);
+        g2.add_edge(0, 1, 4);
+        g2.add_edge(1, 2, 2);
+        assert_eq!(solver.max_flow(&mut g2, 0, 2), 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! The incremental max-flow interface shared by the sequential and parallel
+//! push-relabel solvers.
+//!
+//! The paper's integrated retrieval algorithms (Algorithms 5 and 6) are
+//! drivers around a max-flow engine that can **conserve flow between runs**
+//! while edge capacities grow. This trait captures exactly the operations
+//! those drivers need, so the drivers in `rds-core` are generic over the
+//! engine and the sequential/parallel variants share one implementation.
+
+use crate::graph::{FlowGraph, VertexId};
+
+/// A max-flow engine whose state (excesses, and the flow stored in the
+/// graph) survives between runs.
+pub trait IncrementalMaxFlow {
+    /// Computes a maximum flow from scratch (zeroing any existing flow).
+    /// Returns the flow value.
+    fn max_flow(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64;
+
+    /// Re-runs the engine **conserving** the flow currently in `g` and the
+    /// engine's accumulated excesses. Callers must only have *increased*
+    /// capacities since the previous run (or restored a compatible flow
+    /// snapshot). Returns the new flow value.
+    fn resume(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64;
+
+    /// Accumulated excess at `v`; `excess(t)` is the current flow value.
+    fn excess(&self, v: VertexId) -> i64;
+
+    /// Overrides the excess at `v` (used when restoring flow snapshots).
+    fn set_excess(&mut self, v: VertexId, x: i64);
+
+    /// Snapshot of the excesses of vertices `0..n`, paired with
+    /// `FlowGraph::store_flows` by drivers that roll state back
+    /// (`StoreFlows`/`RestoreFlows` of the paper's Algorithm 6). Engines
+    /// that leave excess trapped at stranded vertices (the parallel
+    /// phase-1 engine) rely on the full vector being restored, not just
+    /// the sink's entry.
+    fn excess_snapshot(&self, n: usize) -> Vec<i64> {
+        (0..n).map(|v| self.excess(v)).collect()
+    }
+
+    /// Restores a snapshot taken with
+    /// [`IncrementalMaxFlow::excess_snapshot`].
+    fn restore_excess(&mut self, snap: &[i64]) {
+        for (v, &x) in snap.iter().enumerate() {
+            self.set_excess(v, x);
+        }
+    }
+}
+
+impl IncrementalMaxFlow for crate::push_relabel::PushRelabel {
+    fn max_flow(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
+        crate::push_relabel::PushRelabel::max_flow(self, g, s, t)
+    }
+
+    fn resume(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
+        crate::push_relabel::PushRelabel::resume(self, g, s, t)
+    }
+
+    fn excess(&self, v: VertexId) -> i64 {
+        crate::push_relabel::PushRelabel::excess(self, v)
+    }
+
+    fn set_excess(&mut self, v: VertexId, x: i64) {
+        crate::push_relabel::PushRelabel::set_excess(self, v, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::ParallelPushRelabel;
+    use crate::push_relabel::PushRelabel;
+
+    fn generic_roundtrip<E: IncrementalMaxFlow>(mut engine: E) {
+        let mut g = FlowGraph::new(3);
+        let e0 = g.add_edge(0, 1, 2);
+        g.add_edge(1, 2, 10);
+        assert_eq!(engine.max_flow(&mut g, 0, 2), 2);
+        assert_eq!(engine.excess(2), 2);
+        g.set_cap(e0, 5);
+        assert_eq!(engine.resume(&mut g, 0, 2), 5);
+        engine.set_excess(2, 0);
+        assert_eq!(engine.excess(2), 0);
+    }
+
+    #[test]
+    fn sequential_implements_trait() {
+        generic_roundtrip(PushRelabel::new());
+    }
+
+    #[test]
+    fn parallel_implements_trait() {
+        generic_roundtrip(ParallelPushRelabel::new(2));
+    }
+}

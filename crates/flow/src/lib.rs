@@ -1,0 +1,60 @@
+//! # rds-flow
+//!
+//! A self-contained maximum-flow substrate, built from scratch as a
+//! replacement for the LEDA graph library used by the original paper
+//! (Altiparmak & Tosun, ICPP 2012).
+//!
+//! The crate provides:
+//!
+//! * [`graph::FlowGraph`] — a compact residual-graph arena with paired
+//!   forward/reverse edges and mutable capacities, designed so that flow
+//!   state can be conserved while capacities change between solver runs
+//!   (the *integrated* usage pattern at the heart of the paper).
+//! * [`ford_fulkerson`] — DFS- and BFS-based augmenting-path maximum flow
+//!   (Ford-Fulkerson / Edmonds-Karp).
+//! * [`dinic`] — Dinic's blocking-flow algorithm, used in this workspace as
+//!   an independent cross-validation oracle.
+//! * [`push_relabel`] — FIFO push-relabel (Goldberg-Tarjan) with the
+//!   global-relabeling ("exact height") and gap heuristics of
+//!   Cherkassky-Goldberg, plus a `resume` entry point that conserves
+//!   previously computed flows after capacity increases.
+//! * [`parallel`] — a lock-free multithreaded push-relabel in the style of
+//!   Hong & He (IEEE TPDS 2011), using only atomic read-modify-write
+//!   operations (no locks, no barriers).
+//! * [`validate`] — flow validation helpers shared by tests and property
+//!   tests.
+//!
+//! All algorithms operate on the same [`graph::FlowGraph`] so results are
+//! directly comparable.
+//!
+//! ## Example
+//!
+//! ```
+//! use rds_flow::graph::FlowGraph;
+//! use rds_flow::push_relabel::PushRelabel;
+//!
+//! // A diamond: s -> a -> t and s -> b -> t, all capacity 1.
+//! let mut g = FlowGraph::new(4);
+//! let (s, a, b, t) = (0, 1, 2, 3);
+//! g.add_edge(s, a, 1);
+//! g.add_edge(s, b, 1);
+//! g.add_edge(a, t, 1);
+//! g.add_edge(b, t, 1);
+//!
+//! let mut pr = PushRelabel::new();
+//! assert_eq!(pr.max_flow(&mut g, s, t), 2);
+//! ```
+
+pub mod decompose;
+pub mod dinic;
+pub mod ford_fulkerson;
+pub mod graph;
+pub mod highest_label;
+pub mod incremental;
+pub mod min_cut;
+pub mod parallel;
+pub mod push_relabel;
+pub mod validate;
+
+pub use graph::{EdgeId, FlowGraph, VertexId};
+pub use incremental::IncrementalMaxFlow;

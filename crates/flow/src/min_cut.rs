@@ -1,0 +1,124 @@
+//! Minimum s-t cut extraction from a maximum flow.
+//!
+//! By max-flow/min-cut duality, after any of this crate's engines has run,
+//! the set of vertices reachable from `s` in the residual graph induces a
+//! minimum cut. For retrieval networks the cut edges *explain*
+//! infeasibility during the budget search: they are exactly the saturated
+//! disk edges (the disks out of capacity) and the bucket edges of buckets
+//! whose replicas are all on saturated disks.
+
+use crate::graph::{EdgeId, FlowGraph, VertexId};
+
+/// A minimum s-t cut.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinCut {
+    /// `source_side[v]` is true when `v` is reachable from `s` in the
+    /// residual graph.
+    pub source_side: Vec<bool>,
+    /// Forward edges crossing from the source side to the sink side.
+    pub edges: Vec<EdgeId>,
+    /// Total capacity of the cut (equals the maximum flow value).
+    pub capacity: i64,
+}
+
+/// Extracts the minimum cut induced by the (maximum) flow stored in `g`.
+///
+/// The result is meaningful only when the stored flow is maximum: the
+/// function debug-asserts that `t` is unreachable from `s`.
+pub fn min_cut(g: &FlowGraph, s: VertexId, t: VertexId) -> MinCut {
+    let n = g.num_vertices();
+    let mut source_side = vec![false; n];
+    let mut stack = vec![s];
+    source_side[s] = true;
+    while let Some(v) = stack.pop() {
+        for &e in g.out_edges(v) {
+            let e = e as EdgeId;
+            let w = g.target(e);
+            if g.residual(e) > 0 && !source_side[w] {
+                source_side[w] = true;
+                stack.push(w);
+            }
+        }
+    }
+    debug_assert!(
+        !source_side[t],
+        "sink reachable from source: flow is not maximum"
+    );
+    let mut edges = Vec::new();
+    let mut capacity = 0;
+    for e in g.forward_edges() {
+        if source_side[g.source(e)] && !source_side[g.target(e)] {
+            edges.push(e);
+            capacity += g.cap(e);
+        }
+    }
+    MinCut {
+        source_side,
+        edges,
+        capacity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::push_relabel::PushRelabel;
+
+    fn clrs() -> (FlowGraph, VertexId, VertexId) {
+        let mut g = FlowGraph::new(6);
+        g.add_edge(0, 1, 16);
+        g.add_edge(0, 2, 13);
+        g.add_edge(1, 3, 12);
+        g.add_edge(2, 1, 4);
+        g.add_edge(2, 4, 14);
+        g.add_edge(3, 2, 9);
+        g.add_edge(3, 5, 20);
+        g.add_edge(4, 3, 7);
+        g.add_edge(4, 5, 4);
+        (g, 0, 5)
+    }
+
+    #[test]
+    fn cut_capacity_equals_max_flow() {
+        let (mut g, s, t) = clrs();
+        let value = PushRelabel::new().max_flow(&mut g, s, t);
+        let cut = min_cut(&g, s, t);
+        assert_eq!(cut.capacity, value);
+        assert!(cut.source_side[s]);
+        assert!(!cut.source_side[t]);
+    }
+
+    #[test]
+    fn cut_edges_are_saturated() {
+        let (mut g, s, t) = clrs();
+        PushRelabel::new().max_flow(&mut g, s, t);
+        let cut = min_cut(&g, s, t);
+        assert!(!cut.edges.is_empty());
+        for &e in &cut.edges {
+            assert_eq!(g.residual(e), 0, "cut edge {e} must be saturated");
+        }
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero_cut() {
+        let mut g = FlowGraph::new(3);
+        g.add_edge(0, 1, 7);
+        let value = PushRelabel::new().max_flow(&mut g, 0, 2);
+        assert_eq!(value, 0);
+        let cut = min_cut(&g, 0, 2);
+        assert_eq!(cut.capacity, 0);
+        assert!(cut.edges.is_empty());
+    }
+
+    #[test]
+    fn single_bottleneck_identified() {
+        let mut g = FlowGraph::new(4);
+        g.add_edge(0, 1, 100);
+        let bottleneck = g.add_edge(1, 2, 3);
+        g.add_edge(2, 3, 100);
+        PushRelabel::new().max_flow(&mut g, 0, 3);
+        let cut = min_cut(&g, 0, 3);
+        assert_eq!(cut.edges, vec![bottleneck]);
+        assert_eq!(cut.capacity, 3);
+    }
+}

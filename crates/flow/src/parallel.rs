@@ -1,0 +1,768 @@
+//! Lock-free multithreaded push-relabel, after Hong & He, *"An Asynchronous
+//! Multithreaded Algorithm for the Maximum Network Flow Problem with
+//! Nonblocking Global Relabeling Heuristic"* (IEEE TPDS 2011) — the
+//! parallelization the paper adopts for its parallel integrated algorithm
+//! (Section V).
+//!
+//! No locks or barriers protect push/relabel operations; the only shared
+//! mutable state consists of atomic per-edge flows, per-vertex excesses and
+//! heights, and a lock-free work queue. The key safety arguments:
+//!
+//! * A vertex is *owned* by at most one thread at a time (a compare-exchange
+//!   on its `queued` flag decides ownership), so its height has a single
+//!   writer and its excess a single decrementer.
+//! * Pushes on a forward edge are performed only by the owner of its source
+//!   vertex; a concurrent push on the paired reverse edge can only *increase*
+//!   the forward residual, so a residual observed before `fetch_add` never
+//!   overshoots.
+//! * Heights read during the lowest-neighbour scan may be stale; following
+//!   Hong & He, the push rule `h(u) > h(v̂)` (rather than exact equality)
+//!   remains correct because heights only increase.
+//!
+//! The integrated retrieval driver (paper Algorithm 6) calls `resume` dozens
+//! of times per query, so worker threads are spawned **once per engine** and
+//! parked between rounds; the dispatch handshake uses a mutex/condvar, but
+//! the push/relabel hot path remains lock-free as in the paper.
+//!
+//! After the workers drain the queue, any excess stranded by the safety
+//! height bound is cleared by a sequential fixup pass; on converged runs the
+//! fixup performs no pushes, so the parallel phase carries all the work.
+
+use crate::graph::{EdgeId, FlowGraph, VertexId};
+use crate::incremental::IncrementalMaxFlow;
+use crate::push_relabel::PushRelabel;
+use crossbeam::queue::SegQueue;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Multithreaded push-relabel solver with the same incremental (`resume`)
+/// interface as the sequential [`PushRelabel`].
+///
+/// One engine instance assumes a stable graph *topology* across its
+/// `resume` calls (capacities and flows may change freely) — exactly the
+/// usage pattern of the binary capacity-scaling driver.
+#[derive(Debug)]
+pub struct ParallelPushRelabel {
+    /// Number of worker threads (the paper evaluates 2).
+    pub threads: usize,
+    excess: Vec<i64>,
+    fixup: PushRelabel,
+    topo: Option<Arc<Topology>>,
+    pool: Option<WorkerPool>,
+    /// Statistics from the most recent run.
+    pub last_run: ParallelRunStats,
+}
+
+/// Telemetry from one parallel run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParallelRunStats {
+    /// Pushes performed by the parallel phase (all threads).
+    pub parallel_pushes: u64,
+    /// Relabels performed by the parallel phase (all threads).
+    pub parallel_relabels: u64,
+    /// Pushes the sequential fixup pass had to perform (0 when the parallel
+    /// phase fully converged).
+    pub fixup_pushes: u64,
+}
+
+/// Immutable CSR snapshot of the graph topology, shared with the workers.
+#[derive(Debug)]
+struct Topology {
+    /// `adj[adj_start[v]..adj_start[v+1]]` are the edge slots out of `v`.
+    adj_start: Vec<u32>,
+    adj: Vec<u32>,
+    /// Target vertex per edge slot.
+    head: Vec<u32>,
+    num_vertices: usize,
+}
+
+impl Topology {
+    fn from_graph(g: &FlowGraph) -> Topology {
+        let n = g.num_vertices();
+        let mut adj_start = Vec::with_capacity(n + 1);
+        let mut adj = Vec::with_capacity(g.num_edge_slots());
+        adj_start.push(0);
+        for v in 0..n {
+            adj.extend_from_slice(g.out_edges(v));
+            adj_start.push(adj.len() as u32);
+        }
+        Topology {
+            adj_start,
+            adj,
+            head: (0..g.num_edge_slots())
+                .map(|e| g.target(e) as u32)
+                .collect(),
+            num_vertices: n,
+        }
+    }
+
+    #[inline]
+    fn out_edges(&self, v: usize) -> &[u32] {
+        &self.adj[self.adj_start[v] as usize..self.adj_start[v + 1] as usize]
+    }
+}
+
+/// Per-round shared state. Push/relabel operations touch only the atomic
+/// fields — no locks.
+#[derive(Debug)]
+struct JobState {
+    topo: Arc<Topology>,
+    caps: Vec<i64>,
+    flow: Vec<AtomicI64>,
+    excess: Vec<AtomicI64>,
+    height: Vec<AtomicU32>,
+    queued: Vec<AtomicBool>,
+    queue: SegQueue<u32>,
+    /// Vertices queued or currently being discharged. Zero means quiescent.
+    active: AtomicUsize,
+    pushes: AtomicUsize,
+    relabels: AtomicUsize,
+    s: usize,
+    t: usize,
+    height_cap: u32,
+    /// Cumulative relabel count at which the current round is cut short
+    /// and control returns to the global relabeler (periodic relabeling).
+    relabel_limit: AtomicUsize,
+}
+
+impl JobState {
+    #[inline]
+    fn residual(&self, e: EdgeId) -> i64 {
+        self.caps[e] - self.flow[e].load(Ordering::SeqCst)
+    }
+
+    /// Enqueues `v` if it is not already owned/queued and can still reach
+    /// the sink in this round (height below the phase-1 boundary).
+    fn try_enqueue(&self, v: usize) {
+        if v == self.s || v == self.t {
+            return;
+        }
+        if self.height[v].load(Ordering::SeqCst) >= self.height_cap {
+            return;
+        }
+        if self.queued[v]
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.active.fetch_add(1, Ordering::SeqCst);
+            self.queue.push(v as u32);
+        }
+    }
+
+    /// Fully discharges `v`. The caller owns `v` (its `queued` flag is set).
+    fn discharge(&self, v: usize) {
+        let mut local_pushes = 0usize;
+        loop {
+            let ev = self.excess[v].load(Ordering::SeqCst);
+            if ev <= 0 {
+                break;
+            }
+            if self.relabels.load(Ordering::Relaxed) >= self.relabel_limit.load(Ordering::Relaxed) {
+                break; // round budget exhausted; global relabel takes over
+            }
+            // Lowest residual neighbour (Hong & He).
+            let mut best_edge = usize::MAX;
+            let mut best_h = u32::MAX;
+            for &e in self.topo.out_edges(v) {
+                let e = e as EdgeId;
+                if self.residual(e) > 0 {
+                    let h = self.height[self.topo.head[e] as usize].load(Ordering::SeqCst);
+                    if h < best_h {
+                        best_h = h;
+                        best_edge = e;
+                    }
+                }
+            }
+            if best_edge == usize::MAX {
+                break; // no residual edge: stranded (fixup will handle)
+            }
+            let hv = self.height[v].load(Ordering::SeqCst);
+            if hv > best_h {
+                // Push.
+                let delta = ev.min(self.residual(best_edge));
+                if delta <= 0 {
+                    continue; // residual consumed concurrently; rescan
+                }
+                let w = self.topo.head[best_edge] as usize;
+                self.flow[best_edge].fetch_add(delta, Ordering::SeqCst);
+                self.flow[best_edge ^ 1].fetch_sub(delta, Ordering::SeqCst);
+                self.excess[v].fetch_sub(delta, Ordering::SeqCst);
+                self.excess[w].fetch_add(delta, Ordering::SeqCst);
+                local_pushes += 1;
+                self.try_enqueue(w);
+            } else {
+                // Relabel (single writer: the owner). The counter is kept
+                // exact so the round budget check above sees it promptly.
+                let new_h = best_h + 1;
+                self.height[v].store(new_h, Ordering::SeqCst);
+                self.relabels.fetch_add(1, Ordering::Relaxed);
+                if new_h >= self.height_cap {
+                    // Phase-1 boundary: a vertex lifted to the source
+                    // height can no longer reach the sink this round; its
+                    // excess is drained back after quiescence.
+                    break;
+                }
+            }
+        }
+        if local_pushes > 0 {
+            self.pushes.fetch_add(local_pushes, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The lock-free worker loop: pop, discharge, re-check, repeat until the
+/// whole job is quiescent.
+fn worker_loop(job: &JobState) {
+    loop {
+        match job.queue.pop() {
+            Some(v) => {
+                let v = v as usize;
+                job.discharge(v);
+                // Release ownership, then re-check: a concurrent push may
+                // have raced with our final excess read (lost-wakeup guard).
+                job.queued[v].store(false, Ordering::SeqCst);
+                if job.excess[v].load(Ordering::SeqCst) > 0
+                    && job.height[v].load(Ordering::SeqCst) < job.height_cap
+                    && job.relabels.load(Ordering::Relaxed)
+                        < job.relabel_limit.load(Ordering::Relaxed)
+                {
+                    job.try_enqueue(v);
+                }
+                job.active.fetch_sub(1, Ordering::SeqCst);
+            }
+            None => {
+                if job.active.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Global relabeling between rounds (the blocking counterpart of Hong &
+/// He's nonblocking heuristic): exact residual distances to `t` by reverse
+/// BFS over the job's current (atomic) flow state. Vertices that cannot
+/// reach `t` — including the source — get height `n`, the phase-1
+/// boundary, stranding their excess for this round.
+///
+/// Returns the number of vertices (other than `s`/`t`) that hold excess
+/// and can still reach the sink; the round only needs to run when this is
+/// positive. The workers are parked while this runs, so plain stores into
+/// the atomics are race-free.
+#[allow(clippy::needless_range_loop)] // the loop indexes four parallel arrays
+fn global_relabel(job: &JobState) -> usize {
+    let n = job.topo.num_vertices;
+    const UNSEEN: u32 = u32::MAX;
+    let mut height = vec![UNSEEN; n];
+    let mut queue = Vec::with_capacity(n);
+
+    height[job.t] = 0;
+    queue.push(job.t as u32);
+    let mut head = 0;
+    while head < queue.len() {
+        let w = queue[head] as usize;
+        head += 1;
+        let dw = height[w];
+        for &e in job.topo.out_edges(w) {
+            let e = e as EdgeId;
+            let u = job.topo.head[e] as usize;
+            if height[u] == UNSEEN && job.residual(e ^ 1) > 0 && u != job.s {
+                height[u] = dw + 1;
+                queue.push(u as u32);
+            }
+        }
+    }
+    let mut reachable_excess = 0;
+    for v in 0..n {
+        let h = if height[v] == UNSEEN || v == job.s {
+            n as u32
+        } else {
+            height[v]
+        };
+        job.height[v].store(h, Ordering::SeqCst);
+        if v != job.s
+            && v != job.t
+            && h < job.height_cap
+            && job.excess[v].load(Ordering::SeqCst) > 0
+        {
+            reachable_excess += 1;
+        }
+    }
+    reachable_excess
+}
+
+/// Returns trapped excess to the source by cancelling the flow that
+/// carried it in (the standard preflow-to-flow conversion, specialized to
+/// direct cancellation walks). Every unit of excess strictly reduces total
+/// flow mass, so the worklist terminates; cycles of flow are irrelevant
+/// because only *incoming* flow of excess vertices is cancelled.
+fn drain_trapped_excess(g: &mut FlowGraph, excess: &mut [i64], s: VertexId, t: VertexId) {
+    let n = g.num_vertices();
+    let mut worklist: Vec<VertexId> = (0..n)
+        .filter(|&v| v != s && v != t && excess[v] > 0)
+        .collect();
+    while let Some(v) = worklist.pop() {
+        while excess[v] > 0 {
+            // Find an edge currently carrying flow into v: an odd (reverse)
+            // slot out of v with positive residual, whose pair is the
+            // forward edge (w -> v).
+            let mut cancelled = false;
+            for i in 0..g.out_edges(v).len() {
+                let e = g.out_edges(v)[i] as EdgeId;
+                if e % 2 == 1 && g.residual(e) > 0 {
+                    let w = g.target(e);
+                    let delta = excess[v].min(g.residual(e));
+                    g.push(e, delta);
+                    excess[v] -= delta;
+                    if w == t {
+                        excess[w] += delta; // cancelled a t-outflow
+                    } else if w != s {
+                        if excess[w] == 0 {
+                            worklist.push(w);
+                        }
+                        excess[w] += delta;
+                    }
+                    cancelled = true;
+                    break;
+                }
+            }
+            assert!(
+                cancelled,
+                "vertex {v} holds excess but has no incoming flow to cancel"
+            );
+        }
+    }
+}
+
+/// Persistent worker threads, parked between rounds. The handshake is the
+/// only locked code path; push/relabel work happens in [`worker_loop`].
+#[derive(Debug)]
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    state: Mutex<PoolState>,
+    start: Condvar,
+    done: Condvar,
+}
+
+#[derive(Debug)]
+struct PoolState {
+    job: Option<Arc<JobState>>,
+    seq: u64,
+    running: usize,
+    shutdown: bool,
+}
+
+impl WorkerPool {
+    fn new(threads: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                job: None,
+                seq: 0,
+                running: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let mut last_seq = 0;
+                    loop {
+                        let job = {
+                            let mut st = shared.state.lock().unwrap();
+                            loop {
+                                if st.shutdown {
+                                    return;
+                                }
+                                if st.seq != last_seq {
+                                    if let Some(job) = st.job.clone() {
+                                        last_seq = st.seq;
+                                        break job;
+                                    }
+                                }
+                                st = shared.start.wait(st).unwrap();
+                            }
+                        };
+                        worker_loop(&job);
+                        let mut st = shared.state.lock().unwrap();
+                        st.running -= 1;
+                        if st.running == 0 {
+                            shared.done.notify_all();
+                        }
+                    }
+                })
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    fn run(&self, job: Arc<JobState>) {
+        let threads = self.handles.len();
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.job = Some(job);
+            st.seq += 1;
+            st.running = threads;
+        }
+        self.shared.start.notify_all();
+        let mut st = self.shared.state.lock().unwrap();
+        while st.running > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.job = None;
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.start.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl ParallelPushRelabel {
+    /// Creates a solver with the given worker-thread count (minimum 1).
+    /// With one thread the discharge loop runs inline — no pool, no
+    /// handshake — making the single-thread configuration a faithful
+    /// sequential baseline for speed-up measurements.
+    pub fn new(threads: usize) -> Self {
+        ParallelPushRelabel {
+            threads: threads.max(1),
+            excess: Vec::new(),
+            fixup: PushRelabel::new(),
+            topo: None,
+            pool: None,
+            last_run: ParallelRunStats::default(),
+        }
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.excess.len() < n {
+            self.excess.resize(n, 0);
+        }
+    }
+
+    fn run(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
+        let n = g.num_vertices();
+        self.ensure(n);
+
+        // Saturate residual source edges (same init as the sequential
+        // resume, Algorithm 5 lines 4-10) and cancel flow into the source
+        // (circulation through s would otherwise pin capacity and break
+        // label validity — see the sequential engine for the argument).
+        for i in 0..g.out_edges(s).len() {
+            let e = g.out_edges(s)[i] as EdgeId;
+            let delta = g.residual(e);
+            if delta > 0 {
+                let v = g.target(e);
+                g.push(e, delta);
+                self.excess[v] += delta;
+            }
+        }
+        self.excess[s] = 0;
+
+        // (Re)build the topology snapshot if the graph shape changed.
+        let rebuild = match &self.topo {
+            Some(topo) => topo.num_vertices != n || topo.head.len() != g.num_edge_slots(),
+            None => true,
+        };
+        if rebuild {
+            self.topo = Some(Arc::new(Topology::from_graph(g)));
+        }
+        let topo = Arc::clone(self.topo.as_ref().expect("topology just built"));
+
+        let job = Arc::new(JobState {
+            caps: (0..g.num_edge_slots()).map(|e| g.cap(e)).collect(),
+            flow: (0..g.num_edge_slots())
+                .map(|e| AtomicI64::new(g.flow(e)))
+                .collect(),
+            excess: self.excess.iter().map(|&x| AtomicI64::new(x)).collect(),
+            height: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            queued: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            queue: SegQueue::new(),
+            active: AtomicUsize::new(0),
+            pushes: AtomicUsize::new(0),
+            relabels: AtomicUsize::new(0),
+            s,
+            t,
+            height_cap: n as u32,
+            relabel_limit: AtomicUsize::new(0),
+            topo,
+        });
+
+        // Rounds: global relabel (exact heights), then lock-free
+        // discharging until quiescent or the round's relabel budget runs
+        // out; repeat while some excess can still reach the sink. The
+        // budget plays the role of periodic global relabeling: it stops
+        // vertices from climbing one level at a time once the capacity
+        // they were aiming for is gone.
+        let round_budget = (n).max(64);
+        let mut stalled = false;
+        loop {
+            if global_relabel(&job) == 0 {
+                break;
+            }
+            let pushes_before = job.pushes.load(Ordering::Relaxed);
+            let relabels_before = job.relabels.load(Ordering::Relaxed);
+            job.relabel_limit
+                .store(relabels_before + round_budget, Ordering::Relaxed);
+            for v in 0..n {
+                if v != s
+                    && v != t
+                    && job.excess[v].load(Ordering::SeqCst) > 0
+                    && job.height[v].load(Ordering::SeqCst) < job.height_cap
+                {
+                    job.queued[v].store(true, Ordering::Relaxed);
+                    job.active.fetch_add(1, Ordering::Relaxed);
+                    job.queue.push(v as u32);
+                }
+            }
+            if self.threads == 1 {
+                worker_loop(&job);
+            } else {
+                if self.pool.is_none() {
+                    self.pool = Some(WorkerPool::new(self.threads));
+                }
+                self.pool
+                    .as_ref()
+                    .expect("pool just built")
+                    .run(Arc::clone(&job));
+            }
+            let no_progress = job.pushes.load(Ordering::Relaxed) == pushes_before
+                && job.relabels.load(Ordering::Relaxed) == relabels_before;
+            if no_progress {
+                // Cannot happen (a queued vertex always pushes or
+                // relabels), but guard against silently looping forever.
+                stalled = true;
+                break;
+            }
+        }
+
+        // Copy atomic state back into the graph and solver.
+        for e in 0..g.num_edge_slots() {
+            g.set_flow_raw(e, job.flow[e].load(Ordering::SeqCst));
+        }
+        for v in 0..n {
+            self.excess[v] = job.excess[v].load(Ordering::SeqCst);
+        }
+        self.excess[s] = 0;
+
+        self.last_run = ParallelRunStats {
+            parallel_pushes: job.pushes.load(Ordering::Relaxed) as u64,
+            parallel_relabels: job.relabels.load(Ordering::Relaxed) as u64,
+            fixup_pushes: 0,
+        };
+
+        if stalled {
+            // Defensive fallback: finish with the (two-phase) sequential
+            // engine rather than risk a silently suboptimal schedule.
+            for v in 0..n {
+                self.fixup.set_excess(v, self.excess[v]);
+            }
+            let before = self.fixup.stats.pushes;
+            let val = self.fixup.resume(g, s, t);
+            self.last_run.fixup_pushes = self.fixup.stats.pushes - before;
+            for v in 0..n {
+                self.excess[v] = self.fixup.excess(v);
+            }
+            return val;
+        }
+
+        // Drain excess stranded at the phase-1 boundary back toward the
+        // source by cancelling the inflow that carried it, leaving a valid
+        // *flow* (conservation holds everywhere except s and t). The walks
+        // follow existing flow edges directly — no height bookkeeping — so
+        // this is linear in the stranded mass.
+        drain_trapped_excess(g, &mut self.excess, s, t);
+        self.excess[t]
+    }
+}
+
+impl IncrementalMaxFlow for ParallelPushRelabel {
+    fn max_flow(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
+        assert_ne!(s, t, "source and sink must differ");
+        g.zero_flows();
+        self.ensure(g.num_vertices());
+        self.excess.iter_mut().for_each(|e| *e = 0);
+        self.run(g, s, t)
+    }
+
+    fn resume(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
+        assert_ne!(s, t, "source and sink must differ");
+        self.ensure(g.num_vertices());
+        self.run(g, s, t)
+    }
+
+    fn excess(&self, v: VertexId) -> i64 {
+        self.excess.get(v).copied().unwrap_or(0)
+    }
+
+    fn set_excess(&mut self, v: VertexId, x: i64) {
+        self.ensure(v + 1);
+        self.excess[v] = x;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dinic;
+    use crate::validate::assert_valid_flow;
+
+    fn clrs() -> (FlowGraph, VertexId, VertexId) {
+        let mut g = FlowGraph::new(6);
+        g.add_edge(0, 1, 16);
+        g.add_edge(0, 2, 13);
+        g.add_edge(1, 3, 12);
+        g.add_edge(2, 1, 4);
+        g.add_edge(2, 4, 14);
+        g.add_edge(3, 2, 9);
+        g.add_edge(3, 5, 20);
+        g.add_edge(4, 3, 7);
+        g.add_edge(4, 5, 4);
+        (g, 0, 5)
+    }
+
+    #[test]
+    fn clrs_single_thread() {
+        let (mut g, s, t) = clrs();
+        assert_eq!(ParallelPushRelabel::new(1).max_flow(&mut g, s, t), 23);
+        assert_valid_flow(&g, s, t);
+    }
+
+    #[test]
+    fn clrs_two_threads() {
+        let (mut g, s, t) = clrs();
+        assert_eq!(ParallelPushRelabel::new(2).max_flow(&mut g, s, t), 23);
+        assert_valid_flow(&g, s, t);
+    }
+
+    #[test]
+    fn clrs_four_threads() {
+        let (mut g, s, t) = clrs();
+        assert_eq!(ParallelPushRelabel::new(4).max_flow(&mut g, s, t), 23);
+        assert_valid_flow(&g, s, t);
+    }
+
+    #[test]
+    fn agrees_with_dinic_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        for case in 0..40 {
+            let n = rng.gen_range(4..20);
+            let m = rng.gen_range(n..5 * n);
+            let mut g = FlowGraph::new(n);
+            for _ in 0..m {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    g.add_edge(u, v, rng.gen_range(0..30));
+                }
+            }
+            let mut oracle = g.clone();
+            let want = dinic::max_flow(&mut oracle, 0, n - 1);
+            let got = ParallelPushRelabel::new(2).max_flow(&mut g, 0, n - 1);
+            assert_eq!(got, want, "case {case}");
+            assert_valid_flow(&g, 0, n - 1);
+        }
+    }
+
+    #[test]
+    fn resume_after_capacity_increase() {
+        let mut g = FlowGraph::new(4);
+        g.add_edge(0, 1, 10);
+        let bottleneck = g.add_edge(1, 2, 3);
+        g.add_edge(2, 3, 10);
+        let mut pr = ParallelPushRelabel::new(2);
+        assert_eq!(pr.max_flow(&mut g, 0, 3), 3);
+        g.set_cap(bottleneck, 8);
+        assert_eq!(pr.resume(&mut g, 0, 3), 8);
+        assert_valid_flow(&g, 0, 3);
+    }
+
+    #[test]
+    fn repeated_resume_matches_sequential() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 14;
+        let mut g = FlowGraph::new(n);
+        let mut sink_edges = Vec::new();
+        for v in 1..n - 1 {
+            g.add_edge(0, v, rng.gen_range(1..4));
+            sink_edges.push(g.add_edge(v, n - 1, 0));
+        }
+        for _ in 0..25 {
+            let u = rng.gen_range(1..n - 1);
+            let v = rng.gen_range(1..n - 1);
+            if u != v {
+                g.add_edge(u, v, rng.gen_range(0..3));
+            }
+        }
+        let mut pr = ParallelPushRelabel::new(2);
+        pr.max_flow(&mut g, 0, n - 1);
+        for _ in 0..12 {
+            let e = sink_edges[rng.gen_range(0..sink_edges.len())];
+            g.set_cap(e, g.cap(e) + 1);
+            let got = pr.resume(&mut g, 0, n - 1);
+            let mut oracle = g.clone();
+            let want = dinic::max_flow(&mut oracle, 0, n - 1);
+            assert_eq!(got, want);
+            assert_valid_flow(&g, 0, n - 1);
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_rounds() {
+        // Exercises the park/dispatch handshake far more times than any
+        // single retrieval solve does.
+        let mut g = FlowGraph::new(3);
+        let e0 = g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 10_000);
+        let mut pr = ParallelPushRelabel::new(2);
+        assert_eq!(pr.max_flow(&mut g, 0, 2), 1);
+        for want in 2..200 {
+            g.set_cap(e0, want);
+            assert_eq!(pr.resume(&mut g, 0, 2), want);
+        }
+    }
+
+    #[test]
+    fn topology_rebuild_on_new_graph_shape() {
+        let mut pr = ParallelPushRelabel::new(2);
+        let mut g1 = FlowGraph::new(3);
+        g1.add_edge(0, 1, 4);
+        g1.add_edge(1, 2, 4);
+        assert_eq!(pr.max_flow(&mut g1, 0, 2), 4);
+        // Different topology through the same engine.
+        let mut g2 = FlowGraph::new(5);
+        g2.add_edge(0, 1, 2);
+        g2.add_edge(0, 2, 2);
+        g2.add_edge(1, 3, 2);
+        g2.add_edge(2, 3, 2);
+        g2.add_edge(3, 4, 3);
+        assert_eq!(pr.max_flow(&mut g2, 0, 4), 3);
+    }
+
+    #[test]
+    fn stats_recorded() {
+        let (mut g, s, t) = clrs();
+        let mut pr = ParallelPushRelabel::new(2);
+        pr.max_flow(&mut g, s, t);
+        assert!(pr.last_run.parallel_pushes > 0);
+    }
+}

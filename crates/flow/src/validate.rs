@@ -1,0 +1,123 @@
+//! Flow-validity checks shared by unit, integration and property tests.
+
+use crate::graph::{FlowGraph, VertexId};
+
+/// Errors detected by [`validate_flow`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlowError {
+    /// `flow(e) > cap(e)` or `flow(e) < -cap(e ^ 1)` for some edge.
+    CapacityViolation { edge: usize, flow: i64, cap: i64 },
+    /// Net flow out of an intermediate vertex is nonzero.
+    ConservationViolation { vertex: VertexId, net: i64 },
+    /// Paired edges do not carry opposite flows.
+    PairingViolation { edge: usize },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::CapacityViolation { edge, flow, cap } => {
+                write!(f, "edge {edge}: flow {flow} exceeds capacity {cap}")
+            }
+            FlowError::ConservationViolation { vertex, net } => {
+                write!(f, "vertex {vertex}: net outflow {net} != 0")
+            }
+            FlowError::PairingViolation { edge } => {
+                write!(f, "edge {edge}: paired flows are not opposite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Checks that the flow stored in `g` is a feasible s-t flow: paired edges
+/// carry opposite flows, no capacity is exceeded, and flow is conserved at
+/// every vertex except `s` and `t`.
+pub fn validate_flow(g: &FlowGraph, s: VertexId, t: VertexId) -> Result<(), FlowError> {
+    for e in g.forward_edges() {
+        if g.flow(e) != -g.flow(e ^ 1) {
+            return Err(FlowError::PairingViolation { edge: e });
+        }
+        if g.flow(e) > g.cap(e) || g.flow(e) < -g.cap(e ^ 1) {
+            return Err(FlowError::CapacityViolation {
+                edge: e,
+                flow: g.flow(e),
+                cap: g.cap(e),
+            });
+        }
+    }
+    for v in 0..g.num_vertices() {
+        if v == s || v == t {
+            continue;
+        }
+        let net = g.net_inflow(v);
+        if net != 0 {
+            return Err(FlowError::ConservationViolation { vertex: v, net });
+        }
+    }
+    Ok(())
+}
+
+/// Panicking wrapper around [`validate_flow`] for use in tests.
+pub fn assert_valid_flow(g: &FlowGraph, s: VertexId, t: VertexId) {
+    if let Err(e) = validate_flow(g, s, t) {
+        panic!("invalid flow: {e}");
+    }
+}
+
+/// Returns the flow value (net inflow at `t`), asserting validity first.
+pub fn checked_flow_value(g: &FlowGraph, s: VertexId, t: VertexId) -> i64 {
+    assert_valid_flow(g, s, t);
+    g.net_inflow(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_flow_passes() {
+        let mut g = FlowGraph::new(3);
+        g.add_edge(0, 1, 2);
+        g.add_edge(1, 2, 2);
+        g.push(0, 2);
+        g.push(2, 2);
+        assert_eq!(validate_flow(&g, 0, 2), Ok(()));
+        assert_eq!(checked_flow_value(&g, 0, 2), 2);
+    }
+
+    #[test]
+    fn conservation_violation_detected() {
+        let mut g = FlowGraph::new(3);
+        g.add_edge(0, 1, 2);
+        g.add_edge(1, 2, 2);
+        g.push(0, 2); // inflow to 1 with no outflow
+        assert!(matches!(
+            validate_flow(&g, 0, 2),
+            Err(FlowError::ConservationViolation { vertex: 1, net: 2 })
+        ));
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let mut g = FlowGraph::new(2);
+        let e = g.add_edge(0, 1, 5);
+        g.push(e, 5);
+        g.set_cap(e, 3); // lower capacity below current flow
+        assert!(matches!(
+            validate_flow(&g, 0, 1),
+            Err(FlowError::CapacityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let err = FlowError::CapacityViolation {
+            edge: 3,
+            flow: 9,
+            cap: 5,
+        };
+        assert!(err.to_string().contains("edge 3"));
+    }
+}

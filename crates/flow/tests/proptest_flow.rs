@@ -1,0 +1,148 @@
+//! Property-based tests over random flow networks: every engine computes
+//! the same maximum flow, final flows are valid, decompositions account
+//! for the full value, and resume-after-capacity-increase matches a fresh
+//! solve.
+
+use proptest::prelude::*;
+use rds_flow::decompose::{decompose, path_value};
+use rds_flow::dinic;
+use rds_flow::ford_fulkerson::{edmonds_karp, ford_fulkerson};
+use rds_flow::graph::FlowGraph;
+use rds_flow::highest_label::HighestLabelPushRelabel;
+use rds_flow::incremental::IncrementalMaxFlow;
+use rds_flow::parallel::ParallelPushRelabel;
+use rds_flow::push_relabel::PushRelabel;
+use rds_flow::validate::validate_flow;
+
+/// A random directed graph described by a seedable edge list.
+#[derive(Clone, Debug)]
+struct RandomNet {
+    n: usize,
+    edges: Vec<(usize, usize, i64)>,
+}
+
+fn arb_net() -> impl Strategy<Value = RandomNet> {
+    (3usize..16).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 0i64..30);
+        proptest::collection::vec(edge, 1..60).prop_map(move |raw| RandomNet {
+            n,
+            edges: raw.into_iter().filter(|&(u, v, _)| u != v).collect(),
+        })
+    })
+}
+
+fn build(net: &RandomNet) -> FlowGraph {
+    let mut g = FlowGraph::new(net.n);
+    for &(u, v, c) in &net.edges {
+        g.add_edge(u, v, c);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All five sequential engines and the parallel engine agree.
+    #[test]
+    fn engines_agree(net in arb_net()) {
+        let (s, t) = (0, net.n - 1);
+        let mut g = build(&net);
+        let want = dinic::max_flow(&mut g, s, t);
+
+        let mut g = build(&net);
+        prop_assert_eq!(ford_fulkerson(&mut g, s, t), want);
+        prop_assert_eq!(validate_flow(&g, s, t), Ok(()));
+
+        let mut g = build(&net);
+        prop_assert_eq!(edmonds_karp(&mut g, s, t), want);
+
+        let mut g = build(&net);
+        prop_assert_eq!(PushRelabel::new().max_flow(&mut g, s, t), want);
+        prop_assert_eq!(validate_flow(&g, s, t), Ok(()));
+
+        let mut g = build(&net);
+        prop_assert_eq!(PushRelabel::plain().max_flow(&mut g, s, t), want);
+
+        let mut g = build(&net);
+        prop_assert_eq!(HighestLabelPushRelabel::new().max_flow(&mut g, s, t), want);
+        prop_assert_eq!(validate_flow(&g, s, t), Ok(()));
+
+        let mut g = build(&net);
+        prop_assert_eq!(ParallelPushRelabel::new(2).max_flow(&mut g, s, t), want);
+        prop_assert_eq!(validate_flow(&g, s, t), Ok(()));
+    }
+
+    /// Path decomposition accounts for exactly the flow value.
+    #[test]
+    fn decomposition_accounts_for_value(net in arb_net()) {
+        let (s, t) = (0, net.n - 1);
+        let mut g = build(&net);
+        let value = PushRelabel::new().max_flow(&mut g, s, t);
+        let d = decompose(&g, s, t);
+        prop_assert_eq!(path_value(&d), value);
+    }
+
+    /// Raising one capacity and resuming equals a fresh solve.
+    #[test]
+    fn resume_matches_fresh_after_increase(
+        net in arb_net(),
+        which in 0usize..1000,
+        extra in 1i64..10,
+    ) {
+        if net.edges.is_empty() {
+            return Ok(());
+        }
+        let (s, t) = (0, net.n - 1);
+        let mut g = build(&net);
+        let mut pr = PushRelabel::new();
+        pr.max_flow(&mut g, s, t);
+        let e = 2 * (which % net.edges.len());
+        g.set_cap(e, g.cap(e) + extra);
+        let resumed = pr.resume(&mut g, s, t);
+
+        let mut fresh = build(&net);
+        fresh.set_cap(e, fresh.cap(e) + extra);
+        let want = dinic::max_flow(&mut fresh, s, t);
+        prop_assert_eq!(resumed, want);
+        prop_assert_eq!(validate_flow(&g, s, t), Ok(()));
+    }
+
+    /// Max flow equals min cut capacity over the sink-unreachable set
+    /// (weak duality check via the residual reachability of the final
+    /// flow).
+    #[test]
+    fn max_flow_matches_residual_cut(net in arb_net()) {
+        let (s, t) = (0, net.n - 1);
+        let mut g = build(&net);
+        let value = PushRelabel::new().max_flow(&mut g, s, t);
+        // Vertices reachable from s in the residual graph.
+        let mut seen = vec![false; net.n];
+        let mut stack = vec![s];
+        seen[s] = true;
+        while let Some(v) = stack.pop() {
+            for &e in g.out_edges(v) {
+                let e = e as usize;
+                let w = g.target(e);
+                if g.residual(e) > 0 && !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        prop_assert!(!seen[t], "sink reachable: flow not maximum");
+        // Cut capacity across (seen, unseen) equals the flow value.
+        let cut: i64 = g
+            .forward_edges()
+            .filter(|&e| seen[g.source(e)] && !seen[g.target(e)])
+            .map(|e| g.cap(e))
+            .sum();
+        prop_assert_eq!(cut, value);
+        // And the min_cut module extracts the same cut.
+        let mc = rds_flow::min_cut::min_cut(&g, s, t);
+        prop_assert_eq!(mc.capacity, value);
+        prop_assert_eq!(mc.source_side, seen);
+        for &e in &mc.edges {
+            prop_assert_eq!(g.residual(e), 0, "cut edges must be saturated");
+        }
+    }
+}

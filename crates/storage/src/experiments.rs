@@ -1,0 +1,236 @@
+//! The paper's experiment configurations (Table IV) and the worked example
+//! of Table II.
+//!
+//! Every experiment uses two sites with `n` disks each (the paper's example
+//! stores copy 1 on site 1 and copy 2 on site 2, and its grids have one
+//! disk column per site disk). `R(2,10,2)` values — "a number among
+//! {2, 4, 6, 8, 10} ms chosen randomly" — are drawn from a caller-provided
+//! seed so experiment instances are reproducible.
+
+use crate::model::{Disk, Site, SystemConfig};
+use crate::specs::{self, DiskSpec};
+use crate::time::Micros;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Identifier of one of the five experiments of Table IV.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExperimentId {
+    /// Homogeneous Cheetah disks, no delays or loads (the basic problem).
+    Exp1,
+    /// Site 1 all-SSD, site 2 all-HDD; no delays or loads.
+    Exp2,
+    /// Site 1 all-HDD, site 2 all-SSD; no delays or loads.
+    Exp3,
+    /// Both sites mixed SSD+HDD; no delays or loads.
+    Exp4,
+    /// Both sites mixed SSD+HDD with random `R(2,10,2)` delays and loads.
+    Exp5,
+}
+
+impl ExperimentId {
+    /// All experiments in paper order.
+    pub const ALL: [ExperimentId; 5] = [
+        ExperimentId::Exp1,
+        ExperimentId::Exp2,
+        ExperimentId::Exp3,
+        ExperimentId::Exp4,
+        ExperimentId::Exp5,
+    ];
+
+    /// Paper experiment number (1-5).
+    pub fn number(self) -> u32 {
+        match self {
+            ExperimentId::Exp1 => 1,
+            ExperimentId::Exp2 => 2,
+            ExperimentId::Exp3 => 3,
+            ExperimentId::Exp4 => 4,
+            ExperimentId::Exp5 => 5,
+        }
+    }
+}
+
+/// Draws a value from `R(2,10,2)`: one of {2, 4, 6, 8, 10} milliseconds.
+fn r_2_10_2(rng: &mut StdRng) -> Micros {
+    Micros::from_millis(2 * rng.gen_range(1..=5u64))
+}
+
+/// Picks a random spec from a disk group (Table IV "Disks" column).
+fn pick(rng: &mut StdRng, group: &[DiskSpec]) -> DiskSpec {
+    group[rng.gen_range(0..group.len())]
+}
+
+fn site(
+    name: &str,
+    n: usize,
+    rng: &mut StdRng,
+    group: &[DiskSpec],
+    random_delay_load: bool,
+) -> Site {
+    let disks = (0..n)
+        .map(|_| {
+            let spec = if group.len() == 1 {
+                group[0]
+            } else {
+                pick(rng, group)
+            };
+            if random_delay_load {
+                Disk {
+                    spec,
+                    network_delay: r_2_10_2(rng),
+                    initial_load: r_2_10_2(rng),
+                }
+            } else {
+                Disk::unloaded(spec)
+            }
+        })
+        .collect();
+    Site {
+        name: name.to_string(),
+        disks,
+    }
+}
+
+/// Instantiates experiment `id` with `n` disks per site (2n total), drawing
+/// any random choices from `seed`.
+pub fn experiment(id: ExperimentId, n: usize, seed: u64) -> SystemConfig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (g1, g2, random): (&[DiskSpec], &[DiskSpec], bool) = match id {
+        ExperimentId::Exp1 => (&[specs::CHEETAH], &[specs::CHEETAH], false),
+        ExperimentId::Exp2 => (&specs::SSDS, &specs::HDDS, false),
+        ExperimentId::Exp3 => (&specs::HDDS, &specs::SSDS, false),
+        ExperimentId::Exp4 => (&specs::ALL_DISKS, &specs::ALL_DISKS, false),
+        ExperimentId::Exp5 => (&specs::ALL_DISKS, &specs::ALL_DISKS, true),
+    };
+    SystemConfig::new(vec![
+        site("site 1", n, &mut rng, g1, random),
+        site("site 2", n, &mut rng, g2, random),
+    ])
+}
+
+/// The worked example of Table II: 14 disks over two sites.
+///
+/// | Disk j | C_j (ms) | D_j (ms) | X_j (ms) |
+/// |---|---|---|---|
+/// | 0-6        | 8.3  | 2 | 1 |
+/// | 7,8,10,13  | 6.1  | 1 | 0 |
+/// | 9,11,12    | 13.2 | 1 | 0 |
+pub fn paper_example() -> SystemConfig {
+    let site1 = Site {
+        name: "site 1".to_string(),
+        disks: vec![
+            Disk {
+                spec: specs::RAPTOR,
+                network_delay: Micros::from_millis(2),
+                initial_load: Micros::from_millis(1),
+            };
+            7
+        ],
+    };
+    let fast = Disk {
+        spec: specs::CHEETAH,
+        network_delay: Micros::from_millis(1),
+        initial_load: Micros::ZERO,
+    };
+    let slow = Disk {
+        spec: specs::BARRACUDA,
+        network_delay: Micros::from_millis(1),
+        initial_load: Micros::ZERO,
+    };
+    // Disks 7..14, i.e. site-2 locals 0..7: fast at 7,8,10,13; slow at 9,11,12.
+    let site2 = Site {
+        name: "site 2".to_string(),
+        disks: vec![fast, fast, slow, fast, slow, slow, fast],
+    };
+    SystemConfig::new(vec![site1, site2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::DiskKind;
+
+    #[test]
+    fn exp1_is_homogeneous_cheetah() {
+        let sys = experiment(ExperimentId::Exp1, 10, 0);
+        assert_eq!(sys.num_disks(), 20);
+        assert!(sys.is_homogeneous_unloaded());
+        assert!(sys.disks().iter().all(|d| d.spec == specs::CHEETAH));
+    }
+
+    #[test]
+    fn exp2_and_exp3_are_mirrored() {
+        let e2 = experiment(ExperimentId::Exp2, 8, 1);
+        let e3 = experiment(ExperimentId::Exp3, 8, 1);
+        assert!(e2.sites()[0]
+            .disks
+            .iter()
+            .all(|d| d.spec.kind == DiskKind::Ssd));
+        assert!(e2.sites()[1]
+            .disks
+            .iter()
+            .all(|d| d.spec.kind == DiskKind::Hdd));
+        assert!(e3.sites()[0]
+            .disks
+            .iter()
+            .all(|d| d.spec.kind == DiskKind::Hdd));
+        assert!(e3.sites()[1]
+            .disks
+            .iter()
+            .all(|d| d.spec.kind == DiskKind::Ssd));
+    }
+
+    #[test]
+    fn exp4_has_no_delays_exp5_has_delays() {
+        let e4 = experiment(ExperimentId::Exp4, 20, 2);
+        assert!(e4
+            .disks()
+            .iter()
+            .all(|d| d.network_delay == Micros::ZERO && d.initial_load == Micros::ZERO));
+        let e5 = experiment(ExperimentId::Exp5, 20, 2);
+        assert!(e5.disks().iter().any(|d| d.network_delay > Micros::ZERO));
+        // All delays/loads in {2,4,6,8,10} ms.
+        for d in e5.disks() {
+            let ms = d.network_delay.as_micros() / 1000;
+            assert!((2..=10).contains(&ms) && ms % 2 == 0, "delay {ms}ms");
+            let lms = d.initial_load.as_micros() / 1000;
+            assert!((2..=10).contains(&lms) && lms % 2 == 0, "load {lms}ms");
+        }
+    }
+
+    #[test]
+    fn experiments_are_reproducible() {
+        let a = experiment(ExperimentId::Exp5, 12, 77);
+        let b = experiment(ExperimentId::Exp5, 12, 77);
+        assert_eq!(a, b);
+        let c = experiment(ExperimentId::Exp5, 12, 78);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn paper_example_matches_table_ii() {
+        let sys = paper_example();
+        assert_eq!(sys.num_disks(), 14);
+        assert_eq!(sys.num_sites(), 2);
+        for j in 0..7 {
+            assert_eq!(sys.disk(j).cost(), Micros::from_tenths_ms(83));
+            assert_eq!(sys.disk(j).network_delay, Micros::from_millis(2));
+            assert_eq!(sys.disk(j).initial_load, Micros::from_millis(1));
+        }
+        for j in [7usize, 8, 10, 13] {
+            assert_eq!(sys.disk(j).cost(), Micros::from_tenths_ms(61));
+            assert_eq!(sys.disk(j).network_delay, Micros::from_millis(1));
+            assert_eq!(sys.disk(j).initial_load, Micros::ZERO);
+        }
+        for j in [9usize, 11, 12] {
+            assert_eq!(sys.disk(j).cost(), Micros::from_tenths_ms(132));
+        }
+    }
+
+    #[test]
+    fn experiment_numbers() {
+        assert_eq!(ExperimentId::Exp1.number(), 1);
+        assert_eq!(ExperimentId::Exp5.number(), 5);
+        assert_eq!(ExperimentId::ALL.len(), 5);
+    }
+}

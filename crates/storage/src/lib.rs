@@ -1,0 +1,51 @@
+//! # rds-storage
+//!
+//! Storage-system model for the optimal response time retrieval problem:
+//! disks, sites, network delays, initial loads, and the paper's experiment
+//! configurations.
+//!
+//! The model follows the notation of the paper's Table I:
+//!
+//! | Notation | Meaning |
+//! |---|---|
+//! | `N`   | total number of disks in the system |
+//! | `|Q|` | total number of buckets to be retrieved (query size) |
+//! | `c`   | number of copies of each bucket |
+//! | `C_j` | average retrieval cost of a single bucket from disk `j` |
+//! | `D_j` | network delay to the server where disk `j` is located |
+//! | `X_j` | time until disk `j` becomes idle (its initial load) |
+//!
+//! Retrieving `k` buckets from disk `j` completes at
+//! `D_j + X_j + k * C_j` ([`model::Disk::completion_time`]); within a
+//! response-time budget `t`, disk `j` can serve
+//! `floor((t - D_j - X_j) / C_j)` buckets
+//! ([`model::Disk::capacity_within`]) — this is exactly the disk-edge
+//! capacity formula of the paper's Algorithm 6 (line 15).
+//!
+//! All times are fixed-point microseconds ([`time::Micros`]), so the
+//! binary capacity scaling of Algorithm 6 terminates on exact integer
+//! arithmetic with no floating-point edge cases.
+//!
+//! ## Example
+//!
+//! ```
+//! use rds_storage::experiments::{experiment, ExperimentId};
+//! use rds_storage::time::Micros;
+//!
+//! // Experiment 5 (Table IV): mixed SSD+HDD sites, random delays/loads.
+//! let system = experiment(ExperimentId::Exp5, 10, 42);
+//! assert_eq!(system.num_disks(), 20);
+//!
+//! // How many buckets can disk 0 serve within a 25 ms budget?
+//! let cap = system.disk(0).capacity_within(Micros::from_millis(25));
+//! assert_eq!(system.disk(0).capacity_within(system.disk(0).completion_time(cap)), cap);
+//! ```
+
+pub mod experiments;
+pub mod model;
+pub mod specs;
+pub mod time;
+
+pub use model::{Disk, Site, SystemConfig};
+pub use specs::DiskSpec;
+pub use time::Micros;

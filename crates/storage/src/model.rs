@@ -1,0 +1,261 @@
+//! System model: disks with per-disk cost/delay/load, grouped into sites.
+//!
+//! The generalized retrieval problem (paper §II-E) is parameterized by the
+//! triple `(C_j, D_j, X_j)` per disk `j`. A [`SystemConfig`] is the flat
+//! list of all disks in the system together with their site memberships;
+//! all retrieval algorithms address disks by their global index.
+
+use crate::specs::DiskSpec;
+use crate::time::Micros;
+use serde::Serialize;
+
+/// One physical disk with its retrieval-cost parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct Disk {
+    /// Hardware model (provides the per-bucket cost `C_j`).
+    pub spec: DiskSpec,
+    /// Network delay `D_j` to the site holding this disk.
+    pub network_delay: Micros,
+    /// Initial load `X_j`: time until the disk is idle.
+    pub initial_load: Micros,
+}
+
+impl Disk {
+    /// A disk with no delay and no initial load.
+    pub fn unloaded(spec: DiskSpec) -> Disk {
+        Disk {
+            spec,
+            network_delay: Micros::ZERO,
+            initial_load: Micros::ZERO,
+        }
+    }
+
+    /// Per-bucket retrieval cost `C_j`.
+    #[inline]
+    pub fn cost(&self) -> Micros {
+        self.spec.access_time
+    }
+
+    /// Fixed overhead `D_j + X_j` paid before the first bucket arrives.
+    #[inline]
+    pub fn overhead(&self) -> Micros {
+        self.network_delay + self.initial_load
+    }
+
+    /// Completion time for retrieving `k` buckets from this disk:
+    /// `D_j + X_j + k * C_j`.
+    #[inline]
+    pub fn completion_time(&self, k: u64) -> Micros {
+        self.overhead() + self.cost() * k
+    }
+
+    /// Number of buckets this disk can serve within the response-time
+    /// budget `t`: `floor((t - D_j - X_j) / C_j)`, zero when `t` does not
+    /// even cover the overhead. This is the disk-edge capacity formula of
+    /// Algorithm 6 (line 15) and Algorithm 6 line 41.
+    #[inline]
+    pub fn capacity_within(&self, t: Micros) -> u64 {
+        t.saturating_sub(self.overhead()).div_duration(self.cost())
+    }
+}
+
+/// A group of disks behind one network endpoint.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct Site {
+    /// Human-readable label ("site 1", ...).
+    pub name: String,
+    /// Disks at this site, already carrying the site's network delay.
+    pub disks: Vec<Disk>,
+}
+
+/// The complete storage system: every disk in every site, addressed by a
+/// global disk index (site order, then site-local order).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct SystemConfig {
+    sites: Vec<Site>,
+    /// Flattened disks; `site_of[j]` gives the owning site of disk `j`.
+    disks: Vec<Disk>,
+    site_of: Vec<usize>,
+}
+
+impl SystemConfig {
+    /// Builds a system from sites.
+    pub fn new(sites: Vec<Site>) -> SystemConfig {
+        let mut disks = Vec::new();
+        let mut site_of = Vec::new();
+        for (i, site) in sites.iter().enumerate() {
+            for d in &site.disks {
+                disks.push(*d);
+                site_of.push(i);
+            }
+        }
+        SystemConfig {
+            sites,
+            disks,
+            site_of,
+        }
+    }
+
+    /// A single-site homogeneous system of `n` identical unloaded disks —
+    /// the *basic* retrieval problem setting (paper §II-D).
+    pub fn homogeneous(spec: DiskSpec, n: usize) -> SystemConfig {
+        SystemConfig::new(vec![Site {
+            name: "site 1".to_string(),
+            disks: vec![Disk::unloaded(spec); n],
+        }])
+    }
+
+    /// Total number of disks `N`.
+    #[inline]
+    pub fn num_disks(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Number of sites.
+    #[inline]
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// All disks in global index order.
+    #[inline]
+    pub fn disks(&self) -> &[Disk] {
+        &self.disks
+    }
+
+    /// The disk with global index `j`.
+    #[inline]
+    pub fn disk(&self, j: usize) -> &Disk {
+        &self.disks[j]
+    }
+
+    /// Site index owning disk `j`.
+    #[inline]
+    pub fn site_of(&self, j: usize) -> usize {
+        self.site_of[j]
+    }
+
+    /// Sites in declaration order.
+    #[inline]
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// Global index of the first disk of site `i`.
+    pub fn site_disk_offset(&self, i: usize) -> usize {
+        self.sites[..i].iter().map(|s| s.disks.len()).sum()
+    }
+
+    /// Whether all disks share one spec with zero delay and load (i.e. the
+    /// basic problem applies and `|Q|/N` is a valid capacity lower bound).
+    pub fn is_homogeneous_unloaded(&self) -> bool {
+        self.disks.iter().all(|d| {
+            d.spec == self.disks[0].spec
+                && d.network_delay == Micros::ZERO
+                && d.initial_load == Micros::ZERO
+        })
+    }
+
+    /// The smallest per-bucket cost in the system (`min_speed` of
+    /// Algorithm 6, lines 9-10).
+    pub fn min_speed(&self) -> Micros {
+        self.disks
+            .iter()
+            .map(|d| d.cost())
+            .min()
+            .expect("system has no disks")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::{CHEETAH, RAPTOR, VERTEX};
+
+    fn raptor_loaded() -> Disk {
+        Disk {
+            spec: RAPTOR,
+            network_delay: Micros::from_millis(2),
+            initial_load: Micros::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn completion_time_matches_formula() {
+        // Table II row "0-6": C=8.3, D=2, X=1. Retrieving 3 buckets:
+        // 2 + 1 + 3*8.3 = 27.9 ms.
+        let d = raptor_loaded();
+        assert_eq!(d.completion_time(3), Micros::from_tenths_ms(279));
+        assert_eq!(d.completion_time(0), Micros::from_millis(3));
+    }
+
+    #[test]
+    fn capacity_within_floors() {
+        let d = raptor_loaded();
+        // Budget 27.9 ms: exactly 3 buckets.
+        assert_eq!(d.capacity_within(Micros::from_tenths_ms(279)), 3);
+        // Budget 27.8 ms: only 2.
+        assert_eq!(d.capacity_within(Micros::from_tenths_ms(278)), 2);
+        // Budget below overhead: zero.
+        assert_eq!(d.capacity_within(Micros::from_millis(2)), 0);
+    }
+
+    #[test]
+    fn capacity_and_completion_are_inverse() {
+        let d = raptor_loaded();
+        for k in 0..50 {
+            let t = d.completion_time(k);
+            assert_eq!(d.capacity_within(t), k);
+        }
+    }
+
+    #[test]
+    fn homogeneous_detection() {
+        let sys = SystemConfig::homogeneous(CHEETAH, 7);
+        assert!(sys.is_homogeneous_unloaded());
+        assert_eq!(sys.num_disks(), 7);
+        assert_eq!(sys.num_sites(), 1);
+
+        let het = SystemConfig::new(vec![Site {
+            name: "s".into(),
+            disks: vec![Disk::unloaded(CHEETAH), Disk::unloaded(VERTEX)],
+        }]);
+        assert!(!het.is_homogeneous_unloaded());
+    }
+
+    #[test]
+    fn global_disk_indexing_spans_sites() {
+        let sys = SystemConfig::new(vec![
+            Site {
+                name: "site 1".into(),
+                disks: vec![Disk::unloaded(CHEETAH); 3],
+            },
+            Site {
+                name: "site 2".into(),
+                disks: vec![Disk::unloaded(VERTEX); 2],
+            },
+        ]);
+        assert_eq!(sys.num_disks(), 5);
+        assert_eq!(sys.site_of(0), 0);
+        assert_eq!(sys.site_of(2), 0);
+        assert_eq!(sys.site_of(3), 1);
+        assert_eq!(sys.site_disk_offset(0), 0);
+        assert_eq!(sys.site_disk_offset(1), 3);
+        assert_eq!(sys.disk(3).spec, VERTEX);
+    }
+
+    #[test]
+    fn min_speed_finds_fastest_disk() {
+        let sys = SystemConfig::new(vec![Site {
+            name: "s".into(),
+            disks: vec![Disk::unloaded(CHEETAH), Disk::unloaded(VERTEX)],
+        }]);
+        assert_eq!(sys.min_speed(), VERTEX.access_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "no disks")]
+    fn min_speed_panics_on_empty_system() {
+        SystemConfig::new(vec![]).min_speed();
+    }
+}

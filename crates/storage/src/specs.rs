@@ -1,0 +1,121 @@
+//! Disk specifications — the paper's Table III.
+//!
+//! The `time` column is the average access time to read one block,
+//! measured by the authors with the Ubuntu disk utility: spin-up + seek +
+//! rotational latency + transfer time for HDDs, transfer time only for
+//! SSDs.
+
+use crate::time::Micros;
+use serde::Serialize;
+
+/// Drive technology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum DiskKind {
+    /// Rotational hard disk drive.
+    Hdd,
+    /// Solid-state drive.
+    Ssd,
+}
+
+/// A disk model from the paper's Table III.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub struct DiskSpec {
+    /// Manufacturer (Table III "Producer").
+    pub producer: &'static str,
+    /// Model name (Table III "Model").
+    pub model: &'static str,
+    /// Drive technology (Table III "Type").
+    pub kind: DiskKind,
+    /// Spindle speed; `None` for SSDs (Table III "RPM").
+    pub rpm: Option<u32>,
+    /// Average single-block access time `C_j` (Table III "Time").
+    pub access_time: Micros,
+}
+
+/// Seagate Barracuda, 7.2K RPM HDD, 13.2 ms.
+pub const BARRACUDA: DiskSpec = DiskSpec {
+    producer: "Seagate",
+    model: "Barracuda",
+    kind: DiskKind::Hdd,
+    rpm: Some(7_200),
+    access_time: Micros::from_tenths_ms(132),
+};
+
+/// Western Digital Raptor, 10K RPM HDD, 8.3 ms.
+pub const RAPTOR: DiskSpec = DiskSpec {
+    producer: "WD",
+    model: "Raptor",
+    kind: DiskKind::Hdd,
+    rpm: Some(10_000),
+    access_time: Micros::from_tenths_ms(83),
+};
+
+/// Seagate Cheetah, 15K RPM HDD, 6.1 ms.
+pub const CHEETAH: DiskSpec = DiskSpec {
+    producer: "Seagate",
+    model: "Cheetah",
+    kind: DiskKind::Hdd,
+    rpm: Some(15_000),
+    access_time: Micros::from_tenths_ms(61),
+};
+
+/// OCZ Vertex SSD, 0.5 ms.
+pub const VERTEX: DiskSpec = DiskSpec {
+    producer: "OCZ",
+    model: "Vertex",
+    kind: DiskKind::Ssd,
+    rpm: None,
+    access_time: Micros::from_tenths_ms(5),
+};
+
+/// Intel X25-E SSD, 0.2 ms.
+pub const X25_E: DiskSpec = DiskSpec {
+    producer: "Intel",
+    model: "X25-E",
+    kind: DiskKind::Ssd,
+    rpm: None,
+    access_time: Micros::from_tenths_ms(2),
+};
+
+/// The HDD group of Table IV's "disk group" column.
+pub const HDDS: [DiskSpec; 3] = [BARRACUDA, RAPTOR, CHEETAH];
+
+/// The SSD group.
+pub const SSDS: [DiskSpec; 2] = [VERTEX, X25_E];
+
+/// The combined `ssd+hdd` group.
+pub const ALL_DISKS: [DiskSpec; 5] = [BARRACUDA, RAPTOR, CHEETAH, VERTEX, X25_E];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_values_match_paper() {
+        assert_eq!(BARRACUDA.access_time.as_millis_f64(), 13.2);
+        assert_eq!(RAPTOR.access_time.as_millis_f64(), 8.3);
+        assert_eq!(CHEETAH.access_time.as_millis_f64(), 6.1);
+        assert_eq!(VERTEX.access_time.as_millis_f64(), 0.5);
+        assert_eq!(X25_E.access_time.as_millis_f64(), 0.2);
+    }
+
+    #[test]
+    fn groups_partition_by_kind() {
+        assert!(HDDS.iter().all(|d| d.kind == DiskKind::Hdd));
+        assert!(SSDS.iter().all(|d| d.kind == DiskKind::Ssd));
+        assert_eq!(ALL_DISKS.len(), HDDS.len() + SSDS.len());
+    }
+
+    #[test]
+    fn ssds_have_no_rpm() {
+        assert!(SSDS.iter().all(|d| d.rpm.is_none()));
+        assert!(HDDS.iter().all(|d| d.rpm.is_some()));
+    }
+
+    #[test]
+    fn ssds_are_faster_than_hdds() {
+        let slowest_ssd = SSDS.iter().map(|d| d.access_time).max().unwrap();
+        let fastest_hdd = HDDS.iter().map(|d| d.access_time).min().unwrap();
+        assert!(slowest_ssd < fastest_hdd);
+    }
+}

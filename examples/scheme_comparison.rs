@@ -1,0 +1,104 @@
+//! Comparing replicated declustering schemes by optimal response time.
+//!
+//! The retrieval algorithms find the *optimal schedule for a given
+//! layout*; how good that optimum is depends on the allocation scheme.
+//! This example evaluates RDA, dependent periodic and orthogonal
+//! allocations (paper §VI-A) under range and arbitrary query loads on a
+//! heterogeneous two-site system, reporting the mean optimal response
+//! time per scheme — the layout half of the paper's design space.
+//!
+//! ```text
+//! cargo run --release --example scheme_comparison
+//! ```
+
+use replicated_retrieval::prelude::*;
+
+fn mean_response(
+    system: &SystemConfig,
+    alloc: &ReplicaMap,
+    kind: QueryKind,
+    load: Load,
+    n: usize,
+    queries: usize,
+    seed: u64,
+) -> f64 {
+    let solver = PushRelabelBinary;
+    let mut gen = QueryGenerator::new(n, kind, load, seed);
+    let mut total = Micros::ZERO;
+    for _ in 0..queries {
+        let q = gen.next_query();
+        let inst = RetrievalInstance::build(system, alloc, &q.buckets(n));
+        total += solver.solve(&inst).response_time;
+    }
+    total.as_millis_f64() / queries as f64
+}
+
+fn main() {
+    let n = 16;
+    let queries = 30;
+    let seed = 7;
+    let system = experiment(ExperimentId::Exp4, n, seed);
+
+    let schemes: Vec<(&str, ReplicaMap)> = vec![
+        (
+            "RDA",
+            ReplicaMap::build(&RandomDuplicateAllocation::two_site(n, seed)),
+        ),
+        (
+            "Dependent",
+            ReplicaMap::build(&DependentPeriodicAllocation::new(n, Placement::PerSite)),
+        ),
+        (
+            "Orthogonal",
+            ReplicaMap::build(&OrthogonalAllocation::new(n, Placement::PerSite)),
+        ),
+    ];
+
+    println!(
+        "Experiment 4 system ({} mixed SSD+HDD disks), {}x{} grid, {} queries per cell\n",
+        system.num_disks(),
+        n,
+        n,
+        queries
+    );
+    println!(
+        "{:<12} {:>22} {:>22} {:>22}",
+        "scheme", "range load1 (ms)", "arbitrary load1 (ms)", "arbitrary load3 (ms)"
+    );
+    for (name, alloc) in &schemes {
+        let r1 = mean_response(
+            &system,
+            alloc,
+            QueryKind::Range,
+            Load::Load1,
+            n,
+            queries,
+            seed,
+        );
+        let a1 = mean_response(
+            &system,
+            alloc,
+            QueryKind::Arbitrary,
+            Load::Load1,
+            n,
+            queries,
+            seed,
+        );
+        let a3 = mean_response(
+            &system,
+            alloc,
+            QueryKind::Arbitrary,
+            Load::Load3,
+            n,
+            queries,
+            seed,
+        );
+        println!("{name:<12} {r1:>22.2} {a1:>22.2} {a3:>22.2}");
+    }
+
+    println!(
+        "\nLower is better: mean optimal response time of the scheduled\n\
+         retrieval. Structured allocations (dependent/orthogonal) spread\n\
+         range queries more evenly; RDA is competitive on arbitrary queries."
+    );
+}

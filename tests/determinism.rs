@@ -1,0 +1,59 @@
+//! Reproducibility: every randomized component is seed-deterministic, so
+//! experiment runs can be replicated exactly.
+
+use replicated_retrieval::core::pr::PushRelabelBinary;
+use replicated_retrieval::prelude::*;
+
+#[test]
+fn experiments_reproduce_from_seed() {
+    for id in ExperimentId::ALL {
+        let a = experiment(id, 9, 1234);
+        let b = experiment(id, 9, 1234);
+        assert_eq!(a, b, "{id:?}");
+    }
+}
+
+#[test]
+fn rda_reproduces_from_seed() {
+    let a = ReplicaMap::build(&RandomDuplicateAllocation::two_site(11, 77));
+    let b = ReplicaMap::build(&RandomDuplicateAllocation::two_site(11, 77));
+    for row in 0..11u32 {
+        for col in 0..11u32 {
+            let bk = Bucket::new(row, col);
+            assert_eq!(a.replicas(bk), b.replicas(bk));
+        }
+    }
+}
+
+#[test]
+fn query_streams_reproduce_from_seed() {
+    for kind in [QueryKind::Range, QueryKind::Arbitrary] {
+        for load in [Load::Load1, Load::Load2, Load::Load3] {
+            let mut a = QueryGenerator::new(13, kind, load, 5);
+            let mut b = QueryGenerator::new(13, kind, load, 5);
+            for _ in 0..10 {
+                assert_eq!(a.next_query(), b.next_query(), "{kind:?} {load:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sequential_solves_are_fully_deterministic() {
+    let system = experiment(ExperimentId::Exp5, 8, 3);
+    let alloc = ReplicaMap::build(&OrthogonalAllocation::new(8, Placement::PerSite));
+    let q = RangeQuery::new(1, 2, 6, 5);
+    let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(8));
+    let a = PushRelabelBinary.solve(&inst);
+    let b = PushRelabelBinary.solve(&inst);
+    assert_eq!(a.response_time, b.response_time);
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn different_seeds_give_different_workloads() {
+    let a = experiment(ExperimentId::Exp5, 9, 1);
+    let b = experiment(ExperimentId::Exp5, 9, 2);
+    assert_ne!(a, b);
+}

@@ -1,0 +1,194 @@
+//! Degenerate and adversarial instances: the solvers must stay correct at
+//! the edges of the model.
+
+use replicated_retrieval::core::blackbox::BlackBoxPushRelabel;
+use replicated_retrieval::core::ff::FordFulkersonIncremental;
+use replicated_retrieval::core::parallel::ParallelPushRelabelBinary;
+use replicated_retrieval::core::pr::{PushRelabelBinary, PushRelabelIncremental};
+use replicated_retrieval::core::verify::{assert_outcome_valid, oracle_optimal_response};
+use replicated_retrieval::decluster::allocation::Replicas;
+use replicated_retrieval::prelude::*;
+use replicated_retrieval::storage::model::{Disk, Site};
+use replicated_retrieval::storage::specs;
+
+/// Single-replica allocation forcing every bucket onto one disk: the
+/// worst case the paper's complexity analysis cites (O(|Q|) increments).
+struct AllOnOneDisk {
+    n: usize,
+}
+
+impl ReplicaSource for AllOnOneDisk {
+    fn grid_size(&self) -> usize {
+        self.n
+    }
+    fn num_disks(&self) -> usize {
+        self.n
+    }
+    fn replicas(&self, _b: Bucket) -> Replicas {
+        Replicas::from_slice(&[0])
+    }
+}
+
+#[test]
+fn all_buckets_on_a_single_disk() {
+    let n = 5;
+    let system = SystemConfig::homogeneous(specs::CHEETAH, n);
+    let q = RangeQuery::new(0, 0, n, n); // all 25 buckets
+    let inst = RetrievalInstance::build(&system, &AllOnOneDisk { n }, &q.buckets(n));
+    for solver in [
+        &PushRelabelBinary as &dyn RetrievalSolver,
+        &PushRelabelIncremental,
+        &FordFulkersonIncremental,
+        &BlackBoxPushRelabel,
+    ] {
+        let outcome = solver.solve(&inst);
+        assert_outcome_valid(&inst, &outcome);
+        // 25 buckets serially from one cheetah: 25 * 6.1ms.
+        assert_eq!(
+            outcome.response_time,
+            Micros::from_tenths_ms(61) * 25,
+            "{}",
+            solver.name()
+        );
+    }
+}
+
+#[test]
+fn single_disk_system() {
+    let system = SystemConfig::homogeneous(specs::VERTEX, 1);
+    struct One;
+    impl ReplicaSource for One {
+        fn grid_size(&self) -> usize {
+            1
+        }
+        fn num_disks(&self) -> usize {
+            1
+        }
+        fn replicas(&self, _b: Bucket) -> Replicas {
+            Replicas::from_slice(&[0])
+        }
+    }
+    let inst = RetrievalInstance::build(&system, &One, &[Bucket::new(0, 0)]);
+    let outcome = PushRelabelBinary.solve(&inst);
+    assert_eq!(outcome.response_time, Micros::from_tenths_ms(5));
+}
+
+#[test]
+fn extreme_initial_load_shifts_schedule() {
+    // Two disks, both hold every bucket; one is super fast but massively
+    // loaded — the optimum splits or avoids it.
+    struct Both;
+    impl ReplicaSource for Both {
+        fn grid_size(&self) -> usize {
+            2
+        }
+        fn num_disks(&self) -> usize {
+            2
+        }
+        fn replicas(&self, _b: Bucket) -> Replicas {
+            Replicas::from_slice(&[0, 1])
+        }
+    }
+    let system = SystemConfig::new(vec![Site {
+        name: "s".into(),
+        disks: vec![
+            Disk {
+                spec: specs::X25_E, // 0.2ms per bucket
+                network_delay: Micros::ZERO,
+                initial_load: Micros::from_millis(60),
+            },
+            Disk::unloaded(specs::BARRACUDA), // 13.2ms per bucket
+        ],
+    }]);
+    let q = RangeQuery::new(0, 0, 2, 2); // 4 buckets
+    let inst = RetrievalInstance::build(&system, &Both, &q.buckets(2));
+    let outcome = PushRelabelBinary.solve(&inst);
+    assert_eq!(outcome.response_time, oracle_optimal_response(&inst));
+    // All 4 on the barracuda: 52.8ms; all 4 on the loaded SSD: 60.8ms;
+    // optimal splits 3 (39.6) / 1 (60.2)... no: 60.2 > 52.8. Best is all
+    // on the barracuda.
+    assert_eq!(outcome.response_time, Micros::from_tenths_ms(528));
+}
+
+#[test]
+fn zero_cost_is_rejected_by_model() {
+    // The model requires positive per-bucket cost (division by C); all
+    // shipped specs are positive.
+    for spec in specs::ALL_DISKS {
+        assert!(spec.access_time > Micros::ZERO);
+    }
+}
+
+#[test]
+fn empty_query_across_all_solvers() {
+    let system = paper_example();
+    let alloc = OrthogonalAllocation::paper_7x7();
+    let inst = RetrievalInstance::build(&system, &alloc, &[]);
+    for solver in [
+        &PushRelabelBinary as &dyn RetrievalSolver,
+        &PushRelabelIncremental,
+        &FordFulkersonIncremental,
+        &BlackBoxPushRelabel,
+        &ParallelPushRelabelBinary::new(2),
+    ] {
+        let outcome = solver.solve(&inst);
+        assert_eq!(outcome.flow_value, 0, "{}", solver.name());
+        assert_eq!(outcome.response_time, Micros::ZERO);
+    }
+}
+
+#[test]
+fn full_grid_query_on_every_experiment() {
+    for id in ExperimentId::ALL {
+        let n = 5;
+        let system = experiment(id, n, 9);
+        let alloc = ReplicaMap::build(&OrthogonalAllocation::new(n, Placement::PerSite));
+        let q = RangeQuery::new(0, 0, n, n);
+        let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(n));
+        let a = PushRelabelBinary.solve(&inst);
+        let b = FordFulkersonIncremental.solve(&inst);
+        assert_eq!(a.response_time, b.response_time, "{id:?}");
+        assert_outcome_valid(&inst, &a);
+    }
+}
+
+#[test]
+fn duplicate_buckets_in_query_are_distinct_vertices() {
+    // The network builder takes the bucket list as-is; a caller passing
+    // the same bucket twice retrieves it twice (two units of flow).
+    let system = SystemConfig::homogeneous(specs::CHEETAH, 4);
+    let alloc = OrthogonalAllocation::new(4, Placement::SingleSite);
+    let b = Bucket::new(1, 1);
+    let inst = RetrievalInstance::build(&system, &alloc, &[b, b]);
+    let outcome = PushRelabelBinary.solve(&inst);
+    assert_eq!(outcome.flow_value, 2);
+    assert_outcome_valid(&inst, &outcome);
+}
+
+#[test]
+fn huge_network_delay_dominates() {
+    // A site so distant that even its SSDs lose to local HDDs.
+    let far_ssd = Disk {
+        spec: specs::X25_E,
+        network_delay: Micros::from_millis(1_000),
+        initial_load: Micros::ZERO,
+    };
+    let system = SystemConfig::new(vec![
+        Site {
+            name: "local".into(),
+            disks: vec![Disk::unloaded(specs::BARRACUDA); 3],
+        },
+        Site {
+            name: "far".into(),
+            disks: vec![far_ssd; 3],
+        },
+    ]);
+    let alloc = ReplicaMap::build(&DependentPeriodicAllocation::new(3, Placement::PerSite));
+    let q = RangeQuery::new(0, 0, 3, 3);
+    let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(3));
+    let outcome = PushRelabelBinary.solve(&inst);
+    assert_eq!(outcome.response_time, oracle_optimal_response(&inst));
+    let counts = outcome.schedule.per_disk_counts(6);
+    let far_total: u64 = counts[3..].iter().sum();
+    assert_eq!(far_total, 0, "distant site must be unused");
+}

@@ -1,0 +1,119 @@
+//! The paper's worked example (Sections II-D/II-E, Figures 2-4, Tables
+//! I-II) as an executable specification.
+
+use replicated_retrieval::core::pr::PushRelabelBinary;
+use replicated_retrieval::core::verify::oracle_optimal_response;
+use replicated_retrieval::prelude::*;
+
+/// §II-D: query q1 is 3×2 with optimal cost ⌈6/7⌉ = 1 on the basic
+/// problem; replication achieves it even though a single copy cannot.
+#[test]
+fn q1_basic_problem_needs_replication_for_one_access() {
+    let n = 7;
+    let system = experiment(ExperimentId::Exp1, n, 0); // homogeneous, 2 sites
+    let alloc = OrthogonalAllocation::paper_7x7();
+    let q1 = RangeQuery::new(0, 0, 3, 2);
+    let buckets = q1.buckets(n);
+    assert_eq!(buckets.len(), 6);
+
+    // Single copy (copy 1 only): some disk must serve ≥ 2 buckets because
+    // a 3x2 rectangle cannot be spread 1-per-disk by the lattice.
+    let mut per_disk = [0usize; 14];
+    for &b in &buckets {
+        per_disk[alloc.replicas(b).disk(0)] += 1;
+    }
+    let single_copy_cost = *per_disk.iter().max().unwrap();
+    assert!(single_copy_cost >= 1);
+
+    // With both copies the max-flow schedule retrieves one bucket per
+    // disk: response = 1 access of a cheetah (6.1 ms).
+    let inst = RetrievalInstance::build(&system, &alloc, &buckets);
+    let outcome = PushRelabelBinary.solve(&inst);
+    assert_eq!(outcome.response_time, Micros::from_tenths_ms(61));
+    let counts = outcome.schedule.per_disk_counts(inst.num_disks());
+    assert!(counts.iter().all(|&k| k <= 1), "one access per disk");
+}
+
+/// §II-E / Figure 4: the generalized problem on the Table II system.
+#[test]
+fn q1_generalized_matches_figure_4_budget() {
+    let system = paper_example();
+    let alloc = OrthogonalAllocation::paper_7x7();
+    let q1 = RangeQuery::new(0, 0, 3, 2);
+    let inst = RetrievalInstance::build(&system, &alloc, &q1.buckets(7));
+
+    let outcome = PushRelabelBinary.solve(&inst);
+    // Figure 4 shows capacities 1 for site-1 disks (completion 11.3ms) and
+    // the fast site-2 disks (7.1ms), 0 for the slow ones: the optimal
+    // budget is 11.3ms.
+    assert_eq!(outcome.response_time, Micros::from_tenths_ms(113));
+    assert_eq!(outcome.response_time, oracle_optimal_response(&inst));
+
+    // Figure 4 capacity vector at the optimal budget.
+    let mut g = inst.graph.clone();
+    inst.set_caps_for_budget(&mut g, outcome.response_time);
+    let caps: Vec<i64> = inst.disk_edges.iter().map(|&e| g.cap(e)).collect();
+    let expected = [1i64, 1, 1, 1, 1, 1, 1, 1, 1, 0, 1, 0, 0, 1];
+    assert_eq!(caps, expected, "Figure 4 edge capacities");
+}
+
+/// Table II parameters drive the completion-time formula used everywhere.
+#[test]
+fn table_ii_completion_times() {
+    let system = paper_example();
+    // Site-1 raptor: D=2, X=1, C=8.3 → 1 bucket at 11.3ms, 2 at 19.6ms.
+    assert_eq!(
+        system.disk(0).completion_time(1),
+        Micros::from_tenths_ms(113)
+    );
+    assert_eq!(
+        system.disk(0).completion_time(2),
+        Micros::from_tenths_ms(196)
+    );
+    // Fast site-2 cheetah: D=1, X=0, C=6.1 → 1 bucket at 7.1ms.
+    assert_eq!(
+        system.disk(7).completion_time(1),
+        Micros::from_tenths_ms(71)
+    );
+    // Slow site-2 barracuda: 1 bucket at 14.2ms.
+    assert_eq!(
+        system.disk(9).completion_time(1),
+        Micros::from_tenths_ms(142)
+    );
+}
+
+/// Figure 3 structure: the single-site basic network for q1 has unit
+/// capacities everywhere because ⌈|Q|/N⌉ = 1.
+#[test]
+fn figure_3_network_shape() {
+    let system = SystemConfig::homogeneous(replicated_retrieval::storage::specs::CHEETAH, 7);
+    let alloc = OrthogonalAllocation::new(7, Placement::SingleSite);
+    let q1 = RangeQuery::new(0, 0, 3, 2);
+    let inst = RetrievalInstance::build(&system, &alloc, &q1.buckets(7));
+    // 6 buckets + 7 disks + s + t.
+    assert_eq!(inst.graph.num_vertices(), 15);
+    // Every bucket has at most 2 replica edges.
+    for i in 0..6 {
+        let v = inst.bucket_vertex(i);
+        let fwd = inst.graph.forward_out_degree(v);
+        assert!((1..=2).contains(&fwd), "bucket {i} has {fwd} replica edges");
+    }
+    // ⌈6/7⌉ = 1: the FF-basic starting capacity is 1 (validated through
+    // the solve producing one access per disk).
+    let outcome = PushRelabelBinary.solve(&inst);
+    assert_eq!(outcome.response_time, Micros::from_tenths_ms(61));
+}
+
+/// The orthogonality property the paper's Figure 2 illustrates.
+#[test]
+fn figure_2_orthogonality() {
+    let alloc = OrthogonalAllocation::new(7, Placement::SingleSite);
+    let mut pairs = std::collections::HashSet::new();
+    for row in 0..7u32 {
+        for col in 0..7u32 {
+            let b = Bucket::new(row, col);
+            assert!(pairs.insert((alloc.f(b), alloc.g(b))));
+        }
+    }
+    assert_eq!(pairs.len(), 49, "each disk pair appears exactly once");
+}
