@@ -1,10 +1,10 @@
-//! Criterion benches, one group per paper figure.
+//! Timing benches, one group per paper figure (`cargo bench --bench figures`).
 //!
 //! Each group benchmarks the same solver pairing as its figure on a fixed
 //! mid-size workload (the `figures` binary does the full sweeps; these
-//! benches exist for regression tracking with statistical rigor).
+//! benches exist for coarse regression tracking). Plain `main()` harness:
+//! the workspace builds offline, without criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rds_bench::harness::{Scheme, Workload};
 use rds_core::blackbox::BlackBoxPushRelabel;
 use rds_core::ff::{FordFulkersonBasic, FordFulkersonIncremental};
@@ -13,47 +13,50 @@ use rds_core::pr::{PushRelabelBinary, PushRelabelIncremental};
 use rds_core::solver::RetrievalSolver;
 use rds_decluster::load::{Load, QueryKind};
 use rds_storage::experiments::ExperimentId;
+use std::time::Instant;
 
 const N: usize = 16;
 const QUERIES: usize = 5;
 const SEED: u64 = 2012;
+const SAMPLES: usize = 10;
 
 fn solve_all(solver: &dyn RetrievalSolver, w: &Workload) -> u64 {
     w.instances
         .iter()
-        .map(|inst| solver.solve(inst).response_time.as_micros())
+        .map(|inst| {
+            solver
+                .solve(inst)
+                .expect("bench instance is feasible")
+                .response_time
+                .as_micros()
+        })
         .sum()
 }
 
-fn bench_pair(
-    c: &mut Criterion,
-    group: &str,
-    w: &Workload,
-    solvers: &[(&str, &dyn RetrievalSolver)],
-) {
-    let mut g = c.benchmark_group(group);
-    g.sample_size(10);
+/// Times `SAMPLES` runs of each solver on `w` and prints the best run.
+fn bench_pair(group: &str, w: &Workload, solvers: &[(&str, &dyn RetrievalSolver)]) {
+    println!("{group}");
     for (label, solver) in solvers {
-        g.bench_with_input(BenchmarkId::from_parameter(label), w, |b, w| {
-            b.iter(|| solve_all(*solver, w))
-        });
+        let mut best = f64::INFINITY;
+        let mut checksum = 0u64;
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            checksum = checksum.wrapping_add(solve_all(*solver, w));
+            let dt = start.elapsed().as_secs_f64() * 1e3;
+            best = best.min(dt);
+        }
+        println!("  {label:<24} {best:>9.3} ms   (checksum {checksum})");
     }
-    g.finish();
 }
 
-/// Figure 5: basic problem, RDA — Algorithm 1 vs Algorithm 6.
-fn fig5(c: &mut Criterion) {
-    let w = Workload::build(
-        ExperimentId::Exp1,
-        Scheme::Rda,
-        QueryKind::Range,
-        Load::Load1,
-        N,
-        QUERIES,
-        SEED,
-    );
+fn workload(id: ExperimentId, scheme: Scheme, kind: QueryKind) -> Workload {
+    Workload::build(id, scheme, kind, Load::Load1, N, QUERIES, SEED)
+}
+
+fn main() {
+    // Figure 5: basic problem, RDA — Algorithm 1 vs Algorithm 6.
+    let w = workload(ExperimentId::Exp1, Scheme::Rda, QueryKind::Range);
     bench_pair(
-        c,
         "fig5_ff_vs_pr_basic",
         &w,
         &[
@@ -61,21 +64,10 @@ fn fig5(c: &mut Criterion) {
             ("push-relabel", &PushRelabelBinary),
         ],
     );
-}
 
-/// Figure 6: generalized problem, Orthogonal — Algorithm 2 vs Algorithm 6.
-fn fig6(c: &mut Criterion) {
-    let w = Workload::build(
-        ExperimentId::Exp5,
-        Scheme::Orthogonal,
-        QueryKind::Arbitrary,
-        Load::Load1,
-        N,
-        QUERIES,
-        SEED,
-    );
+    // Figure 6: generalized problem, Orthogonal — Algorithm 2 vs Algorithm 6.
+    let w = workload(ExperimentId::Exp5, Scheme::Orthogonal, QueryKind::Arbitrary);
     bench_pair(
-        c,
         "fig6_ff_vs_pr_generalized",
         &w,
         &[
@@ -83,21 +75,10 @@ fn fig6(c: &mut Criterion) {
             ("push-relabel", &PushRelabelBinary),
         ],
     );
-}
 
-/// Figure 7: basic problem — black box vs integrated push-relabel.
-fn fig7(c: &mut Criterion) {
-    let w = Workload::build(
-        ExperimentId::Exp1,
-        Scheme::Orthogonal,
-        QueryKind::Range,
-        Load::Load1,
-        N,
-        QUERIES,
-        SEED,
-    );
+    // Figure 7: basic problem — black box vs integrated push-relabel.
+    let w = workload(ExperimentId::Exp1, Scheme::Orthogonal, QueryKind::Range);
     bench_pair(
-        c,
         "fig7_bb_vs_int_basic",
         &w,
         &[
@@ -105,21 +86,10 @@ fn fig7(c: &mut Criterion) {
             ("integrated", &PushRelabelBinary),
         ],
     );
-}
 
-/// Figure 8: Experiment 3 — black box vs integrated per scheme (RDA shown).
-fn fig8(c: &mut Criterion) {
-    let w = Workload::build(
-        ExperimentId::Exp3,
-        Scheme::Rda,
-        QueryKind::Arbitrary,
-        Load::Load1,
-        N,
-        QUERIES,
-        SEED,
-    );
+    // Figure 8: Experiment 3 — black box vs integrated per scheme (RDA shown).
+    let w = workload(ExperimentId::Exp3, Scheme::Rda, QueryKind::Arbitrary);
     bench_pair(
-        c,
         "fig8_bb_vs_int_exp3",
         &w,
         &[
@@ -127,21 +97,10 @@ fn fig8(c: &mut Criterion) {
             ("integrated", &PushRelabelBinary),
         ],
     );
-}
 
-/// Figure 9: Experiment 5 — black box vs integrated (the headline ratio).
-fn fig9(c: &mut Criterion) {
-    let w = Workload::build(
-        ExperimentId::Exp5,
-        Scheme::Rda,
-        QueryKind::Arbitrary,
-        Load::Load1,
-        N,
-        QUERIES,
-        SEED,
-    );
+    // Figure 9: Experiment 5 — black box vs integrated (the headline ratio).
+    let w = workload(ExperimentId::Exp5, Scheme::Rda, QueryKind::Arbitrary);
     bench_pair(
-        c,
         "fig9_bb_vs_int_exp5",
         &w,
         &[
@@ -150,27 +109,13 @@ fn fig9(c: &mut Criterion) {
             ("integrated-incremental", &PushRelabelIncremental),
         ],
     );
-}
 
-/// Figure 10: Experiment 5 — sequential vs parallel integrated solver.
-fn fig10(c: &mut Criterion) {
-    let w = Workload::build(
-        ExperimentId::Exp5,
-        Scheme::Orthogonal,
-        QueryKind::Arbitrary,
-        Load::Load1,
-        N,
-        QUERIES,
-        SEED,
-    );
+    // Figure 10: Experiment 5 — sequential vs parallel integrated solver.
+    let w = workload(ExperimentId::Exp5, Scheme::Orthogonal, QueryKind::Arbitrary);
     let par2 = ParallelPushRelabelBinary::new(2);
     bench_pair(
-        c,
         "fig10_sequential_vs_parallel",
         &w,
         &[("sequential", &PushRelabelBinary), ("parallel-2t", &par2)],
     );
 }
-
-criterion_group!(figures, fig5, fig6, fig7, fig8, fig9, fig10);
-criterion_main!(figures);

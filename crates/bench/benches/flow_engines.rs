@@ -1,4 +1,5 @@
-//! Ablation benches on the max-flow substrate itself.
+//! Ablation benches on the max-flow substrate itself
+//! (`cargo bench --bench flow_engines`).
 //!
 //! DESIGN.md calls out three load-bearing design choices; each gets a
 //! bench:
@@ -9,8 +10,9 @@
 //!   networks (why push-relabel is the right engine, §IV);
 //! * conservation — `resume` after a capacity increment vs a from-scratch
 //!   recomputation (the paper's core claim isolated at the engine level).
+//!
+//! Plain `main()` harness: the workspace builds offline, without criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rds_bench::harness::{Scheme, Workload};
 use rds_core::network::RetrievalInstance;
 use rds_decluster::load::{Load, QueryKind};
@@ -19,8 +21,10 @@ use rds_flow::ford_fulkerson::ford_fulkerson;
 use rds_flow::push_relabel::PushRelabel;
 use rds_storage::experiments::ExperimentId;
 use rds_storage::time::Micros;
+use std::time::Instant;
 
 const SEED: u64 = 7;
+const SAMPLES: usize = 20;
 
 /// A mid-size retrieval network with capacities set to a feasible budget.
 fn instance() -> (RetrievalInstance, Micros) {
@@ -38,86 +42,97 @@ fn instance() -> (RetrievalInstance, Micros) {
     (inst, t_max)
 }
 
-fn engines(c: &mut Criterion) {
-    let (inst, budget) = instance();
-    let mut g = c.benchmark_group("engine_comparison");
-    g.sample_size(20);
-    let (s, t) = (inst.source(), inst.sink());
+/// Times `SAMPLES` runs of `f` and prints the best one.
+fn bench(label: &str, mut f: impl FnMut() -> i64) {
+    let mut best = f64::INFINITY;
+    let mut checksum = 0i64;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        checksum = checksum.wrapping_add(f());
+        let dt = start.elapsed().as_secs_f64() * 1e3;
+        best = best.min(dt);
+    }
+    println!("  {label:<24} {best:>9.3} ms   (checksum {checksum})");
+}
 
-    g.bench_function(BenchmarkId::from_parameter("push-relabel"), |b| {
+fn engines() {
+    let (inst, budget) = instance();
+    let (s, t) = (inst.source(), inst.sink());
+    println!("engine_comparison");
+
+    {
         let mut graph = inst.graph.clone();
         inst.set_caps_for_budget(&mut graph, budget);
         let mut pr = PushRelabel::new();
-        b.iter(|| pr.max_flow(&mut graph, s, t))
-    });
-    g.bench_function(BenchmarkId::from_parameter("push-relabel-plain"), |b| {
+        bench("push-relabel", || pr.max_flow(&mut graph, s, t));
+    }
+    {
         let mut graph = inst.graph.clone();
         inst.set_caps_for_budget(&mut graph, budget);
         let mut pr = PushRelabel::plain();
-        b.iter(|| pr.max_flow(&mut graph, s, t))
-    });
-    g.bench_function(BenchmarkId::from_parameter("push-relabel-highest"), |b| {
+        bench("push-relabel-plain", || pr.max_flow(&mut graph, s, t));
+    }
+    {
         let mut graph = inst.graph.clone();
         inst.set_caps_for_budget(&mut graph, budget);
         let mut pr = rds_flow::highest_label::HighestLabelPushRelabel::new();
-        b.iter(|| pr.max_flow(&mut graph, s, t))
-    });
-    g.bench_function(BenchmarkId::from_parameter("ford-fulkerson"), |b| {
+        bench("push-relabel-highest", || pr.max_flow(&mut graph, s, t));
+    }
+    {
         let mut graph = inst.graph.clone();
         inst.set_caps_for_budget(&mut graph, budget);
-        b.iter(|| {
+        bench("ford-fulkerson", || {
             graph.zero_flows();
             ford_fulkerson(&mut graph, s, t)
-        })
-    });
-    g.bench_function(BenchmarkId::from_parameter("dinic"), |b| {
+        });
+    }
+    {
         let mut graph = inst.graph.clone();
         inst.set_caps_for_budget(&mut graph, budget);
         let mut dinic = Dinic::new();
-        b.iter(|| {
+        bench("dinic", || {
             graph.zero_flows();
             dinic.max_flow(&mut graph, s, t)
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
 /// The integrated claim at engine level: after one capacity increment, a
 /// conserving resume vs a from-scratch recomputation.
-fn conservation(c: &mut Criterion) {
+fn conservation() {
     let (inst, _) = instance();
     let (t_min, t_max, _) = inst.budget_bounds();
     let near_optimal = t_min.midpoint(t_max);
     let (s, t) = (inst.source(), inst.sink());
-    let mut g = c.benchmark_group("flow_conservation");
-    g.sample_size(20);
+    println!("flow_conservation");
 
-    g.bench_function(BenchmarkId::from_parameter("resume"), |b| {
+    {
         let mut graph = inst.graph.clone();
         inst.set_caps_for_budget(&mut graph, near_optimal);
         let mut pr = PushRelabel::new();
         pr.max_flow(&mut graph, s, t);
-        b.iter(|| {
+        bench("resume", || {
             // Raise every disk cap by one and resume on the existing flow.
             for &e in &inst.disk_edges {
                 graph.set_cap(e, graph.cap(e) + 1);
             }
             pr.resume(&mut graph, s, t)
-        })
-    });
-    g.bench_function(BenchmarkId::from_parameter("from-scratch"), |b| {
+        });
+    }
+    {
         let mut graph = inst.graph.clone();
         inst.set_caps_for_budget(&mut graph, near_optimal);
         let mut pr = PushRelabel::new();
-        b.iter(|| {
+        bench("from-scratch", || {
             for &e in &inst.disk_edges {
                 graph.set_cap(e, graph.cap(e) + 1);
             }
             pr.max_flow(&mut graph, s, t)
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-criterion_group!(flow_engines, engines, conservation);
-criterion_main!(flow_engines);
+fn main() {
+    engines();
+    conservation();
+}

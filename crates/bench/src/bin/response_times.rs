@@ -33,7 +33,7 @@ fn mean_response_ms(
     let total: Micros = w
         .instances
         .iter()
-        .map(|inst| solver.solve(inst).response_time)
+        .map(|inst| solver.solve(inst).expect("feasible instance").response_time)
         .sum();
     total.as_millis_f64() / queries as f64
 }

@@ -116,7 +116,9 @@ pub fn measure(solver: &dyn RetrievalSolver, workload: &Workload) -> Measurement
     let mut total_response = Micros::ZERO;
     let start = Instant::now();
     for inst in &workload.instances {
-        let outcome = solver.solve(inst);
+        let outcome = solver
+            .solve(inst)
+            .expect("benchmark instances are feasible");
         total_response += outcome.response_time;
     }
     let elapsed = start.elapsed();
@@ -129,7 +131,9 @@ pub fn measure(solver: &dyn RetrievalSolver, workload: &Workload) -> Measurement
 /// Times `solver` on a single instance (used by the per-query Figure 10).
 pub fn measure_one(solver: &dyn RetrievalSolver, inst: &RetrievalInstance) -> (f64, Micros) {
     let start = Instant::now();
-    let outcome = solver.solve(inst);
+    let outcome = solver
+        .solve(inst)
+        .expect("benchmark instances are feasible");
     (start.elapsed().as_secs_f64() * 1e3, outcome.response_time)
 }
 

@@ -11,13 +11,14 @@
 //! time comparisons isolate exactly the paper's claimed effect: flow
 //! conservation.
 
+use crate::error::SolveError;
 use crate::increment::MinCostIncrementer;
 use crate::network::RetrievalInstance;
 use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
+use crate::workspace::Workspace;
 use rds_flow::ford_fulkerson::ford_fulkerson;
 use rds_flow::graph::FlowGraph;
-use rds_flow::push_relabel::PushRelabel;
 
 /// Runs the binary capacity-scaling driver with a from-scratch max-flow at
 /// every probe and every increment.
@@ -26,14 +27,17 @@ fn blackbox_binary<F>(
     g: &mut FlowGraph,
     stats: &mut SolveStats,
     mut fresh_max_flow: F,
-) where
+) -> Result<(), SolveError>
+where
     F: FnMut(&mut FlowGraph, &mut SolveStats) -> i64,
 {
     let q = inst.query_size() as i64;
     if q == 0 {
-        return;
+        return Ok(());
     }
-    let (mut t_min, mut t_max, min_speed) = inst.budget_bounds();
+    // Same warm-started bounds as the integrated driver, so comparisons
+    // still isolate flow conservation alone.
+    let (mut t_min, mut t_max, min_speed) = inst.tightened_bounds(&mut Vec::new());
 
     while t_max - t_min >= min_speed {
         let t_mid = t_min.midpoint(t_max);
@@ -49,12 +53,19 @@ fn blackbox_binary<F>(
 
     inst.set_caps_for_budget(g, t_min);
     let mut inc = MinCostIncrementer::new(inst);
+    let mut delivered = 0;
     loop {
         let raised = inc.increment(inst, g);
         stats.increments += 1;
-        assert!(raised > 0, "retrieval instance is infeasible");
-        if fresh_max_flow(g, stats) == q {
-            break;
+        if raised == 0 {
+            return Err(SolveError::Infeasible {
+                delivered,
+                required: q,
+            });
+        }
+        delivered = fresh_max_flow(g, stats);
+        if delivered == q {
+            return Ok(());
         }
     }
 }
@@ -69,16 +80,20 @@ impl RetrievalSolver for BlackBoxPushRelabel {
         "BB-PR"
     }
 
-    fn solve(&self, inst: &RetrievalInstance) -> RetrievalOutcome {
-        let mut g = inst.graph.clone();
+    fn solve_in(
+        &self,
+        inst: &RetrievalInstance,
+        ws: &mut Workspace,
+    ) -> Result<RetrievalOutcome, SolveError> {
+        ws.begin(inst);
         let mut stats = SolveStats::default();
-        let mut engine = PushRelabel::new();
         let (s, t) = (inst.source(), inst.sink());
-        blackbox_binary(inst, &mut g, &mut stats, |g, stats| {
+        let engine = &mut ws.engine;
+        blackbox_binary(inst, &mut ws.graph, &mut stats, |g, stats| {
             stats.maxflow_calls += 1;
             engine.max_flow(g, s, t)
-        });
-        RetrievalOutcome::from_flow(inst, &g, stats)
+        })?;
+        RetrievalOutcome::try_from_flow(inst, &ws.graph, stats)
     }
 }
 
@@ -92,16 +107,20 @@ impl RetrievalSolver for BlackBoxFordFulkerson {
         "BB-FF"
     }
 
-    fn solve(&self, inst: &RetrievalInstance) -> RetrievalOutcome {
-        let mut g = inst.graph.clone();
+    fn solve_in(
+        &self,
+        inst: &RetrievalInstance,
+        ws: &mut Workspace,
+    ) -> Result<RetrievalOutcome, SolveError> {
+        ws.begin(inst);
         let mut stats = SolveStats::default();
         let (s, t) = (inst.source(), inst.sink());
-        blackbox_binary(inst, &mut g, &mut stats, |g, stats| {
+        blackbox_binary(inst, &mut ws.graph, &mut stats, |g, stats| {
             stats.maxflow_calls += 1;
             g.zero_flows();
             ford_fulkerson(g, s, t)
-        });
-        RetrievalOutcome::from_flow(inst, &g, stats)
+        })?;
+        RetrievalOutcome::try_from_flow(inst, &ws.graph, stats)
     }
 }
 
@@ -123,8 +142,8 @@ mod tests {
         for (r, c) in [(3usize, 2usize), (7, 7), (2, 5)] {
             let q = RangeQuery::new(0, 0, r, c);
             let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(7));
-            let bb = BlackBoxPushRelabel.solve(&inst);
-            let int = PushRelabelBinary.solve(&inst);
+            let bb = BlackBoxPushRelabel.solve(&inst).unwrap();
+            let int = PushRelabelBinary.solve(&inst).unwrap();
             assert_eq!(bb.response_time, int.response_time, "query {r}x{c}");
             assert_outcome_valid(&inst, &bb);
         }
@@ -136,8 +155,8 @@ mod tests {
         let alloc = OrthogonalAllocation::paper_7x7();
         let q = RangeQuery::new(2, 3, 4, 4);
         let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(7));
-        let a = BlackBoxFordFulkerson.solve(&inst);
-        let b = BlackBoxPushRelabel.solve(&inst);
+        let a = BlackBoxFordFulkerson.solve(&inst).unwrap();
+        let b = BlackBoxPushRelabel.solve(&inst).unwrap();
         assert_eq!(a.response_time, b.response_time);
         assert_eq!(a.response_time, oracle_optimal_response(&inst));
     }
@@ -151,23 +170,23 @@ mod tests {
         let alloc = RandomDuplicateAllocation::two_site(8, 5);
         let q = RangeQuery::new(0, 0, 8, 8);
         let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(8));
-        let bb = BlackBoxPushRelabel.solve(&inst);
+        let bb = BlackBoxPushRelabel.solve(&inst).unwrap();
         assert_eq!(
             bb.stats.maxflow_calls,
             bb.stats.probes + bb.stats.increments
         );
-        let int = PushRelabelBinary.solve(&inst);
+        let int = PushRelabelBinary.solve(&inst).unwrap();
         assert_eq!(int.stats.maxflow_calls, 0);
         assert_eq!(bb.response_time, int.response_time);
     }
 
     #[test]
     fn random_instances_agree_with_oracle() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        use rds_util::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(77);
         for case in 0..6 {
             let n = rng.gen_range(3..7);
-            let system = experiment(ExperimentId::Exp4, n, rng.gen());
+            let system = experiment(ExperimentId::Exp4, n, rng.gen_u64());
             let alloc = OrthogonalAllocation::new(n, Placement::PerSite);
             let q = RangeQuery::new(
                 rng.gen_range(0..n),
@@ -176,7 +195,7 @@ mod tests {
                 rng.gen_range(1..=n),
             );
             let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(n));
-            let bb = BlackBoxPushRelabel.solve(&inst);
+            let bb = BlackBoxPushRelabel.solve(&inst).unwrap();
             assert_eq!(
                 bb.response_time,
                 oracle_optimal_response(&inst),
@@ -190,7 +209,7 @@ mod tests {
         let system = paper_example();
         let alloc = OrthogonalAllocation::paper_7x7();
         let inst = RetrievalInstance::build(&system, &alloc, &[]);
-        assert_eq!(BlackBoxPushRelabel.solve(&inst).flow_value, 0);
-        assert_eq!(BlackBoxFordFulkerson.solve(&inst).flow_value, 0);
+        assert_eq!(BlackBoxPushRelabel.solve(&inst).unwrap().flow_value, 0);
+        assert_eq!(BlackBoxFordFulkerson.solve(&inst).unwrap().flow_value, 0);
     }
 }

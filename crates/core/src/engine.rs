@@ -1,0 +1,343 @@
+//! Sharded batch retrieval engine.
+//!
+//! An [`Engine`] serves many independent query streams — think one stream
+//! per client or per tenant — over a single storage system and
+//! allocation. Each stream is a full [`SessionState`] with its own disk
+//! load feedback; streams are partitioned across shards by
+//! `stream % num_shards`, each shard owning one [`Workspace`] and the
+//! states of its streams. With more than one shard,
+//! [`Engine::submit_batch`] runs the shards on scoped worker threads.
+//!
+//! Because a stream lives wholly inside one shard and every shard
+//! processes its queries in input order, batch results are deterministic:
+//! the same batch produces the same outcomes for any shard count
+//! (including 1). Cross-stream interactions don't exist by construction —
+//! streams model *independent* sessions, the unit of parallelism the
+//! paper's multi-query discussion permits.
+
+use crate::error::SessionError;
+use crate::schedule::SolveStats;
+use crate::session::{SessionOutcome, SessionState};
+use crate::solver::RetrievalSolver;
+use crate::workspace::Workspace;
+use rds_decluster::allocation::ReplicaSource;
+use rds_decluster::query::Bucket;
+use rds_storage::model::SystemConfig;
+use rds_storage::time::Micros;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// One query of a batch: which stream it belongs to, when it arrives,
+/// and what it asks for.
+#[derive(Clone, Debug)]
+pub struct BatchQuery {
+    /// Stream (independent session) identifier. Arrivals must be monotone
+    /// non-decreasing *within* a stream; streams don't constrain each
+    /// other.
+    pub stream: usize,
+    /// Arrival time on the stream's virtual clock.
+    pub arrival: Micros,
+    /// The requested buckets.
+    pub buckets: Vec<Bucket>,
+}
+
+/// Aggregate counters across everything an [`Engine`] has processed.
+#[derive(Clone, Copy, Debug, Default)]
+#[non_exhaustive]
+pub struct EngineStats {
+    /// Queries submitted (successful or not).
+    pub queries: u64,
+    /// Queries that returned an error.
+    pub errors: u64,
+    /// Batches processed.
+    pub batches: u64,
+    /// Wall-clock time spent inside `submit_batch`.
+    pub elapsed: Duration,
+    /// Solver work counters summed over all successful queries.
+    pub solve_stats: SolveStats,
+    /// Total solves that ran in the engine's workspaces — equals the
+    /// number of successful solver invocations that reused pre-allocated
+    /// buffers instead of allocating fresh ones.
+    pub workspace_solves: u64,
+}
+
+impl EngineStats {
+    /// Query throughput over the accumulated `submit_batch` wall time.
+    pub fn queries_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.queries as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One worker's slice of the engine: a reusable workspace plus the states
+/// of the streams this shard owns.
+#[derive(Debug, Default)]
+struct Shard {
+    workspace: Workspace,
+    states: HashMap<usize, SessionState>,
+}
+
+impl Shard {
+    /// Runs this shard's queries (given by index into `queries`) in input
+    /// order, appending `(original_index, result)` pairs to `out`.
+    fn run<A: ReplicaSource + ?Sized, S: RetrievalSolver + ?Sized>(
+        &mut self,
+        system: &SystemConfig,
+        alloc: &A,
+        solver: &S,
+        queries: &[BatchQuery],
+        indices: &[usize],
+        out: &mut Vec<(usize, Result<SessionOutcome, SessionError>)>,
+    ) {
+        for &i in indices {
+            let q = &queries[i];
+            let state = self
+                .states
+                .entry(q.stream)
+                .or_insert_with(|| SessionState::new(system.num_disks()));
+            let result = state.submit_with(
+                system,
+                alloc,
+                solver,
+                &mut self.workspace,
+                q.arrival,
+                &q.buckets,
+            );
+            out.push((i, result));
+        }
+    }
+}
+
+/// A batch front-end that shards independent query streams across worker
+/// threads, each with a persistent [`Workspace`] and per-stream
+/// [`SessionState`]s.
+pub struct Engine<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> {
+    system: &'a SystemConfig,
+    alloc: &'a A,
+    solver: S,
+    shards: Vec<Shard>,
+    stats: EngineStats,
+}
+
+impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
+    /// Creates an engine with `num_shards` workers (minimum 1). Shard
+    /// count only affects wall-clock time, never results.
+    pub fn new(system: &'a SystemConfig, alloc: &'a A, solver: S, num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        Engine {
+            system,
+            alloc,
+            solver,
+            shards: (0..num_shards).map(|_| Shard::default()).collect(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Number of shards (worker threads used per batch).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Aggregate statistics over every batch processed so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Processes a batch of queries and returns one result per query, in
+    /// input order. Per-query failures (non-monotone arrival on a stream,
+    /// solver rejection) are reported in place; they never abort the rest
+    /// of the batch.
+    pub fn submit_batch(
+        &mut self,
+        queries: &[BatchQuery],
+    ) -> Vec<Result<SessionOutcome, SessionError>> {
+        let started = std::time::Instant::now();
+        let num_shards = self.shards.len();
+
+        // Route each query to its stream's home shard, preserving input
+        // order within the shard.
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+        for (i, q) in queries.iter().enumerate() {
+            by_shard[q.stream % num_shards].push(i);
+        }
+
+        let mut merged: Vec<Option<Result<SessionOutcome, SessionError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        if num_shards == 1 {
+            let mut out = Vec::with_capacity(queries.len());
+            self.shards[0].run(
+                self.system,
+                self.alloc,
+                &self.solver,
+                queries,
+                &by_shard[0],
+                &mut out,
+            );
+            for (i, r) in out {
+                merged[i] = Some(r);
+            }
+        } else {
+            let system = self.system;
+            let alloc = self.alloc;
+            let solver = &self.solver;
+            let collected: Vec<Vec<(usize, Result<SessionOutcome, SessionError>)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .shards
+                        .iter_mut()
+                        .zip(&by_shard)
+                        .map(|(shard, indices)| {
+                            scope.spawn(move || {
+                                let mut out = Vec::with_capacity(indices.len());
+                                shard.run(system, alloc, solver, queries, indices, &mut out);
+                                out
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard worker panicked"))
+                        .collect()
+                });
+            for out in collected {
+                for (i, r) in out {
+                    merged[i] = Some(r);
+                }
+            }
+        }
+
+        let results: Vec<Result<SessionOutcome, SessionError>> = merged
+            .into_iter()
+            .map(|r| r.expect("every query routed to exactly one shard"))
+            .collect();
+
+        self.stats.batches += 1;
+        self.stats.queries += results.len() as u64;
+        self.stats.elapsed += started.elapsed();
+        for r in &results {
+            match r {
+                Ok(out) => self.stats.solve_stats.accumulate(&out.outcome.stats),
+                Err(_) => self.stats.errors += 1,
+            }
+        }
+        self.stats.workspace_solves = self.shards.iter().map(|s| s.workspace.solves()).sum();
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pr::PushRelabelBinary;
+    use rds_decluster::allocation::Placement;
+    use rds_decluster::orthogonal::OrthogonalAllocation;
+    use rds_decluster::query::{Query, RangeQuery};
+    use rds_storage::specs::CHEETAH;
+
+    fn batch(streams: usize, per_stream: usize) -> Vec<BatchQuery> {
+        let mut queries = Vec::new();
+        for k in 0..per_stream {
+            for s in 0..streams {
+                let q = RangeQuery::new(s % 5, k % 5, 1 + (s + k) % 3, 1 + s % 3);
+                queries.push(BatchQuery {
+                    stream: s,
+                    arrival: Micros::from_millis((k * 2) as u64),
+                    buckets: q.buckets(5),
+                });
+            }
+        }
+        queries
+    }
+
+    #[test]
+    fn batch_results_are_independent_of_shard_count() {
+        let system = SystemConfig::homogeneous(CHEETAH, 5);
+        let alloc = OrthogonalAllocation::new(5, Placement::SingleSite);
+        let queries = batch(6, 4);
+        let baseline: Vec<_> = {
+            let mut engine = Engine::new(&system, &alloc, PushRelabelBinary, 1);
+            engine
+                .submit_batch(&queries)
+                .into_iter()
+                .map(|r| r.map(|o| (o.outcome.response_time, o.completion)))
+                .collect()
+        };
+        for shards in [2usize, 3, 8] {
+            let mut engine = Engine::new(&system, &alloc, PushRelabelBinary, shards);
+            let got: Vec<_> = engine
+                .submit_batch(&queries)
+                .into_iter()
+                .map(|r| r.map(|o| (o.outcome.response_time, o.completion)))
+                .collect();
+            assert_eq!(got, baseline, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn streams_keep_independent_load_state_across_batches() {
+        let system = SystemConfig::homogeneous(CHEETAH, 5);
+        let alloc = OrthogonalAllocation::new(5, Placement::SingleSite);
+        let mut engine = Engine::new(&system, &alloc, PushRelabelBinary, 2);
+        let full = RangeQuery::new(0, 0, 1, 5).buckets(5);
+        let q = |stream| BatchQuery {
+            stream,
+            arrival: Micros::ZERO,
+            buckets: full.clone(),
+        };
+        // Stream 0 submits twice (second queues behind the first); stream
+        // 1 once. A second batch continues where the first left off.
+        let r1 = engine.submit_batch(&[q(0), q(1), q(0)]);
+        let t = Micros::from_tenths_ms(61);
+        assert_eq!(r1[0].as_ref().unwrap().outcome.response_time, t);
+        assert_eq!(r1[1].as_ref().unwrap().outcome.response_time, t);
+        assert_eq!(r1[2].as_ref().unwrap().outcome.response_time, t * 2);
+        let r2 = engine.submit_batch(&[q(1)]);
+        assert_eq!(r2[0].as_ref().unwrap().outcome.response_time, t * 2);
+    }
+
+    #[test]
+    fn per_query_errors_do_not_abort_the_batch() {
+        let system = SystemConfig::homogeneous(CHEETAH, 5);
+        let alloc = OrthogonalAllocation::new(5, Placement::SingleSite);
+        let mut engine = Engine::new(&system, &alloc, PushRelabelBinary, 2);
+        let b = RangeQuery::new(0, 0, 1, 1).buckets(5);
+        let mk = |stream, ms| BatchQuery {
+            stream,
+            arrival: Micros::from_millis(ms),
+            buckets: b.clone(),
+        };
+        // Stream 0 goes back in time on its second query; stream 1 is fine.
+        let results = engine.submit_batch(&[mk(0, 10), mk(0, 5), mk(1, 0), mk(0, 10)]);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(SessionError::NonMonotoneArrival { .. })
+        ));
+        assert!(results[2].is_ok());
+        // The stream survived its bad query.
+        assert!(results[3].is_ok());
+        assert_eq!(engine.stats().queries, 4);
+        assert_eq!(engine.stats().errors, 1);
+        assert_eq!(engine.stats().batches, 1);
+    }
+
+    #[test]
+    fn stats_accumulate_solver_work() {
+        let system = SystemConfig::homogeneous(CHEETAH, 5);
+        let alloc = OrthogonalAllocation::new(5, Placement::SingleSite);
+        let mut engine = Engine::new(&system, &alloc, PushRelabelBinary, 1);
+        let queries = batch(3, 3);
+        let results = engine.submit_batch(&queries);
+        let want: u64 = results
+            .iter()
+            .map(|r| r.as_ref().unwrap().outcome.stats.resume_calls)
+            .sum();
+        assert_eq!(engine.stats().solve_stats.resume_calls, want);
+        assert_eq!(engine.stats().workspace_solves, 9);
+        assert!(engine.stats().queries_per_sec() > 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Error types of the fallible solver and session APIs.
+//!
+//! Every solver entry point ([`crate::solver::RetrievalSolver::solve_in`]
+//! and the `solve` convenience wrapper) returns `Result<_, SolveError>`
+//! instead of panicking on malformed or unsolvable inputs;
+//! [`crate::session::SessionState::submit_with`] wraps those plus the
+//! session-level protocol violations in [`SessionError`].
+
+use rds_decluster::query::Bucket;
+use rds_storage::time::Micros;
+
+/// Why a solve could not produce a complete retrieval schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// Capacity increments ran out before the sink received `required`
+    /// units: some bucket has no replica path, so no budget — however
+    /// large — retrieves the whole query.
+    Infeasible {
+        /// Flow delivered when the increment set went empty.
+        delivered: i64,
+        /// The query size `|Q|` the flow had to reach.
+        required: i64,
+    },
+    /// The final flow claimed completion but left `bucket` without a
+    /// saturated edge to a disk — a solver-internal invariant violation
+    /// surfaced as an error instead of a panic.
+    IncompleteFlow {
+        /// The bucket no disk serves in the extracted schedule.
+        bucket: Bucket,
+    },
+    /// The algorithm's preconditions exclude this system (e.g.
+    /// `FordFulkersonBasic` on a heterogeneous or loaded system, where
+    /// its uniform capacity increments are not optimal).
+    UnsupportedSystem {
+        /// Human-readable precondition that failed.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Infeasible {
+                delivered,
+                required,
+            } => write!(
+                f,
+                "retrieval instance is infeasible: {delivered} of {required} units delivered"
+            ),
+            SolveError::IncompleteFlow { bucket } => {
+                write!(f, "bucket {bucket} is not retrieved by the flow")
+            }
+            SolveError::UnsupportedSystem { reason } => {
+                write!(f, "unsupported system: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Why a session refused or failed a submitted query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SessionError {
+    /// The query's arrival time precedes the previous query's arrival;
+    /// session time is virtual and must be monotone non-decreasing.
+    NonMonotoneArrival {
+        /// The offending arrival time.
+        arrival: Micros,
+        /// The session's current virtual time.
+        now: Micros,
+    },
+    /// The underlying solve failed.
+    Solve(SolveError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::NonMonotoneArrival { arrival, now } => write!(
+                f,
+                "query arrivals must be monotone: {arrival} precedes current time {now}"
+            ),
+            SessionError::Solve(e) => write!(f, "solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for SessionError {
+    fn from(e: SolveError) -> Self {
+        SessionError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_failure() {
+        let e = SolveError::Infeasible {
+            delivered: 3,
+            required: 5,
+        };
+        assert!(e.to_string().contains("infeasible"));
+        let e = SolveError::IncompleteFlow {
+            bucket: Bucket::new(1, 2),
+        };
+        assert!(e.to_string().contains("not retrieved"));
+        let e = SolveError::UnsupportedSystem {
+            reason: "homogeneous unloaded disks required",
+        };
+        assert!(e.to_string().contains("homogeneous"));
+    }
+
+    #[test]
+    fn session_error_wraps_solve_error() {
+        let inner = SolveError::Infeasible {
+            delivered: 0,
+            required: 1,
+        };
+        let e = SessionError::from(inner);
+        assert_eq!(e, SessionError::Solve(inner));
+        assert!(std::error::Error::source(&e).is_some());
+        let m = SessionError::NonMonotoneArrival {
+            arrival: Micros(5),
+            now: Micros(10),
+        };
+        assert!(m.to_string().contains("monotone"));
+        assert!(std::error::Error::source(&m).is_none());
+    }
+}

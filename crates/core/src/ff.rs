@@ -16,11 +16,12 @@
 //! along a path that traverses a reverse edge *is* the re-decision of a
 //! previously assigned bucket.
 
+use crate::error::SolveError;
 use crate::increment::MinCostIncrementer;
 use crate::network::RetrievalInstance;
 use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
-use rds_flow::ford_fulkerson::AugmentingPath;
+use crate::workspace::Workspace;
 
 /// Algorithm 1: integrated Ford-Fulkerson for the **basic** retrieval
 /// problem (homogeneous unloaded disks).
@@ -32,29 +33,34 @@ impl RetrievalSolver for FordFulkersonBasic {
         "FF-basic"
     }
 
-    /// # Panics
-    ///
-    /// Panics if the system is not homogeneous and unloaded — Algorithm 1's
-    /// uniform capacity increments are only optimal in that setting; use
+    /// Returns [`SolveError::UnsupportedSystem`] if the system is not
+    /// homogeneous and unloaded — Algorithm 1's uniform capacity
+    /// increments are only optimal in that setting; use
     /// [`FordFulkersonIncremental`] otherwise.
-    fn solve(&self, inst: &RetrievalInstance) -> RetrievalOutcome {
+    fn solve_in(
+        &self,
+        inst: &RetrievalInstance,
+        ws: &mut Workspace,
+    ) -> Result<RetrievalOutcome, SolveError> {
         let homogeneous = inst.disks.windows(2).all(|w| w[0] == w[1])
             && inst
                 .disks
                 .first()
                 .map(|d| d.overhead() == rds_storage::time::Micros::ZERO)
                 .unwrap_or(true);
-        assert!(
-            homogeneous,
-            "FordFulkersonBasic requires homogeneous unloaded disks"
-        );
+        if !homogeneous {
+            return Err(SolveError::UnsupportedSystem {
+                reason: "FordFulkersonBasic requires homogeneous unloaded disks",
+            });
+        }
 
-        let mut g = inst.graph.clone();
+        ws.begin(inst);
+        let g = &mut ws.graph;
         let mut stats = SolveStats::default();
         let q = inst.query_size();
         let n = inst.num_disks();
         if q == 0 {
-            return RetrievalOutcome::from_flow(inst, &g, stats);
+            return RetrievalOutcome::try_from_flow(inst, g, stats);
         }
 
         // Lines 1-2: caps ← ⌈|Q|/N⌉ (the theoretical lower bound; the
@@ -66,14 +72,13 @@ impl RetrievalSolver for FordFulkersonBasic {
 
         let s = inst.source();
         let t = inst.sink();
-        let mut search = AugmentingPath::new();
         for i in 0..q {
             // The source edge of bucket i is pre-assigned flow 1.
             g.push(inst.bucket_edges[i], 1);
             let from = inst.bucket_vertex(i);
             loop {
                 stats.dfs_calls += 1;
-                if search.dfs_augment_avoiding(&mut g, from, t, Some(s)) > 0 {
+                if ws.search.dfs_augment_avoiding(g, from, t, Some(s)) > 0 {
                     break;
                 }
                 // Lines 5-8: raise every disk-edge capacity by one.
@@ -84,7 +89,7 @@ impl RetrievalSolver for FordFulkersonBasic {
             }
         }
         debug_assert_eq!(g.net_inflow(t) as usize, q);
-        RetrievalOutcome::from_flow(inst, &g, stats)
+        RetrievalOutcome::try_from_flow(inst, g, stats)
     }
 }
 
@@ -98,36 +103,45 @@ impl RetrievalSolver for FordFulkersonIncremental {
         "FF-incremental"
     }
 
-    fn solve(&self, inst: &RetrievalInstance) -> RetrievalOutcome {
-        let mut g = inst.graph.clone();
+    fn solve_in(
+        &self,
+        inst: &RetrievalInstance,
+        ws: &mut Workspace,
+    ) -> Result<RetrievalOutcome, SolveError> {
+        ws.begin(inst);
+        let g = &mut ws.graph;
         let mut stats = SolveStats::default();
         let q = inst.query_size();
         if q == 0 {
-            return RetrievalOutcome::from_flow(inst, &g, stats);
+            return RetrievalOutcome::try_from_flow(inst, g, stats);
         }
 
         // Lines 1-2: capacities start at zero — no closed-form lower bound
         // exists for heterogeneous disks.
         let s = inst.source();
         let t = inst.sink();
-        let mut search = AugmentingPath::new();
         let mut inc = MinCostIncrementer::new(inst);
         for i in 0..q {
             g.push(inst.bucket_edges[i], 1);
             let from = inst.bucket_vertex(i);
             loop {
                 stats.dfs_calls += 1;
-                if search.dfs_augment_avoiding(&mut g, from, t, Some(s)) > 0 {
+                if ws.search.dfs_augment_avoiding(g, from, t, Some(s)) > 0 {
                     break;
                 }
                 // Line 6: raise only the minimum-cost edge(s).
-                let raised = inc.increment(inst, &mut g);
+                let raised = inc.increment(inst, g);
                 stats.increments += 1;
-                assert!(raised > 0, "retrieval instance is infeasible");
+                if raised == 0 {
+                    return Err(SolveError::Infeasible {
+                        delivered: i as i64,
+                        required: q as i64,
+                    });
+                }
             }
         }
         debug_assert_eq!(g.net_inflow(t) as usize, q);
-        RetrievalOutcome::from_flow(inst, &g, stats)
+        RetrievalOutcome::try_from_flow(inst, g, stats)
     }
 }
 
@@ -155,7 +169,7 @@ mod tests {
         // q1 has 6 buckets on 7 disks with replication: optimal is one
         // bucket per disk, 6.1 ms.
         let inst = basic_instance();
-        let outcome = FordFulkersonBasic.solve(&inst);
+        let outcome = FordFulkersonBasic.solve(&inst).unwrap();
         assert_eq!(outcome.flow_value, 6);
         assert_eq!(outcome.response_time, Micros::from_tenths_ms(61));
         assert_outcome_valid(&inst, &outcome);
@@ -164,8 +178,8 @@ mod tests {
     #[test]
     fn incremental_matches_basic_on_basic_problem() {
         let inst = basic_instance();
-        let a = FordFulkersonBasic.solve(&inst);
-        let b = FordFulkersonIncremental.solve(&inst);
+        let a = FordFulkersonBasic.solve(&inst).unwrap();
+        let b = FordFulkersonIncremental.solve(&inst).unwrap();
         assert_eq!(a.response_time, b.response_time);
         assert_outcome_valid(&inst, &b);
     }
@@ -176,7 +190,7 @@ mod tests {
         let alloc = OrthogonalAllocation::paper_7x7();
         let q1 = RangeQuery::new(0, 0, 3, 2);
         let inst = RetrievalInstance::build(&system, &alloc, &q1.buckets(7));
-        let outcome = FordFulkersonIncremental.solve(&inst);
+        let outcome = FordFulkersonIncremental.solve(&inst).unwrap();
         assert_eq!(outcome.flow_value, 6);
         assert_outcome_valid(&inst, &outcome);
         assert_eq!(outcome.response_time, oracle_optimal_response(&inst));
@@ -184,21 +198,21 @@ mod tests {
 
     #[test]
     fn incremental_is_optimal_on_random_instances() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        use rds_util::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(31);
         for _ in 0..10 {
             let n = rng.gen_range(3..8);
             let system = rds_storage::experiments::experiment(
                 rds_storage::experiments::ExperimentId::Exp5,
                 n,
-                rng.gen(),
+                rng.gen_u64(),
             );
             let alloc = OrthogonalAllocation::new(n, Placement::PerSite);
             let r = rng.gen_range(1..=n);
             let c = rng.gen_range(1..=n);
             let q = RangeQuery::new(rng.gen_range(0..n), rng.gen_range(0..n), r, c);
             let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(n));
-            let outcome = FordFulkersonIncremental.solve(&inst);
+            let outcome = FordFulkersonIncremental.solve(&inst).unwrap();
             assert_outcome_valid(&inst, &outcome);
             assert_eq!(
                 outcome.response_time,
@@ -214,20 +228,24 @@ mod tests {
         let system = SystemConfig::homogeneous(CHEETAH, 4);
         let alloc = OrthogonalAllocation::new(4, Placement::SingleSite);
         let inst = RetrievalInstance::build(&system, &alloc, &[]);
-        let a = FordFulkersonBasic.solve(&inst);
-        let b = FordFulkersonIncremental.solve(&inst);
+        let a = FordFulkersonBasic.solve(&inst).unwrap();
+        let b = FordFulkersonIncremental.solve(&inst).unwrap();
         assert_eq!(a.flow_value, 0);
         assert_eq!(b.response_time, Micros::ZERO);
     }
 
     #[test]
-    #[should_panic(expected = "homogeneous")]
     fn basic_rejects_heterogeneous_system() {
         let system = paper_example();
         let alloc = OrthogonalAllocation::paper_7x7();
         let q1 = RangeQuery::new(0, 0, 2, 2);
         let inst = RetrievalInstance::build(&system, &alloc, &q1.buckets(7));
-        FordFulkersonBasic.solve(&inst);
+        match FordFulkersonBasic.solve(&inst) {
+            Err(SolveError::UnsupportedSystem { reason }) => {
+                assert!(reason.contains("homogeneous"));
+            }
+            other => panic!("expected UnsupportedSystem, got {other:?}"),
+        }
     }
 
     #[test]
@@ -250,7 +268,7 @@ mod tests {
         let system = SystemConfig::homogeneous(CHEETAH, 4);
         let q = RangeQuery::new(0, 0, 2, 2);
         let inst = RetrievalInstance::build(&system, &OneDisk, &q.buckets(4));
-        let outcome = FordFulkersonIncremental.solve(&inst);
+        let outcome = FordFulkersonIncremental.solve(&inst).unwrap();
         assert_eq!(outcome.flow_value, 4);
         // All four buckets from disk 0: 4 * 6.1ms.
         assert_eq!(outcome.response_time, Micros::from_tenths_ms(244));

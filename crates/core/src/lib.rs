@@ -25,6 +25,13 @@
 //! optimal response times (they differ only in execution time), which the
 //! test suite verifies extensively.
 //!
+//! Solvers are fallible (`Result<RetrievalOutcome, SolveError>`) and run
+//! inside a reusable [`workspace::Workspace`] via
+//! [`solver::RetrievalSolver::solve_in`]; the `solve` convenience wrapper
+//! allocates a throwaway workspace. For many queries, use a
+//! [`session::RetrievalSession`] (one stream with load feedback) or the
+//! sharded batch [`engine::Engine`].
+//!
 //! ## Example
 //!
 //! ```
@@ -40,11 +47,13 @@
 //! let q1 = RangeQuery::new(0, 0, 3, 2);         // the paper's q1
 //!
 //! let inst = RetrievalInstance::build(&system, &alloc, &q1.buckets(7));
-//! let outcome = PushRelabelBinary::default().solve(&inst);
+//! let outcome = PushRelabelBinary::default().solve(&inst).unwrap();
 //! assert_eq!(outcome.schedule.len(), 6);
 //! ```
 
 pub mod blackbox;
+pub mod engine;
+pub mod error;
 pub mod ff;
 pub mod increment;
 pub mod network;
@@ -54,7 +63,12 @@ pub mod schedule;
 pub mod session;
 pub mod solver;
 pub mod verify;
+pub mod workspace;
 
+pub use engine::{BatchQuery, Engine, EngineStats};
+pub use error::{SessionError, SolveError};
 pub use network::RetrievalInstance;
 pub use schedule::{RetrievalOutcome, Schedule, SolveStats};
+pub use session::{RetrievalSession, SessionOutcome, SessionState};
 pub use solver::RetrievalSolver;
+pub use workspace::Workspace;

@@ -93,6 +93,54 @@ impl RetrievalInstance {
         buckets: &[Bucket],
         failed: &[usize],
     ) -> Result<RetrievalInstance, UnavailableBucket> {
+        let q = buckets.len();
+        let n = system.num_disks();
+        let mut inst = RetrievalInstance {
+            graph: FlowGraph::with_capacity(q + n + 2, q * 3 + n),
+            buckets: Vec::new(),
+            disks: Vec::new(),
+            disk_edges: Vec::new(),
+            bucket_edges: Vec::new(),
+            replicas_per_disk: Vec::new(),
+            max_copies: 0,
+        };
+        inst.rebuild_with_failed_disks(system, alloc, buckets, failed)?;
+        Ok(inst)
+    }
+
+    /// Rebuilds this instance **in place** for a new query over the same
+    /// (or a different) system, reusing every buffer — the graph's
+    /// adjacency lists, the bucket/edge index vectors — instead of
+    /// allocating a fresh instance. This is what lets a
+    /// [`crate::session::RetrievalSession`] submit thousands of queries
+    /// without per-query allocation.
+    ///
+    /// Semantically identical to [`RetrievalInstance::build`]: afterwards
+    /// the instance is indistinguishable from a freshly built one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation addresses more disks than the system has,
+    /// or any bucket has no replica (same contract as `build`).
+    pub fn rebuild_in<A: ReplicaSource + ?Sized>(
+        &mut self,
+        system: &SystemConfig,
+        alloc: &A,
+        buckets: &[Bucket],
+    ) -> Result<(), UnavailableBucket> {
+        self.rebuild_with_failed_disks(system, alloc, buckets, &[])
+    }
+
+    /// In-place variant of [`RetrievalInstance::build_with_failed_disks`];
+    /// see [`RetrievalInstance::rebuild_in`]. On `Err` the instance is left
+    /// in an unspecified (but safe) state and must be rebuilt before use.
+    pub fn rebuild_with_failed_disks<A: ReplicaSource + ?Sized>(
+        &mut self,
+        system: &SystemConfig,
+        alloc: &A,
+        buckets: &[Bucket],
+        failed: &[usize],
+    ) -> Result<(), UnavailableBucket> {
         assert!(
             alloc.num_disks() <= system.num_disks(),
             "allocation addresses {} disks but the system has {}",
@@ -101,21 +149,27 @@ impl RetrievalInstance {
         );
         let q = buckets.len();
         let n = system.num_disks();
-        let mut graph = FlowGraph::with_capacity(q + n + 2, q * 3 + n);
-        let source = 0;
-        let sink = q + n + 1;
         // Vertex ids are implicit: 0 = source, 1..=q buckets, q+1..=q+n
         // disks, q+n+1 sink.
-        debug_assert_eq!(graph.num_vertices(), q + n + 2);
+        let source = 0;
+        let sink = q + n + 1;
+        self.graph.reset(q + n + 2);
+        self.buckets.clear();
+        self.buckets.extend_from_slice(buckets);
+        self.disks.clear();
+        self.disks.extend_from_slice(system.disks());
+        self.bucket_edges.clear();
+        self.disk_edges.clear();
+        self.replicas_per_disk.clear();
+        self.replicas_per_disk.resize(n, 0);
+        self.max_copies = 0;
 
-        let mut bucket_edges = Vec::with_capacity(q);
-        let mut replicas_per_disk = vec![0u64; n];
-        let mut max_copies = 0;
         for (i, &b) in buckets.iter().enumerate() {
-            bucket_edges.push(graph.add_edge(source, 1 + i, 1));
+            self.bucket_edges
+                .push(self.graph.add_edge(source, 1 + i, 1));
             let reps = alloc.replicas(b);
             assert!(!reps.is_empty(), "bucket {b} has no replicas");
-            max_copies = max_copies.max(reps.len());
+            self.max_copies = self.max_copies.max(reps.len());
             // Deduplicate replica disks (a bucket stored twice on one disk
             // still needs only one retrieval path).
             let mut seen = [usize::MAX; rds_decluster::allocation::MAX_COPIES];
@@ -130,25 +184,17 @@ impl RetrievalInstance {
                 if !seen[..seen_len].contains(&d) {
                     seen[seen_len] = d;
                     seen_len += 1;
-                    graph.add_edge(1 + i, q + 1 + d, 1);
-                    replicas_per_disk[d] += 1;
+                    self.graph.add_edge(1 + i, q + 1 + d, 1);
+                    self.replicas_per_disk[d] += 1;
                 }
             }
             if available == 0 {
                 return Err(UnavailableBucket { bucket: b });
             }
         }
-        let disk_edges = (0..n).map(|j| graph.add_edge(q + 1 + j, sink, 0)).collect();
-
-        Ok(RetrievalInstance {
-            graph,
-            buckets: buckets.to_vec(),
-            disks: system.disks().to_vec(),
-            disk_edges,
-            bucket_edges,
-            replicas_per_disk,
-            max_copies,
-        })
+        self.disk_edges
+            .extend((0..n).map(|j| self.graph.add_edge(q + 1 + j, sink, 0)));
+        Ok(())
     }
 
     /// Query size `|Q|`.
@@ -244,6 +290,65 @@ impl RetrievalInstance {
         t_min = t_min.saturating_sub(min_speed);
         (t_min, t_max, min_speed)
     }
+
+    /// Warm-started binary-search bounds: sharpens
+    /// [`RetrievalInstance::budget_bounds`] on both ends while keeping its
+    /// contract (`t_min` strictly below the optimum, `t_max` at or above
+    /// it), so the binary phase starts with a much narrower bracket.
+    ///
+    /// * Lower bound: every bucket must be fetched from one of its
+    ///   replicas, so the optimum is at least the largest, over buckets,
+    ///   of the cheapest single-bucket completion among that bucket's
+    ///   replicas.
+    /// * Upper bound: a greedy pass assigns each bucket to the replica
+    ///   with the cheapest next completion time; the resulting makespan
+    ///   is the response time of a feasible schedule, hence a true upper
+    ///   bound — usually far below `budget_bounds`' "slowest disk serves
+    ///   everything" fallback.
+    ///
+    /// `scratch` holds the greedy per-disk counters; its contents are
+    /// overwritten, only the allocation is reused.
+    pub fn tightened_bounds(&self, scratch: &mut Vec<i64>) -> (Micros, Micros, Micros) {
+        let (mut t_min, mut t_max, min_speed) = self.budget_bounds();
+        if self.query_size() == 0 {
+            return (t_min, t_max, min_speed);
+        }
+        scratch.clear();
+        scratch.resize(self.num_disks(), 0);
+        let mut greedy_makespan = Micros::ZERO;
+        let mut per_bucket = Micros::ZERO;
+        for i in 0..self.query_size() {
+            let v = self.bucket_vertex(i);
+            let mut best_next = Micros::MAX;
+            let mut best_disk = usize::MAX;
+            let mut best_single = Micros::MAX;
+            for &e in self.graph.out_edges(v) {
+                if e % 2 != 0 {
+                    continue; // reverse slot of the source edge
+                }
+                let j = self.disk_of_vertex(self.graph.target(e as usize));
+                let next = self.disks[j].completion_time(scratch[j] as u64 + 1);
+                if next < best_next {
+                    best_next = next;
+                    best_disk = j;
+                }
+                let single = self.disks[j].completion_time(1);
+                if single < best_single {
+                    best_single = single;
+                }
+            }
+            if best_disk != usize::MAX {
+                scratch[best_disk] += 1;
+                greedy_makespan = greedy_makespan.max(best_next);
+                per_bucket = per_bucket.max(best_single);
+            }
+        }
+        if greedy_makespan > Micros::ZERO && greedy_makespan < t_max {
+            t_max = greedy_makespan;
+        }
+        t_min = t_min.max(per_bucket.saturating_sub(min_speed));
+        (t_min, t_max, min_speed)
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +422,36 @@ mod tests {
     }
 
     #[test]
+    fn tightened_bounds_bracket_optimum_and_shrink_the_range() {
+        use crate::pr::PushRelabelBinary;
+        use crate::solver::RetrievalSolver;
+
+        let inst = paper_instance();
+        let optimum = PushRelabelBinary.solve(&inst).unwrap().response_time;
+        let (t_min, t_max, min_speed) = inst.budget_bounds();
+        let mut scratch = Vec::new();
+        let (s_min, s_max, s_speed) = inst.tightened_bounds(&mut scratch);
+        assert_eq!(s_speed, min_speed);
+        // Still a valid bracket: strictly below the optimum from below,
+        // at-or-above it from above.
+        assert!(s_min < optimum, "{s_min:?} !< {optimum:?}");
+        assert!(s_max >= optimum, "{s_max:?} < {optimum:?}");
+        // And never looser than the plain Algorithm 6 bounds.
+        assert!(s_min >= t_min && s_max <= t_max);
+        // The greedy upper bound is far below "slowest disk serves all".
+        assert!(s_max < t_max, "{s_max:?} vs {t_max:?}");
+    }
+
+    #[test]
+    fn tightened_bounds_handle_empty_query() {
+        let system = rds_storage::model::SystemConfig::homogeneous(CHEETAH, 4);
+        let alloc = OrthogonalAllocation::new(4, rds_decluster::allocation::Placement::SingleSite);
+        let inst = RetrievalInstance::build(&system, &alloc, &[]);
+        let mut scratch = Vec::new();
+        assert_eq!(inst.tightened_bounds(&mut scratch), inst.budget_bounds());
+    }
+
+    #[test]
     fn response_time_of_flow_takes_slowest_used_disk() {
         let inst = paper_instance();
         let mut g = inst.graph.clone();
@@ -360,7 +495,7 @@ mod tests {
         }
         use crate::pr::PushRelabelBinary;
         use crate::solver::RetrievalSolver;
-        let outcome = PushRelabelBinary.solve(&inst);
+        let outcome = PushRelabelBinary.solve(&inst).unwrap();
         assert_eq!(outcome.flow_value, 6);
         for &(_, d) in outcome.schedule.assignments() {
             assert!(!failed.contains(&d), "schedule used failed disk {d}");
@@ -380,6 +515,57 @@ mod tests {
             RetrievalInstance::build_with_failed_disks(&system, &alloc, &[b], &reps).unwrap_err();
         assert_eq!(err.bucket, b);
         assert!(err.to_string().contains("no surviving replica"));
+    }
+
+    #[test]
+    fn rebuild_in_matches_fresh_build() {
+        let system = paper_example();
+        let alloc = OrthogonalAllocation::paper_7x7();
+        // Start from one query, rebuild to several others (growing and
+        // shrinking), checking full structural equality with a fresh build
+        // each time.
+        let q0 = RangeQuery::new(0, 0, 3, 2);
+        let mut inst = RetrievalInstance::build(&system, &alloc, &q0.buckets(7));
+        for (r, c) in [(7usize, 7usize), (1, 1), (4, 2), (2, 6)] {
+            let q = RangeQuery::new(1, 1, r, c);
+            let buckets = q.buckets(7);
+            inst.rebuild_in(&system, &alloc, &buckets).unwrap();
+            let fresh = RetrievalInstance::build(&system, &alloc, &buckets);
+            assert_eq!(inst.buckets, fresh.buckets);
+            assert_eq!(inst.disks, fresh.disks);
+            assert_eq!(inst.disk_edges, fresh.disk_edges);
+            assert_eq!(inst.bucket_edges, fresh.bucket_edges);
+            assert_eq!(inst.replicas_per_disk, fresh.replicas_per_disk);
+            assert_eq!(inst.max_copies, fresh.max_copies);
+            assert_eq!(inst.graph.num_vertices(), fresh.graph.num_vertices());
+            assert_eq!(inst.graph.num_edges(), fresh.graph.num_edges());
+            for e in 0..inst.graph.num_edges() {
+                assert_eq!(inst.graph.cap(e), fresh.graph.cap(e));
+                assert_eq!(inst.graph.target(e), fresh.graph.target(e));
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_after_unavailable_bucket_recovers() {
+        let system = paper_example();
+        let alloc = OrthogonalAllocation::paper_7x7();
+        let b = Bucket::new(0, 0);
+        let reps: Vec<usize> = rds_decluster::allocation::ReplicaSource::replicas(&alloc, b)
+            .iter()
+            .collect();
+        let q0 = RangeQuery::new(0, 0, 2, 2);
+        let mut inst = RetrievalInstance::build(&system, &alloc, &q0.buckets(7));
+        // A failed rebuild leaves the instance unusable but safe...
+        assert!(inst
+            .rebuild_with_failed_disks(&system, &alloc, &[b], &reps)
+            .is_err());
+        // ...and a subsequent successful rebuild fully restores it.
+        let buckets = q0.buckets(7);
+        inst.rebuild_in(&system, &alloc, &buckets).unwrap();
+        let fresh = RetrievalInstance::build(&system, &alloc, &buckets);
+        assert_eq!(inst.graph.num_edges(), fresh.graph.num_edges());
+        assert_eq!(inst.buckets, fresh.buckets);
     }
 
     #[test]

@@ -7,11 +7,12 @@
 //! `crate::pr`'s shared binary-scaling driver with the multithreaded
 //! [`rds_flow::parallel::ParallelPushRelabel`] engine.
 
+use crate::error::SolveError;
 use crate::network::RetrievalInstance;
 use crate::pr::binary_scaling_integrated;
 use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
-use rds_flow::parallel::ParallelPushRelabel;
+use crate::workspace::Workspace;
 
 /// Multithreaded Algorithm 6 (the paper evaluates 2 threads).
 #[derive(Clone, Copy, Debug)]
@@ -40,12 +41,16 @@ impl RetrievalSolver for ParallelPushRelabelBinary {
         "PR-binary-parallel"
     }
 
-    fn solve(&self, inst: &RetrievalInstance) -> RetrievalOutcome {
-        let mut g = inst.graph.clone();
+    fn solve_in(
+        &self,
+        inst: &RetrievalInstance,
+        ws: &mut Workspace,
+    ) -> Result<RetrievalOutcome, SolveError> {
+        ws.begin(inst);
         let mut stats = SolveStats::default();
-        let mut engine = ParallelPushRelabel::new(self.threads);
-        binary_scaling_integrated(&mut engine, inst, &mut g, &mut stats);
-        RetrievalOutcome::from_flow(inst, &g, stats)
+        let (g, engine, stored_flows, stored_excess) = ws.parallel_parts(self.threads);
+        binary_scaling_integrated(engine, inst, g, &mut stats, stored_flows, stored_excess)?;
+        RetrievalOutcome::try_from_flow(inst, g, stats)
     }
 }
 
@@ -67,8 +72,8 @@ mod tests {
         for (r, c) in [(3usize, 2usize), (7, 7), (5, 2)] {
             let q = RangeQuery::new(0, 0, r, c);
             let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(7));
-            let par = ParallelPushRelabelBinary::new(2).solve(&inst);
-            let seq = PushRelabelBinary.solve(&inst);
+            let par = ParallelPushRelabelBinary::new(2).solve(&inst).unwrap();
+            let seq = PushRelabelBinary.solve(&inst).unwrap();
             assert_eq!(par.response_time, seq.response_time, "query {r}x{c}");
             assert_outcome_valid(&inst, &par);
         }
@@ -82,7 +87,9 @@ mod tests {
         let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(6));
         let want = oracle_optimal_response(&inst);
         for threads in [1usize, 2, 4] {
-            let outcome = ParallelPushRelabelBinary::new(threads).solve(&inst);
+            let outcome = ParallelPushRelabelBinary::new(threads)
+                .solve(&inst)
+                .unwrap();
             assert_eq!(outcome.response_time, want, "{threads} threads");
             assert_outcome_valid(&inst, &outcome);
         }
@@ -96,9 +103,9 @@ mod tests {
         let alloc = OrthogonalAllocation::new(8, Placement::PerSite);
         let q = RangeQuery::new(2, 3, 6, 6);
         let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(8));
-        let want = PushRelabelBinary.solve(&inst).response_time;
+        let want = PushRelabelBinary.solve(&inst).unwrap().response_time;
         for _ in 0..5 {
-            let got = ParallelPushRelabelBinary::new(2).solve(&inst);
+            let got = ParallelPushRelabelBinary::new(2).solve(&inst).unwrap();
             assert_eq!(got.response_time, want);
             assert_outcome_valid(&inst, &got);
         }
@@ -109,7 +116,7 @@ mod tests {
         let system = paper_example();
         let alloc = OrthogonalAllocation::paper_7x7();
         let inst = RetrievalInstance::build(&system, &alloc, &[]);
-        let outcome = ParallelPushRelabelBinary::default().solve(&inst);
+        let outcome = ParallelPushRelabelBinary::default().solve(&inst).unwrap();
         assert_eq!(outcome.flow_value, 0);
     }
 }

@@ -13,13 +13,14 @@
 //! [`IncrementalMaxFlow`] engine, so the sequential and the parallel
 //! (Section V) solvers share one implementation.
 
+use crate::error::SolveError;
 use crate::increment::MinCostIncrementer;
 use crate::network::RetrievalInstance;
 use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
+use crate::workspace::Workspace;
 use rds_flow::graph::FlowGraph;
 use rds_flow::incremental::IncrementalMaxFlow;
-use rds_flow::push_relabel::PushRelabel;
 
 /// Algorithm 5 standalone: integrated incremental push-relabel from zero
 /// capacities.
@@ -31,12 +32,15 @@ impl RetrievalSolver for PushRelabelIncremental {
         "PR-incremental"
     }
 
-    fn solve(&self, inst: &RetrievalInstance) -> RetrievalOutcome {
-        let mut g = inst.graph.clone();
+    fn solve_in(
+        &self,
+        inst: &RetrievalInstance,
+        ws: &mut Workspace,
+    ) -> Result<RetrievalOutcome, SolveError> {
+        ws.begin(inst);
         let mut stats = SolveStats::default();
-        let mut engine = PushRelabel::new();
-        incremental_phase(&mut engine, inst, &mut g, &mut stats);
-        RetrievalOutcome::from_flow(inst, &g, stats)
+        incremental_phase(&mut ws.engine, inst, &mut ws.graph, &mut stats)?;
+        RetrievalOutcome::try_from_flow(inst, &ws.graph, stats)
     }
 }
 
@@ -50,12 +54,22 @@ impl RetrievalSolver for PushRelabelBinary {
         "PR-binary"
     }
 
-    fn solve(&self, inst: &RetrievalInstance) -> RetrievalOutcome {
-        let mut g = inst.graph.clone();
+    fn solve_in(
+        &self,
+        inst: &RetrievalInstance,
+        ws: &mut Workspace,
+    ) -> Result<RetrievalOutcome, SolveError> {
+        ws.begin(inst);
         let mut stats = SolveStats::default();
-        let mut engine = PushRelabel::new();
-        binary_scaling_integrated(&mut engine, inst, &mut g, &mut stats);
-        RetrievalOutcome::from_flow(inst, &g, stats)
+        binary_scaling_integrated(
+            &mut ws.engine,
+            inst,
+            &mut ws.graph,
+            &mut stats,
+            &mut ws.stored_flows,
+            &mut ws.stored_excess,
+        )?;
+        RetrievalOutcome::try_from_flow(inst, &ws.graph, stats)
     }
 }
 
@@ -66,10 +80,10 @@ pub(crate) fn incremental_phase<E: IncrementalMaxFlow>(
     inst: &RetrievalInstance,
     g: &mut FlowGraph,
     stats: &mut SolveStats,
-) {
+) -> Result<(), SolveError> {
     let q = inst.query_size() as i64;
     if q == 0 {
-        return;
+        return Ok(());
     }
     let (s, t) = (inst.source(), inst.sink());
     let mut inc = MinCostIncrementer::new(inst);
@@ -79,32 +93,46 @@ pub(crate) fn incremental_phase<E: IncrementalMaxFlow>(
     while engine.excess(t) != q {
         let raised = inc.increment(inst, g);
         stats.increments += 1;
-        assert!(raised > 0, "retrieval instance is infeasible");
+        if raised == 0 {
+            return Err(SolveError::Infeasible {
+                delivered: engine.excess(t),
+                required: q,
+            });
+        }
         engine.resume(g, s, t);
         stats.resume_calls += 1;
     }
+    Ok(())
 }
 
-/// The full Algorithm 6 driver, generic over the max-flow engine.
+/// The full Algorithm 6 driver, generic over the max-flow engine. The
+/// `stored_flows`/`stored_excess` buffers hold the `StoreFlows` rollback
+/// state; passing them in (from a [`Workspace`]) makes the per-probe
+/// snapshots allocation-free.
 pub(crate) fn binary_scaling_integrated<E: IncrementalMaxFlow>(
     engine: &mut E,
     inst: &RetrievalInstance,
     g: &mut FlowGraph,
     stats: &mut SolveStats,
-) {
+    stored_flows: &mut Vec<i64>,
+    stored_excess: &mut Vec<i64>,
+) -> Result<(), SolveError> {
     let q = inst.query_size() as i64;
     if q == 0 {
-        return;
+        return Ok(());
     }
     let (s, t) = (inst.source(), inst.sink());
     let n = g.num_vertices();
-    let (mut t_min, mut t_max, min_speed) = inst.budget_bounds();
+    // `stored_excess` doubles as the greedy counter scratch here; it is
+    // (re)initialized as the excess snapshot right below.
+    let (mut t_min, mut t_max, min_speed) = inst.tightened_bounds(stored_excess);
 
     // `StoreFlows` state: flow and excess of the most recent *failed*
     // probe (a preflow that stays feasible for every budget above its
     // probe point). Initially the zero state.
-    let mut stored_flows = g.store_flows();
-    let mut stored_excess = vec![0i64; n];
+    g.store_flows_into(stored_flows);
+    stored_excess.clear();
+    stored_excess.resize(n, 0);
 
     while t_max - t_min >= min_speed {
         let t_mid = t_min.midpoint(t_max);
@@ -115,25 +143,25 @@ pub(crate) fn binary_scaling_integrated<E: IncrementalMaxFlow>(
         if flow != q {
             // No solution at t_mid (lines 30-33): keep the state we just
             // computed — it stays feasible for all larger budgets.
-            stored_flows = g.store_flows();
-            stored_excess = engine.excess_snapshot(n);
+            g.store_flows_into(stored_flows);
+            engine.excess_snapshot_into(n, stored_excess);
             t_min = t_mid;
         } else {
             // Solution found but possibly not optimal (lines 34-37):
             // shrink from above and roll back to the last failed state so
             // the smaller capacities of future probes are respected.
-            g.restore_flows(&stored_flows);
-            engine.restore_excess(&stored_excess);
+            g.restore_flows(stored_flows);
+            engine.restore_excess(stored_excess);
             t_max = t_mid;
         }
     }
 
     // Lines 38-42: roll back, fix capacities at t_min, finish with the
     // incremental phase.
-    g.restore_flows(&stored_flows);
-    engine.restore_excess(&stored_excess);
+    g.restore_flows(stored_flows);
+    engine.restore_excess(stored_excess);
     inst.set_caps_for_budget(g, t_min);
-    incremental_phase(engine, inst, g, stats);
+    incremental_phase(engine, inst, g, stats)
 }
 
 #[cfg(test)]
@@ -157,7 +185,7 @@ mod tests {
         let alloc = OrthogonalAllocation::new(7, Placement::SingleSite);
         let q1 = RangeQuery::new(0, 0, 3, 2);
         let inst = RetrievalInstance::build(&system, &alloc, &q1.buckets(7));
-        let outcome = PushRelabelBinary.solve(&inst);
+        let outcome = PushRelabelBinary.solve(&inst).unwrap();
         assert_eq!(outcome.flow_value, 6);
         assert_eq!(outcome.response_time, Micros::from_tenths_ms(61));
         assert_outcome_valid(&inst, &outcome);
@@ -170,8 +198,8 @@ mod tests {
         for (r, c) in [(3usize, 2usize), (7, 7), (1, 1), (4, 6)] {
             let q = RangeQuery::new(1, 2, r, c);
             let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(7));
-            let a = PushRelabelIncremental.solve(&inst);
-            let b = PushRelabelBinary.solve(&inst);
+            let a = PushRelabelIncremental.solve(&inst).unwrap();
+            let b = PushRelabelBinary.solve(&inst).unwrap();
             assert_eq!(a.response_time, b.response_time, "query {r}x{c}");
             assert_outcome_valid(&inst, &a);
             assert_outcome_valid(&inst, &b);
@@ -188,8 +216,8 @@ mod tests {
         let alloc = OrthogonalAllocation::paper_7x7();
         let q = RangeQuery::new(0, 0, 7, 7);
         let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(7));
-        let a = PushRelabelIncremental.solve(&inst);
-        let b = PushRelabelBinary.solve(&inst);
+        let a = PushRelabelIncremental.solve(&inst).unwrap();
+        let b = PushRelabelBinary.solve(&inst).unwrap();
         assert!(
             b.stats.increments < a.stats.increments,
             "binary {} vs incremental {}",
@@ -200,18 +228,18 @@ mod tests {
 
     #[test]
     fn agrees_with_ford_fulkerson_across_experiments() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        use rds_util::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(17);
         for id in ExperimentId::ALL {
             let n = rng.gen_range(4..9);
-            let system = experiment(id, n, rng.gen());
-            let alloc = RandomDuplicateAllocation::two_site(n, rng.gen());
+            let system = experiment(id, n, rng.gen_u64());
+            let alloc = RandomDuplicateAllocation::two_site(n, rng.gen_u64());
             let r = rng.gen_range(1..=n);
             let c = rng.gen_range(1..=n);
             let q = RangeQuery::new(rng.gen_range(0..n), rng.gen_range(0..n), r, c);
             let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(n));
-            let ff = FordFulkersonIncremental.solve(&inst);
-            let pr = PushRelabelBinary.solve(&inst);
+            let ff = FordFulkersonIncremental.solve(&inst).unwrap();
+            let pr = PushRelabelBinary.solve(&inst).unwrap();
             assert_eq!(
                 ff.response_time, pr.response_time,
                 "experiment {:?} n={n}",
@@ -223,17 +251,17 @@ mod tests {
 
     #[test]
     fn optimal_on_random_exp5_instances() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        use rds_util::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(23);
         for case in 0..8 {
             let n = rng.gen_range(3..8);
-            let system = experiment(ExperimentId::Exp5, n, rng.gen());
+            let system = experiment(ExperimentId::Exp5, n, rng.gen_u64());
             let alloc = DependentPeriodicAllocation::new(n, Placement::PerSite);
             let r = rng.gen_range(1..=n);
             let c = rng.gen_range(1..=n);
             let q = RangeQuery::new(rng.gen_range(0..n), rng.gen_range(0..n), r, c);
             let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(n));
-            let outcome = PushRelabelBinary.solve(&inst);
+            let outcome = PushRelabelBinary.solve(&inst).unwrap();
             assert_outcome_valid(&inst, &outcome);
             assert_eq!(
                 outcome.response_time,
@@ -248,7 +276,7 @@ mod tests {
         let system = SystemConfig::homogeneous(CHEETAH, 4);
         let alloc = OrthogonalAllocation::new(4, Placement::SingleSite);
         let inst = RetrievalInstance::build(&system, &alloc, &[]);
-        let outcome = PushRelabelBinary.solve(&inst);
+        let outcome = PushRelabelBinary.solve(&inst).unwrap();
         assert_eq!(outcome.flow_value, 0);
         assert_eq!(outcome.response_time, Micros::ZERO);
     }
@@ -259,7 +287,7 @@ mod tests {
         let alloc = OrthogonalAllocation::paper_7x7();
         let q = RangeQuery::new(0, 0, 1, 1);
         let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(7));
-        let outcome = PushRelabelBinary.solve(&inst);
+        let outcome = PushRelabelBinary.solve(&inst).unwrap();
         assert_eq!(outcome.flow_value, 1);
         // The best replica is whichever of the two copies has the lower
         // single-bucket completion time; both candidates are 11.3ms
@@ -271,12 +299,31 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuse_matches_fresh_solves() {
+        // One workspace threaded through differently-shaped queries and
+        // both algorithms must reproduce the fresh-workspace results.
+        let system = paper_example();
+        let alloc = OrthogonalAllocation::paper_7x7();
+        let mut ws = Workspace::new();
+        for (r, c) in [(7usize, 7usize), (1, 1), (3, 2), (5, 4)] {
+            let q = RangeQuery::new(0, 0, r, c);
+            let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(7));
+            let reused = PushRelabelBinary.solve_in(&inst, &mut ws).unwrap();
+            let fresh = PushRelabelBinary.solve(&inst).unwrap();
+            assert_eq!(reused.response_time, fresh.response_time, "{r}x{c}");
+            let reused = PushRelabelIncremental.solve_in(&inst, &mut ws).unwrap();
+            assert_eq!(reused.response_time, fresh.response_time, "{r}x{c}");
+        }
+        assert_eq!(ws.solves(), 8);
+    }
+
+    #[test]
     fn probes_scale_logarithmically() {
         let system = experiment(ExperimentId::Exp5, 10, 3);
         let alloc = OrthogonalAllocation::new(10, Placement::PerSite);
         let q = RangeQuery::new(0, 0, 10, 10);
         let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(10));
-        let outcome = PushRelabelBinary.solve(&inst);
+        let outcome = PushRelabelBinary.solve(&inst).unwrap();
         // The budget range spans ~|Q| * C_max / min_speed values; probes
         // are its base-2 log — generously under 64.
         assert!(outcome.stats.probes < 64, "{} probes", outcome.stats.probes);

@@ -1,5 +1,6 @@
 //! Retrieval schedules and solver outcomes.
 
+use crate::error::SolveError;
 use crate::network::RetrievalInstance;
 use rds_decluster::query::Bucket;
 use rds_flow::graph::FlowGraph;
@@ -21,11 +22,10 @@ impl Schedule {
     /// Extracts the schedule from a solved flow: each bucket vertex has
     /// exactly one saturated forward edge to a disk vertex.
     ///
-    /// # Panics
-    ///
-    /// Panics if some bucket carries no unit of flow (i.e. the flow is not
-    /// a complete retrieval).
-    pub fn from_flow(inst: &RetrievalInstance, g: &FlowGraph) -> Schedule {
+    /// Returns [`SolveError::IncompleteFlow`] naming the first bucket
+    /// that carries no unit of flow (i.e. the flow is not a complete
+    /// retrieval).
+    pub fn try_from_flow(inst: &RetrievalInstance, g: &FlowGraph) -> Result<Schedule, SolveError> {
         let mut assignments = Vec::with_capacity(inst.query_size());
         for (i, &b) in inst.buckets.iter().enumerate() {
             let v = inst.bucket_vertex(i);
@@ -36,10 +36,20 @@ impl Schedule {
                     let e = e as usize;
                     (e.is_multiple_of(2) && g.flow(e) > 0).then(|| inst.disk_of_vertex(g.target(e)))
                 })
-                .unwrap_or_else(|| panic!("bucket {b} is not retrieved by the flow"));
+                .ok_or(SolveError::IncompleteFlow { bucket: b })?;
             assignments.push((b, disk));
         }
-        Schedule { assignments }
+        Ok(Schedule { assignments })
+    }
+
+    /// Panicking variant of [`Schedule::try_from_flow`], for callers that
+    /// have already verified the flow is complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some bucket carries no unit of flow.
+    pub fn from_flow(inst: &RetrievalInstance, g: &FlowGraph) -> Schedule {
+        Schedule::try_from_flow(inst, g).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Number of scheduled buckets.
@@ -81,7 +91,11 @@ impl Schedule {
 
 /// Work counters reported by every solver, for algorithm comparisons and
 /// the paper's execution-time figures.
+///
+/// Marked `#[non_exhaustive]`: future solvers may add counters, so
+/// construct instances with [`SolveStats::default`] and update fields.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct SolveStats {
     /// Full from-scratch max-flow computations (black-box algorithms).
     pub maxflow_calls: u64,
@@ -95,8 +109,26 @@ pub struct SolveStats {
     pub dfs_calls: u64,
 }
 
+impl SolveStats {
+    /// Adds another solve's counters into this rollup (used by the batch
+    /// engine's aggregate statistics).
+    pub fn accumulate(&mut self, other: &SolveStats) {
+        self.maxflow_calls += other.maxflow_calls;
+        self.resume_calls += other.resume_calls;
+        self.probes += other.probes;
+        self.increments += other.increments;
+        self.dfs_calls += other.dfs_calls;
+    }
+}
+
 /// The result of solving one retrieval instance.
+///
+/// Marked `#[non_exhaustive]`: downstream code reads the fields but must
+/// obtain instances from the solvers (or
+/// [`RetrievalOutcome::try_from_flow`]), so future fields can be added
+/// without breaking callers.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct RetrievalOutcome {
     /// The optimal schedule found.
     pub schedule: Schedule,
@@ -109,20 +141,34 @@ pub struct RetrievalOutcome {
 }
 
 impl RetrievalOutcome {
-    /// Assembles an outcome from a solved graph.
-    pub fn from_flow(inst: &RetrievalInstance, g: &FlowGraph, stats: SolveStats) -> Self {
+    /// Assembles an outcome from a solved graph, or reports the first
+    /// bucket the flow fails to retrieve.
+    pub fn try_from_flow(
+        inst: &RetrievalInstance,
+        g: &FlowGraph,
+        stats: SolveStats,
+    ) -> Result<Self, SolveError> {
         let schedule = if inst.query_size() == 0 {
             Schedule::new(Vec::new())
         } else {
-            Schedule::from_flow(inst, g)
+            Schedule::try_from_flow(inst, g)?
         };
         let response_time = schedule.response_time(&inst.disks);
-        RetrievalOutcome {
+        Ok(RetrievalOutcome {
             flow_value: schedule.len() as u64,
             schedule,
             response_time,
             stats,
-        }
+        })
+    }
+
+    /// Panicking variant of [`RetrievalOutcome::try_from_flow`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow does not retrieve every bucket.
+    pub fn from_flow(inst: &RetrievalInstance, g: &FlowGraph, stats: SolveStats) -> Self {
+        RetrievalOutcome::try_from_flow(inst, g, stats).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -162,13 +208,11 @@ mod tests {
 
     #[test]
     fn response_time_takes_max_over_used() {
-        let sys = SystemConfig::new(vec![rds_storage::model::Site {
-            name: "s".into(),
-            disks: vec![
-                rds_storage::model::Disk::unloaded(CHEETAH), // 6.1ms
-                rds_storage::model::Disk::unloaded(VERTEX),  // 0.5ms
-            ],
-        }]);
+        let sys = SystemConfig::builder()
+            .site("s")
+            .disk(CHEETAH) // 6.1ms
+            .disk(VERTEX) // 0.5ms
+            .build();
         let s = Schedule::new(vec![
             (Bucket::new(0, 0), 0),
             (Bucket::new(0, 1), 1),

@@ -11,27 +11,24 @@
 //! Time is virtual: the caller supplies each query's arrival time
 //! (monotone non-decreasing), so sessions are deterministic and
 //! simulation-friendly.
+//!
+//! Internally the session keeps one cached [`RetrievalInstance`] and one
+//! [`Workspace`]. Each submit patches the cached instance in place — only
+//! the per-disk initial loads when the bucket set repeats, a full
+//! [`RetrievalInstance::rebuild_in`] otherwise — so steady-state submits
+//! allocate nothing. The bookkeeping lives in [`SessionState`], a plain
+//! owned value, so the batch [`crate::engine::Engine`] can hold many
+//! sessions and move them across worker threads.
 
+use crate::error::SessionError;
 use crate::network::RetrievalInstance;
 use crate::schedule::RetrievalOutcome;
 use crate::solver::RetrievalSolver;
+use crate::workspace::Workspace;
 use rds_decluster::allocation::ReplicaSource;
 use rds_decluster::query::Bucket;
-use rds_storage::model::{Disk, SystemConfig};
+use rds_storage::model::SystemConfig;
 use rds_storage::time::Micros;
-
-/// A stateful retrieval session over one storage system and allocation.
-pub struct RetrievalSession<'a, A: ReplicaSource, S: RetrievalSolver> {
-    system: &'a SystemConfig,
-    alloc: &'a A,
-    solver: S,
-    /// Absolute time at which each disk finishes its outstanding work.
-    busy_until: Vec<Micros>,
-    /// Arrival time of the most recent query.
-    now: Micros,
-    /// Completed queries.
-    served: u64,
-}
 
 /// The outcome of one session query, with absolute-time bookkeeping.
 #[derive(Clone, Debug)]
@@ -44,16 +41,33 @@ pub struct SessionOutcome {
     pub completion: Micros,
 }
 
-impl<'a, A: ReplicaSource, S: RetrievalSolver> RetrievalSession<'a, A, S> {
-    /// Opens a session; all disks start idle.
-    pub fn new(system: &'a SystemConfig, alloc: &'a A, solver: S) -> Self {
-        RetrievalSession {
-            busy_until: vec![Micros::ZERO; system.num_disks()],
-            system,
-            alloc,
-            solver,
+/// The owned, thread-movable bookkeeping of one query stream: disk
+/// busy-until times, virtual clock, and the cached retrieval instance.
+///
+/// [`RetrievalSession`] wraps one of these with its system/allocation
+/// references for the common single-stream case;
+/// [`crate::engine::Engine`] keeps one per stream and drives them with
+/// [`SessionState::submit_with`] on whichever shard owns the stream.
+#[derive(Clone, Debug, Default)]
+pub struct SessionState {
+    /// Absolute time at which each disk finishes its outstanding work.
+    busy_until: Vec<Micros>,
+    /// Arrival time of the most recent query.
+    now: Micros,
+    /// Completed queries.
+    served: u64,
+    /// Instance reused (patched or rebuilt in place) across submits.
+    instance: Option<RetrievalInstance>,
+}
+
+impl SessionState {
+    /// Fresh state: all disks idle, clock at zero.
+    pub fn new(num_disks: usize) -> SessionState {
+        SessionState {
+            busy_until: vec![Micros::ZERO; num_disks],
             now: Micros::ZERO,
             served: 0,
+            instance: None,
         }
     }
 
@@ -77,58 +91,136 @@ impl<'a, A: ReplicaSource, S: RetrievalSolver> RetrievalSession<'a, A, S> {
     /// arrival), solves it with per-disk initial loads derived from the
     /// outstanding work, and charges the schedule back to the disks.
     ///
-    /// # Panics
-    ///
-    /// Panics if `arrival` precedes the previous query's arrival.
-    pub fn submit(&mut self, arrival: Micros, buckets: &[Bucket]) -> SessionOutcome {
-        assert!(
-            arrival >= self.now,
-            "query arrivals must be monotone: {arrival} < {}",
-            self.now
-        );
+    /// `system` and `alloc` must be the same on every call for the load
+    /// feedback to be meaningful (the [`RetrievalSession`] wrapper
+    /// guarantees this).
+    pub fn submit_with<A: ReplicaSource + ?Sized, S: RetrievalSolver + ?Sized>(
+        &mut self,
+        system: &SystemConfig,
+        alloc: &A,
+        solver: &S,
+        ws: &mut Workspace,
+        arrival: Micros,
+        buckets: &[Bucket],
+    ) -> Result<SessionOutcome, SessionError> {
+        if arrival < self.now {
+            return Err(SessionError::NonMonotoneArrival {
+                arrival,
+                now: self.now,
+            });
+        }
         self.now = arrival;
 
-        // Instantiate the system with the session-derived X_j.
-        let disks: Vec<Disk> = self
-            .system
-            .disks()
-            .iter()
-            .enumerate()
-            .map(|(j, d)| Disk {
-                initial_load: d.initial_load + self.current_load(j),
-                ..*d
-            })
-            .collect();
-        let loaded = SystemConfig::new(vec![rds_storage::model::Site {
-            name: "session".to_string(),
-            disks,
-        }]);
+        // Bring the cached instance up to date. If the bucket set repeats
+        // (the common case for a hot query), the topology is already
+        // right and only the disk loads changed; otherwise rebuild the
+        // topology in place.
+        let reuse_topology = self
+            .instance
+            .as_ref()
+            .is_some_and(|inst| inst.buckets == buckets && inst.num_disks() == system.num_disks());
+        if !reuse_topology {
+            match self.instance.as_mut() {
+                Some(inst) => inst
+                    .rebuild_in(system, alloc, buckets)
+                    .expect("no disks failed, every bucket has a replica"),
+                None => {
+                    self.instance = Some(RetrievalInstance::build(system, alloc, buckets));
+                }
+            }
+        }
+        let inst = self.instance.as_mut().expect("instance cached above");
+        for (j, d) in inst.disks.iter_mut().enumerate() {
+            d.initial_load =
+                system.disk(j).initial_load + self.busy_until[j].saturating_sub(arrival);
+        }
 
-        let inst = RetrievalInstance::build(&loaded, self.alloc, buckets);
-        let outcome = self.solver.solve(&inst);
+        let outcome = solver.solve_in(inst, ws)?;
 
         // Charge each disk: it starts when idle (and reachable) and works
         // k_j * C_j; its new busy-until is exactly its completion time in
         // the solved schedule, measured from `arrival`.
-        let counts = outcome.schedule.per_disk_counts(loaded.num_disks());
+        let counts = outcome.schedule.per_disk_counts(inst.num_disks());
         for (j, &k) in counts.iter().enumerate() {
             if k > 0 {
-                let completion = arrival + loaded.disk(j).completion_time(k);
+                let completion = arrival + inst.disks[j].completion_time(k);
                 self.busy_until[j] = self.busy_until[j].max(completion);
             }
         }
         self.served += 1;
-        SessionOutcome {
+        Ok(SessionOutcome {
             completion: arrival + outcome.response_time,
             outcome,
             arrival,
+        })
+    }
+}
+
+/// A stateful retrieval session over one storage system and allocation.
+pub struct RetrievalSession<'a, A: ReplicaSource, S: RetrievalSolver> {
+    system: &'a SystemConfig,
+    alloc: &'a A,
+    solver: S,
+    state: SessionState,
+    workspace: Workspace,
+}
+
+impl<'a, A: ReplicaSource, S: RetrievalSolver> RetrievalSession<'a, A, S> {
+    /// Opens a session; all disks start idle.
+    pub fn new(system: &'a SystemConfig, alloc: &'a A, solver: S) -> Self {
+        RetrievalSession {
+            state: SessionState::new(system.num_disks()),
+            workspace: Workspace::new(),
+            system,
+            alloc,
+            solver,
         }
+    }
+
+    /// Number of queries served so far.
+    pub fn queries_served(&self) -> u64 {
+        self.state.queries_served()
+    }
+
+    /// Current virtual time (arrival of the latest query).
+    pub fn now(&self) -> Micros {
+        self.state.now()
+    }
+
+    /// The initial load `X_j` disk `j` would present to a query arriving
+    /// now: the remaining busy time, 0 if idle.
+    pub fn current_load(&self, j: usize) -> Micros {
+        self.state.current_load(j)
+    }
+
+    /// Submits a query arriving at `arrival` (must be ≥ the previous
+    /// arrival), solves it with per-disk initial loads derived from the
+    /// outstanding work, and charges the schedule back to the disks.
+    ///
+    /// Returns [`SessionError::NonMonotoneArrival`] if `arrival` precedes
+    /// the previous query's arrival, and [`SessionError::Solve`] if the
+    /// solver rejects the instance; neither poisons the session.
+    pub fn submit(
+        &mut self,
+        arrival: Micros,
+        buckets: &[Bucket],
+    ) -> Result<SessionOutcome, SessionError> {
+        self.state.submit_with(
+            self.system,
+            self.alloc,
+            &self.solver,
+            &mut self.workspace,
+            arrival,
+            buckets,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::SolveError;
+    use crate::ff::FordFulkersonBasic;
     use crate::pr::PushRelabelBinary;
     use rds_decluster::allocation::Placement;
     use rds_decluster::orthogonal::OrthogonalAllocation;
@@ -150,7 +242,7 @@ mod tests {
             assert_eq!(session.current_load(j), Micros::ZERO);
         }
         let q = RangeQuery::new(0, 0, 1, 5);
-        let out = session.submit(Micros::ZERO, &q.buckets(5));
+        let out = session.submit(Micros::ZERO, &q.buckets(5)).unwrap();
         assert_eq!(out.outcome.flow_value, 5);
         // 5 buckets over 5 idle cheetahs: one each, 6.1ms.
         assert_eq!(out.outcome.response_time, Micros::from_tenths_ms(61));
@@ -162,10 +254,10 @@ mod tests {
         let (system, alloc) = setup();
         let mut session = RetrievalSession::new(&system, &alloc, PushRelabelBinary);
         let q = RangeQuery::new(0, 0, 1, 5);
-        let first = session.submit(Micros::ZERO, &q.buckets(5));
+        let first = session.submit(Micros::ZERO, &q.buckets(5)).unwrap();
         // Same query immediately again: every disk still busy 6.1ms, so
         // the second response is 6.1 (wait) + 6.1 (work).
-        let second = session.submit(Micros::ZERO, &q.buckets(5));
+        let second = session.submit(Micros::ZERO, &q.buckets(5)).unwrap();
         assert_eq!(
             second.outcome.response_time,
             first.outcome.response_time * 2
@@ -177,9 +269,11 @@ mod tests {
         let (system, alloc) = setup();
         let mut session = RetrievalSession::new(&system, &alloc, PushRelabelBinary);
         let q = RangeQuery::new(0, 0, 1, 5);
-        session.submit(Micros::ZERO, &q.buckets(5));
+        session.submit(Micros::ZERO, &q.buckets(5)).unwrap();
         // Arrive after the disks are idle again: no queueing.
-        let late = session.submit(Micros::from_millis(50), &q.buckets(5));
+        let late = session
+            .submit(Micros::from_millis(50), &q.buckets(5))
+            .unwrap();
         assert_eq!(late.outcome.response_time, Micros::from_tenths_ms(61));
         for j in 0..5 {
             // busy_until = 50ms + 6.1ms.
@@ -195,26 +289,57 @@ mod tests {
         // (Column 0 buckets have identical copies under the single-site
         // lattice pair, so use column 1 where the replicas differ.)
         let single = RangeQuery::new(0, 1, 1, 1);
-        let first = session.submit(Micros::ZERO, &single.buckets(5));
+        let first = session.submit(Micros::ZERO, &single.buckets(5)).unwrap();
         let (_, loaded_disk) = first.outcome.schedule.assignments()[0];
         assert!(session.current_load(loaded_disk) > Micros::ZERO);
 
         // The same bucket again: the optimal schedule should use the
         // *other* replica (idle) rather than queue behind the first.
-        let second = session.submit(Micros::ZERO, &single.buckets(5));
+        let second = session.submit(Micros::ZERO, &single.buckets(5)).unwrap();
         let (_, second_disk) = second.outcome.schedule.assignments()[0];
         assert_ne!(second_disk, loaded_disk);
         assert_eq!(second.outcome.response_time, Micros::from_tenths_ms(61));
     }
 
     #[test]
-    #[should_panic(expected = "monotone")]
-    fn time_travel_rejected() {
+    fn time_travel_rejected_without_poisoning() {
         let (system, alloc) = setup();
         let mut session = RetrievalSession::new(&system, &alloc, PushRelabelBinary);
         let q = RangeQuery::new(0, 0, 1, 1);
-        session.submit(Micros::from_millis(10), &q.buckets(5));
-        session.submit(Micros::from_millis(5), &q.buckets(5));
+        session
+            .submit(Micros::from_millis(10), &q.buckets(5))
+            .unwrap();
+        let err = session
+            .submit(Micros::from_millis(5), &q.buckets(5))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::NonMonotoneArrival {
+                arrival: Micros::from_millis(5),
+                now: Micros::from_millis(10),
+            }
+        );
+        // The failed submit left the session usable.
+        assert_eq!(session.queries_served(), 1);
+        let ok = session.submit(Micros::from_millis(10), &q.buckets(5));
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn solver_rejection_surfaces_as_session_error() {
+        // FF-basic refuses loaded disks, so the *second* submit of a
+        // session (disks now loaded) must fail with UnsupportedSystem —
+        // through the Result, not a panic.
+        let (system, alloc) = setup();
+        let mut session = RetrievalSession::new(&system, &alloc, FordFulkersonBasic);
+        let q = RangeQuery::new(0, 0, 1, 5);
+        session.submit(Micros::ZERO, &q.buckets(5)).unwrap();
+        let err = session.submit(Micros::ZERO, &q.buckets(5)).unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::Solve(SolveError::UnsupportedSystem { .. })
+        ));
+        assert_eq!(session.queries_served(), 1);
     }
 
     #[test]
@@ -223,8 +348,35 @@ mod tests {
         let mut session = RetrievalSession::new(&system, &alloc, PushRelabelBinary);
         let q = RangeQuery::new(1, 1, 2, 2);
         let arrival = Micros::from_millis(7);
-        let out = session.submit(arrival, &q.buckets(5));
+        let out = session.submit(arrival, &q.buckets(5)).unwrap();
         assert_eq!(out.completion, arrival + out.outcome.response_time);
         assert_eq!(out.arrival, arrival);
+    }
+
+    #[test]
+    fn repeated_bucket_set_reuses_cached_topology() {
+        // Alternate two bucket sets; results must match a fresh session
+        // fed the same sequence (exercises both the load-patch fast path
+        // and the rebuild path).
+        let (system, alloc) = setup();
+        let qa = RangeQuery::new(0, 0, 1, 5).buckets(5);
+        let qb = RangeQuery::new(1, 0, 2, 2).buckets(5);
+        let mut cached = RetrievalSession::new(&system, &alloc, PushRelabelBinary);
+        let mut t = Micros::ZERO;
+        let mut results = Vec::new();
+        for i in 0..8 {
+            let b = if i % 3 == 0 { &qb } else { &qa };
+            results.push(cached.submit(t, b).unwrap().outcome.response_time);
+            t = t + Micros::from_millis(2);
+        }
+        // Replay into a brand-new session.
+        let mut fresh = RetrievalSession::new(&system, &alloc, PushRelabelBinary);
+        let mut t = Micros::ZERO;
+        for (i, want) in results.iter().enumerate() {
+            let b = if i % 3 == 0 { &qb } else { &qa };
+            let got = fresh.submit(t, b).unwrap().outcome.response_time;
+            assert_eq!(got, *want, "query {i}");
+            t = t + Micros::from_millis(2);
+        }
     }
 }

@@ -1,20 +1,66 @@
 //! The uniform solver interface.
 
+use crate::error::SolveError;
 use crate::network::RetrievalInstance;
 use crate::schedule::RetrievalOutcome;
+use crate::workspace::Workspace;
 
 /// A retrieval-scheduling algorithm.
 ///
 /// All implementations compute the *optimal* response time schedule; they
-/// differ only in how much work they spend finding it. `solve` takes the
-/// instance by shared reference and clones its graph internally, so one
-/// instance can be solved by several algorithms and the outcomes compared.
+/// differ only in how much work they spend finding it. The instance is
+/// taken by shared reference — solvers never mutate it — so one instance
+/// can be solved by several algorithms and the outcomes compared.
+///
+/// [`RetrievalSolver::solve_in`] is the primary entry point: it runs the
+/// solve inside a caller-provided [`Workspace`], reusing its graph copy,
+/// engine arrays and snapshot buffers. [`RetrievalSolver::solve`] is a
+/// convenience wrapper that allocates a throwaway workspace — fine for
+/// one-off solves, wasteful in a loop.
 pub trait RetrievalSolver {
     /// Short algorithm name for reports ("PR-binary", "BB-PR", ...).
     fn name(&self) -> &'static str;
 
-    /// Computes an optimal response time retrieval schedule.
-    fn solve(&self, instance: &RetrievalInstance) -> RetrievalOutcome;
+    /// Computes an optimal response time retrieval schedule using the
+    /// buffers of `ws`. Returns an error instead of panicking when the
+    /// instance is infeasible or violates the algorithm's preconditions.
+    fn solve_in(
+        &self,
+        instance: &RetrievalInstance,
+        ws: &mut Workspace,
+    ) -> Result<RetrievalOutcome, SolveError>;
+
+    /// Computes an optimal response time retrieval schedule in a fresh
+    /// workspace.
+    fn solve(&self, instance: &RetrievalInstance) -> Result<RetrievalOutcome, SolveError> {
+        self.solve_in(instance, &mut Workspace::new())
+    }
+}
+
+impl<T: RetrievalSolver + ?Sized> RetrievalSolver for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn solve_in(
+        &self,
+        instance: &RetrievalInstance,
+        ws: &mut Workspace,
+    ) -> Result<RetrievalOutcome, SolveError> {
+        (**self).solve_in(instance, ws)
+    }
+}
+
+impl<T: RetrievalSolver + ?Sized> RetrievalSolver for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn solve_in(
+        &self,
+        instance: &RetrievalInstance,
+        ws: &mut Workspace,
+    ) -> Result<RetrievalOutcome, SolveError> {
+        (**self).solve_in(instance, ws)
+    }
 }
 
 #[cfg(test)]
@@ -28,19 +74,31 @@ mod tests {
         fn name(&self) -> &'static str {
             "nop"
         }
-        fn solve(&self, _instance: &RetrievalInstance) -> RetrievalOutcome {
-            RetrievalOutcome {
+        fn solve_in(
+            &self,
+            _instance: &RetrievalInstance,
+            _ws: &mut Workspace,
+        ) -> Result<RetrievalOutcome, SolveError> {
+            Ok(RetrievalOutcome {
                 schedule: Schedule::new(Vec::new()),
                 response_time: rds_storage::time::Micros::ZERO,
                 flow_value: 0,
                 stats: SolveStats::default(),
-            }
+            })
         }
     }
 
     #[test]
-    fn trait_is_object_safe() {
+    fn trait_is_object_safe_and_solve_delegates() {
         let solvers: Vec<Box<dyn RetrievalSolver>> = vec![Box::new(Nop)];
         assert_eq!(solvers[0].name(), "nop");
+        let system = rds_storage::model::SystemConfig::homogeneous(rds_storage::specs::CHEETAH, 2);
+        let alloc = rds_decluster::orthogonal::OrthogonalAllocation::new(
+            2,
+            rds_decluster::allocation::Placement::SingleSite,
+        );
+        let inst = RetrievalInstance::build(&system, &alloc, &[]);
+        let outcome = solvers[0].solve(&inst).unwrap();
+        assert_eq!(outcome.flow_value, 0);
     }
 }

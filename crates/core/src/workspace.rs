@@ -1,0 +1,154 @@
+//! Reusable solver scratch state.
+//!
+//! Every solve needs a mutable copy of the instance's flow network plus
+//! engine state (excess arrays, DFS stacks, flow/excess snapshots for the
+//! `StoreFlows`/`RestoreFlows` rollbacks of Algorithm 6). A [`Workspace`]
+//! owns all of it and survives across solves, so a caller issuing many
+//! queries — a [`crate::session::RetrievalSession`] or the batch
+//! [`crate::engine::Engine`] — pays the allocations once instead of per
+//! query. [`crate::solver::RetrievalSolver::solve_in`] threads a workspace
+//! through every solver; the `solve` convenience wrapper spins up a fresh
+//! one per call.
+//!
+//! A workspace is not tied to a solver or an instance: the same one can
+//! serve different algorithms and differently-shaped queries back to
+//! back. Buffers only ever grow.
+
+use crate::network::RetrievalInstance;
+use rds_flow::ford_fulkerson::AugmentingPath;
+use rds_flow::graph::FlowGraph;
+use rds_flow::incremental::IncrementalMaxFlow;
+use rds_flow::parallel::ParallelPushRelabel;
+use rds_flow::push_relabel::PushRelabel;
+
+/// Reusable buffers and engine state shared by all solvers.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Scratch copy of the instance's flow network.
+    pub(crate) graph: FlowGraph,
+    /// Sequential push-relabel engine (Algorithm 4) with its height,
+    /// queue and excess arrays.
+    pub(crate) engine: PushRelabel,
+    /// Reusable DFS state for the Ford-Fulkerson solvers.
+    pub(crate) search: AugmentingPath,
+    /// `StoreFlows` snapshot buffer (Algorithm 6 line 31).
+    pub(crate) stored_flows: Vec<i64>,
+    /// Excess snapshot buffer paired with `stored_flows`.
+    pub(crate) stored_excess: Vec<i64>,
+    /// Cached parallel engine, keyed by its worker-thread count. Kept
+    /// alive so its worker pool persists across solves.
+    parallel: Option<(usize, ParallelPushRelabel)>,
+    solves: u64,
+}
+
+impl Default for Workspace {
+    fn default() -> Workspace {
+        Workspace::new()
+    }
+}
+
+impl Workspace {
+    /// Creates an empty workspace; all buffers grow on first use.
+    pub fn new() -> Workspace {
+        Workspace {
+            graph: FlowGraph::default(),
+            engine: PushRelabel::new(),
+            search: AugmentingPath::new(),
+            stored_flows: Vec::new(),
+            stored_excess: Vec::new(),
+            parallel: None,
+            solves: 0,
+        }
+    }
+
+    /// Number of solves that ran in this workspace — the amortization
+    /// counter surfaced by [`crate::engine::EngineStats`].
+    pub fn solves(&self) -> u64 {
+        self.solves
+    }
+
+    /// Prepares the workspace for one solve of `inst`: copies the
+    /// instance's network into the scratch graph (reusing its buffers)
+    /// and clears the engine excess left by the previous solve.
+    pub(crate) fn begin(&mut self, inst: &RetrievalInstance) {
+        self.solves += 1;
+        self.graph.copy_from(&inst.graph);
+        self.engine.reset_excess(self.graph.num_vertices());
+    }
+
+    /// Borrows the scratch graph together with the cached parallel engine
+    /// for `threads` workers and the two snapshot buffers. (Dis)connects
+    /// the engine from the previous solve: excess is zeroed and the
+    /// topology snapshot invalidated, since the cache is keyed on graph
+    /// size only and this solve's graph may differ in shape.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn parallel_parts(
+        &mut self,
+        threads: usize,
+    ) -> (
+        &mut FlowGraph,
+        &mut ParallelPushRelabel,
+        &mut Vec<i64>,
+        &mut Vec<i64>,
+    ) {
+        let rebuild = match &self.parallel {
+            Some((t, _)) => *t != threads,
+            None => true,
+        };
+        if rebuild {
+            self.parallel = Some((threads, ParallelPushRelabel::new(threads)));
+        }
+        let (_, engine) = self.parallel.as_mut().expect("parallel engine cached");
+        engine.invalidate_topology();
+        engine.reset_excess(self.graph.num_vertices());
+        (
+            &mut self.graph,
+            engine,
+            &mut self.stored_flows,
+            &mut self.stored_excess,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_decluster::allocation::Placement;
+    use rds_decluster::orthogonal::OrthogonalAllocation;
+    use rds_decluster::query::{Query, RangeQuery};
+    use rds_storage::model::SystemConfig;
+    use rds_storage::specs::CHEETAH;
+
+    #[test]
+    fn begin_copies_instance_graph_and_counts() {
+        let system = SystemConfig::homogeneous(CHEETAH, 4);
+        let alloc = OrthogonalAllocation::new(4, Placement::SingleSite);
+        let q = RangeQuery::new(0, 0, 2, 2);
+        let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(4));
+        let mut ws = Workspace::new();
+        assert_eq!(ws.solves(), 0);
+        ws.begin(&inst);
+        assert_eq!(ws.solves(), 1);
+        assert_eq!(ws.graph.num_vertices(), inst.graph.num_vertices());
+        assert_eq!(ws.graph.num_edges(), inst.graph.num_edges());
+        // A second begin reuses the same buffers without issue.
+        ws.begin(&inst);
+        assert_eq!(ws.solves(), 2);
+        assert_eq!(ws.graph.num_edges(), inst.graph.num_edges());
+    }
+
+    #[test]
+    fn parallel_engine_is_cached_per_thread_count() {
+        let mut ws = Workspace::new();
+        ws.graph = FlowGraph::new(2);
+        {
+            let (_, engine, _, _) = ws.parallel_parts(2);
+            engine.set_excess(0, 7);
+        }
+        {
+            // Same thread count: same engine, but excess was reset.
+            let (_, engine, _, _) = ws.parallel_parts(2);
+            assert_eq!(engine.excess(0), 0);
+        }
+    }
+}

@@ -19,8 +19,7 @@
 //! rounding.
 
 use crate::query::{ArbitraryQuery, Bucket, Query, RangeQuery};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rds_util::SplitMix64;
 use std::collections::HashSet;
 
 /// Which query type to generate (paper §VI-B).
@@ -74,7 +73,7 @@ pub struct QueryGenerator {
     n: usize,
     kind: QueryKind,
     load: Load,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl QueryGenerator {
@@ -88,7 +87,7 @@ impl QueryGenerator {
             n,
             kind,
             load,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
         }
     }
 

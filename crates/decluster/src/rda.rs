@@ -8,8 +8,7 @@
 
 use crate::allocation::{standard_num_disks, Allocation, Placement, ReplicaSource, Replicas};
 use crate::query::Bucket;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rds_util::SplitMix64;
 
 /// Random Duplicate Allocation over an `N × N` grid.
 #[derive(Clone, Debug)]
@@ -41,7 +40,7 @@ impl RandomDuplicateAllocation {
                 "cannot place {copies} distinct copies on {n} disks"
             );
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let mut table = Vec::with_capacity(n * n);
         for _ in 0..n * n {
             let mut picks = [0u32; crate::allocation::MAX_COPIES];

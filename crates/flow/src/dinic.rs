@@ -118,8 +118,8 @@ mod tests {
 
     #[test]
     fn agrees_with_ford_fulkerson_on_random_graphs() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use rds_util::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(7);
         for _ in 0..50 {
             let n = rng.gen_range(4..20);
             let m = rng.gen_range(n..4 * n);

@@ -205,6 +205,38 @@ impl FlowGraph {
         self.flow.clone()
     }
 
+    /// Writes the current flow state into `buf`, reusing its allocation —
+    /// the allocation-free counterpart of [`FlowGraph::store_flows`] for
+    /// callers that snapshot repeatedly (the binary capacity-scaling
+    /// driver stores state on every failed probe).
+    pub fn store_flows_into(&self, buf: &mut Vec<i64>) {
+        buf.clear();
+        buf.extend_from_slice(&self.flow);
+    }
+
+    /// Makes `self` a copy of `other`, reusing existing allocations
+    /// (including the per-vertex adjacency buffers) instead of allocating
+    /// a fresh graph as `clone` would.
+    pub fn copy_from(&mut self, other: &FlowGraph) {
+        self.head.clone_from(&other.head);
+        self.cap.clone_from(&other.cap);
+        self.flow.clone_from(&other.flow);
+        self.adj.clone_from(&other.adj);
+    }
+
+    /// Clears the graph to `n` isolated vertices in place, keeping the
+    /// edge arrays and the inner adjacency buffers allocated so a rebuild
+    /// of similar size is allocation-free.
+    pub fn reset(&mut self, n: usize) {
+        self.head.clear();
+        self.cap.clear();
+        self.flow.clear();
+        for a in &mut self.adj {
+            a.clear();
+        }
+        self.adj.resize_with(n, Vec::new);
+    }
+
     /// Restores a flow snapshot taken with [`FlowGraph::store_flows`]
     /// (`RestoreFlows`, Algorithm 6).
     ///
@@ -346,5 +378,49 @@ mod tests {
         assert_eq!(g.residual(0), 0);
         g.set_cap(0, 5);
         assert_eq!(g.residual(0), 2);
+    }
+
+    #[test]
+    fn store_flows_into_matches_store_flows() {
+        let mut g = diamond();
+        g.push(0, 2);
+        g.push(4, 1);
+        let mut buf = vec![99i64; 3];
+        g.store_flows_into(&mut buf);
+        assert_eq!(buf, g.store_flows());
+    }
+
+    #[test]
+    fn copy_from_replicates_everything() {
+        let src = diamond();
+        let mut dst = FlowGraph::new(2);
+        dst.add_edge(0, 1, 7);
+        dst.copy_from(&src);
+        assert_eq!(dst.num_vertices(), src.num_vertices());
+        assert_eq!(dst.num_edges(), src.num_edges());
+        for e in src.forward_edges() {
+            assert_eq!(dst.cap(e), src.cap(e));
+            assert_eq!(dst.target(e), src.target(e));
+            assert_eq!(dst.flow(e), src.flow(e));
+        }
+        for v in 0..src.num_vertices() {
+            assert_eq!(dst.out_edges(v), src.out_edges(v));
+        }
+    }
+
+    #[test]
+    fn reset_clears_topology_in_place() {
+        let mut g = diamond();
+        g.push(0, 1);
+        g.reset(3);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        for v in 0..3 {
+            assert!(g.out_edges(v).is_empty());
+        }
+        // The graph is fully usable after a reset.
+        let e = g.add_edge(0, 2, 4);
+        g.push(e, 4);
+        assert_eq!(g.net_inflow(2), 4);
     }
 }

@@ -180,8 +180,8 @@ mod tests {
 
     #[test]
     fn agrees_with_dinic_on_random_graphs() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        use rds_util::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(123);
         for case in 0..60 {
             let n = rng.gen_range(4..22);
             let m = rng.gen_range(n..5 * n);

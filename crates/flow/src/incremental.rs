@@ -38,11 +38,30 @@ pub trait IncrementalMaxFlow {
         (0..n).map(|v| self.excess(v)).collect()
     }
 
+    /// Writes the excesses of vertices `0..n` into `buf`, reusing its
+    /// allocation — the allocation-free counterpart of
+    /// [`IncrementalMaxFlow::excess_snapshot`] for drivers that snapshot
+    /// on every failed probe.
+    fn excess_snapshot_into(&self, n: usize, buf: &mut Vec<i64>) {
+        buf.clear();
+        buf.extend((0..n).map(|v| self.excess(v)));
+    }
+
     /// Restores a snapshot taken with
     /// [`IncrementalMaxFlow::excess_snapshot`].
     fn restore_excess(&mut self, snap: &[i64]) {
         for (v, &x) in snap.iter().enumerate() {
             self.set_excess(v, x);
+        }
+    }
+
+    /// Zeroes the excesses of vertices `0..n`, preparing a reused engine
+    /// for an unrelated problem that starts from a zero-flow graph via
+    /// [`IncrementalMaxFlow::resume`]. Without this, excess left at the
+    /// sink by the previous solve would be double-counted.
+    fn reset_excess(&mut self, n: usize) {
+        for v in 0..n {
+            self.set_excess(v, 0);
         }
     }
 }
@@ -79,8 +98,16 @@ mod tests {
         assert_eq!(engine.excess(2), 2);
         g.set_cap(e0, 5);
         assert_eq!(engine.resume(&mut g, 0, 2), 5);
+        let mut buf = Vec::new();
+        engine.excess_snapshot_into(3, &mut buf);
+        assert_eq!(buf, engine.excess_snapshot(3));
         engine.set_excess(2, 0);
         assert_eq!(engine.excess(2), 0);
+        // A reset engine solves a fresh zero-flow problem via resume as if
+        // it were new.
+        engine.reset_excess(3);
+        g.zero_flows();
+        assert_eq!(engine.resume(&mut g, 0, 2), 5);
     }
 
     #[test]

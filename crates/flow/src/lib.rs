@@ -52,6 +52,7 @@ pub mod graph;
 pub mod highest_label;
 pub mod incremental;
 pub mod min_cut;
+pub mod mpmc;
 pub mod parallel;
 pub mod push_relabel;
 pub mod validate;

@@ -1,0 +1,198 @@
+//! A bounded lock-free multi-producer multi-consumer queue.
+//!
+//! Replaces `crossbeam::queue::SegQueue` in the parallel push-relabel
+//! engine so the crate has no external dependencies. The design is
+//! Vyukov's bounded MPMC ring: every slot carries a sequence number that
+//! encodes whether it is ready to be written (`seq == pos`) or read
+//! (`seq == pos + 1`), and producers/consumers claim positions with a
+//! single compare-exchange each — no locks anywhere.
+//!
+//! The parallel engine enqueues each vertex at most once (a `queued` flag
+//! is claimed by CAS before every push), so a capacity of one slot per
+//! vertex can never overflow. [`BoundedQueue::push`] still reports
+//! overflow rather than trusting callers.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Slot {
+    /// `pos` when empty and writable by the producer claiming `pos`;
+    /// `pos + 1` when holding the value pushed at `pos`.
+    seq: AtomicUsize,
+    val: UnsafeCell<u32>,
+}
+
+/// A fixed-capacity lock-free MPMC queue of `u32` values.
+pub struct BoundedQueue {
+    slots: Box<[Slot]>,
+    mask: usize,
+    /// Next position to push (producers race on this).
+    tail: AtomicUsize,
+    /// Next position to pop (consumers race on this).
+    head: AtomicUsize,
+}
+
+impl std::fmt::Debug for BoundedQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.slots.len())
+            .finish_non_exhaustive()
+    }
+}
+
+// The UnsafeCell is only written by the producer that claimed the slot's
+// sequence number and only read by the consumer that subsequently claimed
+// it; the seq acquire/release pair orders those accesses.
+unsafe impl Sync for BoundedQueue {}
+unsafe impl Send for BoundedQueue {}
+
+impl BoundedQueue {
+    /// Creates a queue holding at least `capacity` values.
+    pub fn with_capacity(capacity: usize) -> BoundedQueue {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                val: UnsafeCell::new(0),
+            })
+            .collect();
+        BoundedQueue {
+            slots,
+            mask: cap - 1,
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enqueues `value`; `Err(value)` if the queue is full.
+    pub fn push(&self, value: u32) -> Result<(), u32> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                // Slot free at this position: claim it.
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        unsafe { *slot.val.get() = value };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if seq < pos {
+                // The slot still holds a value from a full lap ago.
+                return Err(value);
+            } else {
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues a value, `None` if the queue is empty.
+    pub fn pop(&self) -> Option<u32> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let ready = pos.wrapping_add(1);
+            if seq == ready {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    ready,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = unsafe { *slot.val.get() };
+                        // Mark writable for the producer one lap ahead.
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if seq < ready {
+                return None;
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = BoundedQueue::with_capacity(4);
+        assert_eq!(q.pop(), None);
+        for v in 0..4 {
+            q.push(v).unwrap();
+        }
+        assert!(q.push(99).is_err(), "queue is full");
+        for v in 0..4 {
+            assert_eq!(q.pop(), Some(v));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wraps_around_many_laps() {
+        let q = BoundedQueue::with_capacity(3); // rounds up to 4
+        for lap in 0..100u32 {
+            q.push(lap).unwrap();
+            q.push(lap + 1000).unwrap();
+            assert_eq!(q.pop(), Some(lap));
+            assert_eq!(q.pop(), Some(lap + 1000));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers() {
+        let n: u32 = 20_000;
+        let threads = 4;
+        let q = Arc::new(BoundedQueue::with_capacity(n as usize * threads));
+        let sum = Arc::new(AtomicUsize::new(0));
+        let popped = Arc::new(AtomicUsize::new(0));
+        let total = n as usize * threads;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for v in 0..n {
+                        q.push(v + (t as u32) * n).unwrap();
+                    }
+                });
+            }
+            for _ in 0..threads {
+                let q = Arc::clone(&q);
+                let sum = Arc::clone(&sum);
+                let popped = Arc::clone(&popped);
+                s.spawn(move || loop {
+                    if popped.load(Ordering::Relaxed) >= total {
+                        break;
+                    }
+                    if let Some(v) = q.pop() {
+                        sum.fetch_add(v as usize, Ordering::Relaxed);
+                        popped.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+        });
+        let expect: usize = (0..(n as usize * threads)).sum();
+        assert_eq!(popped.load(Ordering::Relaxed), total);
+        assert_eq!(sum.load(Ordering::Relaxed), expect);
+    }
+}

@@ -30,8 +30,8 @@
 
 use crate::graph::{EdgeId, FlowGraph, VertexId};
 use crate::incremental::IncrementalMaxFlow;
+use crate::mpmc::BoundedQueue;
 use crate::push_relabel::PushRelabel;
-use crossbeam::queue::SegQueue;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -112,7 +112,7 @@ struct JobState {
     excess: Vec<AtomicI64>,
     height: Vec<AtomicU32>,
     queued: Vec<AtomicBool>,
-    queue: SegQueue<u32>,
+    queue: BoundedQueue,
     /// Vertices queued or currently being discharged. Zero means quiescent.
     active: AtomicUsize,
     pushes: AtomicUsize,
@@ -145,7 +145,9 @@ impl JobState {
             .is_ok()
         {
             self.active.fetch_add(1, Ordering::SeqCst);
-            self.queue.push(v as u32);
+            self.queue
+                .push(v as u32)
+                .expect("vertex queue sized to hold every vertex");
         }
     }
 
@@ -457,6 +459,15 @@ impl ParallelPushRelabel {
         }
     }
 
+    /// Drops the cached topology snapshot. The cache is keyed only on the
+    /// vertex and edge-slot *counts*, so a caller reusing one engine
+    /// across different graphs that happen to match in size must call
+    /// this before the next run — otherwise the workers would walk the
+    /// stale adjacency structure. The worker pool is unaffected.
+    pub fn invalidate_topology(&mut self) {
+        self.topo = None;
+    }
+
     fn run(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
         let n = g.num_vertices();
         self.ensure(n);
@@ -494,7 +505,7 @@ impl ParallelPushRelabel {
             excess: self.excess.iter().map(|&x| AtomicI64::new(x)).collect(),
             height: (0..n).map(|_| AtomicU32::new(0)).collect(),
             queued: (0..n).map(|_| AtomicBool::new(false)).collect(),
-            queue: SegQueue::new(),
+            queue: BoundedQueue::with_capacity(n),
             active: AtomicUsize::new(0),
             pushes: AtomicUsize::new(0),
             relabels: AtomicUsize::new(0),
@@ -529,7 +540,9 @@ impl ParallelPushRelabel {
                 {
                     job.queued[v].store(true, Ordering::Relaxed);
                     job.active.fetch_add(1, Ordering::Relaxed);
-                    job.queue.push(v as u32);
+                    job.queue
+                        .push(v as u32)
+                        .expect("vertex queue sized to hold every vertex");
                 }
             }
             if self.threads == 1 {
@@ -661,8 +674,8 @@ mod tests {
 
     #[test]
     fn agrees_with_dinic_on_random_graphs() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        use rds_util::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(2024);
         for case in 0..40 {
             let n = rng.gen_range(4..20);
             let m = rng.gen_range(n..5 * n);
@@ -697,8 +710,8 @@ mod tests {
 
     #[test]
     fn repeated_resume_matches_sequential() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        use rds_util::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(5);
         let n = 14;
         let mut g = FlowGraph::new(n);
         let mut sink_edges = Vec::new();
@@ -756,6 +769,28 @@ mod tests {
         g2.add_edge(2, 3, 2);
         g2.add_edge(3, 4, 3);
         assert_eq!(pr.max_flow(&mut g2, 0, 4), 3);
+    }
+
+    #[test]
+    fn invalidate_topology_allows_same_size_reuse() {
+        // Two graphs with identical vertex/edge counts but different
+        // shapes: the size-keyed cache cannot tell them apart, so the
+        // caller invalidates between runs.
+        let mut pr = ParallelPushRelabel::new(2);
+        let mut g1 = FlowGraph::new(4);
+        g1.add_edge(0, 1, 3);
+        g1.add_edge(1, 3, 2);
+        g1.add_edge(0, 2, 1);
+        g1.add_edge(2, 3, 5);
+        assert_eq!(pr.max_flow(&mut g1, 0, 3), 3);
+        let mut g2 = FlowGraph::new(4);
+        g2.add_edge(0, 2, 6);
+        g2.add_edge(2, 1, 6);
+        g2.add_edge(1, 3, 4);
+        g2.add_edge(0, 3, 1);
+        pr.invalidate_topology();
+        pr.reset_excess(4);
+        assert_eq!(pr.max_flow(&mut g2, 0, 3), 5);
     }
 
     #[test]

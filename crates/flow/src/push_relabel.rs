@@ -452,8 +452,8 @@ mod tests {
 
     #[test]
     fn agrees_with_dinic_on_random_graphs() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        use rds_util::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(42);
         for case in 0..80 {
             let n = rng.gen_range(4..24);
             let m = rng.gen_range(n..5 * n);
@@ -475,8 +475,8 @@ mod tests {
 
     #[test]
     fn plain_agrees_with_heuristic_version() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        use rds_util::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(13);
         for _ in 0..30 {
             let n = rng.gen_range(4..16);
             let m = rng.gen_range(n..4 * n);
@@ -499,8 +499,8 @@ mod tests {
     fn incremental_capacity_ramp_matches_from_scratch() {
         // Simulates the integrated usage: capacities on sink edges grow one
         // by one and resume() must always match a from-scratch solve.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        use rds_util::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(99);
         let n = 12;
         let mut g = FlowGraph::new(n);
         let mut sink_edges = Vec::new();

@@ -10,8 +10,7 @@
 use crate::model::{Disk, Site, SystemConfig};
 use crate::specs::{self, DiskSpec};
 use crate::time::Micros;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rds_util::SplitMix64;
 
 /// Identifier of one of the five experiments of Table IV.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -51,19 +50,19 @@ impl ExperimentId {
 }
 
 /// Draws a value from `R(2,10,2)`: one of {2, 4, 6, 8, 10} milliseconds.
-fn r_2_10_2(rng: &mut StdRng) -> Micros {
+fn r_2_10_2(rng: &mut SplitMix64) -> Micros {
     Micros::from_millis(2 * rng.gen_range(1..=5u64))
 }
 
 /// Picks a random spec from a disk group (Table IV "Disks" column).
-fn pick(rng: &mut StdRng, group: &[DiskSpec]) -> DiskSpec {
+fn pick(rng: &mut SplitMix64, group: &[DiskSpec]) -> DiskSpec {
     group[rng.gen_range(0..group.len())]
 }
 
 fn site(
     name: &str,
     n: usize,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
     group: &[DiskSpec],
     random_delay_load: bool,
 ) -> Site {
@@ -94,7 +93,7 @@ fn site(
 /// Instantiates experiment `id` with `n` disks per site (2n total), drawing
 /// any random choices from `seed`.
 pub fn experiment(id: ExperimentId, n: usize, seed: u64) -> SystemConfig {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let (g1, g2, random): (&[DiskSpec], &[DiskSpec], bool) = match id {
         ExperimentId::Exp1 => (&[specs::CHEETAH], &[specs::CHEETAH], false),
         ExperimentId::Exp2 => (&specs::SSDS, &specs::HDDS, false),

@@ -7,10 +7,9 @@
 
 use crate::specs::DiskSpec;
 use crate::time::Micros;
-use serde::Serialize;
 
 /// One physical disk with its retrieval-cost parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Disk {
     /// Hardware model (provides the per-bucket cost `C_j`).
     pub spec: DiskSpec,
@@ -60,7 +59,7 @@ impl Disk {
 }
 
 /// A group of disks behind one network endpoint.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Site {
     /// Human-readable label ("site 1", ...).
     pub name: String,
@@ -70,7 +69,7 @@ pub struct Site {
 
 /// The complete storage system: every disk in every site, addressed by a
 /// global disk index (site order, then site-local order).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SystemConfig {
     sites: Vec<Site>,
     /// Flattened disks; `site_of[j]` gives the owning site of disk `j`.
@@ -78,7 +77,91 @@ pub struct SystemConfig {
     site_of: Vec<usize>,
 }
 
+/// Fluent constructor for [`SystemConfig`] — a readable alternative to
+/// assembling [`Site`]/[`Disk`] literals by hand:
+///
+/// ```
+/// use rds_storage::model::SystemConfig;
+/// use rds_storage::specs::{CHEETAH, VERTEX};
+/// use rds_storage::time::Micros;
+///
+/// let system = SystemConfig::builder()
+///     .site("site 1")
+///     .disks(CHEETAH, 3)
+///     .site("site 2")
+///     .disk_with(VERTEX, Micros::from_millis(2), Micros::ZERO)
+///     .build();
+/// assert_eq!(system.num_disks(), 4);
+/// assert_eq!(system.num_sites(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SystemConfigBuilder {
+    sites: Vec<Site>,
+}
+
+impl SystemConfigBuilder {
+    /// Opens a new site; subsequent `disk*` calls add to it.
+    pub fn site(mut self, name: impl Into<String>) -> Self {
+        self.sites.push(Site {
+            name: name.into(),
+            disks: Vec::new(),
+        });
+        self
+    }
+
+    fn current_site(&mut self) -> &mut Site {
+        if self.sites.is_empty() {
+            self.sites.push(Site {
+                name: "site 1".to_string(),
+                disks: Vec::new(),
+            });
+        }
+        self.sites.last_mut().expect("site pushed above")
+    }
+
+    /// Adds one unloaded, zero-delay disk to the current site (a default
+    /// "site 1" is opened if none was declared).
+    pub fn disk(mut self, spec: DiskSpec) -> Self {
+        self.current_site().disks.push(Disk::unloaded(spec));
+        self
+    }
+
+    /// Adds one disk with explicit network delay `D_j` and initial load
+    /// `X_j` to the current site.
+    pub fn disk_with(
+        mut self,
+        spec: DiskSpec,
+        network_delay: Micros,
+        initial_load: Micros,
+    ) -> Self {
+        self.current_site().disks.push(Disk {
+            spec,
+            network_delay,
+            initial_load,
+        });
+        self
+    }
+
+    /// Adds `count` identical unloaded disks to the current site.
+    pub fn disks(mut self, spec: DiskSpec, count: usize) -> Self {
+        self.current_site()
+            .disks
+            .extend(std::iter::repeat_n(Disk::unloaded(spec), count));
+        self
+    }
+
+    /// Finalizes the system.
+    pub fn build(self) -> SystemConfig {
+        SystemConfig::new(self.sites)
+    }
+}
+
 impl SystemConfig {
+    /// Starts a fluent [`SystemConfigBuilder`].
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder::default()
+    }
+
     /// Builds a system from sites.
     pub fn new(sites: Vec<Site>) -> SystemConfig {
         let mut disks = Vec::new();
@@ -257,5 +340,42 @@ mod tests {
     #[should_panic(expected = "no disks")]
     fn min_speed_panics_on_empty_system() {
         SystemConfig::new(vec![]).min_speed();
+    }
+
+    #[test]
+    fn builder_matches_manual_construction() {
+        let manual = SystemConfig::new(vec![
+            Site {
+                name: "site 1".into(),
+                disks: vec![Disk::unloaded(CHEETAH); 3],
+            },
+            Site {
+                name: "site 2".into(),
+                disks: vec![
+                    Disk::unloaded(VERTEX),
+                    Disk {
+                        spec: RAPTOR,
+                        network_delay: Micros::from_millis(2),
+                        initial_load: Micros::from_millis(1),
+                    },
+                ],
+            },
+        ]);
+        let built = SystemConfig::builder()
+            .site("site 1")
+            .disks(CHEETAH, 3)
+            .site("site 2")
+            .disk(VERTEX)
+            .disk_with(RAPTOR, Micros::from_millis(2), Micros::from_millis(1))
+            .build();
+        assert_eq!(built, manual);
+    }
+
+    #[test]
+    fn builder_opens_default_site_when_needed() {
+        let sys = SystemConfig::builder().disk(CHEETAH).disk(VERTEX).build();
+        assert_eq!(sys.num_sites(), 1);
+        assert_eq!(sys.sites()[0].name, "site 1");
+        assert_eq!(sys.num_disks(), 2);
     }
 }

@@ -6,10 +6,9 @@
 //! SSDs.
 
 use crate::time::Micros;
-use serde::Serialize;
 
 /// Drive technology.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DiskKind {
     /// Rotational hard disk drive.
     Hdd,
@@ -18,7 +17,7 @@ pub enum DiskKind {
 }
 
 /// A disk model from the paper's Table III.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct DiskSpec {
     /// Manufacturer (Table III "Producer").
     pub producer: &'static str,

@@ -7,16 +7,12 @@
 //! it is narrower than the fastest disk's per-bucket cost — terminates on
 //! integer comparisons with no floating-point tolerance tuning.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// A non-negative duration in integer microseconds.
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Micros(pub u64);
 
 impl Micros {

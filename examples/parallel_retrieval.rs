@@ -63,7 +63,7 @@ fn main() {
         let start = Instant::now();
         let total_response: Micros = instances
             .iter()
-            .map(|inst| solver.solve(inst).response_time)
+            .map(|inst| solver.solve(inst).expect("feasible instance").response_time)
             .sum();
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
         println!(

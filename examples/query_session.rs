@@ -42,13 +42,13 @@ fn main() {
     let mut naive_total = Micros::ZERO;
     for (i, buckets) in queries.iter().enumerate() {
         let arrival = Micros::from_millis(2 * i as u64);
-        let out = session.submit(arrival, buckets);
+        let out = session.submit(arrival, buckets).expect("monotone arrivals");
 
         // Naive baseline: same solver, but pretending all disks are idle.
         // Its reported "response" underestimates reality whenever disks
         // still carry earlier work.
         let inst = RetrievalInstance::build(&system, &alloc, buckets);
-        let pretend = naive.solve(&inst);
+        let pretend = naive.solve(&inst).expect("feasible instance");
 
         aware_total += out.outcome.response_time;
         naive_total += pretend.response_time;

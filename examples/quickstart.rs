@@ -30,7 +30,9 @@ fn main() {
 
     // 4. Build the retrieval flow network and solve.
     let instance = RetrievalInstance::build(&system, &alloc, &buckets);
-    let outcome = PushRelabelBinary.solve(&instance);
+    let outcome = PushRelabelBinary
+        .solve(&instance)
+        .expect("feasible instance");
 
     println!("\noptimal response time: {}", outcome.response_time);
     println!("retrieval schedule:");
@@ -58,8 +60,12 @@ fn main() {
     }
 
     // All solvers find the same optimum; show two more for comparison.
-    let ff = FordFulkersonIncremental.solve(&instance);
-    let bb = BlackBoxPushRelabel.solve(&instance);
+    let ff = FordFulkersonIncremental
+        .solve(&instance)
+        .expect("feasible instance");
+    let bb = BlackBoxPushRelabel
+        .solve(&instance)
+        .expect("feasible instance");
     assert_eq!(ff.response_time, outcome.response_time);
     assert_eq!(bb.response_time, outcome.response_time);
     println!(

@@ -28,7 +28,10 @@ fn mean_response(
     for _ in 0..queries {
         let q = gen.next_query();
         let inst = RetrievalInstance::build(system, alloc, &q.buckets(n));
-        total += solver.solve(&inst).response_time;
+        total += solver
+            .solve(&inst)
+            .expect("feasible instance")
+            .response_time;
     }
     total.as_millis_f64() / queries as f64
 }

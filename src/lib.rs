@@ -30,8 +30,31 @@
 //! let buckets = query.buckets(7);
 //!
 //! let instance = RetrievalInstance::build(&system, &alloc, &buckets);
-//! let outcome = PushRelabelBinary::default().solve(&instance);
+//! let outcome = PushRelabelBinary::default().solve(&instance).unwrap();
 //! assert_eq!(outcome.schedule.len(), buckets.len());
+//! ```
+//!
+//! For many queries, reuse allocations with a [`core::workspace::Workspace`]
+//! (via [`core::solver::RetrievalSolver::solve_in`]), a
+//! [`core::session::RetrievalSession`], or the sharded batch
+//! [`core::engine::Engine`]:
+//!
+//! ```
+//! use replicated_retrieval::prelude::*;
+//!
+//! let alloc = OrthogonalAllocation::paper_7x7();
+//! let system = paper_example();
+//! let mut engine = Engine::new(&system, &alloc, PushRelabelBinary, 2);
+//! let queries: Vec<BatchQuery> = (0..4)
+//!     .map(|s| BatchQuery {
+//!         stream: s,
+//!         arrival: Micros::ZERO,
+//!         buckets: RangeQuery::new(0, 0, 3, 2).buckets(7),
+//!     })
+//!     .collect();
+//! let results = engine.submit_batch(&queries);
+//! assert!(results.iter().all(|r| r.is_ok()));
+//! assert_eq!(engine.stats().queries, 4);
 //! ```
 
 pub use rds_core as core;
@@ -43,13 +66,16 @@ pub use rds_storage as storage;
 pub mod prelude {
     pub use rds_core::{
         blackbox::{BlackBoxFordFulkerson, BlackBoxPushRelabel},
+        engine::{BatchQuery, Engine, EngineStats},
+        error::{SessionError, SolveError},
         ff::{FordFulkersonBasic, FordFulkersonIncremental},
         network::{RetrievalInstance, UnavailableBucket},
         parallel::ParallelPushRelabelBinary,
         pr::{PushRelabelBinary, PushRelabelIncremental},
         schedule::{RetrievalOutcome, Schedule, SolveStats},
-        session::{RetrievalSession, SessionOutcome},
+        session::{RetrievalSession, SessionOutcome, SessionState},
         solver::RetrievalSolver,
+        workspace::Workspace,
     };
     pub use rds_decluster::{
         allocation::{Allocation, Placement, ReplicaMap, ReplicaSource, Replicas},
@@ -63,7 +89,7 @@ pub mod prelude {
     pub use rds_flow::graph::FlowGraph;
     pub use rds_storage::{
         experiments::{experiment, paper_example, ExperimentId},
-        model::{Disk, Site, SystemConfig},
+        model::{Disk, Site, SystemConfig, SystemConfigBuilder},
         specs::DiskSpec,
         time::Micros,
     };

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agreement-4ab782a71f0b703a.d: tests/agreement.rs
+
+/root/repo/target/debug/deps/agreement-4ab782a71f0b703a: tests/agreement.rs
+
+tests/agreement.rs:

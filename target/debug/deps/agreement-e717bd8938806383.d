@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agreement-e717bd8938806383.d: tests/agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagreement-e717bd8938806383.rmeta: tests/agreement.rs Cargo.toml
+
+tests/agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

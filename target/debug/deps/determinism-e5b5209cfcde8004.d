@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-e5b5209cfcde8004.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-e5b5209cfcde8004: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-0fdf2b61752c760c.d: tests/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-0fdf2b61752c760c.rmeta: tests/engine.rs Cargo.toml
+
+tests/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-b7a5833b5daf1f48.d: tests/engine.rs
+
+/root/repo/target/debug/deps/engine-b7a5833b5daf1f48: tests/engine.rs
+
+tests/engine.rs:

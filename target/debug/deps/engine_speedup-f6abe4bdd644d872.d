@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_speedup-f6abe4bdd644d872.d: crates/bench/src/bin/engine_speedup.rs
+
+/root/repo/target/debug/deps/engine_speedup-f6abe4bdd644d872: crates/bench/src/bin/engine_speedup.rs
+
+crates/bench/src/bin/engine_speedup.rs:

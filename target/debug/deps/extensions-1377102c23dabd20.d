@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-1377102c23dabd20.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-1377102c23dabd20.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-3e9e70d11a8ae1ae.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-3e9e70d11a8ae1ae: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-ea922d716acc2cc4.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-ea922d716acc2cc4: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-c44b40cdd67a942e.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-c44b40cdd67a942e: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-ec4d8e7d891255aa.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-ec4d8e7d891255aa: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-f3798d40fdb857c3.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-f3798d40fdb857c3: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

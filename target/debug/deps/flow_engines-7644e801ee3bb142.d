@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_engines-7644e801ee3bb142.d: crates/bench/benches/flow_engines.rs
+
+/root/repo/target/debug/deps/flow_engines-7644e801ee3bb142: crates/bench/benches/flow_engines.rs
+
+crates/bench/benches/flow_engines.rs:

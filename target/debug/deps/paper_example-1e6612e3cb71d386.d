@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_example-1e6612e3cb71d386.d: tests/paper_example.rs
+
+/root/repo/target/debug/deps/paper_example-1e6612e3cb71d386: tests/paper_example.rs
+
+tests/paper_example.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_example-22109962493db6c6.d: tests/paper_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_example-22109962493db6c6.rmeta: tests/paper_example.rs Cargo.toml
+
+tests/paper_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-4576290ac0d2b544.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-4576290ac0d2b544.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

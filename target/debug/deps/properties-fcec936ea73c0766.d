@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-fcec936ea73c0766.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-fcec936ea73c0766: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_flow-ccf3cf163bcea26f.d: crates/flow/tests/random_flow.rs
+
+/root/repo/target/debug/deps/random_flow-ccf3cf163bcea26f: crates/flow/tests/random_flow.rs
+
+crates/flow/tests/random_flow.rs:

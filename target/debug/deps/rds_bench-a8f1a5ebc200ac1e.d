@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rds_bench-a8f1a5ebc200ac1e.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/librds_bench-a8f1a5ebc200ac1e.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/librds_bench-a8f1a5ebc200ac1e.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:

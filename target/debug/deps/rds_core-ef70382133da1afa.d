@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/rds_core-ef70382133da1afa.d: crates/core/src/lib.rs crates/core/src/blackbox.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/ff.rs crates/core/src/increment.rs crates/core/src/network.rs crates/core/src/parallel.rs crates/core/src/pr.rs crates/core/src/schedule.rs crates/core/src/session.rs crates/core/src/solver.rs crates/core/src/verify.rs crates/core/src/workspace.rs Cargo.toml
+
+/root/repo/target/debug/deps/librds_core-ef70382133da1afa.rmeta: crates/core/src/lib.rs crates/core/src/blackbox.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/ff.rs crates/core/src/increment.rs crates/core/src/network.rs crates/core/src/parallel.rs crates/core/src/pr.rs crates/core/src/schedule.rs crates/core/src/session.rs crates/core/src/solver.rs crates/core/src/verify.rs crates/core/src/workspace.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/blackbox.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/ff.rs:
+crates/core/src/increment.rs:
+crates/core/src/network.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pr.rs:
+crates/core/src/schedule.rs:
+crates/core/src/session.rs:
+crates/core/src/solver.rs:
+crates/core/src/verify.rs:
+crates/core/src/workspace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

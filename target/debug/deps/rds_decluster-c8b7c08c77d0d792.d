@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/rds_decluster-c8b7c08c77d0d792.d: crates/decluster/src/lib.rs crates/decluster/src/allocation.rs crates/decluster/src/grid.rs crates/decluster/src/load.rs crates/decluster/src/metrics.rs crates/decluster/src/orthogonal.rs crates/decluster/src/periodic.rs crates/decluster/src/query.rs crates/decluster/src/rda.rs crates/decluster/src/threshold.rs Cargo.toml
+
+/root/repo/target/debug/deps/librds_decluster-c8b7c08c77d0d792.rmeta: crates/decluster/src/lib.rs crates/decluster/src/allocation.rs crates/decluster/src/grid.rs crates/decluster/src/load.rs crates/decluster/src/metrics.rs crates/decluster/src/orthogonal.rs crates/decluster/src/periodic.rs crates/decluster/src/query.rs crates/decluster/src/rda.rs crates/decluster/src/threshold.rs Cargo.toml
+
+crates/decluster/src/lib.rs:
+crates/decluster/src/allocation.rs:
+crates/decluster/src/grid.rs:
+crates/decluster/src/load.rs:
+crates/decluster/src/metrics.rs:
+crates/decluster/src/orthogonal.rs:
+crates/decluster/src/periodic.rs:
+crates/decluster/src/query.rs:
+crates/decluster/src/rda.rs:
+crates/decluster/src/threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

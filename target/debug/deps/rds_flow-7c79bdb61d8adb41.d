@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rds_flow-7c79bdb61d8adb41.d: crates/flow/src/lib.rs crates/flow/src/decompose.rs crates/flow/src/dinic.rs crates/flow/src/ford_fulkerson.rs crates/flow/src/graph.rs crates/flow/src/highest_label.rs crates/flow/src/incremental.rs crates/flow/src/min_cut.rs crates/flow/src/mpmc.rs crates/flow/src/parallel.rs crates/flow/src/push_relabel.rs crates/flow/src/validate.rs
+
+/root/repo/target/debug/deps/rds_flow-7c79bdb61d8adb41: crates/flow/src/lib.rs crates/flow/src/decompose.rs crates/flow/src/dinic.rs crates/flow/src/ford_fulkerson.rs crates/flow/src/graph.rs crates/flow/src/highest_label.rs crates/flow/src/incremental.rs crates/flow/src/min_cut.rs crates/flow/src/mpmc.rs crates/flow/src/parallel.rs crates/flow/src/push_relabel.rs crates/flow/src/validate.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/decompose.rs:
+crates/flow/src/dinic.rs:
+crates/flow/src/ford_fulkerson.rs:
+crates/flow/src/graph.rs:
+crates/flow/src/highest_label.rs:
+crates/flow/src/incremental.rs:
+crates/flow/src/min_cut.rs:
+crates/flow/src/mpmc.rs:
+crates/flow/src/parallel.rs:
+crates/flow/src/push_relabel.rs:
+crates/flow/src/validate.rs:

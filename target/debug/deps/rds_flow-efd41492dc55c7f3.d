@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/rds_flow-efd41492dc55c7f3.d: crates/flow/src/lib.rs crates/flow/src/decompose.rs crates/flow/src/dinic.rs crates/flow/src/ford_fulkerson.rs crates/flow/src/graph.rs crates/flow/src/highest_label.rs crates/flow/src/incremental.rs crates/flow/src/min_cut.rs crates/flow/src/mpmc.rs crates/flow/src/parallel.rs crates/flow/src/push_relabel.rs crates/flow/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/librds_flow-efd41492dc55c7f3.rmeta: crates/flow/src/lib.rs crates/flow/src/decompose.rs crates/flow/src/dinic.rs crates/flow/src/ford_fulkerson.rs crates/flow/src/graph.rs crates/flow/src/highest_label.rs crates/flow/src/incremental.rs crates/flow/src/min_cut.rs crates/flow/src/mpmc.rs crates/flow/src/parallel.rs crates/flow/src/push_relabel.rs crates/flow/src/validate.rs Cargo.toml
+
+crates/flow/src/lib.rs:
+crates/flow/src/decompose.rs:
+crates/flow/src/dinic.rs:
+crates/flow/src/ford_fulkerson.rs:
+crates/flow/src/graph.rs:
+crates/flow/src/highest_label.rs:
+crates/flow/src/incremental.rs:
+crates/flow/src/min_cut.rs:
+crates/flow/src/mpmc.rs:
+crates/flow/src/parallel.rs:
+crates/flow/src/push_relabel.rs:
+crates/flow/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

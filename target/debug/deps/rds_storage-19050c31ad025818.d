@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rds_storage-19050c31ad025818.d: crates/storage/src/lib.rs crates/storage/src/experiments.rs crates/storage/src/model.rs crates/storage/src/specs.rs crates/storage/src/time.rs
+
+/root/repo/target/debug/deps/librds_storage-19050c31ad025818.rlib: crates/storage/src/lib.rs crates/storage/src/experiments.rs crates/storage/src/model.rs crates/storage/src/specs.rs crates/storage/src/time.rs
+
+/root/repo/target/debug/deps/librds_storage-19050c31ad025818.rmeta: crates/storage/src/lib.rs crates/storage/src/experiments.rs crates/storage/src/model.rs crates/storage/src/specs.rs crates/storage/src/time.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/experiments.rs:
+crates/storage/src/model.rs:
+crates/storage/src/specs.rs:
+crates/storage/src/time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rds_storage-90a71b1a9e53a059.d: crates/storage/src/lib.rs crates/storage/src/experiments.rs crates/storage/src/model.rs crates/storage/src/specs.rs crates/storage/src/time.rs
+
+/root/repo/target/debug/deps/rds_storage-90a71b1a9e53a059: crates/storage/src/lib.rs crates/storage/src/experiments.rs crates/storage/src/model.rs crates/storage/src/specs.rs crates/storage/src/time.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/experiments.rs:
+crates/storage/src/model.rs:
+crates/storage/src/specs.rs:
+crates/storage/src/time.rs:

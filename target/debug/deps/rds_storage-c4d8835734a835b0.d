@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rds_storage-c4d8835734a835b0.d: crates/storage/src/lib.rs crates/storage/src/experiments.rs crates/storage/src/model.rs crates/storage/src/specs.rs crates/storage/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/librds_storage-c4d8835734a835b0.rmeta: crates/storage/src/lib.rs crates/storage/src/experiments.rs crates/storage/src/model.rs crates/storage/src/specs.rs crates/storage/src/time.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/experiments.rs:
+crates/storage/src/model.rs:
+crates/storage/src/specs.rs:
+crates/storage/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

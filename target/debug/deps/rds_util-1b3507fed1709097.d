@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rds_util-1b3507fed1709097.d: crates/util/src/lib.rs crates/util/src/rng.rs
+
+/root/repo/target/debug/deps/librds_util-1b3507fed1709097.rlib: crates/util/src/lib.rs crates/util/src/rng.rs
+
+/root/repo/target/debug/deps/librds_util-1b3507fed1709097.rmeta: crates/util/src/lib.rs crates/util/src/rng.rs
+
+crates/util/src/lib.rs:
+crates/util/src/rng.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rds_util-9328e1242a355618.d: crates/util/src/lib.rs crates/util/src/rng.rs
+
+/root/repo/target/debug/deps/rds_util-9328e1242a355618: crates/util/src/lib.rs crates/util/src/rng.rs
+
+crates/util/src/lib.rs:
+crates/util/src/rng.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rds_util-f87d301108b20391.d: crates/util/src/lib.rs crates/util/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/librds_util-f87d301108b20391.rmeta: crates/util/src/lib.rs crates/util/src/rng.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

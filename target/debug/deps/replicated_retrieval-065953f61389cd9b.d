@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replicated_retrieval-065953f61389cd9b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplicated_retrieval-065953f61389cd9b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/replicated_retrieval-2056ea63a50cfcff.d: src/lib.rs
+
+/root/repo/target/debug/deps/libreplicated_retrieval-2056ea63a50cfcff.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libreplicated_retrieval-2056ea63a50cfcff.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replicated_retrieval-32883db25cdf8fc8.d: src/lib.rs
+
+/root/repo/target/debug/deps/replicated_retrieval-32883db25cdf8fc8: src/lib.rs
+
+src/lib.rs:

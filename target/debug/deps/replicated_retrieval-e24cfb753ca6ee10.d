@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replicated_retrieval-e24cfb753ca6ee10.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplicated_retrieval-e24cfb753ca6ee10.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

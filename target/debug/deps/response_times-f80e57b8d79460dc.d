@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/response_times-f80e57b8d79460dc.d: crates/bench/src/bin/response_times.rs
+
+/root/repo/target/debug/deps/response_times-f80e57b8d79460dc: crates/bench/src/bin/response_times.rs
+
+crates/bench/src/bin/response_times.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/response_times-fca1a95cf86c31d8.d: crates/bench/src/bin/response_times.rs
+
+/root/repo/target/debug/deps/response_times-fca1a95cf86c31d8: crates/bench/src/bin/response_times.rs
+
+crates/bench/src/bin/response_times.rs:

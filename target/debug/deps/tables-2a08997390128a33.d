@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-2a08997390128a33.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-2a08997390128a33: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-a65f795de6bfe7c6.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-a65f795de6bfe7c6: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

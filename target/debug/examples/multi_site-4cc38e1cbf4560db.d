@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_site-4cc38e1cbf4560db.d: examples/multi_site.rs
+
+/root/repo/target/debug/examples/multi_site-4cc38e1cbf4560db: examples/multi_site.rs
+
+examples/multi_site.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_site-c186f7848025cd57.d: examples/multi_site.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_site-c186f7848025cd57.rmeta: examples/multi_site.rs Cargo.toml
+
+examples/multi_site.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parallel_retrieval-01350e82a8e67a78.d: examples/parallel_retrieval.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallel_retrieval-01350e82a8e67a78.rmeta: examples/parallel_retrieval.rs Cargo.toml
+
+examples/parallel_retrieval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

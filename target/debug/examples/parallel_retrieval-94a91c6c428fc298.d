@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_retrieval-94a91c6c428fc298.d: examples/parallel_retrieval.rs
+
+/root/repo/target/debug/examples/parallel_retrieval-94a91c6c428fc298: examples/parallel_retrieval.rs
+
+examples/parallel_retrieval.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/query_session-c181675d9f4c5e80.d: examples/query_session.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquery_session-c181675d9f4c5e80.rmeta: examples/query_session.rs Cargo.toml
+
+examples/query_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/query_session-d4c13465ae0d722c.d: examples/query_session.rs
+
+/root/repo/target/debug/examples/query_session-d4c13465ae0d722c: examples/query_session.rs
+
+examples/query_session.rs:

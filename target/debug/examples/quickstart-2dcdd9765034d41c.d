@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2dcdd9765034d41c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2dcdd9765034d41c: examples/quickstart.rs
+
+examples/quickstart.rs:

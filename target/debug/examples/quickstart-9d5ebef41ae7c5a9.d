@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-9d5ebef41ae7c5a9.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-9d5ebef41ae7c5a9.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheme_comparison-5d61a4be62330068.d: examples/scheme_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheme_comparison-5d61a4be62330068.rmeta: examples/scheme_comparison.rs Cargo.toml
+
+examples/scheme_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

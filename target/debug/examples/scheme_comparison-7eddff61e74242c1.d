@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheme_comparison-7eddff61e74242c1.d: examples/scheme_comparison.rs
+
+/root/repo/target/debug/examples/scheme_comparison-7eddff61e74242c1: examples/scheme_comparison.rs
+
+examples/scheme_comparison.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/librds_util.rlib: /root/repo/crates/util/src/lib.rs /root/repo/crates/util/src/rng.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/_profile_tmp-ef9c0761b3721980.d: crates/bench/src/bin/_profile_tmp.rs
+
+/root/repo/target/release/deps/_profile_tmp-ef9c0761b3721980: crates/bench/src/bin/_profile_tmp.rs
+
+crates/bench/src/bin/_profile_tmp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_speedup-e7da8cc1489acdf9.d: crates/bench/src/bin/engine_speedup.rs
+
+/root/repo/target/release/deps/engine_speedup-e7da8cc1489acdf9: crates/bench/src/bin/engine_speedup.rs
+
+crates/bench/src/bin/engine_speedup.rs:

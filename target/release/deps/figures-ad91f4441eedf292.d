@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-ad91f4441eedf292.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-ad91f4441eedf292: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rds_bench-85595e94de31e4cd.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/librds_bench-85595e94de31e4cd.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/librds_bench-85595e94de31e4cd.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:

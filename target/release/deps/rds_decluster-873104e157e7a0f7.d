@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/rds_decluster-873104e157e7a0f7.d: crates/decluster/src/lib.rs crates/decluster/src/allocation.rs crates/decluster/src/grid.rs crates/decluster/src/load.rs crates/decluster/src/metrics.rs crates/decluster/src/orthogonal.rs crates/decluster/src/periodic.rs crates/decluster/src/query.rs crates/decluster/src/rda.rs crates/decluster/src/threshold.rs
+
+/root/repo/target/release/deps/librds_decluster-873104e157e7a0f7.rlib: crates/decluster/src/lib.rs crates/decluster/src/allocation.rs crates/decluster/src/grid.rs crates/decluster/src/load.rs crates/decluster/src/metrics.rs crates/decluster/src/orthogonal.rs crates/decluster/src/periodic.rs crates/decluster/src/query.rs crates/decluster/src/rda.rs crates/decluster/src/threshold.rs
+
+/root/repo/target/release/deps/librds_decluster-873104e157e7a0f7.rmeta: crates/decluster/src/lib.rs crates/decluster/src/allocation.rs crates/decluster/src/grid.rs crates/decluster/src/load.rs crates/decluster/src/metrics.rs crates/decluster/src/orthogonal.rs crates/decluster/src/periodic.rs crates/decluster/src/query.rs crates/decluster/src/rda.rs crates/decluster/src/threshold.rs
+
+crates/decluster/src/lib.rs:
+crates/decluster/src/allocation.rs:
+crates/decluster/src/grid.rs:
+crates/decluster/src/load.rs:
+crates/decluster/src/metrics.rs:
+crates/decluster/src/orthogonal.rs:
+crates/decluster/src/periodic.rs:
+crates/decluster/src/query.rs:
+crates/decluster/src/rda.rs:
+crates/decluster/src/threshold.rs:

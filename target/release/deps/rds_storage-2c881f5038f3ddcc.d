@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rds_storage-2c881f5038f3ddcc.d: crates/storage/src/lib.rs crates/storage/src/experiments.rs crates/storage/src/model.rs crates/storage/src/specs.rs crates/storage/src/time.rs
+
+/root/repo/target/release/deps/librds_storage-2c881f5038f3ddcc.rlib: crates/storage/src/lib.rs crates/storage/src/experiments.rs crates/storage/src/model.rs crates/storage/src/specs.rs crates/storage/src/time.rs
+
+/root/repo/target/release/deps/librds_storage-2c881f5038f3ddcc.rmeta: crates/storage/src/lib.rs crates/storage/src/experiments.rs crates/storage/src/model.rs crates/storage/src/specs.rs crates/storage/src/time.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/experiments.rs:
+crates/storage/src/model.rs:
+crates/storage/src/specs.rs:
+crates/storage/src/time.rs:

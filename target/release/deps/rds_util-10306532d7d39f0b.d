@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rds_util-10306532d7d39f0b.d: crates/util/src/lib.rs crates/util/src/rng.rs
+
+/root/repo/target/release/deps/librds_util-10306532d7d39f0b.rlib: crates/util/src/lib.rs crates/util/src/rng.rs
+
+/root/repo/target/release/deps/librds_util-10306532d7d39f0b.rmeta: crates/util/src/lib.rs crates/util/src/rng.rs
+
+crates/util/src/lib.rs:
+crates/util/src/rng.rs:

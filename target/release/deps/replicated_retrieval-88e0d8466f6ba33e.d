@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/replicated_retrieval-88e0d8466f6ba33e.d: src/lib.rs
+
+/root/repo/target/release/deps/libreplicated_retrieval-88e0d8466f6ba33e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libreplicated_retrieval-88e0d8466f6ba33e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_probe-65ff208bc19eff02.d: examples/_verify_probe.rs
+
+/root/repo/target/release/examples/_verify_probe-65ff208bc19eff02: examples/_verify_probe.rs
+
+examples/_verify_probe.rs:

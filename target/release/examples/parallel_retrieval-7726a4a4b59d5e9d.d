@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/parallel_retrieval-7726a4a4b59d5e9d.d: examples/parallel_retrieval.rs
+
+/root/repo/target/release/examples/parallel_retrieval-7726a4a4b59d5e9d: examples/parallel_retrieval.rs
+
+examples/parallel_retrieval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/query_session-d9bf8e5013aee04c.d: examples/query_session.rs
+
+/root/repo/target/release/examples/query_session-d9bf8e5013aee04c: examples/query_session.rs
+
+examples/query_session.rs:

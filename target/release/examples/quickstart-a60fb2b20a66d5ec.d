@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a60fb2b20a66d5ec.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a60fb2b20a66d5ec: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -7,7 +7,7 @@
 //! allocation scheme, query type and load — plus an independent optimum
 //! oracle on the smaller instances.
 
-use rand::{Rng, SeedableRng};
+use rds_util::SplitMix64;
 use replicated_retrieval::core::blackbox::{BlackBoxFordFulkerson, BlackBoxPushRelabel};
 use replicated_retrieval::core::ff::FordFulkersonIncremental;
 use replicated_retrieval::core::parallel::ParallelPushRelabelBinary;
@@ -38,13 +38,13 @@ fn build_alloc(scheme: usize, n: usize, seed: u64) -> ReplicaMap {
 /// independent oracle.
 #[test]
 fn all_solvers_agree_and_match_oracle_on_small_instances() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut rng = SplitMix64::seed_from_u64(11);
     let solvers = solvers();
     for case in 0..12 {
         let exp = ExperimentId::ALL[case % 5];
         let n = rng.gen_range(3..7);
-        let system = experiment(exp, n, rng.gen());
-        let alloc = build_alloc(case % 3, n, rng.gen());
+        let system = experiment(exp, n, rng.gen_u64());
+        let alloc = build_alloc(case % 3, n, rng.gen_u64());
         let q = RangeQuery::new(
             rng.gen_range(0..n),
             rng.gen_range(0..n),
@@ -54,7 +54,7 @@ fn all_solvers_agree_and_match_oracle_on_small_instances() {
         let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(n));
         let want = oracle_optimal_response(&inst);
         for solver in &solvers {
-            let outcome = solver.solve(&inst);
+            let outcome = solver.solve(&inst).unwrap();
             assert_outcome_valid(&inst, &outcome);
             assert_eq!(
                 outcome.response_time,
@@ -70,7 +70,7 @@ fn all_solvers_agree_and_match_oracle_on_small_instances() {
 /// Larger instances: solvers agree with each other (oracle too slow).
 #[test]
 fn solvers_agree_on_medium_instances_across_loads() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut rng = SplitMix64::seed_from_u64(99);
     let solvers = solvers();
     for (kind, load) in [
         (QueryKind::Range, Load::Load1),
@@ -78,16 +78,16 @@ fn solvers_agree_on_medium_instances_across_loads() {
         (QueryKind::Arbitrary, Load::Load3),
     ] {
         let n = 12;
-        let system = experiment(ExperimentId::Exp5, n, rng.gen());
-        let alloc = build_alloc(rng.gen_range(0..3), n, rng.gen());
-        let mut gen = QueryGenerator::new(n, kind, load, rng.gen());
+        let system = experiment(ExperimentId::Exp5, n, rng.gen_u64());
+        let alloc = build_alloc(rng.gen_range(0..3), n, rng.gen_u64());
+        let mut gen = QueryGenerator::new(n, kind, load, rng.gen_u64());
         for _ in 0..4 {
             let q = gen.next_query();
             let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(n));
-            let reference = solvers[0].solve(&inst).response_time;
+            let reference = solvers[0].solve(&inst).unwrap().response_time;
             for solver in &solvers[1..] {
                 assert_eq!(
-                    solver.solve(&inst).response_time,
+                    solver.solve(&inst).unwrap().response_time,
                     reference,
                     "{} vs {} ({kind:?}, {load:?})",
                     solver.name(),
@@ -103,11 +103,11 @@ fn solvers_agree_on_medium_instances_across_loads() {
 #[test]
 fn basic_problem_agreement_includes_algorithm_1() {
     use replicated_retrieval::core::ff::FordFulkersonBasic;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut rng = SplitMix64::seed_from_u64(5);
     for _ in 0..6 {
         let n = rng.gen_range(3..8);
-        let system = experiment(ExperimentId::Exp1, n, rng.gen());
-        let alloc = build_alloc(rng.gen_range(0..3), n, rng.gen());
+        let system = experiment(ExperimentId::Exp1, n, rng.gen_u64());
+        let alloc = build_alloc(rng.gen_range(0..3), n, rng.gen_u64());
         let q = RangeQuery::new(
             rng.gen_range(0..n),
             rng.gen_range(0..n),
@@ -115,8 +115,8 @@ fn basic_problem_agreement_includes_algorithm_1() {
             rng.gen_range(1..=n),
         );
         let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(n));
-        let basic = FordFulkersonBasic.solve(&inst);
-        let binary = PushRelabelBinary.solve(&inst);
+        let basic = FordFulkersonBasic.solve(&inst).unwrap();
+        let binary = PushRelabelBinary.solve(&inst).unwrap();
         assert_eq!(basic.response_time, binary.response_time);
         assert_outcome_valid(&inst, &basic);
     }
@@ -136,7 +136,7 @@ fn total_response_over_query_batch_matches() {
             .iter()
             .map(|q| {
                 let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(n));
-                solver.solve(&inst).response_time
+                solver.solve(&inst).unwrap().response_time
             })
             .sum()
     };

@@ -44,8 +44,8 @@ fn sequential_solves_are_fully_deterministic() {
     let alloc = ReplicaMap::build(&OrthogonalAllocation::new(8, Placement::PerSite));
     let q = RangeQuery::new(1, 2, 6, 5);
     let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(8));
-    let a = PushRelabelBinary.solve(&inst);
-    let b = PushRelabelBinary.solve(&inst);
+    let a = PushRelabelBinary.solve(&inst).unwrap();
+    let b = PushRelabelBinary.solve(&inst).unwrap();
     assert_eq!(a.response_time, b.response_time);
     assert_eq!(a.schedule, b.schedule);
     assert_eq!(a.stats, b.stats);

@@ -31,9 +31,9 @@ fn three_copies_across_three_sites() {
     let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(n));
     assert_eq!(inst.max_copies, 3);
 
-    let pr = PushRelabelBinary.solve(&inst);
-    let ff = FordFulkersonIncremental.solve(&inst);
-    let par = ParallelPushRelabelBinary::new(2).solve(&inst);
+    let pr = PushRelabelBinary.solve(&inst).unwrap();
+    let ff = FordFulkersonIncremental.solve(&inst).unwrap();
+    let par = ParallelPushRelabelBinary::new(2).solve(&inst).unwrap();
     assert_eq!(pr.response_time, ff.response_time);
     assert_eq!(pr.response_time, par.response_time);
     assert_eq!(pr.response_time, oracle_optimal_response(&inst));
@@ -66,8 +66,8 @@ fn extra_copies_never_hurt() {
         let q = gen.next_query().buckets(n);
         let inst2 = RetrievalInstance::build(&system3, &alloc2, &q);
         let inst3 = RetrievalInstance::build(&system3, &alloc3, &q);
-        let r2 = PushRelabelBinary.solve(&inst2).response_time;
-        let r3 = PushRelabelBinary.solve(&inst3).response_time;
+        let r2 = PushRelabelBinary.solve(&inst2).unwrap().response_time;
+        let r3 = PushRelabelBinary.solve(&inst3).unwrap().response_time;
         // Not a strict dominance (different shift patterns), but with a
         // whole extra site of replicas the 3-copy optimum should never be
         // dramatically worse; assert it at least never loses by more than
@@ -93,7 +93,7 @@ fn threshold_orthogonal_end_to_end() {
     for _ in 0..5 {
         let q = gen.next_query().buckets(n);
         let inst = RetrievalInstance::build(&system, &alloc, &q);
-        let outcome = PushRelabelBinary.solve(&inst);
+        let outcome = PushRelabelBinary.solve(&inst).unwrap();
         assert_outcome_valid(&inst, &outcome);
         assert_eq!(outcome.response_time, oracle_optimal_response(&inst));
     }
@@ -109,8 +109,8 @@ fn session_over_heterogeneous_system() {
     let mut session = RetrievalSession::new(&system, &alloc, PushRelabelBinary);
 
     let q = RangeQuery::new(0, 0, n, n); // the whole grid
-    let first = session.submit(Micros::ZERO, &q.buckets(n));
-    let second = session.submit(Micros::ZERO, &q.buckets(n));
+    let first = session.submit(Micros::ZERO, &q.buckets(n)).unwrap();
+    let second = session.submit(Micros::ZERO, &q.buckets(n)).unwrap();
     // The second must queue behind the first somewhere.
     assert!(second.outcome.response_time > first.outcome.response_time);
     // But each submission is optimal for its own loaded system: verify by
@@ -138,12 +138,12 @@ fn long_session_drains() {
     for _ in 0..20 {
         let q = gen.next_query().buckets(n);
         t += Micros::from_millis(1);
-        session.submit(t, &q);
+        session.submit(t, &q).unwrap();
     }
     assert_eq!(session.queries_served(), 20);
     // Jump far into the future: everything drained.
     let q = RangeQuery::new(0, 0, 1, 1);
     let far = t + Micros::from_millis(10_000);
-    let out = session.submit(far, &q.buckets(n));
+    let out = session.submit(far, &q.buckets(n)).unwrap();
     assert_eq!(out.outcome.response_time, Micros::from_tenths_ms(61));
 }

@@ -8,7 +8,6 @@ use replicated_retrieval::core::pr::{PushRelabelBinary, PushRelabelIncremental};
 use replicated_retrieval::core::verify::{assert_outcome_valid, oracle_optimal_response};
 use replicated_retrieval::decluster::allocation::Replicas;
 use replicated_retrieval::prelude::*;
-use replicated_retrieval::storage::model::{Disk, Site};
 use replicated_retrieval::storage::specs;
 
 /// Single-replica allocation forcing every bucket onto one disk: the
@@ -41,7 +40,7 @@ fn all_buckets_on_a_single_disk() {
         &FordFulkersonIncremental,
         &BlackBoxPushRelabel,
     ] {
-        let outcome = solver.solve(&inst);
+        let outcome = solver.solve(&inst).unwrap();
         assert_outcome_valid(&inst, &outcome);
         // 25 buckets serially from one cheetah: 25 * 6.1ms.
         assert_eq!(
@@ -69,7 +68,7 @@ fn single_disk_system() {
         }
     }
     let inst = RetrievalInstance::build(&system, &One, &[Bucket::new(0, 0)]);
-    let outcome = PushRelabelBinary.solve(&inst);
+    let outcome = PushRelabelBinary.solve(&inst).unwrap();
     assert_eq!(outcome.response_time, Micros::from_tenths_ms(5));
 }
 
@@ -89,20 +88,15 @@ fn extreme_initial_load_shifts_schedule() {
             Replicas::from_slice(&[0, 1])
         }
     }
-    let system = SystemConfig::new(vec![Site {
-        name: "s".into(),
-        disks: vec![
-            Disk {
-                spec: specs::X25_E, // 0.2ms per bucket
-                network_delay: Micros::ZERO,
-                initial_load: Micros::from_millis(60),
-            },
-            Disk::unloaded(specs::BARRACUDA), // 13.2ms per bucket
-        ],
-    }]);
+    let system = SystemConfig::builder()
+        .site("s")
+        // 0.2ms per bucket, but massively loaded.
+        .disk_with(specs::X25_E, Micros::ZERO, Micros::from_millis(60))
+        .disk(specs::BARRACUDA) // 13.2ms per bucket
+        .build();
     let q = RangeQuery::new(0, 0, 2, 2); // 4 buckets
     let inst = RetrievalInstance::build(&system, &Both, &q.buckets(2));
-    let outcome = PushRelabelBinary.solve(&inst);
+    let outcome = PushRelabelBinary.solve(&inst).unwrap();
     assert_eq!(outcome.response_time, oracle_optimal_response(&inst));
     // All 4 on the barracuda: 52.8ms; all 4 on the loaded SSD: 60.8ms;
     // optimal splits 3 (39.6) / 1 (60.2)... no: 60.2 > 52.8. Best is all
@@ -131,7 +125,7 @@ fn empty_query_across_all_solvers() {
         &BlackBoxPushRelabel,
         &ParallelPushRelabelBinary::new(2),
     ] {
-        let outcome = solver.solve(&inst);
+        let outcome = solver.solve(&inst).unwrap();
         assert_eq!(outcome.flow_value, 0, "{}", solver.name());
         assert_eq!(outcome.response_time, Micros::ZERO);
     }
@@ -145,8 +139,8 @@ fn full_grid_query_on_every_experiment() {
         let alloc = ReplicaMap::build(&OrthogonalAllocation::new(n, Placement::PerSite));
         let q = RangeQuery::new(0, 0, n, n);
         let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(n));
-        let a = PushRelabelBinary.solve(&inst);
-        let b = FordFulkersonIncremental.solve(&inst);
+        let a = PushRelabelBinary.solve(&inst).unwrap();
+        let b = FordFulkersonIncremental.solve(&inst).unwrap();
         assert_eq!(a.response_time, b.response_time, "{id:?}");
         assert_outcome_valid(&inst, &a);
     }
@@ -160,7 +154,7 @@ fn duplicate_buckets_in_query_are_distinct_vertices() {
     let alloc = OrthogonalAllocation::new(4, Placement::SingleSite);
     let b = Bucket::new(1, 1);
     let inst = RetrievalInstance::build(&system, &alloc, &[b, b]);
-    let outcome = PushRelabelBinary.solve(&inst);
+    let outcome = PushRelabelBinary.solve(&inst).unwrap();
     assert_eq!(outcome.flow_value, 2);
     assert_outcome_valid(&inst, &outcome);
 }
@@ -168,25 +162,19 @@ fn duplicate_buckets_in_query_are_distinct_vertices() {
 #[test]
 fn huge_network_delay_dominates() {
     // A site so distant that even its SSDs lose to local HDDs.
-    let far_ssd = Disk {
-        spec: specs::X25_E,
-        network_delay: Micros::from_millis(1_000),
-        initial_load: Micros::ZERO,
-    };
-    let system = SystemConfig::new(vec![
-        Site {
-            name: "local".into(),
-            disks: vec![Disk::unloaded(specs::BARRACUDA); 3],
-        },
-        Site {
-            name: "far".into(),
-            disks: vec![far_ssd; 3],
-        },
-    ]);
+    let far_delay = Micros::from_millis(1_000);
+    let system = SystemConfig::builder()
+        .site("local")
+        .disks(specs::BARRACUDA, 3)
+        .site("far")
+        .disk_with(specs::X25_E, far_delay, Micros::ZERO)
+        .disk_with(specs::X25_E, far_delay, Micros::ZERO)
+        .disk_with(specs::X25_E, far_delay, Micros::ZERO)
+        .build();
     let alloc = ReplicaMap::build(&DependentPeriodicAllocation::new(3, Placement::PerSite));
     let q = RangeQuery::new(0, 0, 3, 3);
     let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(3));
-    let outcome = PushRelabelBinary.solve(&inst);
+    let outcome = PushRelabelBinary.solve(&inst).unwrap();
     assert_eq!(outcome.response_time, oracle_optimal_response(&inst));
     let counts = outcome.schedule.per_disk_counts(6);
     let far_total: u64 = counts[3..].iter().sum();

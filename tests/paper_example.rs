@@ -28,7 +28,7 @@ fn q1_basic_problem_needs_replication_for_one_access() {
     // With both copies the max-flow schedule retrieves one bucket per
     // disk: response = 1 access of a cheetah (6.1 ms).
     let inst = RetrievalInstance::build(&system, &alloc, &buckets);
-    let outcome = PushRelabelBinary.solve(&inst);
+    let outcome = PushRelabelBinary.solve(&inst).unwrap();
     assert_eq!(outcome.response_time, Micros::from_tenths_ms(61));
     let counts = outcome.schedule.per_disk_counts(inst.num_disks());
     assert!(counts.iter().all(|&k| k <= 1), "one access per disk");
@@ -42,7 +42,7 @@ fn q1_generalized_matches_figure_4_budget() {
     let q1 = RangeQuery::new(0, 0, 3, 2);
     let inst = RetrievalInstance::build(&system, &alloc, &q1.buckets(7));
 
-    let outcome = PushRelabelBinary.solve(&inst);
+    let outcome = PushRelabelBinary.solve(&inst).unwrap();
     // Figure 4 shows capacities 1 for site-1 disks (completion 11.3ms) and
     // the fast site-2 disks (7.1ms), 0 for the slow ones: the optimal
     // budget is 11.3ms.
@@ -100,7 +100,7 @@ fn figure_3_network_shape() {
     }
     // ⌈6/7⌉ = 1: the FF-basic starting capacity is 1 (validated through
     // the solve producing one access per disk).
-    let outcome = PushRelabelBinary.solve(&inst);
+    let outcome = PushRelabelBinary.solve(&inst).unwrap();
     assert_eq!(outcome.response_time, Micros::from_tenths_ms(61));
 }
 

@@ -1,7 +1,7 @@
-//! Property-based tests (proptest) on the core invariants.
+//! Randomized property tests on the core invariants, driven by a seeded
+//! SplitMix64 so every run checks the same deterministic case list.
 
-use proptest::prelude::*;
-use rand::{Rng, SeedableRng};
+use rds_util::SplitMix64;
 use replicated_retrieval::core::pr::PushRelabelBinary;
 use replicated_retrieval::core::verify::{assert_outcome_valid, oracle_optimal_response};
 use replicated_retrieval::flow::validate::assert_valid_flow;
@@ -21,127 +21,130 @@ fn arb_alloc(n: usize, seed: u64) -> ReplicaMap {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The solver's schedule is complete, uses only replica disks, and is
-    /// optimal per the independent oracle.
-    #[test]
-    fn solved_schedules_are_valid_and_optimal(
-        n in 3usize..7,
-        seed in 0u64..1000,
-        i in 0usize..6,
-        j in 0usize..6,
-        r in 1usize..6,
-        c in 1usize..6,
-    ) {
-        let r = r.min(n);
-        let c = c.min(n);
-        let (i, j) = (i % n, j % n);
+/// The solver's schedule is complete, uses only replica disks, and is
+/// optimal per the independent oracle.
+#[test]
+fn solved_schedules_are_valid_and_optimal() {
+    let mut rng = SplitMix64::seed_from_u64(0x9A1);
+    for _ in 0..24 {
+        let n = rng.gen_range(3..7usize);
+        let seed = rng.gen_range(0..1000u64);
+        let r = rng.gen_range(1..6usize).min(n);
+        let c = rng.gen_range(1..6usize).min(n);
+        let (i, j) = (rng.gen_range(0..6usize) % n, rng.gen_range(0..6usize) % n);
         let system = arb_system(n, seed);
         let alloc = arb_alloc(n, seed);
         let q = RangeQuery::new(i, j, r, c);
         let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(n));
-        let outcome = PushRelabelBinary.solve(&inst);
+        let outcome = PushRelabelBinary.solve(&inst).unwrap();
         assert_outcome_valid(&inst, &outcome);
-        prop_assert_eq!(outcome.response_time, oracle_optimal_response(&inst));
+        assert_eq!(outcome.response_time, oracle_optimal_response(&inst));
     }
+}
 
-    /// Disk capacities are monotone non-decreasing in the budget — the
-    /// property that makes flow conservation across probes sound.
-    #[test]
-    fn capacities_monotone_in_budget(
-        n in 2usize..10,
-        seed in 0u64..1000,
-        t1 in 0u64..1_000_000,
-        t2 in 0u64..1_000_000,
-    ) {
+/// Disk capacities are monotone non-decreasing in the budget — the
+/// property that makes flow conservation across probes sound.
+#[test]
+fn capacities_monotone_in_budget() {
+    let mut rng = SplitMix64::seed_from_u64(0x9A2);
+    for _ in 0..24 {
+        let n = rng.gen_range(2..10usize);
+        let seed = rng.gen_range(0..1000u64);
+        let t1 = rng.gen_range(0..1_000_000u64);
+        let t2 = rng.gen_range(0..1_000_000u64);
         let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
         let system = arb_system(n, seed);
         for d in system.disks() {
-            prop_assert!(
-                d.capacity_within(Micros(lo)) <= d.capacity_within(Micros(hi))
-            );
+            assert!(d.capacity_within(Micros(lo)) <= d.capacity_within(Micros(hi)));
         }
     }
+}
 
-    /// Completion time and capacity are inverse: a disk can always finish
-    /// `capacity_within(t)` buckets within `t`, and one more would exceed
-    /// it.
-    #[test]
-    fn capacity_is_tight(
-        n in 2usize..8,
-        seed in 0u64..1000,
-        t in 1u64..10_000_000,
-    ) {
+/// Completion time and capacity are inverse: a disk can always finish
+/// `capacity_within(t)` buckets within `t`, and one more would exceed it.
+#[test]
+fn capacity_is_tight() {
+    let mut rng = SplitMix64::seed_from_u64(0x9A3);
+    for _ in 0..24 {
+        let n = rng.gen_range(2..8usize);
+        let seed = rng.gen_range(0..1000u64);
+        let t = rng.gen_range(1..10_000_000u64);
         let system = arb_system(n, seed);
         for d in system.disks() {
             let k = d.capacity_within(Micros(t));
             if k > 0 {
-                prop_assert!(d.completion_time(k) <= Micros(t));
+                assert!(d.completion_time(k) <= Micros(t));
             }
-            prop_assert!(d.completion_time(k + 1) > Micros(t));
+            assert!(d.completion_time(k + 1) > Micros(t));
         }
     }
+}
 
-    /// Orthogonal allocations cover every disk pair exactly once for any
-    /// grid size.
-    #[test]
-    fn orthogonality_for_any_n(n in 2usize..40) {
+/// Orthogonal allocations cover every disk pair exactly once for any
+/// grid size.
+#[test]
+fn orthogonality_for_any_n() {
+    for n in 2usize..40 {
         let alloc = OrthogonalAllocation::new(n, Placement::SingleSite);
         let mut pairs = std::collections::HashSet::new();
         for row in 0..n as u32 {
             for col in 0..n as u32 {
                 let b = Bucket::new(row, col);
-                prop_assert!(pairs.insert((alloc.f(b), alloc.g(b))));
+                assert!(pairs.insert((alloc.f(b), alloc.g(b))));
             }
         }
-        prop_assert_eq!(pairs.len(), n * n);
+        assert_eq!(pairs.len(), n * n);
     }
+}
 
-    /// Periodic allocations are balanced: each disk holds exactly N
-    /// buckets per copy.
-    #[test]
-    fn periodic_allocations_balanced(n in 2usize..30) {
+/// Periodic allocations are balanced: each disk holds exactly N buckets
+/// per copy.
+#[test]
+fn periodic_allocations_balanced() {
+    for n in 2usize..30 {
         let alloc = DependentPeriodicAllocation::new(n, Placement::PerSite);
         let map = ReplicaMap::build(&alloc);
         for d in 0..2 * n {
-            prop_assert_eq!(map.buckets_on_disk(d), n);
+            assert_eq!(map.buckets_on_disk(d), n);
         }
     }
+}
 
-    /// Query generators respect the size bounds of their load definition:
-    /// Load 2/3 arbitrary queries have exactly |Q| ∈ [(k−1)N+1, kN] for
-    /// some k ≤ N.
-    #[test]
-    fn load_sizes_in_bounds(
-        n in 2usize..20,
-        seed in 0u64..1000,
-        load_idx in 0usize..3,
-    ) {
-        let load = [Load::Load1, Load::Load2, Load::Load3][load_idx];
-        let mut gen = QueryGenerator::new(n, QueryKind::Arbitrary, load, seed);
-        for _ in 0..5 {
-            let q = gen.next_query();
-            let size = q.len(n);
-            prop_assert!(size >= 1 && size <= n * n, "size {} out of range", size);
+/// Query generators respect the size bounds of their load definition:
+/// Load 2/3 arbitrary queries have exactly |Q| ∈ [(k−1)N+1, kN] for
+/// some k ≤ N.
+#[test]
+fn load_sizes_in_bounds() {
+    let mut rng = SplitMix64::seed_from_u64(0x9A4);
+    for _ in 0..24 {
+        let n = rng.gen_range(2..20usize);
+        let seed = rng.gen_range(0..1000u64);
+        for load in [Load::Load1, Load::Load2, Load::Load3] {
+            let mut gen = QueryGenerator::new(n, QueryKind::Arbitrary, load, seed);
+            for _ in 0..5 {
+                let q = gen.next_query();
+                let size = q.len(n);
+                assert!(size >= 1 && size <= n * n, "size {size} out of range");
+            }
         }
     }
+}
 
-    /// The flow left in the graph after a solve is a valid flow whose
-    /// value equals the query size (checked through a fresh solve on the
-    /// instance's own graph copy).
-    #[test]
-    fn solver_flow_is_conserved(
-        n in 3usize..7,
-        seed in 0u64..500,
-    ) {
+/// The flow left in the graph after a solve is a valid flow whose value
+/// equals the query size (checked through a fresh solve on the
+/// instance's own graph copy).
+#[test]
+fn solver_flow_is_conserved() {
+    let mut rng = SplitMix64::seed_from_u64(0x9A5);
+    for _ in 0..24 {
+        let n = rng.gen_range(3..7usize);
+        let seed = rng.gen_range(0..500u64);
         let system = arb_system(n, seed);
         let alloc = arb_alloc(n, seed.wrapping_add(7));
         let q = RangeQuery::new(0, 0, n, n.div_ceil(2));
         let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(n));
         // Reconstruct the flow from the schedule and validate.
-        let outcome = PushRelabelBinary.solve(&inst);
+        let outcome = PushRelabelBinary.solve(&inst).unwrap();
         let mut g: FlowGraph = inst.graph.clone();
         inst.set_caps_for_budget(&mut g, outcome.response_time);
         for (i, &(_, disk)) in outcome.schedule.assignments().iter().enumerate() {
@@ -158,33 +161,36 @@ proptest! {
             g.push(inst.disk_edges[disk], 1);
         }
         assert_valid_flow(&g, inst.source(), inst.sink());
-        prop_assert_eq!(g.net_inflow(inst.sink()) as usize, inst.query_size());
+        assert_eq!(g.net_inflow(inst.sink()) as usize, inst.query_size());
     }
+}
 
-    /// Optimality lower bound: no budget strictly below the returned one
-    /// admits a complete flow (checked at the immediate predecessor
-    /// candidate).
-    #[test]
-    fn no_cheaper_budget_is_feasible(
-        n in 3usize..6,
-        seed in 0u64..500,
-        r in 1usize..5,
-        c in 1usize..5,
-    ) {
-        let r = r.min(n);
-        let c = c.min(n);
+/// Optimality lower bound: no budget strictly below the returned one
+/// admits a complete flow (checked at the immediate predecessor
+/// candidate).
+#[test]
+fn no_cheaper_budget_is_feasible() {
+    let mut rng = SplitMix64::seed_from_u64(0x9A6);
+    for _ in 0..24 {
+        let n = rng.gen_range(3..6usize);
+        let seed = rng.gen_range(0..500u64);
+        let r = rng.gen_range(1..5usize).min(n);
+        let c = rng.gen_range(1..5usize).min(n);
         let system = arb_system(n, seed);
         let alloc = arb_alloc(n, seed);
         let q = RangeQuery::new(0, 0, r, c);
         let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(n));
-        let outcome = PushRelabelBinary.solve(&inst);
+        let outcome = PushRelabelBinary.solve(&inst).unwrap();
         let epsilon = Micros(1);
         let below = outcome.response_time.saturating_sub(epsilon);
         let mut g = inst.graph.clone();
         inst.set_caps_for_budget(&mut g, below);
-        let flow = replicated_retrieval::flow::dinic::Dinic::new()
-            .max_flow(&mut g, inst.source(), inst.sink());
-        prop_assert!(
+        let flow = replicated_retrieval::flow::dinic::Dinic::new().max_flow(
+            &mut g,
+            inst.source(),
+            inst.sink(),
+        );
+        assert!(
             (flow as usize) < inst.query_size(),
             "budget {} below optimum {} admits a full flow",
             below,
@@ -193,15 +199,15 @@ proptest! {
     }
 }
 
-/// Non-proptest statistical check: RDA distributes buckets roughly evenly
-/// over many seeds.
+/// Statistical check: RDA distributes buckets roughly evenly over many
+/// seeds.
 #[test]
 fn rda_is_statistically_balanced() {
     let n = 12;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = SplitMix64::seed_from_u64(1);
     let mut worst = 0usize;
     for _ in 0..10 {
-        let map = ReplicaMap::build(&RandomDuplicateAllocation::two_site(n, rng.gen()));
+        let map = ReplicaMap::build(&RandomDuplicateAllocation::two_site(n, rng.gen_u64()));
         for d in 0..2 * n {
             worst = worst.max(map.buckets_on_disk(d));
         }
