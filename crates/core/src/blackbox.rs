@@ -59,6 +59,7 @@ where
         stats.increments += 1;
         if raised == 0 {
             return Err(SolveError::Infeasible {
+                bucket: None,
                 delivered,
                 required: q,
             });

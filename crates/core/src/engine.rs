@@ -14,8 +14,29 @@
 //! (including 1). Cross-stream interactions don't exist by construction —
 //! streams model *independent* sessions, the unit of parallelism the
 //! paper's multi-query discussion permits.
+//!
+//! ## Fault tolerance
+//!
+//! Three layers keep a batch useful when hardware misbehaves:
+//!
+//! * **Fault awareness** — an optional [`FaultInjector`] (or any
+//!   time-varying health source) makes every query plan around the
+//!   [`HealthMap`] in force at its arrival: offline replicas are pruned,
+//!   degraded disks carry inflated cost.
+//! * **Replanning** — a query that is infeasible under the current health
+//!   (some bucket lost every replica) is retried under the health at
+//!   deterministic simulated-time backoff probes
+//!   ([`RetryPolicy`]); if the engine is in degraded mode it finally
+//!   falls back to a best-effort solve that serves the retrievable subset
+//!   and reports the rest in [`SessionOutcome::unservable`].
+//! * **Containment** — each query runs under `catch_unwind`, so a panic
+//!   (a solver bug, a poisoned allocation) is confined to the query that
+//!   hit it: it reports [`EngineError::ShardFailed`], the panicking
+//!   stream's state is discarded (its virtual clock restarts), and every
+//!   other stream's results are returned unharmed.
 
-use crate::error::SessionError;
+use crate::error::{EngineError, SessionError, SolveError};
+use crate::fault::{FaultInjector, HealthMap};
 use crate::schedule::SolveStats;
 use crate::session::{SessionOutcome, SessionState};
 use crate::solver::RetrievalSolver;
@@ -25,6 +46,7 @@ use rds_decluster::query::Bucket;
 use rds_storage::model::SystemConfig;
 use rds_storage::time::Micros;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
 /// One query of a batch: which stream it belongs to, when it arrives,
@@ -41,7 +63,33 @@ pub struct BatchQuery {
     pub buckets: Vec<Bucket>,
 }
 
+/// How the engine replans queries that are infeasible under the current
+/// disk health: up to `max_retries` re-solves, probing the health map at
+/// `arrival + backoff`, `arrival + 2·backoff`, … on the simulated clock.
+/// A retry only re-solves when the probed health actually changed, so
+/// retries are free while an outage persists. The stream's virtual clock
+/// never advances past the query's arrival — later queries are unaffected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum re-solve attempts per query (0 disables replanning).
+    pub max_retries: u32,
+    /// Simulated-time spacing between health probes.
+    pub backoff: Micros,
+}
+
+impl Default for RetryPolicy {
+    /// No retries; `backoff` of 1 ms is only used if `max_retries` is
+    /// raised.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: Micros::from_millis(1),
+        }
+    }
+}
+
 /// Aggregate counters across everything an [`Engine`] has processed.
+#[must_use]
 #[derive(Clone, Copy, Debug, Default)]
 #[non_exhaustive]
 pub struct EngineStats {
@@ -59,6 +107,15 @@ pub struct EngineStats {
     /// number of successful solver invocations that reused pre-allocated
     /// buffers instead of allocating fresh ones.
     pub workspace_solves: u64,
+    /// Re-solves triggered by infeasibility under a changed health map.
+    pub retries: u64,
+    /// Queries answered by the best-effort degraded path (some buckets
+    /// dropped).
+    pub degraded_solves: u64,
+    /// Buckets dropped as unservable across all degraded solves.
+    pub dropped_buckets: u64,
+    /// Queries lost to a contained panic ([`EngineError::ShardFailed`]).
+    pub shard_failures: u64,
 }
 
 impl EngineStats {
@@ -73,43 +130,168 @@ impl EngineStats {
     }
 }
 
+/// Counters a shard reports back from one batch run.
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardTally {
+    retries: u64,
+    degraded_solves: u64,
+    dropped_buckets: u64,
+    shard_failures: u64,
+}
+
+impl ShardTally {
+    fn accumulate(&self, stats: &mut EngineStats) {
+        stats.retries += self.retries;
+        stats.degraded_solves += self.degraded_solves;
+        stats.dropped_buckets += self.dropped_buckets;
+        stats.shard_failures += self.shard_failures;
+    }
+}
+
 /// One worker's slice of the engine: a reusable workspace plus the states
 /// of the streams this shard owns.
 #[derive(Debug, Default)]
 struct Shard {
     workspace: Workspace,
     states: HashMap<usize, SessionState>,
+    /// Scratch health map, refreshed per query from the fault schedule.
+    health: HealthMap,
 }
+
+/// Engine-wide fault handling knobs, shared read-only by every shard.
+struct FaultConfig<'f> {
+    injector: Option<&'f FaultInjector>,
+    retry: RetryPolicy,
+    degraded: bool,
+}
+
+/// Read-only context shared by every shard for the duration of one batch.
+struct BatchCtx<'c, A: ?Sized, S: ?Sized> {
+    system: &'c SystemConfig,
+    alloc: &'c A,
+    solver: &'c S,
+    faults: FaultConfig<'c>,
+}
+
+/// One shard's batch output: its tally plus `(original_index, result)`
+/// pairs for the queries it owned.
+type ShardOutput = (
+    ShardTally,
+    Vec<(usize, Result<SessionOutcome, EngineError>)>,
+);
 
 impl Shard {
     /// Runs this shard's queries (given by index into `queries`) in input
     /// order, appending `(original_index, result)` pairs to `out`.
     fn run<A: ReplicaSource + ?Sized, S: RetrievalSolver + ?Sized>(
         &mut self,
-        system: &SystemConfig,
-        alloc: &A,
-        solver: &S,
+        shard_idx: usize,
+        ctx: &BatchCtx<'_, A, S>,
         queries: &[BatchQuery],
         indices: &[usize],
-        out: &mut Vec<(usize, Result<SessionOutcome, SessionError>)>,
-    ) {
+        out: &mut Vec<(usize, Result<SessionOutcome, EngineError>)>,
+    ) -> ShardTally {
+        let mut tally = ShardTally::default();
         for &i in indices {
             let q = &queries[i];
-            let state = self
-                .states
-                .entry(q.stream)
-                .or_insert_with(|| SessionState::new(system.num_disks()));
-            let result = state.submit_with(
-                system,
-                alloc,
-                solver,
+            // Contain panics to the query that hit them: the poisoned
+            // stream's state is dropped (fresh clock on its next query),
+            // everything else in the batch proceeds.
+            let caught = catch_unwind(AssertUnwindSafe(|| self.run_one(ctx, q, &mut tally)));
+            match caught {
+                Ok(result) => out.push((i, result)),
+                Err(_) => {
+                    self.states.remove(&q.stream);
+                    tally.shard_failures += 1;
+                    out.push((i, Err(EngineError::ShardFailed { shard: shard_idx })));
+                }
+            }
+        }
+        tally
+    }
+
+    /// Solves one query under the health in force at its arrival, with
+    /// bounded replanning and an optional degraded fallback.
+    fn run_one<A: ReplicaSource + ?Sized, S: RetrievalSolver + ?Sized>(
+        &mut self,
+        ctx: &BatchCtx<'_, A, S>,
+        q: &BatchQuery,
+        tally: &mut ShardTally,
+    ) -> Result<SessionOutcome, EngineError> {
+        let faults = &ctx.faults;
+        let state = self
+            .states
+            .entry(q.stream)
+            .or_insert_with(|| SessionState::new(ctx.system.num_disks()));
+        if let Some(inj) = faults.injector {
+            inj.health_at(q.arrival, &mut self.health);
+        } else {
+            self.health.reset();
+        }
+
+        let mut result = state.submit_with_health(
+            ctx.system,
+            ctx.alloc,
+            ctx.solver,
+            &mut self.workspace,
+            q.arrival,
+            &q.buckets,
+            &self.health,
+        );
+
+        // Replan: probe the fault schedule at deterministic backoff steps
+        // and re-solve whenever the health actually changed. Only
+        // infeasibility is retryable — it is the one error a recovered
+        // disk can cure.
+        if let Some(inj) = faults.injector {
+            let mut attempt = 0u32;
+            while attempt < faults.retry.max_retries && is_infeasible(&result) {
+                attempt += 1;
+                let probe = q.arrival + faults.retry.backoff * attempt as u64;
+                let before = self.health.fingerprint();
+                inj.health_at(probe, &mut self.health);
+                if self.health.fingerprint() == before {
+                    continue;
+                }
+                tally.retries += 1;
+                result = state.submit_with_health(
+                    ctx.system,
+                    ctx.alloc,
+                    ctx.solver,
+                    &mut self.workspace,
+                    q.arrival,
+                    &q.buckets,
+                    &self.health,
+                );
+            }
+        }
+
+        // Last resort in degraded mode: serve what still has a replica.
+        if faults.degraded && is_infeasible(&result) {
+            result = state.submit_degraded_with(
+                ctx.system,
+                ctx.alloc,
+                ctx.solver,
                 &mut self.workspace,
                 q.arrival,
                 &q.buckets,
+                &self.health,
             );
-            out.push((i, result));
+            if let Ok(o) = &result {
+                tally.degraded_solves += 1;
+                tally.dropped_buckets += o.unservable.len() as u64;
+            }
         }
+
+        result.map_err(EngineError::from)
     }
+}
+
+fn is_infeasible(result: &Result<SessionOutcome, SessionError>) -> bool {
+    matches!(
+        result,
+        Err(SessionError::Solve(SolveError::Infeasible { .. }))
+    )
 }
 
 /// A batch front-end that shards independent query streams across worker
@@ -121,6 +303,9 @@ pub struct Engine<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> {
     solver: S,
     shards: Vec<Shard>,
     stats: EngineStats,
+    injector: Option<FaultInjector>,
+    retry: RetryPolicy,
+    degraded: bool,
 }
 
 impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
@@ -134,7 +319,35 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
             solver,
             shards: (0..num_shards).map(|_| Shard::default()).collect(),
             stats: EngineStats::default(),
+            injector: None,
+            retry: RetryPolicy::default(),
+            degraded: false,
         }
+    }
+
+    /// Installs a fault schedule: every query plans around the health in
+    /// force at its arrival. Health is a pure function of the schedule
+    /// and the query's arrival time, so results stay deterministic for
+    /// any shard count.
+    pub fn with_fault_injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Sets the replanning policy for infeasible queries (see
+    /// [`RetryPolicy`]).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables degraded mode: queries that stay infeasible after
+    /// replanning are answered best-effort, serving every bucket with a
+    /// live replica and listing the rest in
+    /// [`SessionOutcome::unservable`], instead of failing outright.
+    pub fn with_degraded_mode(mut self, degraded: bool) -> Self {
+        self.degraded = degraded;
+        self
     }
 
     /// Number of shards (worker threads used per batch).
@@ -148,15 +361,27 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
     }
 
     /// Processes a batch of queries and returns one result per query, in
-    /// input order. Per-query failures (non-monotone arrival on a stream,
-    /// solver rejection) are reported in place; they never abort the rest
-    /// of the batch.
+    /// input order. Per-query failures — non-monotone arrival on a
+    /// stream, solver rejection, infeasibility under the current health,
+    /// even a panic inside a solver — are reported in place; they never
+    /// abort the rest of the batch, and results from healthy streams are
+    /// always returned.
     pub fn submit_batch(
         &mut self,
         queries: &[BatchQuery],
-    ) -> Vec<Result<SessionOutcome, SessionError>> {
+    ) -> Vec<Result<SessionOutcome, EngineError>> {
         let started = std::time::Instant::now();
         let num_shards = self.shards.len();
+        let ctx = BatchCtx {
+            system: self.system,
+            alloc: self.alloc,
+            solver: &self.solver,
+            faults: FaultConfig {
+                injector: self.injector.as_ref(),
+                retry: self.retry,
+                degraded: self.degraded,
+            },
+        };
 
         // Route each query to its stream's home shard, preserving input
         // order within the shard.
@@ -165,52 +390,49 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
             by_shard[q.stream % num_shards].push(i);
         }
 
-        let mut merged: Vec<Option<Result<SessionOutcome, SessionError>>> =
+        let mut merged: Vec<Option<Result<SessionOutcome, EngineError>>> =
             (0..queries.len()).map(|_| None).collect();
+        let mut tallies: Vec<ShardTally> = Vec::with_capacity(num_shards);
         if num_shards == 1 {
             let mut out = Vec::with_capacity(queries.len());
-            self.shards[0].run(
-                self.system,
-                self.alloc,
-                &self.solver,
-                queries,
-                &by_shard[0],
-                &mut out,
-            );
+            let tally = self.shards[0].run(0, &ctx, queries, &by_shard[0], &mut out);
+            tallies.push(tally);
             for (i, r) in out {
                 merged[i] = Some(r);
             }
         } else {
-            let system = self.system;
-            let alloc = self.alloc;
-            let solver = &self.solver;
-            let collected: Vec<Vec<(usize, Result<SessionOutcome, SessionError>)>> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = self
-                        .shards
-                        .iter_mut()
-                        .zip(&by_shard)
-                        .map(|(shard, indices)| {
-                            scope.spawn(move || {
-                                let mut out = Vec::with_capacity(indices.len());
-                                shard.run(system, alloc, solver, queries, indices, &mut out);
-                                out
-                            })
+            let ctx = &ctx;
+            let collected: Vec<ShardOutput> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(&by_shard)
+                    .enumerate()
+                    .map(|(shard_idx, (shard, indices))| {
+                        scope.spawn(move || {
+                            let mut out = Vec::with_capacity(indices.len());
+                            let tally = shard.run(shard_idx, ctx, queries, indices, &mut out);
+                            (tally, out)
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("shard worker panicked"))
-                        .collect()
-                });
-            for out in collected {
+                    })
+                    .collect();
+                // Per-query panics are already contained inside
+                // `Shard::run`; a join failure here would mean the
+                // containment itself failed, so surface it loudly.
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            for (tally, out) in collected {
+                tallies.push(tally);
                 for (i, r) in out {
                     merged[i] = Some(r);
                 }
             }
         }
 
-        let results: Vec<Result<SessionOutcome, SessionError>> = merged
+        let results: Vec<Result<SessionOutcome, EngineError>> = merged
             .into_iter()
             .map(|r| r.expect("every query routed to exactly one shard"))
             .collect();
@@ -218,6 +440,9 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
         self.stats.batches += 1;
         self.stats.queries += results.len() as u64;
         self.stats.elapsed += started.elapsed();
+        for tally in &tallies {
+            tally.accumulate(&mut self.stats);
+        }
         for r in &results {
             match r {
                 Ok(out) => self.stats.solve_stats.accumulate(&out.outcome.stats),
@@ -232,7 +457,11 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::SolveError;
+    use crate::fault::DiskHealth;
+    use crate::network::RetrievalInstance;
     use crate::pr::PushRelabelBinary;
+    use crate::schedule::RetrievalOutcome;
     use rds_decluster::allocation::Placement;
     use rds_decluster::orthogonal::OrthogonalAllocation;
     use rds_decluster::query::{Query, RangeQuery};
@@ -315,7 +544,9 @@ mod tests {
         assert!(results[0].is_ok());
         assert!(matches!(
             results[1],
-            Err(SessionError::NonMonotoneArrival { .. })
+            Err(EngineError::Session(
+                SessionError::NonMonotoneArrival { .. }
+            ))
         ));
         assert!(results[2].is_ok());
         // The stream survived its bad query.
@@ -339,5 +570,158 @@ mod tests {
         assert_eq!(engine.stats().solve_stats.resume_calls, want);
         assert_eq!(engine.stats().workspace_solves, 9);
         assert!(engine.stats().queries_per_sec() > 0.0);
+    }
+
+    /// A solver that panics whenever the query contains a poison bucket —
+    /// simulates a latent solver bug for containment tests.
+    #[derive(Clone, Copy)]
+    struct PanicOnBucket(rds_decluster::query::Bucket);
+
+    impl RetrievalSolver for PanicOnBucket {
+        fn name(&self) -> &'static str {
+            "panic-on-bucket"
+        }
+        fn solve_in(
+            &self,
+            inst: &RetrievalInstance,
+            ws: &mut Workspace,
+        ) -> Result<RetrievalOutcome, SolveError> {
+            assert!(!inst.buckets.contains(&self.0), "injected solver bug");
+            PushRelabelBinary.solve_in(inst, ws)
+        }
+    }
+
+    #[test]
+    fn panic_is_contained_to_the_poisoned_query() {
+        let system = SystemConfig::homogeneous(CHEETAH, 5);
+        let alloc = OrthogonalAllocation::new(5, Placement::SingleSite);
+        let poison = RangeQuery::new(3, 3, 1, 1).buckets(5)[0];
+        for shards in [1usize, 2, 4] {
+            let mut engine = Engine::new(&system, &alloc, PanicOnBucket(poison), shards);
+            let good = RangeQuery::new(0, 0, 1, 2).buckets(5);
+            let bad = RangeQuery::new(3, 3, 1, 1).buckets(5);
+            let mk = |stream, ms, buckets: &Vec<_>| BatchQuery {
+                stream,
+                arrival: Micros::from_millis(ms),
+                buckets: buckets.clone(),
+            };
+            let results = engine.submit_batch(&[
+                mk(0, 0, &good),
+                mk(1, 0, &bad),
+                mk(2, 0, &good),
+                mk(1, 5, &good),
+            ]);
+            assert!(results[0].is_ok(), "{shards} shards");
+            assert_eq!(
+                results[1].as_ref().unwrap_err(),
+                &EngineError::ShardFailed { shard: 1 % shards }
+            );
+            assert!(results[2].is_ok());
+            // The poisoned stream restarts cleanly on its next query.
+            assert!(results[3].is_ok());
+            assert_eq!(engine.stats().shard_failures, 1);
+            assert_eq!(engine.stats().errors, 1);
+        }
+    }
+
+    #[test]
+    fn offline_disks_reroute_and_infeasible_is_typed() {
+        let system = SystemConfig::homogeneous(CHEETAH, 5);
+        let alloc = OrthogonalAllocation::new(5, Placement::SingleSite);
+        let b = RangeQuery::new(0, 1, 1, 1).buckets(5);
+        // Find the two replica disks of that single bucket.
+        let replicas: Vec<usize> = alloc.replicas(b[0]).iter().collect();
+        assert!(replicas.len() >= 2);
+
+        // One replica down: the query reroutes to the survivor.
+        let injector = FaultInjector::pinned(&HealthMap::with_offline(&replicas[..1]));
+        let mut engine =
+            Engine::new(&system, &alloc, PushRelabelBinary, 2).with_fault_injector(injector);
+        let q = BatchQuery {
+            stream: 0,
+            arrival: Micros::ZERO,
+            buckets: b.clone(),
+        };
+        let results = engine.submit_batch(std::slice::from_ref(&q));
+        let out = results[0].as_ref().unwrap();
+        let (_, disk) = out.outcome.schedule.assignments()[0];
+        assert!(!replicas[..1].contains(&disk));
+
+        // All replicas down: typed infeasibility naming the bucket.
+        let injector = FaultInjector::pinned(&HealthMap::with_offline(&replicas));
+        let mut engine =
+            Engine::new(&system, &alloc, PushRelabelBinary, 2).with_fault_injector(injector);
+        let results = engine.submit_batch(std::slice::from_ref(&q));
+        assert_eq!(
+            results[0].as_ref().unwrap_err(),
+            &EngineError::Session(SessionError::Solve(SolveError::Infeasible {
+                bucket: Some(b[0]),
+                delivered: 0,
+                required: 1,
+            }))
+        );
+    }
+
+    #[test]
+    fn retry_replans_after_recovery() {
+        let system = SystemConfig::homogeneous(CHEETAH, 5);
+        let alloc = OrthogonalAllocation::new(5, Placement::SingleSite);
+        let b = RangeQuery::new(0, 1, 1, 1).buckets(5);
+        let replicas: Vec<usize> = alloc.replicas(b[0]).iter().collect();
+
+        // Both replicas go down at t=0 and recover at t=3ms; the query
+        // arrives at t=1ms. With backoff 1ms and 3 retries, the probe at
+        // t=3ms sees the recovery and the re-solve succeeds.
+        let mut injector = FaultInjector::new();
+        for &d in &replicas {
+            injector.schedule(Micros::ZERO, d, DiskHealth::Offline);
+            injector.schedule(Micros::from_millis(3), d, DiskHealth::Healthy);
+        }
+        let mut engine = Engine::new(&system, &alloc, PushRelabelBinary, 1)
+            .with_fault_injector(injector)
+            .with_retry_policy(RetryPolicy {
+                max_retries: 3,
+                backoff: Micros::from_millis(1),
+            });
+        let q = BatchQuery {
+            stream: 0,
+            arrival: Micros::from_millis(1),
+            buckets: b.clone(),
+        };
+        let results = engine.submit_batch(std::slice::from_ref(&q));
+        assert!(results[0].is_ok(), "recovered replica should serve");
+        assert_eq!(engine.stats().retries, 1);
+        assert_eq!(engine.stats().errors, 0);
+    }
+
+    #[test]
+    fn degraded_mode_serves_the_retrievable_subset() {
+        let system = SystemConfig::homogeneous(CHEETAH, 5);
+        let alloc = OrthogonalAllocation::new(5, Placement::SingleSite);
+        let buckets = RangeQuery::new(0, 0, 1, 5).buckets(5);
+        // Kill every replica of exactly one bucket.
+        let victim = buckets[2];
+        let dead: Vec<usize> = alloc.replicas(victim).iter().collect();
+        let injector = FaultInjector::pinned(&HealthMap::with_offline(&dead));
+
+        let mut engine = Engine::new(&system, &alloc, PushRelabelBinary, 2)
+            .with_fault_injector(injector)
+            .with_degraded_mode(true);
+        let q = BatchQuery {
+            stream: 0,
+            arrival: Micros::ZERO,
+            buckets: buckets.clone(),
+        };
+        let results = engine.submit_batch(std::slice::from_ref(&q));
+        let out = results[0].as_ref().unwrap();
+        assert!(!out.is_complete());
+        assert!(out.unservable.contains(&victim));
+        assert_eq!(
+            out.outcome.schedule.len() + out.unservable.len(),
+            buckets.len()
+        );
+        assert_eq!(engine.stats().degraded_solves, 1);
+        assert!(engine.stats().dropped_buckets >= 1);
+        assert_eq!(engine.stats().errors, 0);
     }
 }

@@ -13,11 +13,16 @@ use rds_storage::time::Micros;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SolveError {
-    /// Capacity increments ran out before the sink received `required`
-    /// units: some bucket has no replica path, so no budget — however
-    /// large — retrieves the whole query.
+    /// The query cannot be completed at any budget: some bucket has no
+    /// retrievable replica (all of them offline, or no replica path at
+    /// all), so no budget — however large — retrieves the whole query.
     Infeasible {
-        /// Flow delivered when the increment set went empty.
+        /// The first bucket with no surviving replica, when the failure
+        /// was detected up front from the health map; `None` when the
+        /// capacity increments simply ran out mid-solve.
+        bucket: Option<Bucket>,
+        /// Flow delivered (or deliverable) when infeasibility was
+        /// established.
         delivered: i64,
         /// The query size `|Q|` the flow had to reach.
         required: i64,
@@ -42,12 +47,20 @@ impl std::fmt::Display for SolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SolveError::Infeasible {
+                bucket,
                 delivered,
                 required,
-            } => write!(
-                f,
-                "retrieval instance is infeasible: {delivered} of {required} units delivered"
-            ),
+            } => match bucket {
+                Some(b) => write!(
+                    f,
+                    "retrieval instance is infeasible: bucket {b} has no surviving replica \
+                     ({delivered} of {required} units deliverable)"
+                ),
+                None => write!(
+                    f,
+                    "retrieval instance is infeasible: {delivered} of {required} units delivered"
+                ),
+            },
             SolveError::IncompleteFlow { bucket } => {
                 write!(f, "bucket {bucket} is not retrieved by the flow")
             }
@@ -103,6 +116,62 @@ impl From<SolveError> for SessionError {
     }
 }
 
+/// Why the batch engine could not produce a result for one query.
+///
+/// Per-query session failures pass through as [`EngineError::Session`];
+/// [`EngineError::ShardFailed`] is the engine's fault-containment
+/// boundary — a worker panic is caught per shard and surfaced here
+/// instead of crossing `submit_batch`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The query's own session submit failed (bad arrival, infeasible or
+    /// rejected solve). The rest of the batch is unaffected.
+    Session(SessionError),
+    /// The worker owning this query's shard panicked before this query
+    /// produced a result. Queries of the same shard that completed before
+    /// the panic keep their results; other shards are unaffected.
+    ShardFailed {
+        /// Index of the failed shard.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Session(e) => write!(f, "{e}"),
+            EngineError::ShardFailed { shard } => {
+                write!(
+                    f,
+                    "shard {shard} worker panicked; its remaining queries were dropped"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Session(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SessionError> for EngineError {
+    fn from(e: SessionError) -> Self {
+        EngineError::Session(e)
+    }
+}
+
+impl From<SolveError> for EngineError {
+    fn from(e: SolveError) -> Self {
+        EngineError::Session(SessionError::Solve(e))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,10 +179,17 @@ mod tests {
     #[test]
     fn display_messages_name_the_failure() {
         let e = SolveError::Infeasible {
+            bucket: None,
             delivered: 3,
             required: 5,
         };
         assert!(e.to_string().contains("infeasible"));
+        let e = SolveError::Infeasible {
+            bucket: Some(Bucket::new(2, 3)),
+            delivered: 3,
+            required: 5,
+        };
+        assert!(e.to_string().contains("no surviving replica"));
         let e = SolveError::IncompleteFlow {
             bucket: Bucket::new(1, 2),
         };
@@ -127,6 +203,7 @@ mod tests {
     #[test]
     fn session_error_wraps_solve_error() {
         let inner = SolveError::Infeasible {
+            bucket: None,
             delivered: 0,
             required: 1,
         };
@@ -139,5 +216,27 @@ mod tests {
         };
         assert!(m.to_string().contains("monotone"));
         assert!(std::error::Error::source(&m).is_none());
+    }
+
+    #[test]
+    fn engine_error_wraps_and_reports() {
+        let inner = SessionError::NonMonotoneArrival {
+            arrival: Micros(5),
+            now: Micros(10),
+        };
+        let e = EngineError::from(inner);
+        assert_eq!(e, EngineError::Session(inner));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("monotone"));
+
+        let s = EngineError::ShardFailed { shard: 3 };
+        assert!(s.to_string().contains("shard 3"));
+        assert!(std::error::Error::source(&s).is_none());
+
+        let via_solve = EngineError::from(SolveError::UnsupportedSystem { reason: "x" });
+        assert!(matches!(
+            via_solve,
+            EngineError::Session(SessionError::Solve(SolveError::UnsupportedSystem { .. }))
+        ));
     }
 }

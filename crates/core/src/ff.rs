@@ -134,6 +134,7 @@ impl RetrievalSolver for FordFulkersonIncremental {
                 stats.increments += 1;
                 if raised == 0 {
                     return Err(SolveError::Infeasible {
+                        bucket: None,
                         delivered: i as i64,
                         required: q as i64,
                     });

@@ -54,6 +54,7 @@
 pub mod blackbox;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod ff;
 pub mod increment;
 pub mod network;
@@ -65,8 +66,11 @@ pub mod solver;
 pub mod verify;
 pub mod workspace;
 
-pub use engine::{BatchQuery, Engine, EngineStats};
-pub use error::{SessionError, SolveError};
+pub use engine::{BatchQuery, Engine, EngineStats, RetryPolicy};
+pub use error::{EngineError, SessionError, SolveError};
+pub use fault::{
+    solve_degraded, DiskHealth, FaultEvent, FaultInjector, HealthMap, PartialSchedule,
+};
 pub use network::RetrievalInstance;
 pub use schedule::{RetrievalOutcome, Schedule, SolveStats};
 pub use session::{RetrievalSession, SessionOutcome, SessionState};

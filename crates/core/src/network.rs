@@ -15,6 +15,7 @@
 //! `disk_j → t` whose capacity encodes the response-time budget — the only
 //! capacities the retrieval algorithms mutate.
 
+use crate::fault::HealthMap;
 use rds_decluster::allocation::ReplicaSource;
 use rds_decluster::query::Bucket;
 use rds_flow::graph::{EdgeId, FlowGraph, VertexId};
@@ -93,6 +94,24 @@ impl RetrievalInstance {
         buckets: &[Bucket],
         failed: &[usize],
     ) -> Result<RetrievalInstance, UnavailableBucket> {
+        Self::build_with_health(system, alloc, buckets, &HealthMap::with_offline(failed))
+    }
+
+    /// Builds the retrieval network under a full [`HealthMap`]: offline
+    /// disks are pruned exactly like `failed` disks in
+    /// [`RetrievalInstance::build_with_failed_disks`], and degraded disks
+    /// enter the instance with their cost `C_j` and initial load `X_j`
+    /// inflated by their load factor — every solver then transparently
+    /// plans around the faults.
+    ///
+    /// Returns `Err` with the first bucket whose replicas are *all*
+    /// offline (retrieval impossible).
+    pub fn build_with_health<A: ReplicaSource + ?Sized>(
+        system: &SystemConfig,
+        alloc: &A,
+        buckets: &[Bucket],
+        health: &HealthMap,
+    ) -> Result<RetrievalInstance, UnavailableBucket> {
         let q = buckets.len();
         let n = system.num_disks();
         let mut inst = RetrievalInstance {
@@ -104,7 +123,7 @@ impl RetrievalInstance {
             replicas_per_disk: Vec::new(),
             max_copies: 0,
         };
-        inst.rebuild_with_failed_disks(system, alloc, buckets, failed)?;
+        inst.rebuild_with_health(system, alloc, buckets, health)?;
         Ok(inst)
     }
 
@@ -128,7 +147,7 @@ impl RetrievalInstance {
         alloc: &A,
         buckets: &[Bucket],
     ) -> Result<(), UnavailableBucket> {
-        self.rebuild_with_failed_disks(system, alloc, buckets, &[])
+        self.rebuild_with_health(system, alloc, buckets, &HealthMap::all_healthy())
     }
 
     /// In-place variant of [`RetrievalInstance::build_with_failed_disks`];
@@ -140,6 +159,19 @@ impl RetrievalInstance {
         alloc: &A,
         buckets: &[Bucket],
         failed: &[usize],
+    ) -> Result<(), UnavailableBucket> {
+        self.rebuild_with_health(system, alloc, buckets, &HealthMap::with_offline(failed))
+    }
+
+    /// In-place variant of [`RetrievalInstance::build_with_health`]; see
+    /// [`RetrievalInstance::rebuild_in`]. On `Err` the instance is left in
+    /// an unspecified (but safe) state and must be rebuilt before use.
+    pub fn rebuild_with_health<A: ReplicaSource + ?Sized>(
+        &mut self,
+        system: &SystemConfig,
+        alloc: &A,
+        buckets: &[Bucket],
+        health: &HealthMap,
     ) -> Result<(), UnavailableBucket> {
         assert!(
             alloc.num_disks() <= system.num_disks(),
@@ -157,7 +189,20 @@ impl RetrievalInstance {
         self.buckets.clear();
         self.buckets.extend_from_slice(buckets);
         self.disks.clear();
-        self.disks.extend_from_slice(system.disks());
+        if health.all_up() {
+            self.disks.extend_from_slice(system.disks());
+        } else {
+            // Degraded disks enter the instance with scaled parameters, so
+            // every downstream capacity/completion computation sees the
+            // slowdown without any solver changes.
+            self.disks.extend(
+                system
+                    .disks()
+                    .iter()
+                    .enumerate()
+                    .map(|(j, d)| health.apply(j, d)),
+            );
+        }
         self.bucket_edges.clear();
         self.disk_edges.clear();
         self.replicas_per_disk.clear();
@@ -177,7 +222,7 @@ impl RetrievalInstance {
             let mut available = 0;
             for d in reps.iter() {
                 assert!(d < n, "replica disk {d} out of range for {n} disks");
-                if failed.contains(&d) {
+                if health.is_offline(d) {
                     continue;
                 }
                 available += 1;

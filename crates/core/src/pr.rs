@@ -95,6 +95,7 @@ pub(crate) fn incremental_phase<E: IncrementalMaxFlow>(
         stats.increments += 1;
         if raised == 0 {
             return Err(SolveError::Infeasible {
+                bucket: None,
                 delivered: engine.excess(t),
                 required: q,
             });

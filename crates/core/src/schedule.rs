@@ -8,6 +8,7 @@ use rds_storage::model::Disk;
 use rds_storage::time::Micros;
 
 /// A complete retrieval schedule: which disk serves each requested bucket.
+#[must_use]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Schedule {
     assignments: Vec<(Bucket, usize)>,
@@ -94,6 +95,7 @@ impl Schedule {
 ///
 /// Marked `#[non_exhaustive]`: future solvers may add counters, so
 /// construct instances with [`SolveStats::default`] and update fields.
+#[must_use]
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct SolveStats {
@@ -127,6 +129,7 @@ impl SolveStats {
 /// obtain instances from the solvers (or
 /// [`RetrievalOutcome::try_from_flow`]), so future fields can be added
 /// without breaking callers.
+#[must_use]
 #[derive(Clone, Debug)]
 #[non_exhaustive]
 pub struct RetrievalOutcome {

@@ -20,7 +20,8 @@
 //! owned value, so the batch [`crate::engine::Engine`] can hold many
 //! sessions and move them across worker threads.
 
-use crate::error::SessionError;
+use crate::error::{SessionError, SolveError};
+use crate::fault::{self, HealthMap};
 use crate::network::RetrievalInstance;
 use crate::schedule::RetrievalOutcome;
 use crate::solver::RetrievalSolver;
@@ -31,14 +32,26 @@ use rds_storage::model::SystemConfig;
 use rds_storage::time::Micros;
 
 /// The outcome of one session query, with absolute-time bookkeeping.
+#[must_use]
 #[derive(Clone, Debug)]
 pub struct SessionOutcome {
-    /// The solver outcome (relative response time, schedule, stats).
+    /// The solver outcome (relative response time, schedule, stats). On a
+    /// degraded submit this covers the servable subset only.
     pub outcome: RetrievalOutcome,
     /// Arrival time of the query.
     pub arrival: Micros,
     /// Absolute completion time (`arrival + response_time`).
     pub completion: Micros,
+    /// Buckets dropped because every replica was offline. Always empty
+    /// outside [`SessionState::submit_degraded_with`].
+    pub unservable: Vec<Bucket>,
+}
+
+impl SessionOutcome {
+    /// True when every requested bucket was retrieved.
+    pub fn is_complete(&self) -> bool {
+        self.unservable.is_empty()
+    }
 }
 
 /// The owned, thread-movable bookkeeping of one query stream: disk
@@ -58,6 +71,14 @@ pub struct SessionState {
     served: u64,
     /// Instance reused (patched or rebuilt in place) across submits.
     instance: Option<RetrievalInstance>,
+    /// Fingerprint of the [`HealthMap`] the cached instance was built
+    /// under — topology reuse requires it to match, since offline disks
+    /// change which replica edges exist.
+    health_fp: u64,
+    /// Scratch: buckets with a live replica (degraded submits).
+    servable_buf: Vec<Bucket>,
+    /// Scratch: buckets with no live replica (degraded submits).
+    unservable_buf: Vec<Bucket>,
 }
 
 impl SessionState {
@@ -68,6 +89,9 @@ impl SessionState {
             now: Micros::ZERO,
             served: 0,
             instance: None,
+            health_fp: HealthMap::HEALTHY_FINGERPRINT,
+            servable_buf: Vec::new(),
+            unservable_buf: Vec::new(),
         }
     }
 
@@ -103,6 +127,68 @@ impl SessionState {
         arrival: Micros,
         buckets: &[Bucket],
     ) -> Result<SessionOutcome, SessionError> {
+        self.submit_faulted(
+            system,
+            alloc,
+            solver,
+            ws,
+            arrival,
+            buckets,
+            &HealthMap::all_healthy(),
+            false,
+        )
+    }
+
+    /// Like [`SessionState::submit_with`], but plans around the faults in
+    /// `health`: offline disks are pruned from the network and degraded
+    /// disks carry inflated cost and load. **Strict**: if any requested
+    /// bucket has every replica offline, fails with
+    /// [`SolveError::Infeasible`] naming that bucket, and no disk is
+    /// charged.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_with_health<A: ReplicaSource + ?Sized, S: RetrievalSolver + ?Sized>(
+        &mut self,
+        system: &SystemConfig,
+        alloc: &A,
+        solver: &S,
+        ws: &mut Workspace,
+        arrival: Micros,
+        buckets: &[Bucket],
+        health: &HealthMap,
+    ) -> Result<SessionOutcome, SessionError> {
+        self.submit_faulted(system, alloc, solver, ws, arrival, buckets, health, false)
+    }
+
+    /// Best-effort variant of [`SessionState::submit_with_health`]:
+    /// buckets whose replicas are all offline are dropped into
+    /// [`SessionOutcome::unservable`] and the remainder is scheduled
+    /// optimally, instead of failing the whole query.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_degraded_with<A: ReplicaSource + ?Sized, S: RetrievalSolver + ?Sized>(
+        &mut self,
+        system: &SystemConfig,
+        alloc: &A,
+        solver: &S,
+        ws: &mut Workspace,
+        arrival: Micros,
+        buckets: &[Bucket],
+        health: &HealthMap,
+    ) -> Result<SessionOutcome, SessionError> {
+        self.submit_faulted(system, alloc, solver, ws, arrival, buckets, health, true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn submit_faulted<A: ReplicaSource + ?Sized, S: RetrievalSolver + ?Sized>(
+        &mut self,
+        system: &SystemConfig,
+        alloc: &A,
+        solver: &S,
+        ws: &mut Workspace,
+        arrival: Micros,
+        buckets: &[Bucket],
+        health: &HealthMap,
+        best_effort: bool,
+    ) -> Result<SessionOutcome, SessionError> {
         if arrival < self.now {
             return Err(SessionError::NonMonotoneArrival {
                 arrival,
@@ -111,28 +197,64 @@ impl SessionState {
         }
         self.now = arrival;
 
-        // Bring the cached instance up to date. If the bucket set repeats
-        // (the common case for a hot query), the topology is already
-        // right and only the disk loads changed; otherwise rebuild the
-        // topology in place.
-        let reuse_topology = self
-            .instance
-            .as_ref()
-            .is_some_and(|inst| inst.buckets == buckets && inst.num_disks() == system.num_disks());
-        if !reuse_topology {
-            match self.instance.as_mut() {
-                Some(inst) => inst
-                    .rebuild_in(system, alloc, buckets)
-                    .expect("no disks failed, every bucket has a replica"),
-                None => {
-                    self.instance = Some(RetrievalInstance::build(system, alloc, buckets));
-                }
+        // Partition out buckets that lost every replica. With no offline
+        // disks this is skipped entirely — the healthy path copies
+        // nothing.
+        let target: &[Bucket] = if health.any_offline() {
+            fault::partition_by_health(
+                alloc,
+                buckets,
+                health,
+                &mut self.servable_buf,
+                &mut self.unservable_buf,
+            );
+            if !self.unservable_buf.is_empty() && !best_effort {
+                return Err(SessionError::Solve(SolveError::Infeasible {
+                    bucket: Some(self.unservable_buf[0]),
+                    delivered: self.servable_buf.len() as i64,
+                    required: buckets.len() as i64,
+                }));
             }
+            &self.servable_buf
+        } else {
+            self.unservable_buf.clear();
+            buckets
+        };
+
+        // Bring the cached instance up to date. If the bucket set repeats
+        // under the same health (the common case for a hot query), the
+        // topology is already right and only the disk loads changed;
+        // otherwise rebuild the topology in place.
+        let fp = health.fingerprint();
+        let reuse_topology = self.instance.as_ref().is_some_and(|inst| {
+            inst.buckets == target && inst.num_disks() == system.num_disks() && self.health_fp == fp
+        });
+        if !reuse_topology {
+            let rebuilt = match self.instance.as_mut() {
+                Some(inst) => inst.rebuild_with_health(system, alloc, target, health),
+                None => RetrievalInstance::build_with_health(system, alloc, target, health)
+                    .map(|inst| self.instance = Some(inst)),
+            };
+            // `partition_by_health` already removed every dead bucket, so
+            // a rebuild can only fail if a bucket has no replica at all —
+            // surface that as infeasibility rather than panicking.
+            if let Err(u) = rebuilt {
+                self.instance = None;
+                return Err(SessionError::Solve(SolveError::Infeasible {
+                    bucket: Some(u.bucket),
+                    delivered: 0,
+                    required: buckets.len() as i64,
+                }));
+            }
+            self.health_fp = fp;
         }
         let inst = self.instance.as_mut().expect("instance cached above");
+        // Degraded disks present their inflated configured load; the busy
+        // backlog from earlier queries is added unscaled (it is already
+        // measured in wall time).
         for (j, d) in inst.disks.iter_mut().enumerate() {
-            d.initial_load =
-                system.disk(j).initial_load + self.busy_until[j].saturating_sub(arrival);
+            let base = health.apply(j, system.disk(j));
+            d.initial_load = base.initial_load + self.busy_until[j].saturating_sub(arrival);
         }
 
         let outcome = solver.solve_in(inst, ws)?;
@@ -152,6 +274,7 @@ impl SessionState {
             completion: arrival + outcome.response_time,
             outcome,
             arrival,
+            unservable: self.unservable_buf.clone(),
         })
     }
 }
@@ -214,6 +337,47 @@ impl<'a, A: ReplicaSource, S: RetrievalSolver> RetrievalSession<'a, A, S> {
             buckets,
         )
     }
+
+    /// Strict fault-aware submit: plans around `health` (offline replicas
+    /// pruned, degraded disks slowed) and fails with
+    /// [`SolveError::Infeasible`] if any bucket lost every replica. See
+    /// [`SessionState::submit_with_health`].
+    pub fn submit_with_health(
+        &mut self,
+        arrival: Micros,
+        buckets: &[Bucket],
+        health: &HealthMap,
+    ) -> Result<SessionOutcome, SessionError> {
+        self.state.submit_with_health(
+            self.system,
+            self.alloc,
+            &self.solver,
+            &mut self.workspace,
+            arrival,
+            buckets,
+            health,
+        )
+    }
+
+    /// Best-effort fault-aware submit: unservable buckets are reported in
+    /// [`SessionOutcome::unservable`] instead of failing the query. See
+    /// [`SessionState::submit_degraded_with`].
+    pub fn submit_degraded(
+        &mut self,
+        arrival: Micros,
+        buckets: &[Bucket],
+        health: &HealthMap,
+    ) -> Result<SessionOutcome, SessionError> {
+        self.state.submit_degraded_with(
+            self.system,
+            self.alloc,
+            &self.solver,
+            &mut self.workspace,
+            arrival,
+            buckets,
+            health,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -269,7 +433,7 @@ mod tests {
         let (system, alloc) = setup();
         let mut session = RetrievalSession::new(&system, &alloc, PushRelabelBinary);
         let q = RangeQuery::new(0, 0, 1, 5);
-        session.submit(Micros::ZERO, &q.buckets(5)).unwrap();
+        let _ = session.submit(Micros::ZERO, &q.buckets(5)).unwrap();
         // Arrive after the disks are idle again: no queueing.
         let late = session
             .submit(Micros::from_millis(50), &q.buckets(5))
@@ -306,7 +470,7 @@ mod tests {
         let (system, alloc) = setup();
         let mut session = RetrievalSession::new(&system, &alloc, PushRelabelBinary);
         let q = RangeQuery::new(0, 0, 1, 1);
-        session
+        let _ = session
             .submit(Micros::from_millis(10), &q.buckets(5))
             .unwrap();
         let err = session
@@ -333,7 +497,7 @@ mod tests {
         let (system, alloc) = setup();
         let mut session = RetrievalSession::new(&system, &alloc, FordFulkersonBasic);
         let q = RangeQuery::new(0, 0, 1, 5);
-        session.submit(Micros::ZERO, &q.buckets(5)).unwrap();
+        let _ = session.submit(Micros::ZERO, &q.buckets(5)).unwrap();
         let err = session.submit(Micros::ZERO, &q.buckets(5)).unwrap_err();
         assert!(matches!(
             err,

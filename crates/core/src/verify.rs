@@ -6,9 +6,13 @@
 //! optimum oracle (linear scan of candidate budgets with a Dinic max-flow,
 //! sharing no code with the solvers under test).
 
+use crate::fault::{HealthMap, PartialSchedule};
 use crate::network::RetrievalInstance;
 use crate::schedule::RetrievalOutcome;
+use rds_decluster::allocation::ReplicaSource;
+use rds_decluster::query::Bucket;
 use rds_flow::dinic::Dinic;
+use rds_storage::model::SystemConfig;
 use rds_storage::time::Micros;
 
 /// Computes the optimal response time by brute force: every achievable
@@ -75,6 +79,67 @@ pub fn assert_outcome_valid(inst: &RetrievalInstance, outcome: &RetrievalOutcome
         outcome.schedule.response_time(&inst.disks),
         "reported response time must match the schedule"
     );
+}
+
+/// Asserts the validity of a best-effort [`PartialSchedule`] produced
+/// under `health` for the request `requested`:
+///
+/// * served and unservable buckets partition the request, in order;
+/// * every unservable bucket truly has all replicas offline, and every
+///   served bucket has at least one live replica;
+/// * no served bucket is assigned to an offline disk;
+/// * the embedded outcome passes [`assert_outcome_valid`] against the
+///   instance rebuilt from the servable subset under the same health.
+pub fn assert_partial_outcome_valid<A: ReplicaSource + ?Sized>(
+    system: &SystemConfig,
+    alloc: &A,
+    health: &HealthMap,
+    requested: &[Bucket],
+    partial: &PartialSchedule,
+) {
+    let served: Vec<Bucket> = partial
+        .outcome
+        .schedule
+        .assignments()
+        .iter()
+        .map(|&(b, _)| b)
+        .collect();
+    let mut merged = Vec::with_capacity(requested.len());
+    let (mut si, mut ui) = (0, 0);
+    for &b in requested {
+        if si < served.len() && served[si] == b {
+            si += 1;
+        } else if ui < partial.unservable.len() && partial.unservable[ui] == b {
+            ui += 1;
+        } else {
+            panic!("bucket {b} neither served nor reported unservable");
+        }
+        merged.push(b);
+    }
+    assert_eq!(si, served.len(), "schedule serves buckets never requested");
+    assert_eq!(
+        ui,
+        partial.unservable.len(),
+        "unservable list contains buckets never requested"
+    );
+
+    for &b in &partial.unservable {
+        let live = alloc.replicas(b).iter().any(|d| !health.is_offline(d));
+        assert!(
+            !live,
+            "bucket {b} reported unservable but has a live replica"
+        );
+    }
+    for &(b, d) in partial.outcome.schedule.assignments() {
+        assert!(
+            !health.is_offline(d),
+            "bucket {b} scheduled on offline disk {d}"
+        );
+    }
+
+    let inst = RetrievalInstance::build_with_health(system, alloc, &served, health)
+        .expect("served buckets all have live replicas");
+    assert_outcome_valid(&inst, &partial.outcome);
 }
 
 /// Asserts that `outcome` is valid **and** optimal per the oracle.

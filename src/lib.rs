@@ -66,8 +66,11 @@ pub use rds_storage as storage;
 pub mod prelude {
     pub use rds_core::{
         blackbox::{BlackBoxFordFulkerson, BlackBoxPushRelabel},
-        engine::{BatchQuery, Engine, EngineStats},
-        error::{SessionError, SolveError},
+        engine::{BatchQuery, Engine, EngineStats, RetryPolicy},
+        error::{EngineError, SessionError, SolveError},
+        fault::{
+            solve_degraded, DiskHealth, FaultEvent, FaultInjector, HealthMap, PartialSchedule,
+        },
         ff::{FordFulkersonBasic, FordFulkersonIncremental},
         network::{RetrievalInstance, UnavailableBucket},
         parallel::ParallelPushRelabelBinary,

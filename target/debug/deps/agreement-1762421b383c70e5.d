@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agreement-1762421b383c70e5.d: tests/agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagreement-1762421b383c70e5.rmeta: tests/agreement.rs Cargo.toml
+
+tests/agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agreement-232560a3a1cf944b.d: tests/agreement.rs
+
+/root/repo/target/debug/deps/agreement-232560a3a1cf944b: tests/agreement.rs
+
+tests/agreement.rs:

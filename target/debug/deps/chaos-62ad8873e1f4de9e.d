@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-62ad8873e1f4de9e.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-62ad8873e1f4de9e: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-9f4b86ed574af7ea.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-9f4b86ed574af7ea.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-b009a6c5edd9d8d9.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-b009a6c5edd9d8d9: tests/determinism.rs
+
+tests/determinism.rs:

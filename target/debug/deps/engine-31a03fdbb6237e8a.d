@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-31a03fdbb6237e8a.d: tests/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-31a03fdbb6237e8a.rmeta: tests/engine.rs Cargo.toml
+
+tests/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

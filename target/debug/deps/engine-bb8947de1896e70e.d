@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-bb8947de1896e70e.d: tests/engine.rs
+
+/root/repo/target/debug/deps/engine-bb8947de1896e70e: tests/engine.rs
+
+tests/engine.rs:

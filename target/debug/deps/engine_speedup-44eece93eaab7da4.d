@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_speedup-44eece93eaab7da4.d: crates/bench/src/bin/engine_speedup.rs
+
+/root/repo/target/debug/deps/engine_speedup-44eece93eaab7da4: crates/bench/src/bin/engine_speedup.rs
+
+crates/bench/src/bin/engine_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_speedup-f5def028516a8f55.d: crates/bench/src/bin/engine_speedup.rs
+
+/root/repo/target/debug/deps/engine_speedup-f5def028516a8f55: crates/bench/src/bin/engine_speedup.rs
+
+crates/bench/src/bin/engine_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-d6faeed22dd6ce98.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-d6faeed22dd6ce98: tests/extensions.rs
+
+tests/extensions.rs:

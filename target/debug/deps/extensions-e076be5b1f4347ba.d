@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-e076be5b1f4347ba.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-e076be5b1f4347ba.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-61d571b461c9cf67.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-61d571b461c9cf67: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-e162bb7737c1483d.d: tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-e162bb7737c1483d.rmeta: tests/failure_injection.rs Cargo.toml
+
+tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-531ad19ab4aa4380.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-531ad19ab4aa4380: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

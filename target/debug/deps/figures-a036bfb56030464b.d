@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-a036bfb56030464b.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-a036bfb56030464b: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

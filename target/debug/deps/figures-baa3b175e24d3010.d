@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-baa3b175e24d3010.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-baa3b175e24d3010: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-ea0d9b49f6460a00.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-ea0d9b49f6460a00: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

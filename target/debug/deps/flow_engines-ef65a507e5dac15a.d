@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_engines-ef65a507e5dac15a.d: crates/bench/benches/flow_engines.rs
+
+/root/repo/target/debug/deps/flow_engines-ef65a507e5dac15a: crates/bench/benches/flow_engines.rs
+
+crates/bench/benches/flow_engines.rs:

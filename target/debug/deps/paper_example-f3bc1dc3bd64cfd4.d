@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_example-f3bc1dc3bd64cfd4.d: tests/paper_example.rs
+
+/root/repo/target/debug/deps/paper_example-f3bc1dc3bd64cfd4: tests/paper_example.rs
+
+tests/paper_example.rs:

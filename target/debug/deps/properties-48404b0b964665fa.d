@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-48404b0b964665fa.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-48404b0b964665fa.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

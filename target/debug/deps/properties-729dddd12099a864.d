@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-729dddd12099a864.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-729dddd12099a864: tests/properties.rs
+
+tests/properties.rs:

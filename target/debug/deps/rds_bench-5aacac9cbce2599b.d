@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rds_bench-5aacac9cbce2599b.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/rds_bench-5aacac9cbce2599b: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/rds_core-2a31e571a859e7e3.d: crates/core/src/lib.rs crates/core/src/blackbox.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/ff.rs crates/core/src/increment.rs crates/core/src/network.rs crates/core/src/parallel.rs crates/core/src/pr.rs crates/core/src/schedule.rs crates/core/src/session.rs crates/core/src/solver.rs crates/core/src/verify.rs crates/core/src/workspace.rs
+/root/repo/target/debug/deps/rds_core-2a31e571a859e7e3.d: crates/core/src/lib.rs crates/core/src/blackbox.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/ff.rs crates/core/src/increment.rs crates/core/src/network.rs crates/core/src/parallel.rs crates/core/src/pr.rs crates/core/src/schedule.rs crates/core/src/session.rs crates/core/src/solver.rs crates/core/src/verify.rs crates/core/src/workspace.rs
 
-/root/repo/target/debug/deps/rds_core-2a31e571a859e7e3: crates/core/src/lib.rs crates/core/src/blackbox.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/ff.rs crates/core/src/increment.rs crates/core/src/network.rs crates/core/src/parallel.rs crates/core/src/pr.rs crates/core/src/schedule.rs crates/core/src/session.rs crates/core/src/solver.rs crates/core/src/verify.rs crates/core/src/workspace.rs
+/root/repo/target/debug/deps/rds_core-2a31e571a859e7e3: crates/core/src/lib.rs crates/core/src/blackbox.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/ff.rs crates/core/src/increment.rs crates/core/src/network.rs crates/core/src/parallel.rs crates/core/src/pr.rs crates/core/src/schedule.rs crates/core/src/session.rs crates/core/src/solver.rs crates/core/src/verify.rs crates/core/src/workspace.rs
 
 crates/core/src/lib.rs:
 crates/core/src/blackbox.rs:
 crates/core/src/engine.rs:
 crates/core/src/error.rs:
+crates/core/src/fault.rs:
 crates/core/src/ff.rs:
 crates/core/src/increment.rs:
 crates/core/src/network.rs:

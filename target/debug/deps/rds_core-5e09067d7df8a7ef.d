@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/rds_core-5e09067d7df8a7ef.d: crates/core/src/lib.rs crates/core/src/blackbox.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/ff.rs crates/core/src/increment.rs crates/core/src/network.rs crates/core/src/parallel.rs crates/core/src/pr.rs crates/core/src/schedule.rs crates/core/src/session.rs crates/core/src/solver.rs crates/core/src/verify.rs crates/core/src/workspace.rs Cargo.toml
+
+/root/repo/target/debug/deps/librds_core-5e09067d7df8a7ef.rmeta: crates/core/src/lib.rs crates/core/src/blackbox.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/ff.rs crates/core/src/increment.rs crates/core/src/network.rs crates/core/src/parallel.rs crates/core/src/pr.rs crates/core/src/schedule.rs crates/core/src/session.rs crates/core/src/solver.rs crates/core/src/verify.rs crates/core/src/workspace.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/blackbox.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/fault.rs:
+crates/core/src/ff.rs:
+crates/core/src/increment.rs:
+crates/core/src/network.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pr.rs:
+crates/core/src/schedule.rs:
+crates/core/src/session.rs:
+crates/core/src/solver.rs:
+crates/core/src/verify.rs:
+crates/core/src/workspace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

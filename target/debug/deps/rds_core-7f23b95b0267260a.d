@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/rds_core-7f23b95b0267260a.d: crates/core/src/lib.rs crates/core/src/blackbox.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/ff.rs crates/core/src/increment.rs crates/core/src/network.rs crates/core/src/parallel.rs crates/core/src/pr.rs crates/core/src/schedule.rs crates/core/src/session.rs crates/core/src/solver.rs crates/core/src/verify.rs crates/core/src/workspace.rs
+/root/repo/target/debug/deps/rds_core-7f23b95b0267260a.d: crates/core/src/lib.rs crates/core/src/blackbox.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/ff.rs crates/core/src/increment.rs crates/core/src/network.rs crates/core/src/parallel.rs crates/core/src/pr.rs crates/core/src/schedule.rs crates/core/src/session.rs crates/core/src/solver.rs crates/core/src/verify.rs crates/core/src/workspace.rs
 
-/root/repo/target/debug/deps/librds_core-7f23b95b0267260a.rlib: crates/core/src/lib.rs crates/core/src/blackbox.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/ff.rs crates/core/src/increment.rs crates/core/src/network.rs crates/core/src/parallel.rs crates/core/src/pr.rs crates/core/src/schedule.rs crates/core/src/session.rs crates/core/src/solver.rs crates/core/src/verify.rs crates/core/src/workspace.rs
+/root/repo/target/debug/deps/librds_core-7f23b95b0267260a.rlib: crates/core/src/lib.rs crates/core/src/blackbox.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/ff.rs crates/core/src/increment.rs crates/core/src/network.rs crates/core/src/parallel.rs crates/core/src/pr.rs crates/core/src/schedule.rs crates/core/src/session.rs crates/core/src/solver.rs crates/core/src/verify.rs crates/core/src/workspace.rs
 
-/root/repo/target/debug/deps/librds_core-7f23b95b0267260a.rmeta: crates/core/src/lib.rs crates/core/src/blackbox.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/ff.rs crates/core/src/increment.rs crates/core/src/network.rs crates/core/src/parallel.rs crates/core/src/pr.rs crates/core/src/schedule.rs crates/core/src/session.rs crates/core/src/solver.rs crates/core/src/verify.rs crates/core/src/workspace.rs
+/root/repo/target/debug/deps/librds_core-7f23b95b0267260a.rmeta: crates/core/src/lib.rs crates/core/src/blackbox.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/ff.rs crates/core/src/increment.rs crates/core/src/network.rs crates/core/src/parallel.rs crates/core/src/pr.rs crates/core/src/schedule.rs crates/core/src/session.rs crates/core/src/solver.rs crates/core/src/verify.rs crates/core/src/workspace.rs
 
 crates/core/src/lib.rs:
 crates/core/src/blackbox.rs:
 crates/core/src/engine.rs:
 crates/core/src/error.rs:
+crates/core/src/fault.rs:
 crates/core/src/ff.rs:
 crates/core/src/increment.rs:
 crates/core/src/network.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replicated_retrieval-ac8ad5efcdc2a1c6.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplicated_retrieval-ac8ad5efcdc2a1c6.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/replicated_retrieval-b8cebec2c35c9828.d: src/lib.rs
+
+/root/repo/target/debug/deps/libreplicated_retrieval-b8cebec2c35c9828.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libreplicated_retrieval-b8cebec2c35c9828.rmeta: src/lib.rs
+
+src/lib.rs:

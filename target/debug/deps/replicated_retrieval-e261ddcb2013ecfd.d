@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replicated_retrieval-e261ddcb2013ecfd.d: src/lib.rs
+
+/root/repo/target/debug/deps/replicated_retrieval-e261ddcb2013ecfd: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/response_times-5e765f87a1adbfab.d: crates/bench/src/bin/response_times.rs
+
+/root/repo/target/debug/deps/response_times-5e765f87a1adbfab: crates/bench/src/bin/response_times.rs
+
+crates/bench/src/bin/response_times.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/response_times-944dac918b8bb5fb.d: crates/bench/src/bin/response_times.rs
+
+/root/repo/target/debug/deps/response_times-944dac918b8bb5fb: crates/bench/src/bin/response_times.rs
+
+crates/bench/src/bin/response_times.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-6a8dd1fc96a4344c.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-6a8dd1fc96a4344c: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-a760dbb801e5162b.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-a760dbb801e5162b: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

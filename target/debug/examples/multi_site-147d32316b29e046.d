@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_site-147d32316b29e046.d: examples/multi_site.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_site-147d32316b29e046.rmeta: examples/multi_site.rs Cargo.toml
+
+examples/multi_site.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

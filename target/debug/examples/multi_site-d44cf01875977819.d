@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_site-d44cf01875977819.d: examples/multi_site.rs
+
+/root/repo/target/debug/examples/multi_site-d44cf01875977819: examples/multi_site.rs
+
+examples/multi_site.rs:

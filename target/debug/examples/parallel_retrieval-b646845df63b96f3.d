@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_retrieval-b646845df63b96f3.d: examples/parallel_retrieval.rs
+
+/root/repo/target/debug/examples/parallel_retrieval-b646845df63b96f3: examples/parallel_retrieval.rs
+
+examples/parallel_retrieval.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parallel_retrieval-cc4af5c38cb21fc8.d: examples/parallel_retrieval.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallel_retrieval-cc4af5c38cb21fc8.rmeta: examples/parallel_retrieval.rs Cargo.toml
+
+examples/parallel_retrieval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

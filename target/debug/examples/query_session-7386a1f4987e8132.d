@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/query_session-7386a1f4987e8132.d: examples/query_session.rs
+
+/root/repo/target/debug/examples/query_session-7386a1f4987e8132: examples/query_session.rs
+
+examples/query_session.rs:

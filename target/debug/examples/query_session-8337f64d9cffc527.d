@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/query_session-8337f64d9cffc527.d: examples/query_session.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquery_session-8337f64d9cffc527.rmeta: examples/query_session.rs Cargo.toml
+
+examples/query_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

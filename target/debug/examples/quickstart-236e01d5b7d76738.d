@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-236e01d5b7d76738.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-236e01d5b7d76738: examples/quickstart.rs
+
+examples/quickstart.rs:

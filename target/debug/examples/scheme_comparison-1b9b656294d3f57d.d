@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheme_comparison-1b9b656294d3f57d.d: examples/scheme_comparison.rs
+
+/root/repo/target/debug/examples/scheme_comparison-1b9b656294d3f57d: examples/scheme_comparison.rs
+
+examples/scheme_comparison.rs:

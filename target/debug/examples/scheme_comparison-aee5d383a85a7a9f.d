@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheme_comparison-aee5d383a85a7a9f.d: examples/scheme_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheme_comparison-aee5d383a85a7a9f.rmeta: examples/scheme_comparison.rs Cargo.toml
+
+examples/scheme_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_speedup-91b27c3e265529d2.d: crates/bench/src/bin/engine_speedup.rs
+
+/root/repo/target/release/deps/engine_speedup-91b27c3e265529d2: crates/bench/src/bin/engine_speedup.rs
+
+crates/bench/src/bin/engine_speedup.rs:

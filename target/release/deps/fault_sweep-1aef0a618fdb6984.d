@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_sweep-1aef0a618fdb6984.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/release/deps/fault_sweep-1aef0a618fdb6984: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-4deb707b766ae976.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-4deb707b766ae976: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

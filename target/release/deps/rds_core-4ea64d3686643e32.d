@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/rds_core-4ea64d3686643e32.d: crates/core/src/lib.rs crates/core/src/blackbox.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/ff.rs crates/core/src/increment.rs crates/core/src/network.rs crates/core/src/parallel.rs crates/core/src/pr.rs crates/core/src/schedule.rs crates/core/src/session.rs crates/core/src/solver.rs crates/core/src/verify.rs crates/core/src/workspace.rs
+
+/root/repo/target/release/deps/librds_core-4ea64d3686643e32.rlib: crates/core/src/lib.rs crates/core/src/blackbox.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/ff.rs crates/core/src/increment.rs crates/core/src/network.rs crates/core/src/parallel.rs crates/core/src/pr.rs crates/core/src/schedule.rs crates/core/src/session.rs crates/core/src/solver.rs crates/core/src/verify.rs crates/core/src/workspace.rs
+
+/root/repo/target/release/deps/librds_core-4ea64d3686643e32.rmeta: crates/core/src/lib.rs crates/core/src/blackbox.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/ff.rs crates/core/src/increment.rs crates/core/src/network.rs crates/core/src/parallel.rs crates/core/src/pr.rs crates/core/src/schedule.rs crates/core/src/session.rs crates/core/src/solver.rs crates/core/src/verify.rs crates/core/src/workspace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/blackbox.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/fault.rs:
+crates/core/src/ff.rs:
+crates/core/src/increment.rs:
+crates/core/src/network.rs:
+crates/core/src/parallel.rs:
+crates/core/src/pr.rs:
+crates/core/src/schedule.rs:
+crates/core/src/session.rs:
+crates/core/src/solver.rs:
+crates/core/src/verify.rs:
+crates/core/src/workspace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/replicated_retrieval-d24b8494550e6e03.d: src/lib.rs
+
+/root/repo/target/release/deps/libreplicated_retrieval-d24b8494550e6e03.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libreplicated_retrieval-d24b8494550e6e03.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_probe-395b3198adc1e1d2.d: examples/_probe.rs
+
+/root/repo/target/release/examples/_probe-395b3198adc1e1d2: examples/_probe.rs
+
+examples/_probe.rs:

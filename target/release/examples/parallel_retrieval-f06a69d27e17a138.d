@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/parallel_retrieval-f06a69d27e17a138.d: examples/parallel_retrieval.rs
+
+/root/repo/target/release/examples/parallel_retrieval-f06a69d27e17a138: examples/parallel_retrieval.rs
+
+examples/parallel_retrieval.rs:

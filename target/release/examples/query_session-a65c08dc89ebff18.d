@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/query_session-a65c08dc89ebff18.d: examples/query_session.rs
+
+/root/repo/target/release/examples/query_session-a65c08dc89ebff18: examples/query_session.rs
+
+examples/query_session.rs:

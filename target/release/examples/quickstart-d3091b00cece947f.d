@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d3091b00cece947f.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d3091b00cece947f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -151,7 +151,9 @@ fn malformed_input_is_an_error_not_a_panic() {
     assert!(results[0].is_ok());
     assert!(matches!(
         results[1],
-        Err(SessionError::NonMonotoneArrival { .. })
+        Err(EngineError::Session(
+            SessionError::NonMonotoneArrival { .. }
+        ))
     ));
 
     // FF-basic's precondition violation (heterogeneous Table II system).

@@ -138,7 +138,7 @@ fn long_session_drains() {
     for _ in 0..20 {
         let q = gen.next_query().buckets(n);
         t += Micros::from_millis(1);
-        session.submit(t, &q).unwrap();
+        let _ = session.submit(t, &q).unwrap();
     }
     assert_eq!(session.queries_served(), 20);
     // Jump far into the future: everything drained.

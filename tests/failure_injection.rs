@@ -1,14 +1,29 @@
 //! Degenerate and adversarial instances: the solvers must stay correct at
 //! the edges of the model.
 
-use replicated_retrieval::core::blackbox::BlackBoxPushRelabel;
+use replicated_retrieval::core::blackbox::{BlackBoxFordFulkerson, BlackBoxPushRelabel};
 use replicated_retrieval::core::ff::FordFulkersonIncremental;
 use replicated_retrieval::core::parallel::ParallelPushRelabelBinary;
 use replicated_retrieval::core::pr::{PushRelabelBinary, PushRelabelIncremental};
-use replicated_retrieval::core::verify::{assert_outcome_valid, oracle_optimal_response};
+use replicated_retrieval::core::verify::{
+    assert_outcome_valid, assert_partial_outcome_valid, oracle_optimal_response,
+};
 use replicated_retrieval::decluster::allocation::Replicas;
 use replicated_retrieval::prelude::*;
 use replicated_retrieval::storage::specs;
+
+/// Every generalized solver (FF-basic is exercised separately — it only
+/// accepts homogeneous unloaded instances).
+fn generalized_solvers() -> Vec<Box<dyn RetrievalSolver>> {
+    vec![
+        Box::new(PushRelabelBinary),
+        Box::new(PushRelabelIncremental),
+        Box::new(FordFulkersonIncremental),
+        Box::new(BlackBoxPushRelabel),
+        Box::new(BlackBoxFordFulkerson),
+        Box::new(ParallelPushRelabelBinary::new(2)),
+    ]
+}
 
 /// Single-replica allocation forcing every bucket onto one disk: the
 /// worst case the paper's complexity analysis cites (O(|Q|) increments).
@@ -157,6 +172,142 @@ fn duplicate_buckets_in_query_are_distinct_vertices() {
     let outcome = PushRelabelBinary.solve(&inst).unwrap();
     assert_eq!(outcome.flow_value, 2);
     assert_outcome_valid(&inst, &outcome);
+}
+
+#[test]
+fn offline_replicas_reroute_for_every_solver() {
+    // Take one replica disk of a single-bucket query offline: every
+    // solver must route to the surviving replica and stay optimal for
+    // the pruned instance.
+    let system = paper_example();
+    let alloc = OrthogonalAllocation::paper_7x7();
+    let buckets = RangeQuery::new(2, 3, 2, 2).buckets(7);
+    let dead = alloc.replicas(buckets[0]).iter().next().unwrap();
+    let health = HealthMap::with_offline(&[dead]);
+    let inst = RetrievalInstance::build_with_health(&system, &alloc, &buckets, &health).unwrap();
+    let want = oracle_optimal_response(&inst);
+    for solver in generalized_solvers() {
+        let outcome = solver.solve(&inst).unwrap();
+        assert_outcome_valid(&inst, &outcome);
+        assert_eq!(outcome.response_time, want, "{}", solver.name());
+        assert!(
+            outcome
+                .schedule
+                .assignments()
+                .iter()
+                .all(|&(_, d)| d != dead),
+            "{} used the offline disk",
+            solver.name()
+        );
+    }
+}
+
+#[test]
+fn all_replicas_down_is_typed_infeasibility_for_every_solver() {
+    let system = paper_example();
+    let alloc = OrthogonalAllocation::paper_7x7();
+    let buckets = RangeQuery::new(0, 0, 1, 1).buckets(7);
+    let dead: Vec<usize> = alloc.replicas(buckets[0]).iter().collect();
+    let health = HealthMap::with_offline(&dead);
+
+    // Building the instance reports the dead bucket...
+    let err = RetrievalInstance::build_with_health(&system, &alloc, &buckets, &health).unwrap_err();
+    assert_eq!(err.bucket, buckets[0]);
+
+    // ...and a strict session submit surfaces it as SolveError::Infeasible
+    // for every solver, without poisoning the session.
+    for solver in generalized_solvers() {
+        let mut state = SessionState::new(system.num_disks());
+        let mut ws = Workspace::new();
+        let err = state
+            .submit_with_health(
+                &system,
+                &alloc,
+                solver.as_ref(),
+                &mut ws,
+                Micros::ZERO,
+                &buckets,
+                &health,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::Solve(SolveError::Infeasible {
+                bucket: Some(buckets[0]),
+                delivered: 0,
+                required: 1,
+            }),
+            "{}",
+            solver.name()
+        );
+        // The session stays usable: the same query under full health.
+        let ok = state
+            .submit_with(
+                &system,
+                &alloc,
+                solver.as_ref(),
+                &mut ws,
+                Micros::ZERO,
+                &buckets,
+            )
+            .unwrap();
+        assert_eq!(ok.outcome.flow_value, 1);
+    }
+}
+
+#[test]
+fn solve_degraded_serves_the_survivors_for_every_solver() {
+    let system = paper_example();
+    let alloc = OrthogonalAllocation::paper_7x7();
+    let buckets = RangeQuery::new(0, 0, 2, 3).buckets(7);
+    // Kill every replica of one bucket, one replica of another.
+    let mut dead: Vec<usize> = alloc.replicas(buckets[1]).iter().collect();
+    dead.push(alloc.replicas(buckets[4]).iter().next().unwrap());
+    let health = HealthMap::with_offline(&dead);
+
+    for solver in generalized_solvers() {
+        let mut ws = Workspace::new();
+        let partial = replicated_retrieval::core::fault::solve_degraded(
+            solver.as_ref(),
+            &system,
+            &alloc,
+            &buckets,
+            &health,
+            &mut ws,
+        )
+        .unwrap();
+        assert_partial_outcome_valid(&system, &alloc, &health, &buckets, &partial);
+        assert!(!partial.is_complete(), "{}", solver.name());
+        assert!(partial.unservable.contains(&buckets[1]));
+        assert_eq!(partial.served() + partial.dropped(), buckets.len());
+    }
+}
+
+#[test]
+fn degraded_disk_breaks_ff_basic_homogeneity() {
+    // A Degraded health entry inflates one disk's cost, so FF-basic's
+    // homogeneous-system precondition fails — as UnsupportedSystem, not a
+    // wrong schedule.
+    let system = SystemConfig::homogeneous(specs::CHEETAH, 5);
+    let alloc = OrthogonalAllocation::new(5, Placement::SingleSite);
+    let buckets = RangeQuery::new(0, 0, 1, 3).buckets(5);
+    let mut health = HealthMap::all_healthy();
+    health.set(2, DiskHealth::Degraded { load_factor: 250 });
+    let inst = RetrievalInstance::build_with_health(&system, &alloc, &buckets, &health).unwrap();
+    assert!(matches!(
+        FordFulkersonBasic.solve(&inst),
+        Err(SolveError::UnsupportedSystem { .. })
+    ));
+    // The generalized solvers absorb the degradation and stay optimal.
+    let want = oracle_optimal_response(&inst);
+    for solver in generalized_solvers() {
+        assert_eq!(
+            solver.solve(&inst).unwrap().response_time,
+            want,
+            "{}",
+            solver.name()
+        );
+    }
 }
 
 #[test]

@@ -199,6 +199,86 @@ fn no_cheaper_budget_is_feasible() {
     }
 }
 
+/// Taking a disk offline can never *decrease* the optimal response time:
+/// any schedule feasible without the disk is feasible with it.
+#[test]
+fn offline_disk_never_improves_the_optimum() {
+    let mut rng = SplitMix64::seed_from_u64(0x9A7);
+    let mut checked = 0;
+    for _ in 0..24 {
+        let n = rng.gen_range(3..6usize);
+        let seed = rng.gen_range(0..500u64);
+        let r = rng.gen_range(1..5usize).min(n);
+        let c = rng.gen_range(1..5usize).min(n);
+        let system = arb_system(n, seed);
+        let alloc = arb_alloc(n, seed);
+        let buckets = RangeQuery::new(0, 0, r, c).buckets(n);
+        let full = RetrievalInstance::build(&system, &alloc, &buckets);
+        let base = oracle_optimal_response(&full);
+
+        let dead = rng.gen_range(0..system.num_disks());
+        let health = HealthMap::with_offline(&[dead]);
+        // If the outage makes some bucket unservable the comparison is
+        // moot (infinite optimum — trivially not an improvement).
+        let Ok(pruned) = RetrievalInstance::build_with_health(&system, &alloc, &buckets, &health)
+        else {
+            continue;
+        };
+        let worse = oracle_optimal_response(&pruned);
+        assert!(
+            worse >= base,
+            "losing disk {dead} improved {base} to {worse}"
+        );
+        // The integrated solver agrees with the oracle on the pruned
+        // instance too.
+        assert_eq!(
+            PushRelabelBinary.solve(&pruned).unwrap().response_time,
+            worse
+        );
+        checked += 1;
+    }
+    assert!(checked >= 12, "too few effective cases ({checked})");
+}
+
+/// Taking a disk that serves no bucket in *some* optimal schedule offline
+/// leaves the optimum unchanged: that schedule is still feasible without
+/// the disk (upper bound), and fewer disks can't do better (lower bound,
+/// previous property).
+#[test]
+fn offline_unused_disk_leaves_optimum_unchanged() {
+    let mut rng = SplitMix64::seed_from_u64(0x9A8);
+    let mut checked = 0;
+    for _ in 0..24 {
+        let n = rng.gen_range(3..6usize);
+        let seed = rng.gen_range(0..500u64);
+        let r = rng.gen_range(1..5usize).min(n);
+        let c = rng.gen_range(1..5usize).min(n);
+        let system = arb_system(n, seed);
+        let alloc = arb_alloc(n, seed);
+        let buckets = RangeQuery::new(0, 0, r, c).buckets(n);
+        let full = RetrievalInstance::build(&system, &alloc, &buckets);
+        let outcome = PushRelabelBinary.solve(&full).unwrap();
+        assert_eq!(outcome.response_time, oracle_optimal_response(&full));
+
+        let counts = outcome.schedule.per_disk_counts(system.num_disks());
+        let Some(unused) = counts.iter().position(|&k| k == 0) else {
+            continue;
+        };
+        let health = HealthMap::with_offline(&[unused]);
+        let Ok(pruned) = RetrievalInstance::build_with_health(&system, &alloc, &buckets, &health)
+        else {
+            continue;
+        };
+        assert_eq!(
+            oracle_optimal_response(&pruned),
+            outcome.response_time,
+            "losing unused disk {unused} changed the optimum"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 12, "too few effective cases ({checked})");
+}
+
 /// Statistical check: RDA distributes buckets roughly evenly over many
 /// seeds.
 #[test]
