@@ -102,7 +102,7 @@ fn main() -> ExitCode {
                 match r {
                     Ok(o) if o.is_complete() => {
                         complete += 1;
-                        sum_response = sum_response + o.outcome.response_time;
+                        sum_response += o.outcome.response_time;
                     }
                     Ok(o) => {
                         degraded += 1;

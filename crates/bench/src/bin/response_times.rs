@@ -1,6 +1,6 @@
 //! Response-time study: the effect of experiment parameters on the
 //! *optimal response time* itself (the paper §VI-F defers this analysis to
-//! its technical-report companion [12]; this binary reproduces the study
+//! its technical-report companion \[12\]; this binary reproduces the study
 //! on our substrate).
 //!
 //! For every experiment of Table IV and every allocation scheme, prints

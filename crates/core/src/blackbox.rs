@@ -14,11 +14,13 @@
 use crate::error::SolveError;
 use crate::increment::MinCostIncrementer;
 use crate::network::RetrievalInstance;
+use crate::obs::trace::{TraceEvent, Tracer};
 use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
 use crate::workspace::Workspace;
 use rds_flow::ford_fulkerson::ford_fulkerson;
 use rds_flow::graph::FlowGraph;
+use rds_flow::incremental::IncrementalMaxFlow;
 
 /// Runs the binary capacity-scaling driver with a from-scratch max-flow at
 /// every probe and every increment.
@@ -26,10 +28,11 @@ fn blackbox_binary<F>(
     inst: &RetrievalInstance,
     g: &mut FlowGraph,
     stats: &mut SolveStats,
+    tracer: &mut Tracer,
     mut fresh_max_flow: F,
 ) -> Result<(), SolveError>
 where
-    F: FnMut(&mut FlowGraph, &mut SolveStats) -> i64,
+    F: FnMut(&mut FlowGraph, &mut SolveStats, &mut Tracer) -> i64,
 {
     let q = inst.query_size() as i64;
     if q == 0 {
@@ -42,8 +45,13 @@ where
     while t_max - t_min >= min_speed {
         let t_mid = t_min.midpoint(t_max);
         inst.set_caps_for_budget(g, t_mid);
-        let flow = fresh_max_flow(g, stats);
+        tracer.emit(TraceEvent::ProbeStart { budget: t_mid });
+        let flow = fresh_max_flow(g, stats, tracer);
         stats.probes += 1;
+        tracer.emit(TraceEvent::ProbeEnd {
+            budget: t_mid,
+            feasible: flow == q,
+        });
         if flow != q {
             t_min = t_mid;
         } else {
@@ -57,6 +65,9 @@ where
     loop {
         let raised = inc.increment(inst, g);
         stats.increments += 1;
+        tracer.emit(TraceEvent::CapacityIncrement {
+            edges: raised as u32,
+        });
         if raised == 0 {
             return Err(SolveError::Infeasible {
                 bucket: None,
@@ -64,7 +75,7 @@ where
                 required: q,
             });
         }
-        delivered = fresh_max_flow(g, stats);
+        delivered = fresh_max_flow(g, stats, tracer);
         if delivered == q {
             return Ok(());
         }
@@ -90,10 +101,23 @@ impl RetrievalSolver for BlackBoxPushRelabel {
         let mut stats = SolveStats::default();
         let (s, t) = (inst.source(), inst.sink());
         let engine = &mut ws.engine;
-        blackbox_binary(inst, &mut ws.graph, &mut stats, |g, stats| {
-            stats.maxflow_calls += 1;
-            engine.max_flow(g, s, t)
-        })?;
+        blackbox_binary(
+            inst,
+            &mut ws.graph,
+            &mut stats,
+            &mut ws.tracer,
+            |g, stats, tracer| {
+                stats.maxflow_calls += 1;
+                let (pushes_before, relabels_before) = engine.op_counts();
+                let flow = engine.max_flow(g, s, t);
+                let (pushes, relabels) = engine.op_counts();
+                let (pushes, relabels) = (pushes - pushes_before, relabels - relabels_before);
+                stats.pushes += pushes;
+                stats.relabels += relabels;
+                tracer.emit(TraceEvent::RelabelPass { pushes, relabels });
+                flow
+            },
+        )?;
         RetrievalOutcome::try_from_flow(inst, &ws.graph, stats)
     }
 }
@@ -116,11 +140,17 @@ impl RetrievalSolver for BlackBoxFordFulkerson {
         ws.begin(inst);
         let mut stats = SolveStats::default();
         let (s, t) = (inst.source(), inst.sink());
-        blackbox_binary(inst, &mut ws.graph, &mut stats, |g, stats| {
-            stats.maxflow_calls += 1;
-            g.zero_flows();
-            ford_fulkerson(g, s, t)
-        })?;
+        blackbox_binary(
+            inst,
+            &mut ws.graph,
+            &mut stats,
+            &mut ws.tracer,
+            |g, stats, _tracer| {
+                stats.maxflow_calls += 1;
+                g.zero_flows();
+                ford_fulkerson(g, s, t)
+            },
+        )?;
         RetrievalOutcome::try_from_flow(inst, &ws.graph, stats)
     }
 }

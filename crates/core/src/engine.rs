@@ -37,6 +37,8 @@
 
 use crate::error::{EngineError, SessionError, SolveError};
 use crate::fault::{FaultInjector, HealthMap};
+use crate::obs::metrics::{Histogram, LatencySummary, MetricsRegistry};
+use crate::obs::trace::{EventKind, TraceEvent};
 use crate::schedule::SolveStats;
 use crate::session::{SessionOutcome, SessionState};
 use crate::solver::RetrievalSolver;
@@ -130,21 +132,134 @@ impl EngineStats {
     }
 }
 
-/// Counters a shard reports back from one batch run.
-#[derive(Debug, Default, Clone, Copy)]
+/// A point-in-time snapshot of an [`Engine`]'s observability state:
+/// aggregate counters, quantile summaries of the latency histograms, the
+/// histograms themselves, and per-kind trace-event totals.
+///
+/// Produced by [`Engine::metrics_snapshot`]; plain owned data. Use
+/// [`MetricsSnapshot::to_registry`] (or the `to_prometheus`/`to_json`
+/// shorthands) to export it.
+#[must_use]
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct MetricsSnapshot {
+    /// Aggregate counters (queries, errors, retries, …).
+    pub stats: EngineStats,
+    /// Number of shards.
+    pub shards: usize,
+    /// p50/p95/p99 of per-query wall-clock solve time (µs).
+    pub solve_latency_us: LatencySummary,
+    /// p50/p95/p99 of binary-search probes per successful solve.
+    pub probes_per_solve: LatencySummary,
+    /// p50/p95/p99 of simulated queue→completion time (µs).
+    pub turnaround_us: LatencySummary,
+    /// The underlying histograms.
+    pub histograms: EngineMetrics,
+    /// Trace-event totals by [`EventKind`] (all zeros unless tracing was
+    /// enabled with [`Engine::with_tracing`]).
+    pub trace_counts: [u64; EventKind::COUNT],
+}
+
+impl MetricsSnapshot {
+    /// Assembles the snapshot into a named [`MetricsRegistry`] (metric
+    /// names are prefixed `rds_`), ready for Prometheus or JSON export.
+    pub fn to_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.inc_counter("rds_queries_total", self.stats.queries);
+        reg.inc_counter("rds_errors_total", self.stats.errors);
+        reg.inc_counter("rds_batches_total", self.stats.batches);
+        reg.inc_counter("rds_retries_total", self.stats.retries);
+        reg.inc_counter("rds_degraded_solves_total", self.stats.degraded_solves);
+        reg.inc_counter("rds_dropped_buckets_total", self.stats.dropped_buckets);
+        reg.inc_counter("rds_shard_failures_total", self.stats.shard_failures);
+        reg.inc_counter("rds_workspace_solves_total", self.stats.workspace_solves);
+        reg.inc_counter(
+            "rds_elapsed_us_total",
+            self.stats.elapsed.as_micros() as u64,
+        );
+        reg.inc_counter("rds_solver_probes_total", self.stats.solve_stats.probes);
+        reg.inc_counter(
+            "rds_solver_resume_calls_total",
+            self.stats.solve_stats.resume_calls,
+        );
+        reg.inc_counter(
+            "rds_solver_maxflow_calls_total",
+            self.stats.solve_stats.maxflow_calls,
+        );
+        reg.inc_counter(
+            "rds_solver_increments_total",
+            self.stats.solve_stats.increments,
+        );
+        reg.inc_counter(
+            "rds_solver_dfs_calls_total",
+            self.stats.solve_stats.dfs_calls,
+        );
+        reg.inc_counter("rds_solver_pushes_total", self.stats.solve_stats.pushes);
+        reg.inc_counter("rds_solver_relabels_total", self.stats.solve_stats.relabels);
+        reg.set_gauge("rds_shards", self.shards as i64);
+        for kind in EventKind::ALL {
+            let count = self.trace_counts[kind as usize];
+            if count > 0 {
+                reg.inc_counter(&format!("rds_trace_{}_total", kind.name()), count);
+            }
+        }
+        *reg.histogram_mut("rds_solve_latency_us") = self.histograms.solve_latency_us.clone();
+        *reg.histogram_mut("rds_probes_per_solve") = self.histograms.probes_per_solve.clone();
+        *reg.histogram_mut("rds_turnaround_us") = self.histograms.turnaround_us.clone();
+        reg
+    }
+
+    /// Prometheus text exposition of [`MetricsSnapshot::to_registry`].
+    pub fn to_prometheus(&self) -> String {
+        self.to_registry().to_prometheus()
+    }
+
+    /// JSON rendering of [`MetricsSnapshot::to_registry`].
+    pub fn to_json(&self) -> String {
+        self.to_registry().to_json()
+    }
+}
+
+/// The latency histograms an [`Engine`] maintains across batches, merged
+/// from per-shard recordings after each batch (shards record into private
+/// copies, so the hot path never contends).
+#[must_use]
+#[derive(Clone, Debug, Default)]
+#[non_exhaustive]
+pub struct EngineMetrics {
+    /// Wall-clock time spent solving each query (including retries and
+    /// the degraded fallback), in microseconds.
+    pub solve_latency_us: Histogram,
+    /// Binary-search probes per successful solve.
+    pub probes_per_solve: Histogram,
+    /// Simulated queue→completion time per successful query
+    /// (`completion - arrival`), in microseconds.
+    pub turnaround_us: Histogram,
+}
+
+/// Counters and histograms a shard reports back from one batch run.
+#[derive(Debug, Default, Clone)]
 struct ShardTally {
     retries: u64,
     degraded_solves: u64,
     dropped_buckets: u64,
     shard_failures: u64,
+    metrics: EngineMetrics,
 }
 
 impl ShardTally {
-    fn accumulate(&self, stats: &mut EngineStats) {
+    fn accumulate(&self, stats: &mut EngineStats, metrics: &mut EngineMetrics) {
         stats.retries += self.retries;
         stats.degraded_solves += self.degraded_solves;
         stats.dropped_buckets += self.dropped_buckets;
         stats.shard_failures += self.shard_failures;
+        metrics
+            .solve_latency_us
+            .merge(&self.metrics.solve_latency_us);
+        metrics
+            .probes_per_solve
+            .merge(&self.metrics.probes_per_solve);
+        metrics.turnaround_us.merge(&self.metrics.turnaround_us);
     }
 }
 
@@ -192,14 +307,35 @@ impl Shard {
         out: &mut Vec<(usize, Result<SessionOutcome, EngineError>)>,
     ) -> ShardTally {
         let mut tally = ShardTally::default();
+        self.workspace.tracer.emit(TraceEvent::ShardBatch {
+            shard: shard_idx as u32,
+            queries: indices.len() as u32,
+        });
         for &i in indices {
             let q = &queries[i];
             // Contain panics to the query that hit them: the poisoned
             // stream's state is dropped (fresh clock on its next query),
             // everything else in the batch proceeds.
+            let started = std::time::Instant::now();
             let caught = catch_unwind(AssertUnwindSafe(|| self.run_one(ctx, q, &mut tally)));
             match caught {
-                Ok(result) => out.push((i, result)),
+                Ok(result) => {
+                    tally
+                        .metrics
+                        .solve_latency_us
+                        .record(started.elapsed().as_micros() as u64);
+                    if let Ok(o) = &result {
+                        tally
+                            .metrics
+                            .probes_per_solve
+                            .record(o.outcome.stats.probes);
+                        tally
+                            .metrics
+                            .turnaround_us
+                            .record((o.completion - o.arrival).as_micros());
+                    }
+                    out.push((i, result));
+                }
                 Err(_) => {
                     self.states.remove(&q.stream);
                     tally.shard_failures += 1;
@@ -228,6 +364,16 @@ impl Shard {
         } else {
             self.health.reset();
         }
+        // One HealthTransition per change *as observed by this stream* —
+        // streams are pinned to shards, so the event count is identical
+        // for every shard count.
+        let fp = self.health.fingerprint();
+        if fp != state.observed_health_fp {
+            state.observed_health_fp = fp;
+            self.workspace
+                .tracer
+                .emit(TraceEvent::HealthTransition { fingerprint: fp });
+        }
 
         let mut result = state.submit_with_health(
             ctx.system,
@@ -254,6 +400,10 @@ impl Shard {
                     continue;
                 }
                 tally.retries += 1;
+                state.observed_health_fp = self.health.fingerprint();
+                self.workspace
+                    .tracer
+                    .emit(TraceEvent::RetryScheduled { attempt, probe });
                 result = state.submit_with_health(
                     ctx.system,
                     ctx.alloc,
@@ -303,6 +453,7 @@ pub struct Engine<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> {
     solver: S,
     shards: Vec<Shard>,
     stats: EngineStats,
+    metrics: EngineMetrics,
     injector: Option<FaultInjector>,
     retry: RetryPolicy,
     degraded: bool,
@@ -319,6 +470,7 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
             solver,
             shards: (0..num_shards).map(|_| Shard::default()).collect(),
             stats: EngineStats::default(),
+            metrics: EngineMetrics::default(),
             injector: None,
             retry: RetryPolicy::default(),
             degraded: false,
@@ -350,6 +502,19 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
         self
     }
 
+    /// Installs a ring-buffer trace [`crate::obs::trace::Recorder`] of
+    /// `capacity` events in every shard's workspace, so solver-phase
+    /// [`TraceEvent`]s are captured during batch runs. Per-kind counts
+    /// stay exact even after the ring wraps; merged counts are surfaced
+    /// by [`Engine::trace_counts`] and [`Engine::metrics_snapshot`].
+    /// No-op without the `trace` feature.
+    pub fn with_tracing(mut self, capacity: usize) -> Self {
+        for shard in &mut self.shards {
+            shard.workspace.install_recorder(capacity);
+        }
+        self
+    }
+
     /// Number of shards (worker threads used per batch).
     pub fn num_shards(&self) -> usize {
         self.shards.len()
@@ -358,6 +523,47 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
     /// Aggregate statistics over every batch processed so far.
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// The engine's latency histograms, merged over every batch and shard
+    /// processed so far.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// The ring-buffer trace recorder of one shard, if tracing was
+    /// enabled via [`Engine::with_tracing`].
+    pub fn shard_recorder(&self, shard: usize) -> Option<&crate::obs::trace::Recorder> {
+        self.shards.get(shard)?.workspace.recorder()
+    }
+
+    /// Per-kind [`TraceEvent`] totals summed over every shard's recorder
+    /// (all zeros when tracing is off), indexed by `EventKind as usize`.
+    pub fn trace_counts(&self) -> [u64; EventKind::COUNT] {
+        let mut totals = [0u64; EventKind::COUNT];
+        for shard in &self.shards {
+            if let Some(rec) = shard.workspace.recorder() {
+                for (t, &c) in totals.iter_mut().zip(rec.counts()) {
+                    *t += c;
+                }
+            }
+        }
+        totals
+    }
+
+    /// A point-in-time snapshot of everything the engine measures:
+    /// counters, p50/p95/p99 latency summaries and trace-event totals —
+    /// plain data, exportable as Prometheus text or JSON.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            stats: self.stats,
+            shards: self.shards.len(),
+            solve_latency_us: self.metrics.solve_latency_us.summary(),
+            probes_per_solve: self.metrics.probes_per_solve.summary(),
+            turnaround_us: self.metrics.turnaround_us.summary(),
+            histograms: self.metrics.clone(),
+            trace_counts: self.trace_counts(),
+        }
     }
 
     /// Processes a batch of queries and returns one result per query, in
@@ -441,7 +647,7 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
         self.stats.queries += results.len() as u64;
         self.stats.elapsed += started.elapsed();
         for tally in &tallies {
-            tally.accumulate(&mut self.stats);
+            tally.accumulate(&mut self.stats, &mut self.metrics);
         }
         for r in &results {
             match r {

@@ -283,6 +283,13 @@ pub fn solve_degraded<S: RetrievalSolver + ?Sized, A: ReplicaSource + ?Sized>(
             }
         })?;
     let outcome = solver.solve_in(&inst, ws)?;
+    if !unservable.is_empty() {
+        ws.tracer
+            .emit(crate::obs::trace::TraceEvent::DegradedServe {
+                served: outcome.schedule.len() as u32,
+                dropped: unservable.len() as u32,
+            });
+    }
     Ok(PartialSchedule {
         outcome,
         unservable,

@@ -19,6 +19,7 @@
 use crate::error::SolveError;
 use crate::increment::MinCostIncrementer;
 use crate::network::RetrievalInstance;
+use crate::obs::trace::TraceEvent;
 use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
 use crate::workspace::Workspace;
@@ -79,6 +80,7 @@ impl RetrievalSolver for FordFulkersonBasic {
             loop {
                 stats.dfs_calls += 1;
                 if ws.search.dfs_augment_avoiding(g, from, t, Some(s)) > 0 {
+                    ws.tracer.emit(TraceEvent::Augment { bucket: i as u32 });
                     break;
                 }
                 // Lines 5-8: raise every disk-edge capacity by one.
@@ -86,6 +88,9 @@ impl RetrievalSolver for FordFulkersonBasic {
                     g.set_cap(e, g.cap(e) + 1);
                 }
                 stats.increments += 1;
+                ws.tracer.emit(TraceEvent::CapacityIncrement {
+                    edges: inst.disk_edges.len() as u32,
+                });
             }
         }
         debug_assert_eq!(g.net_inflow(t) as usize, q);
@@ -127,11 +132,15 @@ impl RetrievalSolver for FordFulkersonIncremental {
             loop {
                 stats.dfs_calls += 1;
                 if ws.search.dfs_augment_avoiding(g, from, t, Some(s)) > 0 {
+                    ws.tracer.emit(TraceEvent::Augment { bucket: i as u32 });
                     break;
                 }
                 // Line 6: raise only the minimum-cost edge(s).
                 let raised = inc.increment(inst, g);
                 stats.increments += 1;
+                ws.tracer.emit(TraceEvent::CapacityIncrement {
+                    edges: raised as u32,
+                });
                 if raised == 0 {
                     return Err(SolveError::Infeasible {
                         bucket: None,

@@ -40,7 +40,9 @@ impl MinCostIncrementer {
 
     /// One `IncrementMinCost` step: raises by one the capacity of every
     /// disk edge achieving the minimum next completion time. Returns the
-    /// number of edges incremented (0 when no disk remains eligible).
+    /// number of edges incremented (0 when no disk remains eligible) —
+    /// callers report it as
+    /// [`crate::obs::trace::TraceEvent::CapacityIncrement`].
     pub fn increment(&mut self, inst: &RetrievalInstance, g: &mut FlowGraph) -> usize {
         // Drop saturated disks (Algorithm 3 lines 3-5).
         self.active

@@ -58,6 +58,7 @@ pub mod fault;
 pub mod ff;
 pub mod increment;
 pub mod network;
+pub mod obs;
 pub mod parallel;
 pub mod pr;
 pub mod schedule;
@@ -66,12 +67,14 @@ pub mod solver;
 pub mod verify;
 pub mod workspace;
 
-pub use engine::{BatchQuery, Engine, EngineStats, RetryPolicy};
+pub use engine::{BatchQuery, Engine, EngineMetrics, EngineStats, MetricsSnapshot, RetryPolicy};
 pub use error::{EngineError, SessionError, SolveError};
 pub use fault::{
     solve_degraded, DiskHealth, FaultEvent, FaultInjector, HealthMap, PartialSchedule,
 };
 pub use network::RetrievalInstance;
+pub use obs::metrics::{Histogram, LatencySummary, MetricsRegistry};
+pub use obs::trace::{EventKind, Recorder, TraceEvent, TraceSink, Tracer};
 pub use schedule::{RetrievalOutcome, Schedule, SolveStats};
 pub use session::{RetrievalSession, SessionOutcome, SessionState};
 pub use solver::RetrievalSolver;

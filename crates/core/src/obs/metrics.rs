@@ -1,0 +1,756 @@
+//! Counters, gauges and log2 latency histograms with Prometheus/JSON
+//! export.
+//!
+//! Flow-scheduling evaluations (e.g. Jahanjou et al., arXiv:2005.09724)
+//! compare schedulers on response-time *distributions*, not means; this
+//! module provides the distribution substrate. A [`Histogram`] buckets
+//! values by `floor(log2(v))` — 64 fixed buckets covering the whole `u64`
+//! range with ≤2x relative error, mergeable across shards by addition,
+//! and quantile-queryable without storing samples. A [`MetricsRegistry`]
+//! names counters, gauges and histograms, snapshots to plain data, and
+//! round-trips through Prometheus text exposition format and JSON (both
+//! emitted and parsed here, dependency-free).
+//!
+//! Everything is plain owned data: no atomics, no globals. The engine
+//! merges per-shard histograms after each batch, so recording stays
+//! uncontended on the hot path.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of log2 buckets: one per possible `floor(log2(v))` for `v ≥ 1`,
+/// with `v = 0` sharing bucket 0.
+pub const NUM_BUCKETS: usize = 64;
+
+/// Bucket index of a value: 0 for 0 and 1, otherwise `floor(log2(v))`.
+/// Bucket `i ≥ 1` therefore covers `[2^i, 2^(i+1))`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        63 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i`: `2^(i+1) - 1` (saturating at
+/// `u64::MAX` for the last bucket).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= NUM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (2u64 << i) - 1
+    }
+}
+
+/// A fixed-bucket log2 histogram of `u64` samples (typically
+/// microseconds).
+///
+/// Recording is O(1) with no allocation; merging is bucket-wise addition,
+/// so shards can record independently and combine afterwards. Quantiles
+/// report the inclusive upper bound of the bucket containing the target
+/// rank — an overestimate by at most 2x, consistent across merges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// `(upper_bound, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper_bound(i), c))
+            .collect()
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) as the inclusive upper bound of
+    /// the bucket holding the sample of that rank; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based: ceil(q * count), at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(NUM_BUCKETS - 1)
+    }
+
+    /// Adds every bucket of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Zeroes all buckets.
+    pub fn clear(&mut self) {
+        *self = Histogram::new();
+    }
+
+    /// The p50/p95/p99 summary used by
+    /// [`crate::engine::Engine::metrics_snapshot`].
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Plain quantile summary of one histogram (units are the histogram's —
+/// microseconds for the engine's latency series).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean sample.
+    pub mean: u64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile (bucket upper bound).
+    pub p95: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+}
+
+/// A named collection of monotonic counters, gauges and histograms.
+///
+/// Names must match `[a-zA-Z_][a-zA-Z0-9_]*` (Prometheus metric-name
+/// rules); this is debug-asserted on insertion. Iteration order is the
+/// name order (`BTreeMap`), so exports are deterministic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `by` to the counter `name` (created at 0).
+    pub fn inc_counter(&mut self, name: &str, by: u64) {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets the gauge `name`.
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// The histogram `name`, created empty on first use.
+    pub fn histogram_mut(&mut self, name: &str) -> &mut Histogram {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        self.histograms.entry(name.to_string()).or_default()
+    }
+
+    /// Counter value, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Gauge value, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Counter names and values, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Gauge names and values, in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Histogram names and values, in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Renders the registry in Prometheus text exposition format
+    /// (version 0.0.4): counters as `<name> <v>`, gauges likewise,
+    /// histograms as cumulative `<name>_bucket{le="..."}` series plus
+    /// `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cum += c;
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {cum}",
+                    bucket_upper_bound(i)
+                );
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+
+    /// Parses text produced by [`MetricsRegistry::to_prometheus`] back
+    /// into a registry. Supports exactly the subset emitted there (which
+    /// is valid Prometheus exposition format); returns a description of
+    /// the first malformed line otherwise.
+    pub fn parse_prometheus(text: &str) -> Result<MetricsRegistry, String> {
+        let mut reg = MetricsRegistry::new();
+        // name -> declared type, from the # TYPE comments.
+        let mut types: BTreeMap<String, String> = BTreeMap::new();
+        // Histogram reassembly state: cumulative counts per bucket bound.
+        let mut hist_prev: BTreeMap<String, u64> = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let (Some(name), Some(ty)) = (it.next(), it.next()) else {
+                    return Err(format!("malformed TYPE line: {line}"));
+                };
+                types.insert(name.to_string(), ty.to_string());
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("malformed sample line: {line}"))?;
+            if let Some((name, label)) = key.split_once('{') {
+                // Histogram bucket sample: <base>_bucket{le="<bound>"}.
+                let base = name
+                    .strip_suffix("_bucket")
+                    .ok_or_else(|| format!("unsupported labeled sample: {line}"))?;
+                let bound = label
+                    .strip_prefix("le=\"")
+                    .and_then(|l| l.strip_suffix("\"}"))
+                    .ok_or_else(|| format!("unsupported label set: {line}"))?;
+                if bound == "+Inf" {
+                    continue; // redundant with _count
+                }
+                let bound: u64 = bound.parse().map_err(|_| format!("bad le bound: {line}"))?;
+                let cum: u64 = value.parse().map_err(|_| format!("bad value: {line}"))?;
+                let prev = hist_prev.entry(base.to_string()).or_insert(0);
+                let delta = cum
+                    .checked_sub(*prev)
+                    .ok_or_else(|| format!("non-cumulative bucket: {line}"))?;
+                *prev = cum;
+                reg.histogram_mut(base).buckets[bucket_index(bound)] += delta;
+                continue;
+            }
+            let value_u = || {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad value: {line}"))
+            };
+            if let Some(base) = key.strip_suffix("_sum") {
+                if types.get(base).map(String::as_str) == Some("histogram") {
+                    reg.histogram_mut(base).sum = value_u()?;
+                    continue;
+                }
+            }
+            if let Some(base) = key.strip_suffix("_count") {
+                if types.get(base).map(String::as_str) == Some("histogram") {
+                    reg.histogram_mut(base).count = value_u()?;
+                    continue;
+                }
+            }
+            match types.get(key).map(String::as_str) {
+                Some("counter") => {
+                    let v = value_u()?;
+                    reg.inc_counter(key, v);
+                }
+                Some("gauge") => {
+                    let v: i64 = value.parse().map_err(|_| format!("bad value: {line}"))?;
+                    reg.set_gauge(key, v);
+                }
+                other => {
+                    return Err(format!(
+                        "sample {key} has no/unknown TYPE declaration ({other:?})"
+                    ))
+                }
+            }
+        }
+        Ok(reg)
+    }
+
+    /// Renders the registry as a JSON object:
+    /// `{"counters": {..}, "gauges": {..}, "histograms": {name:
+    /// {"count": n, "sum": s, "buckets": [[index, count], ..]}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for (name, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        let mut first = true;
+        for (name, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                h.count, h.sum
+            );
+            let mut first_b = true;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if !first_b {
+                    out.push(',');
+                }
+                first_b = false;
+                let _ = write!(out, "[{i},{c}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses JSON produced by [`MetricsRegistry::to_json`] back into a
+    /// registry (supports exactly that shape, whitespace-tolerant).
+    pub fn parse_json(text: &str) -> Result<MetricsRegistry, String> {
+        let mut p = JsonParser::new(text);
+        let mut reg = MetricsRegistry::new();
+        p.expect('{')?;
+        loop {
+            let section = p.string()?;
+            if !matches!(section.as_str(), "counters" | "gauges" | "histograms") {
+                return Err(format!("unknown section {section:?}"));
+            }
+            p.expect(':')?;
+            p.expect('{')?;
+            if !p.peek_is('}') {
+                loop {
+                    let name = p.string()?;
+                    p.expect(':')?;
+                    match section.as_str() {
+                        "counters" => {
+                            let v = p.integer()?;
+                            reg.inc_counter(&name, v as u64);
+                        }
+                        "gauges" => {
+                            let v = p.integer()?;
+                            reg.set_gauge(&name, v);
+                        }
+                        "histograms" => {
+                            p.expect('{')?;
+                            let h = reg.histogram_mut(&name);
+                            loop {
+                                let field = p.string()?;
+                                p.expect(':')?;
+                                match field.as_str() {
+                                    "count" => h.count = p.integer()? as u64,
+                                    "sum" => h.sum = p.integer()? as u64,
+                                    "buckets" => {
+                                        p.expect('[')?;
+                                        if !p.peek_is(']') {
+                                            loop {
+                                                p.expect('[')?;
+                                                let i = p.integer()? as usize;
+                                                p.expect(',')?;
+                                                let c = p.integer()? as u64;
+                                                p.expect(']')?;
+                                                if i >= NUM_BUCKETS {
+                                                    return Err(format!("bucket index {i}"));
+                                                }
+                                                h.buckets[i] += c;
+                                                if !p.comma_or(']')? {
+                                                    break;
+                                                }
+                                            }
+                                        } else {
+                                            p.expect(']')?;
+                                        }
+                                    }
+                                    other => return Err(format!("unknown field {other:?}")),
+                                }
+                                if !p.comma_or('}')? {
+                                    break;
+                                }
+                            }
+                        }
+                        other => return Err(format!("unknown section {other:?}")),
+                    }
+                    if !p.comma_or('}')? {
+                        break;
+                    }
+                }
+            } else {
+                p.expect('}')?;
+            }
+            if !p.comma_or('}')? {
+                break;
+            }
+        }
+        p.end()?;
+        Ok(reg)
+    }
+}
+
+/// Minimal JSON tokenizer for [`MetricsRegistry::parse_json`]: supports
+/// the object/array/string/integer subset that `to_json` emits.
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> JsonParser<'a> {
+        JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_is(&mut self, c: char) -> bool {
+        self.skip_ws();
+        self.bytes.get(self.pos) == Some(&(c as u8))
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&(c as u8)) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {c:?} at byte {}, found {:?}",
+                self.pos,
+                self.bytes.get(self.pos).map(|&b| b as char)
+            ))
+        }
+    }
+
+    /// Consumes `,` (returning true) or `close` (returning false).
+    fn comma_or(&mut self, close: char) -> Result<bool, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b',') => {
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(&b) if b == close as u8 => {
+                self.pos += 1;
+                Ok(false)
+            }
+            other => Err(format!(
+                "expected ',' or {close:?} at byte {}, found {:?}",
+                self.pos,
+                other.map(|&b| b as char)
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| e.to_string())?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            if b == b'\\' {
+                return Err("escape sequences unsupported".to_string());
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn integer(&mut self) -> Result<i64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("expected integer at byte {start}"))
+    }
+
+    fn end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing data at byte {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // v = 0 and v = 1 share bucket 0; 2^i is the first value of
+        // bucket i; 2^(i+1) - 1 the last.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        for i in 1..63 {
+            let lo = 1u64 << i;
+            assert_eq!(bucket_index(lo), i, "2^{i}");
+            assert_eq!(bucket_index(lo - 1), i - 1, "2^{i}-1");
+            assert_eq!(bucket_index(2 * lo - 1), i, "2^{}-1", i + 1);
+            assert_eq!(bucket_upper_bound(i), 2 * lo - 1);
+        }
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_upper_bound(63), u64::MAX);
+        assert_eq!(bucket_upper_bound(0), 1);
+    }
+
+    #[test]
+    fn histogram_records_counts_and_means() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.mean(), 26);
+        assert_eq!(h.bucket(0), 1); // 1
+        assert_eq!(h.bucket(1), 2); // 2, 3
+        assert_eq!(h.bucket(6), 1); // 100 in [64,128)
+        assert_eq!(h.nonzero_buckets(), vec![(1, 1), (3, 2), (127, 1)]);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_buckets() {
+        let mut h = Histogram::new();
+        // 90 fast samples (bucket of 100 = [64,128)), 10 slow (bucket of
+        // 10_000 = [8192,16384)).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(10_000);
+        }
+        assert_eq!(h.quantile(0.50), 127);
+        assert_eq!(h.quantile(0.90), 127);
+        assert_eq!(h.quantile(0.95), 16_383);
+        assert_eq!(h.quantile(0.99), 16_383);
+        assert_eq!(h.quantile(1.0), 16_383);
+        assert_eq!(h.quantile(0.0), 127); // rank clamps to the 1st sample
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!((s.p50, s.p95, s.p99), (127, 16_383, 16_383));
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(5);
+        b.record(1_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 1_010);
+        assert_eq!(a.bucket(bucket_index(5)), 2);
+        assert_eq!(a.bucket(bucket_index(1_000)), 1);
+        a.clear();
+        assert_eq!(a, Histogram::new());
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates");
+        assert_eq!(h.bucket(63), 2);
+        assert_eq!(h.quantile(0.99), u64::MAX);
+    }
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.inc_counter("rds_queries_total", 42);
+        reg.inc_counter("rds_errors_total", 3);
+        reg.set_gauge("rds_shards", 4);
+        let h = reg.histogram_mut("rds_solve_latency_us");
+        for v in [9u64, 11, 80, 1_500, 1_501, 90_000] {
+            h.record(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn prometheus_round_trips() {
+        let reg = sample_registry();
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE rds_queries_total counter"));
+        assert!(text.contains("rds_queries_total 42"));
+        assert!(text.contains("# TYPE rds_solve_latency_us histogram"));
+        assert!(text.contains("rds_solve_latency_us_bucket{le=\"+Inf\"} 6"));
+        let parsed = MetricsRegistry::parse_prometheus(&text).unwrap();
+        assert_eq!(parsed, reg);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let reg = sample_registry();
+        let json = reg.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        let parsed = MetricsRegistry::parse_json(&json).unwrap();
+        assert_eq!(parsed, reg);
+        // Whitespace tolerance.
+        let spaced = json.replace(':', ": ").replace(',', ",\n");
+        assert_eq!(MetricsRegistry::parse_json(&spaced).unwrap(), reg);
+    }
+
+    #[test]
+    fn empty_registry_round_trips() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(
+            MetricsRegistry::parse_prometheus(&reg.to_prometheus()).unwrap(),
+            reg
+        );
+        assert_eq!(MetricsRegistry::parse_json(&reg.to_json()).unwrap(), reg);
+    }
+
+    #[test]
+    fn parsers_reject_garbage() {
+        assert!(MetricsRegistry::parse_prometheus("oops 1").is_err());
+        assert!(MetricsRegistry::parse_prometheus("# TYPE x counter\nx notanumber").is_err());
+        assert!(MetricsRegistry::parse_json("{").is_err());
+        assert!(MetricsRegistry::parse_json("{\"bogus\":{}}").is_err());
+        assert!(MetricsRegistry::parse_json("").is_err());
+    }
+}

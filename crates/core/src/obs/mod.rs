@@ -1,0 +1,34 @@
+//! Observability: solver-phase tracing and engine metrics.
+//!
+//! The paper's central claim — integrated solvers win by *conserving flow
+//! across binary-search probes* — is invisible in end-of-run counters
+//! alone. This module makes the probe timeline, per-phase work and tail
+//! latency first-class:
+//!
+//! * [`trace`] — a lightweight typed event tracer. Solvers, sessions and
+//!   the engine emit [`trace::TraceEvent`]s through the [`trace::Tracer`]
+//!   embedded in every [`crate::workspace::Workspace`]; a
+//!   [`trace::TraceSink`] (such as the ring-buffer [`trace::Recorder`])
+//!   receives them. With no sink installed an emit is one branch; with the
+//!   `trace` Cargo feature disabled the whole tracer compiles to nothing.
+//! * [`metrics`] — monotonic counters, gauges and fixed-bucket (log2)
+//!   latency histograms, assembled into a [`metrics::MetricsRegistry`]
+//!   that snapshots to plain structs and exports as Prometheus text or
+//!   JSON. The batch [`crate::engine::Engine`] feeds per-query solve
+//!   times, probes-per-solve and queue→completion times into histograms
+//!   and surfaces p50/p95/p99 through
+//!   [`crate::engine::Engine::metrics_snapshot`].
+//!
+//! ## Overhead contract
+//!
+//! * `trace` feature **off**: [`trace::Tracer::emit`] is an empty inline
+//!   function; event construction is dead code the optimizer removes. No
+//!   allocation, no branch, no atomic.
+//! * `trace` feature **on**, no sink installed (the default): one
+//!   `Option` branch per event.
+//! * Sink installed: one indirect call per event; the ring-buffer
+//!   [`trace::Recorder`] never allocates after construction (old events
+//!   are overwritten, per-kind counts stay exact).
+
+pub mod metrics;
+pub mod trace;

@@ -1,0 +1,557 @@
+//! Typed solver-phase event tracing.
+//!
+//! Every [`crate::workspace::Workspace`] carries a [`Tracer`]; the solver
+//! drivers, [`crate::session::SessionState`], the fault layer and the
+//! batch [`crate::engine::Engine`] emit [`TraceEvent`]s through it at the
+//! phase boundaries the paper's algorithms define: binary-search probes
+//! (Algorithm 6 lines 12–37), augmenting-path searches (Algorithms 1–3),
+//! push-relabel resumes (Algorithms 4–6), `IncrementMinCost` steps
+//! (Algorithm 3), plus the serving-layer transitions added by the fault
+//! and engine PRs (retries, health changes, shard batches).
+//!
+//! Events are small `Copy` values. Emission goes through exactly one
+//! indirection — [`Tracer::emit`] — which is compiled to an empty inline
+//! function when the `trace` Cargo feature is off, and costs a single
+//! `Option` branch when it is on but no sink is installed.
+
+use rds_storage::time::Micros;
+
+/// One solver-phase event.
+///
+/// Marked `#[non_exhaustive]`: future PRs may add phases, so sinks must
+/// tolerate unknown variants (match with a `_` arm).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// A solve began in some workspace (`query_size` buckets requested).
+    /// Emitted by the workspace's solve prologue
+    /// (`crate::workspace::Workspace::begin`), so every solver produces
+    /// exactly one per solve.
+    SolveStart {
+        /// Number of buckets in the query.
+        query_size: u32,
+    },
+    /// A binary-search probe of the budget range began (Algorithm 6 /
+    /// black-box scaling).
+    ProbeStart {
+        /// The response-time budget `t_mid` being probed.
+        budget: Micros,
+    },
+    /// The probe finished: `feasible` says whether the full flow fit the
+    /// budget (infeasible probes raise `t_min`, feasible ones lower
+    /// `t_max`).
+    ProbeEnd {
+        /// The probed budget.
+        budget: Micros,
+        /// Whether the probe delivered the full `|Q|` units.
+        feasible: bool,
+    },
+    /// A successful augmenting-path search routed one unit of flow
+    /// (Ford-Fulkerson solvers).
+    Augment {
+        /// Index of the bucket whose unit was routed, in query order.
+        bucket: u32,
+    },
+    /// One flow-conserving push-relabel resume completed, with the
+    /// push/relabel operation deltas it performed.
+    RelabelPass {
+        /// Push operations in this resume.
+        pushes: u64,
+        /// Relabel operations in this resume.
+        relabels: u64,
+    },
+    /// One `IncrementMinCost` step raised disk-edge capacities.
+    CapacityIncrement {
+        /// Number of disk edges whose capacity rose (0 = exhausted).
+        edges: u32,
+    },
+    /// The engine scheduled a replanning re-solve for an infeasible query
+    /// after observing a health change at a backoff probe.
+    RetryScheduled {
+        /// Which retry attempt this is (1-based).
+        attempt: u32,
+        /// The simulated-time health probe that triggered it.
+        probe: Micros,
+    },
+    /// The health map observed by a stream changed since its previous
+    /// query (disks failed, degraded or recovered).
+    HealthTransition {
+        /// Order-independent digest of the new map
+        /// ([`crate::fault::HealthMap::fingerprint`]).
+        fingerprint: u64,
+    },
+    /// A best-effort degraded solve served a subset of the query.
+    DegradedServe {
+        /// Buckets retrieved.
+        served: u32,
+        /// Buckets dropped (every replica offline).
+        dropped: u32,
+    },
+    /// One shard finished its slice of an engine batch.
+    ShardBatch {
+        /// Shard index.
+        shard: u32,
+        /// Queries the shard processed in this batch.
+        queries: u32,
+    },
+}
+
+/// Coarse classification of [`TraceEvent`]s, used for per-kind counting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum EventKind {
+    /// [`TraceEvent::SolveStart`]
+    SolveStart = 0,
+    /// [`TraceEvent::ProbeStart`]
+    ProbeStart,
+    /// [`TraceEvent::ProbeEnd`]
+    ProbeEnd,
+    /// [`TraceEvent::Augment`]
+    Augment,
+    /// [`TraceEvent::RelabelPass`]
+    RelabelPass,
+    /// [`TraceEvent::CapacityIncrement`]
+    CapacityIncrement,
+    /// [`TraceEvent::RetryScheduled`]
+    RetryScheduled,
+    /// [`TraceEvent::HealthTransition`]
+    HealthTransition,
+    /// [`TraceEvent::DegradedServe`]
+    DegradedServe,
+    /// [`TraceEvent::ShardBatch`]
+    ShardBatch,
+}
+
+impl EventKind {
+    /// Number of kinds (size of a per-kind counter array).
+    pub const COUNT: usize = 10;
+
+    /// Every kind, in discriminant order.
+    pub const ALL: [EventKind; EventKind::COUNT] = [
+        EventKind::SolveStart,
+        EventKind::ProbeStart,
+        EventKind::ProbeEnd,
+        EventKind::Augment,
+        EventKind::RelabelPass,
+        EventKind::CapacityIncrement,
+        EventKind::RetryScheduled,
+        EventKind::HealthTransition,
+        EventKind::DegradedServe,
+        EventKind::ShardBatch,
+    ];
+
+    /// Stable snake_case name (used in reports and Prometheus labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::SolveStart => "solve_start",
+            EventKind::ProbeStart => "probe_start",
+            EventKind::ProbeEnd => "probe_end",
+            EventKind::Augment => "augment",
+            EventKind::RelabelPass => "relabel_pass",
+            EventKind::CapacityIncrement => "capacity_increment",
+            EventKind::RetryScheduled => "retry_scheduled",
+            EventKind::HealthTransition => "health_transition",
+            EventKind::DegradedServe => "degraded_serve",
+            EventKind::ShardBatch => "shard_batch",
+        }
+    }
+}
+
+impl TraceEvent {
+    /// The kind of this event.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            TraceEvent::SolveStart { .. } => EventKind::SolveStart,
+            TraceEvent::ProbeStart { .. } => EventKind::ProbeStart,
+            TraceEvent::ProbeEnd { .. } => EventKind::ProbeEnd,
+            TraceEvent::Augment { .. } => EventKind::Augment,
+            TraceEvent::RelabelPass { .. } => EventKind::RelabelPass,
+            TraceEvent::CapacityIncrement { .. } => EventKind::CapacityIncrement,
+            TraceEvent::RetryScheduled { .. } => EventKind::RetryScheduled,
+            TraceEvent::HealthTransition { .. } => EventKind::HealthTransition,
+            TraceEvent::DegradedServe { .. } => EventKind::DegradedServe,
+            TraceEvent::ShardBatch { .. } => EventKind::ShardBatch,
+        }
+    }
+}
+
+/// A consumer of trace events.
+///
+/// Implementations must be cheap: sinks run inline on the solver hot
+/// path. The provided [`Recorder`] is the canonical in-memory sink;
+/// custom sinks (a logger, a test probe) implement this trait and are
+/// installed with [`crate::workspace::Workspace::set_trace_sink`].
+pub trait TraceSink: Send {
+    /// Receives one event.
+    fn record(&mut self, event: TraceEvent);
+}
+
+impl<F: FnMut(TraceEvent) + Send> TraceSink for F {
+    fn record(&mut self, event: TraceEvent) {
+        self(event)
+    }
+}
+
+/// Fixed-capacity ring-buffer sink: keeps the most recent `capacity`
+/// events and exact per-kind totals for everything ever recorded.
+///
+/// Never allocates after construction — when the ring is full the oldest
+/// event is overwritten and [`Recorder::dropped`] grows, so long solves
+/// cannot blow up memory while the per-kind counts stay exact.
+#[derive(Clone, Debug)]
+pub struct Recorder {
+    ring: Vec<TraceEvent>,
+    /// Ring capacity (fixed at construction).
+    cap: usize,
+    /// Index of the next write (wraps).
+    head: usize,
+    /// Events overwritten after the ring filled.
+    dropped: u64,
+    /// Exact totals per [`EventKind`], unaffected by ring overwrites.
+    counts: [u64; EventKind::COUNT],
+}
+
+impl Recorder {
+    /// A recorder holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Recorder {
+        let cap = capacity.max(1);
+        Recorder {
+            ring: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            dropped: 0,
+            counts: [0; EventKind::COUNT],
+        }
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        if self.ring.len() < self.cap {
+            return self.ring.clone();
+        }
+        let mut out = Vec::with_capacity(self.cap);
+        for i in 0..self.cap {
+            out.push(self.ring[(self.head + i) % self.cap]);
+        }
+        out
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Exact total of events of `kind` ever recorded (survives ring
+    /// overwrites).
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Exact totals for all kinds, indexed by `EventKind as usize`.
+    pub fn counts(&self) -> &[u64; EventKind::COUNT] {
+        &self.counts
+    }
+
+    /// Total events ever recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Forgets retained events and totals (capacity is kept).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.head = 0;
+        self.dropped = 0;
+        self.counts = [0; EventKind::COUNT];
+    }
+
+    /// Adds another recorder's exact per-kind totals into this one
+    /// (retained events are not merged — ring order across recorders is
+    /// undefined).
+    pub fn absorb_counts(&mut self, other: &Recorder) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.dropped += other.dropped;
+    }
+}
+
+impl TraceSink for Recorder {
+    fn record(&mut self, event: TraceEvent) {
+        self.counts[event.kind() as usize] += 1;
+        if self.ring.len() < self.cap {
+            self.ring.push(event);
+        } else {
+            self.ring[self.head] = event;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+}
+
+/// The per-workspace emission point.
+///
+/// With the `trace` feature off this is a zero-sized type and
+/// [`Tracer::emit`] an empty inline function — the no-op path the
+/// `engine_speedup` bench guards. With the feature on, a tracer holds
+/// either nothing (one branch per emit), a [`Recorder`] (typed access
+/// preserved for [`crate::engine::Engine`] scraping), or an arbitrary
+/// boxed [`TraceSink`].
+#[derive(Debug, Default)]
+pub struct Tracer {
+    #[cfg(feature = "trace")]
+    sink: Sink,
+}
+
+#[cfg(feature = "trace")]
+#[derive(Debug, Default)]
+enum Sink {
+    #[default]
+    None,
+    Ring(Recorder),
+    Custom(DynSink),
+}
+
+#[cfg(feature = "trace")]
+struct DynSink(Box<dyn TraceSink>);
+
+#[cfg(feature = "trace")]
+impl std::fmt::Debug for DynSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TraceSink")
+    }
+}
+
+impl Tracer {
+    /// A tracer with no sink (emits are branches or, feature-off,
+    /// nothing).
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Emits one event. The hot-path call: inline, no-op without the
+    /// `trace` feature, one branch without a sink.
+    #[inline]
+    pub fn emit(&mut self, event: TraceEvent) {
+        #[cfg(feature = "trace")]
+        match &mut self.sink {
+            Sink::None => {}
+            Sink::Ring(r) => r.record(event),
+            Sink::Custom(s) => s.0.record(event),
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = event;
+    }
+
+    /// True when events are being consumed (always false with the `trace`
+    /// feature off). Use to skip *computing* expensive event payloads;
+    /// plain emits don't need the check.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        #[cfg(feature = "trace")]
+        {
+            !matches!(self.sink, Sink::None)
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            false
+        }
+    }
+
+    /// Installs a ring-buffer [`Recorder`] of `capacity` events,
+    /// replacing any existing sink. No-op without the `trace` feature.
+    pub fn install_recorder(&mut self, capacity: usize) {
+        #[cfg(feature = "trace")]
+        {
+            self.sink = Sink::Ring(Recorder::new(capacity));
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = capacity;
+    }
+
+    /// Installs an arbitrary sink, replacing any existing one. No-op (the
+    /// sink is dropped) without the `trace` feature.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        #[cfg(feature = "trace")]
+        {
+            self.sink = Sink::Custom(DynSink(sink));
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = sink;
+    }
+
+    /// Removes the sink (further emits become branches/no-ops).
+    pub fn disable(&mut self) {
+        #[cfg(feature = "trace")]
+        {
+            self.sink = Sink::None;
+        }
+    }
+
+    /// The installed ring recorder, if that is the current sink kind.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        #[cfg(feature = "trace")]
+        {
+            match &self.sink {
+                Sink::Ring(r) => Some(r),
+                _ => None,
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            None
+        }
+    }
+
+    /// Mutable access to the installed ring recorder.
+    pub fn recorder_mut(&mut self) -> Option<&mut Recorder> {
+        #[cfg(feature = "trace")]
+        {
+            match &mut self.sink {
+                Sink::Ring(r) => Some(r),
+                _ => None,
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u32) -> TraceEvent {
+        TraceEvent::Augment { bucket: i }
+    }
+
+    #[test]
+    fn recorder_retains_in_order_and_counts_exactly() {
+        let mut r = Recorder::new(3);
+        assert!(r.is_empty());
+        for i in 0..5 {
+            r.record(ev(i));
+        }
+        r.record(TraceEvent::ProbeStart {
+            budget: Micros::from_millis(1),
+        });
+        // Capacity 3: the last three survive, in order.
+        assert_eq!(r.len(), 3);
+        assert_eq!(
+            r.events(),
+            vec![
+                ev(3),
+                ev(4),
+                TraceEvent::ProbeStart {
+                    budget: Micros::from_millis(1)
+                }
+            ]
+        );
+        // Exact totals survive the overwrites.
+        assert_eq!(r.count(EventKind::Augment), 5);
+        assert_eq!(r.count(EventKind::ProbeStart), 1);
+        assert_eq!(r.total(), 6);
+        assert_eq!(r.dropped(), 3);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.total(), 0);
+    }
+
+    #[test]
+    fn recorder_under_capacity_keeps_everything() {
+        let mut r = Recorder::new(8);
+        for i in 0..4 {
+            r.record(ev(i));
+        }
+        assert_eq!(r.events(), vec![ev(0), ev(1), ev(2), ev(3)]);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn absorb_counts_merges_totals() {
+        let mut a = Recorder::new(2);
+        let mut b = Recorder::new(2);
+        a.record(ev(0));
+        b.record(ev(1));
+        b.record(TraceEvent::CapacityIncrement { edges: 3 });
+        a.absorb_counts(&b);
+        assert_eq!(a.count(EventKind::Augment), 2);
+        assert_eq!(a.count(EventKind::CapacityIncrement), 1);
+    }
+
+    #[test]
+    fn every_event_maps_to_its_kind() {
+        let events = [
+            TraceEvent::SolveStart { query_size: 1 },
+            TraceEvent::ProbeStart {
+                budget: Micros::ZERO,
+            },
+            TraceEvent::ProbeEnd {
+                budget: Micros::ZERO,
+                feasible: true,
+            },
+            TraceEvent::Augment { bucket: 0 },
+            TraceEvent::RelabelPass {
+                pushes: 0,
+                relabels: 0,
+            },
+            TraceEvent::CapacityIncrement { edges: 0 },
+            TraceEvent::RetryScheduled {
+                attempt: 1,
+                probe: Micros::ZERO,
+            },
+            TraceEvent::HealthTransition { fingerprint: 0 },
+            TraceEvent::DegradedServe {
+                served: 0,
+                dropped: 0,
+            },
+            TraceEvent::ShardBatch {
+                shard: 0,
+                queries: 0,
+            },
+        ];
+        for (e, k) in events.iter().zip(EventKind::ALL) {
+            assert_eq!(e.kind(), k);
+            assert!(!k.name().is_empty());
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn tracer_routes_to_installed_sinks() {
+        let mut t = Tracer::disabled();
+        assert!(!t.enabled());
+        t.emit(ev(0)); // goes nowhere, must not panic
+        t.install_recorder(4);
+        assert!(t.enabled());
+        t.emit(ev(1));
+        assert_eq!(t.recorder().unwrap().len(), 1);
+        t.recorder_mut().unwrap().clear();
+        assert!(t.recorder().unwrap().is_empty());
+
+        use std::sync::{Arc, Mutex};
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink_seen = Arc::clone(&seen);
+        t.set_sink(Box::new(move |e: TraceEvent| {
+            sink_seen.lock().unwrap().push(e);
+        }));
+        assert!(t.recorder().is_none());
+        t.emit(ev(2));
+        assert_eq!(seen.lock().unwrap().as_slice(), &[ev(2)]);
+        t.disable();
+        t.emit(ev(3));
+        assert_eq!(seen.lock().unwrap().len(), 1);
+    }
+}

@@ -48,8 +48,16 @@ impl RetrievalSolver for ParallelPushRelabelBinary {
     ) -> Result<RetrievalOutcome, SolveError> {
         ws.begin(inst);
         let mut stats = SolveStats::default();
-        let (g, engine, stored_flows, stored_excess) = ws.parallel_parts(self.threads);
-        binary_scaling_integrated(engine, inst, g, &mut stats, stored_flows, stored_excess)?;
+        let (g, engine, stored_flows, stored_excess, tracer) = ws.parallel_parts(self.threads);
+        binary_scaling_integrated(
+            engine,
+            inst,
+            g,
+            &mut stats,
+            stored_flows,
+            stored_excess,
+            tracer,
+        )?;
         RetrievalOutcome::try_from_flow(inst, g, stats)
     }
 }

@@ -16,6 +16,7 @@
 use crate::error::SolveError;
 use crate::increment::MinCostIncrementer;
 use crate::network::RetrievalInstance;
+use crate::obs::trace::{TraceEvent, Tracer};
 use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
 use crate::workspace::Workspace;
@@ -39,7 +40,13 @@ impl RetrievalSolver for PushRelabelIncremental {
     ) -> Result<RetrievalOutcome, SolveError> {
         ws.begin(inst);
         let mut stats = SolveStats::default();
-        incremental_phase(&mut ws.engine, inst, &mut ws.graph, &mut stats)?;
+        incremental_phase(
+            &mut ws.engine,
+            inst,
+            &mut ws.graph,
+            &mut stats,
+            &mut ws.tracer,
+        )?;
         RetrievalOutcome::try_from_flow(inst, &ws.graph, stats)
     }
 }
@@ -68,6 +75,7 @@ impl RetrievalSolver for PushRelabelBinary {
             &mut stats,
             &mut ws.stored_flows,
             &mut ws.stored_excess,
+            &mut ws.tracer,
         )?;
         RetrievalOutcome::try_from_flow(inst, &ws.graph, stats)
     }
@@ -80,6 +88,7 @@ pub(crate) fn incremental_phase<E: IncrementalMaxFlow>(
     inst: &RetrievalInstance,
     g: &mut FlowGraph,
     stats: &mut SolveStats,
+    tracer: &mut Tracer,
 ) -> Result<(), SolveError> {
     let q = inst.query_size() as i64;
     if q == 0 {
@@ -93,6 +102,9 @@ pub(crate) fn incremental_phase<E: IncrementalMaxFlow>(
     while engine.excess(t) != q {
         let raised = inc.increment(inst, g);
         stats.increments += 1;
+        tracer.emit(TraceEvent::CapacityIncrement {
+            edges: raised as u32,
+        });
         if raised == 0 {
             return Err(SolveError::Infeasible {
                 bucket: None,
@@ -100,10 +112,31 @@ pub(crate) fn incremental_phase<E: IncrementalMaxFlow>(
                 required: q,
             });
         }
-        engine.resume(g, s, t);
-        stats.resume_calls += 1;
+        resume_traced(engine, g, s, t, stats, tracer);
     }
     Ok(())
+}
+
+/// One flow-conserving resume with its push/relabel work attributed: the
+/// engine's cumulative operation counters are differenced around the call,
+/// folded into `stats`, and emitted as a [`TraceEvent::RelabelPass`].
+fn resume_traced<E: IncrementalMaxFlow>(
+    engine: &mut E,
+    g: &mut FlowGraph,
+    s: rds_flow::graph::VertexId,
+    t: rds_flow::graph::VertexId,
+    stats: &mut SolveStats,
+    tracer: &mut Tracer,
+) -> i64 {
+    let (pushes_before, relabels_before) = engine.op_counts();
+    let flow = engine.resume(g, s, t);
+    stats.resume_calls += 1;
+    let (pushes, relabels) = engine.op_counts();
+    let (pushes, relabels) = (pushes - pushes_before, relabels - relabels_before);
+    stats.pushes += pushes;
+    stats.relabels += relabels;
+    tracer.emit(TraceEvent::RelabelPass { pushes, relabels });
+    flow
 }
 
 /// The full Algorithm 6 driver, generic over the max-flow engine. The
@@ -117,6 +150,7 @@ pub(crate) fn binary_scaling_integrated<E: IncrementalMaxFlow>(
     stats: &mut SolveStats,
     stored_flows: &mut Vec<i64>,
     stored_excess: &mut Vec<i64>,
+    tracer: &mut Tracer,
 ) -> Result<(), SolveError> {
     let q = inst.query_size() as i64;
     if q == 0 {
@@ -138,9 +172,13 @@ pub(crate) fn binary_scaling_integrated<E: IncrementalMaxFlow>(
     while t_max - t_min >= min_speed {
         let t_mid = t_min.midpoint(t_max);
         inst.set_caps_for_budget(g, t_mid);
-        let flow = engine.resume(g, s, t);
+        tracer.emit(TraceEvent::ProbeStart { budget: t_mid });
+        let flow = resume_traced(engine, g, s, t, stats, tracer);
         stats.probes += 1;
-        stats.resume_calls += 1;
+        tracer.emit(TraceEvent::ProbeEnd {
+            budget: t_mid,
+            feasible: flow == q,
+        });
         if flow != q {
             // No solution at t_mid (lines 30-33): keep the state we just
             // computed — it stays feasible for all larger budgets.
@@ -162,7 +200,7 @@ pub(crate) fn binary_scaling_integrated<E: IncrementalMaxFlow>(
     g.restore_flows(stored_flows);
     engine.restore_excess(stored_excess);
     inst.set_caps_for_budget(g, t_min);
-    incremental_phase(engine, inst, g, stats)
+    incremental_phase(engine, inst, g, stats, tracer)
 }
 
 #[cfg(test)]

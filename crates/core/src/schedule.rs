@@ -109,6 +109,11 @@ pub struct SolveStats {
     pub increments: u64,
     /// Augmenting-path searches (Ford-Fulkerson solvers).
     pub dfs_calls: u64,
+    /// Push operations performed by push-relabel engines (Algorithms
+    /// 4–6), the PR-side analogue of `dfs_calls`.
+    pub pushes: u64,
+    /// Relabel operations performed by push-relabel engines.
+    pub relabels: u64,
 }
 
 impl SolveStats {
@@ -120,6 +125,8 @@ impl SolveStats {
         self.probes += other.probes;
         self.increments += other.increments;
         self.dfs_calls += other.dfs_calls;
+        self.pushes += other.pushes;
+        self.relabels += other.relabels;
     }
 }
 

@@ -23,6 +23,7 @@
 use crate::error::{SessionError, SolveError};
 use crate::fault::{self, HealthMap};
 use crate::network::RetrievalInstance;
+use crate::obs::trace::TraceEvent;
 use crate::schedule::RetrievalOutcome;
 use crate::solver::RetrievalSolver;
 use crate::workspace::Workspace;
@@ -75,6 +76,11 @@ pub struct SessionState {
     /// under — topology reuse requires it to match, since offline disks
     /// change which replica edges exist.
     health_fp: u64,
+    /// Fingerprint of the health this stream last *observed*, for
+    /// [`crate::obs::trace::TraceEvent::HealthTransition`] emission by the
+    /// engine. Tracked per stream (not per shard) so transition counts
+    /// are independent of how streams are sharded.
+    pub(crate) observed_health_fp: u64,
     /// Scratch: buckets with a live replica (degraded submits).
     servable_buf: Vec<Bucket>,
     /// Scratch: buckets with no live replica (degraded submits).
@@ -90,6 +96,7 @@ impl SessionState {
             served: 0,
             instance: None,
             health_fp: HealthMap::HEALTHY_FINGERPRINT,
+            observed_health_fp: HealthMap::HEALTHY_FINGERPRINT,
             servable_buf: Vec::new(),
             unservable_buf: Vec::new(),
         }
@@ -270,6 +277,12 @@ impl SessionState {
             }
         }
         self.served += 1;
+        if !self.unservable_buf.is_empty() {
+            ws.tracer.emit(TraceEvent::DegradedServe {
+                served: outcome.schedule.len() as u32,
+                dropped: self.unservable_buf.len() as u32,
+            });
+        }
         Ok(SessionOutcome {
             completion: arrival + outcome.response_time,
             outcome,
@@ -531,7 +544,7 @@ mod tests {
         for i in 0..8 {
             let b = if i % 3 == 0 { &qb } else { &qa };
             results.push(cached.submit(t, b).unwrap().outcome.response_time);
-            t = t + Micros::from_millis(2);
+            t += Micros::from_millis(2);
         }
         // Replay into a brand-new session.
         let mut fresh = RetrievalSession::new(&system, &alloc, PushRelabelBinary);
@@ -540,7 +553,7 @@ mod tests {
             let b = if i % 3 == 0 { &qb } else { &qa };
             let got = fresh.submit(t, b).unwrap().outcome.response_time;
             assert_eq!(got, *want, "query {i}");
-            t = t + Micros::from_millis(2);
+            t += Micros::from_millis(2);
         }
     }
 }

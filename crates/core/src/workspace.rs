@@ -15,6 +15,7 @@
 //! back. Buffers only ever grow.
 
 use crate::network::RetrievalInstance;
+use crate::obs::trace::{TraceEvent, TraceSink, Tracer};
 use rds_flow::ford_fulkerson::AugmentingPath;
 use rds_flow::graph::FlowGraph;
 use rds_flow::incremental::IncrementalMaxFlow;
@@ -38,6 +39,9 @@ pub struct Workspace {
     /// Cached parallel engine, keyed by its worker-thread count. Kept
     /// alive so its worker pool persists across solves.
     parallel: Option<(usize, ParallelPushRelabel)>,
+    /// Solver-phase event tracer; disabled (single-branch emits) until a
+    /// sink is installed. See [`crate::obs::trace`].
+    pub(crate) tracer: Tracer,
     solves: u64,
 }
 
@@ -57,8 +61,41 @@ impl Workspace {
             stored_flows: Vec::new(),
             stored_excess: Vec::new(),
             parallel: None,
+            tracer: Tracer::disabled(),
             solves: 0,
         }
+    }
+
+    /// Installs a ring-buffer [`crate::obs::trace::Recorder`] with the
+    /// given capacity as this workspace's trace sink; subsequent solves
+    /// emit [`TraceEvent`]s into it. No-op without the `trace` feature.
+    pub fn install_recorder(&mut self, capacity: usize) {
+        self.tracer.install_recorder(capacity);
+    }
+
+    /// Installs an arbitrary [`TraceSink`] (e.g. a closure) as this
+    /// workspace's trace sink. No-op without the `trace` feature.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.tracer.set_sink(sink);
+    }
+
+    /// Removes any installed sink, returning emits to single-branch
+    /// no-ops.
+    pub fn disable_tracing(&mut self) {
+        self.tracer.disable();
+    }
+
+    /// The installed ring-buffer recorder, if one was installed via
+    /// [`Workspace::install_recorder`] (always `None` without the `trace`
+    /// feature).
+    pub fn recorder(&self) -> Option<&crate::obs::trace::Recorder> {
+        self.tracer.recorder()
+    }
+
+    /// Mutable access to the installed ring-buffer recorder, e.g. to
+    /// `clear()` it between solves.
+    pub fn recorder_mut(&mut self) -> Option<&mut crate::obs::trace::Recorder> {
+        self.tracer.recorder_mut()
     }
 
     /// Number of solves that ran in this workspace — the amortization
@@ -74,13 +111,16 @@ impl Workspace {
         self.solves += 1;
         self.graph.copy_from(&inst.graph);
         self.engine.reset_excess(self.graph.num_vertices());
+        self.tracer.emit(TraceEvent::SolveStart {
+            query_size: inst.query_size() as u32,
+        });
     }
 
     /// Borrows the scratch graph together with the cached parallel engine
-    /// for `threads` workers and the two snapshot buffers. (Dis)connects
-    /// the engine from the previous solve: excess is zeroed and the
-    /// topology snapshot invalidated, since the cache is keyed on graph
-    /// size only and this solve's graph may differ in shape.
+    /// for `threads` workers, the two snapshot buffers and the tracer.
+    /// (Dis)connects the engine from the previous solve: excess is zeroed
+    /// and the topology snapshot invalidated, since the cache is keyed on
+    /// graph size only and this solve's graph may differ in shape.
     #[allow(clippy::type_complexity)]
     pub(crate) fn parallel_parts(
         &mut self,
@@ -90,6 +130,7 @@ impl Workspace {
         &mut ParallelPushRelabel,
         &mut Vec<i64>,
         &mut Vec<i64>,
+        &mut Tracer,
     ) {
         let rebuild = match &self.parallel {
             Some((t, _)) => *t != threads,
@@ -106,6 +147,7 @@ impl Workspace {
             engine,
             &mut self.stored_flows,
             &mut self.stored_excess,
+            &mut self.tracer,
         )
     }
 }
@@ -142,12 +184,12 @@ mod tests {
         let mut ws = Workspace::new();
         ws.graph = FlowGraph::new(2);
         {
-            let (_, engine, _, _) = ws.parallel_parts(2);
+            let (_, engine, _, _, _) = ws.parallel_parts(2);
             engine.set_excess(0, 7);
         }
         {
             // Same thread count: same engine, but excess was reset.
-            let (_, engine, _, _) = ws.parallel_parts(2);
+            let (_, engine, _, _, _) = ws.parallel_parts(2);
             assert_eq!(engine.excess(0), 0);
         }
     }

@@ -55,6 +55,14 @@ pub trait IncrementalMaxFlow {
         }
     }
 
+    /// Cumulative `(pushes, relabels)` performed by this engine since
+    /// construction. Monotonically non-decreasing across runs, so drivers
+    /// attribute work to a phase by differencing before/after. Engines
+    /// without operation counters return `(0, 0)`.
+    fn op_counts(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
     /// Zeroes the excesses of vertices `0..n`, preparing a reused engine
     /// for an unrelated problem that starts from a zero-flow graph via
     /// [`IncrementalMaxFlow::resume`]. Without this, excess left at the
@@ -81,6 +89,10 @@ impl IncrementalMaxFlow for crate::push_relabel::PushRelabel {
 
     fn set_excess(&mut self, v: VertexId, x: i64) {
         crate::push_relabel::PushRelabel::set_excess(self, v, x)
+    }
+
+    fn op_counts(&self) -> (u64, u64) {
+        (self.stats.pushes, self.stats.relabels)
     }
 }
 

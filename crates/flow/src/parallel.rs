@@ -51,6 +51,11 @@ pub struct ParallelPushRelabel {
     pool: Option<WorkerPool>,
     /// Statistics from the most recent run.
     pub last_run: ParallelRunStats,
+    /// Pushes across all runs (parallel phase + fixup), for
+    /// [`IncrementalMaxFlow::op_counts`].
+    total_pushes: u64,
+    /// Relabels across all runs.
+    total_relabels: u64,
 }
 
 /// Telemetry from one parallel run.
@@ -450,6 +455,8 @@ impl ParallelPushRelabel {
             topo: None,
             pool: None,
             last_run: ParallelRunStats::default(),
+            total_pushes: 0,
+            total_relabels: 0,
         }
     }
 
@@ -580,6 +587,8 @@ impl ParallelPushRelabel {
             parallel_relabels: job.relabels.load(Ordering::Relaxed) as u64,
             fixup_pushes: 0,
         };
+        self.total_pushes += self.last_run.parallel_pushes;
+        self.total_relabels += self.last_run.parallel_relabels;
 
         if stalled {
             // Defensive fallback: finish with the (two-phase) sequential
@@ -588,8 +597,11 @@ impl ParallelPushRelabel {
                 self.fixup.set_excess(v, self.excess[v]);
             }
             let before = self.fixup.stats.pushes;
+            let relabels_before = self.fixup.stats.relabels;
             let val = self.fixup.resume(g, s, t);
             self.last_run.fixup_pushes = self.fixup.stats.pushes - before;
+            self.total_pushes += self.last_run.fixup_pushes;
+            self.total_relabels += self.fixup.stats.relabels - relabels_before;
             for v in 0..n {
                 self.excess[v] = self.fixup.excess(v);
             }
@@ -628,6 +640,10 @@ impl IncrementalMaxFlow for ParallelPushRelabel {
     fn set_excess(&mut self, v: VertexId, x: i64) {
         self.ensure(v + 1);
         self.excess[v] = x;
+    }
+
+    fn op_counts(&self) -> (u64, u64) {
+        (self.total_pushes, self.total_relabels)
     }
 }
 

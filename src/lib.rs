@@ -66,13 +66,15 @@ pub use rds_storage as storage;
 pub mod prelude {
     pub use rds_core::{
         blackbox::{BlackBoxFordFulkerson, BlackBoxPushRelabel},
-        engine::{BatchQuery, Engine, EngineStats, RetryPolicy},
+        engine::{BatchQuery, Engine, EngineMetrics, EngineStats, MetricsSnapshot, RetryPolicy},
         error::{EngineError, SessionError, SolveError},
         fault::{
             solve_degraded, DiskHealth, FaultEvent, FaultInjector, HealthMap, PartialSchedule,
         },
         ff::{FordFulkersonBasic, FordFulkersonIncremental},
         network::{RetrievalInstance, UnavailableBucket},
+        obs::metrics::{Histogram, LatencySummary, MetricsRegistry},
+        obs::trace::{EventKind, Recorder, TraceEvent, TraceSink, Tracer},
         parallel::ParallelPushRelabelBinary,
         pr::{PushRelabelBinary, PushRelabelIncremental},
         schedule::{RetrievalOutcome, Schedule, SolveStats},

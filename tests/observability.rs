@@ -1,0 +1,336 @@
+//! Observability: trace events must reconcile exactly with the solver's
+//! own `SolveStats`, event counts must be invariant to the engine's shard
+//! count, and metrics snapshots must round-trip through both export
+//! formats.
+
+use std::sync::{Arc, Mutex};
+
+use replicated_retrieval::core::blackbox::{BlackBoxFordFulkerson, BlackBoxPushRelabel};
+use replicated_retrieval::core::ff::{FordFulkersonBasic, FordFulkersonIncremental};
+use replicated_retrieval::core::parallel::ParallelPushRelabelBinary;
+use replicated_retrieval::core::pr::{PushRelabelBinary, PushRelabelIncremental};
+use replicated_retrieval::prelude::*;
+use replicated_retrieval::storage::specs;
+
+fn traced_solve(
+    solver: &(dyn RetrievalSolver + Sync),
+    inst: &RetrievalInstance,
+) -> (RetrievalOutcome, Workspace) {
+    let mut ws = Workspace::new();
+    ws.install_recorder(1 << 14);
+    let outcome = solver.solve_in(inst, &mut ws).unwrap();
+    (outcome, ws)
+}
+
+fn table_ii_instance(r: usize, c: usize) -> RetrievalInstance {
+    let system = paper_example();
+    let alloc = OrthogonalAllocation::paper_7x7();
+    let q = RangeQuery::new(1, 0, r, c);
+    RetrievalInstance::build(&system, &alloc, &q.buckets(7))
+}
+
+/// Every solver: one `SolveStart` per solve, `ProbeStart` == `ProbeEnd`
+/// == `stats.probes`, `CapacityIncrement` == `stats.increments`.
+#[test]
+fn events_reconcile_with_solve_stats_for_every_solver() {
+    let solvers: Vec<Box<dyn RetrievalSolver + Sync>> = vec![
+        Box::new(PushRelabelBinary),
+        Box::new(PushRelabelIncremental),
+        Box::new(FordFulkersonIncremental),
+        Box::new(BlackBoxPushRelabel),
+        Box::new(BlackBoxFordFulkerson),
+        Box::new(ParallelPushRelabelBinary::new(2)),
+    ];
+    let inst = table_ii_instance(5, 4);
+    for solver in &solvers {
+        let (outcome, ws) = traced_solve(solver.as_ref(), &inst);
+        let rec = ws.recorder().expect("recorder installed");
+        assert_eq!(rec.dropped(), 0, "{}: ring too small", solver.name());
+        assert_eq!(rec.count(EventKind::SolveStart), 1, "{}", solver.name());
+        assert_eq!(
+            rec.count(EventKind::ProbeStart),
+            outcome.stats.probes,
+            "{}: ProbeStart vs probes",
+            solver.name()
+        );
+        assert_eq!(
+            rec.count(EventKind::ProbeEnd),
+            rec.count(EventKind::ProbeStart),
+            "{}: unbalanced probe spans",
+            solver.name()
+        );
+        assert_eq!(
+            rec.count(EventKind::CapacityIncrement),
+            outcome.stats.increments,
+            "{}: CapacityIncrement vs increments",
+            solver.name()
+        );
+    }
+}
+
+/// Push-relabel solvers: one `RelabelPass` per engine run, and the event
+/// payloads sum to exactly the pushes/relabels reported in `SolveStats`.
+#[test]
+fn relabel_pass_events_sum_to_stats_pushes_and_relabels() {
+    let inst = table_ii_instance(7, 7);
+    for solver in [
+        &PushRelabelBinary as &(dyn RetrievalSolver + Sync),
+        &PushRelabelIncremental,
+    ] {
+        let (outcome, ws) = traced_solve(solver, &inst);
+        let rec = ws.recorder().unwrap();
+        assert_eq!(
+            rec.count(EventKind::RelabelPass),
+            outcome.stats.resume_calls,
+            "{}: one RelabelPass per resume",
+            solver.name()
+        );
+        let (mut pushes, mut relabels) = (0u64, 0u64);
+        for e in rec.events() {
+            if let TraceEvent::RelabelPass {
+                pushes: p,
+                relabels: r,
+            } = e
+            {
+                pushes += p;
+                relabels += r;
+            }
+        }
+        assert_eq!(pushes, outcome.stats.pushes, "{}", solver.name());
+        assert_eq!(relabels, outcome.stats.relabels, "{}", solver.name());
+        assert!(pushes > 0, "{}: no push work recorded", solver.name());
+    }
+
+    // The black-box PR baseline attributes work per from-scratch max-flow
+    // call instead.
+    let (outcome, ws) = traced_solve(&BlackBoxPushRelabel, &inst);
+    let rec = ws.recorder().unwrap();
+    assert_eq!(
+        rec.count(EventKind::RelabelPass),
+        outcome.stats.maxflow_calls
+    );
+    assert!(outcome.stats.pushes > 0);
+}
+
+/// Ford-Fulkerson solvers: exactly one `Augment` per requested bucket —
+/// each bucket's unit of flow is routed by one successful DFS.
+#[test]
+fn ff_emits_one_augment_per_bucket() {
+    let inst = table_ii_instance(4, 6);
+    for solver in [
+        &FordFulkersonIncremental as &(dyn RetrievalSolver + Sync),
+        &BlackBoxFordFulkerson,
+    ] {
+        let (outcome, ws) = traced_solve(solver, &inst);
+        let augments = ws.recorder().unwrap().count(EventKind::Augment);
+        match solver.name() {
+            "FF-incremental" => {
+                assert_eq!(augments, inst.query_size() as u64);
+                assert!(outcome.stats.dfs_calls >= augments);
+            }
+            // The black box re-runs a self-contained max-flow that does
+            // not emit per-bucket events.
+            _ => assert_eq!(augments, 0),
+        }
+    }
+
+    let system = SystemConfig::homogeneous(specs::CHEETAH, 7);
+    let alloc = OrthogonalAllocation::new(7, Placement::SingleSite);
+    let q = RangeQuery::new(0, 0, 3, 2);
+    let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(7));
+    let (_, ws) = traced_solve(&FordFulkersonBasic, &inst);
+    assert_eq!(
+        ws.recorder().unwrap().count(EventKind::Augment),
+        inst.query_size() as u64
+    );
+}
+
+/// A closure can serve as the sink: every emitted event reaches it, in
+/// order, with `SolveStart` first.
+#[test]
+fn closure_sink_receives_the_event_stream() {
+    let events: Arc<Mutex<Vec<TraceEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&events);
+    let mut ws = Workspace::new();
+    ws.set_trace_sink(Box::new(move |e: TraceEvent| {
+        sink.lock().unwrap().push(e);
+    }));
+    let inst = table_ii_instance(3, 2);
+    let outcome = PushRelabelBinary.solve_in(&inst, &mut ws).unwrap();
+    let events = events.lock().unwrap();
+    assert!(matches!(
+        events[0],
+        TraceEvent::SolveStart { query_size: 6 }
+    ));
+    let probe_starts = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::ProbeStart { .. }))
+        .count() as u64;
+    assert_eq!(probe_starts, outcome.stats.probes);
+    // Disabling returns emits to no-ops.
+    drop(events);
+    ws.disable_tracing();
+    let _ = PushRelabelBinary.solve_in(&inst, &mut ws).unwrap();
+}
+
+fn chaos_batch() -> (SystemConfig, OrthogonalAllocation, Vec<BatchQuery>) {
+    let system = SystemConfig::homogeneous(specs::CHEETAH, 5);
+    let alloc = OrthogonalAllocation::new(5, Placement::SingleSite);
+    let mut queries = Vec::new();
+    for k in 0..6usize {
+        for s in 0..7usize {
+            let q = RangeQuery::new(s % 5, k % 5, 1 + (s + k) % 3, 1 + s % 3);
+            queries.push(BatchQuery {
+                stream: s,
+                arrival: Micros::from_millis((k * 2) as u64),
+                buckets: q.buckets(5),
+            });
+        }
+    }
+    (system, alloc, queries)
+}
+
+/// Trace-event totals are a pure function of the batch, not of how the
+/// engine shards it — `ShardBatch` (one per shard per batch) is the only
+/// kind allowed to differ, and it differs exactly by the shard count.
+#[test]
+fn event_counts_are_identical_across_shard_counts() {
+    let (system, alloc, queries) = chaos_batch();
+    let injector = FaultInjector::random_outages(
+        42,
+        5,
+        0.4,
+        Micros::from_millis(3),
+        Some(Micros::from_millis(4)),
+    );
+    let run = |shards: usize| {
+        let mut engine = Engine::new(&system, &alloc, PushRelabelBinary, shards)
+            .with_fault_injector(injector.clone())
+            .with_retry_policy(RetryPolicy {
+                max_retries: 3,
+                backoff: Micros::from_millis(1),
+            })
+            .with_degraded_mode(true)
+            .with_tracing(1 << 12);
+        let _ = engine.submit_batch(&queries);
+        engine.trace_counts()
+    };
+    let baseline = run(1);
+    assert_eq!(baseline[EventKind::SolveStart as usize], {
+        let s = baseline[EventKind::SolveStart as usize];
+        assert!(
+            s >= queries.len() as u64,
+            "every query solves at least once"
+        );
+        s
+    });
+    assert_eq!(baseline[EventKind::ShardBatch as usize], 1);
+    for shards in [2usize, 3, 5] {
+        let got = run(shards);
+        for kind in EventKind::ALL {
+            if kind == EventKind::ShardBatch {
+                assert_eq!(got[kind as usize], shards as u64, "{shards} shards");
+            } else {
+                assert_eq!(
+                    got[kind as usize], baseline[kind as usize],
+                    "{:?} with {shards} shards",
+                    kind
+                );
+            }
+        }
+    }
+}
+
+/// Retry and degraded events reconcile with the engine's counters, and a
+/// health flip is observed exactly once per affected stream.
+#[test]
+fn engine_fault_events_reconcile_with_stats() {
+    let (system, alloc, queries) = chaos_batch();
+    let injector = FaultInjector::random_outages(
+        7,
+        5,
+        0.4,
+        Micros::from_millis(3),
+        Some(Micros::from_millis(4)),
+    );
+    let mut engine = Engine::new(&system, &alloc, PushRelabelBinary, 2)
+        .with_fault_injector(injector)
+        .with_retry_policy(RetryPolicy {
+            max_retries: 3,
+            backoff: Micros::from_millis(1),
+        })
+        .with_degraded_mode(true)
+        .with_tracing(1 << 12);
+    let _ = engine.submit_batch(&queries);
+    let counts = engine.trace_counts();
+    assert_eq!(
+        counts[EventKind::RetryScheduled as usize],
+        engine.stats().retries
+    );
+    assert_eq!(
+        counts[EventKind::DegradedServe as usize],
+        engine.stats().degraded_solves
+    );
+    // The outage and the recovery are both health transitions; every
+    // stream that submits across them sees each at most once.
+    assert!(counts[EventKind::HealthTransition as usize] > 0);
+    assert!(counts[EventKind::HealthTransition as usize] <= 2 * 7);
+}
+
+/// `metrics_snapshot()` exposes p50/p95/p99 and round-trips through both
+/// export formats.
+#[test]
+fn metrics_snapshot_quantiles_and_round_trip() {
+    let (system, alloc, queries) = chaos_batch();
+    let mut engine = Engine::new(&system, &alloc, PushRelabelBinary, 2).with_tracing(1 << 12);
+    let results = engine.submit_batch(&queries);
+    assert!(results.iter().all(Result::is_ok));
+
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.stats.queries, queries.len() as u64);
+    assert_eq!(snap.shards, 2);
+    assert_eq!(snap.solve_latency_us.count, queries.len() as u64);
+    assert!(snap.solve_latency_us.p50 > 0);
+    assert!(snap.solve_latency_us.p95 >= snap.solve_latency_us.p50);
+    assert!(snap.solve_latency_us.p99 >= snap.solve_latency_us.p95);
+    assert!(snap.probes_per_solve.p50 > 0);
+    assert!(snap.turnaround_us.p99 >= snap.turnaround_us.p50);
+    // Quantile summaries derive from the histograms in the same snapshot.
+    assert_eq!(
+        snap.solve_latency_us,
+        snap.histograms.solve_latency_us.summary()
+    );
+
+    let reg = snap.to_registry();
+    assert_eq!(reg.counter("rds_queries_total"), Some(42));
+    assert_eq!(reg.gauge("rds_shards"), Some(2));
+    assert_eq!(
+        reg.histogram("rds_solve_latency_us").unwrap().count(),
+        queries.len() as u64
+    );
+    assert_eq!(
+        reg.counter("rds_trace_solve_start_total"),
+        Some(snap.trace_counts[EventKind::SolveStart as usize])
+    );
+
+    // Acceptance criterion: Prometheus and JSON exports parse back into
+    // the identical registry.
+    let prom = MetricsRegistry::parse_prometheus(&snap.to_prometheus()).unwrap();
+    assert_eq!(prom, reg);
+    let json = MetricsRegistry::parse_json(&snap.to_json()).unwrap();
+    assert_eq!(json, reg);
+}
+
+/// Without `with_tracing`, the engine still measures histograms but
+/// reports zero trace events — the tracer stays a no-op.
+#[test]
+fn untraced_engine_has_histograms_but_no_events() {
+    let (system, alloc, queries) = chaos_batch();
+    let mut engine = Engine::new(&system, &alloc, PushRelabelBinary, 2);
+    let _ = engine.submit_batch(&queries);
+    assert_eq!(engine.trace_counts(), [0u64; EventKind::COUNT]);
+    assert!(engine.shard_recorder(0).is_none());
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.solve_latency_us.count, queries.len() as u64);
+    assert!(snap.probes_per_solve.p99 > 0);
+}
