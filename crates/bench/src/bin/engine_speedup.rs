@@ -175,12 +175,19 @@ fn main() -> ExitCode {
         qps = total as f64 / best_engine.as_secs_f64(),
     );
     print!("{report}");
-    if let Err(e) = std::fs::create_dir_all("results")
+    let json = format!(
+        "{{\n  \"bench\": \"engine_speedup\",\n  \"queries\": {total},\n  \"streams\": {streams},\n  \"repeat\": {repeat},\n  \"clone_per_solve_ms\": {naive:.3},\n  \"engine_ms\": {engine:.3},\n  \"speedup\": {speedup:.3},\n  \"queries_per_sec\": {qps:.1}\n}}\n",
+        naive = best_naive.as_secs_f64() * 1e3,
+        engine = best_engine.as_secs_f64() * 1e3,
+        qps = total as f64 / best_engine.as_secs_f64(),
+    );
+    let write = std::fs::create_dir_all("results")
         .and_then(|()| std::fs::write("results/engine_speedup.txt", &report))
-    {
-        eprintln!("could not write results/engine_speedup.txt: {e}");
+        .and_then(|()| std::fs::write("BENCH_engine_speedup.json", &json));
+    if let Err(e) = write {
+        eprintln!("could not write engine_speedup outputs: {e}");
         return ExitCode::FAILURE;
     }
-    eprintln!("wrote results/engine_speedup.txt");
+    eprintln!("wrote results/engine_speedup.txt and BENCH_engine_speedup.json");
     ExitCode::SUCCESS
 }

@@ -101,7 +101,7 @@ impl RetrievalSolver for BlackBoxPushRelabel {
         let mut stats = SolveStats::default();
         let (s, t) = (inst.source(), inst.sink());
         let engine = &mut ws.engine;
-        blackbox_binary(
+        let result = match blackbox_binary(
             inst,
             &mut ws.graph,
             &mut stats,
@@ -117,8 +117,12 @@ impl RetrievalSolver for BlackBoxPushRelabel {
                 tracer.emit(TraceEvent::RelabelPass { pushes, relabels });
                 flow
             },
-        )?;
-        RetrievalOutcome::try_from_flow(inst, &ws.graph, stats)
+        ) {
+            Ok(()) => RetrievalOutcome::try_from_flow(inst, &ws.graph, stats),
+            Err(e) => Err(e),
+        };
+        ws.complete();
+        result
     }
 }
 
@@ -140,7 +144,7 @@ impl RetrievalSolver for BlackBoxFordFulkerson {
         ws.begin(inst);
         let mut stats = SolveStats::default();
         let (s, t) = (inst.source(), inst.sink());
-        blackbox_binary(
+        let result = match blackbox_binary(
             inst,
             &mut ws.graph,
             &mut stats,
@@ -150,8 +154,12 @@ impl RetrievalSolver for BlackBoxFordFulkerson {
                 g.zero_flows();
                 ford_fulkerson(g, s, t)
             },
-        )?;
-        RetrievalOutcome::try_from_flow(inst, &ws.graph, stats)
+        ) {
+            Ok(()) => RetrievalOutcome::try_from_flow(inst, &ws.graph, stats),
+            Err(e) => Err(e),
+        };
+        ws.complete();
+        result
     }
 }
 

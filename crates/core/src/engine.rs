@@ -40,8 +40,9 @@ use crate::fault::{FaultInjector, HealthMap};
 use crate::obs::metrics::{Histogram, LatencySummary, MetricsRegistry};
 use crate::obs::trace::{EventKind, TraceEvent};
 use crate::schedule::SolveStats;
-use crate::session::{SessionOutcome, SessionState};
+use crate::session::{ReuseCounters, ReusePolicy, SessionOutcome, SessionState};
 use crate::solver::RetrievalSolver;
+use crate::spec::{AnySolver, SolverKind, SolverSpec};
 use crate::workspace::Workspace;
 use rds_decluster::allocation::ReplicaSource;
 use rds_decluster::query::Bucket;
@@ -118,6 +119,9 @@ pub struct EngineStats {
     pub dropped_buckets: u64,
     /// Queries lost to a contained panic ([`EngineError::ShardFailed`]).
     pub shard_failures: u64,
+    /// Cross-query reuse effectiveness (schedule-cache hits, delta
+    /// patches, fallbacks), summed over every live stream.
+    pub reuse: ReuseCounters,
 }
 
 impl EngineStats {
@@ -173,6 +177,17 @@ impl MetricsSnapshot {
         reg.inc_counter("rds_dropped_buckets_total", self.stats.dropped_buckets);
         reg.inc_counter("rds_shard_failures_total", self.stats.shard_failures);
         reg.inc_counter("rds_workspace_solves_total", self.stats.workspace_solves);
+        reg.inc_counter("rds_cache_hits_total", self.stats.reuse.cache_hits);
+        reg.inc_counter("rds_cache_misses_total", self.stats.reuse.cache_misses);
+        reg.inc_counter(
+            "rds_cache_evictions_total",
+            self.stats.reuse.cache_evictions,
+        );
+        reg.inc_counter("rds_delta_patches_total", self.stats.reuse.delta_patches);
+        reg.inc_counter(
+            "rds_delta_fallbacks_total",
+            self.stats.reuse.delta_fallbacks,
+        );
         reg.inc_counter(
             "rds_elapsed_us_total",
             self.stats.elapsed.as_micros() as u64,
@@ -286,6 +301,7 @@ struct BatchCtx<'c, A: ?Sized, S: ?Sized> {
     alloc: &'c A,
     solver: &'c S,
     faults: FaultConfig<'c>,
+    reuse: ReusePolicy,
 }
 
 /// One shard's batch output: its tally plus `(original_index, result)`
@@ -358,7 +374,7 @@ impl Shard {
         let state = self
             .states
             .entry(q.stream)
-            .or_insert_with(|| SessionState::new(ctx.system.num_disks()));
+            .or_insert_with(|| SessionState::with_reuse(ctx.system.num_disks(), ctx.reuse));
         if let Some(inj) = faults.injector {
             inj.health_at(q.arrival, &mut self.health);
         } else {
@@ -457,6 +473,135 @@ pub struct Engine<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> {
     injector: Option<FaultInjector>,
     retry: RetryPolicy,
     degraded: bool,
+    reuse: ReusePolicy,
+}
+
+/// Step-by-step construction of an [`Engine`] around a [`SolverSpec`] —
+/// the unified alternative to threading a concrete solver type through
+/// [`Engine::new`]:
+///
+/// ```
+/// use rds_core::engine::Engine;
+/// use rds_core::spec::SolverKind;
+/// use rds_decluster::orthogonal::OrthogonalAllocation;
+/// use rds_storage::experiments::paper_example;
+///
+/// let system = paper_example();
+/// let alloc = OrthogonalAllocation::paper_7x7();
+/// let engine = Engine::builder(&system, &alloc)
+///     .solver(SolverKind::PushRelabelBinary)
+///     .warm_start(true)
+///     .shards(2)
+///     .build();
+/// assert_eq!(engine.num_shards(), 2);
+/// ```
+#[must_use]
+pub struct EngineBuilder<'a, A: ReplicaSource + Sync> {
+    system: &'a SystemConfig,
+    alloc: &'a A,
+    spec: SolverSpec,
+    shards: usize,
+    retry: RetryPolicy,
+    degraded: bool,
+    injector: Option<FaultInjector>,
+    tracing: Option<usize>,
+}
+
+impl<'a, A: ReplicaSource + Sync> EngineBuilder<'a, A> {
+    /// Selects the algorithm ([`SolverKind::PushRelabelBinary`] is the
+    /// default), keeping the other solver knobs.
+    pub fn solver(mut self, kind: SolverKind) -> Self {
+        self.spec.kind = kind;
+        self
+    }
+
+    /// Replaces the whole [`SolverSpec`] (kind and knobs).
+    pub fn solver_spec(mut self, spec: SolverSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Worker threads for the parallel solver (ignored by the others).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.spec = self.spec.threads(threads);
+        self
+    }
+
+    /// Enables warm-start delta solving per stream (see
+    /// [`ReusePolicy::warm_start`]).
+    pub fn warm_start(mut self, on: bool) -> Self {
+        self.spec = self.spec.warm_start(on);
+        self
+    }
+
+    /// Sets the per-stream schedule cache capacity (see
+    /// [`ReusePolicy::cache_capacity`]).
+    pub fn cache_capacity(mut self, entries: usize) -> Self {
+        self.spec = self.spec.cache_capacity(entries);
+        self
+    }
+
+    /// Number of shard workers (minimum 1; default 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Replanning policy for infeasible queries.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables the best-effort degraded fallback.
+    pub fn degraded_mode(mut self, degraded: bool) -> Self {
+        self.degraded = degraded;
+        self
+    }
+
+    /// Installs a fault schedule.
+    pub fn fault_injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Installs a per-shard trace recorder of `capacity` events.
+    pub fn tracing(mut self, capacity: usize) -> Self {
+        self.tracing = Some(capacity);
+        self
+    }
+
+    /// Materializes the engine.
+    pub fn build(self) -> Engine<'a, A, AnySolver> {
+        let mut engine = Engine::new(self.system, self.alloc, self.spec.build(), self.shards)
+            .with_reuse(self.spec.reuse_policy())
+            .with_retry_policy(self.retry)
+            .with_degraded_mode(self.degraded);
+        if let Some(injector) = self.injector {
+            engine = engine.with_fault_injector(injector);
+        }
+        if let Some(capacity) = self.tracing {
+            engine = engine.with_tracing(capacity);
+        }
+        engine
+    }
+}
+
+impl<'a, A: ReplicaSource + Sync> Engine<'a, A, AnySolver> {
+    /// Starts building an engine whose solver is chosen by
+    /// [`SolverKind`] instead of a concrete type parameter.
+    pub fn builder(system: &'a SystemConfig, alloc: &'a A) -> EngineBuilder<'a, A> {
+        EngineBuilder {
+            system,
+            alloc,
+            spec: SolverSpec::new(SolverKind::PushRelabelBinary),
+            shards: 1,
+            retry: RetryPolicy::default(),
+            degraded: false,
+            injector: None,
+            tracing: None,
+        }
+    }
 }
 
 impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
@@ -474,7 +619,21 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
             injector: None,
             retry: RetryPolicy::default(),
             degraded: false,
+            reuse: ReusePolicy::default(),
         }
+    }
+
+    /// Sets the cross-query reuse policy applied to every stream: warm
+    /// flow reuse between overlapping queries and/or a small per-stream
+    /// schedule cache. Existing streams adopt the policy immediately.
+    pub fn with_reuse(mut self, reuse: ReusePolicy) -> Self {
+        self.reuse = reuse;
+        for shard in &mut self.shards {
+            for state in shard.states.values_mut() {
+                state.set_reuse_policy(reuse);
+            }
+        }
+        self
     }
 
     /// Installs a fault schedule: every query plans around the health in
@@ -587,6 +746,7 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
                 retry: self.retry,
                 degraded: self.degraded,
             },
+            reuse: self.reuse,
         };
 
         // Route each query to its stream's home shard, preserving input
@@ -608,7 +768,7 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
             }
         } else {
             let ctx = &ctx;
-            let collected: Vec<ShardOutput> = std::thread::scope(|scope| {
+            let collected: Vec<Option<ShardOutput>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shards
                     .iter_mut()
@@ -622,18 +782,35 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
                         })
                     })
                     .collect();
-                // Per-query panics are already contained inside
-                // `Shard::run`; a join failure here would mean the
-                // containment itself failed, so surface it loudly.
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
-                    .collect()
+                // Per-query panics are contained inside `Shard::run`; a
+                // join failure means a panic escaped that containment
+                // (e.g. in the shard's own bookkeeping). Record it as a
+                // dead worker instead of propagating — the other shards'
+                // results are still good.
+                handles.into_iter().map(|h| h.join().ok()).collect()
             });
-            for (tally, out) in collected {
-                tallies.push(tally);
-                for (i, r) in out {
-                    merged[i] = Some(r);
+            for (shard_idx, output) in collected.into_iter().enumerate() {
+                match output {
+                    Some((tally, out)) => {
+                        tallies.push(tally);
+                        for (i, r) in out {
+                            merged[i] = Some(r);
+                        }
+                    }
+                    None => {
+                        // Every query routed to the dead worker fails
+                        // typed; the shard restarts with fresh stream
+                        // states and a cleared workspace.
+                        let mut tally = ShardTally::default();
+                        tally.shard_failures += by_shard[shard_idx].len() as u64;
+                        tallies.push(tally);
+                        for &i in &by_shard[shard_idx] {
+                            merged[i] = Some(Err(EngineError::ShardFailed { shard: shard_idx }));
+                        }
+                        let shard = &mut self.shards[shard_idx];
+                        shard.states.clear();
+                        let _ = shard.workspace.take_poisoned();
+                    }
                 }
             }
         }
@@ -656,6 +833,13 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
             }
         }
         self.stats.workspace_solves = self.shards.iter().map(|s| s.workspace.solves()).sum();
+        let mut reuse = ReuseCounters::default();
+        for shard in &self.shards {
+            for state in shard.states.values() {
+                reuse.merge(&state.reuse_counters());
+            }
+        }
+        self.stats.reuse = reuse;
         results
     }
 }

@@ -41,6 +41,15 @@ pub enum SolveError {
         /// Human-readable precondition that failed.
         reason: &'static str,
     },
+    /// The solver cannot resume from a warm delta-patched workspace
+    /// (Ford-Fulkerson and blackbox solvers rebuild per query). Callers
+    /// fall back to a cold [`crate::solver::RetrievalSolver::solve_in`];
+    /// the [`crate::session::SessionState`] delta path does this
+    /// transparently.
+    DeltaUnsupported {
+        /// `RetrievalSolver::name()` of the refusing solver.
+        solver: &'static str,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -66,6 +75,9 @@ impl std::fmt::Display for SolveError {
             }
             SolveError::UnsupportedSystem { reason } => {
                 write!(f, "unsupported system: {reason}")
+            }
+            SolveError::DeltaUnsupported { solver } => {
+                write!(f, "solver {solver} does not support warm delta re-solves")
             }
         }
     }
@@ -198,6 +210,8 @@ mod tests {
             reason: "homogeneous unloaded disks required",
         };
         assert!(e.to_string().contains("homogeneous"));
+        let e = SolveError::DeltaUnsupported { solver: "BB-PR" };
+        assert!(e.to_string().contains("delta"));
     }
 
     #[test]

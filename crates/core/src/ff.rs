@@ -61,7 +61,9 @@ impl RetrievalSolver for FordFulkersonBasic {
         let q = inst.query_size();
         let n = inst.num_disks();
         if q == 0 {
-            return RetrievalOutcome::try_from_flow(inst, g, stats);
+            let result = RetrievalOutcome::try_from_flow(inst, g, stats);
+            ws.complete();
+            return result;
         }
 
         // Lines 1-2: caps ← ⌈|Q|/N⌉ (the theoretical lower bound; the
@@ -94,7 +96,9 @@ impl RetrievalSolver for FordFulkersonBasic {
             }
         }
         debug_assert_eq!(g.net_inflow(t) as usize, q);
-        RetrievalOutcome::try_from_flow(inst, g, stats)
+        let result = RetrievalOutcome::try_from_flow(inst, g, stats);
+        ws.complete();
+        result
     }
 }
 
@@ -118,7 +122,9 @@ impl RetrievalSolver for FordFulkersonIncremental {
         let mut stats = SolveStats::default();
         let q = inst.query_size();
         if q == 0 {
-            return RetrievalOutcome::try_from_flow(inst, g, stats);
+            let result = RetrievalOutcome::try_from_flow(inst, g, stats);
+            ws.complete();
+            return result;
         }
 
         // Lines 1-2: capacities start at zero — no closed-form lower bound
@@ -142,6 +148,7 @@ impl RetrievalSolver for FordFulkersonIncremental {
                     edges: raised as u32,
                 });
                 if raised == 0 {
+                    ws.complete();
                     return Err(SolveError::Infeasible {
                         bucket: None,
                         delivered: i as i64,
@@ -151,7 +158,9 @@ impl RetrievalSolver for FordFulkersonIncremental {
             }
         }
         debug_assert_eq!(g.net_inflow(t) as usize, q);
-        RetrievalOutcome::try_from_flow(inst, g, stats)
+        let result = RetrievalOutcome::try_from_flow(inst, g, stats);
+        ws.complete();
+        result
     }
 }
 

@@ -61,13 +61,17 @@ pub mod network;
 pub mod obs;
 pub mod parallel;
 pub mod pr;
+pub mod prelude;
 pub mod schedule;
 pub mod session;
 pub mod solver;
+pub mod spec;
 pub mod verify;
 pub mod workspace;
 
-pub use engine::{BatchQuery, Engine, EngineMetrics, EngineStats, MetricsSnapshot, RetryPolicy};
+pub use engine::{
+    BatchQuery, Engine, EngineBuilder, EngineMetrics, EngineStats, MetricsSnapshot, RetryPolicy,
+};
 pub use error::{EngineError, SessionError, SolveError};
 pub use fault::{
     solve_degraded, DiskHealth, FaultEvent, FaultInjector, HealthMap, PartialSchedule,
@@ -76,6 +80,7 @@ pub use network::RetrievalInstance;
 pub use obs::metrics::{Histogram, LatencySummary, MetricsRegistry};
 pub use obs::trace::{EventKind, Recorder, TraceEvent, TraceSink, Tracer};
 pub use schedule::{RetrievalOutcome, Schedule, SolveStats};
-pub use session::{RetrievalSession, SessionOutcome, SessionState};
+pub use session::{RetrievalSession, ReuseCounters, ReusePolicy, SessionOutcome, SessionState};
 pub use solver::RetrievalSolver;
-pub use workspace::Workspace;
+pub use spec::{AnySolver, SolverKind, SolverSpec};
+pub use workspace::{PoisonedWorkspace, Workspace};

@@ -61,6 +61,12 @@ pub struct RetrievalInstance {
     /// Maximum replica count of any bucket (the `c` of the complexity
     /// bounds).
     pub max_copies: usize,
+    /// Replica arcs deactivated (capacity zeroed) by
+    /// [`RetrievalInstance::patch_buckets`] since the last full rebuild.
+    /// Dead arcs cost a little on every adjacency walk, so once they
+    /// outnumber the live arcs ([`RetrievalInstance::needs_compaction`])
+    /// callers should rebuild instead of patching further.
+    pub dead_arcs: usize,
 }
 
 impl RetrievalInstance {
@@ -122,6 +128,7 @@ impl RetrievalInstance {
             bucket_edges: Vec::new(),
             replicas_per_disk: Vec::new(),
             max_copies: 0,
+            dead_arcs: 0,
         };
         inst.rebuild_with_health(system, alloc, buckets, health)?;
         Ok(inst)
@@ -208,6 +215,7 @@ impl RetrievalInstance {
         self.replicas_per_disk.clear();
         self.replicas_per_disk.resize(n, 0);
         self.max_copies = 0;
+        self.dead_arcs = 0;
 
         for (i, &b) in buckets.iter().enumerate() {
             self.bucket_edges
@@ -240,6 +248,107 @@ impl RetrievalInstance {
         self.disk_edges
             .extend((0..n).map(|j| self.graph.add_edge(q + 1 + j, sink, 0)));
         Ok(())
+    }
+
+    /// Patches this instance **in place** from its current bucket set to
+    /// `buckets`, preserving the vertex layout and every existing edge id —
+    /// the delta counterpart of [`RetrievalInstance::rebuild_in`] that
+    /// keeps a warm flow loadable.
+    ///
+    /// Requirements (checked): `buckets` has the same length as the
+    /// current query, so bucket/disk vertex ids are unchanged. The health
+    /// map must be the one the instance was built under (replica pruning
+    /// is reproduced for the new buckets only).
+    ///
+    /// Slots are aligned by bucket *identity*, not position: a bucket
+    /// present in both queries keeps its old slot (and its warm flow),
+    /// regardless of where it appears in `buckets` — so afterwards
+    /// `self.buckets` is a permutation of the request. For every slot
+    /// whose bucket changed, the old replica arcs are deactivated
+    /// (capacity zeroed, counted in [`RetrievalInstance::dead_arcs`]) and
+    /// fresh arcs for the new bucket's surviving replicas are appended.
+    /// `changed` receives the patched slot indices. Returns `Err` if a
+    /// new bucket has no surviving replica; the instance is then in an
+    /// unspecified (but safe) state and must be rebuilt before use —
+    /// same contract as [`RetrievalInstance::rebuild_with_health`].
+    pub fn patch_buckets<A: ReplicaSource + ?Sized>(
+        &mut self,
+        alloc: &A,
+        buckets: &[Bucket],
+        health: &HealthMap,
+        changed: &mut Vec<usize>,
+    ) -> Result<(), UnavailableBucket> {
+        assert_eq!(
+            buckets.len(),
+            self.query_size(),
+            "patch_buckets requires an equal-size query (vertex layout is |Q|-dependent)"
+        );
+        let q = self.query_size();
+        let n = self.num_disks();
+        changed.clear();
+        // Match surviving buckets to their old slots (multiset matching —
+        // duplicate buckets each claim one slot).
+        let mut claimed = vec![false; q];
+        let mut incoming = Vec::new();
+        for &b in buckets {
+            match (0..q).find(|&j| !claimed[j] && self.buckets[j] == b) {
+                Some(j) => claimed[j] = true,
+                None => incoming.push(b),
+            }
+        }
+        let mut incoming = incoming.into_iter();
+        for (i, kept) in claimed.into_iter().enumerate() {
+            if kept {
+                continue;
+            }
+            let b = incoming
+                .next()
+                .expect("equal sizes: one bucket per free slot");
+            changed.push(i);
+            let v = self.bucket_vertex(i);
+            // Deactivate the old bucket's replica arcs.
+            for idx in 0..self.graph.out_edges(v).len() {
+                let e = self.graph.out_edges(v)[idx] as EdgeId;
+                if e.is_multiple_of(2) && self.graph.cap(e) > 0 {
+                    let d = self.disk_of_vertex(self.graph.target(e));
+                    self.graph.set_cap(e, 0);
+                    self.replicas_per_disk[d] -= 1;
+                    self.dead_arcs += 1;
+                }
+            }
+            // Attach the new bucket's surviving replicas.
+            let reps = alloc.replicas(b);
+            assert!(!reps.is_empty(), "bucket {b} has no replicas");
+            self.max_copies = self.max_copies.max(reps.len());
+            let mut seen = [usize::MAX; rds_decluster::allocation::MAX_COPIES];
+            let mut seen_len = 0;
+            let mut available = 0;
+            for d in reps.iter() {
+                assert!(d < n, "replica disk {d} out of range for {n} disks");
+                if health.is_offline(d) {
+                    continue;
+                }
+                available += 1;
+                if !seen[..seen_len].contains(&d) {
+                    seen[seen_len] = d;
+                    seen_len += 1;
+                    self.graph.add_edge(v, q + 1 + d, 1);
+                    self.replicas_per_disk[d] += 1;
+                }
+            }
+            if available == 0 {
+                return Err(UnavailableBucket { bucket: b });
+            }
+            self.buckets[i] = b;
+        }
+        Ok(())
+    }
+
+    /// Whether deactivated arcs have accumulated past the live arc count,
+    /// at which point a full rebuild beats further patching.
+    pub fn needs_compaction(&self) -> bool {
+        let live: u64 = self.replicas_per_disk.iter().sum();
+        self.dead_arcs as u64 > live.max(1)
     }
 
     /// Query size `|Q|`.
@@ -368,8 +477,9 @@ impl RetrievalInstance {
             let mut best_disk = usize::MAX;
             let mut best_single = Micros::MAX;
             for &e in self.graph.out_edges(v) {
-                if e % 2 != 0 {
-                    continue; // reverse slot of the source edge
+                if e % 2 != 0 || self.graph.cap(e as usize) == 0 {
+                    continue; // reverse slot of the source edge, or a
+                              // replica arc deactivated by `patch_buckets`
                 }
                 let j = self.disk_of_vertex(self.graph.target(e as usize));
                 let next = self.disks[j].completion_time(scratch[j] as u64 + 1);
@@ -611,6 +721,88 @@ mod tests {
         let fresh = RetrievalInstance::build(&system, &alloc, &buckets);
         assert_eq!(inst.graph.num_edges(), fresh.graph.num_edges());
         assert_eq!(inst.buckets, fresh.buckets);
+    }
+
+    #[test]
+    fn patch_buckets_matches_fresh_build_results() {
+        use crate::pr::PushRelabelBinary;
+        use crate::solver::RetrievalSolver;
+
+        let system = paper_example();
+        let alloc = OrthogonalAllocation::paper_7x7();
+        let health = HealthMap::all_healthy();
+        let q0 = RangeQuery::new(0, 0, 2, 3);
+        let mut inst = RetrievalInstance::build(&system, &alloc, &q0.buckets(7));
+        let mut changed = Vec::new();
+        // Slide the range one column at a time; each step overlaps the
+        // previous query in 4 of 6 buckets.
+        for col in 1..5usize {
+            let q = RangeQuery::new(0, col, 2, 3);
+            let buckets = q.buckets(7);
+            inst.patch_buckets(&alloc, &buckets, &health, &mut changed)
+                .unwrap();
+            assert_eq!(changed.len(), 2, "one column of two rows changed");
+            let fresh = RetrievalInstance::build(&system, &alloc, &buckets);
+            // Slot alignment keeps surviving buckets in place, so the
+            // patched order is a permutation of the fresh one.
+            let mut got: Vec<String> = inst.buckets.iter().map(|b| b.to_string()).collect();
+            let mut want: Vec<String> = fresh.buckets.iter().map(|b| b.to_string()).collect();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want);
+            assert_eq!(inst.replicas_per_disk, fresh.replicas_per_disk);
+            let patched = PushRelabelBinary.solve(&inst).unwrap();
+            let cold = PushRelabelBinary.solve(&fresh).unwrap();
+            assert_eq!(patched.response_time, cold.response_time, "col {col}");
+        }
+        assert_eq!(inst.dead_arcs, 4 * 2 * 2, "2 buckets × 2 copies per step");
+    }
+
+    #[test]
+    fn patch_buckets_noop_on_identical_query() {
+        let system = paper_example();
+        let alloc = OrthogonalAllocation::paper_7x7();
+        let buckets = RangeQuery::new(0, 0, 2, 2).buckets(7);
+        let mut inst = RetrievalInstance::build(&system, &alloc, &buckets);
+        let edges_before = inst.graph.num_edges();
+        let mut changed = vec![99];
+        inst.patch_buckets(&alloc, &buckets, &HealthMap::all_healthy(), &mut changed)
+            .unwrap();
+        assert!(changed.is_empty());
+        assert_eq!(inst.graph.num_edges(), edges_before);
+        assert_eq!(inst.dead_arcs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-size")]
+    fn patch_buckets_rejects_size_change() {
+        let system = paper_example();
+        let alloc = OrthogonalAllocation::paper_7x7();
+        let mut inst =
+            RetrievalInstance::build(&system, &alloc, &RangeQuery::new(0, 0, 2, 2).buckets(7));
+        let bigger = RangeQuery::new(0, 0, 3, 3).buckets(7);
+        let mut changed = Vec::new();
+        let _ = inst.patch_buckets(&alloc, &bigger, &HealthMap::all_healthy(), &mut changed);
+    }
+
+    #[test]
+    fn repeated_patching_eventually_needs_compaction() {
+        let system = paper_example();
+        let alloc = OrthogonalAllocation::paper_7x7();
+        let health = HealthMap::all_healthy();
+        let mut inst =
+            RetrievalInstance::build(&system, &alloc, &RangeQuery::new(0, 0, 1, 2).buckets(7));
+        assert!(!inst.needs_compaction());
+        let mut changed = Vec::new();
+        for step in 1..20usize {
+            let buckets = RangeQuery::new(step % 6, step % 6, 1, 2).buckets(7);
+            inst.patch_buckets(&alloc, &buckets, &health, &mut changed)
+                .unwrap();
+            if inst.needs_compaction() {
+                return;
+            }
+        }
+        panic!("dead arcs never outnumbered live arcs");
     }
 
     #[test]

@@ -56,6 +56,13 @@ pub struct Histogram {
     buckets: [u64; NUM_BUCKETS],
     count: u64,
     sum: u64,
+    /// Smallest sample recorded (`u64::MAX` when empty), used to clamp
+    /// quantile estimates: a bucket's upper bound can exceed every sample
+    /// in it (e.g. a single sample of 100 lands in bucket [64,128), whose
+    /// bound 127 would otherwise be reported as the p50).
+    min: u64,
+    /// Largest sample recorded (0 when empty), the matching upper clamp.
+    max: u64,
 }
 
 impl Default for Histogram {
@@ -71,6 +78,8 @@ impl Histogram {
             buckets: [0; NUM_BUCKETS],
             count: 0,
             sum: 0,
+            min: u64::MAX,
+            max: 0,
         }
     }
 
@@ -80,6 +89,8 @@ impl Histogram {
         self.buckets[bucket_index(value)] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
     }
 
     /// Number of samples recorded.
@@ -100,6 +111,16 @@ impl Histogram {
     /// Count in bucket `i`.
     pub fn bucket(&self, i: usize) -> u64 {
         self.buckets[i]
+    }
+
+    /// Smallest sample recorded, `None` when empty.
+    pub fn min_sample(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample recorded, `None` when empty.
+    pub fn max_sample(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
     }
 
     /// `(upper_bound, count)` for every non-empty bucket, ascending.
@@ -125,10 +146,13 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_upper_bound(i);
+                // Clamp the bucket bound into the observed sample range:
+                // without it the bucket holding the smallest sample would
+                // report its upper edge, overstating even the minimum.
+                return bucket_upper_bound(i).clamp(self.min, self.max);
             }
         }
-        bucket_upper_bound(NUM_BUCKETS - 1)
+        bucket_upper_bound(NUM_BUCKETS - 1).clamp(self.min, self.max)
     }
 
     /// Adds every bucket of `other` into `self`.
@@ -138,6 +162,10 @@ impl Histogram {
         }
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
     }
 
     /// Zeroes all buckets.
@@ -277,6 +305,12 @@ impl MetricsRegistry {
             let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
             let _ = writeln!(out, "{name}_sum {}", h.sum);
             let _ = writeln!(out, "{name}_count {}", h.count);
+            // min/max exist only once a sample was recorded; the empty
+            // sentinel (min = u64::MAX) is never serialized.
+            if h.count > 0 {
+                let _ = writeln!(out, "{name}_min {}", h.min);
+                let _ = writeln!(out, "{name}_max {}", h.max);
+            }
         }
         out
     }
@@ -349,6 +383,18 @@ impl MetricsRegistry {
                     continue;
                 }
             }
+            if let Some(base) = key.strip_suffix("_min") {
+                if types.get(base).map(String::as_str) == Some("histogram") {
+                    reg.histogram_mut(base).min = value_u()?;
+                    continue;
+                }
+            }
+            if let Some(base) = key.strip_suffix("_max") {
+                if types.get(base).map(String::as_str) == Some("histogram") {
+                    reg.histogram_mut(base).max = value_u()?;
+                    continue;
+                }
+            }
             match types.get(key).map(String::as_str) {
                 Some("counter") => {
                     let v = value_u()?;
@@ -397,11 +443,13 @@ impl MetricsRegistry {
                 out.push(',');
             }
             first = false;
-            let _ = write!(
-                out,
-                "\"{name}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
-                h.count, h.sum
-            );
+            let _ = write!(out, "\"{name}\":{{\"count\":{},\"sum\":{},", h.count, h.sum);
+            if h.count > 0 {
+                // Skipped when empty: the min sentinel (u64::MAX) has no
+                // JSON integer representation the parser accepts.
+                let _ = write!(out, "\"min\":{},\"max\":{},", h.min, h.max);
+            }
+            out.push_str("\"buckets\":[");
             let mut first_b = true;
             for (i, &c) in h.buckets.iter().enumerate() {
                 if c == 0 {
@@ -454,6 +502,8 @@ impl MetricsRegistry {
                                 match field.as_str() {
                                     "count" => h.count = p.integer()? as u64,
                                     "sum" => h.sum = p.integer()? as u64,
+                                    "min" => h.min = p.integer()? as u64,
+                                    "max" => h.max = p.integer()? as u64,
                                     "buckets" => {
                                         p.expect('[')?;
                                         if !p.peek_is(']') {
@@ -662,13 +712,30 @@ mod tests {
         }
         assert_eq!(h.quantile(0.50), 127);
         assert_eq!(h.quantile(0.90), 127);
-        assert_eq!(h.quantile(0.95), 16_383);
-        assert_eq!(h.quantile(0.99), 16_383);
-        assert_eq!(h.quantile(1.0), 16_383);
+        // Upper tail clamps to the largest recorded sample rather than
+        // reporting the slow bucket's upper edge (16_383).
+        assert_eq!(h.quantile(0.95), 10_000);
+        assert_eq!(h.quantile(0.99), 10_000);
+        assert_eq!(h.quantile(1.0), 10_000);
         assert_eq!(h.quantile(0.0), 127); // rank clamps to the 1st sample
         let s = h.summary();
         assert_eq!(s.count, 100);
-        assert_eq!((s.p50, s.p95, s.p99), (127, 16_383, 16_383));
+        assert_eq!((s.p50, s.p95, s.p99), (127, 10_000, 10_000));
+        assert_eq!(h.min_sample(), Some(100));
+        assert_eq!(h.max_sample(), Some(10_000));
+    }
+
+    #[test]
+    fn quantiles_never_undershoot_the_minimum_sample() {
+        // A lone sample of 100 lands in bucket [64,128); every quantile
+        // must report the sample itself, not the bucket edge 127.
+        let mut h = Histogram::new();
+        h.record(100);
+        assert_eq!(h.quantile(0.5), 100);
+        assert_eq!(h.quantile(1.0), 100);
+        assert_eq!(h.summary().p50, 100);
+        assert_eq!(Histogram::new().min_sample(), None);
+        assert_eq!(Histogram::new().max_sample(), None);
     }
 
     #[test]

@@ -94,6 +94,22 @@ pub enum TraceEvent {
         /// Queries the shard processed in this batch.
         queries: u32,
     },
+    /// A warm workspace was delta-patched from the stream's previous
+    /// query instead of rebuilt: `changed` bucket slots swapped identity
+    /// and `cancelled` stale flow units were unwound through the residual
+    /// network before the resume.
+    DeltaPatch {
+        /// Bucket slots whose identity changed in the patch.
+        changed: u32,
+        /// Stale flow units cancelled back to the source.
+        cancelled: u32,
+    },
+    /// A query was answered from the stream's schedule cache without any
+    /// solver work.
+    CacheHit {
+        /// Fingerprint of the cache key (query ⊕ health ⊕ load state).
+        fingerprint: u64,
+    },
 }
 
 /// Coarse classification of [`TraceEvent`]s, used for per-kind counting.
@@ -120,11 +136,15 @@ pub enum EventKind {
     DegradedServe,
     /// [`TraceEvent::ShardBatch`]
     ShardBatch,
+    /// [`TraceEvent::DeltaPatch`]
+    DeltaPatch,
+    /// [`TraceEvent::CacheHit`]
+    CacheHit,
 }
 
 impl EventKind {
     /// Number of kinds (size of a per-kind counter array).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 12;
 
     /// Every kind, in discriminant order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -138,6 +158,8 @@ impl EventKind {
         EventKind::HealthTransition,
         EventKind::DegradedServe,
         EventKind::ShardBatch,
+        EventKind::DeltaPatch,
+        EventKind::CacheHit,
     ];
 
     /// Stable snake_case name (used in reports and Prometheus labels).
@@ -153,6 +175,8 @@ impl EventKind {
             EventKind::HealthTransition => "health_transition",
             EventKind::DegradedServe => "degraded_serve",
             EventKind::ShardBatch => "shard_batch",
+            EventKind::DeltaPatch => "delta_patch",
+            EventKind::CacheHit => "cache_hit",
         }
     }
 }
@@ -171,6 +195,8 @@ impl TraceEvent {
             TraceEvent::HealthTransition { .. } => EventKind::HealthTransition,
             TraceEvent::DegradedServe { .. } => EventKind::DegradedServe,
             TraceEvent::ShardBatch { .. } => EventKind::ShardBatch,
+            TraceEvent::DeltaPatch { .. } => EventKind::DeltaPatch,
+            TraceEvent::CacheHit { .. } => EventKind::CacheHit,
         }
     }
 }
@@ -521,6 +547,11 @@ mod tests {
                 shard: 0,
                 queries: 0,
             },
+            TraceEvent::DeltaPatch {
+                changed: 0,
+                cancelled: 0,
+            },
+            TraceEvent::CacheHit { fingerprint: 0 },
         ];
         for (e, k) in events.iter().zip(EventKind::ALL) {
             assert_eq!(e.kind(), k);

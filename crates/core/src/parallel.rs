@@ -9,7 +9,7 @@
 
 use crate::error::SolveError;
 use crate::network::RetrievalInstance;
-use crate::pr::binary_scaling_integrated;
+use crate::pr::{binary_scaling_integrated, warm_integrated};
 use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
 use crate::workspace::Workspace;
@@ -49,7 +49,7 @@ impl RetrievalSolver for ParallelPushRelabelBinary {
         ws.begin(inst);
         let mut stats = SolveStats::default();
         let (g, engine, stored_flows, stored_excess, tracer) = ws.parallel_parts(self.threads);
-        binary_scaling_integrated(
+        let result = match binary_scaling_integrated(
             engine,
             inst,
             g,
@@ -57,8 +57,39 @@ impl RetrievalSolver for ParallelPushRelabelBinary {
             stored_flows,
             stored_excess,
             tracer,
-        )?;
-        RetrievalOutcome::try_from_flow(inst, g, stats)
+        ) {
+            Ok(()) => RetrievalOutcome::try_from_flow(inst, g, stats),
+            Err(e) => Err(e),
+        };
+        ws.complete();
+        result
+    }
+
+    fn supports_delta(&self) -> bool {
+        true
+    }
+
+    fn resume_in(
+        &self,
+        inst: &RetrievalInstance,
+        ws: &mut Workspace,
+    ) -> Result<RetrievalOutcome, SolveError> {
+        let mut stats = SolveStats::default();
+        let result = match ws.warm_parallel_parts(inst, self.threads) {
+            None => {
+                return Err(SolveError::DeltaUnsupported {
+                    solver: self.name(),
+                })
+            }
+            Some((g, engine, scratch, changed, tracer)) => {
+                match warm_integrated(engine, inst, g, &mut stats, scratch, changed, tracer, true) {
+                    Ok(()) => RetrievalOutcome::try_from_flow(inst, g, stats),
+                    Err(e) => Err(e),
+                }
+            }
+        };
+        ws.complete();
+        result
     }
 }
 

@@ -21,7 +21,8 @@ use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
 use crate::workspace::Workspace;
 use rds_flow::graph::FlowGraph;
-use rds_flow::incremental::IncrementalMaxFlow;
+use rds_flow::incremental::{cancel_path, retarget_capacity, IncrementalMaxFlow};
+use rds_storage::time::Micros;
 
 /// Algorithm 5 standalone: integrated incremental push-relabel from zero
 /// capacities.
@@ -40,14 +41,50 @@ impl RetrievalSolver for PushRelabelIncremental {
     ) -> Result<RetrievalOutcome, SolveError> {
         ws.begin(inst);
         let mut stats = SolveStats::default();
-        incremental_phase(
+        let result = match incremental_phase(
             &mut ws.engine,
             inst,
             &mut ws.graph,
             &mut stats,
             &mut ws.tracer,
-        )?;
-        RetrievalOutcome::try_from_flow(inst, &ws.graph, stats)
+        ) {
+            Ok(()) => RetrievalOutcome::try_from_flow(inst, &ws.graph, stats),
+            Err(e) => Err(e),
+        };
+        ws.complete();
+        result
+    }
+
+    fn supports_delta(&self) -> bool {
+        true
+    }
+
+    fn resume_in(
+        &self,
+        inst: &RetrievalInstance,
+        ws: &mut Workspace,
+    ) -> Result<RetrievalOutcome, SolveError> {
+        if !ws.begin_warm(inst) {
+            return Err(SolveError::DeltaUnsupported {
+                solver: self.name(),
+            });
+        }
+        let mut stats = SolveStats::default();
+        let result = match warm_integrated(
+            &mut ws.engine,
+            inst,
+            &mut ws.graph,
+            &mut stats,
+            &mut ws.stored_excess,
+            &ws.warm_changed,
+            &mut ws.tracer,
+            false,
+        ) {
+            Ok(()) => RetrievalOutcome::try_from_flow(inst, &ws.graph, stats),
+            Err(e) => Err(e),
+        };
+        ws.complete();
+        result
     }
 }
 
@@ -68,7 +105,7 @@ impl RetrievalSolver for PushRelabelBinary {
     ) -> Result<RetrievalOutcome, SolveError> {
         ws.begin(inst);
         let mut stats = SolveStats::default();
-        binary_scaling_integrated(
+        let result = match binary_scaling_integrated(
             &mut ws.engine,
             inst,
             &mut ws.graph,
@@ -76,8 +113,44 @@ impl RetrievalSolver for PushRelabelBinary {
             &mut ws.stored_flows,
             &mut ws.stored_excess,
             &mut ws.tracer,
-        )?;
-        RetrievalOutcome::try_from_flow(inst, &ws.graph, stats)
+        ) {
+            Ok(()) => RetrievalOutcome::try_from_flow(inst, &ws.graph, stats),
+            Err(e) => Err(e),
+        };
+        ws.complete();
+        result
+    }
+
+    fn supports_delta(&self) -> bool {
+        true
+    }
+
+    fn resume_in(
+        &self,
+        inst: &RetrievalInstance,
+        ws: &mut Workspace,
+    ) -> Result<RetrievalOutcome, SolveError> {
+        if !ws.begin_warm(inst) {
+            return Err(SolveError::DeltaUnsupported {
+                solver: self.name(),
+            });
+        }
+        let mut stats = SolveStats::default();
+        let result = match warm_integrated(
+            &mut ws.engine,
+            inst,
+            &mut ws.graph,
+            &mut stats,
+            &mut ws.stored_excess,
+            &ws.warm_changed,
+            &mut ws.tracer,
+            true,
+        ) {
+            Ok(()) => RetrievalOutcome::try_from_flow(inst, &ws.graph, stats),
+            Err(e) => Err(e),
+        };
+        ws.complete();
+        result
     }
 }
 
@@ -200,6 +273,113 @@ pub(crate) fn binary_scaling_integrated<E: IncrementalMaxFlow>(
     g.restore_flows(stored_flows);
     engine.restore_excess(stored_excess);
     inst.set_caps_for_budget(g, t_min);
+    incremental_phase(engine, inst, g, stats, tracer)
+}
+
+/// Cancels the warm flow unit of every bucket slot whose identity changed
+/// in the patch. Each stale unit still rides a `source → bucket → disk →
+/// sink` path whose replica arc the patch capped to zero; unwinding the
+/// path through the residual graph returns the unit's excess from the sink
+/// to the source, where the resume re-routes it through the slot's new
+/// replica arcs. Returns the number of units cancelled.
+fn cancel_stale_units<E: IncrementalMaxFlow>(
+    engine: &mut E,
+    inst: &RetrievalInstance,
+    g: &mut FlowGraph,
+    changed: &[usize],
+) -> u32 {
+    let mut cancelled = 0;
+    for &i in changed {
+        let sb = inst.bucket_edges[i];
+        if g.flow(sb) <= 0 {
+            continue;
+        }
+        let b = inst.bucket_vertex(i);
+        let mut path = None;
+        for k in 0..g.out_edges(b).len() {
+            let e = g.out_edges(b)[k] as usize;
+            if e.is_multiple_of(2) && g.flow(e) > 0 {
+                let j = inst.disk_of_vertex(g.target(e));
+                path = Some([sb, e, inst.disk_edges[j]]);
+                break;
+            }
+        }
+        if let Some(p) = path {
+            cancel_path(engine, g, &p, 1);
+            cancelled += 1;
+        }
+    }
+    cancelled
+}
+
+/// Retargets every disk-edge capacity to budget `t`, draining any flow the
+/// smaller capacities orphan into disk-vertex excess (the warm equivalent
+/// of [`RetrievalInstance::set_caps_for_budget`], which assumes the caller
+/// will discard or roll back the flow).
+fn retarget_caps<E: IncrementalMaxFlow>(
+    engine: &mut E,
+    inst: &RetrievalInstance,
+    g: &mut FlowGraph,
+    t: Micros,
+) {
+    for (j, &e) in inst.disk_edges.iter().enumerate() {
+        retarget_capacity(engine, g, e, inst.disks[j].capacity_within(t) as i64);
+    }
+}
+
+/// Algorithm 6 re-run from a warm, delta-patched flow instead of from
+/// zero. Where the cold driver conserves flow across probes with
+/// `StoreFlows`/`RestoreFlows` snapshots, the warm driver never snapshots:
+/// each probe *retargets* the disk capacities in place, draining orphaned
+/// flow into disk excess that the next resume re-routes. Push-relabel
+/// correctness needs only a valid preflow, so the surgery is safe for any
+/// flow-conserving engine. With `binary` false this is the warm Algorithm
+/// 5: skip the probes and run the incremental phase from the
+/// min-cost-prefix capacities at `t_min`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn warm_integrated<E: IncrementalMaxFlow>(
+    engine: &mut E,
+    inst: &RetrievalInstance,
+    g: &mut FlowGraph,
+    stats: &mut SolveStats,
+    scratch: &mut Vec<i64>,
+    changed: &[usize],
+    tracer: &mut Tracer,
+    binary: bool,
+) -> Result<(), SolveError> {
+    let cancelled = cancel_stale_units(engine, inst, g, changed);
+    tracer.emit(TraceEvent::DeltaPatch {
+        changed: changed.len() as u32,
+        cancelled,
+    });
+    let q = inst.query_size() as i64;
+    if q == 0 {
+        return Ok(());
+    }
+    let (s, t) = (inst.source(), inst.sink());
+    let (mut t_min, mut t_max, min_speed) = inst.tightened_bounds(scratch);
+    if binary {
+        while t_max - t_min >= min_speed {
+            let t_mid = t_min.midpoint(t_max);
+            retarget_caps(engine, inst, g, t_mid);
+            tracer.emit(TraceEvent::ProbeStart { budget: t_mid });
+            let flow = resume_traced(engine, g, s, t, stats, tracer);
+            stats.probes += 1;
+            tracer.emit(TraceEvent::ProbeEnd {
+                budget: t_mid,
+                feasible: flow == q,
+            });
+            if flow != q {
+                t_min = t_mid;
+            } else {
+                t_max = t_mid;
+            }
+        }
+    }
+    // Land on the min-cost-prefix capacities at t_min (infeasible or
+    // trivially low) and let the incremental phase find the exact optimum,
+    // exactly as the cold driver does after its final rollback.
+    retarget_caps(engine, inst, g, t_min);
     incremental_phase(engine, inst, g, stats, tracer)
 }
 

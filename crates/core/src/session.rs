@@ -24,13 +24,132 @@ use crate::error::{SessionError, SolveError};
 use crate::fault::{self, HealthMap};
 use crate::network::RetrievalInstance;
 use crate::obs::trace::TraceEvent;
-use crate::schedule::RetrievalOutcome;
+use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
 use crate::workspace::Workspace;
 use rds_decluster::allocation::ReplicaSource;
 use rds_decluster::query::Bucket;
 use rds_storage::model::SystemConfig;
 use rds_storage::time::Micros;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Cross-query reuse knobs for one stream: warm-start delta solving and
+/// the per-stream schedule cache. The default disables both — sessions
+/// then behave exactly as before this feature existed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReusePolicy {
+    /// Patch the previous query's flow to the next query (cancel stale
+    /// units, retarget capacities) instead of solving from scratch, when
+    /// the consecutive queries are compatible (same query size, same
+    /// health). Solvers without delta support transparently fall back to
+    /// a full rebuild per query.
+    pub warm_start: bool,
+    /// Entries in the per-stream schedule cache keyed by (query, health,
+    /// load) fingerprints; `0` disables the cache.
+    pub cache_capacity: usize,
+}
+
+impl ReusePolicy {
+    /// The recommended reuse preset: warm start on, an 8-entry cache.
+    pub fn warm() -> ReusePolicy {
+        ReusePolicy {
+            warm_start: true,
+            cache_capacity: 8,
+        }
+    }
+
+    /// Whether any reuse mechanism is on.
+    pub fn enabled(&self) -> bool {
+        self.warm_start || self.cache_capacity > 0
+    }
+}
+
+/// Effectiveness counters for one stream's reuse machinery, surfaced
+/// aggregated by [`crate::engine::EngineStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReuseCounters {
+    /// Submits answered straight from the schedule cache.
+    pub cache_hits: u64,
+    /// Submits that consulted the cache and missed.
+    pub cache_misses: u64,
+    /// Cache entries displaced by capacity pressure.
+    pub cache_evictions: u64,
+    /// Submits solved by delta-patching the previous flow.
+    pub delta_patches: u64,
+    /// Delta attempts the solver declined ([`SolveError::DeltaUnsupported`]),
+    /// transparently re-solved from scratch.
+    pub delta_fallbacks: u64,
+}
+
+impl ReuseCounters {
+    /// Adds `other` into `self` (engine aggregation across streams).
+    pub fn merge(&mut self, other: &ReuseCounters) {
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.delta_patches += other.delta_patches;
+        self.delta_fallbacks += other.delta_fallbacks;
+    }
+}
+
+/// Flow/excess snapshot of a stream's previous solve, staged into the
+/// workspace for `resume_in`.
+#[derive(Clone, Debug, Default)]
+struct WarmFlow {
+    flows: Vec<i64>,
+    excess: Vec<i64>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct CacheKey {
+    query_fp: u64,
+    health_fp: u64,
+    load_fp: u64,
+}
+
+/// Tiny LRU of recent solve outcomes. Linear scan — capacities are
+/// single-digit, so a map would cost more than it saves.
+#[derive(Clone, Debug, Default)]
+struct ScheduleCache {
+    entries: Vec<(CacheKey, RetrievalOutcome)>,
+}
+
+impl ScheduleCache {
+    /// Looks up `key`, refreshing its LRU position on a hit.
+    fn get(&mut self, key: &CacheKey) -> Option<RetrievalOutcome> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(pos);
+        let outcome = entry.1.clone();
+        self.entries.push(entry);
+        Some(outcome)
+    }
+
+    fn insert(
+        &mut self,
+        key: CacheKey,
+        outcome: RetrievalOutcome,
+        capacity: usize,
+        evictions: &mut u64,
+    ) {
+        if capacity == 0 {
+            return;
+        }
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            let _ = self.entries.remove(pos);
+        } else if self.entries.len() >= capacity {
+            let _ = self.entries.remove(0);
+            *evictions += 1;
+        }
+        self.entries.push((key, outcome));
+    }
+}
+
+fn hash_of(value: &impl Hash) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
 
 /// The outcome of one session query, with absolute-time bookkeeping.
 #[must_use]
@@ -85,6 +204,17 @@ pub struct SessionState {
     servable_buf: Vec<Bucket>,
     /// Scratch: buckets with no live replica (degraded submits).
     unservable_buf: Vec<Bucket>,
+    /// Cross-query reuse knobs (default: all off).
+    reuse: ReusePolicy,
+    /// Reuse effectiveness counters.
+    counters: ReuseCounters,
+    /// Flow snapshot of the previous solve, if still loadable into the
+    /// cached instance (invalidated by any rebuild).
+    warm: Option<WarmFlow>,
+    /// Recent solve outcomes keyed by (query, health, load) fingerprints.
+    cache: ScheduleCache,
+    /// Scratch: slots patched by the last `patch_buckets`.
+    changed_scratch: Vec<usize>,
 }
 
 impl SessionState {
@@ -99,7 +229,41 @@ impl SessionState {
             observed_health_fp: HealthMap::HEALTHY_FINGERPRINT,
             servable_buf: Vec::new(),
             unservable_buf: Vec::new(),
+            reuse: ReusePolicy::default(),
+            counters: ReuseCounters::default(),
+            warm: None,
+            cache: ScheduleCache::default(),
+            changed_scratch: Vec::new(),
         }
+    }
+
+    /// Fresh state with cross-query reuse configured.
+    pub fn with_reuse(num_disks: usize, reuse: ReusePolicy) -> SessionState {
+        let mut state = SessionState::new(num_disks);
+        state.reuse = reuse;
+        state
+    }
+
+    /// Replaces the reuse policy. Disabling warm start also drops any
+    /// captured flow snapshot.
+    pub fn set_reuse_policy(&mut self, reuse: ReusePolicy) {
+        self.reuse = reuse;
+        if !reuse.warm_start {
+            self.warm = None;
+        }
+        if reuse.cache_capacity == 0 {
+            self.cache.entries.clear();
+        }
+    }
+
+    /// The active reuse policy.
+    pub fn reuse_policy(&self) -> ReusePolicy {
+        self.reuse
+    }
+
+    /// Reuse effectiveness counters accumulated so far.
+    pub fn reuse_counters(&self) -> ReuseCounters {
+        self.counters
     }
 
     /// Number of queries served so far.
@@ -228,15 +392,74 @@ impl SessionState {
             buckets
         };
 
-        // Bring the cached instance up to date. If the bucket set repeats
-        // under the same health (the common case for a hot query), the
-        // topology is already right and only the disk loads changed;
-        // otherwise rebuild the topology in place.
         let fp = health.fingerprint();
-        let reuse_topology = self.instance.as_ref().is_some_and(|inst| {
-            inst.buckets == target && inst.num_disks() == system.num_disks() && self.health_fp == fp
+
+        // Schedule cache: the outcome is fully determined by the target
+        // buckets, the health map and the effective per-disk loads, all
+        // hashable without touching the cached instance. A hit skips the
+        // instance patching and the solve, but still charges the disks.
+        let cache_key = (self.reuse.cache_capacity > 0).then(|| CacheKey {
+            query_fp: hash_of(&target),
+            health_fp: fp,
+            load_fp: {
+                let mut h = DefaultHasher::new();
+                for (j, busy) in self.busy_until.iter().enumerate() {
+                    let base = health.apply(j, system.disk(j));
+                    (base.initial_load + busy.saturating_sub(arrival)).hash(&mut h);
+                }
+                h.finish()
+            },
         });
-        if !reuse_topology {
+        if let Some(key) = cache_key {
+            if let Some(outcome) = self.cache.get(&key) {
+                self.counters.cache_hits += 1;
+                ws.tracer.emit(TraceEvent::CacheHit {
+                    fingerprint: key.query_fp,
+                });
+                return Ok(self.charge(system, health, arrival, outcome, ws));
+            }
+            self.counters.cache_misses += 1;
+        }
+
+        // Bring the cached instance up to date. Three paths, cheapest
+        // first: the bucket set repeats under the same health (topology
+        // already right, only loads changed); the previous flow is warm
+        // and the new query is patch-compatible (delta surgery on the
+        // live network); otherwise rebuild the topology in place.
+        let topo_ok = self.health_fp == fp
+            && self
+                .instance
+                .as_ref()
+                .is_some_and(|inst| inst.num_disks() == system.num_disks());
+        let same_buckets = topo_ok
+            && self
+                .instance
+                .as_ref()
+                .is_some_and(|inst| inst.buckets == target);
+        let mut delta_ready = false;
+        if self.reuse.warm_start && self.warm.is_some() && topo_ok {
+            if same_buckets {
+                self.changed_scratch.clear();
+                delta_ready = true;
+            } else if self
+                .instance
+                .as_ref()
+                .is_some_and(|i| i.query_size() == target.len() && !i.needs_compaction())
+            {
+                let inst = self.instance.as_mut().expect("topo_ok");
+                match inst.patch_buckets(alloc, target, health, &mut self.changed_scratch) {
+                    Ok(()) => delta_ready = true,
+                    Err(_) => {
+                        // A new bucket lost every replica mid-patch; the
+                        // instance is unspecified. Fall through to a full
+                        // rebuild, which reports the infeasibility.
+                        self.instance = None;
+                        self.warm = None;
+                    }
+                }
+            }
+        }
+        if !same_buckets && !delta_ready {
             let rebuilt = match self.instance.as_mut() {
                 Some(inst) => inst.rebuild_with_health(system, alloc, target, health),
                 None => RetrievalInstance::build_with_health(system, alloc, target, health)
@@ -247,6 +470,7 @@ impl SessionState {
             // surface that as infeasibility rather than panicking.
             if let Err(u) = rebuilt {
                 self.instance = None;
+                self.warm = None;
                 return Err(SessionError::Solve(SolveError::Infeasible {
                     bucket: Some(u.bucket),
                     delivered: 0,
@@ -254,6 +478,9 @@ impl SessionState {
                 }));
             }
             self.health_fp = fp;
+            // Edge ids changed under the rebuild; the captured flow no
+            // longer maps onto the graph.
+            self.warm = None;
         }
         let inst = self.instance.as_mut().expect("instance cached above");
         // Degraded disks present their inflated configured load; the busy
@@ -264,15 +491,78 @@ impl SessionState {
             d.initial_load = base.initial_load + self.busy_until[j].saturating_sub(arrival);
         }
 
-        let outcome = solver.solve_in(inst, ws)?;
+        let solved = if delta_ready {
+            let warm = self.warm.as_ref().expect("delta_ready implies warm");
+            ws.stage_warm(&warm.flows, &warm.excess, &self.changed_scratch);
+            match solver.resume_in(inst, ws) {
+                Ok(outcome) => {
+                    self.counters.delta_patches += 1;
+                    Ok(outcome)
+                }
+                Err(SolveError::DeltaUnsupported { .. }) => {
+                    // The declared fallback: the patched instance is a
+                    // valid cold instance (dead arcs carry zero capacity),
+                    // so re-solve it from scratch.
+                    self.counters.delta_fallbacks += 1;
+                    solver.solve_in(inst, ws)
+                }
+                Err(e) => Err(e),
+            }
+        } else {
+            solver.solve_in(inst, ws)
+        };
+        let outcome = match solved {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                // The workspace graph no longer matches any captured flow.
+                self.warm = None;
+                return Err(e.into());
+            }
+        };
 
-        // Charge each disk: it starts when idle (and reachable) and works
-        // k_j * C_j; its new busy-until is exactly its completion time in
-        // the solved schedule, measured from `arrival`.
-        let counts = outcome.schedule.per_disk_counts(inst.num_disks());
+        if self.reuse.warm_start {
+            // Capture the completed flow for the next submit. Every
+            // solver leaves its final flow in the workspace graph; the
+            // excess of a complete flow is zero everywhere but the sink.
+            let warm = self.warm.get_or_insert_with(WarmFlow::default);
+            ws.graph.store_flows_into(&mut warm.flows);
+            warm.excess.clear();
+            warm.excess.resize(ws.graph.num_vertices(), 0);
+            warm.excess[inst.sink()] = outcome.flow_value as i64;
+        }
+        if let Some(key) = cache_key {
+            // Stats are zeroed so a hit is byte-identical no matter how
+            // often the entry is replayed.
+            let mut cached = outcome.clone();
+            cached.stats = SolveStats::default();
+            self.cache.insert(
+                key,
+                cached,
+                self.reuse.cache_capacity,
+                &mut self.counters.cache_evictions,
+            );
+        }
+        Ok(self.charge(system, health, arrival, outcome, ws))
+    }
+
+    /// Charges a solved (or cache-replayed) outcome back to the disks and
+    /// wraps it with absolute-time bookkeeping. The effective disk
+    /// parameters are recomputed from the system and health so the cache
+    /// hit path needs no instance.
+    fn charge(
+        &mut self,
+        system: &SystemConfig,
+        health: &HealthMap,
+        arrival: Micros,
+        outcome: RetrievalOutcome,
+        ws: &mut Workspace,
+    ) -> SessionOutcome {
+        let counts = outcome.schedule.per_disk_counts(self.busy_until.len());
         for (j, &k) in counts.iter().enumerate() {
             if k > 0 {
-                let completion = arrival + inst.disks[j].completion_time(k);
+                let mut disk = health.apply(j, system.disk(j));
+                disk.initial_load += self.busy_until[j].saturating_sub(arrival);
+                let completion = arrival + disk.completion_time(k);
                 self.busy_until[j] = self.busy_until[j].max(completion);
             }
         }
@@ -283,12 +573,12 @@ impl SessionState {
                 dropped: self.unservable_buf.len() as u32,
             });
         }
-        Ok(SessionOutcome {
+        SessionOutcome {
             completion: arrival + outcome.response_time,
             outcome,
             arrival,
             unservable: self.unservable_buf.clone(),
-        })
+        }
     }
 }
 
@@ -311,6 +601,49 @@ impl<'a, A: ReplicaSource, S: RetrievalSolver> RetrievalSession<'a, A, S> {
             alloc,
             solver,
         }
+    }
+
+    /// Opens a session with cross-query reuse configured: warm-start
+    /// delta solving and/or a per-stream schedule cache.
+    ///
+    /// ```
+    /// use rds_core::pr::PushRelabelBinary;
+    /// use rds_core::session::{ReusePolicy, RetrievalSession};
+    /// use rds_decluster::orthogonal::OrthogonalAllocation;
+    /// use rds_decluster::query::{Query, RangeQuery};
+    /// use rds_storage::experiments::paper_example;
+    /// use rds_storage::time::Micros;
+    ///
+    /// let system = paper_example();
+    /// let alloc = OrthogonalAllocation::paper_7x7();
+    /// let mut session =
+    ///     RetrievalSession::with_reuse(&system, &alloc, PushRelabelBinary, ReusePolicy::warm());
+    /// // Two overlapping range queries of equal size: the second is
+    /// // delta-solved by patching the first one's flow.
+    /// let q1 = RangeQuery::new(0, 0, 2, 3).buckets(7);
+    /// let q2 = RangeQuery::new(0, 1, 2, 3).buckets(7);
+    /// session.submit(Micros::ZERO, &q1).unwrap();
+    /// session.submit(Micros::from_millis(50), &q2).unwrap();
+    /// assert_eq!(session.reuse_counters().delta_patches, 1);
+    /// ```
+    pub fn with_reuse(
+        system: &'a SystemConfig,
+        alloc: &'a A,
+        solver: S,
+        reuse: ReusePolicy,
+    ) -> Self {
+        RetrievalSession {
+            state: SessionState::with_reuse(system.num_disks(), reuse),
+            workspace: Workspace::new(),
+            system,
+            alloc,
+            solver,
+        }
+    }
+
+    /// Reuse effectiveness counters accumulated so far.
+    pub fn reuse_counters(&self) -> ReuseCounters {
+        self.state.reuse_counters()
     }
 
     /// Number of queries served so far.

@@ -35,6 +35,31 @@ pub trait RetrievalSolver {
     fn solve(&self, instance: &RetrievalInstance) -> Result<RetrievalOutcome, SolveError> {
         self.solve_in(instance, &mut Workspace::new())
     }
+
+    /// Whether [`RetrievalSolver::resume_in`] can re-solve from a warm
+    /// delta-patched workspace. Callers use this to decide up front
+    /// whether to patch or rebuild.
+    fn supports_delta(&self) -> bool {
+        false
+    }
+
+    /// Re-solves after the caller staged warm state into `ws` (see
+    /// `Workspace::stage_warm`): the previous solve's flow is patched —
+    /// stale units cancelled, disk capacities retargeted — instead of
+    /// recomputed from scratch. The default declines with
+    /// [`SolveError::DeltaUnsupported`]; solvers whose engine conserves
+    /// flow across runs (the push-relabel family) override it.
+    fn resume_in(
+        &self,
+        instance: &RetrievalInstance,
+        ws: &mut Workspace,
+    ) -> Result<RetrievalOutcome, SolveError> {
+        let _ = instance;
+        ws.clear_warm_stage();
+        Err(SolveError::DeltaUnsupported {
+            solver: self.name(),
+        })
+    }
 }
 
 impl<T: RetrievalSolver + ?Sized> RetrievalSolver for &T {
@@ -48,6 +73,16 @@ impl<T: RetrievalSolver + ?Sized> RetrievalSolver for &T {
     ) -> Result<RetrievalOutcome, SolveError> {
         (**self).solve_in(instance, ws)
     }
+    fn supports_delta(&self) -> bool {
+        (**self).supports_delta()
+    }
+    fn resume_in(
+        &self,
+        instance: &RetrievalInstance,
+        ws: &mut Workspace,
+    ) -> Result<RetrievalOutcome, SolveError> {
+        (**self).resume_in(instance, ws)
+    }
 }
 
 impl<T: RetrievalSolver + ?Sized> RetrievalSolver for Box<T> {
@@ -60,6 +95,16 @@ impl<T: RetrievalSolver + ?Sized> RetrievalSolver for Box<T> {
         ws: &mut Workspace,
     ) -> Result<RetrievalOutcome, SolveError> {
         (**self).solve_in(instance, ws)
+    }
+    fn supports_delta(&self) -> bool {
+        (**self).supports_delta()
+    }
+    fn resume_in(
+        &self,
+        instance: &RetrievalInstance,
+        ws: &mut Workspace,
+    ) -> Result<RetrievalOutcome, SolveError> {
+        (**self).resume_in(instance, ws)
     }
 }
 

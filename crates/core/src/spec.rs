@@ -1,0 +1,340 @@
+//! Unified solver selection: [`SolverKind`], [`SolverSpec`] and the
+//! [`AnySolver`] dispatch type.
+//!
+//! The seven solver structs all implement
+//! [`RetrievalSolver`], but picking one at
+//! runtime previously meant threading a generic parameter (or a `Box<dyn>`)
+//! through every layer. [`SolverKind`] names each algorithm as plain data,
+//! [`SolverSpec`] pairs a kind with its tuning knobs (thread count, warm
+//! start, cache capacity), and [`SolverSpec::build`] materializes an
+//! [`AnySolver`] — a zero-allocation enum that dispatches to the concrete
+//! solver and inherits its delta-solve capability.
+
+use crate::blackbox::{BlackBoxFordFulkerson, BlackBoxPushRelabel};
+use crate::error::SolveError;
+use crate::ff::{FordFulkersonBasic, FordFulkersonIncremental};
+use crate::network::RetrievalInstance;
+use crate::parallel::ParallelPushRelabelBinary;
+use crate::pr::{PushRelabelBinary, PushRelabelIncremental};
+use crate::schedule::RetrievalOutcome;
+use crate::solver::RetrievalSolver;
+use crate::workspace::Workspace;
+
+/// Names one of the seven retrieval algorithms.
+///
+/// All kinds compute the same optimal response time; they differ in
+/// execution cost and in whether they can delta-solve a warm workspace
+/// (see [`SolverKind::supports_delta`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SolverKind {
+    /// Algorithm 1: integrated Ford-Fulkerson for the basic problem
+    /// (identical disks, no initial load).
+    FordFulkersonBasic,
+    /// Algorithms 2+3: integrated incremental Ford-Fulkerson for the
+    /// generalized problem.
+    FordFulkersonIncremental,
+    /// Algorithm 5: integrated incremental push-relabel.
+    PushRelabelIncremental,
+    /// Algorithm 6: push-relabel with binary capacity scaling and flow
+    /// conservation across probes. The paper's headline algorithm.
+    PushRelabelBinary,
+    /// Section V: lock-free parallel variant of Algorithm 6.
+    ParallelPushRelabelBinary,
+    /// Baseline \[12\]: binary scaling over a from-scratch push-relabel.
+    BlackBoxPushRelabel,
+    /// Baseline \[18\]: from-scratch Ford-Fulkerson per probe.
+    BlackBoxFordFulkerson,
+}
+
+impl SolverKind {
+    /// Every kind, in the paper's presentation order.
+    pub const ALL: [SolverKind; 7] = [
+        SolverKind::FordFulkersonBasic,
+        SolverKind::FordFulkersonIncremental,
+        SolverKind::PushRelabelIncremental,
+        SolverKind::PushRelabelBinary,
+        SolverKind::ParallelPushRelabelBinary,
+        SolverKind::BlackBoxPushRelabel,
+        SolverKind::BlackBoxFordFulkerson,
+    ];
+
+    /// The solver's report name — identical to
+    /// [`RetrievalSolver::name`] of the solver it builds.
+    pub fn name(self) -> &'static str {
+        // Delegate to the concrete solvers so the two can never drift.
+        match self {
+            SolverKind::FordFulkersonBasic => FordFulkersonBasic.name(),
+            SolverKind::FordFulkersonIncremental => FordFulkersonIncremental.name(),
+            SolverKind::PushRelabelIncremental => PushRelabelIncremental.name(),
+            SolverKind::PushRelabelBinary => PushRelabelBinary.name(),
+            SolverKind::ParallelPushRelabelBinary => ParallelPushRelabelBinary::default().name(),
+            SolverKind::BlackBoxPushRelabel => BlackBoxPushRelabel.name(),
+            SolverKind::BlackBoxFordFulkerson => BlackBoxFordFulkerson.name(),
+        }
+    }
+
+    /// Whether the built solver can delta-solve a warm workspace. Kinds
+    /// that return `false` still work under `warm_start(true)` — sessions
+    /// fall back to a full rebuild per query.
+    pub fn supports_delta(self) -> bool {
+        SolverSpec::new(self).build().supports_delta()
+    }
+}
+
+/// A solver kind plus its tuning knobs — the value accepted by
+/// [`Engine::builder`](crate::engine::Engine::builder).
+///
+/// ```
+/// use rds_core::solver::RetrievalSolver;
+/// use rds_core::spec::{SolverKind, SolverSpec};
+///
+/// let spec = SolverSpec::new(SolverKind::PushRelabelBinary)
+///     .warm_start(true)
+///     .cache_capacity(8);
+/// assert_eq!(spec.build().name(), "PR-binary");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolverSpec {
+    /// Which algorithm to run.
+    pub kind: SolverKind,
+    /// Worker threads for [`SolverKind::ParallelPushRelabelBinary`]
+    /// (`0` = the solver's default of 2, the paper's evaluation setup);
+    /// ignored by the other kinds.
+    pub threads: usize,
+    /// Reuse each stream's previous flow via delta patching when the
+    /// consecutive queries overlap. Kinds without delta support fall
+    /// back to a rebuild per query.
+    pub warm_start: bool,
+    /// Per-stream schedule cache entries (`0` disables the cache).
+    pub cache_capacity: usize,
+}
+
+impl SolverSpec {
+    /// A spec with reuse disabled — the pre-reuse behaviour.
+    pub fn new(kind: SolverKind) -> SolverSpec {
+        SolverSpec {
+            kind,
+            threads: 0,
+            warm_start: false,
+            cache_capacity: 0,
+        }
+    }
+
+    /// Sets the worker-thread count for the parallel solver.
+    pub fn threads(mut self, threads: usize) -> SolverSpec {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables warm-start delta solving.
+    pub fn warm_start(mut self, on: bool) -> SolverSpec {
+        self.warm_start = on;
+        self
+    }
+
+    /// Sets the per-stream schedule cache capacity.
+    pub fn cache_capacity(mut self, entries: usize) -> SolverSpec {
+        self.cache_capacity = entries;
+        self
+    }
+
+    /// The reuse policy half of the spec.
+    pub fn reuse_policy(&self) -> crate::session::ReusePolicy {
+        crate::session::ReusePolicy {
+            warm_start: self.warm_start,
+            cache_capacity: self.cache_capacity,
+        }
+    }
+
+    /// Materializes the solver this spec describes.
+    pub fn build(&self) -> AnySolver {
+        match self.kind {
+            SolverKind::FordFulkersonBasic => AnySolver::FordFulkersonBasic(FordFulkersonBasic),
+            SolverKind::FordFulkersonIncremental => {
+                AnySolver::FordFulkersonIncremental(FordFulkersonIncremental)
+            }
+            SolverKind::PushRelabelIncremental => {
+                AnySolver::PushRelabelIncremental(PushRelabelIncremental)
+            }
+            SolverKind::PushRelabelBinary => AnySolver::PushRelabelBinary(PushRelabelBinary),
+            SolverKind::ParallelPushRelabelBinary => {
+                AnySolver::ParallelPushRelabelBinary(if self.threads == 0 {
+                    ParallelPushRelabelBinary::default()
+                } else {
+                    ParallelPushRelabelBinary::new(self.threads)
+                })
+            }
+            SolverKind::BlackBoxPushRelabel => AnySolver::BlackBoxPushRelabel(BlackBoxPushRelabel),
+            SolverKind::BlackBoxFordFulkerson => {
+                AnySolver::BlackBoxFordFulkerson(BlackBoxFordFulkerson)
+            }
+        }
+    }
+}
+
+impl From<SolverKind> for SolverSpec {
+    fn from(kind: SolverKind) -> SolverSpec {
+        SolverSpec::new(kind)
+    }
+}
+
+/// Enum dispatch over the seven concrete solvers.
+///
+/// Unlike `Box<dyn RetrievalSolver>` this is `Copy`-cheap, `Send + Sync`
+/// by construction, and needs no allocation — the engine clones one per
+/// shard worker.
+#[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
+pub enum AnySolver {
+    /// See [`SolverKind::FordFulkersonBasic`].
+    FordFulkersonBasic(FordFulkersonBasic),
+    /// See [`SolverKind::FordFulkersonIncremental`].
+    FordFulkersonIncremental(FordFulkersonIncremental),
+    /// See [`SolverKind::PushRelabelIncremental`].
+    PushRelabelIncremental(PushRelabelIncremental),
+    /// See [`SolverKind::PushRelabelBinary`].
+    PushRelabelBinary(PushRelabelBinary),
+    /// See [`SolverKind::ParallelPushRelabelBinary`].
+    ParallelPushRelabelBinary(ParallelPushRelabelBinary),
+    /// See [`SolverKind::BlackBoxPushRelabel`].
+    BlackBoxPushRelabel(BlackBoxPushRelabel),
+    /// See [`SolverKind::BlackBoxFordFulkerson`].
+    BlackBoxFordFulkerson(BlackBoxFordFulkerson),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $s:ident => $body:expr) => {
+        match $self {
+            AnySolver::FordFulkersonBasic($s) => $body,
+            AnySolver::FordFulkersonIncremental($s) => $body,
+            AnySolver::PushRelabelIncremental($s) => $body,
+            AnySolver::PushRelabelBinary($s) => $body,
+            AnySolver::ParallelPushRelabelBinary($s) => $body,
+            AnySolver::BlackBoxPushRelabel($s) => $body,
+            AnySolver::BlackBoxFordFulkerson($s) => $body,
+        }
+    };
+}
+
+impl AnySolver {
+    /// The kind this solver was built from.
+    pub fn kind(&self) -> SolverKind {
+        match self {
+            AnySolver::FordFulkersonBasic(_) => SolverKind::FordFulkersonBasic,
+            AnySolver::FordFulkersonIncremental(_) => SolverKind::FordFulkersonIncremental,
+            AnySolver::PushRelabelIncremental(_) => SolverKind::PushRelabelIncremental,
+            AnySolver::PushRelabelBinary(_) => SolverKind::PushRelabelBinary,
+            AnySolver::ParallelPushRelabelBinary(_) => SolverKind::ParallelPushRelabelBinary,
+            AnySolver::BlackBoxPushRelabel(_) => SolverKind::BlackBoxPushRelabel,
+            AnySolver::BlackBoxFordFulkerson(_) => SolverKind::BlackBoxFordFulkerson,
+        }
+    }
+}
+
+impl RetrievalSolver for AnySolver {
+    fn name(&self) -> &'static str {
+        dispatch!(self, s => s.name())
+    }
+
+    fn solve_in(
+        &self,
+        instance: &RetrievalInstance,
+        ws: &mut Workspace,
+    ) -> Result<RetrievalOutcome, SolveError> {
+        dispatch!(self, s => s.solve_in(instance, ws))
+    }
+
+    fn supports_delta(&self) -> bool {
+        dispatch!(self, s => s.supports_delta())
+    }
+
+    fn resume_in(
+        &self,
+        instance: &RetrievalInstance,
+        ws: &mut Workspace,
+    ) -> Result<RetrievalOutcome, SolveError> {
+        dispatch!(self, s => s.resume_in(instance, ws))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_decluster::orthogonal::OrthogonalAllocation;
+    use rds_decluster::query::{Query, RangeQuery};
+
+    #[test]
+    fn kind_names_match_built_solvers() {
+        for kind in SolverKind::ALL {
+            let solver = SolverSpec::new(kind).build();
+            assert_eq!(kind.name(), solver.name());
+            assert_eq!(solver.kind(), kind);
+        }
+        let names: Vec<&str> = SolverKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "FF-basic",
+                "FF-incremental",
+                "PR-incremental",
+                "PR-binary",
+                "PR-binary-parallel",
+                "BB-PR",
+                "BB-FF",
+            ]
+        );
+    }
+
+    #[test]
+    fn delta_support_matrix() {
+        use SolverKind::*;
+        for kind in SolverKind::ALL {
+            let expected = matches!(
+                kind,
+                PushRelabelIncremental | PushRelabelBinary | ParallelPushRelabelBinary
+            );
+            assert_eq!(kind.supports_delta(), expected, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn spec_builder_sets_knobs() {
+        let spec = SolverSpec::new(SolverKind::ParallelPushRelabelBinary)
+            .threads(2)
+            .warm_start(true)
+            .cache_capacity(4);
+        assert_eq!(spec.threads, 2);
+        assert!(spec.warm_start);
+        assert_eq!(spec.cache_capacity, 4);
+        let policy = spec.reuse_policy();
+        assert!(policy.warm_start);
+        assert_eq!(policy.cache_capacity, 4);
+        assert_eq!(
+            SolverSpec::from(SolverKind::PushRelabelBinary).kind,
+            SolverKind::PushRelabelBinary
+        );
+    }
+
+    #[test]
+    fn every_kind_solves_a_common_instance() {
+        // Homogeneous and unloaded so FF-basic's precondition holds too.
+        let system = rds_storage::model::SystemConfig::homogeneous(rds_storage::specs::CHEETAH, 14);
+        let alloc = OrthogonalAllocation::paper_7x7();
+        let inst =
+            RetrievalInstance::build(&system, &alloc, &RangeQuery::new(0, 0, 3, 2).buckets(7));
+        let reference = SolverSpec::new(SolverKind::PushRelabelBinary)
+            .build()
+            .solve(&inst)
+            .unwrap();
+        for kind in SolverKind::ALL {
+            let outcome = SolverSpec::new(kind).build().solve(&inst).unwrap();
+            assert_eq!(
+                outcome.response_time,
+                reference.response_time,
+                "{} disagrees",
+                kind.name()
+            );
+        }
+    }
+}

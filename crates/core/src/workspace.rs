@@ -42,8 +42,39 @@ pub struct Workspace {
     /// Solver-phase event tracer; disabled (single-branch emits) until a
     /// sink is installed. See [`crate::obs::trace`].
     pub(crate) tracer: Tracer,
+    /// Warm flow state staged by a delta-capable caller (see
+    /// [`Workspace::stage_warm`]), consumed by the next
+    /// [`crate::solver::RetrievalSolver::resume_in`].
+    pub(crate) warm_flows: Vec<i64>,
+    /// Excess vector paired with `warm_flows`.
+    pub(crate) warm_excess: Vec<i64>,
+    /// Bucket slots whose identity changed since the warm flow was
+    /// captured; their stale flow units are cancelled before resuming.
+    pub(crate) warm_changed: Vec<usize>,
+    /// Whether warm state is currently staged.
+    pub(crate) warm_staged: bool,
+    /// Set while a solve is in flight; a solve that unwinds (panics) never
+    /// clears it, marking the scratch state as suspect. See
+    /// [`Workspace::take_poisoned`].
+    poisoned: bool,
     solves: u64,
 }
+
+/// Error returned by [`Workspace::take_poisoned`] when a previous solve
+/// unwound mid-flight and left the scratch state unspecified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoisonedWorkspace;
+
+impl std::fmt::Display for PoisonedWorkspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "workspace poisoned: a previous solve panicked mid-flight; scratch state was reset"
+        )
+    }
+}
+
+impl std::error::Error for PoisonedWorkspace {}
 
 impl Default for Workspace {
     fn default() -> Workspace {
@@ -62,6 +93,11 @@ impl Workspace {
             stored_excess: Vec::new(),
             parallel: None,
             tracer: Tracer::disabled(),
+            warm_flows: Vec::new(),
+            warm_excess: Vec::new(),
+            warm_changed: Vec::new(),
+            warm_staged: false,
+            poisoned: false,
             solves: 0,
         }
     }
@@ -104,16 +140,143 @@ impl Workspace {
         self.solves
     }
 
+    /// Whether the last solve unwound without completing.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Checks and clears the poison flag. A workspace is poisoned when a
+    /// solve panicked mid-flight (detected by the [`crate::engine::Engine`]
+    /// shard containment, or by any caller using `catch_unwind`): the
+    /// scratch graph and engine state are then unspecified. `Err` reports
+    /// the condition; in both cases the workspace is safe to reuse
+    /// afterwards, because every solve re-initializes the scratch state —
+    /// only staged warm state is discarded here.
+    pub fn take_poisoned(&mut self) -> Result<(), PoisonedWorkspace> {
+        self.warm_staged = false;
+        if std::mem::take(&mut self.poisoned) {
+            Err(PoisonedWorkspace)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Marks the completion of an orderly solve (success *or* clean
+    /// error); called by every solver on its way out.
+    pub(crate) fn complete(&mut self) {
+        self.poisoned = false;
+    }
+
+    /// Stages warm state for the next [`crate::solver::RetrievalSolver::resume_in`]:
+    /// the flow/excess snapshot captured after the previous solve of this
+    /// stream, plus the bucket slots whose identity changed since then.
+    pub(crate) fn stage_warm(&mut self, flows: &[i64], excess: &[i64], changed: &[usize]) {
+        flows.clone_into(&mut self.warm_flows);
+        excess.clone_into(&mut self.warm_excess);
+        changed.clone_into(&mut self.warm_changed);
+        self.warm_staged = true;
+    }
+
+    /// Discards any staged warm state (e.g. after a fallback to a cold
+    /// solve).
+    pub(crate) fn clear_warm_stage(&mut self) {
+        self.warm_staged = false;
+    }
+
     /// Prepares the workspace for one solve of `inst`: copies the
     /// instance's network into the scratch graph (reusing its buffers)
     /// and clears the engine excess left by the previous solve.
     pub(crate) fn begin(&mut self, inst: &RetrievalInstance) {
         self.solves += 1;
+        self.warm_staged = false;
+        self.poisoned = true;
         self.graph.copy_from(&inst.graph);
         self.engine.reset_excess(self.graph.num_vertices());
         self.tracer.emit(TraceEvent::SolveStart {
             query_size: inst.query_size() as u32,
         });
+    }
+
+    /// Warm counterpart of [`Workspace::begin`]: copies the (patched)
+    /// instance network, then loads the staged warm flow into the scratch
+    /// graph and the staged excesses into the sequential engine. Returns
+    /// `false` — leaving the workspace untouched — when no warm state is
+    /// staged.
+    pub(crate) fn begin_warm(&mut self, inst: &RetrievalInstance) -> bool {
+        if !self.warm_staged {
+            return false;
+        }
+        self.warm_staged = false;
+        self.solves += 1;
+        self.poisoned = true;
+        self.graph.copy_from(&inst.graph);
+        // The patch may have appended fresh replica arcs; they carry no
+        // warm flow.
+        self.warm_flows.resize(self.graph.num_edge_slots(), 0);
+        self.graph.restore_flows(&self.warm_flows);
+        self.engine.reset_excess(self.graph.num_vertices());
+        for (v, &x) in self.warm_excess.iter().enumerate() {
+            if x != 0 {
+                self.engine.set_excess(v, x);
+            }
+        }
+        self.tracer.emit(TraceEvent::SolveStart {
+            query_size: inst.query_size() as u32,
+        });
+        true
+    }
+
+    /// Warm counterpart of [`Workspace::parallel_parts`]: like
+    /// [`Workspace::begin_warm`], but the staged excesses are loaded into
+    /// the cached parallel engine. Returns the scratch graph, the engine,
+    /// the excess-snapshot scratch buffer, the staged changed-slot list
+    /// and the tracer.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn warm_parallel_parts(
+        &mut self,
+        inst: &RetrievalInstance,
+        threads: usize,
+    ) -> Option<(
+        &mut FlowGraph,
+        &mut ParallelPushRelabel,
+        &mut Vec<i64>,
+        &[usize],
+        &mut Tracer,
+    )> {
+        if !self.warm_staged {
+            return None;
+        }
+        self.warm_staged = false;
+        self.solves += 1;
+        self.poisoned = true;
+        self.graph.copy_from(&inst.graph);
+        self.warm_flows.resize(self.graph.num_edge_slots(), 0);
+        self.graph.restore_flows(&self.warm_flows);
+        self.tracer.emit(TraceEvent::SolveStart {
+            query_size: inst.query_size() as u32,
+        });
+        let rebuild = match &self.parallel {
+            Some((t, _)) => *t != threads,
+            None => true,
+        };
+        if rebuild {
+            self.parallel = Some((threads, ParallelPushRelabel::new(threads)));
+        }
+        let (_, engine) = self.parallel.as_mut().expect("parallel engine cached");
+        engine.invalidate_topology();
+        engine.reset_excess(self.graph.num_vertices());
+        for (v, &x) in self.warm_excess.iter().enumerate() {
+            if x != 0 {
+                engine.set_excess(v, x);
+            }
+        }
+        Some((
+            &mut self.graph,
+            engine,
+            &mut self.stored_excess,
+            &self.warm_changed,
+            &mut self.tracer,
+        ))
     }
 
     /// Borrows the scratch graph together with the cached parallel engine

@@ -7,7 +7,7 @@
 //! those drivers need, so the drivers in `rds-core` are generic over the
 //! engine and the sequential/parallel variants share one implementation.
 
-use crate::graph::{FlowGraph, VertexId};
+use crate::graph::{EdgeId, FlowGraph, VertexId};
 
 /// A max-flow engine whose state (excesses, and the flow stored in the
 /// graph) survives between runs.
@@ -74,6 +74,138 @@ pub trait IncrementalMaxFlow {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Residual-network surgery
+//
+// Delta drivers patch a warm graph from one problem instance to the next
+// instead of rebuilding it. The primitives below keep the (flow, excess)
+// pair a valid preflow at every step, so a subsequent
+// [`IncrementalMaxFlow::resume`] — which re-queues every vertex holding
+// excess — legally redistributes whatever the surgery displaced.
+// ---------------------------------------------------------------------------
+
+/// Appends a forward arc `u -> v` with the given capacity. Topology is
+/// append-only, so "adding a node" to a warm network means attaching fresh
+/// arcs to an existing vertex slot; the counterpart of removal is
+/// cap-zeroing (see [`cancel_path`] + [`FlowGraph::set_cap`]).
+pub fn attach_arc(g: &mut FlowGraph, u: VertexId, v: VertexId, cap: i64) -> EdgeId {
+    g.add_edge(u, v, cap)
+}
+
+/// Retargets `e`'s capacity to `new_cap` (up or down) while a flow is
+/// loaded. If the current flow exceeds the new capacity, the overflow is
+/// cancelled off the edge and left as excess on the edge's source vertex —
+/// a valid preflow for the next `resume`, which drains it forward or back
+/// to the source. Returns the amount drained.
+pub fn retarget_capacity<E: IncrementalMaxFlow + ?Sized>(
+    engine: &mut E,
+    g: &mut FlowGraph,
+    e: EdgeId,
+    new_cap: i64,
+) -> i64 {
+    let drained = (g.flow(e) - new_cap).max(0);
+    if drained > 0 {
+        let u = g.target(e ^ 1);
+        let v = g.target(e);
+        g.push(e ^ 1, drained);
+        engine.set_excess(u, engine.excess(u) + drained);
+        engine.set_excess(v, engine.excess(v) - drained);
+    }
+    g.set_cap(e, new_cap);
+    drained
+}
+
+/// Cancels `delta` units of flow along a chain of consecutive forward
+/// edges (each edge's target is the next edge's source). Interior vertices
+/// lose one inflow and one outflow, so only the chain's endpoints change
+/// excess: the first vertex gains `delta`, the last loses `delta`. For a
+/// full source→sink chain this is exactly "send the unit back to the
+/// source": the sink's excess (the flow value) drops by `delta`.
+pub fn cancel_path<E: IncrementalMaxFlow + ?Sized>(
+    engine: &mut E,
+    g: &mut FlowGraph,
+    path: &[EdgeId],
+    delta: i64,
+) {
+    if delta <= 0 || path.is_empty() {
+        return;
+    }
+    for &e in path {
+        debug_assert!(g.flow(e) >= delta, "cancel_path exceeds flow on edge {e}");
+        g.push(e ^ 1, delta);
+    }
+    let first = g.target(path[0] ^ 1);
+    let last = g.target(path[path.len() - 1]);
+    engine.set_excess(first, engine.excess(first) + delta);
+    engine.set_excess(last, engine.excess(last) - delta);
+}
+
+/// Detaches vertex `v` from a loaded network: every unit of flow routed
+/// through `v` is cancelled back along its own path to `s` and forward to
+/// `t`, then the capacities of `v`'s forward out-arcs are zeroed so no new
+/// flow can route through it. Returns `(units cancelled, arcs zeroed)`.
+///
+/// Requires the loaded flow to be acyclic (true for layered retrieval
+/// networks); path discovery follows flow-carrying arcs greedily.
+pub fn detach_vertex<E: IncrementalMaxFlow + ?Sized>(
+    engine: &mut E,
+    g: &mut FlowGraph,
+    v: VertexId,
+    s: VertexId,
+    t: VertexId,
+) -> (i64, usize) {
+    let mut cancelled = 0;
+    // Cancel throughput one unit-path at a time. Each iteration strictly
+    // reduces the flow mass through `v`, so this terminates.
+    while let Some(first) = flow_arc_out(g, v) {
+        let mut path = vec![first];
+        // Forward to t.
+        let mut u = g.target(first);
+        while u != t {
+            let e = flow_arc_out(g, u).expect("flow conservation: interior vertex must forward");
+            path.push(e);
+            u = g.target(e);
+        }
+        // Backward to s. `flow_arc_in` returns the odd reverse slot; its
+        // pair `e ^ 1` is the inbound forward edge and the odd slot's own
+        // target is the feeding vertex.
+        let mut u = v;
+        while u != s {
+            let e = flow_arc_in(g, u).expect("flow conservation: interior vertex must be fed");
+            path.insert(0, e ^ 1);
+            u = g.target(e);
+        }
+        let delta = path.iter().map(|&e| g.flow(e)).min().unwrap_or(0).max(1);
+        cancel_path(engine, g, &path, delta);
+        cancelled += delta;
+    }
+    let mut zeroed = 0;
+    for idx in 0..g.out_edges(v).len() {
+        let e = g.out_edges(v)[idx] as EdgeId;
+        if e.is_multiple_of(2) && g.cap(e) > 0 {
+            g.set_cap(e, 0);
+            zeroed += 1;
+        }
+    }
+    (cancelled, zeroed)
+}
+
+fn flow_arc_out(g: &FlowGraph, v: VertexId) -> Option<EdgeId> {
+    g.out_edges(v)
+        .iter()
+        .map(|&e| e as EdgeId)
+        .find(|&e| e % 2 == 0 && g.flow(e) > 0)
+}
+
+fn flow_arc_in(g: &FlowGraph, v: VertexId) -> Option<EdgeId> {
+    // An odd slot out of `v` with positive flow on its pair is an inbound
+    // forward edge currently feeding `v`.
+    g.out_edges(v)
+        .iter()
+        .map(|&e| e as EdgeId)
+        .find(|&e| e % 2 == 1 && g.flow(e ^ 1) > 0)
+}
+
 impl IncrementalMaxFlow for crate::push_relabel::PushRelabel {
     fn max_flow(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
         crate::push_relabel::PushRelabel::max_flow(self, g, s, t)
@@ -130,5 +262,97 @@ mod tests {
     #[test]
     fn parallel_implements_trait() {
         generic_roundtrip(ParallelPushRelabel::new(2));
+    }
+
+    /// A small layered network shaped like a retrieval instance:
+    /// s -> {1,2} -> {3,4} -> t, unit arcs on the first two layers and
+    /// adjustable sink-side capacities.
+    fn layered() -> (FlowGraph, Vec<EdgeId>, Vec<EdgeId>) {
+        let mut g = FlowGraph::new(6);
+        let src = vec![g.add_edge(0, 1, 1), g.add_edge(0, 2, 1)];
+        g.add_edge(1, 3, 1);
+        g.add_edge(1, 4, 1);
+        g.add_edge(2, 4, 1);
+        let sink = vec![g.add_edge(3, 5, 2), g.add_edge(4, 5, 2)];
+        (g, src, sink)
+    }
+
+    fn surgery_retarget_resolves_overflow<E: IncrementalMaxFlow>(mut engine: E) {
+        let (mut g, _src, sink) = layered();
+        assert_eq!(engine.max_flow(&mut g, 0, 5), 2);
+        // Both units could be on disk 4; force them apart by capping it.
+        let drained = super::retarget_capacity(&mut engine, &mut g, sink[1], 1);
+        assert!(drained <= 1);
+        assert_eq!(engine.resume(&mut g, 0, 5), 2, "still feasible at cap 1");
+        assert!(g.flow(sink[0]) <= 2 && g.flow(sink[1]) <= 1);
+        // Cap below total supply: one unit must return to the source.
+        super::retarget_capacity(&mut engine, &mut g, sink[0], 0);
+        super::retarget_capacity(&mut engine, &mut g, sink[1], 1);
+        assert_eq!(engine.resume(&mut g, 0, 5), 1);
+        crate::validate::assert_valid_flow(&g, 0, 5);
+    }
+
+    #[test]
+    fn retarget_capacity_sequential() {
+        surgery_retarget_resolves_overflow(PushRelabel::new());
+    }
+
+    #[test]
+    fn retarget_capacity_parallel() {
+        surgery_retarget_resolves_overflow(ParallelPushRelabel::new(2));
+    }
+
+    fn surgery_detach_matches_fresh<E: IncrementalMaxFlow>(mut engine: E) {
+        let (mut g, src, _sink) = layered();
+        assert_eq!(engine.max_flow(&mut g, 0, 5), 2);
+        // Remove "bucket" 1 (and its supply arc): only bucket 2 remains.
+        let (cancelled, zeroed) = super::detach_vertex(&mut engine, &mut g, 1, 0, 5);
+        assert_eq!(cancelled, 1);
+        assert_eq!(zeroed, 2);
+        g.set_cap(src[0], 0);
+        assert_eq!(engine.excess(5), 1, "sink excess tracks the cancelled unit");
+        assert_eq!(engine.resume(&mut g, 0, 5), 1);
+        crate::validate::assert_valid_flow(&g, 0, 5);
+        assert_eq!(g.flow(src[0]), 0);
+    }
+
+    #[test]
+    fn detach_vertex_sequential() {
+        surgery_detach_matches_fresh(PushRelabel::new());
+    }
+
+    #[test]
+    fn detach_vertex_parallel() {
+        surgery_detach_matches_fresh(ParallelPushRelabel::new(2));
+    }
+
+    #[test]
+    fn cancel_path_moves_excess_to_endpoints() {
+        let mut engine = PushRelabel::new();
+        let mut g = FlowGraph::new(4);
+        let a = g.add_edge(0, 1, 3);
+        let b = g.add_edge(1, 2, 3);
+        let c = g.add_edge(2, 3, 3);
+        assert_eq!(engine.max_flow(&mut g, 0, 3), 3);
+        super::cancel_path(&mut engine, &mut g, &[a, b, c], 2);
+        assert_eq!(g.flow(b), 1);
+        assert_eq!(engine.excess(3), 1);
+        assert_eq!(engine.excess(1), 0);
+        assert_eq!(engine.excess(2), 0);
+        // The cancelled capacity is still there: resume re-routes it.
+        assert_eq!(engine.resume(&mut g, 0, 3), 3);
+    }
+
+    #[test]
+    fn attach_arc_extends_a_warm_network() {
+        let mut engine = PushRelabel::new();
+        let mut g = FlowGraph::new(4);
+        g.add_edge(0, 1, 2);
+        g.add_edge(1, 3, 1);
+        assert_eq!(engine.max_flow(&mut g, 0, 3), 1);
+        // New replica arc through vertex 2.
+        super::attach_arc(&mut g, 1, 2, 1);
+        super::attach_arc(&mut g, 2, 3, 1);
+        assert_eq!(engine.resume(&mut g, 0, 3), 2);
     }
 }

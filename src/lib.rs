@@ -66,7 +66,10 @@ pub use rds_storage as storage;
 pub mod prelude {
     pub use rds_core::{
         blackbox::{BlackBoxFordFulkerson, BlackBoxPushRelabel},
-        engine::{BatchQuery, Engine, EngineMetrics, EngineStats, MetricsSnapshot, RetryPolicy},
+        engine::{
+            BatchQuery, Engine, EngineBuilder, EngineMetrics, EngineStats, MetricsSnapshot,
+            RetryPolicy,
+        },
         error::{EngineError, SessionError, SolveError},
         fault::{
             solve_degraded, DiskHealth, FaultEvent, FaultInjector, HealthMap, PartialSchedule,
@@ -78,9 +81,10 @@ pub mod prelude {
         parallel::ParallelPushRelabelBinary,
         pr::{PushRelabelBinary, PushRelabelIncremental},
         schedule::{RetrievalOutcome, Schedule, SolveStats},
-        session::{RetrievalSession, SessionOutcome, SessionState},
+        session::{RetrievalSession, ReuseCounters, ReusePolicy, SessionOutcome, SessionState},
         solver::RetrievalSolver,
-        workspace::Workspace,
+        spec::{AnySolver, SolverKind, SolverSpec},
+        workspace::{PoisonedWorkspace, Workspace},
     };
     pub use rds_decluster::{
         allocation::{Allocation, Placement, ReplicaMap, ReplicaSource, Replicas},

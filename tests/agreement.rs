@@ -122,6 +122,76 @@ fn basic_problem_agreement_includes_algorithm_1() {
     }
 }
 
+/// Cross-query delta-solving never costs optimality: for every
+/// [`SolverKind`], a warm-start session that patches Q_i → Q_{i+1}
+/// stays optimal at every step, per the independent oracle evaluated on
+/// the loaded system the session presented the solver with. (Optimal
+/// schedules are not unique, so a patched and a fresh network may leave
+/// different loads behind — per-step optimality is the invariant that
+/// must survive.) Kinds whose solver cannot resume report
+/// `DeltaUnsupported` and transparently fall back to a full solve on the
+/// patched network — never a wrong answer.
+#[test]
+fn warm_delta_sessions_stay_optimal_per_step_for_every_kind() {
+    use replicated_retrieval::storage::model::Disk;
+
+    let mut rng = SplitMix64::seed_from_u64(0xD317A);
+    let n = 8;
+    for kind in SolverKind::ALL {
+        // FF-basic handles only the pristine uniform problem: give it the
+        // uniform experiment and arrival gaps long enough that the load
+        // feedback has always drained to zero.
+        let (exp, gap) = if kind == SolverKind::FordFulkersonBasic {
+            (ExperimentId::Exp1, Micros::from_millis(60_000))
+        } else {
+            (ExperimentId::Exp5, Micros::from_millis(2))
+        };
+        let system = experiment(exp, n, rng.gen_u64());
+        let alloc = build_alloc(rng.gen_range(0..3), n, rng.gen_u64());
+        let policy = ReusePolicy {
+            warm_start: true,
+            cache_capacity: 0,
+        };
+        let mut warm =
+            RetrievalSession::with_reuse(&system, &alloc, SolverSpec::new(kind).build(), policy);
+        let mut arrival = Micros::ZERO;
+        for step in 0..6usize {
+            // Slide a fixed 3x4 window one row per query: equal sizes and
+            // a 2/3 bucket overlap, exactly the shape the patch targets.
+            let q = RangeQuery::new(step % (n - 2), 0, 3, 4).buckets(n);
+            // Reconstruct, through the public API, the loaded system the
+            // session is about to solve against.
+            let loaded: Vec<Disk> = (0..system.num_disks())
+                .map(|j| Disk {
+                    initial_load: system.disk(j).initial_load
+                        + (warm.current_load(j) + warm.now()).saturating_sub(arrival),
+                    ..*system.disk(j)
+                })
+                .collect();
+            let loaded_system = SystemConfig::new(vec![Site {
+                name: "loaded".into(),
+                disks: loaded,
+            }]);
+            let want =
+                oracle_optimal_response(&RetrievalInstance::build(&loaded_system, &alloc, &q));
+            let w = warm.submit(arrival, &q).unwrap();
+            assert_eq!(w.outcome.response_time, want, "{} step {step}", kind.name());
+            arrival += gap;
+        }
+        let counters = warm.reuse_counters();
+        assert!(
+            counters.delta_patches + counters.delta_fallbacks >= 1,
+            "{}: warm session never attempted a delta",
+            kind.name()
+        );
+        if kind.supports_delta() {
+            assert_eq!(counters.delta_fallbacks, 0, "{}", kind.name());
+        } else {
+            assert_eq!(counters.delta_patches, 0, "{}", kind.name());
+        }
+    }
+}
+
 /// Sum over a batch (the paper's exact validation quantity).
 #[test]
 fn total_response_over_query_batch_matches() {

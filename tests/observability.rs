@@ -321,6 +321,122 @@ fn metrics_snapshot_quantiles_and_round_trip() {
     assert_eq!(json, reg);
 }
 
+/// Regression: quantile estimates are clamped to the observed sample
+/// range, so a lone sample reports itself — not its bucket's upper
+/// bound — at every quantile, including through the engine's latency
+/// summaries.
+#[test]
+fn quantiles_clamp_to_observed_samples() {
+    let mut h = Histogram::new();
+    h.record(100); // bucket [64,128): the bound 127 must not leak out
+    let s = h.summary();
+    assert_eq!((s.p50, s.p95, s.p99), (100, 100, 100));
+    assert_eq!(s.mean, 100);
+
+    // Engine path: a single-query batch leaves one sample in the solve
+    // latency histogram, so all its quantiles coincide with that sample.
+    let system = SystemConfig::homogeneous(specs::CHEETAH, 5);
+    let alloc = OrthogonalAllocation::new(5, Placement::SingleSite);
+    let mut engine = Engine::new(&system, &alloc, PushRelabelBinary, 1);
+    let results = engine.submit_batch(&[BatchQuery {
+        stream: 0,
+        arrival: Micros::ZERO,
+        buckets: RangeQuery::new(0, 0, 2, 2).buckets(5),
+    }]);
+    assert!(results[0].is_ok());
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.solve_latency_us.count, 1);
+    assert_eq!(snap.solve_latency_us.p50, snap.solve_latency_us.p99);
+    assert_eq!(
+        snap.histograms.solve_latency_us.min_sample(),
+        Some(snap.solve_latency_us.p50)
+    );
+}
+
+fn reuse_batch() -> (SystemConfig, OrthogonalAllocation, Vec<BatchQuery>) {
+    let system = SystemConfig::homogeneous(specs::CHEETAH, 5);
+    let alloc = OrthogonalAllocation::new(5, Placement::SingleSite);
+    let mut queries = Vec::new();
+    for (k, &col) in [0usize, 1, 0, 2, 1, 0].iter().enumerate() {
+        for s in 0..4usize {
+            // Per stream: a fixed-size window sliding over a repeating
+            // column cycle, with arrivals spaced far enough apart that
+            // loads drain — revisited positions hit the schedule cache,
+            // new positions delta-patch the previous flow.
+            queries.push(BatchQuery {
+                stream: s,
+                arrival: Micros::from_millis(k as u64 * 60_000),
+                buckets: RangeQuery::new(s % 4, col, 2, 2).buckets(5),
+            });
+        }
+    }
+    (system, alloc, queries)
+}
+
+/// A warm engine (delta solving + schedule cache) returns the same
+/// outcomes as a cold one, and its results, reuse counters and
+/// `CacheHit`/`DeltaPatch` event counts are invariant to the shard count.
+#[test]
+fn warm_engine_reuse_is_shard_invariant() {
+    let (system, alloc, queries) = reuse_batch();
+    let run = |shards: usize| {
+        let mut engine = Engine::builder(&system, &alloc)
+            .solver(SolverKind::PushRelabelBinary)
+            .warm_start(true)
+            .cache_capacity(4)
+            .shards(shards)
+            .tracing(1 << 12)
+            .build();
+        let outcomes: Vec<(Micros, Micros)> = engine
+            .submit_batch(&queries)
+            .into_iter()
+            .map(|r| {
+                let o = r.unwrap();
+                (o.outcome.response_time, o.completion)
+            })
+            .collect();
+        (outcomes, engine.trace_counts(), engine.stats().reuse)
+    };
+    let (outcomes, counts, reuse) = run(1);
+    // Column cycle 0,1,0,2,1,0 per stream: three first-visits (miss),
+    // three revisits (hit), and the two first-visits after a solve are
+    // delta patches — times four streams.
+    assert_eq!(reuse.cache_hits, 12);
+    assert_eq!(reuse.cache_misses, 12);
+    assert_eq!(reuse.delta_patches, 8);
+    assert_eq!(reuse.delta_fallbacks, 0);
+    assert_eq!(counts[EventKind::CacheHit as usize], reuse.cache_hits);
+    assert_eq!(counts[EventKind::DeltaPatch as usize], reuse.delta_patches);
+    for shards in [2usize, 3, 4] {
+        let (o, c, r) = run(shards);
+        assert_eq!(o, outcomes, "{shards} shards");
+        assert_eq!(r, reuse, "{shards} shards");
+        for kind in [
+            EventKind::CacheHit,
+            EventKind::DeltaPatch,
+            EventKind::SolveStart,
+        ] {
+            assert_eq!(
+                c[kind as usize], counts[kind as usize],
+                "{kind:?}, {shards} shards"
+            );
+        }
+    }
+    // A cold engine over the same batch agrees on every outcome and
+    // reports zero reuse.
+    let mut cold = Engine::new(&system, &alloc, PushRelabelBinary, 2);
+    let cold_outcomes: Vec<(Micros, Micros)> = cold
+        .submit_batch(&queries)
+        .into_iter()
+        .map(|r| {
+            let o = r.unwrap();
+            (o.outcome.response_time, o.completion)
+        })
+        .collect();
+    assert_eq!(cold_outcomes, outcomes);
+    assert_eq!(cold.stats().reuse, ReuseCounters::default());
+}
+
 /// Without `with_tracing`, the engine still measures histograms but
 /// reports zero trace events — the tracer stays a no-op.
 #[test]

@@ -279,6 +279,120 @@ fn offline_unused_disk_leaves_optimum_unchanged() {
     assert!(checked >= 12, "too few effective cases ({checked})");
 }
 
+/// Tentpole acceptance: `patch(build(Q_i)) → Q_{i+1}` agrees with
+/// `build(Q_{i+1})` on the optimal response time for 500 random
+/// overlapping query pairs, cycling through every solver kind, over
+/// random systems, allocations and health maps.
+#[test]
+fn patched_warm_solves_match_fresh_builds_on_random_pairs() {
+    let mut rng = SplitMix64::seed_from_u64(0xDE57A);
+    let mut checked = 0usize;
+    let mut attempts = 0usize;
+    while checked < 500 {
+        attempts += 1;
+        assert!(attempts < 5_000, "too many infeasible cases generated");
+        let kind = SolverKind::ALL[checked % SolverKind::ALL.len()];
+        let basic = kind == SolverKind::FordFulkersonBasic;
+        let n = rng.gen_range(4..8usize);
+        let seed = rng.gen_u64();
+        // FF-basic supports only the pristine uniform problem; every other
+        // kind gets a random experiment and a random health map.
+        let system = if basic {
+            experiment(ExperimentId::Exp1, n, seed)
+        } else {
+            arb_system(n, seed)
+        };
+        let alloc = arb_alloc(n, rng.gen_u64());
+        let mut health = HealthMap::all_healthy();
+        if !basic {
+            if rng.gen_range(0..2u64) == 0 {
+                health.set(rng.gen_range(0..system.num_disks()), DiskHealth::Offline);
+            }
+            if rng.gen_range(0..2u64) == 0 {
+                health.set(
+                    rng.gen_range(0..system.num_disks()),
+                    DiskHealth::Degraded {
+                        load_factor: 100 + rng.gen_range(0..300) as u32,
+                    },
+                );
+            }
+        }
+        // Q_i is a random window; Q_{i+1} is the same-size window shifted
+        // by less than its extent, so the pair always overlaps.
+        let r = rng.gen_range(1..=n.min(4));
+        let c = rng.gen_range(1..=n.min(4));
+        let row1 = rng.gen_range(0..=n - r);
+        let col1 = rng.gen_range(0..=n - c);
+        let row2 = (row1 + rng.gen_range(0..r)).min(n - r);
+        let col2 = (col1 + rng.gen_range(0..c)).min(n - c);
+        let q1 = RangeQuery::new(row1, col1, r, c).buckets(n);
+        let q2 = RangeQuery::new(row2, col2, r, c).buckets(n);
+
+        let solver = SolverSpec::new(kind).build();
+        let policy = ReusePolicy {
+            warm_start: true,
+            cache_capacity: 0,
+        };
+        let mut warm = SessionState::with_reuse(system.num_disks(), policy);
+        let mut cold = SessionState::new(system.num_disks());
+        let (mut ws_w, mut ws_c) = (Workspace::new(), Workspace::new());
+        let gap = if basic {
+            Micros::from_millis(60_000)
+        } else {
+            Micros::from_millis(rng.gen_range(0..20))
+        };
+
+        let w1 = warm.submit_with_health(
+            &system,
+            &alloc,
+            &solver,
+            &mut ws_w,
+            Micros::ZERO,
+            &q1,
+            &health,
+        );
+        let c1 = cold.submit_with_health(
+            &system,
+            &alloc,
+            &solver,
+            &mut ws_c,
+            Micros::ZERO,
+            &q1,
+            &health,
+        );
+        match (w1, c1) {
+            (Ok(w), Ok(c)) => assert_eq!(w.outcome.response_time, c.outcome.response_time),
+            (Err(_), Err(_)) => continue, // infeasible under this health map
+            (w, c) => panic!("warm/cold disagree on Q_i feasibility: {w:?} vs {c:?}"),
+        }
+        let w2 = warm.submit_with_health(&system, &alloc, &solver, &mut ws_w, gap, &q2, &health);
+        let c2 = cold.submit_with_health(&system, &alloc, &solver, &mut ws_c, gap, &q2, &health);
+        match (w2, c2) {
+            (Ok(wo), Ok(co)) => {
+                assert_eq!(
+                    wo.outcome.response_time,
+                    co.outcome.response_time,
+                    "{} on n={n} {r}x{c} ({row1},{col1})→({row2},{col2})",
+                    kind.name()
+                );
+                assert_eq!(wo.completion, co.completion);
+                // Both queries solved, equal sizes, same health: the warm
+                // session must have attempted exactly one delta.
+                let counters = warm.reuse_counters();
+                assert_eq!(
+                    counters.delta_patches + counters.delta_fallbacks,
+                    1,
+                    "{}: delta not attempted",
+                    kind.name()
+                );
+                checked += 1;
+            }
+            (Err(_), Err(_)) => continue,
+            (w, c) => panic!("warm/cold disagree on Q_{{i+1}} feasibility: {w:?} vs {c:?}"),
+        }
+    }
+}
+
 /// Statistical check: RDA distributes buckets roughly evenly over many
 /// seeds.
 #[test]
