@@ -1,0 +1,1105 @@
+//! Old layout vs the CSR residual arena, on retrieval-shaped networks
+//! scaled up from the paper's Table II system (7x7 grid, 14 disks).
+//!
+//! The headline (`cold_speedup`, gated in CI) compares two full stacks on
+//! identical instances:
+//!
+//! * **legacy** — a faithful copy of the pre-arena `FlowGraph`
+//!   (`adj: Vec<Vec<u32>>`, one heap vector per vertex) and its FIFO
+//!   push-relabel, with the bounds-checked accessors that code used,
+//!   reproduced here because the refactor deleted the originals;
+//! * **shipped** — today's `FlowGraph` (offset-array CSR arena) driven by
+//!   `rds_flow::push_relabel`.
+//!
+//! Push-relabel is the engine the retrieval drivers default to, and its
+//! discharge order is scattered (unlike Dinic's BFS sweeps), so it is the
+//! workload where adjacency layout actually matters.
+//!
+//! A *cold* solve builds the graph from nothing and solves (the per-query
+//! cost before workspaces warm up); a *steady* solve rebuilds in place,
+//! reusing buffers. Legacy/shipped samples are interleaved so clock drift
+//! hits both arms equally.
+//!
+//! A second panel runs one generic mini-Dinic over four synthetic layouts
+//! storing the identical residual network — per-vertex `Vec`s, linked
+//! forward-star (`first_out`/`next_out`), offset-array CSR, and CSR with
+//! `i32` cap/flow words — the microbench behind the arena's two design
+//! calls: offset-array over linked list, and `i64` flow words retained.
+//!
+//! ```text
+//! cargo run --release -p rds-bench --bin graph_layout -- [--repeat 7] [--rounds 3]
+//! ```
+//!
+//! Writes `results/graph_layout.txt` and `BENCH_graph_layout.json`.
+
+use rds_flow::graph::FlowGraph;
+use rds_util::SplitMix64;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// One directed arc of the input network; both residual slots are derived
+/// from it, exactly as `FlowGraph::add_edge` does.
+#[derive(Clone, Copy)]
+struct Arc {
+    from: u32,
+    to: u32,
+    cap: i64,
+}
+
+/// A retrieval-shaped instance: source -> g*g buckets -> 2g disks -> sink,
+/// `REPLICAS` distinct replica arcs per bucket, disk arcs capped at the
+/// balanced budget. The g = 7 rung is the paper's Table II shape; larger
+/// rungs scale the same topology until it falls out of cache.
+struct Instance {
+    grid: usize,
+    n: usize,
+    arcs: Vec<Arc>,
+    source: usize,
+    sink: usize,
+}
+
+const REPLICAS: usize = 3;
+
+fn build_instance(grid: usize, seed: u64) -> Instance {
+    let q = grid * grid;
+    let disks = 2 * grid;
+    let n = q + disks + 2;
+    let (source, sink) = (0, n - 1);
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut arcs = Vec::with_capacity(q * (1 + REPLICAS) + disks);
+    for b in 0..q {
+        arcs.push(Arc {
+            from: source as u32,
+            to: (1 + b) as u32,
+            cap: 1,
+        });
+        let mut chosen = [usize::MAX; REPLICAS];
+        for slot in 0..REPLICAS {
+            let mut d = rng.gen_range(0..disks);
+            while chosen[..slot].contains(&d) {
+                d = rng.gen_range(0..disks);
+            }
+            chosen[slot] = d;
+            arcs.push(Arc {
+                from: (1 + b) as u32,
+                to: (1 + q + d) as u32,
+                cap: 1,
+            });
+        }
+    }
+    let budget = (q / disks + 1) as i64;
+    for d in 0..disks {
+        arcs.push(Arc {
+            from: (1 + q + d) as u32,
+            to: sink as u32,
+            cap: budget,
+        });
+    }
+    Instance {
+        grid,
+        n,
+        arcs,
+        source,
+        sink,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pre-arena stack, reproduced from the repository history: adjacency
+// as one `Vec<u32>` per vertex, bounds-checked accessors, and the Dinic
+// that ran on it. This is the "old layout" arm of the headline.
+// ---------------------------------------------------------------------------
+
+mod legacy {
+    /// The pre-arena `FlowGraph`: per-vertex adjacency vectors over flat
+    /// `head`/`cap`/`flow`, checked indexing throughout.
+    #[derive(Default)]
+    pub struct LegacyGraph {
+        adj: Vec<Vec<u32>>,
+        head: Vec<u32>,
+        cap: Vec<i64>,
+        flow: Vec<i64>,
+    }
+
+    impl LegacyGraph {
+        pub fn new(n: usize) -> Self {
+            LegacyGraph {
+                adj: vec![Vec::new(); n],
+                head: Vec::new(),
+                cap: Vec::new(),
+                flow: Vec::new(),
+            }
+        }
+
+        /// The old `reset`: clears lengths, keeps every buffer's capacity
+        /// (including the per-vertex vectors).
+        pub fn reset(&mut self, n: usize) {
+            if self.adj.len() < n {
+                self.adj.resize_with(n, Vec::new);
+            }
+            self.adj.truncate(n);
+            for list in &mut self.adj {
+                list.clear();
+            }
+            self.head.clear();
+            self.cap.clear();
+            self.flow.clear();
+        }
+
+        pub fn add_edge(&mut self, u: usize, v: usize, cap: i64) -> usize {
+            let e = self.head.len();
+            self.adj[u].push(e as u32);
+            self.adj[v].push((e + 1) as u32);
+            self.head.extend([v as u32, u as u32]);
+            self.cap.extend([cap, 0]);
+            self.flow.extend([0, 0]);
+            e
+        }
+
+        pub fn num_vertices(&self) -> usize {
+            self.adj.len()
+        }
+
+        pub fn num_edge_slots(&self) -> usize {
+            self.head.len()
+        }
+
+        pub fn zero_flows(&mut self) {
+            self.flow.iter_mut().for_each(|f| *f = 0);
+        }
+
+        pub fn out_edges(&self, v: usize) -> &[u32] {
+            &self.adj[v]
+        }
+
+        pub fn target(&self, e: usize) -> usize {
+            self.head[e] as usize
+        }
+
+        pub fn residual(&self, e: usize) -> i64 {
+            self.cap[e] - self.flow[e]
+        }
+
+        pub fn push(&mut self, e: usize, delta: i64) {
+            self.flow[e] += delta;
+            self.flow[e ^ 1] -= delta;
+        }
+
+        /// The old `copy_from`: `clone_from` per field — which for the
+        /// adjacency means one `Vec<u32>` clone per vertex (an allocation
+        /// each on a fresh workspace).
+        pub fn copy_from(&mut self, other: &LegacyGraph) {
+            self.adj.clone_from(&other.adj);
+            self.head.clone_from(&other.head);
+            self.cap.clone_from(&other.cap);
+            self.flow.clone_from(&other.flow);
+        }
+    }
+
+    use std::collections::VecDeque;
+
+    /// Work between global relabels, as the pre-arena solver had it.
+    const GLOBAL_RELABEL_WORK_FACTOR: u64 = 6;
+
+    /// The pre-arena FIFO push-relabel (gap + global-relabel heuristics),
+    /// verbatim from repo history modulo the graph type and the dropped
+    /// resume/snapshot surface the bench does not exercise.
+    #[derive(Default)]
+    pub struct LegacyPushRelabel {
+        height: Vec<u32>,
+        excess: Vec<i64>,
+        cur_arc: Vec<u32>,
+        queue: VecDeque<u32>,
+        in_queue: Vec<bool>,
+        height_count: Vec<u32>,
+        bfs_queue: Vec<u32>,
+        work: u64,
+        pushes: u64,
+        relabels: u64,
+    }
+
+    impl LegacyPushRelabel {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Keeps the operation counters observable so the optimizer cannot
+        /// delete the bookkeeping the shipped solver also performs.
+        pub fn ops(&self) -> u64 {
+            self.pushes + self.relabels
+        }
+
+        fn ensure(&mut self, n: usize) {
+            if self.height.len() < n {
+                self.height.resize(n, 0);
+                self.excess.resize(n, 0);
+                self.cur_arc.resize(n, 0);
+                self.in_queue.resize(n, false);
+            }
+            if self.height_count.len() < 2 * n + 1 {
+                self.height_count.resize(2 * n + 1, 0);
+            }
+        }
+
+        pub fn max_flow(&mut self, g: &mut LegacyGraph, s: usize, t: usize) -> i64 {
+            let n = g.num_vertices();
+            g.zero_flows();
+            self.ensure(n);
+            self.excess.iter_mut().for_each(|e| *e = 0);
+            self.queue.clear();
+            self.in_queue.iter_mut().for_each(|b| *b = false);
+
+            for i in 0..g.out_edges(s).len() {
+                let e = g.out_edges(s)[i] as usize;
+                let delta = g.residual(e);
+                if delta > 0 {
+                    let v = g.target(e);
+                    g.push(e, delta);
+                    self.excess[v] += delta;
+                }
+            }
+            self.height.iter_mut().for_each(|h| *h = 0);
+            self.height[s] = n as u32;
+            self.excess[s] = 0;
+            self.cur_arc.iter_mut().for_each(|a| *a = 0);
+            self.height_count.iter_mut().for_each(|c| *c = 0);
+            self.height_count[0] = (n - 1) as u32;
+            self.height_count[n] += 1;
+
+            for v in 0..n {
+                if v != s && v != t && self.excess[v] > 0 {
+                    self.queue.push_back(v as u32);
+                    self.in_queue[v] = true;
+                }
+            }
+            if !self.queue.is_empty() {
+                self.global_relabel(g, s, t);
+            }
+            self.work = 0;
+
+            let m = g.num_edge_slots() as u64;
+            let relabel_threshold = GLOBAL_RELABEL_WORK_FACTOR * m.max(n as u64);
+            while let Some(v) = self.queue.pop_front() {
+                let v = v as usize;
+                self.in_queue[v] = false;
+                self.discharge(g, v, s, t);
+                if self.work >= relabel_threshold {
+                    self.work = 0;
+                    self.global_relabel(g, s, t);
+                }
+            }
+            self.excess[t]
+        }
+
+        fn discharge(&mut self, g: &mut LegacyGraph, v: usize, s: usize, t: usize) {
+            let n = g.num_vertices() as u32;
+            while self.excess[v] > 0 {
+                let edges_len = g.out_edges(v).len();
+                if (self.cur_arc[v] as usize) >= edges_len {
+                    if !self.relabel(g, v, n) {
+                        break;
+                    }
+                    if self.height[v] > 2 * n {
+                        break;
+                    }
+                    continue;
+                }
+                let e = g.out_edges(v)[self.cur_arc[v] as usize] as usize;
+                self.work += 1;
+                let w = g.target(e);
+                if g.residual(e) > 0 && self.height[v] == self.height[w] + 1 {
+                    let delta = self.excess[v].min(g.residual(e));
+                    g.push(e, delta);
+                    self.excess[v] -= delta;
+                    self.excess[w] += delta;
+                    self.pushes += 1;
+                    if w != s && w != t && !self.in_queue[w] {
+                        self.queue.push_back(w as u32);
+                        self.in_queue[w] = true;
+                    }
+                } else {
+                    self.cur_arc[v] += 1;
+                }
+            }
+        }
+
+        fn relabel(&mut self, g: &LegacyGraph, v: usize, n: u32) -> bool {
+            let mut min_h = u32::MAX;
+            for &e in g.out_edges(v) {
+                let e = e as usize;
+                self.work += 1;
+                if g.residual(e) > 0 {
+                    min_h = min_h.min(self.height[g.target(e)]);
+                }
+            }
+            if min_h == u32::MAX {
+                return false;
+            }
+            let old = self.height[v];
+            let new = min_h + 1;
+            self.relabels += 1;
+            self.height[v] = new;
+            self.cur_arc[v] = 0;
+            self.height_count[old as usize] -= 1;
+            if (new as usize) < self.height_count.len() {
+                self.height_count[new as usize] += 1;
+            }
+            if self.height_count[old as usize] == 0 && old < n {
+                self.apply_gap(old, n);
+            }
+            true
+        }
+
+        fn apply_gap(&mut self, gap: u32, n: u32) {
+            for v in 0..self.height.len() {
+                let h = self.height[v];
+                if h > gap && h < n {
+                    self.height_count[h as usize] -= 1;
+                    self.height[v] = n + 1;
+                    self.height_count[(n + 1) as usize] += 1;
+                    self.cur_arc[v] = 0;
+                }
+            }
+        }
+
+        fn global_relabel(&mut self, g: &LegacyGraph, s: usize, t: usize) {
+            let n = g.num_vertices();
+            const UNSEEN: u32 = u32::MAX;
+            self.height.iter_mut().for_each(|h| *h = UNSEEN);
+
+            self.bfs_queue.clear();
+            self.height[t] = 0;
+            self.bfs_queue.push(t as u32);
+            let mut head = 0;
+            while head < self.bfs_queue.len() {
+                let w = self.bfs_queue[head] as usize;
+                head += 1;
+                let dw = self.height[w];
+                for &e in g.out_edges(w) {
+                    let e = e as usize;
+                    let u = g.target(e);
+                    if self.height[u] == UNSEEN && g.residual(e ^ 1) > 0 && u != s {
+                        self.height[u] = dw + 1;
+                        self.bfs_queue.push(u as u32);
+                    }
+                }
+            }
+            let base = n as u32;
+            self.bfs_queue.clear();
+            self.height[s] = base;
+            self.bfs_queue.push(s as u32);
+            head = 0;
+            while head < self.bfs_queue.len() {
+                let w = self.bfs_queue[head] as usize;
+                head += 1;
+                let dw = self.height[w];
+                for &e in g.out_edges(w) {
+                    let e = e as usize;
+                    let u = g.target(e);
+                    if self.height[u] == UNSEEN && g.residual(e ^ 1) > 0 {
+                        self.height[u] = dw + 1;
+                        self.bfs_queue.push(u as u32);
+                    }
+                }
+            }
+            for h in self.height.iter_mut() {
+                if *h == UNSEEN {
+                    *h = 2 * base;
+                }
+            }
+            self.height_count.iter_mut().for_each(|c| *c = 0);
+            for v in 0..n {
+                let h = self.height[v] as usize;
+                if h < self.height_count.len() {
+                    self.height_count[h] += 1;
+                }
+            }
+            self.cur_arc.iter_mut().for_each(|a| *a = 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic layout panel: four layouts, one mini-Dinic.
+// ---------------------------------------------------------------------------
+
+trait Layout {
+    const NAME: &'static str;
+    /// Cursor over the out-slots of one vertex.
+    type Cur: Copy;
+    fn new() -> Self;
+    fn rebuild(&mut self, n: usize, arcs: &[Arc]);
+    fn num_vertices(&self) -> usize;
+    fn first(&self, v: usize) -> Self::Cur;
+    fn valid(&self, c: Self::Cur) -> bool;
+    fn advance(&self, c: Self::Cur) -> Self::Cur;
+    fn edge(&self, c: Self::Cur) -> usize;
+    fn head(&self, e: usize) -> usize;
+    fn residual(&self, e: usize) -> i64;
+    fn push(&mut self, e: usize, delta: i64);
+}
+
+/// Per-vertex adjacency vectors (the old layout's shape, minus its checked
+/// accessors — the panel isolates pure layout).
+struct VecOfVecs {
+    adj: Vec<Vec<u32>>,
+    head: Vec<u32>,
+    cap: Vec<i64>,
+    flow: Vec<i64>,
+}
+
+impl Layout for VecOfVecs {
+    const NAME: &'static str = "vec_of_vecs";
+    type Cur = (u32, u32);
+
+    fn new() -> Self {
+        VecOfVecs {
+            adj: Vec::new(),
+            head: Vec::new(),
+            cap: Vec::new(),
+            flow: Vec::new(),
+        }
+    }
+
+    fn rebuild(&mut self, n: usize, arcs: &[Arc]) {
+        if self.adj.len() < n {
+            self.adj.resize_with(n, Vec::new);
+        }
+        for list in &mut self.adj[..n] {
+            list.clear();
+        }
+        self.head.clear();
+        self.cap.clear();
+        self.flow.clear();
+        for a in arcs {
+            let e = self.head.len() as u32;
+            self.adj[a.from as usize].push(e);
+            self.adj[a.to as usize].push(e + 1);
+            self.head.extend([a.to, a.from]);
+            self.cap.extend([a.cap, 0]);
+            self.flow.extend([0, 0]);
+        }
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    #[inline(always)]
+    fn first(&self, v: usize) -> (u32, u32) {
+        (v as u32, 0)
+    }
+
+    #[inline(always)]
+    fn valid(&self, (v, k): (u32, u32)) -> bool {
+        (k as usize) < self.adj[v as usize].len()
+    }
+
+    #[inline(always)]
+    fn advance(&self, (v, k): (u32, u32)) -> (u32, u32) {
+        (v, k + 1)
+    }
+
+    #[inline(always)]
+    fn edge(&self, (v, k): (u32, u32)) -> usize {
+        self.adj[v as usize][k as usize] as usize
+    }
+
+    #[inline(always)]
+    fn head(&self, e: usize) -> usize {
+        self.head[e] as usize
+    }
+
+    #[inline(always)]
+    fn residual(&self, e: usize) -> i64 {
+        self.cap[e] - self.flow[e]
+    }
+
+    #[inline(always)]
+    fn push(&mut self, e: usize, delta: i64) {
+        self.flow[e] += delta;
+        self.flow[e ^ 1] -= delta;
+    }
+}
+
+const NONE: u32 = u32::MAX;
+
+/// The linked forward-star candidate: `first_out[v]` heads an intrusive
+/// `next_out` chain through the edge slots. All-flat storage, but each
+/// traversal step is a data-dependent load.
+struct LinkedStar {
+    first_out: Vec<u32>,
+    next_out: Vec<u32>,
+    head: Vec<u32>,
+    cap: Vec<i64>,
+    flow: Vec<i64>,
+}
+
+impl Layout for LinkedStar {
+    const NAME: &'static str = "linked_forward_star";
+    type Cur = u32;
+
+    fn new() -> Self {
+        LinkedStar {
+            first_out: Vec::new(),
+            next_out: Vec::new(),
+            head: Vec::new(),
+            cap: Vec::new(),
+            flow: Vec::new(),
+        }
+    }
+
+    fn rebuild(&mut self, n: usize, arcs: &[Arc]) {
+        self.first_out.clear();
+        self.first_out.resize(n, NONE);
+        self.next_out.clear();
+        self.next_out.resize(arcs.len() * 2, NONE);
+        self.head.clear();
+        self.head.resize(arcs.len() * 2, 0);
+        self.cap.clear();
+        self.cap.resize(arcs.len() * 2, 0);
+        self.flow.clear();
+        self.flow.resize(arcs.len() * 2, 0);
+        // Arcs are chained in reverse so traversal order matches the other
+        // layouts (ascending slot id).
+        for (i, a) in arcs.iter().enumerate().rev() {
+            let e = i * 2;
+            self.head[e] = a.to;
+            self.head[e + 1] = a.from;
+            self.cap[e] = a.cap;
+            self.next_out[e] = self.first_out[a.from as usize];
+            self.first_out[a.from as usize] = e as u32;
+            self.next_out[e + 1] = self.first_out[a.to as usize];
+            self.first_out[a.to as usize] = (e + 1) as u32;
+        }
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.first_out.len()
+    }
+
+    #[inline(always)]
+    fn first(&self, v: usize) -> u32 {
+        self.first_out[v]
+    }
+
+    #[inline(always)]
+    fn valid(&self, c: u32) -> bool {
+        c != NONE
+    }
+
+    #[inline(always)]
+    fn advance(&self, c: u32) -> u32 {
+        self.next_out[c as usize]
+    }
+
+    #[inline(always)]
+    fn edge(&self, c: u32) -> usize {
+        c as usize
+    }
+
+    #[inline(always)]
+    fn head(&self, e: usize) -> usize {
+        self.head[e] as usize
+    }
+
+    #[inline(always)]
+    fn residual(&self, e: usize) -> i64 {
+        self.cap[e] - self.flow[e]
+    }
+
+    #[inline(always)]
+    fn push(&mut self, e: usize, delta: i64) {
+        self.flow[e] += delta;
+        self.flow[e ^ 1] -= delta;
+    }
+}
+
+/// The shipped layout shape: offset-array CSR (`adj_index`/`adj_list`)
+/// over flat `head`/`cap`/`flow`, counting-sorted so per-vertex order is
+/// ascending slot id. Generic over the cap/flow word to measure the `i32`
+/// variant.
+struct CsrArena<W> {
+    adj_index: Vec<u32>,
+    adj_list: Vec<u32>,
+    cursor: Vec<u32>,
+    head: Vec<u32>,
+    cap: Vec<W>,
+    flow: Vec<W>,
+}
+
+trait FlowWord: Copy + Default {
+    const NAME: &'static str;
+    fn from_i64(x: i64) -> Self;
+    fn to_i64(self) -> i64;
+    fn add(self, other: Self) -> Self;
+    fn sub(self, other: Self) -> Self;
+}
+
+impl FlowWord for i64 {
+    const NAME: &'static str = "csr_i64";
+    fn from_i64(x: i64) -> i64 {
+        x
+    }
+    fn to_i64(self) -> i64 {
+        self
+    }
+    fn add(self, o: i64) -> i64 {
+        self + o
+    }
+    fn sub(self, o: i64) -> i64 {
+        self - o
+    }
+}
+
+impl FlowWord for i32 {
+    const NAME: &'static str = "csr_i32";
+    fn from_i64(x: i64) -> i32 {
+        x as i32
+    }
+    fn to_i64(self) -> i64 {
+        self as i64
+    }
+    fn add(self, o: i32) -> i32 {
+        self + o
+    }
+    fn sub(self, o: i32) -> i32 {
+        self - o
+    }
+}
+
+impl<W: FlowWord> Layout for CsrArena<W> {
+    const NAME: &'static str = W::NAME;
+    type Cur = (u32, u32);
+
+    fn new() -> Self {
+        CsrArena {
+            adj_index: Vec::new(),
+            adj_list: Vec::new(),
+            cursor: Vec::new(),
+            head: Vec::new(),
+            cap: Vec::new(),
+            flow: Vec::new(),
+        }
+    }
+
+    fn rebuild(&mut self, n: usize, arcs: &[Arc]) {
+        let m = arcs.len() * 2;
+        self.head.clear();
+        self.cap.clear();
+        self.flow.clear();
+        for a in arcs {
+            self.head.extend([a.to, a.from]);
+            self.cap.extend([W::from_i64(a.cap), W::default()]);
+            self.flow.extend([W::default(), W::default()]);
+        }
+        // Stable counting sort of slots by owner, as FlowGraph::finalize.
+        self.adj_index.clear();
+        self.adj_index.resize(n + 1, 0);
+        for e in 0..m {
+            self.adj_index[self.head[e ^ 1] as usize + 1] += 1;
+        }
+        for v in 0..n {
+            self.adj_index[v + 1] += self.adj_index[v];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.adj_index[..n]);
+        self.adj_list.clear();
+        self.adj_list.resize(m, 0);
+        for e in 0..m {
+            let src = self.head[e ^ 1] as usize;
+            let slot = self.cursor[src];
+            self.adj_list[slot as usize] = e as u32;
+            self.cursor[src] = slot + 1;
+        }
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.adj_index.len().saturating_sub(1)
+    }
+
+    #[inline(always)]
+    fn first(&self, v: usize) -> (u32, u32) {
+        (self.adj_index[v], self.adj_index[v + 1])
+    }
+
+    #[inline(always)]
+    fn valid(&self, (pos, end): (u32, u32)) -> bool {
+        pos < end
+    }
+
+    #[inline(always)]
+    fn advance(&self, (pos, end): (u32, u32)) -> (u32, u32) {
+        (pos + 1, end)
+    }
+
+    #[inline(always)]
+    fn edge(&self, (pos, _): (u32, u32)) -> usize {
+        self.adj_list[pos as usize] as usize
+    }
+
+    #[inline(always)]
+    fn head(&self, e: usize) -> usize {
+        self.head[e] as usize
+    }
+
+    #[inline(always)]
+    fn residual(&self, e: usize) -> i64 {
+        self.cap[e].sub(self.flow[e]).to_i64()
+    }
+
+    #[inline(always)]
+    fn push(&mut self, e: usize, delta: i64) {
+        self.flow[e] = self.flow[e].add(W::from_i64(delta));
+        self.flow[e ^ 1] = self.flow[e ^ 1].sub(W::from_i64(delta));
+    }
+}
+
+/// One Dinic to drive the whole panel.
+struct MiniDinic<C> {
+    level: Vec<u32>,
+    queue: Vec<u32>,
+    cur: Vec<C>,
+}
+
+impl<C: Copy> MiniDinic<C> {
+    fn new() -> Self {
+        MiniDinic {
+            level: Vec::new(),
+            queue: Vec::new(),
+            cur: Vec::new(),
+        }
+    }
+
+    fn max_flow<L: Layout<Cur = C>>(&mut self, g: &mut L, s: usize, t: usize) -> i64 {
+        let n = g.num_vertices();
+        self.level.clear();
+        self.level.resize(n, 0);
+        self.cur.clear();
+        self.cur.resize(n, g.first(s));
+        let mut total = 0;
+        loop {
+            self.level.fill(u32::MAX);
+            self.level[s] = 0;
+            self.queue.clear();
+            self.queue.push(s as u32);
+            let mut qh = 0;
+            while qh < self.queue.len() {
+                let v = self.queue[qh] as usize;
+                qh += 1;
+                let mut c = g.first(v);
+                while g.valid(c) {
+                    let e = g.edge(c);
+                    let w = g.head(e);
+                    if g.residual(e) > 0 && self.level[w] == u32::MAX {
+                        self.level[w] = self.level[v] + 1;
+                        self.queue.push(w as u32);
+                    }
+                    c = g.advance(c);
+                }
+            }
+            if self.level[t] == u32::MAX {
+                return total;
+            }
+            for v in 0..n {
+                self.cur[v] = g.first(v);
+            }
+            loop {
+                let pushed = self.augment(g, s, t, i64::MAX);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    fn augment<L: Layout<Cur = C>>(&mut self, g: &mut L, v: usize, t: usize, limit: i64) -> i64 {
+        if v == t {
+            return limit;
+        }
+        while g.valid(self.cur[v]) {
+            let c = self.cur[v];
+            let e = g.edge(c);
+            let w = g.head(e);
+            if g.residual(e) > 0 && self.level[w] == self.level[v] + 1 {
+                let pushed = self.augment(g, w, t, limit.min(g.residual(e)));
+                if pushed > 0 {
+                    g.push(e, pushed);
+                    return pushed;
+                }
+            }
+            self.cur[v] = g.advance(c);
+        }
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Cold/steady stack timings for one instance, best of `repeat` samples of
+/// `rounds` cycles each. The four measurements are interleaved inside each
+/// sample so slow system phases penalize both arms alike.
+struct StackTimes {
+    legacy_cold: Duration,
+    legacy_steady: Duration,
+    shipped_cold: Duration,
+    shipped_steady: Duration,
+    flow: i64,
+}
+
+fn time_stacks(inst: &Instance, repeat: usize, rounds: usize) -> StackTimes {
+    let build_legacy = |g: &mut legacy::LegacyGraph| {
+        g.reset(inst.n);
+        for a in &inst.arcs {
+            g.add_edge(a.from as usize, a.to as usize, a.cap);
+        }
+    };
+    let build_shipped = |g: &mut FlowGraph| {
+        g.reset(inst.n);
+        // The production builders pre-size the arena from the known
+        // topology bound (see `RetrievalInstance::rebuild_with_health`);
+        // the bench knows the arc count exactly.
+        g.reserve_edges(inst.arcs.len());
+        for a in &inst.arcs {
+            g.add_edge(a.from as usize, a.to as usize, a.cap);
+        }
+        g.finalize();
+    };
+
+    // Each cycle reproduces the full solve pipeline: build the instance's
+    // network, copy it into a workspace scratch graph (`Workspace::begin`),
+    // solve on the copy. Cold uses a fresh workspace each time — exactly
+    // what the `solve()` convenience did per call pre-arena; steady reuses
+    // both the instance graph and the workspace scratch.
+    let mut lpr = legacy::LegacyPushRelabel::new();
+    let mut spr = rds_flow::push_relabel::PushRelabel::new();
+    let mut linst = legacy::LegacyGraph::new(inst.n);
+    let mut sinst = FlowGraph::new(inst.n);
+    let mut lscratch = legacy::LegacyGraph::default();
+    let mut sscratch = FlowGraph::new(0);
+    build_legacy(&mut linst);
+    build_shipped(&mut sinst);
+    lscratch.copy_from(&linst);
+    sscratch.copy_from(&sinst);
+    let flow = lpr.max_flow(&mut lscratch, inst.source, inst.sink);
+    let shipped_flow = spr.max_flow(&mut sscratch, inst.source, inst.sink);
+    assert_eq!(flow, shipped_flow, "stacks disagree on grid {}", inst.grid);
+
+    let mut t = StackTimes {
+        legacy_cold: Duration::MAX,
+        legacy_steady: Duration::MAX,
+        shipped_cold: Duration::MAX,
+        shipped_steady: Duration::MAX,
+        flow,
+    };
+    for _ in 0..repeat {
+        let started = Instant::now();
+        for _ in 0..rounds {
+            let mut fresh_inst = legacy::LegacyGraph::new(inst.n);
+            build_legacy(&mut fresh_inst);
+            let mut fresh_ws = legacy::LegacyGraph::default();
+            fresh_ws.copy_from(&fresh_inst);
+            assert_eq!(lpr.max_flow(&mut fresh_ws, inst.source, inst.sink), flow);
+        }
+        t.legacy_cold = t.legacy_cold.min(started.elapsed() / rounds as u32);
+
+        let started = Instant::now();
+        for _ in 0..rounds {
+            let mut fresh_inst = FlowGraph::new(inst.n);
+            build_shipped(&mut fresh_inst);
+            let mut fresh_ws = FlowGraph::new(0);
+            fresh_ws.copy_from(&fresh_inst);
+            assert_eq!(spr.max_flow(&mut fresh_ws, inst.source, inst.sink), flow);
+        }
+        t.shipped_cold = t.shipped_cold.min(started.elapsed() / rounds as u32);
+
+        let started = Instant::now();
+        for _ in 0..rounds {
+            build_legacy(&mut linst);
+            lscratch.copy_from(&linst);
+            assert_eq!(lpr.max_flow(&mut lscratch, inst.source, inst.sink), flow);
+        }
+        t.legacy_steady = t.legacy_steady.min(started.elapsed() / rounds as u32);
+
+        let started = Instant::now();
+        for _ in 0..rounds {
+            build_shipped(&mut sinst);
+            sscratch.copy_from(&sinst);
+            assert_eq!(spr.max_flow(&mut sscratch, inst.source, inst.sink), flow);
+        }
+        t.shipped_steady = t.shipped_steady.min(started.elapsed() / rounds as u32);
+    }
+    std::hint::black_box((lpr.ops(), spr.stats));
+    t
+}
+
+/// Best-of-`repeat` steady-state time for one panel layout (in-place
+/// rebuild + from-zero solve per cycle).
+fn time_layout<L: Layout>(inst: &Instance, repeat: usize, rounds: usize) -> (Duration, i64) {
+    let mut dinic = MiniDinic::new();
+    let mut g = L::new();
+    g.rebuild(inst.n, &inst.arcs);
+    let value = dinic.max_flow(&mut g, inst.source, inst.sink);
+    let mut best = Duration::MAX;
+    for _ in 0..repeat {
+        let started = Instant::now();
+        for _ in 0..rounds {
+            g.rebuild(inst.n, &inst.arcs);
+            let got = dinic.max_flow(&mut g, inst.source, inst.sink);
+            assert_eq!(got, value, "{} lost the flow value", L::NAME);
+        }
+        best = best.min(started.elapsed() / rounds as u32);
+    }
+    (best, value)
+}
+
+struct Rung {
+    grid: usize,
+    vertices: usize,
+    edge_slots: usize,
+    stacks: StackTimes,
+    panel: [(Duration, i64); 4],
+}
+
+fn main() -> ExitCode {
+    let mut repeat = 7usize;
+    let mut rounds = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = args.next().and_then(|v| v.parse::<u64>().ok());
+        match (arg.as_str(), value) {
+            ("--repeat", Some(v)) => repeat = (v as usize).max(1),
+            ("--rounds", Some(v)) => rounds = (v as usize).max(1),
+            _ => {
+                eprintln!("usage: graph_layout [--repeat R] [--rounds N]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Table II shape (7x7 grid, 14 disks) and cache-pressure scalings of
+    // the same topology.
+    let grids = [7usize, 14, 28, 56, 112];
+    let mut rungs = Vec::new();
+    for (i, &grid) in grids.iter().enumerate() {
+        let inst = build_instance(grid, 0x7AB1E2 + i as u64);
+        let stacks = time_stacks(&inst, repeat, rounds);
+        let panel = [
+            time_layout::<VecOfVecs>(&inst, repeat, rounds),
+            time_layout::<LinkedStar>(&inst, repeat, rounds),
+            time_layout::<CsrArena<i64>>(&inst, repeat, rounds),
+            time_layout::<CsrArena<i32>>(&inst, repeat, rounds),
+        ];
+        let v = panel[0].1;
+        assert!(
+            panel.iter().all(|&(_, pv)| pv == v) && v == stacks.flow,
+            "panel layouts disagree on grid {grid}"
+        );
+        rungs.push(Rung {
+            grid,
+            vertices: inst.n,
+            edge_slots: inst.arcs.len() * 2,
+            stacks,
+            panel,
+        });
+    }
+
+    let last = rungs.last().expect("at least one rung");
+    let cold_speedup =
+        last.stacks.legacy_cold.as_secs_f64() / last.stacks.shipped_cold.as_secs_f64();
+    let steady_speedup =
+        last.stacks.legacy_steady.as_secs_f64() / last.stacks.shipped_steady.as_secs_f64();
+    let linked_vs_csr = last.panel[1].0.as_secs_f64() / last.panel[2].0.as_secs_f64();
+    let i32_vs_i64 = last.panel[2].0.as_secs_f64() / last.panel[3].0.as_secs_f64();
+
+    let mut report = format!(
+        "# graph_layout — pre-arena stack (Vec-of-Vecs FlowGraph + its FIFO\n\
+         # push-relabel, from repo history) vs the shipped CSR arena stack, on\n\
+         # retrieval-shaped networks scaled from the paper's Table II system\n\
+         # (grid 7 = 7x7 grid / 14 disks).\n\
+         # cold   = build the graph from nothing + solve (per-query cost pre-warmup;\n\
+         #          the old layout pays one heap vector per vertex);\n\
+         # steady = in-place rebuild reusing buffers + solve.\n\
+         # best of {repeat} samples x {rounds} cycles, arms interleaved per sample.\n\
+         #\n\
+         # grid  vertices  slots    legacy_ms        shipped_ms      flow\n\
+         #                          cold   steady    cold   steady\n"
+    );
+    for r in &rungs {
+        report.push_str(&format!(
+            "{:>6} {:>9} {:>6} {:>9.3} {:>8.3} {:>8.3} {:>8.3} {:>7}\n",
+            r.grid,
+            r.vertices,
+            r.edge_slots,
+            ms(r.stacks.legacy_cold),
+            ms(r.stacks.legacy_steady),
+            ms(r.stacks.shipped_cold),
+            ms(r.stacks.shipped_steady),
+            r.stacks.flow,
+        ));
+    }
+    report.push_str(
+        "#\n\
+         # layout panel (steady, one generic mini-Dinic; the arena design bench):\n\
+         # grid   vec_of_vecs_ms  linked_star_ms  csr_i64_ms  csr_i32_ms\n",
+    );
+    for r in &rungs {
+        report.push_str(&format!(
+            "{:>6} {:>16.3} {:>15.3} {:>11.3} {:>11.3}\n",
+            r.grid,
+            ms(r.panel[0].0),
+            ms(r.panel[1].0),
+            ms(r.panel[2].0),
+            ms(r.panel[3].0),
+        ));
+    }
+    report.push_str(&format!(
+        "#\n\
+         cold_speedup    {cold_speedup:.2}x   (legacy stack / shipped stack, cold, grid {grid})\n\
+         steady_speedup  {steady_speedup:.2}x   (legacy stack / shipped stack, in-place rebuilds)\n\
+         linked_vs_csr   {linked_vs_csr:.2}x   (panel: linked forward-star / offset-array csr)\n\
+         i32_vs_i64      {i32_vs_i64:.2}x   (panel: csr i64 words / csr i32 words)\n",
+        grid = last.grid,
+    ));
+    print!("{report}");
+
+    let mut json = format!(
+        "{{\n  \"bench\": \"graph_layout\",\n  \"repeat\": {repeat},\n  \"rounds\": {rounds},\n  \"cold_speedup\": {cold_speedup:.3},\n  \"steady_speedup\": {steady_speedup:.3},\n  \"linked_vs_csr\": {linked_vs_csr:.3},\n  \"i32_vs_i64\": {i32_vs_i64:.3},\n  \"rungs\": [\n"
+    );
+    for (i, r) in rungs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"grid\": {}, \"vertices\": {}, \"edge_slots\": {}, \"flow\": {}, \"legacy_cold_ms\": {:.4}, \"legacy_steady_ms\": {:.4}, \"shipped_cold_ms\": {:.4}, \"shipped_steady_ms\": {:.4}, \"panel_vec_of_vecs_ms\": {:.4}, \"panel_linked_star_ms\": {:.4}, \"panel_csr_i64_ms\": {:.4}, \"panel_csr_i32_ms\": {:.4}}}{}\n",
+            r.grid,
+            r.vertices,
+            r.edge_slots,
+            r.stacks.flow,
+            ms(r.stacks.legacy_cold),
+            ms(r.stacks.legacy_steady),
+            ms(r.stacks.shipped_cold),
+            ms(r.stacks.shipped_steady),
+            ms(r.panel[0].0),
+            ms(r.panel[1].0),
+            ms(r.panel[2].0),
+            ms(r.panel[3].0),
+            if i + 1 == rungs.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let write = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/graph_layout.txt", &report))
+        .and_then(|()| std::fs::write("BENCH_graph_layout.json", &json));
+    if let Err(e) = write {
+        eprintln!("could not write graph_layout outputs: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote results/graph_layout.txt and BENCH_graph_layout.json");
+    ExitCode::SUCCESS
+}

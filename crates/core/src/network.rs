@@ -193,6 +193,11 @@ impl RetrievalInstance {
         let source = 0;
         let sink = q + n + 1;
         self.graph.reset(q + n + 2);
+        // Upper bound on the arc count: one source arc plus at most
+        // MAX_COPIES replica arcs per bucket, one sink arc per disk. A cold
+        // build then allocates each arena array once instead of doubling.
+        self.graph
+            .reserve_edges(q * (1 + rds_decluster::allocation::MAX_COPIES) + n);
         self.buckets.clear();
         self.buckets.extend_from_slice(buckets);
         self.disks.clear();
@@ -247,6 +252,7 @@ impl RetrievalInstance {
         }
         self.disk_edges
             .extend((0..n).map(|j| self.graph.add_edge(q + 1 + j, sink, 0)));
+        self.graph.finalize();
         Ok(())
     }
 
@@ -296,17 +302,15 @@ impl RetrievalInstance {
                 None => incoming.push(b),
             }
         }
-        let mut incoming = incoming.into_iter();
+        // Pass 1: deactivate the old arcs of every changed slot. Reads the
+        // adjacency index, which stays valid because no arc is appended
+        // until pass 2 (appending marks the CSR index stale).
         for (i, kept) in claimed.into_iter().enumerate() {
             if kept {
                 continue;
             }
-            let b = incoming
-                .next()
-                .expect("equal sizes: one bucket per free slot");
             changed.push(i);
             let v = self.bucket_vertex(i);
-            // Deactivate the old bucket's replica arcs.
             for idx in 0..self.graph.out_edges(v).len() {
                 let e = self.graph.out_edges(v)[idx] as EdgeId;
                 if e.is_multiple_of(2) && self.graph.cap(e) > 0 {
@@ -316,7 +320,16 @@ impl RetrievalInstance {
                     self.dead_arcs += 1;
                 }
             }
-            // Attach the new bucket's surviving replicas.
+        }
+        // Pass 2: attach the new buckets' surviving replicas. Slots are
+        // processed in the same ascending order incoming buckets were
+        // drained in before, so edge-id assignment is unchanged.
+        let mut incoming = incoming.into_iter();
+        for &i in changed.iter() {
+            let b = incoming
+                .next()
+                .expect("equal sizes: one bucket per free slot");
+            let v = self.bucket_vertex(i);
             let reps = alloc.replicas(b);
             assert!(!reps.is_empty(), "bucket {b} has no replicas");
             self.max_copies = self.max_copies.max(reps.len());
@@ -341,6 +354,7 @@ impl RetrievalInstance {
             }
             self.buckets[i] = b;
         }
+        self.graph.finalize();
         Ok(())
     }
 

@@ -58,6 +58,11 @@ pub struct Workspace {
     /// [`Workspace::take_poisoned`].
     poisoned: bool,
     solves: u64,
+    /// High-water instance size staged so far. Once an instance fits both
+    /// marks, copying it into the scratch graph must not grow any arena
+    /// buffer — [`Workspace::stage_graph`] debug-asserts it.
+    hw_vertices: usize,
+    hw_edge_slots: usize,
 }
 
 /// Error returned by [`Workspace::take_poisoned`] when a previous solve
@@ -99,7 +104,35 @@ impl Workspace {
             warm_staged: false,
             poisoned: false,
             solves: 0,
+            hw_vertices: 0,
+            hw_edge_slots: 0,
         }
+    }
+
+    /// Copies `inst`'s network into the scratch graph. In debug builds,
+    /// asserts the steady-state contract of the CSR arena: an instance no
+    /// larger than any previously staged one (by vertex and edge-slot
+    /// count — arena buffers never shrink, so those two marks bound every
+    /// buffer length) must copy in with **zero** graph allocations.
+    fn stage_graph(&mut self, inst: &RetrievalInstance) {
+        #[cfg(debug_assertions)]
+        let (fits, events_before) = (
+            inst.graph.num_vertices() <= self.hw_vertices
+                && inst.graph.num_edge_slots() <= self.hw_edge_slots,
+            self.graph.arena().allocation_events(),
+        );
+        self.graph.copy_from(&inst.graph);
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            !fits || self.graph.arena().allocation_events() == events_before,
+            "steady-state solve allocated graph memory: instance fits the \
+             high-water size ({} vertices / {} edge slots) but copy_from \
+             grew an arena buffer",
+            self.hw_vertices,
+            self.hw_edge_slots,
+        );
+        self.hw_vertices = self.hw_vertices.max(inst.graph.num_vertices());
+        self.hw_edge_slots = self.hw_edge_slots.max(inst.graph.num_edge_slots());
     }
 
     /// Installs a ring-buffer [`crate::obs::trace::Recorder`] with the
@@ -190,7 +223,7 @@ impl Workspace {
         self.solves += 1;
         self.warm_staged = false;
         self.poisoned = true;
-        self.graph.copy_from(&inst.graph);
+        self.stage_graph(inst);
         self.engine.reset_excess(self.graph.num_vertices());
         self.tracer.emit(TraceEvent::SolveStart {
             query_size: inst.query_size() as u32,
@@ -209,7 +242,7 @@ impl Workspace {
         self.warm_staged = false;
         self.solves += 1;
         self.poisoned = true;
-        self.graph.copy_from(&inst.graph);
+        self.stage_graph(inst);
         // The patch may have appended fresh replica arcs; they carry no
         // warm flow.
         self.warm_flows.resize(self.graph.num_edge_slots(), 0);
@@ -249,7 +282,7 @@ impl Workspace {
         self.warm_staged = false;
         self.solves += 1;
         self.poisoned = true;
-        self.graph.copy_from(&inst.graph);
+        self.stage_graph(inst);
         self.warm_flows.resize(self.graph.num_edge_slots(), 0);
         self.graph.restore_flows(&self.warm_flows);
         self.tracer.emit(TraceEvent::SolveStart {
@@ -340,6 +373,31 @@ mod tests {
         ws.begin(&inst);
         assert_eq!(ws.solves(), 2);
         assert_eq!(ws.graph.num_edges(), inst.graph.num_edges());
+    }
+
+    #[test]
+    fn steady_state_begin_performs_zero_graph_allocations() {
+        let system = SystemConfig::homogeneous(CHEETAH, 6);
+        let alloc = OrthogonalAllocation::new(6, Placement::SingleSite);
+        let big = RangeQuery::new(0, 0, 3, 3);
+        let small = RangeQuery::new(1, 1, 2, 2);
+        let big_inst = RetrievalInstance::build(&system, &alloc, &big.buckets(6));
+        let small_inst = RetrievalInstance::build(&system, &alloc, &small.buckets(6));
+        let mut ws = Workspace::new();
+        ws.begin(&big_inst);
+        let events = ws.graph.arena().allocation_events();
+        // Same-size and smaller instances must reuse the arena byte-for-byte
+        // (stage_graph debug-asserts this too; the explicit check keeps the
+        // contract pinned in release builds).
+        for _ in 0..5 {
+            ws.begin(&big_inst);
+            ws.begin(&small_inst);
+        }
+        assert_eq!(
+            ws.graph.arena().allocation_events(),
+            events,
+            "steady-state begin grew an arena buffer"
+        );
     }
 
     #[test]

@@ -28,6 +28,14 @@ pub fn decompose(g: &FlowGraph, s: VertexId, t: VertexId) -> Vec<PathFlow> {
     let mut out = Vec::new();
     let n = g.num_vertices();
 
+    // Walk scratch, shared across every path/cycle extraction: `visited_at`
+    // is generation-stamped so clearing it between walks is O(1), and `walk`
+    // keeps its buffer (only the extracted edges are copied into the output).
+    let mut visit_gen: Vec<u64> = vec![0; n];
+    let mut visit_pos: Vec<usize> = vec![0; n];
+    let mut walk: Vec<EdgeId> = Vec::new();
+    let mut generation = 0u64;
+
     // Repeatedly walk positive-flow forward edges from s; detect cycles by
     // tracking the walk's visit order.
     loop {
@@ -38,9 +46,11 @@ pub fn decompose(g: &FlowGraph, s: VertexId, t: VertexId) -> Vec<PathFlow> {
             .map(|&e| e as EdgeId)
             .find(|&e| e % 2 == 0 && flow[e] > 0);
         let Some(first) = start else { break };
-        let mut visited_at: Vec<Option<usize>> = vec![None; n];
-        let mut walk: Vec<EdgeId> = vec![first];
-        visited_at[s] = Some(0);
+        generation += 1;
+        walk.clear();
+        walk.push(first);
+        visit_gen[s] = generation;
+        visit_pos[s] = 0;
         let mut cur = g.target(first);
         loop {
             if cur == t {
@@ -51,16 +61,16 @@ pub fn decompose(g: &FlowGraph, s: VertexId, t: VertexId) -> Vec<PathFlow> {
                     flow[e ^ 1] += amount;
                 }
                 out.push(PathFlow {
-                    edges: walk,
+                    edges: walk.clone(),
                     amount,
                     is_cycle: false,
                 });
                 break;
             }
-            if let Some(pos) = visited_at[cur] {
+            if visit_gen[cur] == generation {
                 // Cycle: cancel the looping suffix, keep the prefix for a
                 // future walk (simplest: restart from scratch).
-                let cycle: Vec<EdgeId> = walk.split_off(pos);
+                let cycle: Vec<EdgeId> = walk.split_off(visit_pos[cur]);
                 let amount = cycle.iter().map(|&e| flow[e]).min().expect("non-empty");
                 for &e in &cycle {
                     flow[e] -= amount;
@@ -73,7 +83,8 @@ pub fn decompose(g: &FlowGraph, s: VertexId, t: VertexId) -> Vec<PathFlow> {
                 });
                 break;
             }
-            visited_at[cur] = Some(walk.len());
+            visit_gen[cur] = generation;
+            visit_pos[cur] = walk.len();
             let next = g
                 .out_edges(cur)
                 .iter()
@@ -93,13 +104,15 @@ pub fn decompose(g: &FlowGraph, s: VertexId, t: VertexId) -> Vec<PathFlow> {
         let seed = (0..g.num_edge_slots()).step_by(2).find(|&e| flow[e] > 0);
         let Some(first) = seed else { break };
         let origin = g.source(first);
-        let mut visited_at: Vec<Option<usize>> = vec![None; n];
-        visited_at[origin] = Some(0);
-        let mut walk = vec![first];
+        generation += 1;
+        visit_gen[origin] = generation;
+        visit_pos[origin] = 0;
+        walk.clear();
+        walk.push(first);
         let mut cur = g.target(first);
         loop {
-            if let Some(pos) = visited_at[cur] {
-                let cycle: Vec<EdgeId> = walk.split_off(pos);
+            if visit_gen[cur] == generation {
+                let cycle: Vec<EdgeId> = walk.split_off(visit_pos[cur]);
                 let amount = cycle.iter().map(|&e| flow[e]).min().expect("non-empty");
                 for &e in &cycle {
                     flow[e] -= amount;
@@ -112,7 +125,8 @@ pub fn decompose(g: &FlowGraph, s: VertexId, t: VertexId) -> Vec<PathFlow> {
                 });
                 break;
             }
-            visited_at[cur] = Some(walk.len());
+            visit_gen[cur] = generation;
+            visit_pos[cur] = walk.len();
             let next = g
                 .out_edges(cur)
                 .iter()
@@ -184,7 +198,8 @@ mod tests {
 
     #[test]
     fn zero_flow_decomposes_to_nothing() {
-        let (g, s, t) = clrs();
+        let (mut g, s, t) = clrs();
+        g.finalize();
         assert!(decompose(&g, s, t).is_empty());
     }
 
@@ -194,6 +209,7 @@ mod tests {
         // s and t disconnected from a 2-cycle carrying circulation.
         let a = g.add_edge(2, 3, 5);
         let b = g.add_edge(3, 2, 5);
+        g.finalize();
         g.push(a, 3);
         g.push(b, 3);
         let d = decompose(&g, 0, 1);
@@ -201,6 +217,37 @@ mod tests {
         assert!(d[0].is_cycle);
         assert_eq!(d[0].amount, 3);
         assert_eq!(path_value(&d), 0);
+    }
+
+    /// A circulation reachable from `s` exercises the *first* loop's cycle
+    /// branch (`walk.split_off`): the walk from `s` enters the cycle
+    /// `a -> b -> c -> a` before it can take `a -> t`, because `a -> b` was
+    /// inserted first and adjacency preserves insertion order. The cycle is
+    /// cancelled as its own component and the s-t unit survives as a path.
+    #[test]
+    fn cycle_reachable_from_source_is_split_off_the_walk() {
+        let mut g = FlowGraph::new(5);
+        let (s, a, b, c, t) = (0, 1, 2, 3, 4);
+        let sa = g.add_edge(s, a, 1);
+        let ab = g.add_edge(a, b, 1); // cycle entry sorts before a -> t
+        let at = g.add_edge(a, t, 1);
+        let bc = g.add_edge(b, c, 1);
+        let ca = g.add_edge(c, a, 1);
+        g.finalize();
+        for e in [sa, at] {
+            g.push(e, 1);
+        }
+        for e in [ab, bc, ca] {
+            g.push(e, 1);
+        }
+        let d = decompose(&g, s, t);
+        assert_eq!(d.len(), 2);
+        let cycle = d.iter().find(|p| p.is_cycle).expect("cycle component");
+        assert_eq!(cycle.edges, vec![ab, bc, ca]);
+        assert_eq!(cycle.amount, 1);
+        let path = d.iter().find(|p| !p.is_cycle).expect("path component");
+        assert_eq!(path.edges, vec![sa, at]);
+        assert_eq!(path_value(&d), 1);
     }
 
     #[test]

@@ -26,6 +26,7 @@ impl Dinic {
     /// inflow at `t` after completion.
     pub fn max_flow(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
         assert_ne!(s, t, "source and sink must differ");
+        g.finalize();
         let n = g.num_vertices();
         self.level.resize(n, -1);
         self.iter.resize(n, 0);
@@ -52,8 +53,8 @@ impl Dinic {
             head += 1;
             for &e in g.out_edges(v) {
                 let e = e as EdgeId;
-                let w = g.target(e);
-                if g.residual(e) > 0 && self.level[w] < 0 {
+                let w = g.target_fast(e);
+                if g.residual_fast(e) > 0 && self.level[w] < 0 {
                     self.level[w] = self.level[v] + 1;
                     self.queue.push(w as u32);
                 }
@@ -69,9 +70,9 @@ impl Dinic {
         }
         while self.iter[v] < g.out_edges(v).len() {
             let e = g.out_edges(v)[self.iter[v]] as EdgeId;
-            let w = g.target(e);
-            if g.residual(e) > 0 && self.level[w] == self.level[v] + 1 {
-                let pushed = self.block(g, w, t, limit.min(g.residual(e)));
+            let w = g.target_fast(e);
+            if g.residual_fast(e) > 0 && self.level[w] == self.level[v] + 1 {
+                let pushed = self.block(g, w, t, limit.min(g.residual_fast(e)));
                 if pushed > 0 {
                     g.push(e, pushed);
                     return pushed;

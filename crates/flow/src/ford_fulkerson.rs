@@ -24,6 +24,10 @@ pub struct AugmentingPath {
     generation: u32,
     path: Vec<EdgeId>,
     stack: Vec<(VertexId, usize)>,
+    /// BFS scratch: parent edge per vertex and an indexed queue, reused so
+    /// Edmonds-Karp searches allocate nothing after warm-up.
+    parent: Vec<EdgeId>,
+    queue: Vec<u32>,
 }
 
 impl AugmentingPath {
@@ -82,8 +86,8 @@ impl AugmentingPath {
             while *idx < edges.len() {
                 let e = edges[*idx] as EdgeId;
                 *idx += 1;
-                let w = g.target(e);
-                if g.residual(e) > 0 && self.visited[w] != self.generation {
+                let w = g.target_fast(e);
+                if g.residual_fast(e) > 0 && self.visited[w] != self.generation {
                     self.visited[w] = self.generation;
                     self.path.push(e);
                     if w == to {
@@ -107,29 +111,33 @@ impl AugmentingPath {
     pub fn bfs(&mut self, g: &FlowGraph, from: VertexId, to: VertexId) -> Option<Vec<EdgeId>> {
         self.begin(g.num_vertices());
         let n = g.num_vertices();
-        let mut parent_edge: Vec<EdgeId> = vec![usize::MAX; n];
-        let mut queue = std::collections::VecDeque::new();
+        self.parent.clear();
+        self.parent.resize(n, usize::MAX);
+        self.queue.clear();
         self.visited[from] = self.generation;
-        queue.push_back(from);
-        while let Some(v) = queue.pop_front() {
+        self.queue.push(from as u32);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let v = self.queue[head] as usize;
+            head += 1;
             for &e in g.out_edges(v) {
                 let e = e as EdgeId;
-                let w = g.target(e);
-                if g.residual(e) > 0 && self.visited[w] != self.generation {
+                let w = g.target_fast(e);
+                if g.residual_fast(e) > 0 && self.visited[w] != self.generation {
                     self.visited[w] = self.generation;
-                    parent_edge[w] = e;
+                    self.parent[w] = e;
                     if w == to {
                         let mut path = Vec::new();
                         let mut cur = to;
                         while cur != from {
-                            let pe = parent_edge[cur];
+                            let pe = self.parent[cur];
                             path.push(pe);
                             cur = g.source(pe);
                         }
                         path.reverse();
                         return Some(path);
                     }
-                    queue.push_back(w);
+                    self.queue.push(w as u32);
                 }
             }
         }
@@ -172,6 +180,7 @@ impl AugmentingPath {
         to: VertexId,
         blocked: Option<VertexId>,
     ) -> i64 {
+        g.finalize();
         if self.dfs_avoiding(g, from, to, blocked).is_some() {
             let path = std::mem::take(&mut self.path);
             let pushed = Self::augment(g, &path);
@@ -189,6 +198,7 @@ impl AugmentingPath {
 /// augmenting paths on top of it, so it can be used in integrated mode.
 /// Returns the *total* net inflow at `t` after augmentation.
 pub fn ford_fulkerson(g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
+    g.finalize();
     let mut search = AugmentingPath::new();
     while search.dfs_augment(g, s, t) > 0 {}
     g.net_inflow(t)
@@ -196,6 +206,7 @@ pub fn ford_fulkerson(g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
 
 /// Maximum flow via repeated shortest-path augmentation (Edmonds-Karp).
 pub fn edmonds_karp(g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
+    g.finalize();
     let mut search = AugmentingPath::new();
     while let Some(path) = search.bfs(g, s, t) {
         let pushed = AugmentingPath::augment(g, &path);
@@ -223,6 +234,7 @@ mod tests {
         g.add_edge(v3, t, 20);
         g.add_edge(v4, v3, 7);
         g.add_edge(v4, t, 4);
+        g.finalize();
         (g, s, t)
     }
 
@@ -294,6 +306,7 @@ mod tests {
         let mut g = FlowGraph::new(3);
         g.add_edge(0, 1, 1);
         g.add_edge(0, 2, 1);
+        g.finalize();
         g.push(0, 1); // saturate s -> a, creating residual a -> s
         let mut search = AugmentingPath::new();
         // Unblocked: a -> s -> t exists via the residual back edge.

@@ -1,4 +1,4 @@
-//! Residual flow-graph arena.
+//! Residual flow-graph arena in compressed-sparse-row (CSR) layout.
 //!
 //! Edges are stored in pairs: for every forward edge `e` added through
 //! [`FlowGraph::add_edge`], the reverse (residual) edge is `e ^ 1`. The
@@ -10,6 +10,25 @@
 //! disk-edge capacities while keeping the flow computed so far, so the graph
 //! is designed to keep flow and capacity as separate arrays rather than a
 //! single residual-capacity array.
+//!
+//! # Layout
+//!
+//! All per-edge state lives in flat structure-of-arrays buffers owned by a
+//! [`GraphArena`]: `head`/`cap`/`flow` indexed by edge slot, plus the CSR
+//! adjacency pair `adj_index` (one offset per vertex, length `n + 1`) and
+//! `adj_list` (edge slots grouped by owning vertex). A vertex's outgoing
+//! slots are the contiguous range `adj_list[adj_index[v]..adj_index[v + 1]]`
+//! — one cache-friendly slice instead of the former per-vertex `Vec`
+//! (a heap allocation and pointer chase per vertex on every hot loop).
+//!
+//! Topology mutation ([`FlowGraph::add_edge`]) appends to the edge arrays
+//! and marks the CSR index stale; [`FlowGraph::finalize`] rebuilds it with a
+//! *stable* counting sort in `O(n + m)` using only reused buffers. Stability
+//! matters: per-vertex slot order stays exactly the insertion order the old
+//! `Vec<Vec<u32>>` layout produced, so every solver's traversal order — and
+//! its operation counts — are unchanged. Solver entry points (which take
+//! `&mut FlowGraph`) finalize automatically; [`FlowGraph::out_edges`] panics
+//! on a stale index rather than returning stale adjacency.
 
 /// Index of a vertex in a [`FlowGraph`].
 pub type VertexId = usize;
@@ -18,7 +37,53 @@ pub type VertexId = usize;
 /// always `e ^ 1`.
 pub type EdgeId = usize;
 
-/// A directed flow network with mutable capacities and explicit flow state.
+/// The flat reusable buffers backing a [`FlowGraph`].
+///
+/// The arena never shrinks: [`FlowGraph::reset`] and
+/// [`FlowGraph::copy_from`] clear lengths but keep capacity, so a rebuild of
+/// similar size touches no allocator. [`GraphArena::allocation_events`]
+/// counts the times any buffer actually grew — steady-state serving layers
+/// assert it stays flat (see `rds-core`'s workspace).
+#[derive(Clone, Debug, Default)]
+pub struct GraphArena {
+    /// `head[e]` is the target vertex of edge slot `e`. The owning (source)
+    /// vertex of `e` is `head[e ^ 1]`.
+    head: Vec<u32>,
+    /// Capacity of each edge slot. Reverse slots have capacity 0.
+    cap: Vec<i64>,
+    /// Current flow on each edge slot; `flow[e ^ 1] == -flow[e]`.
+    flow: Vec<i64>,
+    /// CSR offsets: vertex `v` owns `adj_list[adj_index[v]..adj_index[v+1]]`.
+    adj_index: Vec<u32>,
+    /// Edge slots grouped by owning vertex, insertion order within a vertex.
+    adj_list: Vec<u32>,
+    /// Counting-sort cursors, reused across [`FlowGraph::finalize`] calls.
+    cursor: Vec<u32>,
+    /// Number of buffer growth events since construction.
+    grows: u64,
+}
+
+impl GraphArena {
+    /// Number of times any backing buffer had to grow. Stable across
+    /// steady-state rebuild/solve cycles once the arena has seen its
+    /// high-water instance size.
+    #[inline]
+    pub fn allocation_events(&self) -> u64 {
+        self.grows
+    }
+
+    /// Bytes currently reserved by the arena's buffers.
+    pub fn reserved_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.head.capacity() + self.adj_index.capacity())
+            .saturating_add(self.adj_list.capacity() + self.cursor.capacity())
+            * size_of::<u32>()
+            + (self.cap.capacity() + self.flow.capacity()) * size_of::<i64>()
+    }
+}
+
+/// A directed flow network with mutable capacities and explicit flow state,
+/// stored in a CSR residual arena.
 ///
 /// The graph is append-only in topology (vertices and edges can be added,
 /// never removed); capacities and flows are mutable. This matches the
@@ -26,103 +91,199 @@ pub type EdgeId = usize;
 /// capacities evolve during the budget search.
 #[derive(Clone, Debug, Default)]
 pub struct FlowGraph {
-    /// `head[e]` is the target vertex of edge `e`.
-    head: Vec<u32>,
-    /// Capacity of each edge. Reverse edges have capacity 0.
-    cap: Vec<i64>,
-    /// Current flow on each edge; `flow[e ^ 1] == -flow[e]`.
-    flow: Vec<i64>,
-    /// Outgoing edge ids (forward and reverse) per vertex.
-    adj: Vec<Vec<u32>>,
+    arena: GraphArena,
+    /// Number of vertices (authoritative; `adj_index` tracks it lazily).
+    n: usize,
+    /// Whether `adj_index`/`adj_list` are stale relative to the edge arrays.
+    dirty: bool,
 }
 
 impl FlowGraph {
     /// Creates an empty graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        FlowGraph {
-            head: Vec::new(),
-            cap: Vec::new(),
-            flow: Vec::new(),
-            adj: vec![Vec::new(); n],
-        }
+        let mut g = FlowGraph::default();
+        g.reset(n);
+        g
     }
 
     /// Creates an empty graph with `n` vertices, reserving space for
     /// `edges` forward edges (twice that many edge slots).
     pub fn with_capacity(n: usize, edges: usize) -> Self {
         let mut g = FlowGraph {
-            head: Vec::with_capacity(2 * edges),
-            cap: Vec::with_capacity(2 * edges),
-            flow: Vec::with_capacity(2 * edges),
-            adj: Vec::with_capacity(n),
+            arena: GraphArena {
+                head: Vec::with_capacity(2 * edges),
+                cap: Vec::with_capacity(2 * edges),
+                flow: Vec::with_capacity(2 * edges),
+                adj_index: Vec::with_capacity(n + 1),
+                adj_list: Vec::with_capacity(2 * edges),
+                cursor: Vec::with_capacity(n),
+                grows: 0,
+            },
+            n: 0,
+            dirty: false,
         };
-        g.adj.resize(n, Vec::new());
+        g.reset(n);
         g
     }
 
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {
-        self.adj.len()
+        self.n
     }
 
     /// Number of directed edge slots (twice the number of added edges).
     #[inline]
     pub fn num_edge_slots(&self) -> usize {
-        self.head.len()
+        self.arena.head.len()
     }
 
     /// Number of forward edges added via [`FlowGraph::add_edge`].
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.head.len() / 2
+        self.arena.head.len() / 2
     }
 
-    /// Adds a vertex and returns its id.
+    /// The backing buffer arena (allocation telemetry).
+    #[inline]
+    pub fn arena(&self) -> &GraphArena {
+        &self.arena
+    }
+
+    /// Whether the CSR adjacency index is current. `false` after
+    /// [`FlowGraph::add_edge`] until the next [`FlowGraph::finalize`].
+    #[inline]
+    pub fn is_finalized(&self) -> bool {
+        !self.dirty
+    }
+
+    /// Adds a vertex and returns its id. Keeps the CSR index valid when it
+    /// already is: a new vertex owns no edges, so its offset equals the
+    /// running total.
     pub fn add_vertex(&mut self) -> VertexId {
-        self.adj.push(Vec::new());
-        self.adj.len() - 1
+        if !self.dirty {
+            let end = *self.arena.adj_index.last().expect("index has n+1 entries");
+            track_grow(&mut self.arena.grows, &mut self.arena.adj_index, |a| {
+                a.push(end)
+            });
+        }
+        self.n += 1;
+        self.n - 1
+    }
+
+    /// Pre-sizes the arena for at least `edges` forward edges (twice that
+    /// many slots), so a cold build pays one allocation per array instead
+    /// of doubling growth, and a steady-state rebuild under the bound pays
+    /// none. Callers that know their topology ahead (the retrieval network
+    /// builders do: `q` bucket arcs, at most `MAX_COPIES` replica arcs per
+    /// bucket, one arc per disk) should call this right after
+    /// [`FlowGraph::reset`].
+    pub fn reserve_edges(&mut self, edges: usize) {
+        let slots = edges * 2;
+        let a = &mut self.arena;
+        track_grow(&mut a.grows, &mut a.head, |v| {
+            v.reserve(slots.saturating_sub(v.len()))
+        });
+        track_grow(&mut a.grows, &mut a.cap, |v| {
+            v.reserve(slots.saturating_sub(v.len()))
+        });
+        track_grow(&mut a.grows, &mut a.flow, |v| {
+            v.reserve(slots.saturating_sub(v.len()))
+        });
+        track_grow(&mut a.grows, &mut a.adj_list, |v| {
+            v.reserve(slots.saturating_sub(v.len()))
+        });
     }
 
     /// Adds a forward edge `u -> v` with capacity `cap` and its paired
-    /// reverse edge `v -> u` with capacity 0. Returns the forward edge id
-    /// (always even).
+    /// reverse edge `v -> u` with capacity 0, and marks the CSR index stale
+    /// (see [`FlowGraph::finalize`]). Returns the forward edge id (always
+    /// even).
     ///
     /// # Panics
     ///
     /// Panics if `u` or `v` is out of range or `cap < 0`.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId, cap: i64) -> EdgeId {
-        assert!(u < self.adj.len(), "source vertex {u} out of range");
-        assert!(v < self.adj.len(), "target vertex {v} out of range");
+        assert!(u < self.n, "source vertex {u} out of range");
+        assert!(v < self.n, "target vertex {v} out of range");
         assert!(cap >= 0, "negative capacity {cap}");
-        let e = self.head.len();
-        self.head.push(v as u32);
-        self.cap.push(cap);
-        self.flow.push(0);
-        self.head.push(u as u32);
-        self.cap.push(0);
-        self.flow.push(0);
-        self.adj[u].push(e as u32);
-        self.adj[v].push((e + 1) as u32);
+        let e = self.arena.head.len();
+        let before = self.arena.head.capacity();
+        self.arena.head.push(v as u32);
+        self.arena.head.push(u as u32);
+        self.arena.grows += (self.arena.head.capacity() != before) as u64;
+        self.arena.cap.push(cap);
+        self.arena.cap.push(0);
+        self.arena.flow.push(0);
+        self.arena.flow.push(0);
+        self.dirty = true;
         e
+    }
+
+    /// Rebuilds the CSR adjacency index after topology changes, preserving
+    /// per-vertex insertion order (stable counting sort, `O(n + m)`, no
+    /// allocations once the arena has grown to size). Idempotent and cheap
+    /// when the index is already current.
+    ///
+    /// Solver entry points call this automatically; only callers that read
+    /// [`FlowGraph::out_edges`] directly after [`FlowGraph::add_edge`] need
+    /// to invoke it themselves.
+    pub fn finalize(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        let n = self.n;
+        let a = &mut self.arena;
+        let m = a.head.len();
+        let before = a.adj_index.capacity() + a.adj_list.capacity() + a.cursor.capacity();
+        a.adj_index.clear();
+        a.adj_index.resize(n + 1, 0);
+        // Count slots per owning vertex; the owner of slot e is head[e ^ 1].
+        for e in 0..m {
+            a.adj_index[a.head[e ^ 1] as usize + 1] += 1;
+        }
+        for v in 0..n {
+            a.adj_index[v + 1] += a.adj_index[v];
+        }
+        a.cursor.clear();
+        a.cursor.extend_from_slice(&a.adj_index[..n]);
+        // Stable placement pass: ascending slot id within each vertex. The
+        // scattered writes go through spare capacity so the buffer is not
+        // zeroed first — every position in `0..m` is written exactly once
+        // (the per-vertex counts sum to `m`), which is what makes the
+        // `set_len` below sound.
+        a.adj_list.clear();
+        a.adj_list.reserve(m);
+        let spare = a.adj_list.spare_capacity_mut();
+        for e in 0..m {
+            let src = a.head[e ^ 1] as usize;
+            let slot = a.cursor[src];
+            spare[slot as usize].write(e as u32);
+            a.cursor[src] = slot + 1;
+        }
+        // SAFETY: the placement pass above initialized all `m` entries.
+        unsafe { a.adj_list.set_len(m) };
+        a.grows +=
+            (a.adj_index.capacity() + a.adj_list.capacity() + a.cursor.capacity() != before) as u64;
+        self.dirty = false;
     }
 
     /// Target vertex of edge `e`.
     #[inline]
     pub fn target(&self, e: EdgeId) -> VertexId {
-        self.head[e] as usize
+        self.arena.head[e] as usize
     }
 
     /// Source vertex of edge `e` (the target of its reverse edge).
     #[inline]
     pub fn source(&self, e: EdgeId) -> VertexId {
-        self.head[e ^ 1] as usize
+        self.arena.head[e ^ 1] as usize
     }
 
     /// Capacity of edge `e`.
     #[inline]
     pub fn cap(&self, e: EdgeId) -> i64 {
-        self.cap[e]
+        self.arena.cap[e]
     }
 
     /// Sets the capacity of edge `e`.
@@ -134,19 +295,19 @@ impl FlowGraph {
     #[inline]
     pub fn set_cap(&mut self, e: EdgeId, cap: i64) {
         debug_assert!(cap >= 0, "negative capacity {cap}");
-        self.cap[e] = cap;
+        self.arena.cap[e] = cap;
     }
 
     /// Current flow on edge `e` (negative on reverse edges).
     #[inline]
     pub fn flow(&self, e: EdgeId) -> i64 {
-        self.flow[e]
+        self.arena.flow[e]
     }
 
     /// Residual capacity of edge `e`: `cap(e) - flow(e)`.
     #[inline]
     pub fn residual(&self, e: EdgeId) -> i64 {
-        self.cap[e] - self.flow[e]
+        self.arena.cap[e] - self.arena.flow[e]
     }
 
     /// Pushes `delta` units of flow along edge `e`, updating the paired
@@ -162,8 +323,8 @@ impl FlowGraph {
             "push of {delta} exceeds residual {} on edge {e}",
             self.residual(e)
         );
-        self.flow[e] += delta;
-        self.flow[e ^ 1] -= delta;
+        self.arena.flow[e] += delta;
+        self.arena.flow[e ^ 1] -= delta;
     }
 
     /// Overwrites the raw flow value of a single edge slot *without*
@@ -172,37 +333,145 @@ impl FlowGraph {
     /// for the pairing invariant to hold afterwards.
     #[inline]
     pub fn set_flow_raw(&mut self, e: EdgeId, flow: i64) {
-        self.flow[e] = flow;
+        self.arena.flow[e] = flow;
     }
 
-    /// Outgoing edge ids of vertex `v` (both forward and reverse slots).
+    /// Target vertex of edge `e`, without the release-mode bounds check.
+    ///
+    /// Internal fast path for solver inner loops. Callers must pass an edge
+    /// id obtained from [`FlowGraph::out_edges`] of this graph (those are
+    /// valid by construction); the `debug_assert!` checks the contract in
+    /// debug builds, where every test suite runs.
+    #[inline(always)]
+    pub(crate) fn target_fast(&self, e: EdgeId) -> VertexId {
+        debug_assert!(e < self.arena.head.len(), "edge {e} out of range");
+        // SAFETY: guarded by the documented contract + debug_assert above.
+        unsafe { *self.arena.head.get_unchecked(e) as usize }
+    }
+
+    /// Residual capacity of edge `e`, without release-mode bounds checks.
+    /// Same contract as [`FlowGraph::target_fast`].
+    #[inline(always)]
+    pub(crate) fn residual_fast(&self, e: EdgeId) -> i64 {
+        debug_assert!(e < self.arena.cap.len(), "edge {e} out of range");
+        // SAFETY: guarded by the documented contract + debug_assert above.
+        unsafe { self.arena.cap.get_unchecked(e) - self.arena.flow.get_unchecked(e) }
+    }
+
+    /// [`FlowGraph::push`] without release-mode bounds checks. Same contract
+    /// as [`FlowGraph::target_fast`]; the residual-overflow `debug_assert!`
+    /// of `push` applies unchanged.
+    #[inline(always)]
+    pub(crate) fn push_fast(&mut self, e: EdgeId, delta: i64) {
+        debug_assert!(e < self.arena.flow.len(), "edge {e} out of range");
+        debug_assert!(
+            delta <= self.residual(e),
+            "push of {delta} exceeds residual {} on edge {e}",
+            self.residual(e)
+        );
+        // SAFETY: guarded by the documented contract + debug_assert above;
+        // e ^ 1 is in range whenever e is, because slots come in pairs.
+        unsafe {
+            *self.arena.flow.get_unchecked_mut(e) += delta;
+            *self.arena.flow.get_unchecked_mut(e ^ 1) -= delta;
+        }
+    }
+
+    /// Adjacency bounds of vertex `v` as absolute `adj_list` positions
+    /// `[lo, hi)`, without release-mode bounds checks.
+    ///
+    /// Solver inner loops hoist this pair once per vertex visit and then
+    /// walk slots with [`FlowGraph::adj_slot`]: topology is frozen for the
+    /// whole solve, so the bounds cannot move, and re-deriving the
+    /// `out_edges` slice per arc would re-pay the staleness check and two
+    /// index loads each time. Same contract as [`FlowGraph::target_fast`]
+    /// (finalized graph, `v` in range), checked by `debug_assert!` where
+    /// every test suite runs.
+    #[inline(always)]
+    pub(crate) fn adj_bounds(&self, v: VertexId) -> (u32, u32) {
+        debug_assert!(!self.dirty, "adj_bounds on stale topology: call finalize()");
+        debug_assert!(
+            v + 1 < self.arena.adj_index.len(),
+            "vertex {v} out of range"
+        );
+        // SAFETY: guarded by the documented contract + debug_assert above.
+        unsafe {
+            (
+                *self.arena.adj_index.get_unchecked(v),
+                *self.arena.adj_index.get_unchecked(v + 1),
+            )
+        }
+    }
+
+    /// Edge id stored at absolute adjacency position `pos`, without
+    /// release-mode bounds checks. `pos` must lie inside a `[lo, hi)` pair
+    /// returned by [`FlowGraph::adj_bounds`] on this (still finalized)
+    /// graph.
+    #[inline(always)]
+    pub(crate) fn adj_slot(&self, pos: u32) -> EdgeId {
+        debug_assert!(!self.dirty, "adj_slot on stale topology: call finalize()");
+        debug_assert!(
+            (pos as usize) < self.arena.adj_list.len(),
+            "adjacency position {pos} out of range"
+        );
+        // SAFETY: guarded by the documented contract + debug_assert above.
+        unsafe { *self.arena.adj_list.get_unchecked(pos as usize) as EdgeId }
+    }
+
+    /// Outgoing edge ids of vertex `v` (both forward and reverse slots), in
+    /// insertion order — one contiguous CSR slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CSR index is stale (topology changed since the last
+    /// [`FlowGraph::finalize`]); returning stale adjacency would be a silent
+    /// wrong answer.
     #[inline]
     pub fn out_edges(&self, v: VertexId) -> &[u32] {
-        &self.adj[v]
+        assert!(!self.dirty, "out_edges on stale topology: call finalize()");
+        let lo = self.arena.adj_index[v] as usize;
+        let hi = self.arena.adj_index[v + 1] as usize;
+        &self.arena.adj_list[lo..hi]
     }
 
     /// Out-degree counting only *forward* edges (even ids), i.e. edges added
-    /// explicitly with `v` as the source.
+    /// explicitly with `v` as the source. Works on stale topology (falls
+    /// back to an edge-array scan).
     pub fn forward_out_degree(&self, v: VertexId) -> usize {
-        self.adj[v].iter().filter(|&&e| e % 2 == 0).count()
+        if self.dirty {
+            return self
+                .forward_edges()
+                .filter(|&e| self.source(e) == v)
+                .count();
+        }
+        self.out_edges(v).iter().filter(|&&e| e % 2 == 0).count()
     }
 
     /// In-degree counting only forward edges pointing at `v`. This is the
     /// `in_degree` used by the paper's `IncrementMinCost` (Algorithm 3): for
     /// a disk vertex it equals the number of query buckets stored on the
-    /// disk.
+    /// disk. Works on stale topology (falls back to an edge-array scan).
     pub fn forward_in_degree(&self, v: VertexId) -> usize {
-        self.adj[v].iter().filter(|&&e| e % 2 == 1).count()
+        if self.dirty {
+            return self
+                .forward_edges()
+                .filter(|&e| self.target(e) == v)
+                .count();
+        }
+        self.out_edges(v).iter().filter(|&&e| e % 2 == 1).count()
     }
 
     /// Resets all flow values to zero, keeping topology and capacities.
     pub fn zero_flows(&mut self) {
-        self.flow.iter_mut().for_each(|f| *f = 0);
+        self.arena.flow.iter_mut().for_each(|f| *f = 0);
     }
 
     /// Snapshot of the current flow state (for `StoreFlows`, Algorithm 6).
+    ///
+    /// Allocates a fresh vector; steady-state callers use
+    /// [`FlowGraph::store_flows_into`] with a reused buffer instead.
     pub fn store_flows(&self) -> Vec<i64> {
-        self.flow.clone()
+        self.arena.flow.clone()
     }
 
     /// Writes the current flow state into `buf`, reusing its allocation —
@@ -211,30 +480,41 @@ impl FlowGraph {
     /// driver stores state on every failed probe).
     pub fn store_flows_into(&self, buf: &mut Vec<i64>) {
         buf.clear();
-        buf.extend_from_slice(&self.flow);
+        buf.extend_from_slice(&self.arena.flow);
     }
 
     /// Makes `self` a copy of `other`, reusing existing allocations
-    /// (including the per-vertex adjacency buffers) instead of allocating
-    /// a fresh graph as `clone` would.
+    /// (including the CSR adjacency buffers) instead of allocating a fresh
+    /// graph as `clone` would. Copies the finalization state too: copying a
+    /// finalized graph yields a finalized graph.
     pub fn copy_from(&mut self, other: &FlowGraph) {
-        self.head.clone_from(&other.head);
-        self.cap.clone_from(&other.cap);
-        self.flow.clone_from(&other.flow);
-        self.adj.clone_from(&other.adj);
+        let (a, b) = (&mut self.arena, &other.arena);
+        track_grow(&mut a.grows, &mut a.head, |v| v.clone_from(&b.head));
+        track_grow(&mut a.grows, &mut a.cap, |v| v.clone_from(&b.cap));
+        track_grow(&mut a.grows, &mut a.flow, |v| v.clone_from(&b.flow));
+        track_grow(&mut a.grows, &mut a.adj_index, |v| {
+            v.clone_from(&b.adj_index)
+        });
+        track_grow(&mut a.grows, &mut a.adj_list, |v| v.clone_from(&b.adj_list));
+        self.n = other.n;
+        self.dirty = other.dirty;
     }
 
-    /// Clears the graph to `n` isolated vertices in place, keeping the
-    /// edge arrays and the inner adjacency buffers allocated so a rebuild
-    /// of similar size is allocation-free.
+    /// Clears the graph to `n` isolated vertices in place, keeping every
+    /// arena buffer allocated so a rebuild of similar size is
+    /// allocation-free. The cleared graph is finalized (no edges to index).
     pub fn reset(&mut self, n: usize) {
-        self.head.clear();
-        self.cap.clear();
-        self.flow.clear();
-        for a in &mut self.adj {
-            a.clear();
-        }
-        self.adj.resize_with(n, Vec::new);
+        let a = &mut self.arena;
+        a.head.clear();
+        a.cap.clear();
+        a.flow.clear();
+        a.adj_list.clear();
+        track_grow(&mut a.grows, &mut a.adj_index, |idx| {
+            idx.clear();
+            idx.resize(n + 1, 0);
+        });
+        self.n = n;
+        self.dirty = false;
     }
 
     /// Restores a flow snapshot taken with [`FlowGraph::store_flows`]
@@ -246,24 +526,38 @@ impl FlowGraph {
     pub fn restore_flows(&mut self, snapshot: &[i64]) {
         assert_eq!(
             snapshot.len(),
-            self.flow.len(),
+            self.arena.flow.len(),
             "flow snapshot does not match graph topology"
         );
-        self.flow.copy_from_slice(snapshot);
+        self.arena.flow.copy_from_slice(snapshot);
     }
 
     /// Net flow into vertex `v` over forward edges; for the sink this is the
-    /// flow value.
+    /// flow value. Works on stale topology (falls back to an edge-array
+    /// scan: every slot targeting `v` contributes its flow — forward slots
+    /// count inflow positively, reverse slots carry the paired outflow
+    /// negated).
     pub fn net_inflow(&self, v: VertexId) -> i64 {
-        self.adj[v]
+        if self.dirty {
+            let v = v as u32;
+            return self
+                .arena
+                .head
+                .iter()
+                .zip(&self.arena.flow)
+                .filter(|&(&h, _)| h == v)
+                .map(|(_, &f)| f)
+                .sum();
+        }
+        self.out_edges(v)
             .iter()
             .map(|&e| {
                 let e = e as usize;
                 if e % 2 == 1 {
                     // reverse slot: the paired forward edge points at v
-                    self.flow[e ^ 1]
+                    self.arena.flow[e ^ 1]
                 } else {
-                    -self.flow[e]
+                    -self.arena.flow[e]
                 }
             })
             .sum()
@@ -271,8 +565,38 @@ impl FlowGraph {
 
     /// Iterator over all forward edge ids.
     pub fn forward_edges(&self) -> impl Iterator<Item = EdgeId> {
-        (0..self.head.len()).step_by(2)
+        (0..self.arena.head.len()).step_by(2)
     }
+
+    /// Raw CSR offset array (`n + 1` entries). Internal view letting the
+    /// parallel engine snapshot topology with flat memcpys.
+    #[inline]
+    pub(crate) fn csr_index(&self) -> &[u32] {
+        assert!(!self.dirty, "csr_index on stale topology: call finalize()");
+        &self.arena.adj_index
+    }
+
+    /// Raw CSR adjacency array (edge slots grouped by owner). Same contract
+    /// as [`FlowGraph::csr_index`].
+    #[inline]
+    pub(crate) fn csr_list(&self) -> &[u32] {
+        assert!(!self.dirty, "csr_list on stale topology: call finalize()");
+        &self.arena.adj_list
+    }
+
+    /// Raw edge-target array, indexed by edge slot.
+    #[inline]
+    pub(crate) fn heads(&self) -> &[u32] {
+        &self.arena.head
+    }
+}
+
+/// Runs `f` on `buf` and counts one growth event if its capacity changed.
+#[inline]
+fn track_grow<T>(grows: &mut u64, buf: &mut Vec<T>, f: impl FnOnce(&mut Vec<T>)) {
+    let before = buf.capacity();
+    f(buf);
+    *grows += (buf.capacity() != before) as u64;
 }
 
 #[cfg(test)]
@@ -285,6 +609,7 @@ mod tests {
         g.add_edge(0, 2, 2);
         g.add_edge(1, 3, 2);
         g.add_edge(2, 3, 3);
+        g.finalize();
         g
     }
 
@@ -330,6 +655,18 @@ mod tests {
     }
 
     #[test]
+    fn degrees_work_on_stale_topology() {
+        let mut g = diamond();
+        g.add_edge(0, 3, 1);
+        assert!(!g.is_finalized());
+        assert_eq!(g.forward_out_degree(0), 3);
+        assert_eq!(g.forward_in_degree(3), 3);
+        g.finalize();
+        assert_eq!(g.forward_out_degree(0), 3);
+        assert_eq!(g.forward_in_degree(3), 3);
+    }
+
+    #[test]
     fn store_restore_round_trip() {
         let mut g = diamond();
         g.push(0, 1);
@@ -366,9 +703,14 @@ mod tests {
         let mut g = diamond();
         let v = g.add_vertex();
         assert_eq!(v, 4);
+        // A fresh vertex on a finalized graph keeps the index valid.
+        assert!(g.is_finalized());
+        assert!(g.out_edges(v).is_empty());
         let e = g.add_edge(3, v, 5);
+        g.finalize();
         assert_eq!(g.target(e), v);
         assert_eq!(g.residual(e), 5);
+        assert_eq!(g.out_edges(v), &[(e + 1) as u32]);
     }
 
     #[test]
@@ -422,5 +764,70 @@ mod tests {
         let e = g.add_edge(0, 2, 4);
         g.push(e, 4);
         assert_eq!(g.net_inflow(2), 4);
+        g.finalize();
+        assert_eq!(g.out_edges(0), &[e as u32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale topology")]
+    fn out_edges_panics_on_stale_index() {
+        let mut g = diamond();
+        g.add_edge(0, 3, 1);
+        let _ = g.out_edges(0);
+    }
+
+    #[test]
+    fn finalize_preserves_insertion_order() {
+        // Interleave edges so several vertices own non-contiguous slots;
+        // per-vertex order must still be ascending slot id (the order the
+        // legacy Vec<Vec> layout appended them in).
+        let mut g = FlowGraph::new(5);
+        g.add_edge(0, 1, 1); // slots 0/1
+        g.add_edge(2, 0, 1); // slots 2/3
+        g.add_edge(0, 3, 1); // slots 4/5
+        g.add_edge(3, 0, 1); // slots 6/7
+        g.add_edge(0, 4, 1); // slots 8/9
+        g.finalize();
+        assert_eq!(g.out_edges(0), &[0, 3, 4, 7, 8]);
+        assert_eq!(g.out_edges(3), &[5, 6]);
+        // Finalize is idempotent.
+        g.finalize();
+        assert_eq!(g.out_edges(0), &[0, 3, 4, 7, 8]);
+    }
+
+    #[test]
+    fn steady_state_rebuild_is_allocation_free() {
+        let build = |g: &mut FlowGraph| {
+            g.reset(4);
+            g.add_edge(0, 1, 3);
+            g.add_edge(0, 2, 2);
+            g.add_edge(1, 3, 2);
+            g.add_edge(2, 3, 3);
+            g.finalize();
+        };
+        let mut g = FlowGraph::new(0);
+        build(&mut g);
+        let events = g.arena().allocation_events();
+        for _ in 0..10 {
+            build(&mut g);
+        }
+        assert_eq!(
+            g.arena().allocation_events(),
+            events,
+            "steady-state rebuilds must not touch the allocator"
+        );
+        assert!(g.arena().reserved_bytes() > 0);
+    }
+
+    #[test]
+    fn copy_from_into_sized_arena_is_allocation_free() {
+        let src = diamond();
+        let mut dst = FlowGraph::new(0);
+        dst.copy_from(&src);
+        let events = dst.arena().allocation_events();
+        for _ in 0..10 {
+            dst.copy_from(&src);
+        }
+        assert_eq!(dst.arena().allocation_events(), events);
     }
 }

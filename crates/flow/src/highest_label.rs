@@ -9,6 +9,9 @@
 
 use crate::graph::{EdgeId, FlowGraph, VertexId};
 
+/// Sentinel for empty intrusive-list slots.
+const NONE: u32 = u32::MAX;
+
 /// Highest-label push-relabel solver (from-scratch solves only — the
 /// integrated drivers use the FIFO engine, matching the paper).
 #[derive(Clone, Debug, Default)]
@@ -16,8 +19,13 @@ pub struct HighestLabelPushRelabel {
     height: Vec<u32>,
     excess: Vec<i64>,
     cur_arc: Vec<u32>,
-    /// `buckets[h]` holds active vertices at height `h`.
-    buckets: Vec<Vec<u32>>,
+    /// Intrusive per-height bucket stacks over two flat arrays:
+    /// `bucket_head[h]` is the most recently activated vertex at height `h`
+    /// and `bucket_next[v]` the vertex activated before it (both [`NONE`]
+    /// terminated). Push/pop at the head preserve the LIFO order of the
+    /// former `Vec<Vec<u32>>` buckets without a heap allocation per height.
+    bucket_head: Vec<u32>,
+    bucket_next: Vec<u32>,
     in_bucket: Vec<bool>,
     /// Gap-heuristic counters.
     height_count: Vec<u32>,
@@ -29,17 +37,28 @@ impl HighestLabelPushRelabel {
         Self::default()
     }
 
-    /// Computes a maximum flow from scratch. Returns the flow value.
+    /// Computes a maximum flow from scratch. Returns the flow value. The
+    /// solver state is reused across calls; repeat solves of same-sized
+    /// graphs perform no allocations.
     pub fn max_flow(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
         assert_ne!(s, t, "source and sink must differ");
+        g.finalize();
         let n = g.num_vertices();
         g.zero_flows();
-        self.height = vec![0; n];
-        self.excess = vec![0; n];
-        self.cur_arc = vec![0; n];
-        self.in_bucket = vec![false; n];
-        self.buckets = vec![Vec::new(); 2 * n + 2];
-        self.height_count = vec![0; 2 * n + 2];
+        self.height.clear();
+        self.height.resize(n, 0);
+        self.excess.clear();
+        self.excess.resize(n, 0);
+        self.cur_arc.clear();
+        self.cur_arc.resize(n, 0);
+        self.in_bucket.clear();
+        self.in_bucket.resize(n, false);
+        self.bucket_next.clear();
+        self.bucket_next.resize(n, NONE);
+        self.bucket_head.clear();
+        self.bucket_head.resize(2 * n + 2, NONE);
+        self.height_count.clear();
+        self.height_count.resize(2 * n + 2, 0);
         self.height[s] = n as u32;
         self.height_count[0] = (n - 1) as u32;
         self.height_count[n] += 1;
@@ -67,13 +86,15 @@ impl HighestLabelPushRelabel {
         // Main loop: always discharge an active vertex of maximal height.
         loop {
             // Find the highest non-empty bucket at or below `highest`.
-            while highest > 0 && self.buckets[highest].is_empty() {
+            while highest > 0 && self.bucket_head[highest] == NONE {
                 highest -= 1;
             }
-            if self.buckets[highest].is_empty() {
+            let v = self.bucket_head[highest];
+            if v == NONE {
                 break;
             }
-            let v = self.buckets[highest].pop().expect("non-empty") as usize;
+            let v = v as usize;
+            self.bucket_head[highest] = self.bucket_next[v];
             self.in_bucket[v] = false;
             self.discharge(g, v, s, t, &mut highest);
         }
@@ -84,7 +105,8 @@ impl HighestLabelPushRelabel {
         if !self.in_bucket[v] {
             self.in_bucket[v] = true;
             let h = self.height[v] as usize;
-            self.buckets[h].push(v as u32);
+            self.bucket_next[v] = self.bucket_head[h];
+            self.bucket_head[h] = v as u32;
             *highest = (*highest).max(h);
         }
     }
@@ -110,10 +132,10 @@ impl HighestLabelPushRelabel {
                 continue;
             }
             let e = g.out_edges(v)[self.cur_arc[v] as usize] as EdgeId;
-            let w = g.target(e);
-            if g.residual(e) > 0 && self.height[v] == self.height[w] + 1 {
-                let delta = self.excess[v].min(g.residual(e));
-                g.push(e, delta);
+            let w = g.target_fast(e);
+            if g.residual_fast(e) > 0 && self.height[v] == self.height[w] + 1 {
+                let delta = self.excess[v].min(g.residual_fast(e));
+                g.push_fast(e, delta);
                 self.excess[v] -= delta;
                 self.excess[w] += delta;
                 if w != s && w != t {
@@ -128,8 +150,8 @@ impl HighestLabelPushRelabel {
     fn relabel(&mut self, g: &FlowGraph, v: VertexId, n: u32) -> bool {
         let mut min_h = u32::MAX;
         for &e in g.out_edges(v) {
-            if g.residual(e as EdgeId) > 0 {
-                min_h = min_h.min(self.height[g.target(e as EdgeId)]);
+            if g.residual_fast(e as EdgeId) > 0 {
+                min_h = min_h.min(self.height[g.target_fast(e as EdgeId)]);
             }
         }
         if min_h == u32::MAX {

@@ -154,6 +154,7 @@ pub fn detach_vertex<E: IncrementalMaxFlow + ?Sized>(
     s: VertexId,
     t: VertexId,
 ) -> (i64, usize) {
+    g.finalize();
     let mut cancelled = 0;
     // Cancel throughput one unit-path at a time. Each iteration strictly
     // reduces the flow mass through `v`, so this terminates.

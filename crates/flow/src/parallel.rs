@@ -82,22 +82,15 @@ struct Topology {
 }
 
 impl Topology {
+    /// Snapshots the graph's CSR arrays directly — three flat memcpys, no
+    /// per-vertex walk. The workers then traverse the same layout the
+    /// sequential engines do.
     fn from_graph(g: &FlowGraph) -> Topology {
-        let n = g.num_vertices();
-        let mut adj_start = Vec::with_capacity(n + 1);
-        let mut adj = Vec::with_capacity(g.num_edge_slots());
-        adj_start.push(0);
-        for v in 0..n {
-            adj.extend_from_slice(g.out_edges(v));
-            adj_start.push(adj.len() as u32);
-        }
         Topology {
-            adj_start,
-            adj,
-            head: (0..g.num_edge_slots())
-                .map(|e| g.target(e) as u32)
-                .collect(),
-            num_vertices: n,
+            adj_start: g.csr_index().to_vec(),
+            adj: g.csr_list().to_vec(),
+            head: g.heads().to_vec(),
+            num_vertices: g.num_vertices(),
         }
     }
 
@@ -476,6 +469,7 @@ impl ParallelPushRelabel {
     }
 
     fn run(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
+        g.finalize();
         let n = g.num_vertices();
         self.ensure(n);
 

@@ -153,6 +153,7 @@ impl PushRelabel {
     /// Returns `excess[t]`, the total flow value.
     pub fn resume(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
         assert_ne!(s, t, "source and sink must differ");
+        g.finalize();
         let n = g.num_vertices();
         self.ensure(n);
         self.queue.clear();
@@ -222,26 +223,40 @@ impl PushRelabel {
     /// neighbours, relabeling when the current-arc list is exhausted.
     fn discharge(&mut self, g: &mut FlowGraph, v: VertexId, s: VertexId, t: VertexId) {
         let n = g.num_vertices() as u32;
-        while self.excess[v] > 0 {
-            let edges_len = g.out_edges(v).len();
-            if (self.cur_arc[v] as usize) >= edges_len {
+        // Topology is frozen during a solve, so the CSR bounds of `v` are
+        // loaded once; the loop then walks `adj_list` by absolute position
+        // (`cur_arc` stays a relative offset so relabels still reset it
+        // to 0). `v`'s own excess, height, and arc cursor live in locals
+        // across the loop: a push never targets `v` itself (admissibility
+        // requires `height[v] == height[w] + 1`), and `relabel` — the one
+        // call that can move them (`apply_gap` may lift `v` again) — is
+        // followed by a reload.
+        let (lo, hi) = g.adj_bounds(v);
+        let mut ev = self.excess[v];
+        let mut hv = self.height[v];
+        let mut cur = self.cur_arc[v];
+        while ev > 0 {
+            let pos = lo + cur;
+            if pos >= hi {
                 // Arc list exhausted: relabel.
                 if !self.relabel(g, v, n) {
                     break; // no residual edges at all: stranded (cannot happen
                            // for vertices with excess, but stay safe)
                 }
-                if self.height[v] > 2 * n {
+                hv = self.height[v];
+                cur = self.cur_arc[v];
+                if hv > 2 * n {
                     break;
                 }
                 continue;
             }
-            let e = g.out_edges(v)[self.cur_arc[v] as usize] as EdgeId;
+            let e = g.adj_slot(pos);
             self.work += 1;
-            let w = g.target(e);
-            if g.residual(e) > 0 && self.height[v] == self.height[w] + 1 {
-                let delta = self.excess[v].min(g.residual(e));
-                g.push(e, delta);
-                self.excess[v] -= delta;
+            let w = g.target_fast(e);
+            if g.residual_fast(e) > 0 && hv == self.height[w] + 1 {
+                let delta = ev.min(g.residual_fast(e));
+                g.push_fast(e, delta);
+                ev -= delta;
                 self.excess[w] += delta;
                 self.stats.pushes += 1;
                 if w != s && w != t && !self.in_queue[w] {
@@ -249,20 +264,26 @@ impl PushRelabel {
                     self.in_queue[w] = true;
                 }
             } else {
-                self.cur_arc[v] += 1;
+                cur += 1;
             }
         }
+        self.excess[v] = ev;
+        self.cur_arc[v] = cur;
     }
 
     /// Relabels `v` to one more than the minimum height of its residual
     /// neighbours. Returns false if `v` has no residual out-edges.
     fn relabel(&mut self, g: &FlowGraph, v: VertexId, n: u32) -> bool {
         let mut min_h = u32::MAX;
-        for &e in g.out_edges(v) {
-            let e = e as EdgeId;
-            self.work += 1;
-            if g.residual(e) > 0 {
-                min_h = min_h.min(self.height[g.target(e)]);
+        let (lo, hi) = g.adj_bounds(v);
+        // The whole arc list is scanned unconditionally, so the work
+        // counter can be bulk-charged up front (only the total is ever
+        // compared against the relabel threshold).
+        self.work += (hi - lo) as u64;
+        for pos in lo..hi {
+            let e = g.adj_slot(pos);
+            if g.residual_fast(e) > 0 {
+                min_h = min_h.min(self.height[g.target_fast(e)]);
             }
         }
         if min_h == u32::MAX {
@@ -322,10 +343,11 @@ impl PushRelabel {
             let w = self.bfs_queue[head] as usize;
             head += 1;
             let dw = self.height[w];
-            for &e in g.out_edges(w) {
-                let e = e as EdgeId;
-                let u = g.target(e);
-                if self.height[u] == UNSEEN && g.residual(e ^ 1) > 0 && u != s {
+            let (lo, hi) = g.adj_bounds(w);
+            for pos in lo..hi {
+                let e = g.adj_slot(pos);
+                let u = g.target_fast(e);
+                if self.height[u] == UNSEEN && g.residual_fast(e ^ 1) > 0 && u != s {
                     self.height[u] = dw + 1;
                     self.bfs_queue.push(u as u32);
                 }
@@ -343,10 +365,11 @@ impl PushRelabel {
             let w = self.bfs_queue[head] as usize;
             head += 1;
             let dw = self.height[w];
-            for &e in g.out_edges(w) {
-                let e = e as EdgeId;
-                let u = g.target(e);
-                if self.height[u] == UNSEEN && g.residual(e ^ 1) > 0 {
+            let (lo, hi) = g.adj_bounds(w);
+            for pos in lo..hi {
+                let e = g.adj_slot(pos);
+                let u = g.target_fast(e);
+                if self.height[u] == UNSEEN && g.residual_fast(e ^ 1) > 0 {
                     self.height[u] = dw + 1;
                     self.bfs_queue.push(u as u32);
                 }

@@ -1,0 +1,135 @@
+//! Layout-equivalence suite for the CSR residual arena.
+//!
+//! The flow graph's adjacency layout changed from per-vertex `Vec<Vec<u32>>`
+//! lists to a compressed-sparse-row arena. Every solver's traversal order —
+//! and therefore its exact push/relabel/augment counts — must be unchanged:
+//! the CSR finalize step is a *stable* counting sort, so `out_edges(v)` must
+//! enumerate exactly the edge slots the legacy layout appended, in the same
+//! order (ascending slot id, since slots are allocated in insertion order).
+//!
+//! `GOLDEN` below is an FNV-1a digest of `(response_time, flow_value,
+//! pushes, relabels, dfs_calls, probes, increments, resume_calls,
+//! maxflow_calls)` for all seven `SolverKind`s over 200 seeded random
+//! instances, captured on the pre-CSR adjacency-of-Vecs layout. A digest
+//! mismatch means some solver visited edges in a different order than it
+//! did on the legacy layout.
+
+use rds_util::SplitMix64;
+use replicated_retrieval::core::spec::{SolverKind, SolverSpec};
+use replicated_retrieval::core::verify::oracle_optimal_response;
+use replicated_retrieval::prelude::*;
+
+/// Digest of per-instance outcomes on the legacy `Vec<Vec<u32>>` layout
+/// (seed 0xC5A, 200 instances, all seven kinds, single-threaded parallel
+/// solver). Captured before the CSR rewrite; must never drift.
+const GOLDEN: u64 = 0x6ecdd97cd44fd538;
+
+fn arb_system(n: usize, seed: u64) -> SystemConfig {
+    experiment(ExperimentId::ALL[(seed % 5) as usize], n, seed)
+}
+
+fn arb_alloc(n: usize, seed: u64) -> ReplicaMap {
+    match seed % 3 {
+        0 => ReplicaMap::build(&RandomDuplicateAllocation::two_site(n, seed)),
+        1 => ReplicaMap::build(&DependentPeriodicAllocation::new(n, Placement::PerSite)),
+        _ => ReplicaMap::build(&OrthogonalAllocation::new(n, Placement::PerSite)),
+    }
+}
+
+fn fnv1a(hash: u64, word: u64) -> u64 {
+    let mut h = hash;
+    for byte in word.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The legacy layout stored, for each vertex, the edge slots it owns in
+/// insertion order — which is ascending slot id, because slots are numbered
+/// in the order `add_edge` allocates them. The CSR arena must present the
+/// identical enumeration for traversal order (and thus operation counts)
+/// to be preserved.
+fn assert_legacy_adjacency_order(g: &replicated_retrieval::flow::FlowGraph) {
+    let mut legacy: Vec<Vec<u32>> = vec![Vec::new(); g.num_vertices()];
+    for e in 0..g.num_edge_slots() {
+        legacy[g.source(e)].push(e as u32);
+    }
+    for (v, slots) in legacy.iter().enumerate() {
+        assert_eq!(
+            g.out_edges(v),
+            slots.as_slice(),
+            "vertex {v}: CSR adjacency differs from legacy insertion order"
+        );
+    }
+}
+
+/// CSR and legacy traversal orders yield identical max-flow values and
+/// identical `SolveStats` operation counts for all seven `SolverKind`s on
+/// 200 random instances.
+#[test]
+fn all_solver_kinds_match_legacy_layout_on_random_instances() {
+    let mut rng = SplitMix64::seed_from_u64(0xC5A);
+    let mut digest = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    let mut solved = 0usize;
+    let mut instances = 0usize;
+    while instances < 200 {
+        let n = rng.gen_range(3..7usize);
+        let seed = rng.gen_range(0..1000u64);
+        let r = rng.gen_range(1..5usize).min(n);
+        let c = rng.gen_range(1..5usize).min(n);
+        let row = rng.gen_range(0..n);
+        let col = rng.gen_range(0..n);
+        let system = arb_system(n, seed);
+        let alloc = arb_alloc(n, seed.wrapping_add(3));
+        let q = RangeQuery::new(row.min(n - r), col.min(n - c), r, c);
+        let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(n));
+        // FF-basic supports only the pristine uniform problem; give it an
+        // Exp1 system over the same allocation and query.
+        let basic_inst = RetrievalInstance::build(
+            &experiment(ExperimentId::Exp1, n, seed),
+            &alloc,
+            &q.buckets(n),
+        );
+        instances += 1;
+
+        assert_legacy_adjacency_order(&inst.graph);
+        let want = oracle_optimal_response(&inst);
+        let want_basic = oracle_optimal_response(&basic_inst);
+
+        for kind in SolverKind::ALL {
+            let (inst, want) = if kind == SolverKind::FordFulkersonBasic {
+                (&basic_inst, want_basic)
+            } else {
+                (&inst, want)
+            };
+            // One worker thread keeps the parallel solver's discharge order
+            // (hence its push/relabel counts) deterministic.
+            let solver = SolverSpec::new(kind).threads(1).build();
+            let a = solver.solve(inst).expect("feasible instance");
+            let b = solver.solve(inst).expect("feasible instance");
+            assert_eq!(a.response_time, want, "{} lost optimality", kind.name());
+            assert_eq!(a.response_time, b.response_time);
+            assert_eq!(a.stats, b.stats, "{} solve not deterministic", kind.name());
+            for word in [
+                a.response_time.0,
+                a.flow_value,
+                a.stats.pushes,
+                a.stats.relabels,
+                a.stats.dfs_calls,
+                a.stats.probes,
+                a.stats.increments,
+                a.stats.resume_calls,
+                a.stats.maxflow_calls,
+            ] {
+                digest = fnv1a(digest, word);
+            }
+            solved += 1;
+        }
+    }
+    assert_eq!(solved, 200 * SolverKind::ALL.len());
+    assert_eq!(
+        digest, GOLDEN,
+        "solver outcome digest drifted from the legacy layout: got {digest:#x}"
+    );
+}
