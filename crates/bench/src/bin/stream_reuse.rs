@@ -22,7 +22,7 @@ use rds_core::engine::{BatchQuery, Engine};
 use rds_core::network::RetrievalInstance;
 use rds_core::pr::PushRelabelBinary;
 use rds_core::session::{RetrievalSession, ReusePolicy};
-use rds_core::spec::SolverKind;
+use rds_core::spec::{SolverKind, SolverSpec};
 use rds_core::verify::oracle_optimal_response;
 use rds_decluster::orthogonal::OrthogonalAllocation;
 use rds_decluster::query::{Bucket, Query, RangeQuery};
@@ -116,10 +116,11 @@ fn run_engine(
     warm: bool,
 ) -> Run {
     let started = Instant::now();
-    let mut builder = Engine::builder(system, alloc).solver(SolverKind::PushRelabelBinary);
+    let mut spec = SolverSpec::new(SolverKind::PushRelabelBinary);
     if warm {
-        builder = builder.warm_start(true).cache_capacity(32);
+        spec = spec.warm_start(true).cache_capacity(32);
     }
+    let builder = Engine::builder(system, alloc).solver_spec(spec);
     let mut engine = builder.build();
     let results = engine.submit_batch(queries);
     let elapsed = started.elapsed();
@@ -190,7 +191,7 @@ fn main() -> ExitCode {
          # warm-path optimality verified per step against the oracle.\n\
          #\n\
          # rebuild: Engine, reuse off — instance rebuilt per query.\n\
-         # warm:    Engine::builder().warm_start(true).cache_capacity(32)\n\
+         # warm:    SolverSpec::new(..).warm_start(true).cache_capacity(32)\n\
          #\n\
          # best of {repeat} runs:\n\
          rebuild_ms         {cold_ms:.3}\n\

@@ -42,7 +42,7 @@ use crate::obs::trace::{EventKind, TraceEvent};
 use crate::schedule::SolveStats;
 use crate::session::{ReuseCounters, ReusePolicy, SessionOutcome, SessionState};
 use crate::solver::RetrievalSolver;
-use crate::spec::{AnySolver, SolverKind, SolverSpec};
+use crate::spec::{AnySolver, ScheduleObjective, SolverKind, SolverSpec};
 use crate::workspace::Workspace;
 use rds_decluster::allocation::ReplicaSource;
 use rds_decluster::query::Bucket;
@@ -211,6 +211,18 @@ impl MetricsSnapshot {
         );
         reg.inc_counter("rds_solver_pushes_total", self.stats.solve_stats.pushes);
         reg.inc_counter("rds_solver_relabels_total", self.stats.solve_stats.relabels);
+        reg.inc_counter(
+            "rds_refine_passes_total",
+            self.stats.solve_stats.refine_passes,
+        );
+        reg.inc_counter(
+            "rds_refine_cycles_total",
+            self.stats.solve_stats.refine_cycles,
+        );
+        reg.inc_counter(
+            "rds_refine_moved_units_total",
+            self.stats.solve_stats.refine_moved,
+        );
         reg.set_gauge("rds_shards", self.shards as i64);
         for kind in EventKind::ALL {
             let count = self.trace_counts[kind as usize];
@@ -302,6 +314,7 @@ struct BatchCtx<'c, A: ?Sized, S: ?Sized> {
     solver: &'c S,
     faults: FaultConfig<'c>,
     reuse: ReusePolicy,
+    objective: ScheduleObjective,
 }
 
 /// One shard's batch output: its tally plus `(original_index, result)`
@@ -371,10 +384,11 @@ impl Shard {
         tally: &mut ShardTally,
     ) -> Result<SessionOutcome, EngineError> {
         let faults = &ctx.faults;
-        let state = self
-            .states
-            .entry(q.stream)
-            .or_insert_with(|| SessionState::with_reuse(ctx.system.num_disks(), ctx.reuse));
+        let state = self.states.entry(q.stream).or_insert_with(|| {
+            let mut s = SessionState::with_reuse(ctx.system.num_disks(), ctx.reuse);
+            s.set_objective(ctx.objective);
+            s
+        });
         if let Some(inj) = faults.injector {
             inj.health_at(q.arrival, &mut self.health);
         } else {
@@ -474,6 +488,7 @@ pub struct Engine<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> {
     retry: RetryPolicy,
     degraded: bool,
     reuse: ReusePolicy,
+    objective: ScheduleObjective,
 }
 
 /// Step-by-step construction of an [`Engine`] around a [`SolverSpec`] —
@@ -482,15 +497,19 @@ pub struct Engine<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> {
 ///
 /// ```
 /// use rds_core::engine::Engine;
-/// use rds_core::spec::SolverKind;
+/// use rds_core::session::ReusePolicy;
+/// use rds_core::spec::{ScheduleObjective, SolverKind, SolverSpec};
 /// use rds_decluster::orthogonal::OrthogonalAllocation;
 /// use rds_storage::experiments::paper_example;
 ///
 /// let system = paper_example();
 /// let alloc = OrthogonalAllocation::paper_7x7();
 /// let engine = Engine::builder(&system, &alloc)
-///     .solver(SolverKind::PushRelabelBinary)
-///     .warm_start(true)
+///     .solver_spec(
+///         SolverSpec::new(SolverKind::PushRelabelBinary)
+///             .objective(ScheduleObjective::MinMaxLoad)
+///             .reuse(ReusePolicy::warm()),
+///     )
 ///     .shards(2)
 ///     .build();
 /// assert_eq!(engine.num_shards(), 2);
@@ -522,6 +541,10 @@ impl<'a, A: ReplicaSource + Sync> EngineBuilder<'a, A> {
     }
 
     /// Worker threads for the parallel solver (ignored by the others).
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the solver via `solver_spec(SolverSpec::new(..).threads(..))`"
+    )]
     pub fn threads(mut self, threads: usize) -> Self {
         self.spec = self.spec.threads(threads);
         self
@@ -529,6 +552,10 @@ impl<'a, A: ReplicaSource + Sync> EngineBuilder<'a, A> {
 
     /// Enables warm-start delta solving per stream (see
     /// [`ReusePolicy::warm_start`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure reuse via `solver_spec(SolverSpec::new(..).reuse(ReusePolicy::warm()))`"
+    )]
     pub fn warm_start(mut self, on: bool) -> Self {
         self.spec = self.spec.warm_start(on);
         self
@@ -536,6 +563,10 @@ impl<'a, A: ReplicaSource + Sync> EngineBuilder<'a, A> {
 
     /// Sets the per-stream schedule cache capacity (see
     /// [`ReusePolicy::cache_capacity`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure reuse via `solver_spec(SolverSpec::new(..).reuse(..))`"
+    )]
     pub fn cache_capacity(mut self, entries: usize) -> Self {
         self.spec = self.spec.cache_capacity(entries);
         self
@@ -575,6 +606,7 @@ impl<'a, A: ReplicaSource + Sync> EngineBuilder<'a, A> {
     pub fn build(self) -> Engine<'a, A, AnySolver> {
         let mut engine = Engine::new(self.system, self.alloc, self.spec.build(), self.shards)
             .with_reuse(self.spec.reuse_policy())
+            .with_objective(self.spec.objective)
             .with_retry_policy(self.retry)
             .with_degraded_mode(self.degraded);
         if let Some(injector) = self.injector {
@@ -620,6 +652,7 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
             retry: RetryPolicy::default(),
             degraded: false,
             reuse: ReusePolicy::default(),
+            objective: ScheduleObjective::default(),
         }
     }
 
@@ -631,6 +664,20 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
         for shard in &mut self.shards {
             for state in shard.states.values_mut() {
                 state.set_reuse_policy(reuse);
+            }
+        }
+        self
+    }
+
+    /// Sets the schedule objective applied to every stream: schedules
+    /// keep the optimal response time but are refined toward the chosen
+    /// load shape (see [`ScheduleObjective`]). Existing streams adopt the
+    /// objective immediately; their cached schedules are invalidated.
+    pub fn with_objective(mut self, objective: ScheduleObjective) -> Self {
+        self.objective = objective;
+        for shard in &mut self.shards {
+            for state in shard.states.values_mut() {
+                state.set_objective(objective);
             }
         }
         self
@@ -747,6 +794,7 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
                 degraded: self.degraded,
             },
             reuse: self.reuse,
+            objective: self.objective,
         };
 
         // Route each query to its stream's home shard, preserving input

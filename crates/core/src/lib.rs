@@ -62,6 +62,7 @@ pub mod obs;
 pub mod parallel;
 pub mod pr;
 pub mod prelude;
+pub(crate) mod refine;
 pub mod schedule;
 pub mod session;
 pub mod solver;
@@ -82,5 +83,5 @@ pub use obs::trace::{EventKind, Recorder, TraceEvent, TraceSink, Tracer};
 pub use schedule::{RetrievalOutcome, Schedule, SolveStats};
 pub use session::{RetrievalSession, ReuseCounters, ReusePolicy, SessionOutcome, SessionState};
 pub use solver::RetrievalSolver;
-pub use spec::{AnySolver, SolverKind, SolverSpec};
+pub use spec::{AnySolver, ScheduleObjective, SolverKind, SolverSpec};
 pub use workspace::{PoisonedWorkspace, Workspace};

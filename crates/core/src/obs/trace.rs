@@ -110,6 +110,15 @@ pub enum TraceEvent {
         /// Fingerprint of the cache key (query ⊕ health ⊕ load state).
         fingerprint: u64,
     },
+    /// A min-cost refinement pass rebalanced the solved flow at the fixed
+    /// optimal response time (see
+    /// [`ScheduleObjective`](crate::spec::ScheduleObjective)).
+    RefinePass {
+        /// Negative residual cycles canceled.
+        cycles: u32,
+        /// Residual arcs flow was pushed along while canceling.
+        moved: u32,
+    },
 }
 
 /// Coarse classification of [`TraceEvent`]s, used for per-kind counting.
@@ -140,11 +149,13 @@ pub enum EventKind {
     DeltaPatch,
     /// [`TraceEvent::CacheHit`]
     CacheHit,
+    /// [`TraceEvent::RefinePass`]
+    RefinePass,
 }
 
 impl EventKind {
     /// Number of kinds (size of a per-kind counter array).
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 13;
 
     /// Every kind, in discriminant order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -160,6 +171,7 @@ impl EventKind {
         EventKind::ShardBatch,
         EventKind::DeltaPatch,
         EventKind::CacheHit,
+        EventKind::RefinePass,
     ];
 
     /// Stable snake_case name (used in reports and Prometheus labels).
@@ -177,6 +189,7 @@ impl EventKind {
             EventKind::ShardBatch => "shard_batch",
             EventKind::DeltaPatch => "delta_patch",
             EventKind::CacheHit => "cache_hit",
+            EventKind::RefinePass => "refine_pass",
         }
     }
 }
@@ -197,6 +210,7 @@ impl TraceEvent {
             TraceEvent::ShardBatch { .. } => EventKind::ShardBatch,
             TraceEvent::DeltaPatch { .. } => EventKind::DeltaPatch,
             TraceEvent::CacheHit { .. } => EventKind::CacheHit,
+            TraceEvent::RefinePass { .. } => EventKind::RefinePass,
         }
     }
 }
@@ -552,6 +566,10 @@ mod tests {
                 cancelled: 0,
             },
             TraceEvent::CacheHit { fingerprint: 0 },
+            TraceEvent::RefinePass {
+                cycles: 0,
+                moved: 0,
+            },
         ];
         for (e, k) in events.iter().zip(EventKind::ALL) {
             assert_eq!(e.kind(), k);

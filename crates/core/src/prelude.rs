@@ -29,5 +29,5 @@ pub use crate::session::{
     RetrievalSession, ReuseCounters, ReusePolicy, SessionOutcome, SessionState,
 };
 pub use crate::solver::RetrievalSolver;
-pub use crate::spec::{AnySolver, SolverKind, SolverSpec};
+pub use crate::spec::{AnySolver, ScheduleObjective, SolverKind, SolverSpec};
 pub use crate::workspace::{PoisonedWorkspace, Workspace};

@@ -1,0 +1,267 @@
+//! Min-cost schedule refinement at the fixed optimal response time.
+//!
+//! The binary search of Algorithm 6 fixes the optimal response time
+//! `t*`, but any maximum flow within budget `t*` is an acceptable
+//! answer — and the first feasible flow a solver happens to find can
+//! spread per-disk load very unevenly. When a
+//! [`ScheduleObjective`](crate::spec::ScheduleObjective) other than
+//! `FirstFeasible` is selected, [`refine_in`] runs a negative-cycle
+//! canceling pass ([`rds_flow::mincost`]) over the *solved* residual
+//! network, rebalancing which disks carry the flow while provably
+//! keeping the response time at `t*`:
+//!
+//! 1. Disk capacities are re-clamped to budget `t*`
+//!    ([`RetrievalInstance::set_caps_for_budget`]). The solved flow
+//!    stays feasible — a disk serving `k` buckets completes at
+//!    `overhead + k·cost ≤ t*`, hence `k ≤ capacity_within(t*)` — and
+//!    from then on *every* complete flow the refiner can reach has
+//!    response time `≤ t*`.
+//! 2. Residual cycles carry no source-sink excess, so canceling them
+//!    never changes the flow value: the schedule stays complete.
+//! 3. `t*` is optimal, so no complete schedule has response time
+//!    `< t*`. Together with (1) and (2) the refined schedule's response
+//!    time is exactly `t*`.
+//!
+//! Costs live only on the disk→sink arcs and are derived from the
+//! instance's *effective* disk costs (degraded disks already carry
+//! their scaled access time), so the fault-degraded paths refine
+//! correctly without extra plumbing.
+
+use crate::error::SolveError;
+use crate::network::RetrievalInstance;
+use crate::obs::trace::TraceEvent;
+use crate::schedule::RetrievalOutcome;
+use crate::spec::ScheduleObjective;
+use crate::workspace::Workspace;
+use rds_flow::mincost::{AffineCosts, CycleCanceler};
+
+/// Reusable refinement scratch owned by every [`Workspace`]: the
+/// canceler's Bellman-Ford arrays plus the per-edge-slot cost vectors.
+/// Buffers grow to the largest instance seen and are then reused, so
+/// steady-state refinement allocates nothing.
+#[derive(Debug, Default)]
+pub(crate) struct RefineScratch {
+    canceler: CycleCanceler,
+    base: Vec<i64>,
+    slope: Vec<i64>,
+    arcs: Vec<u32>,
+}
+
+/// Direct relocation pass: repeatedly moves one bucket from its
+/// current disk `a` to a spare replica disk `b` whenever the ladder
+/// price of `a`'s last unit exceeds the price of `b`'s next unit —
+/// i.e. cancels every negative *length-4* residual cycle by local
+/// search, with no shortest-path machinery at all. Under the convex
+/// ladder costs this is where almost all of the rebalancing happens;
+/// the general canceler afterwards handles the rare longer cycles
+/// (chained relocations through full disks) and certifies optimality.
+///
+/// Every move strictly decreases the integer total ladder cost, so the
+/// pass terminates without an explicit bound. Returns the move count.
+fn relocate_pass(
+    inst: &RetrievalInstance,
+    g: &mut rds_flow::graph::FlowGraph,
+    base: &[i64],
+    slope: &[i64],
+    arcs: &mut Vec<u32>,
+) -> u64 {
+    let mut moves = 0u64;
+    loop {
+        let mut progress = false;
+        for i in 0..inst.query_size() {
+            let v = inst.bucket_vertex(i);
+            arcs.clear();
+            arcs.extend_from_slice(g.out_edges(v));
+            let Some((e_cur, a)) = arcs.iter().find_map(|&slot| {
+                let e = slot as usize;
+                (e.is_multiple_of(2) && g.flow(e) > 0)
+                    .then(|| (e, inst.disk_of_vertex(g.target(e))))
+            }) else {
+                continue;
+            };
+            let ea = inst.disk_edges[a];
+            for &slot in arcs.iter() {
+                let e = slot as usize;
+                if !e.is_multiple_of(2) || e == e_cur || g.residual(e) <= 0 {
+                    continue;
+                }
+                let b = inst.disk_of_vertex(g.target(e));
+                let eb = inst.disk_edges[b];
+                if g.residual(eb) <= 0 {
+                    continue;
+                }
+                let out_price = base[ea] + g.flow(ea) * slope[ea];
+                let in_price = base[eb] + (g.flow(eb) + 1) * slope[eb];
+                if out_price > in_price {
+                    g.push(e_cur ^ 1, 1);
+                    g.push(e, 1);
+                    g.push(ea ^ 1, 1);
+                    g.push(eb, 1);
+                    moves += 1;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+        if !progress {
+            return moves;
+        }
+    }
+}
+
+/// Runs `objective`'s refinement pass over the solved flow in
+/// `ws.graph`, updating `outcome` in place (schedule, stats, trace).
+/// No-op for [`ScheduleObjective::FirstFeasible`] and empty queries.
+pub(crate) fn refine_in(
+    objective: ScheduleObjective,
+    inst: &RetrievalInstance,
+    ws: &mut Workspace,
+    outcome: &mut RetrievalOutcome,
+) -> Result<(), SolveError> {
+    if !objective.refines() || inst.query_size() == 0 {
+        return Ok(());
+    }
+    let t_star = outcome.response_time;
+    inst.set_caps_for_budget(&mut ws.graph, t_star);
+
+    let slots = ws.graph.num_edge_slots();
+    let q = inst.query_size() as i64;
+    let scratch = &mut ws.refine;
+    scratch.base.clear();
+    scratch.base.resize(slots, 0);
+    scratch.slope.clear();
+    scratch.slope.resize(slots, 0);
+    match objective {
+        ScheduleObjective::MinTotalLoad => {
+            // Lexicographic affine costs: the primary term prices the
+            // k-th unit on disk j at cost(j) * SCALE, so cycle signs are
+            // decided by the total weighted load Σ k_j·cost(j) first.
+            // The +1-per-extra-unit slope breaks ties toward even
+            // per-disk counts among equal-cost disks. A vertex-simple
+            // residual cycle traverses at most two disk→sink slots, so
+            // any SCALE > 2q keeps the tiebreak strictly subordinate.
+            let scale = 2 * q + 2;
+            for (j, &e) in inst.disk_edges.iter().enumerate() {
+                scratch.base[e] = inst.disks[j].cost().as_micros() as i64 * scale;
+                scratch.slope[e] = 1;
+            }
+        }
+        ScheduleObjective::MinMaxLoad => {
+            // Piecewise-convex completion penalty: the k-th unit on disk
+            // j costs completion_time(k) = overhead(j) + k·cost(j) — the
+            // disk's actual finish time once it serves k buckets. At a
+            // cycle-optimal flow the *last* unit on any loaded disk is no
+            // costlier than the *next* unit anywhere else, which evens
+            // out completion times (overheads included) instead of raw
+            // bucket counts.
+            for (j, &e) in inst.disk_edges.iter().enumerate() {
+                let d = &inst.disks[j];
+                let c = d.cost().as_micros() as i64;
+                scratch.base[e] = d.overhead().as_micros() as i64 + c;
+                scratch.slope[e] = c;
+            }
+        }
+        _ => return Ok(()),
+    }
+
+    // Fast local rebalance first: single-bucket relocations are the
+    // length-4 negative cycles, and in practice nearly all of them.
+    let relocations = relocate_pass(
+        inst,
+        &mut ws.graph,
+        &scratch.base,
+        &scratch.slope,
+        &mut scratch.arcs,
+    );
+
+    let costs = AffineCosts {
+        base: &scratch.base,
+        slope: &scratch.slope,
+    };
+    // Every cancellation strictly decreases an integer cost bounded by
+    // O(q² · scale); the explicit bound is a belt-and-braces guard.
+    // Costs live only on the disk→sink arcs, so the hub-structured
+    // canceler applies with the sink as hub.
+    let bound = 1_000 + 8 * (q as u64) * (q as u64);
+    let mut stats = scratch
+        .canceler
+        .refine_via_hub(&mut ws.graph, &costs, inst.sink(), bound);
+    stats.cycles += relocations;
+    stats.moved += 4 * relocations;
+
+    let mut total = outcome.stats;
+    total.refine_passes += 1;
+    total.refine_cycles += stats.cycles;
+    total.refine_moved += stats.moved;
+    total.refine_searches += stats.searches;
+    if stats.cycles > 0 {
+        // Cycle cancellations change which disks carry the flow but not
+        // the flow value (complete) or the response time (pinned at t*
+        // by the re-clamped caps), so only the assignments need refresh.
+        outcome.schedule.refresh_from_flow(inst, &ws.graph)?;
+        debug_assert_eq!(
+            outcome.schedule.response_time(&inst.disks),
+            t_star,
+            "refinement must preserve the optimal response time"
+        );
+    }
+    outcome.stats = total;
+    ws.tracer.emit(TraceEvent::RefinePass {
+        cycles: stats.cycles as u32,
+        moved: stats.moved as u32,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::RetrievalSolver;
+    use crate::spec::{SolverKind, SolverSpec};
+    use rds_decluster::orthogonal::OrthogonalAllocation;
+    use rds_decluster::query::{Query, RangeQuery};
+    use rds_storage::model::SystemConfig;
+    use rds_storage::specs::CHEETAH;
+
+    #[test]
+    fn refinement_preserves_response_time_and_flow_value() {
+        let system = SystemConfig::homogeneous(CHEETAH, 14);
+        let alloc = OrthogonalAllocation::paper_7x7();
+        let inst =
+            RetrievalInstance::build(&system, &alloc, &RangeQuery::new(0, 0, 5, 4).buckets(7));
+        let plain = SolverSpec::new(SolverKind::PushRelabelBinary)
+            .build()
+            .solve(&inst)
+            .unwrap();
+        for objective in [
+            ScheduleObjective::MinTotalLoad,
+            ScheduleObjective::MinMaxLoad,
+        ] {
+            let refined = SolverSpec::new(SolverKind::PushRelabelBinary)
+                .objective(objective)
+                .solve(&inst)
+                .unwrap();
+            assert_eq!(refined.response_time, plain.response_time);
+            assert_eq!(refined.flow_value, plain.flow_value);
+            assert_eq!(refined.stats.refine_passes, 1);
+            assert!(
+                refined.schedule.total_weighted_load(&inst.disks)
+                    <= plain.schedule.total_weighted_load(&inst.disks)
+                    || objective == ScheduleObjective::MinMaxLoad
+            );
+        }
+    }
+
+    #[test]
+    fn first_feasible_skips_refinement() {
+        let system = SystemConfig::homogeneous(CHEETAH, 14);
+        let alloc = OrthogonalAllocation::paper_7x7();
+        let inst =
+            RetrievalInstance::build(&system, &alloc, &RangeQuery::new(0, 0, 3, 2).buckets(7));
+        let outcome = SolverSpec::new(SolverKind::PushRelabelBinary)
+            .solve(&inst)
+            .unwrap();
+        assert_eq!(outcome.stats.refine_passes, 0);
+        assert_eq!(outcome.stats.refine_cycles, 0);
+    }
+}

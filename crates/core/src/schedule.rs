@@ -43,6 +43,30 @@ impl Schedule {
         Ok(Schedule { assignments })
     }
 
+    /// Re-derives every assignment from the (possibly rebalanced) flow
+    /// in place, without reallocating. The flow must still retrieve
+    /// every bucket — the refiner's cycle cancellations guarantee that.
+    pub(crate) fn refresh_from_flow(
+        &mut self,
+        inst: &RetrievalInstance,
+        g: &FlowGraph,
+    ) -> Result<(), SolveError> {
+        debug_assert_eq!(self.assignments.len(), inst.query_size());
+        for (i, slot) in self.assignments.iter_mut().enumerate() {
+            let v = inst.bucket_vertex(i);
+            let disk = g
+                .out_edges(v)
+                .iter()
+                .find_map(|&e| {
+                    let e = e as usize;
+                    (e.is_multiple_of(2) && g.flow(e) > 0).then(|| inst.disk_of_vertex(g.target(e)))
+                })
+                .ok_or(SolveError::IncompleteFlow { bucket: slot.0 })?;
+            slot.1 = disk;
+        }
+        Ok(())
+    }
+
     /// Panicking variant of [`Schedule::try_from_flow`], for callers that
     /// have already verified the flow is complete.
     ///
@@ -80,13 +104,54 @@ impl Schedule {
     /// Response time of this schedule on the given disks: the maximum
     /// completion time over disks serving at least one bucket.
     pub fn response_time(&self, disks: &[Disk]) -> Micros {
+        self.disk_loads(disks)
+            .into_iter()
+            .max()
+            .unwrap_or(Micros::ZERO)
+    }
+
+    /// Per-disk load: each disk's completion time under this schedule
+    /// ([`Micros::ZERO`] for disks serving no bucket). One entry per
+    /// disk, in disk order.
+    pub fn disk_loads(&self, disks: &[Disk]) -> Vec<Micros> {
         self.per_disk_counts(disks.len())
             .iter()
             .zip(disks)
-            .filter(|(&k, _)| k > 0)
-            .map(|(&k, d)| d.completion_time(k))
-            .max()
-            .unwrap_or(Micros::ZERO)
+            .map(|(&k, d)| {
+                if k > 0 {
+                    d.completion_time(k)
+                } else {
+                    Micros::ZERO
+                }
+            })
+            .collect()
+    }
+
+    /// Population variance of [`Schedule::disk_loads`] across all disks,
+    /// in milliseconds squared — the load-balance figure of merit
+    /// reported by the `schedule_refine` bench.
+    pub fn load_variance(&self, disks: &[Disk]) -> f64 {
+        if disks.is_empty() {
+            return 0.0;
+        }
+        let loads: Vec<f64> = self
+            .disk_loads(disks)
+            .into_iter()
+            .map(|l| l.as_millis_f64())
+            .collect();
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        loads.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / loads.len() as f64
+    }
+
+    /// Total weighted load: the sum over disks of buckets served times
+    /// per-bucket access cost — the objective value minimized by
+    /// [`ScheduleObjective::MinTotalLoad`](crate::spec::ScheduleObjective::MinTotalLoad).
+    pub fn total_weighted_load(&self, disks: &[Disk]) -> Micros {
+        self.per_disk_counts(disks.len())
+            .iter()
+            .zip(disks)
+            .map(|(&k, d)| d.cost() * k)
+            .sum()
     }
 }
 
@@ -114,6 +179,16 @@ pub struct SolveStats {
     pub pushes: u64,
     /// Relabel operations performed by push-relabel engines.
     pub relabels: u64,
+    /// Min-cost refinement passes run after the optimal response time
+    /// was fixed (at most one per solve).
+    pub refine_passes: u64,
+    /// Negative residual cycles canceled across refinement passes.
+    pub refine_cycles: u64,
+    /// Residual arcs flow was pushed along while canceling cycles.
+    pub refine_moved: u64,
+    /// Negative-cycle searches run while refining, including the final
+    /// search that proves the schedule cycle-optimal.
+    pub refine_searches: u64,
 }
 
 impl SolveStats {
@@ -127,6 +202,10 @@ impl SolveStats {
         self.dfs_calls += other.dfs_calls;
         self.pushes += other.pushes;
         self.relabels += other.relabels;
+        self.refine_passes += other.refine_passes;
+        self.refine_cycles += other.refine_cycles;
+        self.refine_moved += other.refine_moved;
+        self.refine_searches += other.refine_searches;
     }
 }
 
@@ -230,5 +309,32 @@ mod tests {
         ]);
         // disk0: 6.1, disk1: 1.0 → max 6.1ms.
         assert_eq!(s.response_time(sys.disks()), Micros::from_tenths_ms(61));
+    }
+
+    #[test]
+    fn disk_loads_variance_and_total_weighted_load() {
+        let sys = SystemConfig::builder()
+            .site("s")
+            .disk(CHEETAH) // 6.1ms
+            .disk(VERTEX) // 0.5ms
+            .build();
+        let s = Schedule::new(vec![
+            (Bucket::new(0, 0), 0),
+            (Bucket::new(0, 1), 1),
+            (Bucket::new(1, 1), 1),
+        ]);
+        assert_eq!(
+            s.disk_loads(sys.disks()),
+            vec![Micros::from_tenths_ms(61), Micros::from_tenths_ms(10)]
+        );
+        // 1 bucket * 6.1ms + 2 buckets * 0.5ms.
+        assert_eq!(
+            s.total_weighted_load(sys.disks()),
+            Micros::from_tenths_ms(71)
+        );
+        // Loads 6.1ms and 1.0ms: mean 3.55, variance 2.55^2.
+        assert!((s.load_variance(sys.disks()) - 6.5025).abs() < 1e-9);
+        assert_eq!(Schedule::new(vec![]).load_variance(sys.disks()), 0.0);
+        assert_eq!(Schedule::new(vec![]).load_variance(&[]), 0.0);
     }
 }

@@ -26,6 +26,7 @@ use crate::network::RetrievalInstance;
 use crate::obs::trace::TraceEvent;
 use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
+use crate::spec::ScheduleObjective;
 use crate::workspace::Workspace;
 use rds_decluster::allocation::ReplicaSource;
 use rds_decluster::query::Bucket;
@@ -206,6 +207,9 @@ pub struct SessionState {
     unservable_buf: Vec<Bucket>,
     /// Cross-query reuse knobs (default: all off).
     reuse: ReusePolicy,
+    /// Which response-time-optimal schedule to return (default: the
+    /// first feasible one, no refinement).
+    objective: ScheduleObjective,
     /// Reuse effectiveness counters.
     counters: ReuseCounters,
     /// Flow snapshot of the previous solve, if still loadable into the
@@ -230,6 +234,7 @@ impl SessionState {
             servable_buf: Vec::new(),
             unservable_buf: Vec::new(),
             reuse: ReusePolicy::default(),
+            objective: ScheduleObjective::default(),
             counters: ReuseCounters::default(),
             warm: None,
             cache: ScheduleCache::default(),
@@ -259,6 +264,22 @@ impl SessionState {
     /// The active reuse policy.
     pub fn reuse_policy(&self) -> ReusePolicy {
         self.reuse
+    }
+
+    /// Replaces the schedule objective. Changing it drops cached
+    /// schedules (they were refined under the old objective); the warm
+    /// flow snapshot stays valid — any feasible flow can seed the next
+    /// delta solve, and refinement runs after every solve anyway.
+    pub fn set_objective(&mut self, objective: ScheduleObjective) {
+        if self.objective != objective {
+            self.cache.entries.clear();
+        }
+        self.objective = objective;
+    }
+
+    /// The active schedule objective.
+    pub fn objective(&self) -> ScheduleObjective {
+        self.objective
     }
 
     /// Reuse effectiveness counters accumulated so far.
@@ -511,7 +532,7 @@ impl SessionState {
         } else {
             solver.solve_in(inst, ws)
         };
-        let outcome = match solved {
+        let mut outcome = match solved {
             Ok(outcome) => outcome,
             Err(e) => {
                 // The workspace graph no longer matches any captured flow.
@@ -519,6 +540,14 @@ impl SessionState {
                 return Err(e.into());
             }
         };
+
+        // Refine before the warm capture and the cache insert, so the
+        // flow snapshot seeding the next delta solve and any replayed
+        // cache entry both carry the refined, load-balanced flow.
+        if let Err(e) = crate::refine::refine_in(self.objective, inst, ws, &mut outcome) {
+            self.warm = None;
+            return Err(e.into());
+        }
 
         if self.reuse.warm_start {
             // Capture the completed flow for the next submit. Every
@@ -639,6 +668,27 @@ impl<'a, A: ReplicaSource, S: RetrievalSolver> RetrievalSession<'a, A, S> {
             alloc,
             solver,
         }
+    }
+
+    /// Sets the schedule objective for subsequent submits: refined
+    /// schedules keep the optimal response time but balance per-disk
+    /// load. Chainable at construction time.
+    ///
+    /// ```
+    /// use rds_core::pr::PushRelabelBinary;
+    /// use rds_core::session::RetrievalSession;
+    /// use rds_core::spec::ScheduleObjective;
+    /// use rds_decluster::orthogonal::OrthogonalAllocation;
+    /// use rds_storage::experiments::paper_example;
+    ///
+    /// let system = paper_example();
+    /// let alloc = OrthogonalAllocation::paper_7x7();
+    /// let session = RetrievalSession::new(&system, &alloc, PushRelabelBinary)
+    ///     .objective(ScheduleObjective::MinTotalLoad);
+    /// ```
+    pub fn objective(mut self, objective: ScheduleObjective) -> Self {
+        self.state.set_objective(objective);
+        self
     }
 
     /// Reuse effectiveness counters accumulated so far.

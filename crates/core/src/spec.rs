@@ -82,19 +82,69 @@ impl SolverKind {
     }
 }
 
+/// Which schedule, among all response-time-optimal ones, a solve should
+/// return.
+///
+/// The paper's algorithms accept *any* maximum flow at the optimal
+/// response time `t*`; per-disk load spread among those flows varies
+/// wildly. A refining objective runs a min-cost pass over the residual
+/// network after `t*` is fixed — holding the flow value (and therefore
+/// `t*`) constant — to pick a load-balanced optimum.
+///
+/// Marked `#[non_exhaustive]`: future PRs may add objectives (placement
+/// and repair co-optimization are on the roadmap), so match with a `_`
+/// arm.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ScheduleObjective {
+    /// Return the first flow the solver finds at `t*` — no refinement,
+    /// the pre-objective behaviour and the cheapest option.
+    #[default]
+    FirstFeasible,
+    /// Minimize total weighted load `Σ_j k_j · C_j` (buckets served per
+    /// disk times that disk's per-bucket access cost), breaking ties
+    /// toward even per-disk counts. Never increases total weighted load
+    /// relative to any feasible schedule.
+    MinTotalLoad,
+    /// Minimize a piecewise-convex penalty on per-disk weighted load
+    /// (each additional bucket on disk `j` costs `k · C_j`), which pushes
+    /// down the maximum and spreads load across disks.
+    MinMaxLoad,
+}
+
+impl ScheduleObjective {
+    /// True when this objective runs a refinement pass after the solve.
+    pub fn refines(self) -> bool {
+        !matches!(self, ScheduleObjective::FirstFeasible)
+    }
+
+    /// Stable snake_case name for reports and metrics labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScheduleObjective::FirstFeasible => "first_feasible",
+            ScheduleObjective::MinTotalLoad => "min_total_load",
+            ScheduleObjective::MinMaxLoad => "min_max_load",
+        }
+    }
+}
+
 /// A solver kind plus its tuning knobs — the value accepted by
 /// [`Engine::builder`](crate::engine::Engine::builder).
 ///
 /// ```
-/// use rds_core::solver::RetrievalSolver;
-/// use rds_core::spec::{SolverKind, SolverSpec};
+/// use rds_core::prelude::*;
 ///
 /// let spec = SolverSpec::new(SolverKind::PushRelabelBinary)
-///     .warm_start(true)
-///     .cache_capacity(8);
+///     .objective(ScheduleObjective::MinTotalLoad)
+///     .reuse(ReusePolicy::warm());
 /// assert_eq!(spec.build().name(), "PR-binary");
+/// assert!(spec.warm_start);
 /// ```
+///
+/// Marked `#[non_exhaustive]`: construct with [`SolverSpec::new`] and
+/// the chainable setters; fields stay readable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct SolverSpec {
     /// Which algorithm to run.
     pub kind: SolverKind,
@@ -108,16 +158,20 @@ pub struct SolverSpec {
     pub warm_start: bool,
     /// Per-stream schedule cache entries (`0` disables the cache).
     pub cache_capacity: usize,
+    /// Which response-time-optimal schedule to return.
+    pub objective: ScheduleObjective,
 }
 
 impl SolverSpec {
-    /// A spec with reuse disabled — the pre-reuse behaviour.
+    /// A spec with reuse disabled and no refining objective — the
+    /// pre-reuse behaviour.
     pub fn new(kind: SolverKind) -> SolverSpec {
         SolverSpec {
             kind,
             threads: 0,
             warm_start: false,
             cache_capacity: 0,
+            objective: ScheduleObjective::FirstFeasible,
         }
     }
 
@@ -139,12 +193,37 @@ impl SolverSpec {
         self
     }
 
+    /// Sets the schedule objective.
+    pub fn objective(mut self, objective: ScheduleObjective) -> SolverSpec {
+        self.objective = objective;
+        self
+    }
+
+    /// Sets both reuse knobs from a [`ReusePolicy`](crate::session::ReusePolicy).
+    pub fn reuse(mut self, policy: crate::session::ReusePolicy) -> SolverSpec {
+        self.warm_start = policy.warm_start;
+        self.cache_capacity = policy.cache_capacity;
+        self
+    }
+
     /// The reuse policy half of the spec.
     pub fn reuse_policy(&self) -> crate::session::ReusePolicy {
         crate::session::ReusePolicy {
             warm_start: self.warm_start,
             cache_capacity: self.cache_capacity,
         }
+    }
+
+    /// Solves one instance under this spec's kind and objective: a cold
+    /// solve in a fresh workspace, followed by the objective's
+    /// refinement pass at the fixed optimal response time. The
+    /// convenience entry point for one-off refined solves; sessions and
+    /// the engine refine in their own reusable workspaces.
+    pub fn solve(&self, instance: &RetrievalInstance) -> Result<RetrievalOutcome, SolveError> {
+        let mut ws = Workspace::new();
+        let mut outcome = self.build().solve_in(instance, &mut ws)?;
+        crate::refine::refine_in(self.objective, instance, &mut ws, &mut outcome)?;
+        Ok(outcome)
     }
 
     /// Materializes the solver this spec describes.

@@ -53,6 +53,9 @@ pub struct Workspace {
     pub(crate) warm_changed: Vec<usize>,
     /// Whether warm state is currently staged.
     pub(crate) warm_staged: bool,
+    /// Min-cost refinement scratch (cycle canceler + cost vectors); see
+    /// [`crate::refine`].
+    pub(crate) refine: crate::refine::RefineScratch,
     /// Set while a solve is in flight; a solve that unwinds (panics) never
     /// clears it, marking the scratch state as suspect. See
     /// [`Workspace::take_poisoned`].
@@ -102,6 +105,7 @@ impl Workspace {
             warm_excess: Vec::new(),
             warm_changed: Vec::new(),
             warm_staged: false,
+            refine: crate::refine::RefineScratch::default(),
             poisoned: false,
             solves: 0,
             hw_vertices: 0,

@@ -21,6 +21,10 @@
 //! * [`parallel`] — a lock-free multithreaded push-relabel in the style of
 //!   Hong & He (IEEE TPDS 2011), using only atomic read-modify-write
 //!   operations (no locks, no barriers).
+//! * [`mincost`] — minimum-cost flow on the same residual arena:
+//!   successive shortest paths with potentials, plus a negative-cycle
+//!   canceling refiner that rebalances an existing flow under linear or
+//!   convex marginal arc costs without changing its value.
 //! * [`validate`] — flow validation helpers shared by tests and property
 //!   tests.
 //!
@@ -52,6 +56,7 @@ pub mod graph;
 pub mod highest_label;
 pub mod incremental;
 pub mod min_cut;
+pub mod mincost;
 pub mod mpmc;
 pub mod parallel;
 pub mod push_relabel;
@@ -59,3 +64,4 @@ pub mod validate;
 
 pub use graph::{EdgeId, FlowGraph, VertexId};
 pub use incremental::IncrementalMaxFlow;
+pub use mincost::{ArcCost, CycleCanceler, RefineStats};

@@ -83,7 +83,7 @@ pub mod prelude {
         schedule::{RetrievalOutcome, Schedule, SolveStats},
         session::{RetrievalSession, ReuseCounters, ReusePolicy, SessionOutcome, SessionState},
         solver::RetrievalSolver,
-        spec::{AnySolver, SolverKind, SolverSpec},
+        spec::{AnySolver, ScheduleObjective, SolverKind, SolverSpec},
         workspace::{PoisonedWorkspace, Workspace},
     };
     pub use rds_decluster::{

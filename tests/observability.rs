@@ -381,9 +381,11 @@ fn warm_engine_reuse_is_shard_invariant() {
     let (system, alloc, queries) = reuse_batch();
     let run = |shards: usize| {
         let mut engine = Engine::builder(&system, &alloc)
-            .solver(SolverKind::PushRelabelBinary)
-            .warm_start(true)
-            .cache_capacity(4)
+            .solver_spec(
+                SolverSpec::new(SolverKind::PushRelabelBinary)
+                    .warm_start(true)
+                    .cache_capacity(4),
+            )
             .shards(shards)
             .tracing(1 << 12)
             .build();
