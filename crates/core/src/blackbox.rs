@@ -15,34 +15,72 @@ use crate::error::SolveError;
 use crate::increment::MinCostIncrementer;
 use crate::network::RetrievalInstance;
 use crate::obs::trace::{TraceEvent, Tracer};
+use crate::pr::{budget_work, outcome_with_budget};
 use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
-use crate::workspace::Workspace;
+use crate::workspace::{ArmedBudget, Workspace};
 use rds_flow::ford_fulkerson::ford_fulkerson;
 use rds_flow::graph::FlowGraph;
 use rds_flow::incremental::IncrementalMaxFlow;
+use rds_storage::time::Micros;
 
 /// Runs the binary capacity-scaling driver with a from-scratch max-flow at
 /// every probe and every increment.
+///
+/// Returns `Ok(None)` at the exact optimum, or `Ok(Some(lower_bound))`
+/// when the [`ArmedBudget`] expired and the search was finalized at the
+/// feasible upper bound instead (one extra from-scratch solve).
 fn blackbox_binary<F>(
     inst: &RetrievalInstance,
     g: &mut FlowGraph,
     stats: &mut SolveStats,
     tracer: &mut Tracer,
+    budget: ArmedBudget,
     mut fresh_max_flow: F,
-) -> Result<(), SolveError>
+) -> Result<Option<Micros>, SolveError>
 where
     F: FnMut(&mut FlowGraph, &mut SolveStats, &mut Tracer) -> i64,
 {
     let q = inst.query_size() as i64;
     if q == 0 {
-        return Ok(());
+        return Ok(None);
     }
     // Same warm-started bounds as the integrated driver, so comparisons
     // still isolate flow conservation alone.
     let (mut t_min, mut t_max, min_speed) = inst.tightened_bounds(&mut Vec::new());
 
+    // `t_max` stays feasible throughout the search, so the bail-out can
+    // always finalize there with one more from-scratch solve.
+    #[allow(clippy::too_many_arguments)]
+    fn bail<F>(
+        inst: &RetrievalInstance,
+        g: &mut FlowGraph,
+        stats: &mut SolveStats,
+        tracer: &mut Tracer,
+        fresh_max_flow: &mut F,
+        q: i64,
+        t_lo: Micros,
+        t_hi: Micros,
+    ) -> Result<Option<Micros>, SolveError>
+    where
+        F: FnMut(&mut FlowGraph, &mut SolveStats, &mut Tracer) -> i64,
+    {
+        inst.set_caps_for_budget(g, t_hi);
+        let flow = fresh_max_flow(g, stats, tracer);
+        if flow != q {
+            return Err(SolveError::Infeasible {
+                bucket: None,
+                delivered: flow,
+                required: q,
+            });
+        }
+        Ok(Some(t_lo))
+    }
+
     while t_max - t_min >= min_speed {
+        if budget.expired(budget_work(stats)) {
+            return bail(inst, g, stats, tracer, &mut fresh_max_flow, q, t_min, t_max);
+        }
         let t_mid = t_min.midpoint(t_max);
         inst.set_caps_for_budget(g, t_mid);
         tracer.emit(TraceEvent::ProbeStart { budget: t_mid });
@@ -63,6 +101,11 @@ where
     let mut inc = MinCostIncrementer::new(inst);
     let mut delivered = 0;
     loop {
+        // Incremented capacities never exceed `capacity_within(t_max)`, so
+        // finalizing at the feasible bound is still a pure capacity raise.
+        if budget.expired(budget_work(stats)) {
+            return bail(inst, g, stats, tracer, &mut fresh_max_flow, q, t_min, t_max);
+        }
         let raised = inc.increment(inst, g);
         stats.increments += 1;
         tracer.emit(TraceEvent::CapacityIncrement {
@@ -77,7 +120,7 @@ where
         }
         delivered = fresh_max_flow(g, stats, tracer);
         if delivered == q {
-            return Ok(());
+            return Ok(None);
         }
     }
 }
@@ -97,6 +140,7 @@ impl RetrievalSolver for BlackBoxPushRelabel {
         inst: &RetrievalInstance,
         ws: &mut Workspace,
     ) -> Result<RetrievalOutcome, SolveError> {
+        let budget = ArmedBudget::start(ws.armed_budget());
         ws.begin(inst);
         let mut stats = SolveStats::default();
         let (s, t) = (inst.source(), inst.sink());
@@ -106,6 +150,7 @@ impl RetrievalSolver for BlackBoxPushRelabel {
             &mut ws.graph,
             &mut stats,
             &mut ws.tracer,
+            budget,
             |g, stats, tracer| {
                 stats.maxflow_calls += 1;
                 let (pushes_before, relabels_before) = engine.op_counts();
@@ -118,7 +163,7 @@ impl RetrievalSolver for BlackBoxPushRelabel {
                 flow
             },
         ) {
-            Ok(()) => RetrievalOutcome::try_from_flow(inst, &ws.graph, stats),
+            Ok(bailed) => outcome_with_budget(inst, &ws.graph, stats, bailed, &mut ws.tracer),
             Err(e) => Err(e),
         };
         ws.complete();
@@ -141,6 +186,7 @@ impl RetrievalSolver for BlackBoxFordFulkerson {
         inst: &RetrievalInstance,
         ws: &mut Workspace,
     ) -> Result<RetrievalOutcome, SolveError> {
+        let budget = ArmedBudget::start(ws.armed_budget());
         ws.begin(inst);
         let mut stats = SolveStats::default();
         let (s, t) = (inst.source(), inst.sink());
@@ -149,13 +195,14 @@ impl RetrievalSolver for BlackBoxFordFulkerson {
             &mut ws.graph,
             &mut stats,
             &mut ws.tracer,
+            budget,
             |g, stats, _tracer| {
                 stats.maxflow_calls += 1;
                 g.zero_flows();
                 ford_fulkerson(g, s, t)
             },
         ) {
-            Ok(()) => RetrievalOutcome::try_from_flow(inst, &ws.graph, stats),
+            Ok(bailed) => outcome_with_budget(inst, &ws.graph, stats, bailed, &mut ws.tracer),
             Err(e) => Err(e),
         };
         ws.complete();

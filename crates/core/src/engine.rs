@@ -42,7 +42,7 @@ use crate::obs::trace::{EventKind, TraceEvent};
 use crate::schedule::SolveStats;
 use crate::session::{ReuseCounters, ReusePolicy, SessionOutcome, SessionState};
 use crate::solver::RetrievalSolver;
-use crate::spec::{AnySolver, ScheduleObjective, SolverKind, SolverSpec};
+use crate::spec::{AnySolver, ScheduleObjective, SolveBudget, SolverKind, SolverSpec};
 use crate::workspace::Workspace;
 use rds_decluster::allocation::ReplicaSource;
 use rds_decluster::query::Bucket;
@@ -88,6 +88,35 @@ impl Default for RetryPolicy {
             max_retries: 0,
             backoff: Micros::from_millis(1),
         }
+    }
+}
+
+/// Time source for fault probes during replanning.
+///
+/// Batch runs probe the fault schedule on the *simulated* clock (the
+/// query's arrival plus deterministic backoff steps), so results never
+/// depend on wall time. The real-time serving loop
+/// ([`Engine::serve`](crate::serve)) instead probes the wall clock, so a
+/// disk that recovers *while a query is in flight* is observed by the
+/// retry loop — not only in simulated-clock tests.
+pub(crate) trait ProbeClock: Sync {
+    /// The current time as seen by a query that arrived at `arrival`.
+    /// Virtual clocks return `arrival` itself.
+    fn now(&self, arrival: Micros) -> Micros;
+
+    /// Blocks until `t` (real clocks only; virtual clocks return
+    /// immediately — simulated backoff needs no waiting).
+    fn wait_until(&self, t: Micros) {
+        let _ = t;
+    }
+}
+
+/// The batch-mode clock: time is wherever the query's arrival says it is.
+pub(crate) struct ArrivalClock;
+
+impl ProbeClock for ArrivalClock {
+    fn now(&self, arrival: Micros) -> Micros {
+        arrival
     }
 }
 
@@ -266,16 +295,16 @@ pub struct EngineMetrics {
 
 /// Counters and histograms a shard reports back from one batch run.
 #[derive(Debug, Default, Clone)]
-struct ShardTally {
-    retries: u64,
-    degraded_solves: u64,
-    dropped_buckets: u64,
-    shard_failures: u64,
-    metrics: EngineMetrics,
+pub(crate) struct ShardTally {
+    pub(crate) retries: u64,
+    pub(crate) degraded_solves: u64,
+    pub(crate) dropped_buckets: u64,
+    pub(crate) shard_failures: u64,
+    pub(crate) metrics: EngineMetrics,
 }
 
 impl ShardTally {
-    fn accumulate(&self, stats: &mut EngineStats, metrics: &mut EngineMetrics) {
+    pub(crate) fn accumulate(&self, stats: &mut EngineStats, metrics: &mut EngineMetrics) {
         stats.retries += self.retries;
         stats.degraded_solves += self.degraded_solves;
         stats.dropped_buckets += self.dropped_buckets;
@@ -293,28 +322,28 @@ impl ShardTally {
 /// One worker's slice of the engine: a reusable workspace plus the states
 /// of the streams this shard owns.
 #[derive(Debug, Default)]
-struct Shard {
-    workspace: Workspace,
-    states: HashMap<usize, SessionState>,
+pub(crate) struct Shard {
+    pub(crate) workspace: Workspace,
+    pub(crate) states: HashMap<usize, SessionState>,
     /// Scratch health map, refreshed per query from the fault schedule.
     health: HealthMap,
 }
 
 /// Engine-wide fault handling knobs, shared read-only by every shard.
-struct FaultConfig<'f> {
-    injector: Option<&'f FaultInjector>,
-    retry: RetryPolicy,
-    degraded: bool,
+pub(crate) struct FaultConfig<'f> {
+    pub(crate) injector: Option<&'f FaultInjector>,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) degraded: bool,
 }
 
 /// Read-only context shared by every shard for the duration of one batch.
-struct BatchCtx<'c, A: ?Sized, S: ?Sized> {
-    system: &'c SystemConfig,
-    alloc: &'c A,
-    solver: &'c S,
-    faults: FaultConfig<'c>,
-    reuse: ReusePolicy,
-    objective: ScheduleObjective,
+pub(crate) struct BatchCtx<'c, A: ?Sized, S: ?Sized> {
+    pub(crate) system: &'c SystemConfig,
+    pub(crate) alloc: &'c A,
+    pub(crate) solver: &'c S,
+    pub(crate) faults: FaultConfig<'c>,
+    pub(crate) reuse: ReusePolicy,
+    pub(crate) objective: ScheduleObjective,
 }
 
 /// One shard's batch output: its tally plus `(original_index, result)`
@@ -346,7 +375,9 @@ impl Shard {
             // stream's state is dropped (fresh clock on its next query),
             // everything else in the batch proceeds.
             let started = std::time::Instant::now();
-            let caught = catch_unwind(AssertUnwindSafe(|| self.run_one(ctx, q, &mut tally)));
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                self.run_one(ctx, q, &ArrivalClock, &mut tally)
+            }));
             match caught {
                 Ok(result) => {
                     tally
@@ -377,10 +408,16 @@ impl Shard {
 
     /// Solves one query under the health in force at its arrival, with
     /// bounded replanning and an optional degraded fallback.
-    fn run_one<A: ReplicaSource + ?Sized, S: RetrievalSolver + ?Sized>(
+    ///
+    /// `clock` decides *when* the fault schedule is probed: batch runs use
+    /// [`ArrivalClock`] (pure simulated time — deterministic), the serving
+    /// loop passes its real clock so mid-flight health transitions are
+    /// seen by the retry loop.
+    pub(crate) fn run_one<A: ReplicaSource + ?Sized, S: RetrievalSolver + ?Sized>(
         &mut self,
         ctx: &BatchCtx<'_, A, S>,
         q: &BatchQuery,
+        clock: &dyn ProbeClock,
         tally: &mut ShardTally,
     ) -> Result<SessionOutcome, EngineError> {
         let faults = &ctx.faults;
@@ -390,7 +427,9 @@ impl Shard {
             s
         });
         if let Some(inj) = faults.injector {
-            inj.health_at(q.arrival, &mut self.health);
+            // On a real clock a query observed later than it arrived sees
+            // the *current* health, not the health at arrival.
+            inj.health_at(clock.now(q.arrival).max(q.arrival), &mut self.health);
         } else {
             self.health.reset();
         }
@@ -423,7 +462,14 @@ impl Shard {
             let mut attempt = 0u32;
             while attempt < faults.retry.max_retries && is_infeasible(&result) {
                 attempt += 1;
-                let probe = q.arrival + faults.retry.backoff * attempt as u64;
+                // Probe at the scheduled backoff step or the current real
+                // time, whichever is later. Virtual clocks never wait and
+                // report `arrival`, so batch behavior is unchanged; the
+                // serving loop's real clock sleeps out the backoff (capped
+                // by the query deadline) and sees mid-flight recoveries.
+                let target = q.arrival + faults.retry.backoff * attempt as u64;
+                clock.wait_until(target);
+                let probe = target.max(clock.now(q.arrival));
                 let before = self.health.fingerprint();
                 inj.health_at(probe, &mut self.health);
                 if self.health.fingerprint() == before {
@@ -478,17 +524,18 @@ fn is_infeasible(result: &Result<SessionOutcome, SessionError>) -> bool {
 /// threads, each with a persistent [`Workspace`] and per-stream
 /// [`SessionState`]s.
 pub struct Engine<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> {
-    system: &'a SystemConfig,
-    alloc: &'a A,
-    solver: S,
-    shards: Vec<Shard>,
-    stats: EngineStats,
-    metrics: EngineMetrics,
-    injector: Option<FaultInjector>,
-    retry: RetryPolicy,
-    degraded: bool,
-    reuse: ReusePolicy,
-    objective: ScheduleObjective,
+    pub(crate) system: &'a SystemConfig,
+    pub(crate) alloc: &'a A,
+    pub(crate) solver: S,
+    pub(crate) shards: Vec<Shard>,
+    pub(crate) stats: EngineStats,
+    pub(crate) metrics: EngineMetrics,
+    pub(crate) injector: Option<FaultInjector>,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) degraded: bool,
+    pub(crate) reuse: ReusePolicy,
+    pub(crate) objective: ScheduleObjective,
+    pub(crate) budget: SolveBudget,
 }
 
 /// Step-by-step construction of an [`Engine`] around a [`SolverSpec`] —
@@ -607,6 +654,7 @@ impl<'a, A: ReplicaSource + Sync> EngineBuilder<'a, A> {
         let mut engine = Engine::new(self.system, self.alloc, self.spec.build(), self.shards)
             .with_reuse(self.spec.reuse_policy())
             .with_objective(self.spec.objective)
+            .with_budget(self.spec.budget)
             .with_retry_policy(self.retry)
             .with_degraded_mode(self.degraded);
         if let Some(injector) = self.injector {
@@ -653,7 +701,22 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
             degraded: false,
             reuse: ReusePolicy::default(),
             objective: ScheduleObjective::default(),
+            budget: SolveBudget::UNLIMITED,
         }
+    }
+
+    /// Arms an anytime [`SolveBudget`] in every shard workspace: a solve
+    /// whose budget expires is finalized at the best feasible bound found
+    /// so far instead of running to the exact optimum, with the gap
+    /// reported in [`SolveStats::anytime_gap`](SolveStats). The serving
+    /// loop further tightens the armed budget per query from its SLA
+    /// deadline.
+    pub fn with_budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = budget;
+        for shard in &mut self.shards {
+            shard.workspace.arm_budget(budget);
+        }
+        self
     }
 
     /// Sets the cross-query reuse policy applied to every stream: warm

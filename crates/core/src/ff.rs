@@ -20,9 +20,28 @@ use crate::error::SolveError;
 use crate::increment::MinCostIncrementer;
 use crate::network::RetrievalInstance;
 use crate::obs::trace::TraceEvent;
+use crate::pr::{budget_work, outcome_with_budget};
 use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
-use crate::workspace::Workspace;
+use crate::workspace::{ArmedBudget, Workspace};
+use rds_flow::graph::FlowGraph;
+use rds_storage::time::Micros;
+
+/// Anytime bail-out shared by both Ford-Fulkerson solvers: raises every
+/// disk-edge capacity to `capacity_within(t_max)` of the greedy feasible
+/// upper bound (never lowering a capacity), after which every remaining
+/// per-bucket augment succeeds without further increments. Returns the
+/// lower bound to report the optimality gap against.
+fn ff_bail_caps(inst: &RetrievalInstance, g: &mut FlowGraph) -> Micros {
+    let (t_lo, t_hi, _) = inst.tightened_bounds(&mut Vec::new());
+    for (j, &e) in inst.disk_edges.iter().enumerate() {
+        let cap = inst.disks[j].capacity_within(t_hi) as i64;
+        if cap > g.cap(e) {
+            g.set_cap(e, cap);
+        }
+    }
+    t_lo
+}
 
 /// Algorithm 1: integrated Ford-Fulkerson for the **basic** retrieval
 /// problem (homogeneous unloaded disks).
@@ -55,6 +74,7 @@ impl RetrievalSolver for FordFulkersonBasic {
             });
         }
 
+        let budget = ArmedBudget::start(ws.armed_budget());
         ws.begin(inst);
         let g = &mut ws.graph;
         let mut stats = SolveStats::default();
@@ -75,11 +95,15 @@ impl RetrievalSolver for FordFulkersonBasic {
 
         let s = inst.source();
         let t = inst.sink();
+        let mut bailed: Option<Micros> = None;
         for i in 0..q {
             // The source edge of bucket i is pre-assigned flow 1.
             g.push(inst.bucket_edges[i], 1);
             let from = inst.bucket_vertex(i);
             loop {
+                if bailed.is_none() && budget.expired(budget_work(&stats)) {
+                    bailed = Some(ff_bail_caps(inst, g));
+                }
                 stats.dfs_calls += 1;
                 if ws.search.dfs_augment_avoiding(g, from, t, Some(s)) > 0 {
                     ws.tracer.emit(TraceEvent::Augment { bucket: i as u32 });
@@ -96,7 +120,7 @@ impl RetrievalSolver for FordFulkersonBasic {
             }
         }
         debug_assert_eq!(g.net_inflow(t) as usize, q);
-        let result = RetrievalOutcome::try_from_flow(inst, g, stats);
+        let result = outcome_with_budget(inst, &ws.graph, stats, bailed, &mut ws.tracer);
         ws.complete();
         result
     }
@@ -117,6 +141,7 @@ impl RetrievalSolver for FordFulkersonIncremental {
         inst: &RetrievalInstance,
         ws: &mut Workspace,
     ) -> Result<RetrievalOutcome, SolveError> {
+        let budget = ArmedBudget::start(ws.armed_budget());
         ws.begin(inst);
         let g = &mut ws.graph;
         let mut stats = SolveStats::default();
@@ -132,10 +157,14 @@ impl RetrievalSolver for FordFulkersonIncremental {
         let s = inst.source();
         let t = inst.sink();
         let mut inc = MinCostIncrementer::new(inst);
+        let mut bailed: Option<Micros> = None;
         for i in 0..q {
             g.push(inst.bucket_edges[i], 1);
             let from = inst.bucket_vertex(i);
             loop {
+                if bailed.is_none() && budget.expired(budget_work(&stats)) {
+                    bailed = Some(ff_bail_caps(inst, g));
+                }
                 stats.dfs_calls += 1;
                 if ws.search.dfs_augment_avoiding(g, from, t, Some(s)) > 0 {
                     ws.tracer.emit(TraceEvent::Augment { bucket: i as u32 });
@@ -158,7 +187,7 @@ impl RetrievalSolver for FordFulkersonIncremental {
             }
         }
         debug_assert_eq!(g.net_inflow(t) as usize, q);
-        let result = RetrievalOutcome::try_from_flow(inst, g, stats);
+        let result = outcome_with_budget(inst, &ws.graph, stats, bailed, &mut ws.tracer);
         ws.complete();
         result
     }

@@ -43,6 +43,11 @@ impl MinCostIncrementer {
     /// number of edges incremented (0 when no disk remains eligible) —
     /// callers report it as
     /// [`crate::obs::trace::TraceEvent::CapacityIncrement`].
+    ///
+    /// Capacities are re-read from the graph on every step, so the driver
+    /// tolerates callers raising capacities out of band between steps (the
+    /// anytime bail-out jumps them to a feasible bound) — a step never
+    /// lowers a capacity.
     pub fn increment(&mut self, inst: &RetrievalInstance, g: &mut FlowGraph) -> usize {
         // Drop saturated disks (Algorithm 3 lines 3-5).
         self.active

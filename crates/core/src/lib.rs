@@ -64,6 +64,7 @@ pub mod pr;
 pub mod prelude;
 pub(crate) mod refine;
 pub mod schedule;
+pub mod serve;
 pub mod session;
 pub mod solver;
 pub mod spec;
@@ -81,7 +82,11 @@ pub use network::RetrievalInstance;
 pub use obs::metrics::{Histogram, LatencySummary, MetricsRegistry};
 pub use obs::trace::{EventKind, Recorder, TraceEvent, TraceSink, Tracer};
 pub use schedule::{RetrievalOutcome, Schedule, SolveStats};
+pub use serve::{
+    PriorityClass, QueryRequest, Rejected, ServeClock, ServeConfig, ServeError, ServeHandle,
+    ServeReport, ServeResponse, ServeStats, Ticket,
+};
 pub use session::{RetrievalSession, ReuseCounters, ReusePolicy, SessionOutcome, SessionState};
 pub use solver::RetrievalSolver;
-pub use spec::{AnySolver, ScheduleObjective, SolverKind, SolverSpec};
+pub use spec::{AnySolver, ScheduleObjective, SolveBudget, SolverKind, SolverSpec};
 pub use workspace::{PoisonedWorkspace, Workspace};

@@ -119,6 +119,16 @@ pub enum TraceEvent {
         /// Residual arcs flow was pushed along while canceling.
         moved: u32,
     },
+    /// An anytime [`SolveBudget`](crate::spec::SolveBudget) expired
+    /// mid-solve; the solver finalized the best feasible schedule known
+    /// instead of continuing to the exact optimum.
+    BudgetExpired {
+        /// Response time of the schedule actually served.
+        achieved: Micros,
+        /// Tightest known lower bound on the optimal response time at
+        /// expiry (`achieved - lower_bound` bounds the optimality gap).
+        lower_bound: Micros,
+    },
 }
 
 /// Coarse classification of [`TraceEvent`]s, used for per-kind counting.
@@ -151,11 +161,13 @@ pub enum EventKind {
     CacheHit,
     /// [`TraceEvent::RefinePass`]
     RefinePass,
+    /// [`TraceEvent::BudgetExpired`]
+    BudgetExpired,
 }
 
 impl EventKind {
     /// Number of kinds (size of a per-kind counter array).
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     /// Every kind, in discriminant order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -172,6 +184,7 @@ impl EventKind {
         EventKind::DeltaPatch,
         EventKind::CacheHit,
         EventKind::RefinePass,
+        EventKind::BudgetExpired,
     ];
 
     /// Stable snake_case name (used in reports and Prometheus labels).
@@ -190,6 +203,7 @@ impl EventKind {
             EventKind::DeltaPatch => "delta_patch",
             EventKind::CacheHit => "cache_hit",
             EventKind::RefinePass => "refine_pass",
+            EventKind::BudgetExpired => "budget_expired",
         }
     }
 }
@@ -211,6 +225,7 @@ impl TraceEvent {
             TraceEvent::DeltaPatch { .. } => EventKind::DeltaPatch,
             TraceEvent::CacheHit { .. } => EventKind::CacheHit,
             TraceEvent::RefinePass { .. } => EventKind::RefinePass,
+            TraceEvent::BudgetExpired { .. } => EventKind::BudgetExpired,
         }
     }
 }
@@ -569,6 +584,10 @@ mod tests {
             TraceEvent::RefinePass {
                 cycles: 0,
                 moved: 0,
+            },
+            TraceEvent::BudgetExpired {
+                achieved: Micros::ZERO,
+                lower_bound: Micros::ZERO,
             },
         ];
         for (e, k) in events.iter().zip(EventKind::ALL) {

@@ -9,10 +9,10 @@
 
 use crate::error::SolveError;
 use crate::network::RetrievalInstance;
-use crate::pr::{binary_scaling_integrated, warm_integrated};
+use crate::pr::{binary_scaling_integrated, outcome_with_budget, warm_integrated};
 use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
-use crate::workspace::Workspace;
+use crate::workspace::{ArmedBudget, Workspace};
 
 /// Multithreaded Algorithm 6 (the paper evaluates 2 threads).
 #[derive(Clone, Copy, Debug)]
@@ -46,6 +46,7 @@ impl RetrievalSolver for ParallelPushRelabelBinary {
         inst: &RetrievalInstance,
         ws: &mut Workspace,
     ) -> Result<RetrievalOutcome, SolveError> {
+        let budget = ArmedBudget::start(ws.armed_budget());
         ws.begin(inst);
         let mut stats = SolveStats::default();
         let (g, engine, stored_flows, stored_excess, tracer) = ws.parallel_parts(self.threads);
@@ -57,8 +58,9 @@ impl RetrievalSolver for ParallelPushRelabelBinary {
             stored_flows,
             stored_excess,
             tracer,
+            budget,
         ) {
-            Ok(()) => RetrievalOutcome::try_from_flow(inst, g, stats),
+            Ok(bailed) => outcome_with_budget(inst, g, stats, bailed, tracer),
             Err(e) => Err(e),
         };
         ws.complete();
@@ -74,6 +76,7 @@ impl RetrievalSolver for ParallelPushRelabelBinary {
         inst: &RetrievalInstance,
         ws: &mut Workspace,
     ) -> Result<RetrievalOutcome, SolveError> {
+        let budget = ArmedBudget::start(ws.armed_budget());
         let mut stats = SolveStats::default();
         let result = match ws.warm_parallel_parts(inst, self.threads) {
             None => {
@@ -82,8 +85,10 @@ impl RetrievalSolver for ParallelPushRelabelBinary {
                 })
             }
             Some((g, engine, scratch, changed, tracer)) => {
-                match warm_integrated(engine, inst, g, &mut stats, scratch, changed, tracer, true) {
-                    Ok(()) => RetrievalOutcome::try_from_flow(inst, g, stats),
+                match warm_integrated(
+                    engine, inst, g, &mut stats, scratch, changed, tracer, true, budget,
+                ) {
+                    Ok(bailed) => outcome_with_budget(inst, g, stats, bailed, tracer),
                     Err(e) => Err(e),
                 }
             }

@@ -19,7 +19,7 @@ use crate::network::RetrievalInstance;
 use crate::obs::trace::{TraceEvent, Tracer};
 use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
-use crate::workspace::Workspace;
+use crate::workspace::{ArmedBudget, Workspace};
 use rds_flow::graph::FlowGraph;
 use rds_flow::incremental::{cancel_path, retarget_capacity, IncrementalMaxFlow};
 use rds_storage::time::Micros;
@@ -39,6 +39,7 @@ impl RetrievalSolver for PushRelabelIncremental {
         inst: &RetrievalInstance,
         ws: &mut Workspace,
     ) -> Result<RetrievalOutcome, SolveError> {
+        let budget = ArmedBudget::start(ws.armed_budget());
         ws.begin(inst);
         let mut stats = SolveStats::default();
         let result = match incremental_phase(
@@ -47,8 +48,10 @@ impl RetrievalSolver for PushRelabelIncremental {
             &mut ws.graph,
             &mut stats,
             &mut ws.tracer,
+            budget,
+            None,
         ) {
-            Ok(()) => RetrievalOutcome::try_from_flow(inst, &ws.graph, stats),
+            Ok(bailed) => outcome_with_budget(inst, &ws.graph, stats, bailed, &mut ws.tracer),
             Err(e) => Err(e),
         };
         ws.complete();
@@ -64,6 +67,7 @@ impl RetrievalSolver for PushRelabelIncremental {
         inst: &RetrievalInstance,
         ws: &mut Workspace,
     ) -> Result<RetrievalOutcome, SolveError> {
+        let budget = ArmedBudget::start(ws.armed_budget());
         if !ws.begin_warm(inst) {
             return Err(SolveError::DeltaUnsupported {
                 solver: self.name(),
@@ -79,8 +83,9 @@ impl RetrievalSolver for PushRelabelIncremental {
             &ws.warm_changed,
             &mut ws.tracer,
             false,
+            budget,
         ) {
-            Ok(()) => RetrievalOutcome::try_from_flow(inst, &ws.graph, stats),
+            Ok(bailed) => outcome_with_budget(inst, &ws.graph, stats, bailed, &mut ws.tracer),
             Err(e) => Err(e),
         };
         ws.complete();
@@ -103,6 +108,7 @@ impl RetrievalSolver for PushRelabelBinary {
         inst: &RetrievalInstance,
         ws: &mut Workspace,
     ) -> Result<RetrievalOutcome, SolveError> {
+        let budget = ArmedBudget::start(ws.armed_budget());
         ws.begin(inst);
         let mut stats = SolveStats::default();
         let result = match binary_scaling_integrated(
@@ -113,8 +119,9 @@ impl RetrievalSolver for PushRelabelBinary {
             &mut ws.stored_flows,
             &mut ws.stored_excess,
             &mut ws.tracer,
+            budget,
         ) {
-            Ok(()) => RetrievalOutcome::try_from_flow(inst, &ws.graph, stats),
+            Ok(bailed) => outcome_with_budget(inst, &ws.graph, stats, bailed, &mut ws.tracer),
             Err(e) => Err(e),
         };
         ws.complete();
@@ -130,6 +137,7 @@ impl RetrievalSolver for PushRelabelBinary {
         inst: &RetrievalInstance,
         ws: &mut Workspace,
     ) -> Result<RetrievalOutcome, SolveError> {
+        let budget = ArmedBudget::start(ws.armed_budget());
         if !ws.begin_warm(inst) {
             return Err(SolveError::DeltaUnsupported {
                 solver: self.name(),
@@ -145,8 +153,9 @@ impl RetrievalSolver for PushRelabelBinary {
             &ws.warm_changed,
             &mut ws.tracer,
             true,
+            budget,
         ) {
-            Ok(()) => RetrievalOutcome::try_from_flow(inst, &ws.graph, stats),
+            Ok(bailed) => outcome_with_budget(inst, &ws.graph, stats, bailed, &mut ws.tracer),
             Err(e) => Err(e),
         };
         ws.complete();
@@ -154,18 +163,62 @@ impl RetrievalSolver for PushRelabelBinary {
     }
 }
 
+/// Attaches the anytime bookkeeping to a finished solve: when the driver
+/// bailed out on an expired budget (`bailed = Some(lower_bound)`), the
+/// gap between the achieved response time and that lower bound lands in
+/// [`SolveStats`] and a [`TraceEvent::BudgetExpired`] is emitted. The
+/// flow must retrieve every bucket in both cases — budget bail-outs
+/// finalize at a known-feasible budget, never with a partial flow.
+pub(crate) fn outcome_with_budget(
+    inst: &RetrievalInstance,
+    g: &FlowGraph,
+    stats: SolveStats,
+    bailed: Option<Micros>,
+    tracer: &mut Tracer,
+) -> Result<RetrievalOutcome, SolveError> {
+    let mut outcome = RetrievalOutcome::try_from_flow(inst, g, stats)?;
+    if let Some(lower) = bailed {
+        outcome.stats.budget_expirations = 1;
+        outcome.stats.anytime_gap = outcome.response_time.saturating_sub(lower);
+        tracer.emit(TraceEvent::BudgetExpired {
+            achieved: outcome.response_time,
+            lower_bound: lower,
+        });
+    }
+    Ok(outcome)
+}
+
+/// Probe-scale work performed so far — the deterministic step count an
+/// [`ArmedBudget`] probe limit is checked against. Binary-search probes,
+/// capacity increments and augmenting-path searches all count equally.
+#[inline]
+pub(crate) fn budget_work(stats: &SolveStats) -> u64 {
+    stats.probes + stats.increments + stats.dfs_calls
+}
+
 /// The incremental phase (Algorithm 5): alternate `IncrementMinCost` and a
 /// flow-conserving resume until the sink's excess reaches `|Q|`.
+///
+/// Anytime mode: when `budget` expires mid-phase, the disk capacities are
+/// raised straight to the feasible upper bound `t_max` (from `bounds`, or
+/// freshly tightened greedy bounds when the caller had none) and one final
+/// resume completes the flow there. Capacities only ever *rise* on this
+/// path — the incremental caps never exceed `capacity_within(t*)` and
+/// `t* ≤ t_max` — so the live preflow stays valid. Returns
+/// `Ok(Some(lower_bound))` for such a bail-out, `Ok(None)` for a run to
+/// the exact optimum.
 pub(crate) fn incremental_phase<E: IncrementalMaxFlow>(
     engine: &mut E,
     inst: &RetrievalInstance,
     g: &mut FlowGraph,
     stats: &mut SolveStats,
     tracer: &mut Tracer,
-) -> Result<(), SolveError> {
+    budget: ArmedBudget,
+    bounds: Option<(Micros, Micros)>,
+) -> Result<Option<Micros>, SolveError> {
     let q = inst.query_size() as i64;
     if q == 0 {
-        return Ok(());
+        return Ok(None);
     }
     let (s, t) = (inst.source(), inst.sink());
     let mut inc = MinCostIncrementer::new(inst);
@@ -173,6 +226,22 @@ pub(crate) fn incremental_phase<E: IncrementalMaxFlow>(
     // binary phase lands exactly on the optimum's predecessor); probe once
     // before incrementing only if flow is already recorded.
     while engine.excess(t) != q {
+        if budget.expired(budget_work(stats)) {
+            let (t_lo, t_hi) = bounds.unwrap_or_else(|| {
+                let (lo, hi, _) = inst.tightened_bounds(&mut Vec::new());
+                (lo, hi)
+            });
+            inst.set_caps_for_budget(g, t_hi);
+            let flow = resume_traced(engine, g, s, t, stats, tracer);
+            if flow != q {
+                return Err(SolveError::Infeasible {
+                    bucket: None,
+                    delivered: flow,
+                    required: q,
+                });
+            }
+            return Ok(Some(t_lo));
+        }
         let raised = inc.increment(inst, g);
         stats.increments += 1;
         tracer.emit(TraceEvent::CapacityIncrement {
@@ -187,7 +256,7 @@ pub(crate) fn incremental_phase<E: IncrementalMaxFlow>(
         }
         resume_traced(engine, g, s, t, stats, tracer);
     }
-    Ok(())
+    Ok(None)
 }
 
 /// One flow-conserving resume with its push/relabel work attributed: the
@@ -216,6 +285,7 @@ fn resume_traced<E: IncrementalMaxFlow>(
 /// `stored_flows`/`stored_excess` buffers hold the `StoreFlows` rollback
 /// state; passing them in (from a [`Workspace`]) makes the per-probe
 /// snapshots allocation-free.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn binary_scaling_integrated<E: IncrementalMaxFlow>(
     engine: &mut E,
     inst: &RetrievalInstance,
@@ -224,10 +294,11 @@ pub(crate) fn binary_scaling_integrated<E: IncrementalMaxFlow>(
     stored_flows: &mut Vec<i64>,
     stored_excess: &mut Vec<i64>,
     tracer: &mut Tracer,
-) -> Result<(), SolveError> {
+    budget: ArmedBudget,
+) -> Result<Option<Micros>, SolveError> {
     let q = inst.query_size() as i64;
     if q == 0 {
-        return Ok(());
+        return Ok(None);
     }
     let (s, t) = (inst.source(), inst.sink());
     let n = g.num_vertices();
@@ -243,6 +314,23 @@ pub(crate) fn binary_scaling_integrated<E: IncrementalMaxFlow>(
     stored_excess.resize(n, 0);
 
     while t_max - t_min >= min_speed {
+        // Anytime bail-out. At the loop top the live flow equals the last
+        // failed-probe snapshot, whose per-edge flow never exceeds
+        // `capacity_within(t_max)` (failed probes sit strictly below
+        // `t_max`), so raising the caps to the known-feasible `t_max` and
+        // resuming once completes the flow there.
+        if budget.expired(budget_work(stats)) {
+            inst.set_caps_for_budget(g, t_max);
+            let flow = resume_traced(engine, g, s, t, stats, tracer);
+            if flow != q {
+                return Err(SolveError::Infeasible {
+                    bucket: None,
+                    delivered: flow,
+                    required: q,
+                });
+            }
+            return Ok(Some(t_min));
+        }
         let t_mid = t_min.midpoint(t_max);
         inst.set_caps_for_budget(g, t_mid);
         tracer.emit(TraceEvent::ProbeStart { budget: t_mid });
@@ -273,7 +361,7 @@ pub(crate) fn binary_scaling_integrated<E: IncrementalMaxFlow>(
     g.restore_flows(stored_flows);
     engine.restore_excess(stored_excess);
     inst.set_caps_for_budget(g, t_min);
-    incremental_phase(engine, inst, g, stats, tracer)
+    incremental_phase(engine, inst, g, stats, tracer, budget, Some((t_min, t_max)))
 }
 
 /// Cancels the warm flow unit of every bucket slot whose identity changed
@@ -346,7 +434,8 @@ pub(crate) fn warm_integrated<E: IncrementalMaxFlow>(
     changed: &[usize],
     tracer: &mut Tracer,
     binary: bool,
-) -> Result<(), SolveError> {
+    budget: ArmedBudget,
+) -> Result<Option<Micros>, SolveError> {
     let cancelled = cancel_stale_units(engine, inst, g, changed);
     tracer.emit(TraceEvent::DeltaPatch {
         changed: changed.len() as u32,
@@ -354,12 +443,27 @@ pub(crate) fn warm_integrated<E: IncrementalMaxFlow>(
     });
     let q = inst.query_size() as i64;
     if q == 0 {
-        return Ok(());
+        return Ok(None);
     }
     let (s, t) = (inst.source(), inst.sink());
     let (mut t_min, mut t_max, min_speed) = inst.tightened_bounds(scratch);
     if binary {
         while t_max - t_min >= min_speed {
+            // Anytime bail-out: retarget straight to the known-feasible
+            // upper bound (the retarget drains any flow a lower previous
+            // probe cap orphans) and resume once to complete the flow.
+            if budget.expired(budget_work(stats)) {
+                retarget_caps(engine, inst, g, t_max);
+                let flow = resume_traced(engine, g, s, t, stats, tracer);
+                if flow != q {
+                    return Err(SolveError::Infeasible {
+                        bucket: None,
+                        delivered: flow,
+                        required: q,
+                    });
+                }
+                return Ok(Some(t_min));
+            }
             let t_mid = t_min.midpoint(t_max);
             retarget_caps(engine, inst, g, t_mid);
             tracer.emit(TraceEvent::ProbeStart { budget: t_mid });
@@ -380,7 +484,7 @@ pub(crate) fn warm_integrated<E: IncrementalMaxFlow>(
     // trivially low) and let the incremental phase find the exact optimum,
     // exactly as the cold driver does after its final rollback.
     retarget_caps(engine, inst, g, t_min);
-    incremental_phase(engine, inst, g, stats, tracer)
+    incremental_phase(engine, inst, g, stats, tracer, budget, Some((t_min, t_max)))
 }
 
 #[cfg(test)]

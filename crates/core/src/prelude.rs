@@ -25,9 +25,13 @@ pub use crate::network::RetrievalInstance;
 pub use crate::obs::metrics::{Histogram, LatencySummary, MetricsRegistry};
 pub use crate::obs::trace::{EventKind, Recorder, TraceEvent, Tracer};
 pub use crate::schedule::{RetrievalOutcome, Schedule, SolveStats};
+pub use crate::serve::{
+    PriorityClass, QueryRequest, Rejected, ServeClock, ServeConfig, ServeError, ServeHandle,
+    ServeReport, ServeResponse, ServeStats, Ticket,
+};
 pub use crate::session::{
     RetrievalSession, ReuseCounters, ReusePolicy, SessionOutcome, SessionState,
 };
 pub use crate::solver::RetrievalSolver;
-pub use crate::spec::{AnySolver, ScheduleObjective, SolverKind, SolverSpec};
+pub use crate::spec::{AnySolver, ScheduleObjective, SolveBudget, SolverKind, SolverSpec};
 pub use crate::workspace::{PoisonedWorkspace, Workspace};

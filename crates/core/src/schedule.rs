@@ -189,6 +189,16 @@ pub struct SolveStats {
     /// Negative-cycle searches run while refining, including the final
     /// search that proves the schedule cycle-optimal.
     pub refine_searches: u64,
+    /// Solves cut short by an expired [`SolveBudget`](crate::spec::SolveBudget)
+    /// (0 or 1 per solve; summed across solves by [`SolveStats::accumulate`]).
+    pub budget_expirations: u64,
+    /// Upper bound on the achieved-vs-optimal response-time gap of an
+    /// anytime solve: achieved response time minus the tightest known
+    /// lower bound on the optimum at expiry. [`Micros::ZERO`] when the
+    /// solve ran to completion (the result is exactly optimal).
+    /// Aggregated by `max` in [`SolveStats::accumulate`] — a rollup
+    /// reports the worst gap of any constituent solve.
+    pub anytime_gap: Micros,
 }
 
 impl SolveStats {
@@ -206,6 +216,8 @@ impl SolveStats {
         self.refine_cycles += other.refine_cycles;
         self.refine_moved += other.refine_moved;
         self.refine_searches += other.refine_searches;
+        self.budget_expirations += other.budget_expirations;
+        self.anytime_gap = self.anytime_gap.max(other.anytime_gap);
     }
 }
 

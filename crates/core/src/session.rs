@@ -691,6 +691,22 @@ impl<'a, A: ReplicaSource, S: RetrievalSolver> RetrievalSession<'a, A, S> {
         self
     }
 
+    /// Sets the anytime [`SolveBudget`](crate::spec::SolveBudget) armed
+    /// for every subsequent submit. An expired budget finalizes the solve
+    /// at the best feasible bound found so far instead of running to the
+    /// exact optimum — the gap is reported in
+    /// [`SolveStats::anytime_gap`](crate::schedule::SolveStats::anytime_gap).
+    /// Chainable at construction time; defaults to unlimited.
+    pub fn budget(mut self, budget: crate::spec::SolveBudget) -> Self {
+        self.workspace.arm_budget(budget);
+        self
+    }
+
+    /// Replaces the armed solve budget mid-session.
+    pub fn set_budget(&mut self, budget: crate::spec::SolveBudget) {
+        self.workspace.arm_budget(budget);
+    }
+
     /// Reuse effectiveness counters accumulated so far.
     pub fn reuse_counters(&self) -> ReuseCounters {
         self.state.reuse_counters()

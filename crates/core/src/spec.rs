@@ -19,6 +19,66 @@ use crate::pr::{PushRelabelBinary, PushRelabelIncremental};
 use crate::schedule::RetrievalOutcome;
 use crate::solver::RetrievalSolver;
 use crate::workspace::Workspace;
+use std::time::Duration;
+
+/// An *anytime* solve budget: limits on how long one solve may run.
+///
+/// Solvers check the budget at probe-scale boundaries (binary-search
+/// probes, capacity-increment steps, augmenting-path searches). When it
+/// expires mid-solve they stop refining, finalize the best feasible
+/// schedule currently known (the greedy upper bound `t_max`, tightened by
+/// every feasible probe so far), and report the remaining
+/// achieved-vs-optimal gap in
+/// [`SolveStats::anytime_gap`](crate::schedule::SolveStats::anytime_gap)
+/// plus a [`TraceEvent::BudgetExpired`](crate::obs::trace::TraceEvent::BudgetExpired).
+/// An expired budget therefore still yields a complete, feasible — just
+/// possibly sub-optimal — schedule; it never fails the solve.
+///
+/// The default budget is unlimited, and an unlimited budget is
+/// guaranteed bit-identical to pre-budget behaviour: no clock is read
+/// and no extra work is done.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct SolveBudget {
+    /// Wall-clock limit for one solve (`None` = unlimited). Checked with
+    /// a monotonic clock at probe boundaries, so overshoot is bounded by
+    /// one probe's work.
+    pub wall_clock: Option<Duration>,
+    /// Limit on probe-scale solver steps — binary-search probes,
+    /// capacity increments and augmenting-path searches all count
+    /// (`None` = unlimited). Deterministic, unlike wall-clock limits:
+    /// the same instance and limit always expire at the same point.
+    pub max_probes: Option<u64>,
+}
+
+impl SolveBudget {
+    /// No limits (the default): solves run to the exact optimum.
+    pub const UNLIMITED: SolveBudget = SolveBudget {
+        wall_clock: None,
+        max_probes: None,
+    };
+
+    /// An unlimited budget.
+    pub fn unlimited() -> SolveBudget {
+        SolveBudget::UNLIMITED
+    }
+
+    /// Limits wall-clock time per solve.
+    pub fn with_wall_clock(mut self, limit: Duration) -> SolveBudget {
+        self.wall_clock = Some(limit);
+        self
+    }
+
+    /// Limits probe-scale solver steps per solve.
+    pub fn with_max_probes(mut self, limit: u64) -> SolveBudget {
+        self.max_probes = Some(limit);
+        self
+    }
+
+    /// True when neither limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.wall_clock.is_none() && self.max_probes.is_none()
+    }
+}
 
 /// Names one of the seven retrieval algorithms.
 ///
@@ -160,6 +220,9 @@ pub struct SolverSpec {
     pub cache_capacity: usize,
     /// Which response-time-optimal schedule to return.
     pub objective: ScheduleObjective,
+    /// Anytime budget applied to every solve ([`SolveBudget::UNLIMITED`]
+    /// by default — exact optimum, pre-budget behaviour).
+    pub budget: SolveBudget,
 }
 
 impl SolverSpec {
@@ -172,6 +235,7 @@ impl SolverSpec {
             warm_start: false,
             cache_capacity: 0,
             objective: ScheduleObjective::FirstFeasible,
+            budget: SolveBudget::UNLIMITED,
         }
     }
 
@@ -199,6 +263,12 @@ impl SolverSpec {
         self
     }
 
+    /// Sets the anytime solve budget.
+    pub fn budget(mut self, budget: SolveBudget) -> SolverSpec {
+        self.budget = budget;
+        self
+    }
+
     /// Sets both reuse knobs from a [`ReusePolicy`](crate::session::ReusePolicy).
     pub fn reuse(mut self, policy: crate::session::ReusePolicy) -> SolverSpec {
         self.warm_start = policy.warm_start;
@@ -221,6 +291,7 @@ impl SolverSpec {
     /// the engine refine in their own reusable workspaces.
     pub fn solve(&self, instance: &RetrievalInstance) -> Result<RetrievalOutcome, SolveError> {
         let mut ws = Workspace::new();
+        ws.arm_budget(self.budget);
         let mut outcome = self.build().solve_in(instance, &mut ws)?;
         crate::refine::refine_in(self.objective, instance, &mut ws, &mut outcome)?;
         Ok(outcome)

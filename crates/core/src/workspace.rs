@@ -16,11 +16,13 @@
 
 use crate::network::RetrievalInstance;
 use crate::obs::trace::{TraceEvent, TraceSink, Tracer};
+use crate::spec::SolveBudget;
 use rds_flow::ford_fulkerson::AugmentingPath;
 use rds_flow::graph::FlowGraph;
 use rds_flow::incremental::IncrementalMaxFlow;
 use rds_flow::parallel::ParallelPushRelabel;
 use rds_flow::push_relabel::PushRelabel;
+use std::time::Instant;
 
 /// Reusable buffers and engine state shared by all solvers.
 #[derive(Debug)]
@@ -56,6 +58,9 @@ pub struct Workspace {
     /// Min-cost refinement scratch (cycle canceler + cost vectors); see
     /// [`crate::refine`].
     pub(crate) refine: crate::refine::RefineScratch,
+    /// Anytime budget applied to every solve run in this workspace (see
+    /// [`Workspace::arm_budget`]); unlimited by default.
+    budget: SolveBudget,
     /// Set while a solve is in flight; a solve that unwinds (panics) never
     /// clears it, marking the scratch state as suspect. See
     /// [`Workspace::take_poisoned`].
@@ -106,6 +111,7 @@ impl Workspace {
             warm_changed: Vec::new(),
             warm_staged: false,
             refine: crate::refine::RefineScratch::default(),
+            budget: SolveBudget::UNLIMITED,
             poisoned: false,
             solves: 0,
             hw_vertices: 0,
@@ -177,6 +183,62 @@ impl Workspace {
         self.solves
     }
 
+    /// Sets the anytime [`SolveBudget`] applied to every subsequent solve
+    /// in this workspace (until re-armed). Wall-clock limits start
+    /// counting at each solve's entry, not at arming time.
+    pub fn arm_budget(&mut self, budget: SolveBudget) {
+        self.budget = budget;
+    }
+
+    /// The currently armed budget.
+    pub fn armed_budget(&self) -> SolveBudget {
+        self.budget
+    }
+}
+
+/// A [`SolveBudget`] materialized at solve entry: the wall-clock limit
+/// becomes an absolute deadline, the probe limit a work ceiling. Solvers
+/// copy one out of the workspace before split-borrowing its parts and
+/// poll [`ArmedBudget::expired`] at probe-scale boundaries.
+///
+/// When the budget is unlimited, `expired` never reads a clock — an
+/// unbudgeted solve is bit-identical (and branch-for-branch equal) to
+/// pre-budget behaviour.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ArmedBudget {
+    deadline: Option<Instant>,
+    max_work: Option<u64>,
+}
+
+impl ArmedBudget {
+    /// Arms `budget` now: wall-clock limits anchor to the current instant.
+    pub(crate) fn start(budget: SolveBudget) -> ArmedBudget {
+        ArmedBudget {
+            deadline: budget.wall_clock.map(|d| Instant::now() + d),
+            max_work: budget.max_probes,
+        }
+    }
+
+    /// True when `work` probe-scale steps exhaust the budget or the
+    /// wall-clock deadline has passed. The clock is read only when a
+    /// deadline exists.
+    #[inline]
+    pub(crate) fn expired(&self, work: u64) -> bool {
+        if let Some(limit) = self.max_work {
+            if work >= limit {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Workspace {
     /// Whether the last solve unwound without completing.
     pub fn is_poisoned(&self) -> bool {
         self.poisoned

@@ -65,6 +65,14 @@ impl BoundedQueue {
     }
 
     /// Enqueues `value`; `Err(value)` if the queue is full.
+    ///
+    /// "Full" is the ring's lap-behind check (`seq < pos`), not an
+    /// occupancy count: a consumer that claimed a slot but has not yet
+    /// released it makes a push that laps the ring fail even though
+    /// fewer than `capacity` values are logically enqueued. Callers that
+    /// bound occupancy externally (one slot per key) must therefore
+    /// treat `Err` as transient and retry — the stalled consumer's
+    /// release store always lands.
     pub fn push(&self, value: u32) -> Result<(), u32> {
         let mut pos = self.tail.load(Ordering::Relaxed);
         loop {
@@ -154,6 +162,46 @@ mod tests {
             assert_eq!(q.pop(), Some(lap));
             assert_eq!(q.pop(), Some(lap + 1000));
         }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_err_is_transient_at_full_occupancy() {
+        // Rotation at exactly `capacity` resident values: each thread
+        // pops one value and pushes it straight back, so every push
+        // races the ring's lap-behind full check against consumers that
+        // are mid-claim. `Err` must always clear on retry — this is the
+        // contract the parallel push-relabel engine relies on instead of
+        // panicking (a panicking worker used to livelock its peers).
+        let q = Arc::new(BoundedQueue::with_capacity(4));
+        for v in 0..4 {
+            q.push(v).unwrap();
+        }
+        let rotated = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let q = Arc::clone(&q);
+                let rotated = Arc::clone(&rotated);
+                s.spawn(move || {
+                    for _ in 0..50_000 {
+                        if let Some(v) = q.pop() {
+                            let mut spins = 0u64;
+                            while q.push(v).is_err() {
+                                spins += 1;
+                                assert!(spins < 1_000_000_000, "push never cleared");
+                                std::hint::spin_loop();
+                            }
+                            rotated.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(rotated.load(Ordering::Relaxed) > 0);
+        // All four values survive the churn exactly once.
+        let mut seen: Vec<u32> = (0..4).map(|_| q.pop().unwrap()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
         assert_eq!(q.pop(), None);
     }
 

@@ -143,9 +143,18 @@ impl JobState {
             .is_ok()
         {
             self.active.fetch_add(1, Ordering::SeqCst);
-            self.queue
-                .push(v as u32)
-                .expect("vertex queue sized to hold every vertex");
+            // The queued-flag CAS bounds ring occupancy at one slot per
+            // vertex, so the queue is never *logically* full — but the
+            // ring's full check is a lap-behind test, not an occupancy
+            // test: a consumer preempted between claiming a slot and
+            // releasing it makes a push that laps the ring fail
+            // transiently. Spin until the stalled consumer's release
+            // store lands; panicking here would kill the worker while it
+            // owns `v`, leaving `active` stuck positive and livelocking
+            // its peers.
+            while self.queue.push(v as u32).is_err() {
+                std::hint::spin_loop();
+            }
         }
     }
 
@@ -541,6 +550,10 @@ impl ParallelPushRelabel {
                 {
                     job.queued[v].store(true, Ordering::Relaxed);
                     job.active.fetch_add(1, Ordering::Relaxed);
+                    // Workers are parked between rounds and drain the ring
+                    // before exiting, so seeding runs single-threaded
+                    // against an empty queue: unlike the racy push in
+                    // `try_enqueue`, this one can never fail.
                     job.queue
                         .push(v as u32)
                         .expect("vertex queue sized to hold every vertex");

@@ -81,9 +81,13 @@ pub mod prelude {
         parallel::ParallelPushRelabelBinary,
         pr::{PushRelabelBinary, PushRelabelIncremental},
         schedule::{RetrievalOutcome, Schedule, SolveStats},
+        serve::{
+            PriorityClass, QueryRequest, Rejected, ServeClock, ServeConfig, ServeError,
+            ServeHandle, ServeReport, ServeResponse, ServeStats, Ticket,
+        },
         session::{RetrievalSession, ReuseCounters, ReusePolicy, SessionOutcome, SessionState},
         solver::RetrievalSolver,
-        spec::{AnySolver, ScheduleObjective, SolverKind, SolverSpec},
+        spec::{AnySolver, ScheduleObjective, SolveBudget, SolverKind, SolverSpec},
         workspace::{PoisonedWorkspace, Workspace},
     };
     pub use rds_decluster::{

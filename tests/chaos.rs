@@ -147,6 +147,207 @@ fn twenty_percent_outage_mid_batch_is_deterministic_and_contained() {
     }
 }
 
+/// Shard-count-independent digest of one *serving-loop* submission:
+/// either a typed admission rejection or the resolved response.
+#[derive(Debug, PartialEq, Eq)]
+enum ServeDigest {
+    Served {
+        response: Micros,
+        completion: Micros,
+        assignments: Vec<(Bucket, usize)>,
+        unservable: Vec<Bucket>,
+        deadline_missed: bool,
+    },
+    Failed(EngineError),
+    Panicked,
+    Rejected(Rejected),
+}
+
+/// Satellite acceptance: the serving loop under 2x overload with a 20%
+/// mid-batch disk outage resolves every submitted request to exactly one
+/// of schedule / degraded partial schedule / typed rejection — no hangs,
+/// no panics — and under the virtual clock the full per-submission digest
+/// is identical for every shard count.
+#[test]
+fn serve_chaos_overload_and_outage_resolves_every_submission_deterministically() {
+    let system = paper_example();
+    let alloc = OrthogonalAllocation::paper_7x7();
+    // Double the batch-mode chaos volume: 240 queries on 9 streams.
+    let queries = chaos_batch(0x5E2E, 240, 9);
+    let horizon = queries.last().unwrap().arrival;
+    let injector = || {
+        FaultInjector::random_outages(
+            0xFA21,
+            system.num_disks(),
+            0.2,
+            horizon / 3,
+            Some(horizon / 3),
+        )
+    };
+
+    let run = |shards: usize| -> (Vec<ServeDigest>, u64, u64) {
+        let mut engine = Engine::new(&system, &alloc, PushRelabelBinary, shards)
+            .with_fault_injector(injector())
+            .with_retry_policy(RetryPolicy {
+                max_retries: 2,
+                backoff: horizon / 10,
+            })
+            .with_degraded_mode(true);
+        let report = engine.serve(ServeConfig::default().virtual_time(), |h| {
+            queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| {
+                    let mut req =
+                        QueryRequest::new(q.stream, q.buckets.clone()).arriving_at(q.arrival);
+                    if i % 5 == 0 && q.arrival > Micros::ZERO {
+                        // Already-expired SLA: typed rejection at admission.
+                        req = req.deadline(Micros::ZERO).class(PriorityClass::Batch);
+                    } else if i % 7 == 0 {
+                        // Tight-but-meetable SLA: admitted, may be missed.
+                        req = req
+                            .deadline(q.arrival + Micros::from_millis(40))
+                            .class(PriorityClass::Interactive);
+                    }
+                    h.submit(req)
+                })
+                .collect::<Vec<Result<Ticket, Rejected>>>()
+        });
+
+        // Exactly-once: every admitted ticket appears in exactly one
+        // response, and nothing else does.
+        assert_eq!(
+            report.stats.admitted + report.stats.rejected(),
+            report.stats.submitted
+        );
+        assert_eq!(
+            report.stats.completed, report.stats.admitted,
+            "{shards} shards"
+        );
+        assert_eq!(report.unclaimed.len() as u64, report.stats.admitted);
+        let mut by_ticket = std::collections::HashMap::new();
+        for r in &report.unclaimed {
+            let d = match &r.result {
+                Ok(o) => ServeDigest::Served {
+                    response: o.outcome.response_time,
+                    completion: o.completion,
+                    assignments: o.outcome.schedule.assignments().to_vec(),
+                    unservable: o.unservable.clone(),
+                    deadline_missed: r.deadline_missed,
+                },
+                Err(ServeError::Engine(EngineError::ShardFailed { .. })) => ServeDigest::Panicked,
+                Err(ServeError::Engine(e)) => ServeDigest::Failed(*e),
+                Err(_) => unreachable!("non-exhaustive ServeError"),
+            };
+            assert!(by_ticket.insert(r.ticket, d).is_none(), "duplicate ticket");
+        }
+
+        let digests = report
+            .output
+            .into_iter()
+            .map(|sub| match sub {
+                Ok(t) => by_ticket.remove(&t).expect("admitted ticket must resolve"),
+                Err(rej) => ServeDigest::Rejected(rej),
+            })
+            .collect::<Vec<_>>();
+        assert!(by_ticket.is_empty(), "responses for unknown tickets");
+        (
+            digests,
+            report.stats.rejected_deadline,
+            engine.stats().degraded_solves + engine.stats().dropped_buckets,
+        )
+    };
+
+    let baseline = run(1);
+    assert!(
+        baseline
+            .0
+            .iter()
+            .all(|d| !matches!(d, ServeDigest::Panicked)),
+        "no panics expected in this scenario"
+    );
+    // The scenario must actually exercise all three resolution kinds.
+    assert!(
+        baseline.1 > 0,
+        "no deadline rejections — admission never bit"
+    );
+    assert!(baseline.2 > 0, "no degraded solves — outage never bit");
+    assert!(
+        baseline
+            .0
+            .iter()
+            .any(|d| matches!(d, ServeDigest::Served { .. })),
+        "nothing served"
+    );
+    for shards in [2usize, 4] {
+        assert_eq!(run(shards), baseline, "{shards} shards");
+    }
+}
+
+/// Backpressure under sustained overload: with the lone worker wedged in
+/// a solve, the bounded queue sheds the batch class at the watermark and
+/// rejects everyone at capacity, while every admitted request still
+/// resolves once the worker frees up.
+#[test]
+fn serve_overload_applies_queue_full_and_shed_backpressure() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static RELEASE: AtomicBool = AtomicBool::new(false);
+    #[derive(Clone, Copy)]
+    struct Gate;
+    impl RetrievalSolver for Gate {
+        fn name(&self) -> &'static str {
+            "gate"
+        }
+        fn solve_in(
+            &self,
+            inst: &RetrievalInstance,
+            ws: &mut Workspace,
+        ) -> Result<RetrievalOutcome, SolveError> {
+            while !RELEASE.load(Ordering::Acquire) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            PushRelabelBinary.solve_in(inst, ws)
+        }
+    }
+
+    let system = paper_example();
+    let alloc = OrthogonalAllocation::paper_7x7();
+    let mut engine = Engine::new(&system, &alloc, Gate, 1);
+    let buckets = RangeQuery::new(0, 0, 2, 2).buckets(GRID);
+    let report = engine.serve(
+        ServeConfig::default()
+            .virtual_time()
+            .queue_capacity(2)
+            .shed_watermark(1),
+        |h| {
+            h.submit(QueryRequest::new(0, buckets.clone())).unwrap();
+            // Wait for the worker to take the request and wedge in Gate,
+            // so subsequent depths are deterministic.
+            while h.queue_depth(0) > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            h.submit(QueryRequest::new(0, buckets.clone())).unwrap(); // depth 1
+            let shed = h
+                .submit(QueryRequest::new(0, buckets.clone()).class(PriorityClass::Batch))
+                .unwrap_err();
+            assert!(matches!(shed, Rejected::ShedLowPriority { depth: 1, .. }));
+            // Interactive sails past the watermark up to capacity.
+            h.submit(QueryRequest::new(0, buckets.clone()).class(PriorityClass::Interactive))
+                .unwrap(); // depth 2
+            let full = h.submit(QueryRequest::new(0, buckets.clone())).unwrap_err();
+            assert_eq!(full, Rejected::QueueFull { shard: 0, depth: 2 });
+            RELEASE.store(true, Ordering::Release);
+        },
+    );
+    assert_eq!(report.stats.admitted, 3);
+    assert_eq!(report.stats.completed, 3);
+    assert_eq!(report.stats.rejected_shed, 1);
+    assert_eq!(report.stats.rejected_queue_full, 1);
+    assert!(report.stats.shed_rate() > 0.0);
+    assert!(report.unclaimed.iter().all(|r| r.result.is_ok()));
+}
+
 #[test]
 fn chaos_with_panicking_solver_keeps_healthy_streams_and_determinism() {
     let system = paper_example();
