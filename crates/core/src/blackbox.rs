@@ -140,6 +140,7 @@ impl RetrievalSolver for BlackBoxPushRelabel {
         inst: &RetrievalInstance,
         ws: &mut Workspace,
     ) -> Result<RetrievalOutcome, SolveError> {
+        ws.tracer.note_solver(self.name(), false);
         let budget = ArmedBudget::start(ws.armed_budget());
         ws.begin(inst);
         let mut stats = SolveStats::default();
@@ -186,6 +187,7 @@ impl RetrievalSolver for BlackBoxFordFulkerson {
         inst: &RetrievalInstance,
         ws: &mut Workspace,
     ) -> Result<RetrievalOutcome, SolveError> {
+        ws.tracer.note_solver(self.name(), false);
         let budget = ArmedBudget::start(ws.armed_budget());
         ws.begin(inst);
         let mut stats = SolveStats::default();

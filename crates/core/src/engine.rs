@@ -38,6 +38,8 @@
 use crate::error::{EngineError, SessionError, SolveError};
 use crate::fault::{FaultInjector, HealthMap};
 use crate::obs::metrics::{Histogram, LatencySummary, MetricsRegistry};
+use crate::obs::recorder::{FlightRecorder, FlightRecorderConfig, Postmortem, RecorderStats};
+use crate::obs::slo::SloPolicy;
 use crate::obs::trace::{EventKind, TraceEvent};
 use crate::schedule::SolveStats;
 use crate::session::{ReuseCounters, ReusePolicy, SessionOutcome, SessionState};
@@ -327,6 +329,10 @@ pub(crate) struct Shard {
     pub(crate) states: HashMap<usize, SessionState>,
     /// Scratch health map, refreshed per query from the fault schedule.
     health: HealthMap,
+    /// Finished [`crate::obs::span::QuerySpan`]s from the serving loop
+    /// (always-on, bounded; see [`FlightRecorder`]). Batch runs leave it
+    /// empty — spans are only armed by [`Engine::serve`](crate::serve).
+    pub(crate) recorder: FlightRecorder,
 }
 
 /// Engine-wide fault handling knobs, shared read-only by every shard.
@@ -536,6 +542,10 @@ pub struct Engine<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> {
     pub(crate) reuse: ReusePolicy,
     pub(crate) objective: ScheduleObjective,
     pub(crate) budget: SolveBudget,
+    pub(crate) slo: SloPolicy,
+    /// Spans of submissions the serving loop *rejected* at admission
+    /// (they never reach a shard, so they get their own recorder).
+    pub(crate) rejections: FlightRecorder,
 }
 
 /// Step-by-step construction of an [`Engine`] around a [`SolverSpec`] —
@@ -571,6 +581,7 @@ pub struct EngineBuilder<'a, A: ReplicaSource + Sync> {
     degraded: bool,
     injector: Option<FaultInjector>,
     tracing: Option<usize>,
+    flight_recorder: Option<FlightRecorderConfig>,
 }
 
 impl<'a, A: ReplicaSource + Sync> EngineBuilder<'a, A> {
@@ -649,6 +660,14 @@ impl<'a, A: ReplicaSource + Sync> EngineBuilder<'a, A> {
         self
     }
 
+    /// Overrides the always-on flight-recorder retention knobs (ring
+    /// capacity, healthy head-sample size, phases per span). The default
+    /// [`FlightRecorderConfig`] applies when this is not called.
+    pub fn flight_recorder(mut self, config: FlightRecorderConfig) -> Self {
+        self.flight_recorder = Some(config);
+        self
+    }
+
     /// Materializes the engine.
     pub fn build(self) -> Engine<'a, A, AnySolver> {
         let mut engine = Engine::new(self.system, self.alloc, self.spec.build(), self.shards)
@@ -656,12 +675,16 @@ impl<'a, A: ReplicaSource + Sync> EngineBuilder<'a, A> {
             .with_objective(self.spec.objective)
             .with_budget(self.spec.budget)
             .with_retry_policy(self.retry)
-            .with_degraded_mode(self.degraded);
+            .with_degraded_mode(self.degraded)
+            .with_slo(self.spec.slo);
         if let Some(injector) = self.injector {
             engine = engine.with_fault_injector(injector);
         }
         if let Some(capacity) = self.tracing {
             engine = engine.with_tracing(capacity);
+        }
+        if let Some(config) = self.flight_recorder {
+            engine = engine.with_flight_recorder(config);
         }
         engine
     }
@@ -680,6 +703,7 @@ impl<'a, A: ReplicaSource + Sync> Engine<'a, A, AnySolver> {
             degraded: false,
             injector: None,
             tracing: None,
+            flight_recorder: None,
         }
     }
 }
@@ -702,6 +726,8 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
             reuse: ReusePolicy::default(),
             objective: ScheduleObjective::default(),
             budget: SolveBudget::UNLIMITED,
+            slo: SloPolicy::default(),
+            rejections: FlightRecorder::default(),
         }
     }
 
@@ -782,6 +808,50 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
             shard.workspace.install_recorder(capacity);
         }
         self
+    }
+
+    /// Sets the per-priority-class service-level objectives the serving
+    /// loop tracks (latency targets and error budgets; see
+    /// [`SloPolicy`]). Pass [`SloPolicy::disabled`] to silence all
+    /// `rds_slo_*` metrics. Batch runs ignore the policy.
+    pub fn with_slo(mut self, slo: SloPolicy) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Replaces every shard's flight recorder (and the admission-rejection
+    /// recorder) with an empty one using `config`. Retained spans are
+    /// discarded; call before serving.
+    pub fn with_flight_recorder(mut self, config: FlightRecorderConfig) -> Self {
+        for shard in &mut self.shards {
+            shard.recorder = FlightRecorder::new(config);
+        }
+        self.rejections = FlightRecorder::new(config);
+        self
+    }
+
+    /// Snapshots the flight recorders for after-the-fact debugging: every
+    /// retained [`crate::obs::span::QuerySpan`] across all shards (shard
+    /// order, oldest first within a shard), the spans of rejected
+    /// submissions, and merged retention statistics.
+    ///
+    /// Spans are recorded only by the serving loop
+    /// ([`Engine::serve`](crate::serve)); after batch-only use the
+    /// snapshot is empty. Render with
+    /// [`Postmortem::to_chrome_trace`] or [`Postmortem::to_statusz`].
+    pub fn postmortem(&self) -> Postmortem {
+        let mut stats = RecorderStats::default();
+        let mut spans = Vec::new();
+        for shard in &self.shards {
+            spans.extend(shard.recorder.spans().cloned());
+            stats.merge(&shard.recorder.stats());
+        }
+        stats.merge(&self.rejections.stats());
+        Postmortem {
+            spans,
+            rejections: self.rejections.spans().cloned().collect(),
+            stats,
+        }
     }
 
     /// Number of shards (worker threads used per batch).

@@ -74,6 +74,7 @@ impl RetrievalSolver for FordFulkersonBasic {
             });
         }
 
+        ws.tracer.note_solver(self.name(), false);
         let budget = ArmedBudget::start(ws.armed_budget());
         ws.begin(inst);
         let g = &mut ws.graph;
@@ -141,6 +142,7 @@ impl RetrievalSolver for FordFulkersonIncremental {
         inst: &RetrievalInstance,
         ws: &mut Workspace,
     ) -> Result<RetrievalOutcome, SolveError> {
+        ws.tracer.note_solver(self.name(), false);
         let budget = ArmedBudget::start(ws.armed_budget());
         ws.begin(inst);
         let g = &mut ws.graph;

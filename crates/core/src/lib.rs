@@ -80,6 +80,9 @@ pub use fault::{
 };
 pub use network::RetrievalInstance;
 pub use obs::metrics::{Histogram, LatencySummary, MetricsRegistry};
+pub use obs::recorder::{FlightRecorder, FlightRecorderConfig, Postmortem, RecorderStats};
+pub use obs::slo::{ClassSloReport, SloPolicy, SloReport, SloTarget};
+pub use obs::span::{PhaseKind, PhaseRecord, QuerySpan, RejectReason, SpanId, SpanOutcome};
 pub use obs::trace::{EventKind, Recorder, TraceEvent, TraceSink, Tracer};
 pub use schedule::{RetrievalOutcome, Schedule, SolveStats};
 pub use serve::{

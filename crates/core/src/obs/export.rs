@@ -1,0 +1,298 @@
+//! Structured span export: Chrome `trace_event` JSON and a
+//! human-readable `statusz` text dump.
+//!
+//! Both exporters are dependency-free string builders over a
+//! [`Postmortem`] snapshot, the span-level counterpart of the metric
+//! exporters in [`crate::obs::metrics`]:
+//!
+//! * [`Postmortem::to_chrome_trace`] emits the JSON object format of the
+//!   Chrome Trace Event spec (`{"traceEvents": [...]}`): one complete
+//!   (`"ph":"X"`) event per span — `pid` = shard, `tid` = stream, so the
+//!   viewer lays shards out as processes and streams as threads — plus
+//!   one instant (`"ph":"i"`) event per recorded phase. Load the file in
+//!   `chrome://tracing` or Perfetto.
+//! * [`Postmortem::to_statusz`] renders the plain-text status page:
+//!   a retention summary followed by one indented timeline per span,
+//!   worst spans first readable straight off a terminal.
+
+use crate::obs::recorder::Postmortem;
+use crate::obs::span::{PhaseKind, QuerySpan};
+use crate::serve::PriorityClass;
+
+fn class_name(index: usize) -> &'static str {
+    PriorityClass::ALL
+        .get(index)
+        .map(|c| c.name())
+        .unwrap_or("unknown")
+}
+
+/// Appends one Chrome trace event object. All string payloads here are
+/// static identifiers (phase/solver/class names), so no JSON escaping is
+/// needed.
+#[allow(clippy::too_many_arguments)]
+fn push_event(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    ph: &str,
+    ts: u64,
+    dur: Option<u64>,
+    pid: usize,
+    tid: usize,
+    args: &[(&str, String)],
+) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str(&format!(
+        "    {{\"name\": \"{name}\", \"cat\": \"rds\", \"ph\": \"{ph}\", \"ts\": {ts}"
+    ));
+    if let Some(dur) = dur {
+        out.push_str(&format!(", \"dur\": {dur}"));
+    }
+    out.push_str(&format!(", \"pid\": {pid}, \"tid\": {tid}"));
+    if ph == "i" {
+        out.push_str(", \"s\": \"t\"");
+    }
+    if !args.is_empty() {
+        out.push_str(", \"args\": {");
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{k}\": {v}"));
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+fn span_events(out: &mut String, first: &mut bool, span: &QuerySpan) {
+    // Anchor the span on its arrival time; phase instants offset from it
+    // by their wall-clock capture offsets so intra-span ordering is
+    // visible even under the virtual clock (where arrival steps are the
+    // meaningful axis and offsets are sub-microsecond).
+    let ts = span.arrival.0;
+    let dur = span.turnaround_us.max(1);
+    let args = [
+        ("ticket", span.id.0.to_string()),
+        ("class", format!("\"{}\"", class_name(span.class))),
+        ("outcome", format!("\"{}\"", span.outcome.name())),
+        ("solver", format!("\"{}\"", span.solver)),
+        ("delta", (span.delta as u64).to_string()),
+        ("queued_us", span.queued_us.to_string()),
+        ("deadline_missed", (span.deadline_missed as u64).to_string()),
+        ("anytime_gap_us", span.anytime_gap.0.to_string()),
+    ];
+    push_event(
+        out,
+        first,
+        span.outcome.name(),
+        "X",
+        ts,
+        Some(dur),
+        span.shard,
+        span.stream,
+        &args,
+    );
+    for p in span.phases() {
+        let args = [("a", p.a.to_string()), ("b", p.b.to_string())];
+        push_event(
+            out,
+            first,
+            p.kind.name(),
+            "i",
+            ts + p.t_us,
+            None,
+            span.shard,
+            span.stream,
+            &args,
+        );
+    }
+}
+
+impl Postmortem {
+    /// Renders the snapshot in Chrome Trace Event JSON (object format).
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\n  \"traceEvents\": [\n");
+        let mut first = true;
+        for span in self.all_spans() {
+            span_events(&mut out, &mut first, span);
+        }
+        out.push_str("\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n");
+        out
+    }
+
+    /// Renders the snapshot as a human-readable status page: retention
+    /// summary, then one indented timeline per span (triggered spans
+    /// first).
+    pub fn to_statusz(&self) -> String {
+        let mut out = String::new();
+        out.push_str("=== flight recorder ===\n");
+        out.push_str(&format!(
+            "retained {} (served {}, rejected {})  evicted {}  healthy_recycled {}  dropped_phases {}  shell_allocations {}\n",
+            self.spans.len() + self.rejections.len(),
+            self.spans.len(),
+            self.rejections.len(),
+            self.stats.evicted,
+            self.stats.recycled,
+            self.stats.dropped_phases,
+            self.stats.allocation_events,
+        ));
+        let mut ordered: Vec<&QuerySpan> = self.all_spans().collect();
+        ordered.sort_by_key(|s| (!s.is_triggered(), s.arrival, s.id));
+        for span in ordered {
+            out.push('\n');
+            statusz_span(&mut out, span);
+        }
+        out
+    }
+}
+
+fn statusz_span(out: &mut String, span: &QuerySpan) {
+    let mut flags = String::new();
+    if span.deadline_missed {
+        flags.push_str(" DEADLINE-MISSED");
+    }
+    if span.budget_expired {
+        flags.push_str(" BUDGET-EXPIRED");
+    }
+    if span.degraded {
+        flags.push_str(" DEGRADED");
+    }
+    out.push_str(&format!(
+        "span ticket={} stream={} shard={} class={} outcome={}{}\n",
+        span.id.0,
+        span.stream,
+        span.shard,
+        class_name(span.class),
+        span.outcome.name(),
+        flags,
+    ));
+    out.push_str(&format!(
+        "  arrival={}us completion={}us turnaround={}us queued={}us solver={}{}\n",
+        span.arrival.0,
+        span.completion.0,
+        span.turnaround_us,
+        span.queued_us,
+        if span.solver.is_empty() {
+            "-"
+        } else {
+            span.solver
+        },
+        if span.delta { " (delta resume)" } else { "" },
+    ));
+    if span.anytime_gap > rds_storage::time::Micros::ZERO {
+        out.push_str(&format!("  anytime_gap={}us\n", span.anytime_gap.0));
+    }
+    for p in span.phases() {
+        out.push_str(&format!(
+            "  +{:>8}us  {:<18} {}\n",
+            p.t_us,
+            p.kind.name(),
+            phase_detail(p.kind, p.a, p.b),
+        ));
+    }
+    if span.dropped_phases > 0 {
+        out.push_str(&format!(
+            "  ... {} more phases dropped (bounded buffer)\n",
+            span.dropped_phases
+        ));
+    }
+}
+
+/// Human reading of a phase's attribute slots.
+fn phase_detail(kind: PhaseKind, a: u64, b: u64) -> String {
+    match kind {
+        PhaseKind::Admitted => format!("arrival={a}us class={}", class_name(b as usize)),
+        PhaseKind::Coalesced => format!("batch={a} queued={b}us"),
+        PhaseKind::SolveStart => format!("query_size={a}"),
+        PhaseKind::Solver => format!("delta={}", a != 0),
+        PhaseKind::CacheHit => format!("fingerprint={a:#018x}"),
+        PhaseKind::DeltaPatch => format!("changed={a} cancelled={b}"),
+        PhaseKind::DeltaFallback => format!("solver_declined={}", a != 0),
+        PhaseKind::Rebuild => String::new(),
+        PhaseKind::Probe => format!("budget={a}us feasible={}", b != 0),
+        PhaseKind::Refine => format!("cycles={a} moved={b}"),
+        PhaseKind::BudgetExpired => format!("achieved={a}us lower_bound={b}us"),
+        PhaseKind::Degraded => format!("served={a} dropped={b}"),
+        PhaseKind::Retry => format!("attempt={a} probe={b}us"),
+        PhaseKind::HealthTransition => format!("fingerprint={a:#018x}"),
+        PhaseKind::Reply => format!("deadline_missed={}", a != 0),
+        PhaseKind::Rejected => format!(
+            "reason={}",
+            crate::obs::span::RejectReason::ALL
+                .get(a as usize)
+                .map(|r| r.name())
+                .unwrap_or("unknown")
+        ),
+        PhaseKind::Failed => format!("panic={}", a != 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::span::{RejectReason, SpanId, SpanOutcome};
+    use rds_storage::time::Micros;
+
+    fn sample() -> Postmortem {
+        let mut served = QuerySpan::with_capacity(8);
+        served.id = SpanId(3);
+        served.stream = 1;
+        served.shard = 0;
+        served.class = PriorityClass::Interactive as usize;
+        served.arrival = Micros(1_000);
+        served.completion = Micros(7_100);
+        served.turnaround_us = 6_100;
+        served.solver = "PR-binary";
+        served.outcome = SpanOutcome::Resolved;
+        served.deadline_missed = true;
+        served.record(PhaseKind::Admitted, 0, 1_000, 0);
+        served.record(PhaseKind::SolveStart, 2, 6, 0);
+        served.record(PhaseKind::Probe, 5, 500, 1);
+        served.record(PhaseKind::Reply, 9, 1, 0);
+        let mut rejected = QuerySpan::with_capacity(4);
+        rejected.class = PriorityClass::Batch as usize;
+        rejected.outcome = SpanOutcome::Rejected(RejectReason::ShedLowPriority);
+        rejected.record(PhaseKind::Admitted, 0, 0, 2);
+        rejected.record(
+            PhaseKind::Rejected,
+            0,
+            RejectReason::ShedLowPriority as u64,
+            0,
+        );
+        Postmortem {
+            spans: vec![served],
+            rejections: vec![rejected],
+            ..Postmortem::default()
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_parseable_json_with_all_events() {
+        let trace = sample().to_chrome_trace();
+        // One complete event per span plus one instant per phase.
+        assert_eq!(trace.matches("\"ph\": \"X\"").count(), 2);
+        assert_eq!(trace.matches("\"ph\": \"i\"").count(), 6);
+        assert!(trace.contains("\"pid\": 0"));
+        assert!(trace.contains("\"solver\": \"PR-binary\""));
+        // Must parse with the registry's own JSON parser (objects,
+        // arrays, strings, integers — the exporter stays inside that
+        // dialect).
+        crate::obs::metrics::parse_json_value(&trace).expect("chrome trace parses");
+    }
+
+    #[test]
+    fn statusz_orders_triggered_spans_first() {
+        let mut pm = sample();
+        pm.spans[0].deadline_missed = false; // now healthy
+        let text = pm.to_statusz();
+        let healthy_at = text.find("outcome=resolved").unwrap();
+        let rejected_at = text.find("outcome=rejected").unwrap();
+        assert!(rejected_at < healthy_at, "triggered span listed first");
+        assert!(text.contains("reason=shed_low_priority"));
+        assert!(text.contains("feasible=true"));
+    }
+}

@@ -205,13 +205,18 @@ pub struct LatencySummary {
 /// A named collection of monotonic counters, gauges and histograms.
 ///
 /// Names must match `[a-zA-Z_][a-zA-Z0-9_]*` (Prometheus metric-name
-/// rules); this is debug-asserted on insertion. Iteration order is the
-/// name order (`BTreeMap`), so exports are deterministic.
+/// rules); this is debug-asserted on insertion. Counters and gauges may
+/// additionally carry a label set (`name{k="v",...}`, labels sorted by
+/// key — see [`MetricsRegistry::inc_counter_labeled`]); the full series
+/// key is stored verbatim. Iteration order is the key order (`BTreeMap`),
+/// so exports are deterministic.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, i64>,
     histograms: BTreeMap<String, Histogram>,
+    /// `# HELP` text by base metric name (no labels).
+    help: BTreeMap<String, String>,
 }
 
 fn valid_name(name: &str) -> bool {
@@ -220,22 +225,91 @@ fn valid_name(name: &str) -> bool {
         && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
+/// Validates a series key: a bare metric name, or `name{k="v",...}` with
+/// valid label names and values free of `"` and `\`.
+fn valid_series(key: &str) -> bool {
+    let Some((name, labels)) = key.split_once('{') else {
+        return valid_name(key);
+    };
+    let Some(labels) = labels.strip_suffix('}') else {
+        return false;
+    };
+    valid_name(name)
+        && !labels.is_empty()
+        && labels.split(',').all(|pair| {
+            pair.split_once("=\"").is_some_and(|(k, v)| {
+                valid_name(k) && v.ends_with('"') && !v[..v.len() - 1].contains(['"', '\\'])
+            })
+        })
+}
+
+/// The base metric name of a series key (`a{b="c"}` → `a`).
+fn base_name(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
+/// Builds the canonical series key: labels sorted by label name.
+fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut key = String::with_capacity(name.len() + 16 * sorted.len());
+    key.push_str(name);
+    key.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        let _ = write!(key, "{k}=\"{v}\"");
+    }
+    key.push('}');
+    key
+}
+
 impl MetricsRegistry {
     /// An empty registry.
     pub fn new() -> MetricsRegistry {
         MetricsRegistry::default()
     }
 
-    /// Adds `by` to the counter `name` (created at 0).
+    /// Adds `by` to the counter `name` (created at 0). `name` may be a
+    /// bare metric name or a full series key (`name{k="v"}`).
     pub fn inc_counter(&mut self, name: &str, by: u64) {
-        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        debug_assert!(valid_series(name), "invalid metric name {name:?}");
         *self.counters.entry(name.to_string()).or_insert(0) += by;
     }
 
-    /// Sets the gauge `name`.
+    /// Adds `by` to the counter `name` with the given label set. Labels
+    /// are sorted by name, so `[("a","1"),("b","2")]` and its permutation
+    /// address the same series.
+    pub fn inc_counter_labeled(&mut self, name: &str, labels: &[(&str, &str)], by: u64) {
+        self.inc_counter(&series_key(name, labels), by);
+    }
+
+    /// Sets the gauge `name` (bare name or full series key).
     pub fn set_gauge(&mut self, name: &str, value: i64) {
-        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        debug_assert!(valid_series(name), "invalid metric name {name:?}");
         self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Sets the gauge `name` with the given label set (sorted by name).
+    pub fn set_gauge_labeled(&mut self, name: &str, labels: &[(&str, &str)], value: i64) {
+        self.set_gauge(&series_key(name, labels), value);
+    }
+
+    /// Sets the `# HELP` text of the base metric `name`. Attached to the
+    /// metric's series on Prometheus export; help for a name with no
+    /// series is still emitted (as a bare `# HELP` line).
+    pub fn set_help(&mut self, name: &str, text: &str) {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        self.help.insert(name.to_string(), text.to_string());
+    }
+
+    /// The `# HELP` text of `name`, if set.
+    pub fn help(&self, name: &str) -> Option<&str> {
+        self.help.get(name).map(String::as_str)
     }
 
     /// The histogram `name`, created empty on first use.
@@ -252,6 +326,16 @@ impl MetricsRegistry {
     /// Gauge value, if present.
     pub fn gauge(&self, name: &str) -> Option<i64> {
         self.gauges.get(name).copied()
+    }
+
+    /// Labeled counter value, if present (labels in any order).
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters.get(&series_key(name, labels)).copied()
+    }
+
+    /// Labeled gauge value, if present (labels in any order).
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        self.gauges.get(&series_key(name, labels)).copied()
     }
 
     /// Histogram, if present.
@@ -275,21 +359,52 @@ impl MetricsRegistry {
     }
 
     /// Renders the registry in Prometheus text exposition format
-    /// (version 0.0.4): counters as `<name> <v>`, gauges likewise,
+    /// (version 0.0.4): counters as `<name> <v>` (labeled series grouped
+    /// under one `# TYPE` header per base name), gauges likewise,
     /// histograms as cumulative `<name>_bucket{le="..."}` series plus
-    /// `_sum` and `_count`.
+    /// `_sum` and `_count`. `# HELP` lines precede the `# TYPE` of any
+    /// base name given help text via [`MetricsRegistry::set_help`];
+    /// help for names with no series is appended at the end.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
-        for (name, v) in &self.counters {
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {v}");
+        let mut helped: Vec<String> = Vec::new();
+        let mut header = |out: &mut String, base: &str, ty: &str| {
+            if let Some(text) = self.help.get(base) {
+                let _ = writeln!(out, "# HELP {base} {text}");
+                helped.push(base.to_string());
+            }
+            let _ = writeln!(out, "# TYPE {base} {ty}");
+        };
+        // Group labeled series under one header per base name (plain
+        // BTreeMap order would interleave `a_b` between `a` and `a{...}`).
+        let mut counter_groups: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+        for (key, &v) in &self.counters {
+            counter_groups
+                .entry(base_name(key))
+                .or_default()
+                .push((key, v));
         }
-        for (name, v) in &self.gauges {
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {v}");
+        for (base, series) in counter_groups {
+            header(&mut out, base, "counter");
+            for (key, v) in series {
+                let _ = writeln!(out, "{key} {v}");
+            }
+        }
+        let mut gauge_groups: BTreeMap<&str, Vec<(&str, i64)>> = BTreeMap::new();
+        for (key, &v) in &self.gauges {
+            gauge_groups
+                .entry(base_name(key))
+                .or_default()
+                .push((key, v));
+        }
+        for (base, series) in gauge_groups {
+            header(&mut out, base, "gauge");
+            for (key, v) in series {
+                let _ = writeln!(out, "{key} {v}");
+            }
         }
         for (name, h) in &self.histograms {
-            let _ = writeln!(out, "# TYPE {name} histogram");
+            header(&mut out, name, "histogram");
             let mut cum = 0u64;
             for (i, &c) in h.buckets.iter().enumerate() {
                 if c == 0 {
@@ -310,6 +425,11 @@ impl MetricsRegistry {
             if h.count > 0 {
                 let _ = writeln!(out, "{name}_min {}", h.min);
                 let _ = writeln!(out, "{name}_max {}", h.max);
+            }
+        }
+        for (name, text) in &self.help {
+            if !helped.iter().any(|h| h == name) {
+                let _ = writeln!(out, "# HELP {name} {text}");
             }
         }
         out
@@ -338,6 +458,11 @@ impl MetricsRegistry {
                 types.insert(name.to_string(), ty.to_string());
                 continue;
             }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, text) = rest.split_once(' ').unwrap_or((rest, ""));
+                reg.set_help(name, text);
+                continue;
+            }
             if line.starts_with('#') {
                 continue;
             }
@@ -346,24 +471,42 @@ impl MetricsRegistry {
                 .ok_or_else(|| format!("malformed sample line: {line}"))?;
             if let Some((name, label)) = key.split_once('{') {
                 // Histogram bucket sample: <base>_bucket{le="<bound>"}.
-                let base = name
-                    .strip_suffix("_bucket")
-                    .ok_or_else(|| format!("unsupported labeled sample: {line}"))?;
-                let bound = label
-                    .strip_prefix("le=\"")
-                    .and_then(|l| l.strip_suffix("\"}"))
-                    .ok_or_else(|| format!("unsupported label set: {line}"))?;
-                if bound == "+Inf" {
-                    continue; // redundant with _count
+                if let Some(base) = name.strip_suffix("_bucket") {
+                    if types.get(base).map(String::as_str) == Some("histogram") {
+                        let bound = label
+                            .strip_prefix("le=\"")
+                            .and_then(|l| l.strip_suffix("\"}"))
+                            .ok_or_else(|| format!("unsupported label set: {line}"))?;
+                        if bound == "+Inf" {
+                            continue; // redundant with _count
+                        }
+                        let bound: u64 =
+                            bound.parse().map_err(|_| format!("bad le bound: {line}"))?;
+                        let cum: u64 = value.parse().map_err(|_| format!("bad value: {line}"))?;
+                        let prev = hist_prev.entry(base.to_string()).or_insert(0);
+                        let delta = cum
+                            .checked_sub(*prev)
+                            .ok_or_else(|| format!("non-cumulative bucket: {line}"))?;
+                        *prev = cum;
+                        reg.histogram_mut(base).buckets[bucket_index(bound)] += delta;
+                        continue;
+                    }
                 }
-                let bound: u64 = bound.parse().map_err(|_| format!("bad le bound: {line}"))?;
-                let cum: u64 = value.parse().map_err(|_| format!("bad value: {line}"))?;
-                let prev = hist_prev.entry(base.to_string()).or_insert(0);
-                let delta = cum
-                    .checked_sub(*prev)
-                    .ok_or_else(|| format!("non-cumulative bucket: {line}"))?;
-                *prev = cum;
-                reg.histogram_mut(base).buckets[bucket_index(bound)] += delta;
+                // Labeled counter/gauge sample: store the full series key.
+                if !valid_series(key) {
+                    return Err(format!("unsupported labeled sample: {line}"));
+                }
+                match types.get(name).map(String::as_str) {
+                    Some("counter") => {
+                        let v: u64 = value.parse().map_err(|_| format!("bad value: {line}"))?;
+                        reg.inc_counter(key, v);
+                    }
+                    Some("gauge") => {
+                        let v: i64 = value.parse().map_err(|_| format!("bad value: {line}"))?;
+                        reg.set_gauge(key, v);
+                    }
+                    _ => return Err(format!("unsupported labeled sample: {line}")),
+                }
                 continue;
             }
             let value_u = || {
@@ -416,7 +559,9 @@ impl MetricsRegistry {
 
     /// Renders the registry as a JSON object:
     /// `{"counters": {..}, "gauges": {..}, "histograms": {name:
-    /// {"count": n, "sum": s, "buckets": [[index, count], ..]}}}`.
+    /// {"count": n, "sum": s, "buckets": [[index, count], ..]}}}`, plus a
+    /// `"help"` section when any `# HELP` text was set. Series keys and
+    /// help text have `"` and `\` escaped.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         let mut first = true;
@@ -425,7 +570,7 @@ impl MetricsRegistry {
                 out.push(',');
             }
             first = false;
-            let _ = write!(out, "\"{name}\":{v}");
+            let _ = write!(out, "\"{}\":{v}", escape_json(name));
         }
         out.push_str("},\"gauges\":{");
         let mut first = true;
@@ -434,7 +579,7 @@ impl MetricsRegistry {
                 out.push(',');
             }
             first = false;
-            let _ = write!(out, "\"{name}\":{v}");
+            let _ = write!(out, "\"{}\":{v}", escape_json(name));
         }
         out.push_str("},\"histograms\":{");
         let mut first = true;
@@ -463,7 +608,20 @@ impl MetricsRegistry {
             }
             out.push_str("]}");
         }
-        out.push_str("}}");
+        out.push('}');
+        if !self.help.is_empty() {
+            out.push_str(",\"help\":{");
+            let mut first = true;
+            for (name, text) in &self.help {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "\"{}\":\"{}\"", escape_json(name), escape_json(text));
+            }
+            out.push('}');
+        }
+        out.push('}');
         out
     }
 
@@ -475,7 +633,10 @@ impl MetricsRegistry {
         p.expect('{')?;
         loop {
             let section = p.string()?;
-            if !matches!(section.as_str(), "counters" | "gauges" | "histograms") {
+            if !matches!(
+                section.as_str(),
+                "counters" | "gauges" | "histograms" | "help"
+            ) {
                 return Err(format!("unknown section {section:?}"));
             }
             p.expect(':')?;
@@ -492,6 +653,10 @@ impl MetricsRegistry {
                         "gauges" => {
                             let v = p.integer()?;
                             reg.set_gauge(&name, v);
+                        }
+                        "help" => {
+                            let text = p.string()?;
+                            reg.set_help(&name, &text);
                         }
                         "histograms" => {
                             p.expect('{')?;
@@ -548,6 +713,33 @@ impl MetricsRegistry {
         p.end()?;
         Ok(reg)
     }
+}
+
+/// Escapes `"` and `\` for embedding in a JSON string literal (the only
+/// escapes this module's emitters produce and its parser accepts).
+fn escape_json(s: &str) -> std::borrow::Cow<'_, str> {
+    if !s.contains(['"', '\\']) {
+        return std::borrow::Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        if c == '"' || c == '\\' {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    std::borrow::Cow::Owned(out)
+}
+
+/// Validates that `text` is one well-formed JSON value in the dialect
+/// this module emits and parses: objects, arrays, strings (with `\"` and
+/// `\\` escapes) and integers, with arbitrary whitespace. Other exporters
+/// (e.g. the Chrome trace writer in [`crate::obs::export`]) use this to
+/// assert they stay inside the parseable subset.
+pub fn parse_json_value(text: &str) -> Result<(), String> {
+    let mut p = JsonParser::new(text);
+    p.value()?;
+    p.end()
 }
 
 /// Minimal JSON tokenizer for [`MetricsRegistry::parse_json`]: supports
@@ -617,20 +809,78 @@ impl<'a> JsonParser<'a> {
     fn string(&mut self) -> Result<String, String> {
         self.expect('"')?;
         let start = self.pos;
+        let mut escaped = false;
         while let Some(&b) = self.bytes.get(self.pos) {
             if b == b'"' {
-                let s = std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|e| e.to_string())?
-                    .to_string();
+                let raw =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
                 self.pos += 1;
-                return Ok(s);
+                return Ok(if escaped {
+                    // Undo the `\"` / `\\` escapes escape_json produced.
+                    let mut s = String::with_capacity(raw.len());
+                    let mut chars = raw.chars();
+                    while let Some(c) = chars.next() {
+                        s.push(if c == '\\' {
+                            chars.next().ok_or("dangling escape")?
+                        } else {
+                            c
+                        });
+                    }
+                    s
+                } else {
+                    raw.to_string()
+                });
             }
             if b == b'\\' {
-                return Err("escape sequences unsupported".to_string());
+                match self.bytes.get(self.pos + 1) {
+                    Some(b'"') | Some(b'\\') => {
+                        escaped = true;
+                        self.pos += 1;
+                    }
+                    _ => return Err("unsupported escape sequence".to_string()),
+                }
             }
             self.pos += 1;
         }
         Err("unterminated string".to_string())
+    }
+
+    /// Consumes one JSON value of the supported dialect (object, array,
+    /// string, integer), discarding its content.
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => {
+                self.pos += 1;
+                if self.peek_is('}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.string()?;
+                    self.expect(':')?;
+                    self.value()?;
+                    if !self.comma_or('}')? {
+                        return Ok(());
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                if self.peek_is(']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.value()?;
+                    if !self.comma_or(']')? {
+                        return Ok(());
+                    }
+                }
+            }
+            Some(b'"') => self.string().map(|_| ()),
+            _ => self.integer().map(|_| ()),
+        }
     }
 
     fn integer(&mut self) -> Result<i64, String> {
@@ -810,6 +1060,97 @@ mod tests {
             reg
         );
         assert_eq!(MetricsRegistry::parse_json(&reg.to_json()).unwrap(), reg);
+    }
+
+    fn labeled_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.set_help("rds_serve_rejected_total", "Rejections by reason and class");
+        reg.inc_counter_labeled(
+            "rds_serve_rejected_total",
+            &[("reason", "queue_full"), ("class", "batch")],
+            7,
+        );
+        reg.inc_counter_labeled(
+            "rds_serve_rejected_total",
+            &[("class", "standard"), ("reason", "shed_low_priority")],
+            2,
+        );
+        // A plain counter that sorts between the base name and its
+        // labeled series, to exercise export grouping.
+        reg.inc_counter("rds_serve_rejected_total_audits", 1);
+        reg.set_gauge_labeled(
+            "rds_slo_latency_burn_milli",
+            &[("class", "interactive"), ("window", "fast")],
+            1500,
+        );
+        reg
+    }
+
+    #[test]
+    fn labels_are_sorted_and_round_trip_prometheus() {
+        let reg = labeled_registry();
+        // Label order at insertion is irrelevant.
+        assert_eq!(
+            reg.counter_labeled(
+                "rds_serve_rejected_total",
+                &[("class", "batch"), ("reason", "queue_full")]
+            ),
+            Some(7)
+        );
+        let text = reg.to_prometheus();
+        assert!(text.contains("# HELP rds_serve_rejected_total Rejections by reason and class"));
+        assert!(text.contains("rds_serve_rejected_total{class=\"batch\",reason=\"queue_full\"} 7"));
+        // One TYPE header per base name, even with multiple series.
+        assert_eq!(
+            text.matches("# TYPE rds_serve_rejected_total counter")
+                .count(),
+            1
+        );
+        let parsed = MetricsRegistry::parse_prometheus(&text).unwrap();
+        assert_eq!(parsed, reg);
+    }
+
+    #[test]
+    fn labels_and_help_round_trip_json() {
+        let mut reg = labeled_registry();
+        reg.set_help("rds_quote", "contains \"quotes\" and a \\ backslash");
+        let json = reg.to_json();
+        let parsed = MetricsRegistry::parse_json(&json).unwrap();
+        assert_eq!(parsed, reg);
+        assert_eq!(
+            parsed.help("rds_quote"),
+            Some("contains \"quotes\" and a \\ backslash")
+        );
+    }
+
+    #[test]
+    fn dangling_help_survives_prometheus_round_trip() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_help("rds_future_metric", "declared but never sampled");
+        let text = reg.to_prometheus();
+        assert!(text.contains("# HELP rds_future_metric declared but never sampled"));
+        assert_eq!(MetricsRegistry::parse_prometheus(&text).unwrap(), reg);
+    }
+
+    #[test]
+    fn parse_json_value_accepts_the_emitted_dialect() {
+        parse_json_value("{\"a\": [1, 2, {\"b\": \"c\"}], \"d\": -5}").unwrap();
+        parse_json_value("  [ ]  ").unwrap();
+        parse_json_value("\"with \\\"escape\\\"\"").unwrap();
+        assert!(parse_json_value("{\"a\":}").is_err());
+        assert!(parse_json_value("[1,]").is_err());
+        assert!(parse_json_value("true").is_err());
+        assert!(parse_json_value("{} trailing").is_err());
+    }
+
+    #[test]
+    fn invalid_series_keys_are_rejected() {
+        assert!(valid_series("rds_ok"));
+        assert!(valid_series("rds_ok{a=\"1\",b=\"x y\"}"));
+        assert!(!valid_series("rds_ok{"));
+        assert!(!valid_series("rds_ok{a=1}"));
+        assert!(!valid_series("rds_ok{a=\"quote\\\"inside\"}"));
+        assert!(!valid_series("{a=\"1\"}"));
     }
 
     #[test]

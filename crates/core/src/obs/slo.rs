@@ -1,0 +1,449 @@
+//! Per-priority-class service-level objectives and error-budget burn
+//! rates.
+//!
+//! An [`SloPolicy`] attaches one [`SloTarget`] per
+//! [`PriorityClass`] to a
+//! [`SolverSpec`](crate::spec::SolverSpec): a turnaround objective with
+//! a latency error budget (the tolerated fraction of responses slower
+//! than the objective) and an availability error budget (the tolerated
+//! fraction of submissions that fail or are rejected). Budgets are
+//! parts-per-million integers so the whole policy stays `Copy + Eq +
+//! Hash` like the spec that carries it.
+//!
+//! Burn rate is the standard multi-window SRE measure: the observed bad
+//! fraction divided by the budgeted bad fraction, so `1.0` means the
+//! error budget is being consumed exactly at the sustainable rate and
+//! `14.4` means a 30-day budget dies in ~2 days. Each serve worker
+//! records events into an [`SloTrackerSet`] of fixed absolute-time
+//! buckets (no allocation, mergeable bucket-wise across workers), and
+//! the serve epilogue merges them into the
+//! [`SloReport`] on [`ServeStats`](crate::serve::ServeStats), exported
+//! as `rds_slo_*` metrics in both the Prometheus and JSON registries.
+//! Times come from the serve clock, so the math is identical under
+//! [`ServeClock::Virtual`](crate::serve::ServeClock::Virtual).
+
+use crate::serve::PriorityClass;
+use rds_storage::time::Micros;
+
+/// Objectives for one priority class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SloTarget {
+    /// Turnaround objective: a response slower than this consumes
+    /// latency error budget. [`Micros::ZERO`] disables latency tracking.
+    pub latency: Micros,
+    /// Latency error budget in parts per million of responses (0
+    /// disables latency tracking).
+    pub latency_budget_ppm: u32,
+    /// Availability error budget in parts per million of submissions (0
+    /// disables availability tracking).
+    pub availability_budget_ppm: u32,
+}
+
+impl SloTarget {
+    /// No objectives: the class is not tracked.
+    pub const DISABLED: SloTarget = SloTarget {
+        latency: Micros::ZERO,
+        latency_budget_ppm: 0,
+        availability_budget_ppm: 0,
+    };
+
+    /// A target with both objectives set.
+    pub const fn new(
+        latency: Micros,
+        latency_budget_ppm: u32,
+        availability_budget_ppm: u32,
+    ) -> SloTarget {
+        SloTarget {
+            latency,
+            latency_budget_ppm,
+            availability_budget_ppm,
+        }
+    }
+
+    /// True when the latency objective is tracked.
+    pub fn tracks_latency(&self) -> bool {
+        self.latency > Micros::ZERO && self.latency_budget_ppm > 0
+    }
+
+    /// True when the availability objective is tracked.
+    pub fn tracks_availability(&self) -> bool {
+        self.availability_budget_ppm > 0
+    }
+
+    /// True when either objective is tracked.
+    pub fn enabled(&self) -> bool {
+        self.tracks_latency() || self.tracks_availability()
+    }
+}
+
+/// One [`SloTarget`] per priority class plus the two burn-rate windows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SloPolicy {
+    /// Targets indexed by `PriorityClass as usize`.
+    pub targets: [SloTarget; PriorityClass::COUNT],
+    /// Fast burn window (paging signal: catches sudden budget burn).
+    pub fast_window: Micros,
+    /// Slow burn window (ticket signal: catches slow sustained burn).
+    /// Also fixes the tracker's bucket width at `slow_window / 64`.
+    pub slow_window: Micros,
+}
+
+impl Default for SloPolicy {
+    /// The serving defaults: Interactive 50 ms at 1% latency / 0.1%
+    /// availability budget, Standard 250 ms at 5% / 1%, Batch untracked.
+    fn default() -> SloPolicy {
+        let mut targets = [SloTarget::DISABLED; PriorityClass::COUNT];
+        targets[PriorityClass::Interactive as usize] =
+            SloTarget::new(Micros::from_millis(50), 10_000, 1_000);
+        targets[PriorityClass::Standard as usize] =
+            SloTarget::new(Micros::from_millis(250), 50_000, 10_000);
+        SloPolicy {
+            targets,
+            fast_window: Micros::from_millis(5 * 60 * 1000),
+            slow_window: Micros::from_millis(60 * 60 * 1000),
+        }
+    }
+}
+
+impl SloPolicy {
+    /// A policy tracking nothing (no `rds_slo_*` series are emitted).
+    pub fn disabled() -> SloPolicy {
+        SloPolicy {
+            targets: [SloTarget::DISABLED; PriorityClass::COUNT],
+            ..SloPolicy::default()
+        }
+    }
+
+    /// Replaces one class's target (chainable).
+    pub fn with_target(mut self, class: PriorityClass, target: SloTarget) -> SloPolicy {
+        self.targets[class as usize] = target;
+        self
+    }
+
+    /// Sets the two burn windows (chainable). The slow window also
+    /// fixes the bucket width; keep `fast <= slow`.
+    pub fn with_windows(mut self, fast: Micros, slow: Micros) -> SloPolicy {
+        self.fast_window = fast;
+        self.slow_window = slow;
+        self
+    }
+
+    /// The target for `class`.
+    pub fn target(&self, class: PriorityClass) -> SloTarget {
+        self.targets[class as usize]
+    }
+
+    /// True when any class is tracked.
+    pub fn enabled(&self) -> bool {
+        self.targets.iter().any(|t| t.enabled())
+    }
+}
+
+/// Buckets per burn tracker — the slow window's resolution.
+const BUCKETS: usize = 64;
+
+/// Fixed ring of absolute-time buckets counting (events, bad) pairs.
+///
+/// Bucket `i` covers absolute times `[i*width, (i+1)*width)`; a slot is
+/// lazily reset when a newer absolute bucket index wraps onto it.
+/// Recording and querying never allocate, and two trackers over the
+/// same policy merge bucket-wise (the serve epilogue folds every
+/// worker's tracker plus the rejection log into one).
+#[derive(Clone, Debug)]
+struct BurnTracker {
+    width_us: u64,
+    /// Absolute bucket index + 1 per slot (0 = never used).
+    epoch: [u64; BUCKETS],
+    events: [u64; BUCKETS],
+    bad: [u64; BUCKETS],
+}
+
+impl BurnTracker {
+    fn new(slow_window: Micros) -> BurnTracker {
+        BurnTracker {
+            width_us: (slow_window.0 / BUCKETS as u64).max(1),
+            epoch: [0; BUCKETS],
+            events: [0; BUCKETS],
+            bad: [0; BUCKETS],
+        }
+    }
+
+    fn record(&mut self, now: Micros, bad: bool) {
+        let abs = now.0 / self.width_us + 1;
+        let slot = (abs as usize) % BUCKETS;
+        if self.epoch[slot] != abs {
+            self.epoch[slot] = abs;
+            self.events[slot] = 0;
+            self.bad[slot] = 0;
+        }
+        self.events[slot] += 1;
+        self.bad[slot] += bad as u64;
+    }
+
+    fn merge(&mut self, other: &BurnTracker) {
+        for slot in 0..BUCKETS {
+            if other.epoch[slot] == 0 {
+                continue;
+            }
+            if self.epoch[slot] == other.epoch[slot] {
+                self.events[slot] += other.events[slot];
+                self.bad[slot] += other.bad[slot];
+            } else if other.epoch[slot] > self.epoch[slot] {
+                self.epoch[slot] = other.epoch[slot];
+                self.events[slot] = other.events[slot];
+                self.bad[slot] = other.bad[slot];
+            }
+        }
+    }
+
+    /// (events, bad) over the last `window` ending at `now`.
+    fn window(&self, now: Micros, window: Micros) -> (u64, u64) {
+        let horizon = now.0.saturating_sub(window.0) / self.width_us + 1;
+        let mut events = 0;
+        let mut bad = 0;
+        for slot in 0..BUCKETS {
+            if self.epoch[slot] >= horizon && self.epoch[slot] != 0 {
+                events += self.events[slot];
+                bad += self.bad[slot];
+            }
+        }
+        (events, bad)
+    }
+
+    /// (events, bad) over every live bucket.
+    fn totals(&self) -> (u64, u64) {
+        let mut events = 0;
+        let mut bad = 0;
+        for slot in 0..BUCKETS {
+            if self.epoch[slot] != 0 {
+                events += self.events[slot];
+                bad += self.bad[slot];
+            }
+        }
+        (events, bad)
+    }
+}
+
+/// Per-class latency + availability burn trackers for one worker (or
+/// the admission-rejection log). Created from the engine's policy,
+/// merged at the serve epilogue.
+#[derive(Clone, Debug)]
+pub struct SloTrackerSet {
+    policy: SloPolicy,
+    latency: [BurnTracker; PriorityClass::COUNT],
+    availability: [BurnTracker; PriorityClass::COUNT],
+    last_now: Micros,
+}
+
+impl Default for SloTrackerSet {
+    fn default() -> SloTrackerSet {
+        SloTrackerSet::new(SloPolicy::default())
+    }
+}
+
+impl SloTrackerSet {
+    /// An empty tracker set over `policy`.
+    pub fn new(policy: SloPolicy) -> SloTrackerSet {
+        let mk = || BurnTracker::new(policy.slow_window);
+        SloTrackerSet {
+            policy,
+            latency: [mk(), mk(), mk()],
+            availability: [mk(), mk(), mk()],
+            last_now: Micros::ZERO,
+        }
+    }
+
+    /// The policy this set tracks.
+    pub fn policy(&self) -> SloPolicy {
+        self.policy
+    }
+
+    /// Records one completed response: a latency event (bad when slower
+    /// than the class objective) and a good availability event.
+    pub fn record_response(&mut self, class: PriorityClass, now: Micros, turnaround: Micros) {
+        let target = self.policy.target(class);
+        if !target.enabled() {
+            return;
+        }
+        self.last_now = self.last_now.max(now);
+        let i = class as usize;
+        if target.tracks_latency() {
+            self.latency[i].record(now, turnaround > target.latency);
+        }
+        if target.tracks_availability() {
+            self.availability[i].record(now, false);
+        }
+    }
+
+    /// Records one failed or rejected submission: a bad availability
+    /// event (latency budget is not charged — there is no response to
+    /// time).
+    pub fn record_unavailable(&mut self, class: PriorityClass, now: Micros) {
+        let target = self.policy.target(class);
+        if !target.tracks_availability() {
+            return;
+        }
+        self.last_now = self.last_now.max(now);
+        self.availability[class as usize].record(now, true);
+    }
+
+    /// Folds another tracker set (same policy) into this one. A set
+    /// that recorded nothing merges as a no-op, whatever its policy —
+    /// so default-constructed sets from dead workers are harmless.
+    pub fn merge(&mut self, other: &SloTrackerSet) {
+        if other.last_now == Micros::ZERO {
+            let empty = other
+                .latency
+                .iter()
+                .chain(other.availability.iter())
+                .all(|t| t.totals().0 == 0);
+            if empty {
+                return;
+            }
+        }
+        self.last_now = self.last_now.max(other.last_now);
+        for i in 0..PriorityClass::COUNT {
+            self.latency[i].merge(&other.latency[i]);
+            self.availability[i].merge(&other.availability[i]);
+        }
+    }
+
+    /// Computes the report: totals plus fast/slow-window burn rates as
+    /// of the latest recorded event time.
+    pub fn report(&self) -> SloReport {
+        let now = self.last_now;
+        let mut report = SloReport {
+            policy: self.policy,
+            ..SloReport::default()
+        };
+        for class in PriorityClass::ALL {
+            let i = class as usize;
+            let target = self.policy.target(class);
+            let c = &mut report.classes[i];
+            c.enabled = target.enabled();
+            if !c.enabled {
+                continue;
+            }
+            (c.latency_events, c.latency_violations) = self.latency[i].totals();
+            (c.availability_events, c.availability_violations) = self.availability[i].totals();
+            let (le_f, lb_f) = self.latency[i].window(now, self.policy.fast_window);
+            let (le_s, lb_s) = self.latency[i].window(now, self.policy.slow_window);
+            let (ae_f, ab_f) = self.availability[i].window(now, self.policy.fast_window);
+            let (ae_s, ab_s) = self.availability[i].window(now, self.policy.slow_window);
+            c.latency_burn_fast_milli = burn_milli(le_f, lb_f, target.latency_budget_ppm);
+            c.latency_burn_slow_milli = burn_milli(le_s, lb_s, target.latency_budget_ppm);
+            c.availability_burn_fast_milli = burn_milli(ae_f, ab_f, target.availability_budget_ppm);
+            c.availability_burn_slow_milli = burn_milli(ae_s, ab_s, target.availability_budget_ppm);
+        }
+        report
+    }
+}
+
+/// Burn rate in thousandths: `(bad/events) / (budget_ppm/1e6) * 1000`.
+/// 1000 means the budget burns exactly at the sustainable rate.
+fn burn_milli(events: u64, bad: u64, budget_ppm: u32) -> u64 {
+    if events == 0 || budget_ppm == 0 {
+        return 0;
+    }
+    ((bad as u128 * 1_000_000_000) / (events as u128 * budget_ppm as u128)) as u64
+}
+
+/// Error-budget state for one class (see [`SloReport`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassSloReport {
+    /// Whether this class has an enabled target.
+    pub enabled: bool,
+    /// Responses measured against the latency objective.
+    pub latency_events: u64,
+    /// Responses slower than the objective.
+    pub latency_violations: u64,
+    /// Submissions measured for availability (responses + failures +
+    /// rejections).
+    pub availability_events: u64,
+    /// Failed or rejected submissions.
+    pub availability_violations: u64,
+    /// Fast-window latency burn rate, in thousandths (1000 = budget
+    /// burning at exactly the sustainable rate).
+    pub latency_burn_fast_milli: u64,
+    /// Slow-window latency burn rate, in thousandths.
+    pub latency_burn_slow_milli: u64,
+    /// Fast-window availability burn rate, in thousandths.
+    pub availability_burn_fast_milli: u64,
+    /// Slow-window availability burn rate, in thousandths.
+    pub availability_burn_slow_milli: u64,
+}
+
+/// The merged SLO view carried by [`ServeStats`](crate::serve::ServeStats)
+/// and exported as `rds_slo_*` metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SloReport {
+    /// The policy the run was tracked under.
+    pub policy: SloPolicy,
+    /// Per-class budgets and burn rates, indexed by
+    /// `PriorityClass as usize`.
+    pub classes: [ClassSloReport; PriorityClass::COUNT],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burn_rate_is_bad_fraction_over_budget_fraction() {
+        // 10% bad against a 1% budget: burning 10x too fast.
+        assert_eq!(burn_milli(100, 10, 10_000), 10_000);
+        // Exactly on budget.
+        assert_eq!(burn_milli(1_000_000, 10_000, 10_000), 1_000);
+        // No events or no budget: quiet zero.
+        assert_eq!(burn_milli(0, 0, 10_000), 0);
+        assert_eq!(burn_milli(10, 10, 0), 0);
+    }
+
+    #[test]
+    fn tracker_windows_and_merge() {
+        let policy = SloPolicy::default().with_windows(Micros(6_400), Micros(64_000));
+        // Bucket width = 64_000 / 64 = 1_000 us.
+        let mut a = SloTrackerSet::new(policy);
+        let mut b = SloTrackerSet::new(policy);
+        let class = PriorityClass::Interactive;
+        let slow = policy.target(class).latency + Micros(1);
+        // Old bad events land outside the fast window...
+        for k in 0..10 {
+            a.record_response(class, Micros(1_000 + k), slow);
+        }
+        // ...recent good events (half in each worker) inside it.
+        for k in 0..5 {
+            a.record_response(class, Micros(50_000 + k), Micros(1));
+            b.record_response(class, Micros(50_000 + 100 + k), Micros(1));
+        }
+        a.merge(&b);
+        let report = a.report();
+        let c = report.classes[class as usize];
+        assert!(c.enabled);
+        assert_eq!(c.latency_events, 20);
+        assert_eq!(c.latency_violations, 10);
+        // Fast window (6.4ms ending at 50.1ms) sees only the 10 good
+        // recent events; slow window sees everything.
+        assert_eq!(c.latency_burn_fast_milli, 0);
+        assert!(c.latency_burn_slow_milli > 0);
+        // Batch is untracked by default.
+        assert!(!report.classes[PriorityClass::Batch as usize].enabled);
+    }
+
+    #[test]
+    fn unavailability_burns_availability_budget_only() {
+        let mut t = SloTrackerSet::new(SloPolicy::default());
+        let class = PriorityClass::Standard;
+        t.record_unavailable(class, Micros(10));
+        t.record_response(class, Micros(20), Micros(1));
+        let c = t.report().classes[class as usize];
+        assert_eq!(c.availability_events, 2);
+        assert_eq!(c.availability_violations, 1);
+        assert_eq!(c.latency_events, 1);
+        assert_eq!(c.latency_violations, 0);
+        // Default-constructed (empty) sets merge as no-ops.
+        let snapshot = t.report();
+        t.merge(&SloTrackerSet::default());
+        assert_eq!(t.report(), snapshot);
+    }
+}

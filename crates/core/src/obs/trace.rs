@@ -10,10 +10,14 @@
 //! and engine PRs (retries, health changes, shard batches).
 //!
 //! Events are small `Copy` values. Emission goes through exactly one
-//! indirection — [`Tracer::emit`] — which is compiled to an empty inline
-//! function when the `trace` Cargo feature is off, and costs a single
-//! `Option` branch when it is on but no sink is installed.
+//! indirection — [`Tracer::emit`] — which forwards to the always-compiled
+//! span channel (one `Option` branch while no
+//! [`QuerySpan`] is armed) and then to the
+//! feature-gated sink: compiled out entirely when the `trace` Cargo
+//! feature is off, a single `Option` branch when it is on but no sink is
+//! installed. See the overhead contract in [`crate::obs`].
 
+use crate::obs::span::{PhaseKind, QuerySpan, SpanCollector};
 use rds_storage::time::Micros;
 
 /// One solver-phase event.
@@ -356,16 +360,20 @@ impl TraceSink for Recorder {
 
 /// The per-workspace emission point.
 ///
-/// With the `trace` feature off this is a zero-sized type and
-/// [`Tracer::emit`] an empty inline function — the no-op path the
-/// `engine_speedup` bench guards. With the feature on, a tracer holds
-/// either nothing (one branch per emit), a [`Recorder`] (typed access
+/// Every tracer carries the always-compiled [`SpanCollector`] — the
+/// channel the serving loop uses to capture per-query timelines; while
+/// no span is armed it costs one `Option` branch per emit (the path the
+/// `engine_speedup` and `span_overhead` benches guard). The sink half is
+/// feature-gated: with `trace` on, a tracer additionally holds either
+/// nothing (one more branch per emit), a [`Recorder`] (typed access
 /// preserved for [`crate::engine::Engine`] scraping), or an arbitrary
 /// boxed [`TraceSink`].
 #[derive(Debug, Default)]
 pub struct Tracer {
     #[cfg(feature = "trace")]
     sink: Sink,
+    /// The always-compiled span channel (see [`crate::obs::span`]).
+    spans: SpanCollector,
 }
 
 #[cfg(feature = "trace")]
@@ -394,10 +402,12 @@ impl Tracer {
         Tracer::default()
     }
 
-    /// Emits one event. The hot-path call: inline, no-op without the
-    /// `trace` feature, one branch without a sink.
+    /// Emits one event. The hot-path call: inline, one span-channel
+    /// branch while no span is armed, plus (with the `trace` feature)
+    /// one branch without a sink.
     #[inline]
     pub fn emit(&mut self, event: TraceEvent) {
+        self.spans.observe(&event);
         #[cfg(feature = "trace")]
         match &mut self.sink {
             Sink::None => {}
@@ -406,6 +416,38 @@ impl Tracer {
         }
         #[cfg(not(feature = "trace"))]
         let _ = event;
+    }
+
+    /// Arms `span` as the active query span: subsequent coarse emits
+    /// append phases to it until [`Tracer::disarm_span`]. Called by the
+    /// serving loop around each query.
+    #[inline]
+    pub(crate) fn arm_span(&mut self, span: QuerySpan) {
+        self.spans.arm(span);
+    }
+
+    /// Removes and returns the active span (also safe after a contained
+    /// solver panic — the collector survives unwinding).
+    #[inline]
+    pub(crate) fn disarm_span(&mut self) -> Option<QuerySpan> {
+        self.spans.disarm()
+    }
+
+    /// Appends one phase to the active span (no-op while disarmed).
+    /// Lets the session layer mark reuse-path decisions (rebuild, delta
+    /// fallback) that have no dedicated [`TraceEvent`].
+    #[inline]
+    pub(crate) fn span_mark(&mut self, kind: PhaseKind, a: u64, b: u64) {
+        self.spans.mark(kind, a, b);
+    }
+
+    /// Records which solver front-end took over the active span and
+    /// whether it is a delta resume. Called at every
+    /// `solve_in`/`resume_in` entry, so the span names the solver that
+    /// actually ran (e.g. after a delta fallback).
+    #[inline]
+    pub(crate) fn note_solver(&mut self, name: &'static str, delta: bool) {
+        self.spans.note_solver(name, delta);
     }
 
     /// True when events are being consumed (always false with the `trace`

@@ -46,6 +46,7 @@ impl RetrievalSolver for ParallelPushRelabelBinary {
         inst: &RetrievalInstance,
         ws: &mut Workspace,
     ) -> Result<RetrievalOutcome, SolveError> {
+        ws.tracer.note_solver(self.name(), false);
         let budget = ArmedBudget::start(ws.armed_budget());
         ws.begin(inst);
         let mut stats = SolveStats::default();
@@ -76,6 +77,7 @@ impl RetrievalSolver for ParallelPushRelabelBinary {
         inst: &RetrievalInstance,
         ws: &mut Workspace,
     ) -> Result<RetrievalOutcome, SolveError> {
+        ws.tracer.note_solver(self.name(), true);
         let budget = ArmedBudget::start(ws.armed_budget());
         let mut stats = SolveStats::default();
         let result = match ws.warm_parallel_parts(inst, self.threads) {

@@ -23,6 +23,9 @@ pub use crate::error::{EngineError, SessionError, SolveError};
 pub use crate::fault::{DiskHealth, FaultInjector, HealthMap};
 pub use crate::network::RetrievalInstance;
 pub use crate::obs::metrics::{Histogram, LatencySummary, MetricsRegistry};
+pub use crate::obs::recorder::{FlightRecorder, FlightRecorderConfig, Postmortem, RecorderStats};
+pub use crate::obs::slo::{SloPolicy, SloReport, SloTarget};
+pub use crate::obs::span::{PhaseKind, QuerySpan, RejectReason, SpanId, SpanOutcome};
 pub use crate::obs::trace::{EventKind, Recorder, TraceEvent, Tracer};
 pub use crate::schedule::{RetrievalOutcome, Schedule, SolveStats};
 pub use crate::serve::{

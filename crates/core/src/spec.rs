@@ -14,6 +14,7 @@ use crate::blackbox::{BlackBoxFordFulkerson, BlackBoxPushRelabel};
 use crate::error::SolveError;
 use crate::ff::{FordFulkersonBasic, FordFulkersonIncremental};
 use crate::network::RetrievalInstance;
+use crate::obs::slo::SloPolicy;
 use crate::parallel::ParallelPushRelabelBinary;
 use crate::pr::{PushRelabelBinary, PushRelabelIncremental};
 use crate::schedule::RetrievalOutcome;
@@ -223,6 +224,11 @@ pub struct SolverSpec {
     /// Anytime budget applied to every solve ([`SolveBudget::UNLIMITED`]
     /// by default — exact optimum, pre-budget behaviour).
     pub budget: SolveBudget,
+    /// Per-priority-class service-level objectives tracked by
+    /// [`Engine::serve`](crate::engine::Engine::serve). The default
+    /// policy tracks the Interactive and Standard classes; use
+    /// [`SloPolicy::disabled`] to silence the `rds_slo_*` series.
+    pub slo: SloPolicy,
 }
 
 impl SolverSpec {
@@ -236,6 +242,7 @@ impl SolverSpec {
             cache_capacity: 0,
             objective: ScheduleObjective::FirstFeasible,
             budget: SolveBudget::UNLIMITED,
+            slo: SloPolicy::default(),
         }
     }
 
@@ -266,6 +273,12 @@ impl SolverSpec {
     /// Sets the anytime solve budget.
     pub fn budget(mut self, budget: SolveBudget) -> SolverSpec {
         self.budget = budget;
+        self
+    }
+
+    /// Sets the per-class SLO policy tracked by the serving loop.
+    pub fn slo(mut self, policy: SloPolicy) -> SolverSpec {
+        self.slo = policy;
         self
     }
 

@@ -77,6 +77,9 @@ pub mod prelude {
         ff::{FordFulkersonBasic, FordFulkersonIncremental},
         network::{RetrievalInstance, UnavailableBucket},
         obs::metrics::{Histogram, LatencySummary, MetricsRegistry},
+        obs::recorder::{FlightRecorder, FlightRecorderConfig, Postmortem, RecorderStats},
+        obs::slo::{SloPolicy, SloReport, SloTarget},
+        obs::span::{PhaseKind, PhaseRecord, QuerySpan, RejectReason, SpanId, SpanOutcome},
         obs::trace::{EventKind, Recorder, TraceEvent, TraceSink, Tracer},
         parallel::ParallelPushRelabelBinary,
         pr::{PushRelabelBinary, PushRelabelIncremental},
