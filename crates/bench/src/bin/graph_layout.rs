@@ -33,6 +33,7 @@
 //! Writes `results/graph_layout.txt` and `BENCH_graph_layout.json`.
 
 use rds_flow::graph::FlowGraph;
+use rds_flow::parallel::{ParallelPushRelabel, WorkerPool};
 use rds_util::SplitMix64;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -844,14 +845,30 @@ fn ms(d: Duration) -> f64 {
 }
 
 /// Cold/steady stack timings for one instance, best of `repeat` samples of
-/// `rounds` cycles each. The four measurements are interleaved inside each
-/// sample so slow system phases penalize both arms alike.
+/// `rounds` cycles each. The measurements are interleaved inside each
+/// sample so slow system phases penalize every arm alike.
 struct StackTimes {
     legacy_cold: Duration,
     legacy_steady: Duration,
     shipped_cold: Duration,
     shipped_steady: Duration,
+    compact_cold: Duration,
+    compact_steady: Duration,
     flow: i64,
+}
+
+/// Builds the production arena exactly as the retrieval drivers do,
+/// monomorphized over the cap/flow word width.
+fn build_production<W: rds_flow::graph::ArenaIndex>(g: &mut FlowGraph<W>, inst: &Instance) {
+    g.reset(inst.n);
+    // The production builders pre-size the arena from the known
+    // topology bound (see `RetrievalInstance::rebuild_with_health`);
+    // the bench knows the arc count exactly.
+    g.reserve_edges(inst.arcs.len());
+    for a in &inst.arcs {
+        g.add_edge(a.from as usize, a.to as usize, a.cap);
+    }
+    g.finalize();
 }
 
 fn time_stacks(inst: &Instance, repeat: usize, rounds: usize) -> StackTimes {
@@ -860,17 +877,6 @@ fn time_stacks(inst: &Instance, repeat: usize, rounds: usize) -> StackTimes {
         for a in &inst.arcs {
             g.add_edge(a.from as usize, a.to as usize, a.cap);
         }
-    };
-    let build_shipped = |g: &mut FlowGraph| {
-        g.reset(inst.n);
-        // The production builders pre-size the arena from the known
-        // topology bound (see `RetrievalInstance::rebuild_with_health`);
-        // the bench knows the arc count exactly.
-        g.reserve_edges(inst.arcs.len());
-        for a in &inst.arcs {
-            g.add_edge(a.from as usize, a.to as usize, a.cap);
-        }
-        g.finalize();
     };
 
     // Each cycle reproduces the full solve pipeline: build the instance's
@@ -881,22 +887,30 @@ fn time_stacks(inst: &Instance, repeat: usize, rounds: usize) -> StackTimes {
     let mut lpr = legacy::LegacyPushRelabel::new();
     let mut spr = rds_flow::push_relabel::PushRelabel::new();
     let mut linst = legacy::LegacyGraph::new(inst.n);
-    let mut sinst = FlowGraph::new(inst.n);
+    let mut sinst = FlowGraph::<i64>::new(inst.n);
+    let mut cinst = FlowGraph::<i32>::new(inst.n);
     let mut lscratch = legacy::LegacyGraph::default();
-    let mut sscratch = FlowGraph::new(0);
+    let mut sscratch = FlowGraph::<i64>::new(0);
+    let mut cscratch = FlowGraph::<i32>::new(0);
     build_legacy(&mut linst);
-    build_shipped(&mut sinst);
+    build_production(&mut sinst, inst);
+    build_production(&mut cinst, inst);
     lscratch.copy_from(&linst);
     sscratch.copy_from(&sinst);
+    cscratch.copy_from(&cinst);
     let flow = lpr.max_flow(&mut lscratch, inst.source, inst.sink);
     let shipped_flow = spr.max_flow(&mut sscratch, inst.source, inst.sink);
+    let compact_flow = spr.max_flow(&mut cscratch, inst.source, inst.sink);
     assert_eq!(flow, shipped_flow, "stacks disagree on grid {}", inst.grid);
+    assert_eq!(flow, compact_flow, "widths disagree on grid {}", inst.grid);
 
     let mut t = StackTimes {
         legacy_cold: Duration::MAX,
         legacy_steady: Duration::MAX,
         shipped_cold: Duration::MAX,
         shipped_steady: Duration::MAX,
+        compact_cold: Duration::MAX,
+        compact_steady: Duration::MAX,
         flow,
     };
     for _ in 0..repeat {
@@ -912,13 +926,23 @@ fn time_stacks(inst: &Instance, repeat: usize, rounds: usize) -> StackTimes {
 
         let started = Instant::now();
         for _ in 0..rounds {
-            let mut fresh_inst = FlowGraph::new(inst.n);
-            build_shipped(&mut fresh_inst);
-            let mut fresh_ws = FlowGraph::new(0);
+            let mut fresh_inst = FlowGraph::<i64>::new(inst.n);
+            build_production(&mut fresh_inst, inst);
+            let mut fresh_ws = FlowGraph::<i64>::new(0);
             fresh_ws.copy_from(&fresh_inst);
             assert_eq!(spr.max_flow(&mut fresh_ws, inst.source, inst.sink), flow);
         }
         t.shipped_cold = t.shipped_cold.min(started.elapsed() / rounds as u32);
+
+        let started = Instant::now();
+        for _ in 0..rounds {
+            let mut fresh_inst = FlowGraph::<i32>::new(inst.n);
+            build_production(&mut fresh_inst, inst);
+            let mut fresh_ws = FlowGraph::<i32>::new(0);
+            fresh_ws.copy_from(&fresh_inst);
+            assert_eq!(spr.max_flow(&mut fresh_ws, inst.source, inst.sink), flow);
+        }
+        t.compact_cold = t.compact_cold.min(started.elapsed() / rounds as u32);
 
         let started = Instant::now();
         for _ in 0..rounds {
@@ -930,14 +954,69 @@ fn time_stacks(inst: &Instance, repeat: usize, rounds: usize) -> StackTimes {
 
         let started = Instant::now();
         for _ in 0..rounds {
-            build_shipped(&mut sinst);
+            build_production(&mut sinst, inst);
             sscratch.copy_from(&sinst);
             assert_eq!(spr.max_flow(&mut sscratch, inst.source, inst.sink), flow);
         }
         t.shipped_steady = t.shipped_steady.min(started.elapsed() / rounds as u32);
+
+        let started = Instant::now();
+        for _ in 0..rounds {
+            build_production(&mut cinst, inst);
+            cscratch.copy_from(&cinst);
+            assert_eq!(spr.max_flow(&mut cscratch, inst.source, inst.sink), flow);
+        }
+        t.compact_steady = t.compact_steady.min(started.elapsed() / rounds as u32);
     }
     std::hint::black_box((lpr.ops(), spr.stats));
     t
+}
+
+/// Sequential vs pool-backed parallel push-relabel on one instance, both on
+/// the wide production arena, steady-state (in-place rebuild + solve per
+/// cycle). The parallel arm reuses one shared [`WorkerPool`] across every
+/// cycle — the engine-lifecycle shape, where `EngineBuilder` spawns the
+/// pool once and all shards and solves borrow it.
+fn time_parallel_vs_seq(
+    inst: &Instance,
+    repeat: usize,
+    rounds: usize,
+    threads: usize,
+) -> (Duration, Duration) {
+    let mut seq = rds_flow::push_relabel::PushRelabel::new();
+    let mut par = ParallelPushRelabel::with_pool(WorkerPool::new(threads));
+    let mut graph = FlowGraph::<i64>::new(inst.n);
+    let mut scratch = FlowGraph::<i64>::new(0);
+    build_production(&mut graph, inst);
+    scratch.copy_from(&graph);
+    let flow = seq.max_flow(&mut scratch, inst.source, inst.sink);
+    scratch.copy_from(&graph);
+    assert_eq!(
+        par.max_flow(&mut scratch, inst.source, inst.sink),
+        flow,
+        "parallel solver lost the flow value on grid {}",
+        inst.grid
+    );
+
+    let (mut best_seq, mut best_par) = (Duration::MAX, Duration::MAX);
+    for _ in 0..repeat {
+        let started = Instant::now();
+        for _ in 0..rounds {
+            build_production(&mut graph, inst);
+            scratch.copy_from(&graph);
+            assert_eq!(seq.max_flow(&mut scratch, inst.source, inst.sink), flow);
+        }
+        best_seq = best_seq.min(started.elapsed() / rounds as u32);
+
+        let started = Instant::now();
+        for _ in 0..rounds {
+            build_production(&mut graph, inst);
+            scratch.copy_from(&graph);
+            assert_eq!(par.max_flow(&mut scratch, inst.source, inst.sink), flow);
+        }
+        best_par = best_par.min(started.elapsed() / rounds as u32);
+    }
+    (best_seq, best_par)
 }
 
 /// Best-of-`repeat` steady-state time for one panel layout (in-place
@@ -1011,11 +1090,27 @@ fn main() -> ExitCode {
         });
     }
 
+    // Sequential vs shared-pool parallel push-relabel, production arena,
+    // at the largest (cache-pressure) rung only — the small rungs have too
+    // little concurrent excess for the pool to matter.
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(1, 4);
+    let par_inst = build_instance(
+        *grids.last().expect("at least one rung"),
+        0x7AB1E2 + (grids.len() - 1) as u64,
+    );
+    let (seq_112, par_112) = time_parallel_vs_seq(&par_inst, repeat, rounds, threads);
+
     let last = rungs.last().expect("at least one rung");
     let cold_speedup =
         last.stacks.legacy_cold.as_secs_f64() / last.stacks.shipped_cold.as_secs_f64();
     let steady_speedup =
         last.stacks.legacy_steady.as_secs_f64() / last.stacks.shipped_steady.as_secs_f64();
+    let compact_speedup =
+        last.stacks.shipped_cold.as_secs_f64() / last.stacks.compact_cold.as_secs_f64();
+    let parallel_vs_seq_112 = seq_112.as_secs_f64() / par_112.as_secs_f64();
     let linked_vs_csr = last.panel[1].0.as_secs_f64() / last.panel[2].0.as_secs_f64();
     let i32_vs_i64 = last.panel[2].0.as_secs_f64() / last.panel[3].0.as_secs_f64();
 
@@ -1028,13 +1123,14 @@ fn main() -> ExitCode {
          #          the old layout pays one heap vector per vertex);\n\
          # steady = in-place rebuild reusing buffers + solve.\n\
          # best of {repeat} samples x {rounds} cycles, arms interleaved per sample.\n\
+         # compact = the same production stack on the i32 (Compact) arena.\n\
          #\n\
-         # grid  vertices  slots    legacy_ms        shipped_ms      flow\n\
-         #                          cold   steady    cold   steady\n"
+         # grid  vertices  slots    legacy_ms        shipped_ms       compact_ms      flow\n\
+         #                          cold   steady    cold   steady    cold   steady\n"
     );
     for r in &rungs {
         report.push_str(&format!(
-            "{:>6} {:>9} {:>6} {:>9.3} {:>8.3} {:>8.3} {:>8.3} {:>7}\n",
+            "{:>6} {:>9} {:>6} {:>9.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>7}\n",
             r.grid,
             r.vertices,
             r.edge_slots,
@@ -1042,6 +1138,8 @@ fn main() -> ExitCode {
             ms(r.stacks.legacy_steady),
             ms(r.stacks.shipped_cold),
             ms(r.stacks.shipped_steady),
+            ms(r.stacks.compact_cold),
+            ms(r.stacks.compact_steady),
             r.stacks.flow,
         ));
     }
@@ -1062,20 +1160,26 @@ fn main() -> ExitCode {
     }
     report.push_str(&format!(
         "#\n\
-         cold_speedup    {cold_speedup:.2}x   (legacy stack / shipped stack, cold, grid {grid})\n\
-         steady_speedup  {steady_speedup:.2}x   (legacy stack / shipped stack, in-place rebuilds)\n\
-         linked_vs_csr   {linked_vs_csr:.2}x   (panel: linked forward-star / offset-array csr)\n\
-         i32_vs_i64      {i32_vs_i64:.2}x   (panel: csr i64 words / csr i32 words)\n",
+         cold_speedup         {cold_speedup:.2}x   (legacy stack / shipped stack, cold, grid {grid})\n\
+         steady_speedup       {steady_speedup:.2}x   (legacy stack / shipped stack, in-place rebuilds)\n\
+         compact_speedup      {compact_speedup:.2}x   (production stack: wide i64 arena / compact i32 arena, cold, grid {grid})\n\
+         parallel_vs_seq_112  {parallel_vs_seq_112:.2}x   (sequential {seq:.3} ms / {threads}-thread shared-pool parallel {par:.3} ms, grid {grid})\n\
+         linked_vs_csr        {linked_vs_csr:.2}x   (panel: linked forward-star / offset-array csr)\n\
+         i32_vs_i64           {i32_vs_i64:.2}x   (panel: csr i64 words / csr i32 words)\n",
         grid = last.grid,
+        seq = ms(seq_112),
+        par = ms(par_112),
     ));
     print!("{report}");
 
     let mut json = format!(
-        "{{\n  \"bench\": \"graph_layout\",\n  \"repeat\": {repeat},\n  \"rounds\": {rounds},\n  \"cold_speedup\": {cold_speedup:.3},\n  \"steady_speedup\": {steady_speedup:.3},\n  \"linked_vs_csr\": {linked_vs_csr:.3},\n  \"i32_vs_i64\": {i32_vs_i64:.3},\n  \"rungs\": [\n"
+        "{{\n  \"bench\": \"graph_layout\",\n  \"repeat\": {repeat},\n  \"rounds\": {rounds},\n  \"cold_speedup\": {cold_speedup:.3},\n  \"steady_speedup\": {steady_speedup:.3},\n  \"compact_speedup\": {compact_speedup:.3},\n  \"parallel_vs_seq_112\": {parallel_vs_seq_112:.3},\n  \"parallel_threads\": {threads},\n  \"seq_112_ms\": {seq:.4},\n  \"par_112_ms\": {par:.4},\n  \"linked_vs_csr\": {linked_vs_csr:.3},\n  \"i32_vs_i64\": {i32_vs_i64:.3},\n  \"rungs\": [\n",
+        seq = ms(seq_112),
+        par = ms(par_112),
     );
     for (i, r) in rungs.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"grid\": {}, \"vertices\": {}, \"edge_slots\": {}, \"flow\": {}, \"legacy_cold_ms\": {:.4}, \"legacy_steady_ms\": {:.4}, \"shipped_cold_ms\": {:.4}, \"shipped_steady_ms\": {:.4}, \"panel_vec_of_vecs_ms\": {:.4}, \"panel_linked_star_ms\": {:.4}, \"panel_csr_i64_ms\": {:.4}, \"panel_csr_i32_ms\": {:.4}}}{}\n",
+            "    {{\"grid\": {}, \"vertices\": {}, \"edge_slots\": {}, \"flow\": {}, \"legacy_cold_ms\": {:.4}, \"legacy_steady_ms\": {:.4}, \"shipped_cold_ms\": {:.4}, \"shipped_steady_ms\": {:.4}, \"compact_cold_ms\": {:.4}, \"compact_steady_ms\": {:.4}, \"panel_vec_of_vecs_ms\": {:.4}, \"panel_linked_star_ms\": {:.4}, \"panel_csr_i64_ms\": {:.4}, \"panel_csr_i32_ms\": {:.4}}}{}\n",
             r.grid,
             r.vertices,
             r.edge_slots,
@@ -1084,6 +1188,8 @@ fn main() -> ExitCode {
             ms(r.stacks.legacy_steady),
             ms(r.stacks.shipped_cold),
             ms(r.stacks.shipped_steady),
+            ms(r.stacks.compact_cold),
+            ms(r.stacks.compact_steady),
             ms(r.panel[0].0),
             ms(r.panel[1].0),
             ms(r.panel[2].0),

@@ -18,10 +18,9 @@ use crate::obs::trace::{TraceEvent, Tracer};
 use crate::pr::{budget_work, outcome_with_budget};
 use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
-use crate::workspace::{ArmedBudget, Workspace};
+use crate::workspace::{on_graph, ArmedBudget, Workspace};
 use rds_flow::ford_fulkerson::ford_fulkerson;
-use rds_flow::graph::FlowGraph;
-use rds_flow::incremental::IncrementalMaxFlow;
+use rds_flow::graph::{ArenaIndex, FlowGraph};
 use rds_storage::time::Micros;
 
 /// Runs the binary capacity-scaling driver with a from-scratch max-flow at
@@ -30,16 +29,16 @@ use rds_storage::time::Micros;
 /// Returns `Ok(None)` at the exact optimum, or `Ok(Some(lower_bound))`
 /// when the [`ArmedBudget`] expired and the search was finalized at the
 /// feasible upper bound instead (one extra from-scratch solve).
-fn blackbox_binary<F>(
+fn blackbox_binary<W: ArenaIndex, F>(
     inst: &RetrievalInstance,
-    g: &mut FlowGraph,
+    g: &mut FlowGraph<W>,
     stats: &mut SolveStats,
     tracer: &mut Tracer,
     budget: ArmedBudget,
     mut fresh_max_flow: F,
 ) -> Result<Option<Micros>, SolveError>
 where
-    F: FnMut(&mut FlowGraph, &mut SolveStats, &mut Tracer) -> i64,
+    F: FnMut(&mut FlowGraph<W>, &mut SolveStats, &mut Tracer) -> i64,
 {
     let q = inst.query_size() as i64;
     if q == 0 {
@@ -52,9 +51,9 @@ where
     // `t_max` stays feasible throughout the search, so the bail-out can
     // always finalize there with one more from-scratch solve.
     #[allow(clippy::too_many_arguments)]
-    fn bail<F>(
+    fn bail<W: ArenaIndex, F>(
         inst: &RetrievalInstance,
-        g: &mut FlowGraph,
+        g: &mut FlowGraph<W>,
         stats: &mut SolveStats,
         tracer: &mut Tracer,
         fresh_max_flow: &mut F,
@@ -63,7 +62,7 @@ where
         t_hi: Micros,
     ) -> Result<Option<Micros>, SolveError>
     where
-        F: FnMut(&mut FlowGraph, &mut SolveStats, &mut Tracer) -> i64,
+        F: FnMut(&mut FlowGraph<W>, &mut SolveStats, &mut Tracer) -> i64,
     {
         inst.set_caps_for_budget(g, t_hi);
         let flow = fresh_max_flow(g, stats, tracer);
@@ -142,31 +141,33 @@ impl RetrievalSolver for BlackBoxPushRelabel {
     ) -> Result<RetrievalOutcome, SolveError> {
         ws.tracer.note_solver(self.name(), false);
         let budget = ArmedBudget::start(ws.armed_budget());
-        ws.begin(inst);
+        ws.begin(inst)?;
         let mut stats = SolveStats::default();
         let (s, t) = (inst.source(), inst.sink());
-        let engine = &mut ws.engine;
-        let result = match blackbox_binary(
-            inst,
-            &mut ws.graph,
-            &mut stats,
-            &mut ws.tracer,
-            budget,
-            |g, stats, tracer| {
-                stats.maxflow_calls += 1;
-                let (pushes_before, relabels_before) = engine.op_counts();
-                let flow = engine.max_flow(g, s, t);
-                let (pushes, relabels) = engine.op_counts();
-                let (pushes, relabels) = (pushes - pushes_before, relabels - relabels_before);
-                stats.pushes += pushes;
-                stats.relabels += relabels;
-                tracer.emit(TraceEvent::RelabelPass { pushes, relabels });
-                flow
-            },
-        ) {
-            Ok(bailed) => outcome_with_budget(inst, &ws.graph, stats, bailed, &mut ws.tracer),
-            Err(e) => Err(e),
-        };
+        let result = on_graph!(ws, |g| {
+            let engine = &mut ws.engine;
+            match blackbox_binary(
+                inst,
+                &mut *g,
+                &mut stats,
+                &mut ws.tracer,
+                budget,
+                |g, stats, tracer| {
+                    stats.maxflow_calls += 1;
+                    let (pushes_before, relabels_before) = engine.op_counts();
+                    let flow = engine.max_flow(g, s, t);
+                    let (pushes, relabels) = engine.op_counts();
+                    let (pushes, relabels) = (pushes - pushes_before, relabels - relabels_before);
+                    stats.pushes += pushes;
+                    stats.relabels += relabels;
+                    tracer.emit(TraceEvent::RelabelPass { pushes, relabels });
+                    flow
+                },
+            ) {
+                Ok(bailed) => outcome_with_budget(inst, &*g, stats, bailed, &mut ws.tracer),
+                Err(e) => Err(e),
+            }
+        });
         ws.complete();
         result
     }
@@ -189,24 +190,26 @@ impl RetrievalSolver for BlackBoxFordFulkerson {
     ) -> Result<RetrievalOutcome, SolveError> {
         ws.tracer.note_solver(self.name(), false);
         let budget = ArmedBudget::start(ws.armed_budget());
-        ws.begin(inst);
+        ws.begin(inst)?;
         let mut stats = SolveStats::default();
         let (s, t) = (inst.source(), inst.sink());
-        let result = match blackbox_binary(
-            inst,
-            &mut ws.graph,
-            &mut stats,
-            &mut ws.tracer,
-            budget,
-            |g, stats, _tracer| {
-                stats.maxflow_calls += 1;
-                g.zero_flows();
-                ford_fulkerson(g, s, t)
-            },
-        ) {
-            Ok(bailed) => outcome_with_budget(inst, &ws.graph, stats, bailed, &mut ws.tracer),
-            Err(e) => Err(e),
-        };
+        let result = on_graph!(ws, |g| {
+            match blackbox_binary(
+                inst,
+                &mut *g,
+                &mut stats,
+                &mut ws.tracer,
+                budget,
+                |g, stats, _tracer| {
+                    stats.maxflow_calls += 1;
+                    g.zero_flows();
+                    ford_fulkerson(g, s, t)
+                },
+            ) {
+                Ok(bailed) => outcome_with_budget(inst, &*g, stats, bailed, &mut ws.tracer),
+                Err(e) => Err(e),
+            }
+        });
         ws.complete();
         result
     }

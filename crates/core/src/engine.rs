@@ -48,6 +48,7 @@ use crate::spec::{AnySolver, ScheduleObjective, SolveBudget, SolverKind, SolverS
 use crate::workspace::Workspace;
 use rds_decluster::allocation::ReplicaSource;
 use rds_decluster::query::Bucket;
+use rds_flow::parallel::WorkerPool;
 use rds_storage::model::SystemConfig;
 use rds_storage::time::Micros;
 use std::collections::HashMap;
@@ -255,6 +256,13 @@ impl MetricsSnapshot {
             self.stats.solve_stats.refine_moved,
         );
         reg.set_gauge("rds_shards", self.shards as i64);
+        // The arena width the solvers last ran under ("auto" until the
+        // first successful solve).
+        reg.set_gauge_labeled(
+            "rds_arena_layout",
+            &[("layout", self.stats.solve_stats.arena_layout.name())],
+            1,
+        );
         for kind in EventKind::ALL {
             let count = self.trace_counts[kind as usize];
             if count > 0 {
@@ -598,38 +606,6 @@ impl<'a, A: ReplicaSource + Sync> EngineBuilder<'a, A> {
         self
     }
 
-    /// Worker threads for the parallel solver (ignored by the others).
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the solver via `solver_spec(SolverSpec::new(..).threads(..))`"
-    )]
-    pub fn threads(mut self, threads: usize) -> Self {
-        self.spec = self.spec.threads(threads);
-        self
-    }
-
-    /// Enables warm-start delta solving per stream (see
-    /// [`ReusePolicy::warm_start`]).
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure reuse via `solver_spec(SolverSpec::new(..).reuse(ReusePolicy::warm()))`"
-    )]
-    pub fn warm_start(mut self, on: bool) -> Self {
-        self.spec = self.spec.warm_start(on);
-        self
-    }
-
-    /// Sets the per-stream schedule cache capacity (see
-    /// [`ReusePolicy::cache_capacity`]).
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure reuse via `solver_spec(SolverSpec::new(..).reuse(..))`"
-    )]
-    pub fn cache_capacity(mut self, entries: usize) -> Self {
-        self.spec = self.spec.cache_capacity(entries);
-        self
-    }
-
     /// Number of shard workers (minimum 1; default 1).
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards;
@@ -669,7 +645,20 @@ impl<'a, A: ReplicaSource + Sync> EngineBuilder<'a, A> {
     }
 
     /// Materializes the engine.
+    ///
+    /// For the parallel solver kind this creates **one** shared
+    /// [`WorkerPool`] sized from [`SolverSpec::parallelism`] and installs
+    /// it in every shard workspace, so all shards (and every solve) reuse
+    /// the same worker threads instead of spawning per solve.
     pub fn build(self) -> Engine<'a, A, AnySolver> {
+        let pool = matches!(self.spec.kind, SolverKind::ParallelPushRelabelBinary).then(|| {
+            let threads = if self.spec.parallelism == 0 {
+                2
+            } else {
+                self.spec.parallelism
+            };
+            WorkerPool::new(threads)
+        });
         let mut engine = Engine::new(self.system, self.alloc, self.spec.build(), self.shards)
             .with_reuse(self.spec.reuse_policy())
             .with_objective(self.spec.objective)
@@ -685,6 +674,12 @@ impl<'a, A: ReplicaSource + Sync> EngineBuilder<'a, A> {
         }
         if let Some(config) = self.flight_recorder {
             engine = engine.with_flight_recorder(config);
+        }
+        for shard in &mut engine.shards {
+            shard.workspace.set_arena_layout(self.spec.arena_layout);
+            if let Some(pool) = &pool {
+                shard.workspace.set_worker_pool(pool.clone());
+            }
         }
         engine
     }

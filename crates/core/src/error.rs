@@ -50,6 +50,20 @@ pub enum SolveError {
         /// `RetrievalSolver::name()` of the refusing solver.
         solver: &'static str,
     },
+    /// The instance does not fit the requested compact (`i32`) arena:
+    /// some capacity or cached flow exceeds the narrow width's range.
+    /// Raised only under [`ArenaLayout::Compact`](crate::spec::ArenaLayout)
+    /// — `Auto` measures the instance and widens instead — or when a
+    /// delta-patched stream grows past the compact bound mid-session
+    /// (the session drops the warm state and re-solves wide).
+    ArenaOverflow {
+        /// Edge slot whose value overflowed the narrow width.
+        edge: usize,
+        /// The offending capacity or flow value.
+        value: i64,
+        /// Name of the width that could not hold it (`"i32"`).
+        width: &'static str,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -79,11 +93,28 @@ impl std::fmt::Display for SolveError {
             SolveError::DeltaUnsupported { solver } => {
                 write!(f, "solver {solver} does not support warm delta re-solves")
             }
+            SolveError::ArenaOverflow { edge, value, width } => {
+                write!(
+                    f,
+                    "instance does not fit the compact arena: edge {edge} holds {value}, \
+                     which overflows {width}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for SolveError {}
+
+impl From<rds_flow::WidthOverflow> for SolveError {
+    fn from(e: rds_flow::WidthOverflow) -> Self {
+        SolveError::ArenaOverflow {
+            edge: e.edge,
+            value: e.value,
+            width: e.width,
+        }
+    }
+}
 
 /// Why a session refused or failed a submitted query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -212,6 +243,13 @@ mod tests {
         assert!(e.to_string().contains("homogeneous"));
         let e = SolveError::DeltaUnsupported { solver: "BB-PR" };
         assert!(e.to_string().contains("delta"));
+        let e = SolveError::from(rds_flow::WidthOverflow {
+            edge: 7,
+            value: 1 << 40,
+            width: "i32",
+        });
+        assert!(matches!(e, SolveError::ArenaOverflow { edge: 7, .. }));
+        assert!(e.to_string().contains("overflows i32"));
     }
 
     #[test]

@@ -19,12 +19,13 @@
 use crate::error::SolveError;
 use crate::increment::MinCostIncrementer;
 use crate::network::RetrievalInstance;
-use crate::obs::trace::TraceEvent;
+use crate::obs::trace::{TraceEvent, Tracer};
 use crate::pr::{budget_work, outcome_with_budget};
 use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
-use crate::workspace::{ArmedBudget, Workspace};
-use rds_flow::graph::FlowGraph;
+use crate::workspace::{on_graph, ArmedBudget, Workspace};
+use rds_flow::ford_fulkerson::AugmentingPath;
+use rds_flow::graph::{ArenaIndex, FlowGraph};
 use rds_storage::time::Micros;
 
 /// Anytime bail-out shared by both Ford-Fulkerson solvers: raises every
@@ -32,7 +33,7 @@ use rds_storage::time::Micros;
 /// upper bound (never lowering a capacity), after which every remaining
 /// per-bucket augment succeeds without further increments. Returns the
 /// lower bound to report the optimality gap against.
-fn ff_bail_caps(inst: &RetrievalInstance, g: &mut FlowGraph) -> Micros {
+fn ff_bail_caps<W: ArenaIndex>(inst: &RetrievalInstance, g: &mut FlowGraph<W>) -> Micros {
     let (t_lo, t_hi, _) = inst.tightened_bounds(&mut Vec::new());
     for (j, &e) in inst.disk_edges.iter().enumerate() {
         let cap = inst.disks[j].capacity_within(t_hi) as i64;
@@ -76,55 +77,69 @@ impl RetrievalSolver for FordFulkersonBasic {
 
         ws.tracer.note_solver(self.name(), false);
         let budget = ArmedBudget::start(ws.armed_budget());
-        ws.begin(inst);
-        let g = &mut ws.graph;
-        let mut stats = SolveStats::default();
-        let q = inst.query_size();
-        let n = inst.num_disks();
-        if q == 0 {
-            let result = RetrievalOutcome::try_from_flow(inst, g, stats);
-            ws.complete();
-            return result;
-        }
-
-        // Lines 1-2: caps ← ⌈|Q|/N⌉ (the theoretical lower bound; the
-        // paper's 6-bucket example on 7 disks uses capacity 1).
-        let lower = (q.div_ceil(n)) as i64;
-        for &e in &inst.disk_edges {
-            g.set_cap(e, lower);
-        }
-
-        let s = inst.source();
-        let t = inst.sink();
-        let mut bailed: Option<Micros> = None;
-        for i in 0..q {
-            // The source edge of bucket i is pre-assigned flow 1.
-            g.push(inst.bucket_edges[i], 1);
-            let from = inst.bucket_vertex(i);
-            loop {
-                if bailed.is_none() && budget.expired(budget_work(&stats)) {
-                    bailed = Some(ff_bail_caps(inst, g));
-                }
-                stats.dfs_calls += 1;
-                if ws.search.dfs_augment_avoiding(g, from, t, Some(s)) > 0 {
-                    ws.tracer.emit(TraceEvent::Augment { bucket: i as u32 });
-                    break;
-                }
-                // Lines 5-8: raise every disk-edge capacity by one.
-                for &e in &inst.disk_edges {
-                    g.set_cap(e, g.cap(e) + 1);
-                }
-                stats.increments += 1;
-                ws.tracer.emit(TraceEvent::CapacityIncrement {
-                    edges: inst.disk_edges.len() as u32,
-                });
-            }
-        }
-        debug_assert_eq!(g.net_inflow(t) as usize, q);
-        let result = outcome_with_budget(inst, &ws.graph, stats, bailed, &mut ws.tracer);
+        ws.begin(inst)?;
+        let result = on_graph!(ws, |g| ff_basic_body(
+            inst,
+            g,
+            &mut ws.search,
+            &mut ws.tracer,
+            budget
+        ));
         ws.complete();
         result
     }
+}
+
+/// The width-generic body of Algorithm 1.
+fn ff_basic_body<W: ArenaIndex>(
+    inst: &RetrievalInstance,
+    g: &mut FlowGraph<W>,
+    search: &mut AugmentingPath,
+    tracer: &mut Tracer,
+    budget: ArmedBudget,
+) -> Result<RetrievalOutcome, SolveError> {
+    let mut stats = SolveStats::default();
+    let q = inst.query_size();
+    let n = inst.num_disks();
+    if q == 0 {
+        return RetrievalOutcome::try_from_flow(inst, g, stats);
+    }
+
+    // Lines 1-2: caps ← ⌈|Q|/N⌉ (the theoretical lower bound; the
+    // paper's 6-bucket example on 7 disks uses capacity 1).
+    let lower = (q.div_ceil(n)) as i64;
+    for &e in &inst.disk_edges {
+        g.set_cap(e, lower);
+    }
+
+    let s = inst.source();
+    let t = inst.sink();
+    let mut bailed: Option<Micros> = None;
+    for i in 0..q {
+        // The source edge of bucket i is pre-assigned flow 1.
+        g.push(inst.bucket_edges[i], 1);
+        let from = inst.bucket_vertex(i);
+        loop {
+            if bailed.is_none() && budget.expired(budget_work(&stats)) {
+                bailed = Some(ff_bail_caps(inst, g));
+            }
+            stats.dfs_calls += 1;
+            if search.dfs_augment_avoiding(g, from, t, Some(s)) > 0 {
+                tracer.emit(TraceEvent::Augment { bucket: i as u32 });
+                break;
+            }
+            // Lines 5-8: raise every disk-edge capacity by one.
+            for &e in &inst.disk_edges {
+                g.set_cap(e, g.cap(e) + 1);
+            }
+            stats.increments += 1;
+            tracer.emit(TraceEvent::CapacityIncrement {
+                edges: inst.disk_edges.len() as u32,
+            });
+        }
+    }
+    debug_assert_eq!(g.net_inflow(t) as usize, q);
+    outcome_with_budget(inst, g, stats, bailed, tracer)
 }
 
 /// Algorithms 2+3: integrated Ford-Fulkerson for the **generalized**
@@ -144,55 +159,68 @@ impl RetrievalSolver for FordFulkersonIncremental {
     ) -> Result<RetrievalOutcome, SolveError> {
         ws.tracer.note_solver(self.name(), false);
         let budget = ArmedBudget::start(ws.armed_budget());
-        ws.begin(inst);
-        let g = &mut ws.graph;
-        let mut stats = SolveStats::default();
-        let q = inst.query_size();
-        if q == 0 {
-            let result = RetrievalOutcome::try_from_flow(inst, g, stats);
-            ws.complete();
-            return result;
-        }
-
-        // Lines 1-2: capacities start at zero — no closed-form lower bound
-        // exists for heterogeneous disks.
-        let s = inst.source();
-        let t = inst.sink();
-        let mut inc = MinCostIncrementer::new(inst);
-        let mut bailed: Option<Micros> = None;
-        for i in 0..q {
-            g.push(inst.bucket_edges[i], 1);
-            let from = inst.bucket_vertex(i);
-            loop {
-                if bailed.is_none() && budget.expired(budget_work(&stats)) {
-                    bailed = Some(ff_bail_caps(inst, g));
-                }
-                stats.dfs_calls += 1;
-                if ws.search.dfs_augment_avoiding(g, from, t, Some(s)) > 0 {
-                    ws.tracer.emit(TraceEvent::Augment { bucket: i as u32 });
-                    break;
-                }
-                // Line 6: raise only the minimum-cost edge(s).
-                let raised = inc.increment(inst, g);
-                stats.increments += 1;
-                ws.tracer.emit(TraceEvent::CapacityIncrement {
-                    edges: raised as u32,
-                });
-                if raised == 0 {
-                    ws.complete();
-                    return Err(SolveError::Infeasible {
-                        bucket: None,
-                        delivered: i as i64,
-                        required: q as i64,
-                    });
-                }
-            }
-        }
-        debug_assert_eq!(g.net_inflow(t) as usize, q);
-        let result = outcome_with_budget(inst, &ws.graph, stats, bailed, &mut ws.tracer);
+        ws.begin(inst)?;
+        let result = on_graph!(ws, |g| ff_incremental_body(
+            inst,
+            g,
+            &mut ws.search,
+            &mut ws.tracer,
+            budget
+        ));
         ws.complete();
         result
     }
+}
+
+/// The width-generic body of Algorithms 2+3.
+fn ff_incremental_body<W: ArenaIndex>(
+    inst: &RetrievalInstance,
+    g: &mut FlowGraph<W>,
+    search: &mut AugmentingPath,
+    tracer: &mut Tracer,
+    budget: ArmedBudget,
+) -> Result<RetrievalOutcome, SolveError> {
+    let mut stats = SolveStats::default();
+    let q = inst.query_size();
+    if q == 0 {
+        return RetrievalOutcome::try_from_flow(inst, g, stats);
+    }
+
+    // Lines 1-2: capacities start at zero — no closed-form lower bound
+    // exists for heterogeneous disks.
+    let s = inst.source();
+    let t = inst.sink();
+    let mut inc = MinCostIncrementer::new(inst);
+    let mut bailed: Option<Micros> = None;
+    for i in 0..q {
+        g.push(inst.bucket_edges[i], 1);
+        let from = inst.bucket_vertex(i);
+        loop {
+            if bailed.is_none() && budget.expired(budget_work(&stats)) {
+                bailed = Some(ff_bail_caps(inst, g));
+            }
+            stats.dfs_calls += 1;
+            if search.dfs_augment_avoiding(g, from, t, Some(s)) > 0 {
+                tracer.emit(TraceEvent::Augment { bucket: i as u32 });
+                break;
+            }
+            // Line 6: raise only the minimum-cost edge(s).
+            let raised = inc.increment(inst, g);
+            stats.increments += 1;
+            tracer.emit(TraceEvent::CapacityIncrement {
+                edges: raised as u32,
+            });
+            if raised == 0 {
+                return Err(SolveError::Infeasible {
+                    bucket: None,
+                    delivered: i as i64,
+                    required: q as i64,
+                });
+            }
+        }
+    }
+    debug_assert_eq!(g.net_inflow(t) as usize, q);
+    outcome_with_budget(inst, g, stats, bailed, tracer)
 }
 
 #[cfg(test)]

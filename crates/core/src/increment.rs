@@ -13,7 +13,7 @@
 //! `O(c · |Q|)`.
 
 use crate::network::RetrievalInstance;
-use rds_flow::graph::FlowGraph;
+use rds_flow::graph::{ArenaIndex, FlowGraph};
 use rds_storage::time::Micros;
 
 /// Stateful increment driver over one solve's disk-edge set `E`.
@@ -48,7 +48,11 @@ impl MinCostIncrementer {
     /// tolerates callers raising capacities out of band between steps (the
     /// anytime bail-out jumps them to a feasible bound) — a step never
     /// lowers a capacity.
-    pub fn increment(&mut self, inst: &RetrievalInstance, g: &mut FlowGraph) -> usize {
+    pub fn increment<W: ArenaIndex>(
+        &mut self,
+        inst: &RetrievalInstance,
+        g: &mut FlowGraph<W>,
+    ) -> usize {
         // Drop saturated disks (Algorithm 3 lines 3-5).
         self.active
             .retain(|&j| inst.replicas_per_disk[j] > g.cap(inst.disk_edges[j]) as u64);

@@ -91,5 +91,5 @@ pub use serve::{
 };
 pub use session::{RetrievalSession, ReuseCounters, ReusePolicy, SessionOutcome, SessionState};
 pub use solver::RetrievalSolver;
-pub use spec::{AnySolver, ScheduleObjective, SolveBudget, SolverKind, SolverSpec};
+pub use spec::{AnySolver, ArenaLayout, ScheduleObjective, SolveBudget, SolverKind, SolverSpec};
 pub use workspace::{PoisonedWorkspace, Workspace};

@@ -18,7 +18,7 @@
 use crate::fault::HealthMap;
 use rds_decluster::allocation::ReplicaSource;
 use rds_decluster::query::Bucket;
-use rds_flow::graph::{EdgeId, FlowGraph, VertexId};
+use rds_flow::graph::{ArenaIndex, EdgeId, FlowGraph, VertexId};
 use rds_storage::model::{Disk, SystemConfig};
 use rds_storage::time::Micros;
 
@@ -410,7 +410,7 @@ impl RetrievalInstance {
 
     /// Sets every disk-edge capacity to the number of buckets the disk can
     /// serve within budget `t` (Algorithm 6, lines 14-15 and 40-41).
-    pub fn set_caps_for_budget(&self, g: &mut FlowGraph, t: Micros) {
+    pub fn set_caps_for_budget<W: ArenaIndex>(&self, g: &mut FlowGraph<W>, t: Micros) {
         for (j, &e) in self.disk_edges.iter().enumerate() {
             g.set_cap(e, self.disks[j].capacity_within(t) as i64);
         }
@@ -418,7 +418,7 @@ impl RetrievalInstance {
 
     /// The response time implied by the flow currently in `g`: the maximum
     /// completion time over disks retrieving at least one bucket.
-    pub fn response_time_of_flow(&self, g: &FlowGraph) -> Micros {
+    pub fn response_time_of_flow<W: ArenaIndex>(&self, g: &FlowGraph<W>) -> Micros {
         self.disk_edges
             .iter()
             .enumerate()

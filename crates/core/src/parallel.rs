@@ -12,7 +12,7 @@ use crate::network::RetrievalInstance;
 use crate::pr::{binary_scaling_integrated, outcome_with_budget, warm_integrated};
 use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
-use crate::workspace::{ArmedBudget, Workspace};
+use crate::workspace::{on_graph, ArmedBudget, Workspace};
 
 /// Multithreaded Algorithm 6 (the paper evaluates 2 threads).
 #[derive(Clone, Copy, Debug)]
@@ -48,22 +48,25 @@ impl RetrievalSolver for ParallelPushRelabelBinary {
     ) -> Result<RetrievalOutcome, SolveError> {
         ws.tracer.note_solver(self.name(), false);
         let budget = ArmedBudget::start(ws.armed_budget());
-        ws.begin(inst);
+        ws.begin(inst)?;
+        ws.ensure_parallel(self.threads, inst.graph.num_vertices());
         let mut stats = SolveStats::default();
-        let (g, engine, stored_flows, stored_excess, tracer) = ws.parallel_parts(self.threads);
-        let result = match binary_scaling_integrated(
-            engine,
-            inst,
-            g,
-            &mut stats,
-            stored_flows,
-            stored_excess,
-            tracer,
-            budget,
-        ) {
-            Ok(bailed) => outcome_with_budget(inst, g, stats, bailed, tracer),
-            Err(e) => Err(e),
-        };
+        let result = on_graph!(ws, |g| {
+            let (_, engine) = ws.parallel.as_mut().expect("parallel engine cached");
+            match binary_scaling_integrated(
+                engine,
+                inst,
+                &mut *g,
+                &mut stats,
+                &mut ws.stored_flows,
+                &mut ws.stored_excess,
+                &mut ws.tracer,
+                budget,
+            ) {
+                Ok(bailed) => outcome_with_budget(inst, &*g, stats, bailed, &mut ws.tracer),
+                Err(e) => Err(e),
+            }
+        });
         ws.complete();
         result
     }
@@ -80,21 +83,28 @@ impl RetrievalSolver for ParallelPushRelabelBinary {
         ws.tracer.note_solver(self.name(), true);
         let budget = ArmedBudget::start(ws.armed_budget());
         let mut stats = SolveStats::default();
-        let result = match ws.warm_parallel_parts(inst, self.threads) {
-            None => {
-                return Err(SolveError::DeltaUnsupported {
-                    solver: self.name(),
-                })
+        if !ws.begin_warm_parallel(inst, self.threads)? {
+            return Err(SolveError::DeltaUnsupported {
+                solver: self.name(),
+            });
+        }
+        let result = on_graph!(ws, |g| {
+            let (_, engine) = ws.parallel.as_mut().expect("parallel engine cached");
+            match warm_integrated(
+                engine,
+                inst,
+                &mut *g,
+                &mut stats,
+                &mut ws.stored_excess,
+                &ws.warm_changed,
+                &mut ws.tracer,
+                true,
+                budget,
+            ) {
+                Ok(bailed) => outcome_with_budget(inst, &*g, stats, bailed, &mut ws.tracer),
+                Err(e) => Err(e),
             }
-            Some((g, engine, scratch, changed, tracer)) => {
-                match warm_integrated(
-                    engine, inst, g, &mut stats, scratch, changed, tracer, true, budget,
-                ) {
-                    Ok(bailed) => outcome_with_budget(inst, g, stats, bailed, tracer),
-                    Err(e) => Err(e),
-                }
-            }
-        };
+        });
         ws.complete();
         result
     }

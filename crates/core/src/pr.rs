@@ -19,8 +19,8 @@ use crate::network::RetrievalInstance;
 use crate::obs::trace::{TraceEvent, Tracer};
 use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
-use crate::workspace::{ArmedBudget, Workspace};
-use rds_flow::graph::FlowGraph;
+use crate::workspace::{on_graph, ArmedBudget, Workspace};
+use rds_flow::graph::{ArenaIndex, FlowGraph};
 use rds_flow::incremental::{cancel_path, retarget_capacity, IncrementalMaxFlow};
 use rds_storage::time::Micros;
 
@@ -41,20 +41,22 @@ impl RetrievalSolver for PushRelabelIncremental {
     ) -> Result<RetrievalOutcome, SolveError> {
         ws.tracer.note_solver(self.name(), false);
         let budget = ArmedBudget::start(ws.armed_budget());
-        ws.begin(inst);
+        ws.begin(inst)?;
         let mut stats = SolveStats::default();
-        let result = match incremental_phase(
-            &mut ws.engine,
-            inst,
-            &mut ws.graph,
-            &mut stats,
-            &mut ws.tracer,
-            budget,
-            None,
-        ) {
-            Ok(bailed) => outcome_with_budget(inst, &ws.graph, stats, bailed, &mut ws.tracer),
-            Err(e) => Err(e),
-        };
+        let result = on_graph!(ws, |g| {
+            match incremental_phase(
+                &mut ws.engine,
+                inst,
+                g,
+                &mut stats,
+                &mut ws.tracer,
+                budget,
+                None,
+            ) {
+                Ok(bailed) => outcome_with_budget(inst, g, stats, bailed, &mut ws.tracer),
+                Err(e) => Err(e),
+            }
+        });
         ws.complete();
         result
     }
@@ -70,26 +72,28 @@ impl RetrievalSolver for PushRelabelIncremental {
     ) -> Result<RetrievalOutcome, SolveError> {
         ws.tracer.note_solver(self.name(), true);
         let budget = ArmedBudget::start(ws.armed_budget());
-        if !ws.begin_warm(inst) {
+        if !ws.begin_warm(inst)? {
             return Err(SolveError::DeltaUnsupported {
                 solver: self.name(),
             });
         }
         let mut stats = SolveStats::default();
-        let result = match warm_integrated(
-            &mut ws.engine,
-            inst,
-            &mut ws.graph,
-            &mut stats,
-            &mut ws.stored_excess,
-            &ws.warm_changed,
-            &mut ws.tracer,
-            false,
-            budget,
-        ) {
-            Ok(bailed) => outcome_with_budget(inst, &ws.graph, stats, bailed, &mut ws.tracer),
-            Err(e) => Err(e),
-        };
+        let result = on_graph!(ws, |g| {
+            match warm_integrated(
+                &mut ws.engine,
+                inst,
+                g,
+                &mut stats,
+                &mut ws.stored_excess,
+                &ws.warm_changed,
+                &mut ws.tracer,
+                false,
+                budget,
+            ) {
+                Ok(bailed) => outcome_with_budget(inst, g, stats, bailed, &mut ws.tracer),
+                Err(e) => Err(e),
+            }
+        });
         ws.complete();
         result
     }
@@ -112,21 +116,23 @@ impl RetrievalSolver for PushRelabelBinary {
     ) -> Result<RetrievalOutcome, SolveError> {
         ws.tracer.note_solver(self.name(), false);
         let budget = ArmedBudget::start(ws.armed_budget());
-        ws.begin(inst);
+        ws.begin(inst)?;
         let mut stats = SolveStats::default();
-        let result = match binary_scaling_integrated(
-            &mut ws.engine,
-            inst,
-            &mut ws.graph,
-            &mut stats,
-            &mut ws.stored_flows,
-            &mut ws.stored_excess,
-            &mut ws.tracer,
-            budget,
-        ) {
-            Ok(bailed) => outcome_with_budget(inst, &ws.graph, stats, bailed, &mut ws.tracer),
-            Err(e) => Err(e),
-        };
+        let result = on_graph!(ws, |g| {
+            match binary_scaling_integrated(
+                &mut ws.engine,
+                inst,
+                g,
+                &mut stats,
+                &mut ws.stored_flows,
+                &mut ws.stored_excess,
+                &mut ws.tracer,
+                budget,
+            ) {
+                Ok(bailed) => outcome_with_budget(inst, g, stats, bailed, &mut ws.tracer),
+                Err(e) => Err(e),
+            }
+        });
         ws.complete();
         result
     }
@@ -142,26 +148,28 @@ impl RetrievalSolver for PushRelabelBinary {
     ) -> Result<RetrievalOutcome, SolveError> {
         ws.tracer.note_solver(self.name(), true);
         let budget = ArmedBudget::start(ws.armed_budget());
-        if !ws.begin_warm(inst) {
+        if !ws.begin_warm(inst)? {
             return Err(SolveError::DeltaUnsupported {
                 solver: self.name(),
             });
         }
         let mut stats = SolveStats::default();
-        let result = match warm_integrated(
-            &mut ws.engine,
-            inst,
-            &mut ws.graph,
-            &mut stats,
-            &mut ws.stored_excess,
-            &ws.warm_changed,
-            &mut ws.tracer,
-            true,
-            budget,
-        ) {
-            Ok(bailed) => outcome_with_budget(inst, &ws.graph, stats, bailed, &mut ws.tracer),
-            Err(e) => Err(e),
-        };
+        let result = on_graph!(ws, |g| {
+            match warm_integrated(
+                &mut ws.engine,
+                inst,
+                g,
+                &mut stats,
+                &mut ws.stored_excess,
+                &ws.warm_changed,
+                &mut ws.tracer,
+                true,
+                budget,
+            ) {
+                Ok(bailed) => outcome_with_budget(inst, g, stats, bailed, &mut ws.tracer),
+                Err(e) => Err(e),
+            }
+        });
         ws.complete();
         result
     }
@@ -173,9 +181,9 @@ impl RetrievalSolver for PushRelabelBinary {
 /// [`SolveStats`] and a [`TraceEvent::BudgetExpired`] is emitted. The
 /// flow must retrieve every bucket in both cases — budget bail-outs
 /// finalize at a known-feasible budget, never with a partial flow.
-pub(crate) fn outcome_with_budget(
+pub(crate) fn outcome_with_budget<W: ArenaIndex>(
     inst: &RetrievalInstance,
-    g: &FlowGraph,
+    g: &FlowGraph<W>,
     stats: SolveStats,
     bailed: Option<Micros>,
     tracer: &mut Tracer,
@@ -211,10 +219,10 @@ pub(crate) fn budget_work(stats: &SolveStats) -> u64 {
 /// `t* ≤ t_max` — so the live preflow stays valid. Returns
 /// `Ok(Some(lower_bound))` for such a bail-out, `Ok(None)` for a run to
 /// the exact optimum.
-pub(crate) fn incremental_phase<E: IncrementalMaxFlow>(
+pub(crate) fn incremental_phase<W: ArenaIndex, E: IncrementalMaxFlow<W>>(
     engine: &mut E,
     inst: &RetrievalInstance,
-    g: &mut FlowGraph,
+    g: &mut FlowGraph<W>,
     stats: &mut SolveStats,
     tracer: &mut Tracer,
     budget: ArmedBudget,
@@ -266,9 +274,9 @@ pub(crate) fn incremental_phase<E: IncrementalMaxFlow>(
 /// One flow-conserving resume with its push/relabel work attributed: the
 /// engine's cumulative operation counters are differenced around the call,
 /// folded into `stats`, and emitted as a [`TraceEvent::RelabelPass`].
-fn resume_traced<E: IncrementalMaxFlow>(
+fn resume_traced<W: ArenaIndex, E: IncrementalMaxFlow<W>>(
     engine: &mut E,
-    g: &mut FlowGraph,
+    g: &mut FlowGraph<W>,
     s: rds_flow::graph::VertexId,
     t: rds_flow::graph::VertexId,
     stats: &mut SolveStats,
@@ -290,10 +298,10 @@ fn resume_traced<E: IncrementalMaxFlow>(
 /// state; passing them in (from a [`Workspace`]) makes the per-probe
 /// snapshots allocation-free.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn binary_scaling_integrated<E: IncrementalMaxFlow>(
+pub(crate) fn binary_scaling_integrated<W: ArenaIndex, E: IncrementalMaxFlow<W>>(
     engine: &mut E,
     inst: &RetrievalInstance,
-    g: &mut FlowGraph,
+    g: &mut FlowGraph<W>,
     stats: &mut SolveStats,
     stored_flows: &mut Vec<i64>,
     stored_excess: &mut Vec<i64>,
@@ -374,10 +382,10 @@ pub(crate) fn binary_scaling_integrated<E: IncrementalMaxFlow>(
 /// path through the residual graph returns the unit's excess from the sink
 /// to the source, where the resume re-routes it through the slot's new
 /// replica arcs. Returns the number of units cancelled.
-fn cancel_stale_units<E: IncrementalMaxFlow>(
+fn cancel_stale_units<W: ArenaIndex, E: IncrementalMaxFlow<W>>(
     engine: &mut E,
     inst: &RetrievalInstance,
-    g: &mut FlowGraph,
+    g: &mut FlowGraph<W>,
     changed: &[usize],
 ) -> u32 {
     let mut cancelled = 0;
@@ -408,10 +416,10 @@ fn cancel_stale_units<E: IncrementalMaxFlow>(
 /// smaller capacities orphan into disk-vertex excess (the warm equivalent
 /// of [`RetrievalInstance::set_caps_for_budget`], which assumes the caller
 /// will discard or roll back the flow).
-fn retarget_caps<E: IncrementalMaxFlow>(
+fn retarget_caps<W: ArenaIndex, E: IncrementalMaxFlow<W>>(
     engine: &mut E,
     inst: &RetrievalInstance,
-    g: &mut FlowGraph,
+    g: &mut FlowGraph<W>,
     t: Micros,
 ) {
     for (j, &e) in inst.disk_edges.iter().enumerate() {
@@ -429,10 +437,10 @@ fn retarget_caps<E: IncrementalMaxFlow>(
 /// 5: skip the probes and run the incremental phase from the
 /// min-cost-prefix capacities at `t_min`.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn warm_integrated<E: IncrementalMaxFlow>(
+pub(crate) fn warm_integrated<W: ArenaIndex, E: IncrementalMaxFlow<W>>(
     engine: &mut E,
     inst: &RetrievalInstance,
-    g: &mut FlowGraph,
+    g: &mut FlowGraph<W>,
     stats: &mut SolveStats,
     scratch: &mut Vec<i64>,
     changed: &[usize],

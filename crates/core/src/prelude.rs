@@ -36,5 +36,7 @@ pub use crate::session::{
     RetrievalSession, ReuseCounters, ReusePolicy, SessionOutcome, SessionState,
 };
 pub use crate::solver::RetrievalSolver;
-pub use crate::spec::{AnySolver, ScheduleObjective, SolveBudget, SolverKind, SolverSpec};
+pub use crate::spec::{
+    AnySolver, ArenaLayout, ScheduleObjective, SolveBudget, SolverKind, SolverSpec,
+};
 pub use crate::workspace::{PoisonedWorkspace, Workspace};

@@ -32,7 +32,8 @@ use crate::network::RetrievalInstance;
 use crate::obs::trace::TraceEvent;
 use crate::schedule::RetrievalOutcome;
 use crate::spec::ScheduleObjective;
-use crate::workspace::Workspace;
+use crate::workspace::{on_graph, Workspace};
+use rds_flow::graph::{ArenaIndex, FlowGraph};
 use rds_flow::mincost::{AffineCosts, CycleCanceler};
 
 /// Reusable refinement scratch owned by every [`Workspace`]: the
@@ -58,9 +59,9 @@ pub(crate) struct RefineScratch {
 ///
 /// Every move strictly decreases the integer total ladder cost, so the
 /// pass terminates without an explicit bound. Returns the move count.
-fn relocate_pass(
+fn relocate_pass<W: ArenaIndex>(
     inst: &RetrievalInstance,
-    g: &mut rds_flow::graph::FlowGraph,
+    g: &mut FlowGraph<W>,
     base: &[i64],
     slope: &[i64],
     arcs: &mut Vec<u32>,
@@ -122,89 +123,93 @@ pub(crate) fn refine_in(
         return Ok(());
     }
     let t_star = outcome.response_time;
-    inst.set_caps_for_budget(&mut ws.graph, t_star);
+    let stats = on_graph!(ws, |g| {
+        inst.set_caps_for_budget(&mut *g, t_star);
 
-    let slots = ws.graph.num_edge_slots();
-    let q = inst.query_size() as i64;
-    let scratch = &mut ws.refine;
-    scratch.base.clear();
-    scratch.base.resize(slots, 0);
-    scratch.slope.clear();
-    scratch.slope.resize(slots, 0);
-    match objective {
-        ScheduleObjective::MinTotalLoad => {
-            // Lexicographic affine costs: the primary term prices the
-            // k-th unit on disk j at cost(j) * SCALE, so cycle signs are
-            // decided by the total weighted load Σ k_j·cost(j) first.
-            // The +1-per-extra-unit slope breaks ties toward even
-            // per-disk counts among equal-cost disks. A vertex-simple
-            // residual cycle traverses at most two disk→sink slots, so
-            // any SCALE > 2q keeps the tiebreak strictly subordinate.
-            let scale = 2 * q + 2;
-            for (j, &e) in inst.disk_edges.iter().enumerate() {
-                scratch.base[e] = inst.disks[j].cost().as_micros() as i64 * scale;
-                scratch.slope[e] = 1;
+        let slots = g.num_edge_slots();
+        let q = inst.query_size() as i64;
+        let scratch = &mut ws.refine;
+        scratch.base.clear();
+        scratch.base.resize(slots, 0);
+        scratch.slope.clear();
+        scratch.slope.resize(slots, 0);
+        match objective {
+            ScheduleObjective::MinTotalLoad => {
+                // Lexicographic affine costs: the primary term prices the
+                // k-th unit on disk j at cost(j) * SCALE, so cycle signs are
+                // decided by the total weighted load Σ k_j·cost(j) first.
+                // The +1-per-extra-unit slope breaks ties toward even
+                // per-disk counts among equal-cost disks. A vertex-simple
+                // residual cycle traverses at most two disk→sink slots, so
+                // any SCALE > 2q keeps the tiebreak strictly subordinate.
+                let scale = 2 * q + 2;
+                for (j, &e) in inst.disk_edges.iter().enumerate() {
+                    scratch.base[e] = inst.disks[j].cost().as_micros() as i64 * scale;
+                    scratch.slope[e] = 1;
+                }
             }
-        }
-        ScheduleObjective::MinMaxLoad => {
-            // Piecewise-convex completion penalty: the k-th unit on disk
-            // j costs completion_time(k) = overhead(j) + k·cost(j) — the
-            // disk's actual finish time once it serves k buckets. At a
-            // cycle-optimal flow the *last* unit on any loaded disk is no
-            // costlier than the *next* unit anywhere else, which evens
-            // out completion times (overheads included) instead of raw
-            // bucket counts.
-            for (j, &e) in inst.disk_edges.iter().enumerate() {
-                let d = &inst.disks[j];
-                let c = d.cost().as_micros() as i64;
-                scratch.base[e] = d.overhead().as_micros() as i64 + c;
-                scratch.slope[e] = c;
+            ScheduleObjective::MinMaxLoad => {
+                // Piecewise-convex completion penalty: the k-th unit on disk
+                // j costs completion_time(k) = overhead(j) + k·cost(j) — the
+                // disk's actual finish time once it serves k buckets. At a
+                // cycle-optimal flow the *last* unit on any loaded disk is no
+                // costlier than the *next* unit anywhere else, which evens
+                // out completion times (overheads included) instead of raw
+                // bucket counts.
+                for (j, &e) in inst.disk_edges.iter().enumerate() {
+                    let d = &inst.disks[j];
+                    let c = d.cost().as_micros() as i64;
+                    scratch.base[e] = d.overhead().as_micros() as i64 + c;
+                    scratch.slope[e] = c;
+                }
             }
+            _ => return Ok(()),
         }
-        _ => return Ok(()),
-    }
 
-    // Fast local rebalance first: single-bucket relocations are the
-    // length-4 negative cycles, and in practice nearly all of them.
-    let relocations = relocate_pass(
-        inst,
-        &mut ws.graph,
-        &scratch.base,
-        &scratch.slope,
-        &mut scratch.arcs,
-    );
+        // Fast local rebalance first: single-bucket relocations are the
+        // length-4 negative cycles, and in practice nearly all of them.
+        let relocations = relocate_pass(
+            inst,
+            &mut *g,
+            &scratch.base,
+            &scratch.slope,
+            &mut scratch.arcs,
+        );
 
-    let costs = AffineCosts {
-        base: &scratch.base,
-        slope: &scratch.slope,
-    };
-    // Every cancellation strictly decreases an integer cost bounded by
-    // O(q² · scale); the explicit bound is a belt-and-braces guard.
-    // Costs live only on the disk→sink arcs, so the hub-structured
-    // canceler applies with the sink as hub.
-    let bound = 1_000 + 8 * (q as u64) * (q as u64);
-    let mut stats = scratch
-        .canceler
-        .refine_via_hub(&mut ws.graph, &costs, inst.sink(), bound);
-    stats.cycles += relocations;
-    stats.moved += 4 * relocations;
+        let costs = AffineCosts {
+            base: &scratch.base,
+            slope: &scratch.slope,
+        };
+        // Every cancellation strictly decreases an integer cost bounded by
+        // O(q² · scale); the explicit bound is a belt-and-braces guard.
+        // Costs live only on the disk→sink arcs, so the hub-structured
+        // canceler applies with the sink as hub.
+        let bound = 1_000 + 8 * (q as u64) * (q as u64);
+        let mut stats = scratch
+            .canceler
+            .refine_via_hub(&mut *g, &costs, inst.sink(), bound);
+        stats.cycles += relocations;
+        stats.moved += 4 * relocations;
+
+        if stats.cycles > 0 {
+            // Cycle cancellations change which disks carry the flow but not
+            // the flow value (complete) or the response time (pinned at t*
+            // by the re-clamped caps), so only the assignments need refresh.
+            outcome.schedule.refresh_from_flow(inst, &*g)?;
+            debug_assert_eq!(
+                outcome.schedule.response_time(&inst.disks),
+                t_star,
+                "refinement must preserve the optimal response time"
+            );
+        }
+        stats
+    });
 
     let mut total = outcome.stats;
     total.refine_passes += 1;
     total.refine_cycles += stats.cycles;
     total.refine_moved += stats.moved;
     total.refine_searches += stats.searches;
-    if stats.cycles > 0 {
-        // Cycle cancellations change which disks carry the flow but not
-        // the flow value (complete) or the response time (pinned at t*
-        // by the re-clamped caps), so only the assignments need refresh.
-        outcome.schedule.refresh_from_flow(inst, &ws.graph)?;
-        debug_assert_eq!(
-            outcome.schedule.response_time(&inst.disks),
-            t_star,
-            "refinement must preserve the optimal response time"
-        );
-    }
     outcome.stats = total;
     ws.tracer.emit(TraceEvent::RefinePass {
         cycles: stats.cycles as u32,

@@ -2,8 +2,9 @@
 
 use crate::error::SolveError;
 use crate::network::RetrievalInstance;
+use crate::spec::ArenaLayout;
 use rds_decluster::query::Bucket;
-use rds_flow::graph::FlowGraph;
+use rds_flow::graph::{ArenaIndex, FlowGraph};
 use rds_storage::model::Disk;
 use rds_storage::time::Micros;
 
@@ -26,7 +27,10 @@ impl Schedule {
     /// Returns [`SolveError::IncompleteFlow`] naming the first bucket
     /// that carries no unit of flow (i.e. the flow is not a complete
     /// retrieval).
-    pub fn try_from_flow(inst: &RetrievalInstance, g: &FlowGraph) -> Result<Schedule, SolveError> {
+    pub fn try_from_flow<W: ArenaIndex>(
+        inst: &RetrievalInstance,
+        g: &FlowGraph<W>,
+    ) -> Result<Schedule, SolveError> {
         let mut assignments = Vec::with_capacity(inst.query_size());
         for (i, &b) in inst.buckets.iter().enumerate() {
             let v = inst.bucket_vertex(i);
@@ -46,10 +50,10 @@ impl Schedule {
     /// Re-derives every assignment from the (possibly rebalanced) flow
     /// in place, without reallocating. The flow must still retrieve
     /// every bucket — the refiner's cycle cancellations guarantee that.
-    pub(crate) fn refresh_from_flow(
+    pub(crate) fn refresh_from_flow<W: ArenaIndex>(
         &mut self,
         inst: &RetrievalInstance,
-        g: &FlowGraph,
+        g: &FlowGraph<W>,
     ) -> Result<(), SolveError> {
         debug_assert_eq!(self.assignments.len(), inst.query_size());
         for (i, slot) in self.assignments.iter_mut().enumerate() {
@@ -73,7 +77,7 @@ impl Schedule {
     /// # Panics
     ///
     /// Panics if some bucket carries no unit of flow.
-    pub fn from_flow(inst: &RetrievalInstance, g: &FlowGraph) -> Schedule {
+    pub fn from_flow<W: ArenaIndex>(inst: &RetrievalInstance, g: &FlowGraph<W>) -> Schedule {
         Schedule::try_from_flow(inst, g).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -199,6 +203,12 @@ pub struct SolveStats {
     /// Aggregated by `max` in [`SolveStats::accumulate`] — a rollup
     /// reports the worst gap of any constituent solve.
     pub anytime_gap: Micros,
+    /// The arena width the solve ran in: [`ArenaLayout::Compact`] or
+    /// [`ArenaLayout::Wide`] once a solver has produced the outcome
+    /// ([`ArenaLayout::Auto`] only in a default-constructed stats value).
+    /// [`SolveStats::accumulate`] keeps the other side's layout, so a
+    /// rollup reports the most recent solve's width.
+    pub arena_layout: ArenaLayout,
 }
 
 impl SolveStats {
@@ -218,6 +228,9 @@ impl SolveStats {
         self.refine_searches += other.refine_searches;
         self.budget_expirations += other.budget_expirations;
         self.anytime_gap = self.anytime_gap.max(other.anytime_gap);
+        if other.arena_layout != ArenaLayout::Auto {
+            self.arena_layout = other.arena_layout;
+        }
     }
 }
 
@@ -244,15 +257,22 @@ pub struct RetrievalOutcome {
 impl RetrievalOutcome {
     /// Assembles an outcome from a solved graph, or reports the first
     /// bucket the flow fails to retrieve.
-    pub fn try_from_flow(
+    pub fn try_from_flow<W: ArenaIndex>(
         inst: &RetrievalInstance,
-        g: &FlowGraph,
-        stats: SolveStats,
+        g: &FlowGraph<W>,
+        mut stats: SolveStats,
     ) -> Result<Self, SolveError> {
         let schedule = if inst.query_size() == 0 {
             Schedule::new(Vec::new())
         } else {
             Schedule::try_from_flow(inst, g)?
+        };
+        // The one place every solver's outcome passes through: record the
+        // width the solve's graph was monomorphized over.
+        stats.arena_layout = if W::NAME == "i32" {
+            ArenaLayout::Compact
+        } else {
+            ArenaLayout::Wide
         };
         let response_time = schedule.response_time(&inst.disks);
         Ok(RetrievalOutcome {
@@ -268,7 +288,11 @@ impl RetrievalOutcome {
     /// # Panics
     ///
     /// Panics if the flow does not retrieve every bucket.
-    pub fn from_flow(inst: &RetrievalInstance, g: &FlowGraph, stats: SolveStats) -> Self {
+    pub fn from_flow<W: ArenaIndex>(
+        inst: &RetrievalInstance,
+        g: &FlowGraph<W>,
+        stats: SolveStats,
+    ) -> Self {
         RetrievalOutcome::try_from_flow(inst, g, stats).unwrap_or_else(|e| panic!("{e}"))
     }
 }

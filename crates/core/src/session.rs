@@ -28,7 +28,7 @@ use crate::obs::trace::TraceEvent;
 use crate::schedule::{RetrievalOutcome, SolveStats};
 use crate::solver::RetrievalSolver;
 use crate::spec::ScheduleObjective;
-use crate::workspace::Workspace;
+use crate::workspace::{on_graph, Workspace};
 use rds_decluster::allocation::ReplicaSource;
 use rds_decluster::query::Bucket;
 use rds_storage::model::SystemConfig;
@@ -559,9 +559,14 @@ impl SessionState {
             // solver leaves its final flow in the workspace graph; the
             // excess of a complete flow is zero everywhere but the sink.
             let warm = self.warm.get_or_insert_with(WarmFlow::default);
-            ws.graph.store_flows_into(&mut warm.flows);
+            // The snapshot is width-erased (`Vec<i64>`), so it survives the
+            // workspace switching arena widths between submits.
+            let vertices = on_graph!(ws, |g| {
+                g.store_flows_into(&mut warm.flows);
+                g.num_vertices()
+            });
             warm.excess.clear();
-            warm.excess.resize(ws.graph.num_vertices(), 0);
+            warm.excess.resize(vertices, 0);
             warm.excess[inst.sink()] = outcome.flow_value as i64;
         }
         if let Some(key) = cache_key {
@@ -710,6 +715,16 @@ impl<'a, A: ReplicaSource, S: RetrievalSolver> RetrievalSession<'a, A, S> {
     /// Replaces the armed solve budget mid-session.
     pub fn set_budget(&mut self, budget: crate::spec::SolveBudget) {
         self.workspace.arm_budget(budget);
+    }
+
+    /// Forces the residual arena's index width for every subsequent
+    /// submit. The default, [`ArenaLayout::Auto`](crate::spec::ArenaLayout),
+    /// picks the compact `i32` arena whenever the instance's peak edge
+    /// capacity fits and transparently widens when it does not.
+    /// Chainable at construction time.
+    pub fn arena_layout(mut self, layout: crate::spec::ArenaLayout) -> Self {
+        self.workspace.set_arena_layout(layout);
+        self
     }
 
     /// Reuse effectiveness counters accumulated so far.

@@ -81,6 +81,48 @@ impl SolveBudget {
     }
 }
 
+/// Which index/capacity width the workspace's graph arena should use.
+///
+/// The arena is monomorphized over its capacity width (`i32` or `i64`).
+/// Compact (`i32`) capacities halve the hot `cap`/`flow` arrays and
+/// measurably speed up discharge-heavy solves, but can only hold
+/// instances whose total capacity at the upper response-time bound fits
+/// in 31 bits. `Auto` (the default) measures each instance's bound and
+/// picks Compact whenever it is safe, falling back to Wide otherwise —
+/// so most callers never need to touch this knob.
+///
+/// Both layouts are bit-identical in results: schedules, op counts and
+/// phase digests do not depend on the width.
+///
+/// Marked `#[non_exhaustive]`: future PRs may add widths (e.g. `u16`
+/// capacities for unit-capacity retrieval networks), so match with a
+/// `_` arm.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ArenaLayout {
+    /// Per-instance automatic selection: Compact when the instance's
+    /// capacity bound fits `i32` with a safety margin, Wide otherwise.
+    #[default]
+    Auto,
+    /// Force the `i32` arena. Solves fail with
+    /// [`SolveError::ArenaOverflow`](crate::error::SolveError) when the
+    /// instance does not fit.
+    Compact,
+    /// Force the `i64` arena (the pre-PR-9 behaviour).
+    Wide,
+}
+
+impl ArenaLayout {
+    /// Stable snake_case name for reports and metrics labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArenaLayout::Auto => "auto",
+            ArenaLayout::Compact => "compact",
+            ArenaLayout::Wide => "wide",
+        }
+    }
+}
+
 /// Names one of the seven retrieval algorithms.
 ///
 /// All kinds compute the same optimal response time; they differ in
@@ -211,8 +253,9 @@ pub struct SolverSpec {
     pub kind: SolverKind,
     /// Worker threads for [`SolverKind::ParallelPushRelabelBinary`]
     /// (`0` = the solver's default of 2, the paper's evaluation setup);
-    /// ignored by the other kinds.
-    pub threads: usize,
+    /// ignored by the other kinds. The engine sizes its shared worker
+    /// pool from this value.
+    pub parallelism: usize,
     /// Reuse each stream's previous flow via delta patching when the
     /// consecutive queries overlap. Kinds without delta support fall
     /// back to a rebuild per query.
@@ -229,6 +272,9 @@ pub struct SolverSpec {
     /// policy tracks the Interactive and Standard classes; use
     /// [`SloPolicy::disabled`] to silence the `rds_slo_*` series.
     pub slo: SloPolicy,
+    /// Which arena width workspaces solve in
+    /// ([`ArenaLayout::Auto`] by default — per-instance selection).
+    pub arena_layout: ArenaLayout,
 }
 
 impl SolverSpec {
@@ -237,18 +283,26 @@ impl SolverSpec {
     pub fn new(kind: SolverKind) -> SolverSpec {
         SolverSpec {
             kind,
-            threads: 0,
+            parallelism: 0,
             warm_start: false,
             cache_capacity: 0,
             objective: ScheduleObjective::FirstFeasible,
             budget: SolveBudget::UNLIMITED,
             slo: SloPolicy::default(),
+            arena_layout: ArenaLayout::Auto,
         }
     }
 
-    /// Sets the worker-thread count for the parallel solver.
-    pub fn threads(mut self, threads: usize) -> SolverSpec {
-        self.threads = threads;
+    /// Sets the worker-thread count for the parallel solver (and the
+    /// engine's shared worker pool).
+    pub fn parallelism(mut self, threads: usize) -> SolverSpec {
+        self.parallelism = threads;
+        self
+    }
+
+    /// Sets the arena width policy for every solve under this spec.
+    pub fn arena_layout(mut self, layout: ArenaLayout) -> SolverSpec {
+        self.arena_layout = layout;
         self
     }
 
@@ -304,6 +358,7 @@ impl SolverSpec {
     /// the engine refine in their own reusable workspaces.
     pub fn solve(&self, instance: &RetrievalInstance) -> Result<RetrievalOutcome, SolveError> {
         let mut ws = Workspace::new();
+        ws.set_arena_layout(self.arena_layout);
         ws.arm_budget(self.budget);
         let mut outcome = self.build().solve_in(instance, &mut ws)?;
         crate::refine::refine_in(self.objective, instance, &mut ws, &mut outcome)?;
@@ -322,10 +377,10 @@ impl SolverSpec {
             }
             SolverKind::PushRelabelBinary => AnySolver::PushRelabelBinary(PushRelabelBinary),
             SolverKind::ParallelPushRelabelBinary => {
-                AnySolver::ParallelPushRelabelBinary(if self.threads == 0 {
+                AnySolver::ParallelPushRelabelBinary(if self.parallelism == 0 {
                     ParallelPushRelabelBinary::default()
                 } else {
-                    ParallelPushRelabelBinary::new(self.threads)
+                    ParallelPushRelabelBinary::new(self.parallelism)
                 })
             }
             SolverKind::BlackBoxPushRelabel => AnySolver::BlackBoxPushRelabel(BlackBoxPushRelabel),
@@ -464,12 +519,16 @@ mod tests {
     #[test]
     fn spec_builder_sets_knobs() {
         let spec = SolverSpec::new(SolverKind::ParallelPushRelabelBinary)
-            .threads(2)
+            .parallelism(2)
             .warm_start(true)
-            .cache_capacity(4);
-        assert_eq!(spec.threads, 2);
+            .cache_capacity(4)
+            .arena_layout(ArenaLayout::Wide);
+        assert_eq!(spec.parallelism, 2);
         assert!(spec.warm_start);
         assert_eq!(spec.cache_capacity, 4);
+        assert_eq!(spec.arena_layout, ArenaLayout::Wide);
+        assert_eq!(ArenaLayout::default(), ArenaLayout::Auto);
+        assert_eq!(ArenaLayout::Compact.name(), "compact");
         let policy = spec.reuse_policy();
         assert!(policy.warm_start);
         assert_eq!(policy.cache_capacity, 4);

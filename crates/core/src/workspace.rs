@@ -14,21 +14,108 @@
 //! serve different algorithms and differently-shaped queries back to
 //! back. Buffers only ever grow.
 
+use crate::error::SolveError;
 use crate::network::RetrievalInstance;
 use crate::obs::trace::{TraceEvent, TraceSink, Tracer};
-use crate::spec::SolveBudget;
+use crate::spec::{ArenaLayout, SolveBudget};
 use rds_flow::ford_fulkerson::AugmentingPath;
 use rds_flow::graph::FlowGraph;
-use rds_flow::incremental::IncrementalMaxFlow;
-use rds_flow::parallel::ParallelPushRelabel;
+use rds_flow::parallel::{ParallelPushRelabel, WorkerPool};
 use rds_flow::push_relabel::PushRelabel;
 use std::time::Instant;
+
+/// Which arena the workspace's *last* [`Workspace::begin`] staged into —
+/// the resolved (never `Auto`) side of [`ArenaLayout`]. Solver bodies
+/// dispatch on this via [`on_graph!`]; both arms are monomorphized, so
+/// the hot path never sees a width branch inside a discharge loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ActiveWidth {
+    /// The `i64` arena ([`Workspace::graph`]).
+    Wide,
+    /// The `i32` arena ([`Workspace::graph32`]).
+    Compact,
+}
+
+/// Runs `$body` against the workspace's active graph, binding `$g` to
+/// `&mut $ws.graph` (wide) or `&mut $ws.graph32` (compact). The borrow
+/// is field-precise, so the body may still use the workspace's *other*
+/// fields (`$ws.engine`, `$ws.tracer`, `$ws.stored_flows`, ...) — only
+/// whole-`$ws` method calls are off-limits inside the body.
+macro_rules! on_graph {
+    ($ws:expr, |$g:ident| $body:expr) => {
+        match $ws.active {
+            $crate::workspace::ActiveWidth::Wide => {
+                let $g = &mut $ws.graph;
+                $body
+            }
+            $crate::workspace::ActiveWidth::Compact => {
+                let $g = &mut $ws.graph32;
+                $body
+            }
+        }
+    };
+}
+pub(crate) use on_graph;
+
+/// Largest value the automatic width selector allows into the compact
+/// (`i32`) arena. Half of `i32::MAX`: one spare bit absorbs any
+/// transient the solver applies on top of a disk's peak capacity
+/// (capacity retargeting rounds up, refinement pushes flow around at
+/// the fixed value), so a bound that passes this check can never
+/// overflow an `i32` cell mid-solve.
+pub(crate) const COMPACT_CAP_LIMIT: i64 = (i32::MAX as i64) / 2;
+
+/// Whether a per-edge capacity bound fits the compact arena under the
+/// automatic selector's safety margin.
+#[inline]
+pub(crate) fn compact_capacity_fits(bound: i64) -> bool {
+    bound <= COMPACT_CAP_LIMIT
+}
+
+/// The largest capacity any edge of `inst` can carry during a solve,
+/// with the edge slot that attains it: the maximum of the instance
+/// graph's static capacities and every disk's capacity at the solve's
+/// upper response-time bound `t_max` (capacities are only ever set to
+/// `capacity_within(t)` for probes `t <= t_max`). Flow magnitudes are
+/// bounded by capacities, so this one number decides the arena width.
+pub(crate) fn peak_edge_capacity(inst: &RetrievalInstance) -> (i64, usize) {
+    let (_, t_max, _) = inst.budget_bounds();
+    let mut bound = 0i64;
+    let mut edge = 0usize;
+    for e in inst.graph.forward_edges() {
+        let c = inst.graph.cap(e);
+        if c > bound {
+            bound = c;
+            edge = e;
+        }
+    }
+    for (j, &e) in inst.disk_edges.iter().enumerate() {
+        let c = inst.disks[j].capacity_within(t_max) as i64;
+        if c > bound {
+            bound = c;
+            edge = e;
+        }
+    }
+    (bound, edge)
+}
 
 /// Reusable buffers and engine state shared by all solvers.
 #[derive(Debug)]
 pub struct Workspace {
-    /// Scratch copy of the instance's flow network.
+    /// Scratch copy of the instance's flow network (wide layout).
     pub(crate) graph: FlowGraph,
+    /// Compact (`i32`) scratch copy, staged instead of [`Workspace::graph`]
+    /// when the width selector picks [`ArenaLayout::Compact`].
+    pub(crate) graph32: FlowGraph<i32>,
+    /// Which of the two graphs the last [`Workspace::begin`] staged.
+    pub(crate) active: ActiveWidth,
+    /// The caller-requested layout policy ([`ArenaLayout::Auto`] by
+    /// default).
+    requested: ArenaLayout,
+    /// Shared engine-wide worker pool, injected by
+    /// [`crate::engine::EngineBuilder`]; the cached parallel engine
+    /// attaches to it instead of spawning its own threads.
+    pool: Option<WorkerPool>,
     /// Sequential push-relabel engine (Algorithm 4) with its height,
     /// queue and excess arrays.
     pub(crate) engine: PushRelabel,
@@ -40,7 +127,7 @@ pub struct Workspace {
     pub(crate) stored_excess: Vec<i64>,
     /// Cached parallel engine, keyed by its worker-thread count. Kept
     /// alive so its worker pool persists across solves.
-    parallel: Option<(usize, ParallelPushRelabel)>,
+    pub(crate) parallel: Option<(usize, ParallelPushRelabel)>,
     /// Solver-phase event tracer; disabled (single-branch emits) until a
     /// sink is installed. See [`crate::obs::trace`].
     pub(crate) tracer: Tracer,
@@ -66,11 +153,12 @@ pub struct Workspace {
     /// [`Workspace::take_poisoned`].
     poisoned: bool,
     solves: u64,
-    /// High-water instance size staged so far. Once an instance fits both
-    /// marks, copying it into the scratch graph must not grow any arena
+    /// Per-width high-water instance size staged so far (index 0 wide,
+    /// index 1 compact). Once an instance fits both marks of its width,
+    /// copying it into that scratch graph must not grow any arena
     /// buffer — [`Workspace::stage_graph`] debug-asserts it.
-    hw_vertices: usize,
-    hw_edge_slots: usize,
+    hw_vertices: [usize; 2],
+    hw_edge_slots: [usize; 2],
 }
 
 /// Error returned by [`Workspace::take_poisoned`] when a previous solve
@@ -100,6 +188,10 @@ impl Workspace {
     pub fn new() -> Workspace {
         Workspace {
             graph: FlowGraph::default(),
+            graph32: FlowGraph::default(),
+            active: ActiveWidth::Wide,
+            requested: ArenaLayout::Auto,
+            pool: None,
             engine: PushRelabel::new(),
             search: AugmentingPath::new(),
             stored_flows: Vec::new(),
@@ -114,35 +206,111 @@ impl Workspace {
             budget: SolveBudget::UNLIMITED,
             poisoned: false,
             solves: 0,
-            hw_vertices: 0,
-            hw_edge_slots: 0,
+            hw_vertices: [0; 2],
+            hw_edge_slots: [0; 2],
         }
     }
 
-    /// Copies `inst`'s network into the scratch graph. In debug builds,
-    /// asserts the steady-state contract of the CSR arena: an instance no
-    /// larger than any previously staged one (by vertex and edge-slot
-    /// count — arena buffers never shrink, so those two marks bound every
-    /// buffer length) must copy in with **zero** graph allocations.
-    fn stage_graph(&mut self, inst: &RetrievalInstance) {
+    /// Sets the arena width policy applied by every subsequent solve
+    /// (`Workspace::begin`). The default is [`ArenaLayout::Auto`].
+    pub fn set_arena_layout(&mut self, layout: ArenaLayout) {
+        self.requested = layout;
+    }
+
+    /// The width the last solve actually ran in — [`ArenaLayout::Compact`]
+    /// or [`ArenaLayout::Wide`], never `Auto`. Wide before the first solve.
+    pub fn layout_used(&self) -> ArenaLayout {
+        match self.active {
+            ActiveWidth::Wide => ArenaLayout::Wide,
+            ActiveWidth::Compact => ArenaLayout::Compact,
+        }
+    }
+
+    /// Attaches the engine's shared [`WorkerPool`]; the cached parallel
+    /// push-relabel engine then runs its discharge workers on the pool's
+    /// threads (sized once at engine build) instead of spawning its own.
+    pub fn set_worker_pool(&mut self, pool: WorkerPool) {
+        if let Some((threads, engine)) = self.parallel.as_mut() {
+            *threads = pool.threads();
+            engine.set_pool(pool.clone());
+        }
+        self.pool = Some(pool);
+    }
+
+    /// Resolves the layout policy against one instance.
+    fn select_width(&self, inst: &RetrievalInstance) -> ActiveWidth {
+        match self.requested {
+            ArenaLayout::Wide => ActiveWidth::Wide,
+            ArenaLayout::Compact => ActiveWidth::Compact,
+            _ => {
+                if compact_capacity_fits(peak_edge_capacity(inst).0) {
+                    ActiveWidth::Compact
+                } else {
+                    ActiveWidth::Wide
+                }
+            }
+        }
+    }
+
+    /// Copies `inst`'s network into the scratch graph of the selected
+    /// width. Under a forced [`ArenaLayout::Compact`] this fails with
+    /// [`SolveError::ArenaOverflow`] when the instance's capacity bound
+    /// (or any static capacity) exceeds the narrow width; under `Auto`
+    /// the selector has already widened instead.
+    ///
+    /// In debug builds, asserts the steady-state contract of the CSR
+    /// arena: an instance no larger than any previously staged one *of
+    /// the same width* (by vertex and edge-slot count — arena buffers
+    /// never shrink, so those two marks bound every buffer length) must
+    /// copy in with **zero** graph allocations.
+    fn stage_graph(&mut self, inst: &RetrievalInstance) -> Result<(), SolveError> {
+        self.active = self.select_width(inst);
+        if self.active == ActiveWidth::Compact {
+            let (bound, edge) = peak_edge_capacity(inst);
+            if !compact_capacity_fits(bound) {
+                // Unreachable under Auto (the selector widened); a forced
+                // Compact surfaces the typed error instead of wrapping.
+                return Err(SolveError::ArenaOverflow {
+                    edge,
+                    value: bound,
+                    width: "i32",
+                });
+            }
+        }
+        let wi = match self.active {
+            ActiveWidth::Wide => 0,
+            ActiveWidth::Compact => 1,
+        };
         #[cfg(debug_assertions)]
         let (fits, events_before) = (
-            inst.graph.num_vertices() <= self.hw_vertices
-                && inst.graph.num_edge_slots() <= self.hw_edge_slots,
-            self.graph.arena().allocation_events(),
+            inst.graph.num_vertices() <= self.hw_vertices[wi]
+                && inst.graph.num_edge_slots() <= self.hw_edge_slots[wi],
+            match self.active {
+                ActiveWidth::Wide => self.graph.arena().allocation_events(),
+                ActiveWidth::Compact => self.graph32.arena().allocation_events(),
+            },
         );
-        self.graph.copy_from(&inst.graph);
+        match self.active {
+            ActiveWidth::Wide => self.graph.copy_from(&inst.graph),
+            ActiveWidth::Compact => self.graph32.try_copy_from(&inst.graph)?,
+        }
         #[cfg(debug_assertions)]
         debug_assert!(
-            !fits || self.graph.arena().allocation_events() == events_before,
+            !fits
+                || events_before
+                    == match self.active {
+                        ActiveWidth::Wide => self.graph.arena().allocation_events(),
+                        ActiveWidth::Compact => self.graph32.arena().allocation_events(),
+                    },
             "steady-state solve allocated graph memory: instance fits the \
              high-water size ({} vertices / {} edge slots) but copy_from \
              grew an arena buffer",
-            self.hw_vertices,
-            self.hw_edge_slots,
+            self.hw_vertices[wi],
+            self.hw_edge_slots[wi],
         );
-        self.hw_vertices = self.hw_vertices.max(inst.graph.num_vertices());
-        self.hw_edge_slots = self.hw_edge_slots.max(inst.graph.num_edge_slots());
+        self.hw_vertices[wi] = self.hw_vertices[wi].max(inst.graph.num_vertices());
+        self.hw_edge_slots[wi] = self.hw_edge_slots[wi].max(inst.graph.num_edge_slots());
+        Ok(())
     }
 
     /// Installs a ring-buffer [`crate::obs::trace::Recorder`] with the
@@ -282,38 +450,74 @@ impl Workspace {
         self.warm_staged = false;
     }
 
-    /// Prepares the workspace for one solve of `inst`: copies the
-    /// instance's network into the scratch graph (reusing its buffers)
-    /// and clears the engine excess left by the previous solve.
-    pub(crate) fn begin(&mut self, inst: &RetrievalInstance) {
+    /// Prepares the workspace for one solve of `inst`: selects the arena
+    /// width, copies the instance's network into that scratch graph
+    /// (reusing its buffers) and clears the engine excess left by the
+    /// previous solve. Fails only under a forced [`ArenaLayout::Compact`]
+    /// on an instance that does not fit the narrow width.
+    pub(crate) fn begin(&mut self, inst: &RetrievalInstance) -> Result<(), SolveError> {
         self.solves += 1;
         self.warm_staged = false;
+        // Poisoned across the staging so a panic leaves the flag set; a
+        // clean typed failure (e.g. `ArenaOverflow` on a stream that grew
+        // past the compact bound) unsets it again — nothing was left
+        // half-staged, the next begin re-initializes everything.
         self.poisoned = true;
-        self.stage_graph(inst);
-        self.engine.reset_excess(self.graph.num_vertices());
+        if let Err(e) = self.stage_graph(inst) {
+            self.poisoned = false;
+            return Err(e);
+        }
+        self.engine.reset_excess(inst.graph.num_vertices());
         self.tracer.emit(TraceEvent::SolveStart {
             query_size: inst.query_size() as u32,
         });
+        Ok(())
+    }
+
+    /// Restores the staged warm flow snapshot into the active scratch
+    /// graph. A compact restore is checked: a warm flow that no longer
+    /// fits `i32` (the stream grew past the compact bound mid-session)
+    /// fails typed instead of wrapping — under `Auto` the width selector
+    /// has already widened, so this only fires under a forced Compact.
+    fn restore_warm_flows(&mut self) -> Result<(), SolveError> {
+        match self.active {
+            ActiveWidth::Wide => {
+                self.warm_flows.resize(self.graph.num_edge_slots(), 0);
+                self.graph.restore_flows(&self.warm_flows);
+            }
+            ActiveWidth::Compact => {
+                self.warm_flows.resize(self.graph32.num_edge_slots(), 0);
+                self.graph32.try_restore_flows(&self.warm_flows)?;
+            }
+        }
+        Ok(())
     }
 
     /// Warm counterpart of [`Workspace::begin`]: copies the (patched)
     /// instance network, then loads the staged warm flow into the scratch
     /// graph and the staged excesses into the sequential engine. Returns
-    /// `false` — leaving the workspace untouched — when no warm state is
-    /// staged.
-    pub(crate) fn begin_warm(&mut self, inst: &RetrievalInstance) -> bool {
+    /// `Ok(false)` — leaving the workspace untouched — when no warm state
+    /// is staged, and [`SolveError::ArenaOverflow`] when the stream no
+    /// longer fits a forced compact arena (warm state is dropped; the
+    /// caller decides whether to re-solve cold).
+    pub(crate) fn begin_warm(&mut self, inst: &RetrievalInstance) -> Result<bool, SolveError> {
         if !self.warm_staged {
-            return false;
+            return Ok(false);
         }
         self.warm_staged = false;
         self.solves += 1;
         self.poisoned = true;
-        self.stage_graph(inst);
+        if let Err(e) = self.stage_graph(inst) {
+            self.poisoned = false;
+            return Err(e);
+        }
         // The patch may have appended fresh replica arcs; they carry no
         // warm flow.
-        self.warm_flows.resize(self.graph.num_edge_slots(), 0);
-        self.graph.restore_flows(&self.warm_flows);
-        self.engine.reset_excess(self.graph.num_vertices());
+        if let Err(e) = self.restore_warm_flows() {
+            self.poisoned = false;
+            return Err(e);
+        }
+        self.engine.reset_excess(inst.graph.num_vertices());
         for (v, &x) in self.warm_excess.iter().enumerate() {
             if x != 0 {
                 self.engine.set_excess(v, x);
@@ -322,95 +526,66 @@ impl Workspace {
         self.tracer.emit(TraceEvent::SolveStart {
             query_size: inst.query_size() as u32,
         });
-        true
+        Ok(true)
     }
 
-    /// Warm counterpart of [`Workspace::parallel_parts`]: like
-    /// [`Workspace::begin_warm`], but the staged excesses are loaded into
-    /// the cached parallel engine. Returns the scratch graph, the engine,
-    /// the excess-snapshot scratch buffer, the staged changed-slot list
-    /// and the tracer.
-    #[allow(clippy::type_complexity)]
-    pub(crate) fn warm_parallel_parts(
-        &mut self,
-        inst: &RetrievalInstance,
-        threads: usize,
-    ) -> Option<(
-        &mut FlowGraph,
-        &mut ParallelPushRelabel,
-        &mut Vec<i64>,
-        &[usize],
-        &mut Tracer,
-    )> {
-        if !self.warm_staged {
-            return None;
-        }
-        self.warm_staged = false;
-        self.solves += 1;
-        self.poisoned = true;
-        self.stage_graph(inst);
-        self.warm_flows.resize(self.graph.num_edge_slots(), 0);
-        self.graph.restore_flows(&self.warm_flows);
-        self.tracer.emit(TraceEvent::SolveStart {
-            query_size: inst.query_size() as u32,
-        });
+    /// Readies the cached parallel engine for a solve over `vertices`
+    /// vertices with `threads` workers: (dis)connects it from the
+    /// previous solve (excess zeroed, topology snapshot invalidated) and
+    /// attaches the shared worker pool when one matching the thread
+    /// count is installed. Callers then split-borrow
+    /// [`Workspace::parallel`] next to the active graph via [`on_graph!`].
+    pub(crate) fn ensure_parallel(&mut self, threads: usize, vertices: usize) {
         let rebuild = match &self.parallel {
             Some((t, _)) => *t != threads,
             None => true,
         };
         if rebuild {
-            self.parallel = Some((threads, ParallelPushRelabel::new(threads)));
+            let engine = match &self.pool {
+                Some(pool) if pool.threads() == threads => {
+                    ParallelPushRelabel::with_pool(pool.clone())
+                }
+                _ => ParallelPushRelabel::new(threads),
+            };
+            self.parallel = Some((threads, engine));
         }
         let (_, engine) = self.parallel.as_mut().expect("parallel engine cached");
         engine.invalidate_topology();
-        engine.reset_excess(self.graph.num_vertices());
+        engine.reset_excess(vertices);
+    }
+
+    /// Warm counterpart of [`Workspace::ensure_parallel`]: like
+    /// [`Workspace::begin_warm`], but the staged excesses are loaded into
+    /// the cached parallel engine instead of the sequential one.
+    pub(crate) fn begin_warm_parallel(
+        &mut self,
+        inst: &RetrievalInstance,
+        threads: usize,
+    ) -> Result<bool, SolveError> {
+        if !self.warm_staged {
+            return Ok(false);
+        }
+        self.warm_staged = false;
+        self.solves += 1;
+        self.poisoned = true;
+        if let Err(e) = self
+            .stage_graph(inst)
+            .and_then(|()| self.restore_warm_flows())
+        {
+            self.poisoned = false;
+            return Err(e);
+        }
+        self.tracer.emit(TraceEvent::SolveStart {
+            query_size: inst.query_size() as u32,
+        });
+        self.ensure_parallel(threads, inst.graph.num_vertices());
+        let (_, engine) = self.parallel.as_mut().expect("parallel engine cached");
         for (v, &x) in self.warm_excess.iter().enumerate() {
             if x != 0 {
                 engine.set_excess(v, x);
             }
         }
-        Some((
-            &mut self.graph,
-            engine,
-            &mut self.stored_excess,
-            &self.warm_changed,
-            &mut self.tracer,
-        ))
-    }
-
-    /// Borrows the scratch graph together with the cached parallel engine
-    /// for `threads` workers, the two snapshot buffers and the tracer.
-    /// (Dis)connects the engine from the previous solve: excess is zeroed
-    /// and the topology snapshot invalidated, since the cache is keyed on
-    /// graph size only and this solve's graph may differ in shape.
-    #[allow(clippy::type_complexity)]
-    pub(crate) fn parallel_parts(
-        &mut self,
-        threads: usize,
-    ) -> (
-        &mut FlowGraph,
-        &mut ParallelPushRelabel,
-        &mut Vec<i64>,
-        &mut Vec<i64>,
-        &mut Tracer,
-    ) {
-        let rebuild = match &self.parallel {
-            Some((t, _)) => *t != threads,
-            None => true,
-        };
-        if rebuild {
-            self.parallel = Some((threads, ParallelPushRelabel::new(threads)));
-        }
-        let (_, engine) = self.parallel.as_mut().expect("parallel engine cached");
-        engine.invalidate_topology();
-        engine.reset_excess(self.graph.num_vertices());
-        (
-            &mut self.graph,
-            engine,
-            &mut self.stored_flows,
-            &mut self.stored_excess,
-            &mut self.tracer,
-        )
+        Ok(true)
     }
 }
 
@@ -423,22 +598,65 @@ mod tests {
     use rds_storage::model::SystemConfig;
     use rds_storage::specs::CHEETAH;
 
-    #[test]
-    fn begin_copies_instance_graph_and_counts() {
+    fn small_instance() -> RetrievalInstance {
         let system = SystemConfig::homogeneous(CHEETAH, 4);
         let alloc = OrthogonalAllocation::new(4, Placement::SingleSite);
         let q = RangeQuery::new(0, 0, 2, 2);
-        let inst = RetrievalInstance::build(&system, &alloc, &q.buckets(4));
+        RetrievalInstance::build(&system, &alloc, &q.buckets(4))
+    }
+
+    #[test]
+    fn begin_copies_instance_graph_and_counts() {
+        let inst = small_instance();
         let mut ws = Workspace::new();
+        ws.set_arena_layout(ArenaLayout::Wide);
         assert_eq!(ws.solves(), 0);
-        ws.begin(&inst);
+        ws.begin(&inst).unwrap();
         assert_eq!(ws.solves(), 1);
+        assert_eq!(ws.layout_used(), ArenaLayout::Wide);
         assert_eq!(ws.graph.num_vertices(), inst.graph.num_vertices());
         assert_eq!(ws.graph.num_edges(), inst.graph.num_edges());
         // A second begin reuses the same buffers without issue.
-        ws.begin(&inst);
+        ws.begin(&inst).unwrap();
         assert_eq!(ws.solves(), 2);
         assert_eq!(ws.graph.num_edges(), inst.graph.num_edges());
+    }
+
+    #[test]
+    fn auto_layout_picks_compact_for_small_instances() {
+        let inst = small_instance();
+        let mut ws = Workspace::new();
+        ws.begin(&inst).unwrap();
+        assert_eq!(ws.layout_used(), ArenaLayout::Compact);
+        assert_eq!(ws.graph32.num_vertices(), inst.graph.num_vertices());
+        assert_eq!(ws.graph32.num_edges(), inst.graph.num_edges());
+        // The wide graph was never staged.
+        assert_eq!(ws.graph.num_vertices(), 0);
+    }
+
+    #[test]
+    fn width_selector_boundary() {
+        assert!(compact_capacity_fits(COMPACT_CAP_LIMIT));
+        assert!(!compact_capacity_fits(COMPACT_CAP_LIMIT + 1));
+        assert!(!compact_capacity_fits(i32::MAX as i64));
+        assert!(!compact_capacity_fits(i64::MAX));
+        assert!(compact_capacity_fits(0));
+    }
+
+    #[test]
+    fn peak_capacity_covers_static_caps_and_budget_bound() {
+        let inst = small_instance();
+        let (bound, edge) = peak_edge_capacity(&inst);
+        assert!(bound >= 1, "source/bucket edges carry at least unit caps");
+        assert!(edge < inst.graph.num_edge_slots());
+        let (_, t_max, _) = inst.budget_bounds();
+        let disk_peak = inst
+            .disks
+            .iter()
+            .map(|d| d.capacity_within(t_max) as i64)
+            .max()
+            .unwrap();
+        assert!(bound >= disk_peak);
     }
 
     #[test]
@@ -450,20 +668,30 @@ mod tests {
         let big_inst = RetrievalInstance::build(&system, &alloc, &big.buckets(6));
         let small_inst = RetrievalInstance::build(&system, &alloc, &small.buckets(6));
         let mut ws = Workspace::new();
-        ws.begin(&big_inst);
+        ws.set_arena_layout(ArenaLayout::Wide);
+        ws.begin(&big_inst).unwrap();
         let events = ws.graph.arena().allocation_events();
         // Same-size and smaller instances must reuse the arena byte-for-byte
         // (stage_graph debug-asserts this too; the explicit check keeps the
         // contract pinned in release builds).
         for _ in 0..5 {
-            ws.begin(&big_inst);
-            ws.begin(&small_inst);
+            ws.begin(&big_inst).unwrap();
+            ws.begin(&small_inst).unwrap();
         }
         assert_eq!(
             ws.graph.arena().allocation_events(),
             events,
             "steady-state begin grew an arena buffer"
         );
+        // The compact arena honours the same contract independently.
+        ws.set_arena_layout(ArenaLayout::Compact);
+        ws.begin(&big_inst).unwrap();
+        let events32 = ws.graph32.arena().allocation_events();
+        for _ in 0..5 {
+            ws.begin(&big_inst).unwrap();
+            ws.begin(&small_inst).unwrap();
+        }
+        assert_eq!(ws.graph32.arena().allocation_events(), events32);
     }
 
     #[test]
@@ -471,13 +699,109 @@ mod tests {
         let mut ws = Workspace::new();
         ws.graph = FlowGraph::new(2);
         {
-            let (_, engine, _, _, _) = ws.parallel_parts(2);
+            ws.ensure_parallel(2, 2);
+            let (_, engine) = ws.parallel.as_mut().unwrap();
             engine.set_excess(0, 7);
         }
         {
             // Same thread count: same engine, but excess was reset.
-            let (_, engine, _, _, _) = ws.parallel_parts(2);
+            ws.ensure_parallel(2, 2);
+            let (_, engine) = ws.parallel.as_mut().unwrap();
             assert_eq!(engine.excess(0), 0);
         }
+    }
+
+    #[test]
+    fn shared_pool_attaches_to_cached_engine() {
+        let mut ws = Workspace::new();
+        ws.ensure_parallel(3, 2);
+        let pool = WorkerPool::new(3);
+        ws.set_worker_pool(pool.clone());
+        // A matching ensure keeps the pool-backed engine; a mismatched
+        // thread count rebuilds without the pool.
+        ws.ensure_parallel(3, 2);
+        assert_eq!(ws.parallel.as_ref().unwrap().0, 3);
+        ws.ensure_parallel(2, 2);
+        assert_eq!(ws.parallel.as_ref().unwrap().0, 2);
+    }
+
+    /// An instance whose capacity bound exceeds the compact guard band: a
+    /// very slow disk drives `t_max` up, and a 1µs disk converts that
+    /// budget into more than `COMPACT_CAP_LIMIT` retrievable blocks.
+    fn oversized_instance() -> RetrievalInstance {
+        use rds_storage::specs::{DiskKind, DiskSpec};
+        use rds_storage::time::Micros;
+        const SLOW: DiskSpec = DiskSpec {
+            producer: "test",
+            model: "glacial",
+            kind: DiskKind::Hdd,
+            rpm: Some(1),
+            access_time: Micros::from_micros(800_000_000),
+        };
+        const FAST: DiskSpec = DiskSpec {
+            producer: "test",
+            model: "instant",
+            kind: DiskKind::Ssd,
+            rpm: None,
+            access_time: Micros::from_micros(1),
+        };
+        let system = SystemConfig::builder()
+            .site("a")
+            .disk(SLOW)
+            .disk(FAST)
+            .build();
+        let alloc = OrthogonalAllocation::new(2, Placement::SingleSite);
+        let q = RangeQuery::new(0, 0, 2, 1);
+        RetrievalInstance::build(&system, &alloc, &q.buckets(2))
+    }
+
+    #[test]
+    fn forced_compact_overflow_is_typed_and_does_not_poison() {
+        let inst = oversized_instance();
+        let (bound, _) = peak_edge_capacity(&inst);
+        assert!(
+            !compact_capacity_fits(bound),
+            "test instance must exceed the compact bound, got {bound}"
+        );
+        let mut ws = Workspace::new();
+        ws.set_arena_layout(ArenaLayout::Compact);
+        let err = ws.begin(&inst).unwrap_err();
+        assert!(
+            matches!(err, SolveError::ArenaOverflow { width: "i32", .. }),
+            "expected ArenaOverflow, got {err:?}"
+        );
+        // A clean typed failure is not a panic: the workspace must not
+        // report itself poisoned, and stays fully usable.
+        assert_eq!(ws.take_poisoned(), Ok(()));
+        ws.begin(&small_instance()).unwrap();
+        assert_eq!(ws.layout_used(), ArenaLayout::Compact);
+    }
+
+    #[test]
+    fn auto_layout_widens_instead_of_overflowing() {
+        let inst = oversized_instance();
+        let mut ws = Workspace::new();
+        ws.begin(&inst).unwrap();
+        assert_eq!(ws.layout_used(), ArenaLayout::Wide);
+        // And re-narrows when the next instance fits again.
+        ws.begin(&small_instance()).unwrap();
+        assert_eq!(ws.layout_used(), ArenaLayout::Compact);
+    }
+
+    #[test]
+    fn begin_warm_overflow_drops_warm_state_cleanly() {
+        let inst = oversized_instance();
+        let mut ws = Workspace::new();
+        ws.set_arena_layout(ArenaLayout::Compact);
+        // Stage warm state as a prior solve of the stream would have.
+        let flows = vec![0i64; inst.graph.num_edge_slots()];
+        let excess = vec![0i64; inst.graph.num_vertices()];
+        ws.stage_warm(&flows, &excess, &[]);
+        let err = ws.begin_warm(&inst).unwrap_err();
+        assert!(matches!(err, SolveError::ArenaOverflow { .. }));
+        assert_eq!(ws.take_poisoned(), Ok(()));
+        // The warm stage was consumed; a retry reports "no warm state"
+        // instead of failing again.
+        assert!(!ws.begin_warm(&inst).unwrap());
     }
 }

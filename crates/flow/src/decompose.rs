@@ -5,7 +5,7 @@
 //! route `s → bucket → disk → t`) and as a verification aid: the path
 //! amounts must sum to the flow value.
 
-use crate::graph::{EdgeId, FlowGraph, VertexId};
+use crate::graph::{ArenaIndex, EdgeId, FlowGraph, VertexId};
 
 /// One component of a decomposition.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -23,7 +23,7 @@ pub struct PathFlow {
 /// The graph is not modified (the walk uses a scratch copy of the flow
 /// values). Path amounts sum to the net inflow at `t`; cycle amounts are
 /// circulation that contributes nothing to the flow value.
-pub fn decompose(g: &FlowGraph, s: VertexId, t: VertexId) -> Vec<PathFlow> {
+pub fn decompose<W: ArenaIndex>(g: &FlowGraph<W>, s: VertexId, t: VertexId) -> Vec<PathFlow> {
     let mut flow: Vec<i64> = (0..g.num_edge_slots()).map(|e| g.flow(e)).collect();
     let mut out = Vec::new();
     let n = g.num_vertices();
@@ -157,7 +157,7 @@ mod tests {
     use crate::push_relabel::PushRelabel;
 
     fn clrs() -> (FlowGraph, VertexId, VertexId) {
-        let mut g = FlowGraph::new(6);
+        let mut g: FlowGraph = FlowGraph::new(6);
         g.add_edge(0, 1, 16);
         g.add_edge(0, 2, 13);
         g.add_edge(1, 3, 12);
@@ -205,7 +205,7 @@ mod tests {
 
     #[test]
     fn pure_cycle_is_detected() {
-        let mut g = FlowGraph::new(4);
+        let mut g: FlowGraph = FlowGraph::new(4);
         // s and t disconnected from a 2-cycle carrying circulation.
         let a = g.add_edge(2, 3, 5);
         let b = g.add_edge(3, 2, 5);
@@ -226,7 +226,7 @@ mod tests {
     /// cancelled as its own component and the s-t unit survives as a path.
     #[test]
     fn cycle_reachable_from_source_is_split_off_the_walk() {
-        let mut g = FlowGraph::new(5);
+        let mut g: FlowGraph = FlowGraph::new(5);
         let (s, a, b, c, t) = (0, 1, 2, 3, 4);
         let sa = g.add_edge(s, a, 1);
         let ab = g.add_edge(a, b, 1); // cycle entry sorts before a -> t
@@ -253,7 +253,7 @@ mod tests {
     #[test]
     fn unit_retrieval_paths_have_length_three() {
         // A retrieval-shaped network: s -> b1,b2 -> d1,d2 -> t.
-        let mut g = FlowGraph::new(6);
+        let mut g: FlowGraph = FlowGraph::new(6);
         let (s, b1, b2, d1, d2, t) = (0, 1, 2, 3, 4, 5);
         g.add_edge(s, b1, 1);
         g.add_edge(s, b2, 1);

@@ -5,7 +5,7 @@
 //! parallel push-relabel) is cross-validated against Dinic on randomized
 //! networks. Dinic is also a practical fallback solver in its own right.
 
-use crate::graph::{EdgeId, FlowGraph, VertexId};
+use crate::graph::{ArenaIndex, EdgeId, FlowGraph, VertexId};
 
 /// Reusable Dinic solver state (level graph + current-arc pointers).
 #[derive(Clone, Debug, Default)]
@@ -24,7 +24,12 @@ impl Dinic {
     /// Computes a maximum flow from `s` to `t` on top of whatever flow is
     /// already present in `g` (existing flow is conserved). Returns the net
     /// inflow at `t` after completion.
-    pub fn max_flow(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
+    pub fn max_flow<W: ArenaIndex>(
+        &mut self,
+        g: &mut FlowGraph<W>,
+        s: VertexId,
+        t: VertexId,
+    ) -> i64 {
         assert_ne!(s, t, "source and sink must differ");
         g.finalize();
         let n = g.num_vertices();
@@ -42,7 +47,7 @@ impl Dinic {
 
     /// BFS over the residual graph assigning levels; returns true if `t` is
     /// reachable.
-    fn build_levels(&mut self, g: &FlowGraph, s: VertexId, t: VertexId) -> bool {
+    fn build_levels<W: ArenaIndex>(&mut self, g: &FlowGraph<W>, s: VertexId, t: VertexId) -> bool {
         self.level.iter_mut().for_each(|l| *l = -1);
         self.queue.clear();
         self.level[s] = 0;
@@ -64,7 +69,13 @@ impl Dinic {
     }
 
     /// DFS pushing up to `limit` units along level-increasing edges.
-    fn block(&mut self, g: &mut FlowGraph, v: VertexId, t: VertexId, limit: i64) -> i64 {
+    fn block<W: ArenaIndex>(
+        &mut self,
+        g: &mut FlowGraph<W>,
+        v: VertexId,
+        t: VertexId,
+        limit: i64,
+    ) -> i64 {
         if v == t {
             return limit;
         }
@@ -87,7 +98,7 @@ impl Dinic {
 }
 
 /// Convenience wrapper running [`Dinic`] from a zero flow.
-pub fn max_flow(g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
+pub fn max_flow<W: ArenaIndex>(g: &mut FlowGraph<W>, s: VertexId, t: VertexId) -> i64 {
     g.zero_flows();
     Dinic::new().max_flow(g, s, t)
 }
@@ -98,7 +109,7 @@ mod tests {
     use crate::ford_fulkerson::ford_fulkerson;
 
     fn clrs() -> (FlowGraph, VertexId, VertexId) {
-        let mut g = FlowGraph::new(6);
+        let mut g: FlowGraph = FlowGraph::new(6);
         g.add_edge(0, 1, 16);
         g.add_edge(0, 2, 13);
         g.add_edge(1, 3, 12);
@@ -124,7 +135,7 @@ mod tests {
         for _ in 0..50 {
             let n = rng.gen_range(4..20);
             let m = rng.gen_range(n..4 * n);
-            let mut g = FlowGraph::new(n);
+            let mut g: FlowGraph = FlowGraph::new(n);
             for _ in 0..m {
                 let u = rng.gen_range(0..n);
                 let v = rng.gen_range(0..n);
@@ -150,14 +161,14 @@ mod tests {
 
     #[test]
     fn zero_capacity_network() {
-        let mut g = FlowGraph::new(2);
+        let mut g: FlowGraph = FlowGraph::new(2);
         g.add_edge(0, 1, 0);
         assert_eq!(max_flow(&mut g, 0, 1), 0);
     }
 
     #[test]
     fn parallel_edges_accumulate() {
-        let mut g = FlowGraph::new(2);
+        let mut g: FlowGraph = FlowGraph::new(2);
         g.add_edge(0, 1, 3);
         g.add_edge(0, 1, 4);
         assert_eq!(max_flow(&mut g, 0, 1), 7);

@@ -9,7 +9,7 @@
 //! makes `reverse_edge`/`fixReversedEdges` unnecessary while computing the
 //! identical augmentations.
 
-use crate::graph::{EdgeId, FlowGraph, VertexId};
+use crate::graph::{ArenaIndex, EdgeId, FlowGraph, VertexId};
 
 /// Reusable state for augmenting-path searches.
 ///
@@ -52,7 +52,12 @@ impl AugmentingPath {
     /// Returns the edges of a residual path if one exists. The path is not
     /// yet augmented; call [`AugmentingPath::augment`] or use
     /// [`AugmentingPath::dfs_augment`].
-    pub fn dfs(&mut self, g: &FlowGraph, from: VertexId, to: VertexId) -> Option<&[EdgeId]> {
+    pub fn dfs<W: ArenaIndex>(
+        &mut self,
+        g: &FlowGraph<W>,
+        from: VertexId,
+        to: VertexId,
+    ) -> Option<&[EdgeId]> {
         self.dfs_avoiding(g, from, to, None)
     }
 
@@ -62,9 +67,9 @@ impl AugmentingPath {
     /// bucket vertex to the sink with the *source excluded*: the residual
     /// reverse edges into the source would otherwise let the search
     /// "unroute" the current bucket and route a different one instead.
-    pub fn dfs_avoiding(
+    pub fn dfs_avoiding<W: ArenaIndex>(
         &mut self,
-        g: &FlowGraph,
+        g: &FlowGraph<W>,
         from: VertexId,
         to: VertexId,
         blocked: Option<VertexId>,
@@ -108,7 +113,12 @@ impl AugmentingPath {
 
     /// Breadth-first (shortest) residual path `from -> to`, as used by the
     /// Edmonds-Karp variant.
-    pub fn bfs(&mut self, g: &FlowGraph, from: VertexId, to: VertexId) -> Option<Vec<EdgeId>> {
+    pub fn bfs<W: ArenaIndex>(
+        &mut self,
+        g: &FlowGraph<W>,
+        from: VertexId,
+        to: VertexId,
+    ) -> Option<Vec<EdgeId>> {
         self.begin(g.num_vertices());
         let n = g.num_vertices();
         self.parent.clear();
@@ -146,7 +156,7 @@ impl AugmentingPath {
 
     /// Augments flow along `path` by the bottleneck residual capacity and
     /// returns the amount pushed.
-    pub fn augment(g: &mut FlowGraph, path: &[EdgeId]) -> i64 {
+    pub fn augment<W: ArenaIndex>(g: &mut FlowGraph<W>, path: &[EdgeId]) -> i64 {
         let bottleneck = path.iter().map(|&e| g.residual(e)).min().unwrap_or(0);
         if bottleneck > 0 {
             for &e in path {
@@ -160,7 +170,7 @@ impl AugmentingPath {
     ///
     /// The retrieval algorithms always push a single unit per bucket, so the
     /// bottleneck is known to be at least 1.
-    pub fn augment_by(g: &mut FlowGraph, path: &[EdgeId], amount: i64) {
+    pub fn augment_by<W: ArenaIndex>(g: &mut FlowGraph<W>, path: &[EdgeId], amount: i64) {
         for &e in path {
             g.push(e, amount);
         }
@@ -168,14 +178,19 @@ impl AugmentingPath {
 
     /// One DFS search-and-augment step: finds a residual path and pushes the
     /// bottleneck along it. Returns the amount pushed (0 if no path).
-    pub fn dfs_augment(&mut self, g: &mut FlowGraph, from: VertexId, to: VertexId) -> i64 {
+    pub fn dfs_augment<W: ArenaIndex>(
+        &mut self,
+        g: &mut FlowGraph<W>,
+        from: VertexId,
+        to: VertexId,
+    ) -> i64 {
         self.dfs_augment_avoiding(g, from, to, None)
     }
 
     /// Search-and-augment variant of [`AugmentingPath::dfs_avoiding`].
-    pub fn dfs_augment_avoiding(
+    pub fn dfs_augment_avoiding<W: ArenaIndex>(
         &mut self,
-        g: &mut FlowGraph,
+        g: &mut FlowGraph<W>,
         from: VertexId,
         to: VertexId,
         blocked: Option<VertexId>,
@@ -197,7 +212,7 @@ impl AugmentingPath {
 /// Flow already present in `g` is conserved: the function only adds
 /// augmenting paths on top of it, so it can be used in integrated mode.
 /// Returns the *total* net inflow at `t` after augmentation.
-pub fn ford_fulkerson(g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
+pub fn ford_fulkerson<W: ArenaIndex>(g: &mut FlowGraph<W>, s: VertexId, t: VertexId) -> i64 {
     g.finalize();
     let mut search = AugmentingPath::new();
     while search.dfs_augment(g, s, t) > 0 {}
@@ -205,7 +220,7 @@ pub fn ford_fulkerson(g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
 }
 
 /// Maximum flow via repeated shortest-path augmentation (Edmonds-Karp).
-pub fn edmonds_karp(g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
+pub fn edmonds_karp<W: ArenaIndex>(g: &mut FlowGraph<W>, s: VertexId, t: VertexId) -> i64 {
     g.finalize();
     let mut search = AugmentingPath::new();
     while let Some(path) = search.bfs(g, s, t) {
@@ -223,7 +238,7 @@ mod tests {
 
     /// Classic CLRS example network, max flow 23.
     fn clrs() -> (FlowGraph, VertexId, VertexId) {
-        let mut g = FlowGraph::new(6);
+        let mut g: FlowGraph = FlowGraph::new(6);
         let (s, v1, v2, v3, v4, t) = (0, 1, 2, 3, 4, 5);
         g.add_edge(s, v1, 16);
         g.add_edge(s, v2, 13);
@@ -252,7 +267,7 @@ mod tests {
 
     #[test]
     fn disconnected_has_zero_flow() {
-        let mut g = FlowGraph::new(3);
+        let mut g: FlowGraph = FlowGraph::new(3);
         g.add_edge(0, 1, 5);
         assert_eq!(ford_fulkerson(&mut g, 0, 2), 0);
     }
@@ -270,7 +285,7 @@ mod tests {
     #[test]
     fn dfs_uses_residual_back_edges() {
         // s -> a -> t with cap 1, s -> b, b -> a forces rerouting.
-        let mut g = FlowGraph::new(4);
+        let mut g: FlowGraph = FlowGraph::new(4);
         let (s, a, b, t) = (0, 1, 2, 3);
         g.add_edge(s, a, 1);
         g.add_edge(a, t, 1);
@@ -303,7 +318,7 @@ mod tests {
     #[test]
     fn dfs_avoiding_blocks_vertex() {
         // s -> a -> t; a path from a to t through s is blocked.
-        let mut g = FlowGraph::new(3);
+        let mut g: FlowGraph = FlowGraph::new(3);
         g.add_edge(0, 1, 1);
         g.add_edge(0, 2, 1);
         g.finalize();

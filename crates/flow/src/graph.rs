@@ -29,6 +29,22 @@
 //! its operation counts — are unchanged. Solver entry points (which take
 //! `&mut FlowGraph`) finalize automatically; [`FlowGraph::out_edges`] panics
 //! on a stale index rather than returning stale adjacency.
+//!
+//! # Width
+//!
+//! The capacity/flow arrays are generic over an [`ArenaIndex`] width: `i64`
+//! (the default, and the width of every public snapshot) or `i32` (the
+//! *compact* layout — half the per-edge cache footprint, which the
+//! graph_layout bench measures at ~1.25x on paper-scale instances). The
+//! width is monomorphized — no dyn dispatch anywhere on the hot path — and
+//! every accessor keeps an `i64` signature: values widen on load and narrow
+//! (debug-checked) on store, so solver code is width-oblivious. Safety rests
+//! on the invariants `0 <= flow(e) <= cap(e)` for forward slots and
+//! `-cap(e ^ 1) <= flow(e) <= 0` for reverse slots: whenever every capacity
+//! fits the width, every flow and residual does too. Callers pick the width
+//! per instance from its capacity bound (see `rds-core`'s workspace) and
+//! fall back to `i64`; [`FlowGraph::try_copy_from`] narrows checked, with a
+//! typed [`WidthOverflow`] instead of a panic.
 
 /// Index of a vertex in a [`FlowGraph`].
 pub type VertexId = usize;
@@ -36,6 +52,97 @@ pub type VertexId = usize;
 /// Index of a directed edge in a [`FlowGraph`]. The reverse edge of `e` is
 /// always `e ^ 1`.
 pub type EdgeId = usize;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for i32 {}
+    impl Sealed for i64 {}
+}
+
+/// Storage width of a [`GraphArena`]'s capacity/flow arrays.
+///
+/// Sealed: exactly `i32` (compact) and `i64` (wide) implement it. The trait
+/// exists only to monomorphize the arena — all arithmetic happens in `i64`
+/// at the accessor boundary, so implementors just widen and narrow.
+pub trait ArenaIndex:
+    sealed::Sealed + Copy + Default + Ord + std::fmt::Debug + Send + Sync + 'static
+{
+    /// Width name for diagnostics ("i32" / "i64").
+    const NAME: &'static str;
+    /// Largest representable value, widened.
+    const MAX: i64;
+    /// Widens to `i64` (lossless).
+    fn to_i64(self) -> i64;
+    /// Narrows from `i64`. Debug-asserts the value fits; release builds
+    /// truncate, which the width-selection rule (capacities bounded well
+    /// under [`ArenaIndex::MAX`]) makes unreachable.
+    fn from_i64(v: i64) -> Self;
+    /// Checked narrowing; `None` when the value does not fit.
+    fn try_from_i64(v: i64) -> Option<Self>;
+}
+
+impl ArenaIndex for i32 {
+    const NAME: &'static str = "i32";
+    const MAX: i64 = i32::MAX as i64;
+    #[inline(always)]
+    fn to_i64(self) -> i64 {
+        self as i64
+    }
+    #[inline(always)]
+    fn from_i64(v: i64) -> Self {
+        debug_assert!(
+            i32::try_from(v).is_ok(),
+            "value {v} exceeds the compact (i32) arena width"
+        );
+        v as i32
+    }
+    #[inline(always)]
+    fn try_from_i64(v: i64) -> Option<Self> {
+        i32::try_from(v).ok()
+    }
+}
+
+impl ArenaIndex for i64 {
+    const NAME: &'static str = "i64";
+    const MAX: i64 = i64::MAX;
+    #[inline(always)]
+    fn to_i64(self) -> i64 {
+        self
+    }
+    #[inline(always)]
+    fn from_i64(v: i64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn try_from_i64(v: i64) -> Option<Self> {
+        Some(v)
+    }
+}
+
+/// A capacity or flow value did not fit the destination width during a
+/// checked cross-width operation ([`FlowGraph::try_copy_from`],
+/// [`FlowGraph::try_restore_flows`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WidthOverflow {
+    /// Edge slot holding the offending value.
+    pub edge: EdgeId,
+    /// The value that does not fit.
+    pub value: i64,
+    /// Name of the destination width (e.g. "i32").
+    pub width: &'static str,
+}
+
+impl std::fmt::Display for WidthOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "value {} on edge slot {} does not fit the {} arena width",
+            self.value, self.edge, self.width
+        )
+    }
+}
+
+impl std::error::Error for WidthOverflow {}
 
 /// The flat reusable buffers backing a [`FlowGraph`].
 ///
@@ -45,14 +152,14 @@ pub type EdgeId = usize;
 /// counts the times any buffer actually grew — steady-state serving layers
 /// assert it stays flat (see `rds-core`'s workspace).
 #[derive(Clone, Debug, Default)]
-pub struct GraphArena {
+pub struct GraphArena<W: ArenaIndex = i64> {
     /// `head[e]` is the target vertex of edge slot `e`. The owning (source)
     /// vertex of `e` is `head[e ^ 1]`.
     head: Vec<u32>,
     /// Capacity of each edge slot. Reverse slots have capacity 0.
-    cap: Vec<i64>,
+    cap: Vec<W>,
     /// Current flow on each edge slot; `flow[e ^ 1] == -flow[e]`.
-    flow: Vec<i64>,
+    flow: Vec<W>,
     /// CSR offsets: vertex `v` owns `adj_list[adj_index[v]..adj_index[v+1]]`.
     adj_index: Vec<u32>,
     /// Edge slots grouped by owning vertex, insertion order within a vertex.
@@ -63,7 +170,7 @@ pub struct GraphArena {
     grows: u64,
 }
 
-impl GraphArena {
+impl<W: ArenaIndex> GraphArena<W> {
     /// Number of times any backing buffer had to grow. Stable across
     /// steady-state rebuild/solve cycles once the arena has seen its
     /// high-water instance size.
@@ -78,8 +185,22 @@ impl GraphArena {
         (self.head.capacity() + self.adj_index.capacity())
             .saturating_add(self.adj_list.capacity() + self.cursor.capacity())
             * size_of::<u32>()
-            + (self.cap.capacity() + self.flow.capacity()) * size_of::<i64>()
+            + (self.cap.capacity() + self.flow.capacity()) * size_of::<W>()
     }
+}
+
+/// Issues a best-effort read prefetch for the cache line holding `*ptr`.
+/// Purely a cache hint — no architectural side effects, so instrumented
+/// operation counts and traversal digests are unchanged by its presence.
+#[inline(always)]
+fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch never faults, even on invalid addresses.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(ptr as *const i8, core::arch::x86_64::_MM_HINT_T0)
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = ptr;
 }
 
 /// A directed flow network with mutable capacities and explicit flow state,
@@ -89,16 +210,19 @@ impl GraphArena {
 /// never removed); capacities and flows are mutable. This matches the
 /// retrieval workload: the network shape is fixed per query while disk-edge
 /// capacities evolve during the budget search.
+///
+/// `W` selects the storage width of capacities and flows (see the module
+/// docs); the default `i64` keeps every existing `FlowGraph` use unchanged.
 #[derive(Clone, Debug, Default)]
-pub struct FlowGraph {
-    arena: GraphArena,
+pub struct FlowGraph<W: ArenaIndex = i64> {
+    arena: GraphArena<W>,
     /// Number of vertices (authoritative; `adj_index` tracks it lazily).
     n: usize,
     /// Whether `adj_index`/`adj_list` are stale relative to the edge arrays.
     dirty: bool,
 }
 
-impl FlowGraph {
+impl<W: ArenaIndex> FlowGraph<W> {
     /// Creates an empty graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
         let mut g = FlowGraph::default();
@@ -146,7 +270,7 @@ impl FlowGraph {
 
     /// The backing buffer arena (allocation telemetry).
     #[inline]
-    pub fn arena(&self) -> &GraphArena {
+    pub fn arena(&self) -> &GraphArena<W> {
         &self.arena
     }
 
@@ -212,10 +336,10 @@ impl FlowGraph {
         self.arena.head.push(v as u32);
         self.arena.head.push(u as u32);
         self.arena.grows += (self.arena.head.capacity() != before) as u64;
-        self.arena.cap.push(cap);
-        self.arena.cap.push(0);
-        self.arena.flow.push(0);
-        self.arena.flow.push(0);
+        self.arena.cap.push(W::from_i64(cap));
+        self.arena.cap.push(W::default());
+        self.arena.flow.push(W::default());
+        self.arena.flow.push(W::default());
         self.dirty = true;
         e
     }
@@ -283,7 +407,7 @@ impl FlowGraph {
     /// Capacity of edge `e`.
     #[inline]
     pub fn cap(&self, e: EdgeId) -> i64 {
-        self.arena.cap[e]
+        self.arena.cap[e].to_i64()
     }
 
     /// Sets the capacity of edge `e`.
@@ -295,19 +419,19 @@ impl FlowGraph {
     #[inline]
     pub fn set_cap(&mut self, e: EdgeId, cap: i64) {
         debug_assert!(cap >= 0, "negative capacity {cap}");
-        self.arena.cap[e] = cap;
+        self.arena.cap[e] = W::from_i64(cap);
     }
 
     /// Current flow on edge `e` (negative on reverse edges).
     #[inline]
     pub fn flow(&self, e: EdgeId) -> i64 {
-        self.arena.flow[e]
+        self.arena.flow[e].to_i64()
     }
 
     /// Residual capacity of edge `e`: `cap(e) - flow(e)`.
     #[inline]
     pub fn residual(&self, e: EdgeId) -> i64 {
-        self.arena.cap[e] - self.arena.flow[e]
+        self.arena.cap[e].to_i64() - self.arena.flow[e].to_i64()
     }
 
     /// Pushes `delta` units of flow along edge `e`, updating the paired
@@ -323,8 +447,8 @@ impl FlowGraph {
             "push of {delta} exceeds residual {} on edge {e}",
             self.residual(e)
         );
-        self.arena.flow[e] += delta;
-        self.arena.flow[e ^ 1] -= delta;
+        self.arena.flow[e] = W::from_i64(self.arena.flow[e].to_i64() + delta);
+        self.arena.flow[e ^ 1] = W::from_i64(self.arena.flow[e ^ 1].to_i64() - delta);
     }
 
     /// Overwrites the raw flow value of a single edge slot *without*
@@ -333,7 +457,7 @@ impl FlowGraph {
     /// for the pairing invariant to hold afterwards.
     #[inline]
     pub fn set_flow_raw(&mut self, e: EdgeId, flow: i64) {
-        self.arena.flow[e] = flow;
+        self.arena.flow[e] = W::from_i64(flow);
     }
 
     /// Target vertex of edge `e`, without the release-mode bounds check.
@@ -355,7 +479,9 @@ impl FlowGraph {
     pub(crate) fn residual_fast(&self, e: EdgeId) -> i64 {
         debug_assert!(e < self.arena.cap.len(), "edge {e} out of range");
         // SAFETY: guarded by the documented contract + debug_assert above.
-        unsafe { self.arena.cap.get_unchecked(e) - self.arena.flow.get_unchecked(e) }
+        unsafe {
+            self.arena.cap.get_unchecked(e).to_i64() - self.arena.flow.get_unchecked(e).to_i64()
+        }
     }
 
     /// [`FlowGraph::push`] without release-mode bounds checks. Same contract
@@ -372,8 +498,10 @@ impl FlowGraph {
         // SAFETY: guarded by the documented contract + debug_assert above;
         // e ^ 1 is in range whenever e is, because slots come in pairs.
         unsafe {
-            *self.arena.flow.get_unchecked_mut(e) += delta;
-            *self.arena.flow.get_unchecked_mut(e ^ 1) -= delta;
+            let f = self.arena.flow.get_unchecked(e).to_i64() + delta;
+            *self.arena.flow.get_unchecked_mut(e) = W::from_i64(f);
+            let r = self.arena.flow.get_unchecked(e ^ 1).to_i64() - delta;
+            *self.arena.flow.get_unchecked_mut(e ^ 1) = W::from_i64(r);
         }
     }
 
@@ -416,6 +544,42 @@ impl FlowGraph {
         );
         // SAFETY: guarded by the documented contract + debug_assert above.
         unsafe { *self.arena.adj_list.get_unchecked(pos as usize) as EdgeId }
+    }
+
+    /// Prefetches the per-edge state (`head`/`cap`/`flow`) of the edge a
+    /// few adjacency positions ahead of `pos`, hiding the dependent-load
+    /// latency of `adj_list[pos] -> edge arrays` in the discharge and
+    /// global-relabel walks. `hi` is the walk bound from
+    /// [`FlowGraph::adj_bounds`]. Purely a cache hint (see
+    /// [`prefetch_read`]); a no-op on non-x86_64 targets.
+    #[inline(always)]
+    pub(crate) fn prefetch_adj(&self, pos: u32, hi: u32) {
+        const DIST: u32 = 16;
+        let p = pos.wrapping_add(DIST);
+        if p < hi {
+            debug_assert!((p as usize) < self.arena.adj_list.len());
+            // SAFETY: p < hi <= adj_list.len() per the adj_bounds contract.
+            let e = unsafe { *self.arena.adj_list.get_unchecked(p as usize) } as usize;
+            prefetch_read(self.arena.cap.as_ptr().wrapping_add(e));
+            prefetch_read(self.arena.flow.as_ptr().wrapping_add(e));
+            prefetch_read(self.arena.head.as_ptr().wrapping_add(e));
+        }
+    }
+
+    /// [`FlowGraph::prefetch_adj`] for walks that test the *target* before
+    /// touching edge state (the lowest-neighbour scan): fetches only the
+    /// `head` word, keeping the cap/flow lines out of the way of scans
+    /// that will reject most edges on height alone.
+    #[inline(always)]
+    pub(crate) fn prefetch_adj_head(&self, pos: u32, hi: u32) {
+        const DIST: u32 = 16;
+        let p = pos.wrapping_add(DIST);
+        if p < hi {
+            debug_assert!((p as usize) < self.arena.adj_list.len());
+            // SAFETY: p < hi <= adj_list.len() per the adj_bounds contract.
+            let e = unsafe { *self.arena.adj_list.get_unchecked(p as usize) } as usize;
+            prefetch_read(self.arena.head.as_ptr().wrapping_add(e));
+        }
     }
 
     /// Outgoing edge ids of vertex `v` (both forward and reverse slots), in
@@ -463,15 +627,16 @@ impl FlowGraph {
 
     /// Resets all flow values to zero, keeping topology and capacities.
     pub fn zero_flows(&mut self) {
-        self.arena.flow.iter_mut().for_each(|f| *f = 0);
+        self.arena.flow.iter_mut().for_each(|f| *f = W::default());
     }
 
     /// Snapshot of the current flow state (for `StoreFlows`, Algorithm 6).
+    /// Always widened to `i64` so snapshots are width-portable.
     ///
     /// Allocates a fresh vector; steady-state callers use
     /// [`FlowGraph::store_flows_into`] with a reused buffer instead.
     pub fn store_flows(&self) -> Vec<i64> {
-        self.arena.flow.clone()
+        self.arena.flow.iter().map(|f| f.to_i64()).collect()
     }
 
     /// Writes the current flow state into `buf`, reusing its allocation —
@@ -480,14 +645,14 @@ impl FlowGraph {
     /// driver stores state on every failed probe).
     pub fn store_flows_into(&self, buf: &mut Vec<i64>) {
         buf.clear();
-        buf.extend_from_slice(&self.arena.flow);
+        buf.extend(self.arena.flow.iter().map(|f| f.to_i64()));
     }
 
     /// Makes `self` a copy of `other`, reusing existing allocations
     /// (including the CSR adjacency buffers) instead of allocating a fresh
     /// graph as `clone` would. Copies the finalization state too: copying a
     /// finalized graph yields a finalized graph.
-    pub fn copy_from(&mut self, other: &FlowGraph) {
+    pub fn copy_from(&mut self, other: &FlowGraph<W>) {
         let (a, b) = (&mut self.arena, &other.arena);
         track_grow(&mut a.grows, &mut a.head, |v| v.clone_from(&b.head));
         track_grow(&mut a.grows, &mut a.cap, |v| v.clone_from(&b.cap));
@@ -498,6 +663,47 @@ impl FlowGraph {
         track_grow(&mut a.grows, &mut a.adj_list, |v| v.clone_from(&b.adj_list));
         self.n = other.n;
         self.dirty = other.dirty;
+    }
+
+    /// Cross-width [`FlowGraph::copy_from`]: makes `self` a copy of a graph
+    /// of a (possibly) different width, narrowing checked. On
+    /// [`WidthOverflow`] `self` is left untouched — the validation pass runs
+    /// before any buffer is written — so callers can fall back to the wide
+    /// layout cleanly. Allocation-free once `self` has grown to size.
+    pub fn try_copy_from<V: ArenaIndex>(
+        &mut self,
+        other: &FlowGraph<V>,
+    ) -> Result<(), WidthOverflow> {
+        if W::MAX < V::MAX {
+            for (e, (c, f)) in other.arena.cap.iter().zip(&other.arena.flow).enumerate() {
+                for value in [c.to_i64(), f.to_i64()] {
+                    if W::try_from_i64(value).is_none() {
+                        return Err(WidthOverflow {
+                            edge: e,
+                            value,
+                            width: W::NAME,
+                        });
+                    }
+                }
+            }
+        }
+        let (a, b) = (&mut self.arena, &other.arena);
+        track_grow(&mut a.grows, &mut a.head, |v| v.clone_from(&b.head));
+        track_grow(&mut a.grows, &mut a.cap, |v| {
+            v.clear();
+            v.extend(b.cap.iter().map(|c| W::from_i64(c.to_i64())));
+        });
+        track_grow(&mut a.grows, &mut a.flow, |v| {
+            v.clear();
+            v.extend(b.flow.iter().map(|f| W::from_i64(f.to_i64())));
+        });
+        track_grow(&mut a.grows, &mut a.adj_index, |v| {
+            v.clone_from(&b.adj_index)
+        });
+        track_grow(&mut a.grows, &mut a.adj_list, |v| v.clone_from(&b.adj_list));
+        self.n = other.n;
+        self.dirty = other.dirty;
+        Ok(())
     }
 
     /// Clears the graph to `n` isolated vertices in place, keeping every
@@ -518,7 +724,10 @@ impl FlowGraph {
     }
 
     /// Restores a flow snapshot taken with [`FlowGraph::store_flows`]
-    /// (`RestoreFlows`, Algorithm 6).
+    /// (`RestoreFlows`, Algorithm 6). Snapshots are `i64` regardless of the
+    /// graph width; values are narrowed debug-checked (snapshots taken from
+    /// a graph of this width always fit — use
+    /// [`FlowGraph::try_restore_flows`] when that is not known).
     ///
     /// # Panics
     ///
@@ -529,7 +738,38 @@ impl FlowGraph {
             self.arena.flow.len(),
             "flow snapshot does not match graph topology"
         );
-        self.arena.flow.copy_from_slice(snapshot);
+        for (dst, &src) in self.arena.flow.iter_mut().zip(snapshot) {
+            *dst = W::from_i64(src);
+        }
+    }
+
+    /// Checked [`FlowGraph::restore_flows`]: fails with a typed
+    /// [`WidthOverflow`] (leaving the stored flows untouched) when a
+    /// snapshot value does not fit this graph's width — the case a cached
+    /// warm-start snapshot hits after its stream outgrew the compact bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot length does not match the edge count.
+    pub fn try_restore_flows(&mut self, snapshot: &[i64]) -> Result<(), WidthOverflow> {
+        assert_eq!(
+            snapshot.len(),
+            self.arena.flow.len(),
+            "flow snapshot does not match graph topology"
+        );
+        for (e, &src) in snapshot.iter().enumerate() {
+            if W::try_from_i64(src).is_none() {
+                return Err(WidthOverflow {
+                    edge: e,
+                    value: src,
+                    width: W::NAME,
+                });
+            }
+        }
+        for (dst, &src) in self.arena.flow.iter_mut().zip(snapshot) {
+            *dst = W::from_i64(src);
+        }
+        Ok(())
     }
 
     /// Net flow into vertex `v` over forward edges; for the sink this is the
@@ -546,7 +786,7 @@ impl FlowGraph {
                 .iter()
                 .zip(&self.arena.flow)
                 .filter(|&(&h, _)| h == v)
-                .map(|(_, &f)| f)
+                .map(|(_, f)| f.to_i64())
                 .sum();
         }
         self.out_edges(v)
@@ -555,9 +795,9 @@ impl FlowGraph {
                 let e = e as usize;
                 if e % 2 == 1 {
                     // reverse slot: the paired forward edge points at v
-                    self.arena.flow[e ^ 1]
+                    self.arena.flow[e ^ 1].to_i64()
                 } else {
-                    -self.arena.flow[e]
+                    -self.arena.flow[e].to_i64()
                 }
             })
             .sum()
@@ -604,7 +844,7 @@ mod tests {
     use super::*;
 
     fn diamond() -> FlowGraph {
-        let mut g = FlowGraph::new(4);
+        let mut g: FlowGraph = FlowGraph::new(4);
         g.add_edge(0, 1, 3);
         g.add_edge(0, 2, 2);
         g.add_edge(1, 3, 2);
@@ -781,7 +1021,7 @@ mod tests {
         // Interleave edges so several vertices own non-contiguous slots;
         // per-vertex order must still be ascending slot id (the order the
         // legacy Vec<Vec> layout appended them in).
-        let mut g = FlowGraph::new(5);
+        let mut g: FlowGraph = FlowGraph::new(5);
         g.add_edge(0, 1, 1); // slots 0/1
         g.add_edge(2, 0, 1); // slots 2/3
         g.add_edge(0, 3, 1); // slots 4/5
@@ -805,7 +1045,7 @@ mod tests {
             g.add_edge(2, 3, 3);
             g.finalize();
         };
-        let mut g = FlowGraph::new(0);
+        let mut g: FlowGraph = FlowGraph::new(0);
         build(&mut g);
         let events = g.arena().allocation_events();
         for _ in 0..10 {
@@ -829,5 +1069,88 @@ mod tests {
             dst.copy_from(&src);
         }
         assert_eq!(dst.arena().allocation_events(), events);
+    }
+
+    #[test]
+    fn compact_width_behaves_identically() {
+        let mut wide = diamond();
+        let mut compact = FlowGraph::<i32>::new(4);
+        compact.add_edge(0, 1, 3);
+        compact.add_edge(0, 2, 2);
+        compact.add_edge(1, 3, 2);
+        compact.add_edge(2, 3, 3);
+        compact.finalize();
+        for v in 0..4 {
+            assert_eq!(compact.out_edges(v), wide.out_edges(v));
+        }
+        wide.push(0, 2);
+        compact.push(0, 2);
+        wide.push(4, 2);
+        compact.push(4, 2);
+        for e in 0..wide.num_edge_slots() {
+            assert_eq!(compact.flow(e), wide.flow(e));
+            assert_eq!(compact.residual(e), wide.residual(e));
+        }
+        assert_eq!(compact.net_inflow(3), wide.net_inflow(3));
+        assert_eq!(compact.store_flows(), wide.store_flows());
+    }
+
+    #[test]
+    fn try_copy_from_narrows_and_reports_overflow() {
+        let mut wide = diamond();
+        wide.push(0, 2);
+        let mut compact = FlowGraph::<i32>::new(0);
+        compact.try_copy_from(&wide).expect("small values fit i32");
+        assert_eq!(compact.store_flows(), wide.store_flows());
+        assert_eq!(compact.out_edges(0), wide.out_edges(0));
+
+        // A capacity past the i32 bound must be rejected with the offending
+        // slot, and the destination must keep its previous (valid) state.
+        let big = i32::MAX as i64 + 1;
+        wide.set_cap(2, big);
+        let err = compact.try_copy_from(&wide).unwrap_err();
+        assert_eq!(
+            err,
+            WidthOverflow {
+                edge: 2,
+                value: big,
+                width: "i32",
+            }
+        );
+        assert_eq!(compact.cap(2), 2, "failed copy must not corrupt dst");
+        assert!(err.to_string().contains("i32"));
+
+        // Widening the other way always succeeds.
+        let mut back = FlowGraph::<i64>::new(0);
+        back.try_copy_from(&compact).expect("widening is lossless");
+        assert_eq!(back.store_flows(), compact.store_flows());
+    }
+
+    #[test]
+    fn try_restore_flows_reports_overflow() {
+        let mut compact = FlowGraph::<i32>::new(2);
+        compact.add_edge(0, 1, 5);
+        compact.finalize();
+        compact.push(0, 3);
+        let mut snap = compact.store_flows();
+        snap[0] = i32::MAX as i64 + 7;
+        let err = compact.try_restore_flows(&snap).unwrap_err();
+        assert_eq!(err.edge, 0);
+        assert_eq!(err.value, i32::MAX as i64 + 7);
+        assert_eq!(compact.flow(0), 3, "failed restore must keep flows");
+        snap[0] = 1;
+        compact.try_restore_flows(&snap).expect("fits");
+        assert_eq!(compact.flow(0), 1);
+    }
+
+    #[test]
+    fn width_constants() {
+        assert_eq!(<i32 as ArenaIndex>::MAX, i32::MAX as i64);
+        assert_eq!(<i64 as ArenaIndex>::MAX, i64::MAX);
+        assert_eq!(<i32 as ArenaIndex>::NAME, "i32");
+        assert_eq!(<i64 as ArenaIndex>::NAME, "i64");
+        assert_eq!(i32::try_from_i64(i32::MAX as i64), Some(i32::MAX));
+        assert_eq!(i32::try_from_i64(i32::MAX as i64 + 1), None);
+        assert_eq!(i32::try_from_i64(i32::MIN as i64 - 1), None);
     }
 }

@@ -7,7 +7,7 @@
 //! point: `cargo bench -p rds-bench` compares it against the FIFO engine
 //! on retrieval networks, grounding the paper's choice empirically.
 
-use crate::graph::{EdgeId, FlowGraph, VertexId};
+use crate::graph::{ArenaIndex, EdgeId, FlowGraph, VertexId};
 
 /// Sentinel for empty intrusive-list slots.
 const NONE: u32 = u32::MAX;
@@ -40,7 +40,12 @@ impl HighestLabelPushRelabel {
     /// Computes a maximum flow from scratch. Returns the flow value. The
     /// solver state is reused across calls; repeat solves of same-sized
     /// graphs perform no allocations.
-    pub fn max_flow(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
+    pub fn max_flow<W: ArenaIndex>(
+        &mut self,
+        g: &mut FlowGraph<W>,
+        s: VertexId,
+        t: VertexId,
+    ) -> i64 {
         assert_ne!(s, t, "source and sink must differ");
         g.finalize();
         let n = g.num_vertices();
@@ -111,9 +116,9 @@ impl HighestLabelPushRelabel {
         }
     }
 
-    fn discharge(
+    fn discharge<W: ArenaIndex>(
         &mut self,
-        g: &mut FlowGraph,
+        g: &mut FlowGraph<W>,
         v: VertexId,
         s: VertexId,
         t: VertexId,
@@ -147,7 +152,7 @@ impl HighestLabelPushRelabel {
         }
     }
 
-    fn relabel(&mut self, g: &FlowGraph, v: VertexId, n: u32) -> bool {
+    fn relabel<W: ArenaIndex>(&mut self, g: &FlowGraph<W>, v: VertexId, n: u32) -> bool {
         let mut min_h = u32::MAX;
         for &e in g.out_edges(v) {
             if g.residual_fast(e as EdgeId) > 0 {
@@ -186,7 +191,7 @@ mod tests {
 
     #[test]
     fn clrs_max_flow() {
-        let mut g = FlowGraph::new(6);
+        let mut g: FlowGraph = FlowGraph::new(6);
         g.add_edge(0, 1, 16);
         g.add_edge(0, 2, 13);
         g.add_edge(1, 3, 12);
@@ -207,7 +212,7 @@ mod tests {
         for case in 0..60 {
             let n = rng.gen_range(4..22);
             let m = rng.gen_range(n..5 * n);
-            let mut g = FlowGraph::new(n);
+            let mut g: FlowGraph = FlowGraph::new(n);
             for _ in 0..m {
                 let u = rng.gen_range(0..n);
                 let v = rng.gen_range(0..n);
@@ -225,7 +230,7 @@ mod tests {
 
     #[test]
     fn disconnected_network() {
-        let mut g = FlowGraph::new(4);
+        let mut g: FlowGraph = FlowGraph::new(4);
         g.add_edge(0, 1, 3);
         g.add_edge(2, 3, 3);
         assert_eq!(HighestLabelPushRelabel::new().max_flow(&mut g, 0, 3), 0);
@@ -234,10 +239,10 @@ mod tests {
     #[test]
     fn reusable_across_graphs() {
         let mut solver = HighestLabelPushRelabel::new();
-        let mut g1 = FlowGraph::new(2);
+        let mut g1: FlowGraph = FlowGraph::new(2);
         g1.add_edge(0, 1, 9);
         assert_eq!(solver.max_flow(&mut g1, 0, 1), 9);
-        let mut g2 = FlowGraph::new(3);
+        let mut g2: FlowGraph = FlowGraph::new(3);
         g2.add_edge(0, 1, 4);
         g2.add_edge(1, 2, 2);
         assert_eq!(solver.max_flow(&mut g2, 0, 2), 2);

@@ -7,20 +7,24 @@
 //! those drivers need, so the drivers in `rds-core` are generic over the
 //! engine and the sequential/parallel variants share one implementation.
 
-use crate::graph::{EdgeId, FlowGraph, VertexId};
+use crate::graph::{ArenaIndex, EdgeId, FlowGraph, VertexId};
 
 /// A max-flow engine whose state (excesses, and the flow stored in the
 /// graph) survives between runs.
-pub trait IncrementalMaxFlow {
+///
+/// Generic over the arena width `W` so one engine type serves both the
+/// compact and the wide layout; excesses stay `i64` regardless (they are
+/// sums over edge flows and belong to the engine, not the arena).
+pub trait IncrementalMaxFlow<W: ArenaIndex = i64> {
     /// Computes a maximum flow from scratch (zeroing any existing flow).
     /// Returns the flow value.
-    fn max_flow(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64;
+    fn max_flow(&mut self, g: &mut FlowGraph<W>, s: VertexId, t: VertexId) -> i64;
 
     /// Re-runs the engine **conserving** the flow currently in `g` and the
     /// engine's accumulated excesses. Callers must only have *increased*
     /// capacities since the previous run (or restored a compatible flow
     /// snapshot). Returns the new flow value.
-    fn resume(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64;
+    fn resume(&mut self, g: &mut FlowGraph<W>, s: VertexId, t: VertexId) -> i64;
 
     /// Accumulated excess at `v`; `excess(t)` is the current flow value.
     fn excess(&self, v: VertexId) -> i64;
@@ -88,7 +92,12 @@ pub trait IncrementalMaxFlow {
 /// append-only, so "adding a node" to a warm network means attaching fresh
 /// arcs to an existing vertex slot; the counterpart of removal is
 /// cap-zeroing (see [`cancel_path`] + [`FlowGraph::set_cap`]).
-pub fn attach_arc(g: &mut FlowGraph, u: VertexId, v: VertexId, cap: i64) -> EdgeId {
+pub fn attach_arc<W: ArenaIndex>(
+    g: &mut FlowGraph<W>,
+    u: VertexId,
+    v: VertexId,
+    cap: i64,
+) -> EdgeId {
     g.add_edge(u, v, cap)
 }
 
@@ -97,9 +106,9 @@ pub fn attach_arc(g: &mut FlowGraph, u: VertexId, v: VertexId, cap: i64) -> Edge
 /// cancelled off the edge and left as excess on the edge's source vertex —
 /// a valid preflow for the next `resume`, which drains it forward or back
 /// to the source. Returns the amount drained.
-pub fn retarget_capacity<E: IncrementalMaxFlow + ?Sized>(
+pub fn retarget_capacity<W: ArenaIndex, E: IncrementalMaxFlow<W> + ?Sized>(
     engine: &mut E,
-    g: &mut FlowGraph,
+    g: &mut FlowGraph<W>,
     e: EdgeId,
     new_cap: i64,
 ) -> i64 {
@@ -121,9 +130,9 @@ pub fn retarget_capacity<E: IncrementalMaxFlow + ?Sized>(
 /// excess: the first vertex gains `delta`, the last loses `delta`. For a
 /// full source→sink chain this is exactly "send the unit back to the
 /// source": the sink's excess (the flow value) drops by `delta`.
-pub fn cancel_path<E: IncrementalMaxFlow + ?Sized>(
+pub fn cancel_path<W: ArenaIndex, E: IncrementalMaxFlow<W> + ?Sized>(
     engine: &mut E,
-    g: &mut FlowGraph,
+    g: &mut FlowGraph<W>,
     path: &[EdgeId],
     delta: i64,
 ) {
@@ -147,9 +156,9 @@ pub fn cancel_path<E: IncrementalMaxFlow + ?Sized>(
 ///
 /// Requires the loaded flow to be acyclic (true for layered retrieval
 /// networks); path discovery follows flow-carrying arcs greedily.
-pub fn detach_vertex<E: IncrementalMaxFlow + ?Sized>(
+pub fn detach_vertex<W: ArenaIndex, E: IncrementalMaxFlow<W> + ?Sized>(
     engine: &mut E,
-    g: &mut FlowGraph,
+    g: &mut FlowGraph<W>,
     v: VertexId,
     s: VertexId,
     t: VertexId,
@@ -191,14 +200,14 @@ pub fn detach_vertex<E: IncrementalMaxFlow + ?Sized>(
     (cancelled, zeroed)
 }
 
-fn flow_arc_out(g: &FlowGraph, v: VertexId) -> Option<EdgeId> {
+fn flow_arc_out<W: ArenaIndex>(g: &FlowGraph<W>, v: VertexId) -> Option<EdgeId> {
     g.out_edges(v)
         .iter()
         .map(|&e| e as EdgeId)
         .find(|&e| e % 2 == 0 && g.flow(e) > 0)
 }
 
-fn flow_arc_in(g: &FlowGraph, v: VertexId) -> Option<EdgeId> {
+fn flow_arc_in<W: ArenaIndex>(g: &FlowGraph<W>, v: VertexId) -> Option<EdgeId> {
     // An odd slot out of `v` with positive flow on its pair is an inbound
     // forward edge currently feeding `v`.
     g.out_edges(v)
@@ -207,12 +216,12 @@ fn flow_arc_in(g: &FlowGraph, v: VertexId) -> Option<EdgeId> {
         .find(|&e| e % 2 == 1 && g.flow(e ^ 1) > 0)
 }
 
-impl IncrementalMaxFlow for crate::push_relabel::PushRelabel {
-    fn max_flow(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
+impl<W: ArenaIndex> IncrementalMaxFlow<W> for crate::push_relabel::PushRelabel {
+    fn max_flow(&mut self, g: &mut FlowGraph<W>, s: VertexId, t: VertexId) -> i64 {
         crate::push_relabel::PushRelabel::max_flow(self, g, s, t)
     }
 
-    fn resume(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
+    fn resume(&mut self, g: &mut FlowGraph<W>, s: VertexId, t: VertexId) -> i64 {
         crate::push_relabel::PushRelabel::resume(self, g, s, t)
     }
 
@@ -236,7 +245,7 @@ mod tests {
     use crate::push_relabel::PushRelabel;
 
     fn generic_roundtrip<E: IncrementalMaxFlow>(mut engine: E) {
-        let mut g = FlowGraph::new(3);
+        let mut g: FlowGraph = FlowGraph::new(3);
         let e0 = g.add_edge(0, 1, 2);
         g.add_edge(1, 2, 10);
         assert_eq!(engine.max_flow(&mut g, 0, 2), 2);
@@ -269,7 +278,7 @@ mod tests {
     /// s -> {1,2} -> {3,4} -> t, unit arcs on the first two layers and
     /// adjustable sink-side capacities.
     fn layered() -> (FlowGraph, Vec<EdgeId>, Vec<EdgeId>) {
-        let mut g = FlowGraph::new(6);
+        let mut g: FlowGraph = FlowGraph::new(6);
         let src = vec![g.add_edge(0, 1, 1), g.add_edge(0, 2, 1)];
         g.add_edge(1, 3, 1);
         g.add_edge(1, 4, 1);
@@ -330,7 +339,7 @@ mod tests {
     #[test]
     fn cancel_path_moves_excess_to_endpoints() {
         let mut engine = PushRelabel::new();
-        let mut g = FlowGraph::new(4);
+        let mut g: FlowGraph = FlowGraph::new(4);
         let a = g.add_edge(0, 1, 3);
         let b = g.add_edge(1, 2, 3);
         let c = g.add_edge(2, 3, 3);
@@ -347,7 +356,7 @@ mod tests {
     #[test]
     fn attach_arc_extends_a_warm_network() {
         let mut engine = PushRelabel::new();
-        let mut g = FlowGraph::new(4);
+        let mut g: FlowGraph = FlowGraph::new(4);
         g.add_edge(0, 1, 2);
         g.add_edge(1, 3, 1);
         assert_eq!(engine.max_flow(&mut g, 0, 3), 1);

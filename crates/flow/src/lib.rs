@@ -38,7 +38,7 @@
 //! use rds_flow::push_relabel::PushRelabel;
 //!
 //! // A diamond: s -> a -> t and s -> b -> t, all capacity 1.
-//! let mut g = FlowGraph::new(4);
+//! let mut g: FlowGraph = FlowGraph::new(4);
 //! let (s, a, b, t) = (0, 1, 2, 3);
 //! g.add_edge(s, a, 1);
 //! g.add_edge(s, b, 1);
@@ -62,6 +62,7 @@ pub mod parallel;
 pub mod push_relabel;
 pub mod validate;
 
-pub use graph::{EdgeId, FlowGraph, VertexId};
+pub use graph::{ArenaIndex, EdgeId, FlowGraph, VertexId, WidthOverflow};
 pub use incremental::IncrementalMaxFlow;
 pub use mincost::{ArcCost, CycleCanceler, RefineStats};
+pub use parallel::WorkerPool;

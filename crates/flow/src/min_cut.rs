@@ -7,7 +7,7 @@
 //! disk edges (the disks out of capacity) and the bucket edges of buckets
 //! whose replicas are all on saturated disks.
 
-use crate::graph::{EdgeId, FlowGraph, VertexId};
+use crate::graph::{ArenaIndex, EdgeId, FlowGraph, VertexId};
 
 /// A minimum s-t cut.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -25,7 +25,7 @@ pub struct MinCut {
 ///
 /// The result is meaningful only when the stored flow is maximum: the
 /// function debug-asserts that `t` is unreachable from `s`.
-pub fn min_cut(g: &FlowGraph, s: VertexId, t: VertexId) -> MinCut {
+pub fn min_cut<W: ArenaIndex>(g: &FlowGraph<W>, s: VertexId, t: VertexId) -> MinCut {
     let n = g.num_vertices();
     let mut source_side = vec![false; n];
     let mut stack = vec![s];
@@ -65,7 +65,7 @@ mod tests {
     use crate::push_relabel::PushRelabel;
 
     fn clrs() -> (FlowGraph, VertexId, VertexId) {
-        let mut g = FlowGraph::new(6);
+        let mut g: FlowGraph = FlowGraph::new(6);
         g.add_edge(0, 1, 16);
         g.add_edge(0, 2, 13);
         g.add_edge(1, 3, 12);
@@ -101,7 +101,7 @@ mod tests {
 
     #[test]
     fn disconnected_sink_gives_zero_cut() {
-        let mut g = FlowGraph::new(3);
+        let mut g: FlowGraph = FlowGraph::new(3);
         g.add_edge(0, 1, 7);
         let value = PushRelabel::new().max_flow(&mut g, 0, 2);
         assert_eq!(value, 0);
@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn single_bottleneck_identified() {
-        let mut g = FlowGraph::new(4);
+        let mut g: FlowGraph = FlowGraph::new(4);
         g.add_edge(0, 1, 100);
         let bottleneck = g.add_edge(1, 2, 3);
         g.add_edge(2, 3, 100);

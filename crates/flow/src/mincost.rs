@@ -20,7 +20,7 @@
 //! with every additional bucket), for which one-unit cancellation is
 //! exactly what makes the refiner terminate at a global optimum.
 
-use crate::graph::{EdgeId, FlowGraph, VertexId};
+use crate::graph::{ArenaIndex, EdgeId, FlowGraph, VertexId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -79,7 +79,7 @@ impl ArcCost for LinearCosts<'_> {
 /// recently sent unit of its partner — the standard residual-cost rule,
 /// evaluated at the margin so convex costs price correctly.
 #[inline]
-fn slot_cost<C: ArcCost>(g: &FlowGraph, costs: &C, e: EdgeId) -> i64 {
+fn slot_cost<W: ArenaIndex, C: ArcCost>(g: &FlowGraph<W>, costs: &C, e: EdgeId) -> i64 {
     if e.is_multiple_of(2) {
         costs.marginal(e, g.flow(e) + 1)
     } else {
@@ -91,7 +91,12 @@ fn slot_cost<C: ArcCost>(g: &FlowGraph, costs: &C, e: EdgeId) -> i64 {
 /// price their `flow + delta`-th unit, reverse slots refund their
 /// partner's `flow − delta + 1`-th. Non-decreasing in `delta` for
 /// convex marginals.
-fn cycle_unit_cost<C: ArcCost>(g: &FlowGraph, costs: &C, cycle: &[EdgeId], delta: i64) -> i64 {
+fn cycle_unit_cost<W: ArenaIndex, C: ArcCost>(
+    g: &FlowGraph<W>,
+    costs: &C,
+    cycle: &[EdgeId],
+    delta: i64,
+) -> i64 {
     cycle
         .iter()
         .map(|&e| {
@@ -106,7 +111,7 @@ fn cycle_unit_cost<C: ArcCost>(g: &FlowGraph, costs: &C, cycle: &[EdgeId], delta
 
 /// Total cost of the flow currently stored in `g`: each forward edge
 /// contributes `sum_{k=1..flow(e)} marginal(e, k)`.
-pub fn flow_cost<C: ArcCost>(g: &FlowGraph, costs: &C) -> i64 {
+pub fn flow_cost<W: ArenaIndex, C: ArcCost>(g: &FlowGraph<W>, costs: &C) -> i64 {
     let mut total = 0;
     for e in g.forward_edges() {
         let f = g.flow(e);
@@ -172,9 +177,9 @@ impl CycleCanceler {
     /// have been canceled (a safety valve against mis-specified,
     /// non-convex cost functions). The stored flow stays feasible and its
     /// s-t value is unchanged.
-    pub fn refine<C: ArcCost>(
+    pub fn refine<W: ArenaIndex, C: ArcCost>(
         &mut self,
-        g: &mut FlowGraph,
+        g: &mut FlowGraph<W>,
         costs: &C,
         max_cycles: u64,
     ) -> RefineStats {
@@ -201,9 +206,9 @@ impl CycleCanceler {
     /// every interior arc the search crosses. Retrieval networks
     /// satisfy it with `hub` = sink (costs live only on disk→sink
     /// arcs).
-    pub fn refine_via_hub<C: ArcCost>(
+    pub fn refine_via_hub<W: ArenaIndex, C: ArcCost>(
         &mut self,
-        g: &mut FlowGraph,
+        g: &mut FlowGraph<W>,
         costs: &C,
         hub: VertexId,
         max_cycles: u64,
@@ -220,9 +225,9 @@ impl CycleCanceler {
     /// promise), then cancel the negative cycles the closing arcs
     /// expose. Returns `false` when no negative cycle through `hub`
     /// remains.
-    fn cancel_via_hub<C: ArcCost>(
+    fn cancel_via_hub<W: ArenaIndex, C: ArcCost>(
         &mut self,
-        g: &mut FlowGraph,
+        g: &mut FlowGraph<W>,
         costs: &C,
         hub: VertexId,
         stats: &mut RefineStats,
@@ -381,9 +386,9 @@ impl CycleCanceler {
     /// Finds one negative cycle and cancels as many units around it as
     /// stay strictly improving. Returns `false` when the flow is
     /// already cycle-optimal.
-    fn cancel_one<C: ArcCost>(
+    fn cancel_one<W: ArenaIndex, C: ArcCost>(
         &mut self,
-        g: &mut FlowGraph,
+        g: &mut FlowGraph<W>,
         costs: &C,
         stats: &mut RefineStats,
     ) -> bool {
@@ -492,9 +497,9 @@ impl CycleCanceler {
     /// non-decreasing in u under convex marginals — so grow u while the
     /// next unit is still strictly negative (the first is, by the
     /// negative-cycle guarantee) and the residual bottleneck allows it.
-    fn cancel_extracted<C: ArcCost>(
+    fn cancel_extracted<W: ArenaIndex, C: ArcCost>(
         &mut self,
-        g: &mut FlowGraph,
+        g: &mut FlowGraph<W>,
         costs: &C,
         stats: &mut RefineStats,
     ) {
@@ -535,8 +540,8 @@ pub struct MinCostFlow {
 /// `cost(e) + pot(u) - pot(v)` — non-negative by the potential invariant
 /// — then augments along the shortest path by its bottleneck residual.
 /// The graph must be finalized; existing flow is zeroed first.
-pub fn min_cost_max_flow(
-    g: &mut FlowGraph,
+pub fn min_cost_max_flow<W: ArenaIndex>(
+    g: &mut FlowGraph<W>,
     s: VertexId,
     t: VertexId,
     costs: &[i64],
@@ -611,7 +616,7 @@ mod tests {
     /// s -> {a, b} -> t with unequal path costs; SSP must route along
     /// the cheap path first.
     fn diamond(cap: i64) -> (FlowGraph, Vec<i64>) {
-        let mut g = FlowGraph::new(4);
+        let mut g: FlowGraph = FlowGraph::new(4);
         let (s, a, b, t) = (0, 1, 2, 3);
         let sa = g.add_edge(s, a, cap);
         let sb = g.add_edge(s, b, cap);
@@ -658,7 +663,7 @@ mod tests {
     #[test]
     fn canceler_balances_convex_parallel_arcs() {
         // Two identical convex arcs a->t; start with all 4 units on one.
-        let mut g = FlowGraph::new(3);
+        let mut g: FlowGraph = FlowGraph::new(3);
         let (s, a, t) = (0, 1, 2);
         let sa = g.add_edge(s, a, 4);
         let e1 = g.add_edge(a, t, 4);
@@ -697,7 +702,7 @@ mod tests {
         // with hub = t, and the hub refiner must land on the same
         // optimal cost as the generic canceler from the same start.
         let build = || {
-            let mut g = FlowGraph::new(4);
+            let mut g: FlowGraph = FlowGraph::new(4);
             let (s, a, b, t) = (0, 1, 2, 3);
             g.add_edge(s, a, 5);
             g.add_edge(s, b, 5);

@@ -14,7 +14,7 @@
 //! the source and sink has zero excess — exactly the invariant the paper's
 //! Algorithm 5 relies on when it conserves flows between runs.
 
-use crate::graph::{EdgeId, FlowGraph, VertexId};
+use crate::graph::{ArenaIndex, EdgeId, FlowGraph, VertexId};
 use std::collections::VecDeque;
 
 /// Operation counters, exposed for benchmarks and ablation studies.
@@ -114,6 +114,22 @@ impl PushRelabel {
         self.height.get(v).copied().unwrap_or(0)
     }
 
+    /// Cumulative `(pushes, relabels)` since construction. Inherent (not
+    /// just on [`crate::incremental::IncrementalMaxFlow`]) so graph-less
+    /// call sites need no width annotation.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.stats.pushes, self.stats.relabels)
+    }
+
+    /// Zeroes the excesses of vertices `0..n` (see
+    /// [`crate::incremental::IncrementalMaxFlow::reset_excess`]).
+    pub fn reset_excess(&mut self, n: usize) {
+        self.ensure(n);
+        for e in self.excess.iter_mut().take(n) {
+            *e = 0;
+        }
+    }
+
     fn ensure(&mut self, n: usize) {
         if self.height.len() < n {
             self.height.resize(n, 0);
@@ -130,7 +146,12 @@ impl PushRelabel {
     /// Computes a maximum flow from scratch: zeroes the graph's flows and
     /// the solver's excesses, then runs FIFO push-relabel. Returns the flow
     /// value (`excess[t]`).
-    pub fn max_flow(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
+    pub fn max_flow<W: ArenaIndex>(
+        &mut self,
+        g: &mut FlowGraph<W>,
+        s: VertexId,
+        t: VertexId,
+    ) -> i64 {
         assert_ne!(s, t, "source and sink must differ");
         g.zero_flows();
         self.ensure(g.num_vertices());
@@ -151,7 +172,7 @@ impl PushRelabel {
     /// 5. push/relabel operations run until no active vertex remains.
     ///
     /// Returns `excess[t]`, the total flow value.
-    pub fn resume(&mut self, g: &mut FlowGraph, s: VertexId, t: VertexId) -> i64 {
+    pub fn resume<W: ArenaIndex>(&mut self, g: &mut FlowGraph<W>, s: VertexId, t: VertexId) -> i64 {
         assert_ne!(s, t, "source and sink must differ");
         g.finalize();
         let n = g.num_vertices();
@@ -221,7 +242,13 @@ impl PushRelabel {
 
     /// Fully discharges vertex `v`: pushes its excess to admissible
     /// neighbours, relabeling when the current-arc list is exhausted.
-    fn discharge(&mut self, g: &mut FlowGraph, v: VertexId, s: VertexId, t: VertexId) {
+    fn discharge<W: ArenaIndex>(
+        &mut self,
+        g: &mut FlowGraph<W>,
+        v: VertexId,
+        s: VertexId,
+        t: VertexId,
+    ) {
         let n = g.num_vertices() as u32;
         // Topology is frozen during a solve, so the CSR bounds of `v` are
         // loaded once; the loop then walks `adj_list` by absolute position
@@ -250,6 +277,7 @@ impl PushRelabel {
                 }
                 continue;
             }
+            g.prefetch_adj(pos, hi);
             let e = g.adj_slot(pos);
             self.work += 1;
             let w = g.target_fast(e);
@@ -273,7 +301,7 @@ impl PushRelabel {
 
     /// Relabels `v` to one more than the minimum height of its residual
     /// neighbours. Returns false if `v` has no residual out-edges.
-    fn relabel(&mut self, g: &FlowGraph, v: VertexId, n: u32) -> bool {
+    fn relabel<W: ArenaIndex>(&mut self, g: &FlowGraph<W>, v: VertexId, n: u32) -> bool {
         let mut min_h = u32::MAX;
         let (lo, hi) = g.adj_bounds(v);
         // The whole arc list is scanned unconditionally, so the work
@@ -281,6 +309,7 @@ impl PushRelabel {
         // compared against the relabel threshold).
         self.work += (hi - lo) as u64;
         for pos in lo..hi {
+            g.prefetch_adj(pos, hi);
             let e = g.adj_slot(pos);
             if g.residual_fast(e) > 0 {
                 min_h = min_h.min(self.height[g.target_fast(e)]);
@@ -326,7 +355,7 @@ impl PushRelabel {
     /// that cannot reach `t` get `n +` their residual distance to `s`
     /// (so their excess flows back to the source). Unreachable-from-both
     /// vertices get height `2n` (they carry no excess by flow conservation).
-    fn global_relabel(&mut self, g: &FlowGraph, s: VertexId, t: VertexId) {
+    fn global_relabel<W: ArenaIndex>(&mut self, g: &FlowGraph<W>, s: VertexId, t: VertexId) {
         self.stats.global_relabels += 1;
         let n = g.num_vertices();
         const UNSEEN: u32 = u32::MAX;
@@ -345,6 +374,7 @@ impl PushRelabel {
             let dw = self.height[w];
             let (lo, hi) = g.adj_bounds(w);
             for pos in lo..hi {
+                g.prefetch_adj(pos, hi);
                 let e = g.adj_slot(pos);
                 let u = g.target_fast(e);
                 if self.height[u] == UNSEEN && g.residual_fast(e ^ 1) > 0 && u != s {
@@ -367,6 +397,7 @@ impl PushRelabel {
             let dw = self.height[w];
             let (lo, hi) = g.adj_bounds(w);
             for pos in lo..hi {
+                g.prefetch_adj(pos, hi);
                 let e = g.adj_slot(pos);
                 let u = g.target_fast(e);
                 if self.height[u] == UNSEEN && g.residual_fast(e ^ 1) > 0 {
@@ -398,7 +429,7 @@ mod tests {
     use crate::dinic;
 
     fn clrs() -> (FlowGraph, VertexId, VertexId) {
-        let mut g = FlowGraph::new(6);
+        let mut g: FlowGraph = FlowGraph::new(6);
         g.add_edge(0, 1, 16);
         g.add_edge(0, 2, 13);
         g.add_edge(1, 3, 12);
@@ -447,7 +478,7 @@ mod tests {
     fn resume_after_capacity_increase_conserves_flow() {
         // Bottleneck network: raising the bottleneck lets resume() extend
         // the previous flow without recomputing it from zero.
-        let mut g = FlowGraph::new(4);
+        let mut g: FlowGraph = FlowGraph::new(4);
         let (s, a, b, t) = (0, 1, 2, 3);
         g.add_edge(s, a, 10);
         let bottleneck = g.add_edge(a, b, 3);
@@ -462,7 +493,7 @@ mod tests {
 
     #[test]
     fn resume_accumulates_sink_excess() {
-        let mut g = FlowGraph::new(3);
+        let mut g: FlowGraph = FlowGraph::new(3);
         let e0 = g.add_edge(0, 1, 1);
         g.add_edge(1, 2, 100);
         let mut pr = PushRelabel::new();
@@ -480,7 +511,7 @@ mod tests {
         for case in 0..80 {
             let n = rng.gen_range(4..24);
             let m = rng.gen_range(n..5 * n);
-            let mut g = FlowGraph::new(n);
+            let mut g: FlowGraph = FlowGraph::new(n);
             for _ in 0..m {
                 let u = rng.gen_range(0..n);
                 let v = rng.gen_range(0..n);
@@ -503,7 +534,7 @@ mod tests {
         for _ in 0..30 {
             let n = rng.gen_range(4..16);
             let m = rng.gen_range(n..4 * n);
-            let mut g = FlowGraph::new(n);
+            let mut g: FlowGraph = FlowGraph::new(n);
             for _ in 0..m {
                 let u = rng.gen_range(0..n);
                 let v = rng.gen_range(0..n);
@@ -525,7 +556,7 @@ mod tests {
         use rds_util::SplitMix64;
         let mut rng = SplitMix64::seed_from_u64(99);
         let n = 12;
-        let mut g = FlowGraph::new(n);
+        let mut g: FlowGraph = FlowGraph::new(n);
         let mut sink_edges = Vec::new();
         for v in 1..n - 1 {
             g.add_edge(0, v, rng.gen_range(1..4));
@@ -560,14 +591,14 @@ mod tests {
 
     #[test]
     fn single_edge_graph() {
-        let mut g = FlowGraph::new(2);
+        let mut g: FlowGraph = FlowGraph::new(2);
         g.add_edge(0, 1, 5);
         assert_eq!(PushRelabel::new().max_flow(&mut g, 0, 1), 5);
     }
 
     #[test]
     fn no_path_to_sink() {
-        let mut g = FlowGraph::new(4);
+        let mut g: FlowGraph = FlowGraph::new(4);
         g.add_edge(0, 1, 5);
         g.add_edge(2, 3, 5);
         assert_eq!(PushRelabel::new().max_flow(&mut g, 0, 3), 0);

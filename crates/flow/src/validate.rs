@@ -1,6 +1,6 @@
 //! Flow-validity checks shared by unit, integration and property tests.
 
-use crate::graph::{FlowGraph, VertexId};
+use crate::graph::{ArenaIndex, FlowGraph, VertexId};
 
 /// Errors detected by [`validate_flow`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -34,7 +34,11 @@ impl std::error::Error for FlowError {}
 /// Checks that the flow stored in `g` is a feasible s-t flow: paired edges
 /// carry opposite flows, no capacity is exceeded, and flow is conserved at
 /// every vertex except `s` and `t`.
-pub fn validate_flow(g: &FlowGraph, s: VertexId, t: VertexId) -> Result<(), FlowError> {
+pub fn validate_flow<W: ArenaIndex>(
+    g: &FlowGraph<W>,
+    s: VertexId,
+    t: VertexId,
+) -> Result<(), FlowError> {
     for e in g.forward_edges() {
         if g.flow(e) != -g.flow(e ^ 1) {
             return Err(FlowError::PairingViolation { edge: e });
@@ -60,14 +64,14 @@ pub fn validate_flow(g: &FlowGraph, s: VertexId, t: VertexId) -> Result<(), Flow
 }
 
 /// Panicking wrapper around [`validate_flow`] for use in tests.
-pub fn assert_valid_flow(g: &FlowGraph, s: VertexId, t: VertexId) {
+pub fn assert_valid_flow<W: ArenaIndex>(g: &FlowGraph<W>, s: VertexId, t: VertexId) {
     if let Err(e) = validate_flow(g, s, t) {
         panic!("invalid flow: {e}");
     }
 }
 
 /// Returns the flow value (net inflow at `t`), asserting validity first.
-pub fn checked_flow_value(g: &FlowGraph, s: VertexId, t: VertexId) -> i64 {
+pub fn checked_flow_value<W: ArenaIndex>(g: &FlowGraph<W>, s: VertexId, t: VertexId) -> i64 {
     assert_valid_flow(g, s, t);
     g.net_inflow(t)
 }
@@ -78,7 +82,7 @@ mod tests {
 
     #[test]
     fn valid_flow_passes() {
-        let mut g = FlowGraph::new(3);
+        let mut g: FlowGraph = FlowGraph::new(3);
         g.add_edge(0, 1, 2);
         g.add_edge(1, 2, 2);
         g.push(0, 2);
@@ -89,7 +93,7 @@ mod tests {
 
     #[test]
     fn conservation_violation_detected() {
-        let mut g = FlowGraph::new(3);
+        let mut g: FlowGraph = FlowGraph::new(3);
         g.add_edge(0, 1, 2);
         g.add_edge(1, 2, 2);
         g.push(0, 2); // inflow to 1 with no outflow
@@ -101,7 +105,7 @@ mod tests {
 
     #[test]
     fn capacity_violation_detected() {
-        let mut g = FlowGraph::new(2);
+        let mut g: FlowGraph = FlowGraph::new(2);
         let e = g.add_edge(0, 1, 5);
         g.push(e, 5);
         g.set_cap(e, 3); // lower capacity below current flow

@@ -8,7 +8,6 @@ use rds_flow::dinic;
 use rds_flow::ford_fulkerson::{edmonds_karp, ford_fulkerson};
 use rds_flow::graph::FlowGraph;
 use rds_flow::highest_label::HighestLabelPushRelabel;
-use rds_flow::incremental::IncrementalMaxFlow;
 use rds_flow::parallel::ParallelPushRelabel;
 use rds_flow::push_relabel::PushRelabel;
 use rds_flow::validate::validate_flow;

@@ -90,7 +90,7 @@ pub mod prelude {
         },
         session::{RetrievalSession, ReuseCounters, ReusePolicy, SessionOutcome, SessionState},
         solver::RetrievalSolver,
-        spec::{AnySolver, ScheduleObjective, SolveBudget, SolverKind, SolverSpec},
+        spec::{AnySolver, ArenaLayout, ScheduleObjective, SolveBudget, SolverKind, SolverSpec},
         workspace::{PoisonedWorkspace, Workspace},
     };
     pub use rds_decluster::{

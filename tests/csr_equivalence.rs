@@ -15,7 +15,7 @@
 //! did on the legacy layout.
 
 use rds_util::SplitMix64;
-use replicated_retrieval::core::spec::{SolverKind, SolverSpec};
+use replicated_retrieval::core::spec::{ArenaLayout, SolverKind, SolverSpec};
 use replicated_retrieval::core::verify::oracle_optimal_response;
 use replicated_retrieval::prelude::*;
 
@@ -64,11 +64,12 @@ fn assert_legacy_adjacency_order(g: &replicated_retrieval::flow::FlowGraph) {
     }
 }
 
-/// CSR and legacy traversal orders yield identical max-flow values and
-/// identical `SolveStats` operation counts for all seven `SolverKind`s on
-/// 200 random instances.
-#[test]
-fn all_solver_kinds_match_legacy_layout_on_random_instances() {
+/// Runs the full 200-instance × 7-kind sweep with the arena width forced
+/// to `layout`, returning the FNV-1a outcome digest and the solve count.
+/// Both widths must reproduce [`GOLDEN`] bit-for-bit: the monomorphized
+/// `i32` arena changes only the storage width of the capacity/flow
+/// arrays, never the adjacency enumeration or the traversal order.
+fn layout_digest(layout: ArenaLayout) -> (u64, usize) {
     let mut rng = SplitMix64::seed_from_u64(0xC5A);
     let mut digest = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
     let mut solved = 0usize;
@@ -104,13 +105,21 @@ fn all_solver_kinds_match_legacy_layout_on_random_instances() {
                 (&inst, want)
             };
             // One worker thread keeps the parallel solver's discharge order
-            // (hence its push/relabel counts) deterministic.
-            let solver = SolverSpec::new(kind).threads(1).build();
-            let a = solver.solve(inst).expect("feasible instance");
-            let b = solver.solve(inst).expect("feasible instance");
+            // (hence its push/relabel counts) deterministic. Solving via
+            // the spec (not the built `AnySolver`) is what carries the
+            // forced arena layout into the workspace.
+            let spec = SolverSpec::new(kind).parallelism(1).arena_layout(layout);
+            let a = spec.solve(inst).expect("feasible instance");
+            let b = spec.solve(inst).expect("feasible instance");
             assert_eq!(a.response_time, want, "{} lost optimality", kind.name());
             assert_eq!(a.response_time, b.response_time);
             assert_eq!(a.stats, b.stats, "{} solve not deterministic", kind.name());
+            assert_eq!(
+                a.stats.arena_layout,
+                layout,
+                "{} ran the wrong width",
+                kind.name()
+            );
             for word in [
                 a.response_time.0,
                 a.flow_value,
@@ -127,9 +136,30 @@ fn all_solver_kinds_match_legacy_layout_on_random_instances() {
             solved += 1;
         }
     }
+    (digest, solved)
+}
+
+/// CSR and legacy traversal orders yield identical max-flow values and
+/// identical `SolveStats` operation counts for all seven `SolverKind`s on
+/// 200 random instances, on the wide (`i64`) arena.
+#[test]
+fn all_solver_kinds_match_legacy_layout_on_random_instances() {
+    let (digest, solved) = layout_digest(ArenaLayout::Wide);
     assert_eq!(solved, 200 * SolverKind::ALL.len());
     assert_eq!(
         digest, GOLDEN,
-        "solver outcome digest drifted from the legacy layout: got {digest:#x}"
+        "wide-arena outcome digest drifted from the legacy layout: got {digest:#x}"
+    );
+}
+
+/// The compact (`i32`) arena reproduces the identical golden digest: width
+/// monomorphization must not perturb traversal order or operation counts.
+#[test]
+fn compact_arena_matches_legacy_layout_digest() {
+    let (digest, solved) = layout_digest(ArenaLayout::Compact);
+    assert_eq!(solved, 200 * SolverKind::ALL.len());
+    assert_eq!(
+        digest, GOLDEN,
+        "compact-arena outcome digest drifted from the legacy layout: got {digest:#x}"
     );
 }
