@@ -44,7 +44,7 @@ use crate::obs::trace::{EventKind, TraceEvent};
 use crate::schedule::SolveStats;
 use crate::session::{ReuseCounters, ReusePolicy, SessionOutcome, SessionState};
 use crate::solver::RetrievalSolver;
-use crate::spec::{AnySolver, ScheduleObjective, SolveBudget, SolverKind, SolverSpec};
+use crate::spec::{AnySolver, ArenaLayout, ScheduleObjective, SolveBudget, SolverKind, SolverSpec};
 use crate::workspace::Workspace;
 use rds_decluster::allocation::ReplicaSource;
 use rds_decluster::query::Bucket;
@@ -151,6 +151,12 @@ pub struct EngineStats {
     pub dropped_buckets: u64,
     /// Queries lost to a contained panic ([`EngineError::ShardFailed`]).
     pub shard_failures: u64,
+    /// Batches (per shard) that took the fused drain path: multiple
+    /// distinct-stream groups solved concurrently on detached lanes
+    /// sharing the worker pool (see [`SolverSpec::batch_fuse`]).
+    pub fused_batches: u64,
+    /// Queries solved on a fused lane (subset of `queries`).
+    pub fused_queries: u64,
     /// Cross-query reuse effectiveness (schedule-cache hits, delta
     /// patches, fallbacks), summed over every live stream.
     pub reuse: ReuseCounters,
@@ -208,6 +214,8 @@ impl MetricsSnapshot {
         reg.inc_counter("rds_degraded_solves_total", self.stats.degraded_solves);
         reg.inc_counter("rds_dropped_buckets_total", self.stats.dropped_buckets);
         reg.inc_counter("rds_shard_failures_total", self.stats.shard_failures);
+        reg.inc_counter("rds_fuse_batches_total", self.stats.fused_batches);
+        reg.inc_counter("rds_fuse_queries_total", self.stats.fused_queries);
         reg.inc_counter("rds_workspace_solves_total", self.stats.workspace_solves);
         reg.inc_counter("rds_cache_hits_total", self.stats.reuse.cache_hits);
         reg.inc_counter("rds_cache_misses_total", self.stats.reuse.cache_misses);
@@ -310,6 +318,8 @@ pub(crate) struct ShardTally {
     pub(crate) degraded_solves: u64,
     pub(crate) dropped_buckets: u64,
     pub(crate) shard_failures: u64,
+    pub(crate) fused_batches: u64,
+    pub(crate) fused_queries: u64,
     pub(crate) metrics: EngineMetrics,
 }
 
@@ -319,6 +329,8 @@ impl ShardTally {
         stats.degraded_solves += self.degraded_solves;
         stats.dropped_buckets += self.dropped_buckets;
         stats.shard_failures += self.shard_failures;
+        stats.fused_batches += self.fused_batches;
+        stats.fused_queries += self.fused_queries;
         metrics
             .solve_latency_us
             .merge(&self.metrics.solve_latency_us);
@@ -326,6 +338,27 @@ impl ShardTally {
             .probes_per_solve
             .merge(&self.metrics.probes_per_solve);
         metrics.turnaround_us.merge(&self.metrics.turnaround_us);
+    }
+
+    /// Folds a per-lane tally into this shard-level one (used by the
+    /// fused drain, which tallies each lane privately and merges in
+    /// deterministic group order).
+    pub(crate) fn merge(&mut self, other: &ShardTally) {
+        self.retries += other.retries;
+        self.degraded_solves += other.degraded_solves;
+        self.dropped_buckets += other.dropped_buckets;
+        self.shard_failures += other.shard_failures;
+        self.fused_batches += other.fused_batches;
+        self.fused_queries += other.fused_queries;
+        self.metrics
+            .solve_latency_us
+            .merge(&other.metrics.solve_latency_us);
+        self.metrics
+            .probes_per_solve
+            .merge(&other.metrics.probes_per_solve);
+        self.metrics
+            .turnaround_us
+            .merge(&other.metrics.turnaround_us);
     }
 }
 
@@ -341,6 +374,24 @@ pub(crate) struct Shard {
     /// (always-on, bounded; see [`FlightRecorder`]). Batch runs leave it
     /// empty — spans are only armed by [`Engine::serve`](crate::serve).
     pub(crate) recorder: FlightRecorder,
+    /// Recycled solve lanes for the fused drain path — a free list of
+    /// detached workspaces with plane sharing enabled, checked out one
+    /// per distinct-stream group and returned after the drain. Steady
+    /// state never allocates a new lane once the list has grown to the
+    /// batch's group count.
+    pub(crate) lanes: Vec<FusedLane>,
+}
+
+/// One detached solve lane of the fused batch path: a private
+/// [`Workspace`] (plane sharing on, so it checks out the instance's
+/// topology plane instead of deep-copying the arena) and a private
+/// health scratch map. Lanes never hold a [`WorkerPool`] — a fused lane
+/// runs *inside* a pool task, and dispatching on the same pool from a
+/// task would deadlock.
+#[derive(Debug, Default)]
+pub(crate) struct FusedLane {
+    pub(crate) workspace: Workspace,
+    pub(crate) health: HealthMap,
 }
 
 /// Engine-wide fault handling knobs, shared read-only by every shard.
@@ -434,97 +485,307 @@ impl Shard {
         clock: &dyn ProbeClock,
         tally: &mut ShardTally,
     ) -> Result<SessionOutcome, EngineError> {
-        let faults = &ctx.faults;
-        let state = self.states.entry(q.stream).or_insert_with(|| {
-            let mut s = SessionState::with_reuse(ctx.system.num_disks(), ctx.reuse);
-            s.set_objective(ctx.objective);
-            s
-        });
-        if let Some(inj) = faults.injector {
-            // On a real clock a query observed later than it arrived sees
-            // the *current* health, not the health at arrival.
-            inj.health_at(clock.now(q.arrival).max(q.arrival), &mut self.health);
-        } else {
-            self.health.reset();
-        }
-        // One HealthTransition per change *as observed by this stream* —
-        // streams are pinned to shards, so the event count is identical
-        // for every shard count.
-        let fp = self.health.fingerprint();
-        if fp != state.observed_health_fp {
-            state.observed_health_fp = fp;
-            self.workspace
-                .tracer
-                .emit(TraceEvent::HealthTransition { fingerprint: fp });
-        }
-
-        let mut result = state.submit_with_health(
-            ctx.system,
-            ctx.alloc,
-            ctx.solver,
+        let state = self
+            .states
+            .entry(q.stream)
+            .or_insert_with(|| new_stream_state(ctx));
+        run_one_core(
+            ctx,
+            q,
+            state,
             &mut self.workspace,
-            q.arrival,
-            &q.buckets,
-            &self.health,
-        );
-
-        // Replan: probe the fault schedule at deterministic backoff steps
-        // and re-solve whenever the health actually changed. Only
-        // infeasibility is retryable — it is the one error a recovered
-        // disk can cure.
-        if let Some(inj) = faults.injector {
-            let mut attempt = 0u32;
-            while attempt < faults.retry.max_retries && is_infeasible(&result) {
-                attempt += 1;
-                // Probe at the scheduled backoff step or the current real
-                // time, whichever is later. Virtual clocks never wait and
-                // report `arrival`, so batch behavior is unchanged; the
-                // serving loop's real clock sleeps out the backoff (capped
-                // by the query deadline) and sees mid-flight recoveries.
-                let target = q.arrival + faults.retry.backoff * attempt as u64;
-                clock.wait_until(target);
-                let probe = target.max(clock.now(q.arrival));
-                let before = self.health.fingerprint();
-                inj.health_at(probe, &mut self.health);
-                if self.health.fingerprint() == before {
-                    continue;
-                }
-                tally.retries += 1;
-                state.observed_health_fp = self.health.fingerprint();
-                self.workspace
-                    .tracer
-                    .emit(TraceEvent::RetryScheduled { attempt, probe });
-                result = state.submit_with_health(
-                    ctx.system,
-                    ctx.alloc,
-                    ctx.solver,
-                    &mut self.workspace,
-                    q.arrival,
-                    &q.buckets,
-                    &self.health,
-                );
-            }
-        }
-
-        // Last resort in degraded mode: serve what still has a replica.
-        if faults.degraded && is_infeasible(&result) {
-            result = state.submit_degraded_with(
-                ctx.system,
-                ctx.alloc,
-                ctx.solver,
-                &mut self.workspace,
-                q.arrival,
-                &q.buckets,
-                &self.health,
-            );
-            if let Ok(o) = &result {
-                tally.degraded_solves += 1;
-                tally.dropped_buckets += o.unservable.len() as u64;
-            }
-        }
-
-        result.map_err(EngineError::from)
+            &mut self.health,
+            clock,
+            tally,
+        )
     }
+
+    /// Drains this shard's queries through the fused path: queries are
+    /// grouped by stream (preserving input order within a group — streams
+    /// are load-coupled through `busy_until`, so only *distinct* streams
+    /// are independent), each group runs serially on its own checked-out
+    /// [`FusedLane`], and the groups execute concurrently as one task
+    /// batch on the shared `pool`. Results and tallies are merged in
+    /// deterministic group order, so the output is bit-identical to the
+    /// serial [`Shard::run`].
+    ///
+    /// Falls back to the serial path when fewer than two stream groups
+    /// exist — there is nothing to fuse.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_fused<
+        A: ReplicaSource + Sync + ?Sized,
+        S: RetrievalSolver + Sync + ?Sized,
+    >(
+        &mut self,
+        shard_idx: usize,
+        ctx: &BatchCtx<'_, A, S>,
+        queries: &[BatchQuery],
+        indices: &[usize],
+        pool: &WorkerPool,
+        lane_layout: ArenaLayout,
+        budget: SolveBudget,
+        out: &mut Vec<(usize, Result<SessionOutcome, EngineError>)>,
+    ) -> ShardTally {
+        // Group by stream, preserving both group discovery order and
+        // intra-group query order.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut group_of: HashMap<usize, usize> = HashMap::new();
+        for &i in indices {
+            let stream = queries[i].stream;
+            let g = *group_of.entry(stream).or_insert_with(|| {
+                groups.push((stream, Vec::new()));
+                groups.len() - 1
+            });
+            groups[g].1.push(i);
+        }
+        if groups.len() < 2 {
+            return self.run(shard_idx, ctx, queries, indices, out);
+        }
+
+        let mut tally = ShardTally {
+            fused_batches: 1,
+            fused_queries: indices.len() as u64,
+            ..ShardTally::default()
+        };
+        self.workspace.tracer.emit(TraceEvent::ShardBatch {
+            shard: shard_idx as u32,
+            queries: indices.len() as u32,
+        });
+        self.ensure_lanes(groups.len(), lane_layout, budget);
+
+        // Move each group's stream state out of the shard map for the
+        // duration of the drain (a stream lives in exactly one group).
+        let mut lane_states: Vec<Option<SessionState>> = groups
+            .iter()
+            .map(|(stream, _)| self.states.remove(stream))
+            .collect();
+        let mut lane_tallies: Vec<ShardTally> =
+            groups.iter().map(|_| ShardTally::default()).collect();
+        let mut lane_outs: Vec<Vec<(usize, Result<SessionOutcome, EngineError>)>> = groups
+            .iter()
+            .map(|(_, g)| Vec::with_capacity(g.len()))
+            .collect();
+
+        {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self.lanes[..groups.len()]
+                .iter_mut()
+                .zip(lane_states.iter_mut())
+                .zip(lane_tallies.iter_mut())
+                .zip(lane_outs.iter_mut())
+                .zip(groups.iter())
+                .map(|((((lane, state), lane_tally), lane_out), (_, group))| {
+                    Box::new(move || {
+                        run_lane(
+                            shard_idx, ctx, queries, group, lane, state, lane_tally, lane_out,
+                        )
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_tasks(tasks);
+        }
+
+        // Deterministic merge in group order: states back into the map,
+        // per-lane tallies and results into the shard-level output.
+        for ((stream, _), state) in groups.iter().zip(lane_states) {
+            if let Some(state) = state {
+                self.states.insert(*stream, state);
+            }
+        }
+        for lane_tally in &lane_tallies {
+            tally.merge(lane_tally);
+        }
+        for lane_out in lane_outs {
+            out.extend(lane_out);
+        }
+        self.absorb_lane_traces(groups.len());
+        tally
+    }
+
+    /// Grows the lane free list to `n` and re-arms the first `n` lanes
+    /// with the engine budget. Lanes inherit the shard's arena layout and
+    /// run with plane sharing on; when the shard workspace has a trace
+    /// recorder, each lane gets a small private one so per-kind counts
+    /// stay exact (folded back by [`Shard::absorb_lane_traces`]).
+    pub(crate) fn ensure_lanes(&mut self, n: usize, layout: ArenaLayout, budget: SolveBudget) {
+        let record = self.workspace.recorder().is_some();
+        while self.lanes.len() < n {
+            let mut lane = FusedLane::default();
+            lane.workspace.set_arena_layout(layout);
+            lane.workspace.set_plane_sharing(true);
+            self.lanes.push(lane);
+        }
+        for lane in &mut self.lanes[..n] {
+            lane.workspace.arm_budget(budget);
+            if record && lane.workspace.recorder().is_none() {
+                lane.workspace.install_recorder(64);
+            }
+        }
+    }
+
+    /// Folds the first `n` lanes' trace counts into the shard recorder so
+    /// per-kind totals (e.g. plane checkouts) survive with tracing on;
+    /// ring contents stay per-lane (cross-lane event order is undefined).
+    pub(crate) fn absorb_lane_traces(&mut self, n: usize) {
+        let n = n.min(self.lanes.len());
+        let Some(rec) = self.workspace.recorder_mut() else {
+            return;
+        };
+        for lane in &mut self.lanes[..n] {
+            if let Some(lane_rec) = lane.workspace.recorder() {
+                rec.absorb_counts(lane_rec);
+            }
+            if let Some(lane_rec) = lane.workspace.recorder_mut() {
+                lane_rec.clear();
+            }
+        }
+    }
+}
+
+/// Creates the session state for a stream's first query under `ctx`'s
+/// policies.
+pub(crate) fn new_stream_state<A: ?Sized, S: ?Sized>(ctx: &BatchCtx<'_, A, S>) -> SessionState {
+    let mut s = SessionState::with_reuse(ctx.system.num_disks(), ctx.reuse);
+    s.set_objective(ctx.objective);
+    s
+}
+
+/// Runs one stream group serially on its checked-out lane: the fused
+/// counterpart of the loop body in [`Shard::run`], with identical panic
+/// containment (the poisoned stream restarts fresh on its next query;
+/// batchmates proceed).
+#[allow(clippy::too_many_arguments)]
+fn run_lane<A: ReplicaSource + ?Sized, S: RetrievalSolver + ?Sized>(
+    shard_idx: usize,
+    ctx: &BatchCtx<'_, A, S>,
+    queries: &[BatchQuery],
+    group: &[usize],
+    lane: &mut FusedLane,
+    state: &mut Option<SessionState>,
+    tally: &mut ShardTally,
+    out: &mut Vec<(usize, Result<SessionOutcome, EngineError>)>,
+) {
+    for &i in group {
+        let q = &queries[i];
+        let started = std::time::Instant::now();
+        let st = state.get_or_insert_with(|| new_stream_state(ctx));
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_one_core(
+                ctx,
+                q,
+                st,
+                &mut lane.workspace,
+                &mut lane.health,
+                &ArrivalClock,
+                tally,
+            )
+        }));
+        match caught {
+            Ok(result) => {
+                tally
+                    .metrics
+                    .solve_latency_us
+                    .record(started.elapsed().as_micros() as u64);
+                if let Ok(o) = &result {
+                    tally
+                        .metrics
+                        .probes_per_solve
+                        .record(o.outcome.stats.probes);
+                    tally
+                        .metrics
+                        .turnaround_us
+                        .record((o.completion - o.arrival).as_micros());
+                }
+                out.push((i, result));
+            }
+            Err(_) => {
+                *state = None;
+                tally.shard_failures += 1;
+                out.push((i, Err(EngineError::ShardFailed { shard: shard_idx })));
+            }
+        }
+    }
+}
+
+/// Solves one query for `state` on the given workspace/health scratch —
+/// the shared core of the serial per-shard path ([`Shard::run_one`]) and
+/// the fused lane path ([`run_lane`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_one_core<A: ReplicaSource + ?Sized, S: RetrievalSolver + ?Sized>(
+    ctx: &BatchCtx<'_, A, S>,
+    q: &BatchQuery,
+    state: &mut SessionState,
+    workspace: &mut Workspace,
+    health: &mut HealthMap,
+    clock: &dyn ProbeClock,
+    tally: &mut ShardTally,
+) -> Result<SessionOutcome, EngineError> {
+    let faults = &ctx.faults;
+    if let Some(inj) = faults.injector {
+        // On a real clock a query observed later than it arrived sees
+        // the *current* health, not the health at arrival.
+        inj.health_at(clock.now(q.arrival).max(q.arrival), health);
+    } else {
+        health.reset();
+    }
+    // One HealthTransition per change *as observed by this stream* —
+    // streams are pinned to shards, so the event count is identical
+    // for every shard count.
+    let fp = health.fingerprint();
+    if fp != state.observed_health_fp {
+        state.observed_health_fp = fp;
+        workspace
+            .tracer
+            .emit(TraceEvent::HealthTransition { fingerprint: fp });
+    }
+
+    let mut result = state.submit_with_health(
+        ctx.system, ctx.alloc, ctx.solver, workspace, q.arrival, &q.buckets, health,
+    );
+
+    // Replan: probe the fault schedule at deterministic backoff steps
+    // and re-solve whenever the health actually changed. Only
+    // infeasibility is retryable — it is the one error a recovered
+    // disk can cure.
+    if let Some(inj) = faults.injector {
+        let mut attempt = 0u32;
+        while attempt < faults.retry.max_retries && is_infeasible(&result) {
+            attempt += 1;
+            // Probe at the scheduled backoff step or the current real
+            // time, whichever is later. Virtual clocks never wait and
+            // report `arrival`, so batch behavior is unchanged; the
+            // serving loop's real clock sleeps out the backoff (capped
+            // by the query deadline) and sees mid-flight recoveries.
+            let target = q.arrival + faults.retry.backoff * attempt as u64;
+            clock.wait_until(target);
+            let probe = target.max(clock.now(q.arrival));
+            let before = health.fingerprint();
+            inj.health_at(probe, health);
+            if health.fingerprint() == before {
+                continue;
+            }
+            tally.retries += 1;
+            state.observed_health_fp = health.fingerprint();
+            workspace
+                .tracer
+                .emit(TraceEvent::RetryScheduled { attempt, probe });
+            result = state.submit_with_health(
+                ctx.system, ctx.alloc, ctx.solver, workspace, q.arrival, &q.buckets, health,
+            );
+        }
+    }
+
+    // Last resort in degraded mode: serve what still has a replica.
+    if faults.degraded && is_infeasible(&result) {
+        result = state.submit_degraded_with(
+            ctx.system, ctx.alloc, ctx.solver, workspace, q.arrival, &q.buckets, health,
+        );
+        if let Ok(o) = &result {
+            tally.degraded_solves += 1;
+            tally.dropped_buckets += o.unservable.len() as u64;
+        }
+    }
+
+    result.map_err(EngineError::from)
 }
 
 fn is_infeasible(result: &Result<SessionOutcome, SessionError>) -> bool {
@@ -554,6 +815,15 @@ pub struct Engine<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> {
     /// Spans of submissions the serving loop *rejected* at admission
     /// (they never reach a shard, so they get their own recorder).
     pub(crate) rejections: FlightRecorder,
+    /// The shared worker pool, when one exists (parallel solver kind
+    /// and/or fused batch drains).
+    pub(crate) pool: Option<WorkerPool>,
+    /// Whether batch drains take the fused path (see
+    /// [`SolverSpec::batch_fuse`]). Requires `pool`.
+    pub(crate) batch_fuse: bool,
+    /// Arena layout fused lanes are configured with (mirrors the shard
+    /// workspaces).
+    pub(crate) lane_layout: ArenaLayout,
 }
 
 /// Step-by-step construction of an [`Engine`] around a [`SolverSpec`] —
@@ -650,8 +920,13 @@ impl<'a, A: ReplicaSource + Sync> EngineBuilder<'a, A> {
     /// [`WorkerPool`] sized from [`SolverSpec::parallelism`] and installs
     /// it in every shard workspace, so all shards (and every solve) reuse
     /// the same worker threads instead of spawning per solve.
+    /// [`SolverSpec::batch_fuse`] also creates the pool (without
+    /// installing it in the workspaces — fused lanes must never dispatch
+    /// on the pool they run inside), so fused drains can schedule their
+    /// stream groups across it.
     pub fn build(self) -> Engine<'a, A, AnySolver> {
-        let pool = matches!(self.spec.kind, SolverKind::ParallelPushRelabelBinary).then(|| {
+        let parallel_kind = matches!(self.spec.kind, SolverKind::ParallelPushRelabelBinary);
+        let pool = (parallel_kind || self.spec.batch_fuse).then(|| {
             let threads = if self.spec.parallelism == 0 {
                 2
             } else {
@@ -677,10 +952,13 @@ impl<'a, A: ReplicaSource + Sync> EngineBuilder<'a, A> {
         }
         for shard in &mut engine.shards {
             shard.workspace.set_arena_layout(self.spec.arena_layout);
-            if let Some(pool) = &pool {
+            if let (Some(pool), true) = (&pool, parallel_kind) {
                 shard.workspace.set_worker_pool(pool.clone());
             }
         }
+        engine.pool = pool;
+        engine.batch_fuse = self.spec.batch_fuse;
+        engine.lane_layout = self.spec.arena_layout;
         engine
     }
 }
@@ -723,6 +1001,9 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
             budget: SolveBudget::UNLIMITED,
             slo: SloPolicy::default(),
             rejections: FlightRecorder::default(),
+            pool: None,
+            batch_fuse: false,
+            lane_layout: ArenaLayout::default(),
         }
     }
 
@@ -859,6 +1140,24 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
         &self.stats
     }
 
+    /// Arena allocation events summed over every shard workspace and
+    /// fused lane, monotone over the engine's lifetime. Flat between two
+    /// observations means the solves in between — including fused drains
+    /// checking capacity planes out of the lane free list — reused
+    /// existing buffers end to end.
+    pub fn arena_allocation_events(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.workspace.arena_allocation_events()
+                    + s.lanes
+                        .iter()
+                        .map(|l| l.workspace.arena_allocation_events())
+                        .sum::<u64>()
+            })
+            .sum()
+    }
+
     /// The engine's latency histograms, merged over every batch and shard
     /// processed so far.
     pub fn metrics(&self) -> &EngineMetrics {
@@ -932,18 +1231,41 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
             by_shard[q.stream % num_shards].push(i);
         }
 
+        // Fused drains need the shared pool; without one (or with
+        // `batch_fuse` off) every shard takes the serial path.
+        let fuse_pool = if self.batch_fuse {
+            self.pool.clone()
+        } else {
+            None
+        };
+        let lane_layout = self.lane_layout;
+        let budget = self.budget;
+
         let mut merged: Vec<Option<Result<SessionOutcome, EngineError>>> =
             (0..queries.len()).map(|_| None).collect();
         let mut tallies: Vec<ShardTally> = Vec::with_capacity(num_shards);
         if num_shards == 1 {
             let mut out = Vec::with_capacity(queries.len());
-            let tally = self.shards[0].run(0, &ctx, queries, &by_shard[0], &mut out);
+            let tally = match &fuse_pool {
+                Some(pool) => self.shards[0].run_fused(
+                    0,
+                    &ctx,
+                    queries,
+                    &by_shard[0],
+                    pool,
+                    lane_layout,
+                    budget,
+                    &mut out,
+                ),
+                None => self.shards[0].run(0, &ctx, queries, &by_shard[0], &mut out),
+            };
             tallies.push(tally);
             for (i, r) in out {
                 merged[i] = Some(r);
             }
         } else {
             let ctx = &ctx;
+            let fuse_pool = &fuse_pool;
             let collected: Vec<Option<ShardOutput>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shards
@@ -953,7 +1275,22 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
                     .map(|(shard_idx, (shard, indices))| {
                         scope.spawn(move || {
                             let mut out = Vec::with_capacity(indices.len());
-                            let tally = shard.run(shard_idx, ctx, queries, indices, &mut out);
+                            // Pool dispatch is serialized across shards;
+                            // the shard threads themselves already
+                            // provide cross-shard parallelism.
+                            let tally = match fuse_pool {
+                                Some(pool) => shard.run_fused(
+                                    shard_idx,
+                                    ctx,
+                                    queries,
+                                    indices,
+                                    pool,
+                                    lane_layout,
+                                    budget,
+                                    &mut out,
+                                ),
+                                None => shard.run(shard_idx, ctx, queries, indices, &mut out),
+                            };
                             (tally, out)
                         })
                     })
@@ -1188,6 +1525,141 @@ mod tests {
             assert_eq!(engine.stats().shard_failures, 1);
             assert_eq!(engine.stats().errors, 1);
         }
+    }
+
+    /// Canonical comparison key for fused-vs-serial equivalence: the
+    /// full schedule (bucket→disk assignments), response time and
+    /// completion — bit-identical means all of these match.
+    #[allow(clippy::type_complexity)]
+    fn outcome_key(
+        r: &Result<SessionOutcome, EngineError>,
+    ) -> Result<(Micros, Micros, Vec<(Bucket, usize)>), EngineError> {
+        r.as_ref()
+            .map(|o| {
+                (
+                    o.outcome.response_time,
+                    o.completion,
+                    o.outcome.schedule.assignments().to_vec(),
+                )
+            })
+            .map_err(|e| *e)
+    }
+
+    #[test]
+    fn fused_batches_are_bit_identical_to_serial() {
+        let system = SystemConfig::homogeneous(CHEETAH, 5);
+        let alloc = OrthogonalAllocation::new(5, Placement::SingleSite);
+        let queries = batch(6, 4);
+        for layout in [ArenaLayout::Wide, ArenaLayout::Compact] {
+            let spec = SolverSpec::new(SolverKind::PushRelabelBinary)
+                .reuse(ReusePolicy::warm())
+                .arena_layout(layout);
+            let baseline: Vec<_> = {
+                let mut engine = Engine::builder(&system, &alloc).solver_spec(spec).build();
+                let got = engine.submit_batch(&queries);
+                assert_eq!(engine.stats().fused_batches, 0);
+                got.iter().map(outcome_key).collect()
+            };
+            for shards in [1usize, 2, 4] {
+                let mut engine = Engine::builder(&system, &alloc)
+                    .solver_spec(spec.batch_fuse(true).parallelism(3))
+                    .shards(shards)
+                    .build();
+                let got: Vec<_> = engine
+                    .submit_batch(&queries)
+                    .iter()
+                    .map(outcome_key)
+                    .collect();
+                assert_eq!(got, baseline, "{layout:?} {shards} shards");
+                assert!(engine.stats().fused_batches >= 1, "fused path engaged");
+                // Shards that own a single stream group fall back to the
+                // serial path, so the fused count is a (non-empty) subset.
+                let fused = engine.stats().fused_queries;
+                assert!(fused >= 1 && fused <= queries.len() as u64);
+                // A second batch recycles the lane free list.
+                let again: Vec<_> = engine
+                    .submit_batch(&queries)
+                    .iter()
+                    .map(outcome_key)
+                    .collect();
+                let n: usize = engine.shards.iter().map(|s| s.lanes.len()).sum();
+                assert!(n >= 2, "lanes retained for recycling");
+                drop(again);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_single_stream_falls_back_to_serial() {
+        let system = SystemConfig::homogeneous(CHEETAH, 5);
+        let alloc = OrthogonalAllocation::new(5, Placement::SingleSite);
+        let queries = batch(1, 4); // one stream: nothing to fuse
+        let mut engine = Engine::builder(&system, &alloc)
+            .solver_spec(SolverSpec::new(SolverKind::PushRelabelBinary).batch_fuse(true))
+            .build();
+        let results = engine.submit_batch(&queries);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(engine.stats().fused_batches, 0);
+        assert_eq!(engine.stats().fused_queries, 0);
+    }
+
+    #[test]
+    fn fused_panic_containment_matches_serial() {
+        let system = SystemConfig::homogeneous(CHEETAH, 5);
+        let alloc = OrthogonalAllocation::new(5, Placement::SingleSite);
+        let poison = RangeQuery::new(3, 3, 1, 1).buckets(5)[0];
+        let good = RangeQuery::new(0, 0, 1, 2).buckets(5);
+        let bad = RangeQuery::new(3, 3, 1, 1).buckets(5);
+        let mk = |stream, ms, buckets: &Vec<_>| BatchQuery {
+            stream,
+            arrival: Micros::from_millis(ms),
+            buckets: buckets.clone(),
+        };
+        let mut engine = Engine::new(&system, &alloc, PanicOnBucket(poison), 1);
+        engine.batch_fuse = true;
+        engine.pool = Some(rds_flow::parallel::WorkerPool::new(2));
+        let results = engine.submit_batch(&[
+            mk(0, 0, &good),
+            mk(1, 0, &bad),
+            mk(2, 0, &good),
+            mk(1, 5, &good),
+        ]);
+        assert!(results[0].is_ok());
+        assert_eq!(
+            results[1].as_ref().unwrap_err(),
+            &EngineError::ShardFailed { shard: 0 }
+        );
+        assert!(results[2].is_ok());
+        // The poisoned stream restarts cleanly on its next query (same
+        // lane, same fused drain).
+        assert!(results[3].is_ok());
+        assert_eq!(engine.stats().shard_failures, 1);
+        assert_eq!(engine.stats().fused_batches, 1);
+    }
+
+    #[test]
+    fn fused_trace_counts_include_lane_plane_checkouts() {
+        let system = SystemConfig::homogeneous(CHEETAH, 5);
+        let alloc = OrthogonalAllocation::new(5, Placement::SingleSite);
+        let queries = batch(4, 2);
+        let mut engine = Engine::builder(&system, &alloc)
+            .solver_spec(
+                SolverSpec::new(SolverKind::PushRelabelBinary)
+                    .reuse(ReusePolicy::warm())
+                    .batch_fuse(true),
+            )
+            .tracing(128)
+            .build();
+        let results = engine.submit_batch(&queries);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let counts = engine.trace_counts();
+        assert!(
+            counts[EventKind::PlaneCheckout as usize] > 0,
+            "lane checkouts visible through the shard recorder"
+        );
+        let reg = engine.metrics_snapshot().to_registry();
+        assert!(engine.stats().fused_batches >= 1);
+        assert!(reg.to_prometheus().contains("rds_fuse_batches_total"));
     }
 
     #[test]

@@ -228,6 +228,7 @@ fn phase_detail(kind: PhaseKind, a: u64, b: u64) -> String {
                 .unwrap_or("unknown")
         ),
         PhaseKind::Failed => format!("panic={}", a != 0),
+        PhaseKind::PlaneCheckout => format!("shared={}", a != 0),
     }
 }
 

@@ -125,11 +125,17 @@ pub enum PhaseKind {
     /// The solve failed with a typed error or a contained panic (`a` = 1
     /// for a shard panic, 0 for a session error).
     Failed,
+    /// A plane-sharing workspace checked out the instance's topology
+    /// plane (`a` = 1 when the epoch plane was already shared). Plane
+    /// residency depends on shard count and the fused-vs-serial drain
+    /// path, so both attributes are excluded from
+    /// [`QuerySpan::phase_digest`].
+    PlaneCheckout,
 }
 
 impl PhaseKind {
     /// Number of kinds.
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 18;
 
     /// Every kind, in discriminant order.
     pub const ALL: [PhaseKind; PhaseKind::COUNT] = [
@@ -150,6 +156,7 @@ impl PhaseKind {
         PhaseKind::Reply,
         PhaseKind::Rejected,
         PhaseKind::Failed,
+        PhaseKind::PlaneCheckout,
     ];
 
     /// Stable snake_case name (trace export and `statusz`).
@@ -172,6 +179,7 @@ impl PhaseKind {
             PhaseKind::Reply => "reply",
             PhaseKind::Rejected => "rejected",
             PhaseKind::Failed => "failed",
+            PhaseKind::PlaneCheckout => "plane_checkout",
         }
     }
 
@@ -183,7 +191,7 @@ impl PhaseKind {
     /// instants) are excluded.
     pub fn digest_mask(self) -> (bool, bool) {
         match self {
-            PhaseKind::Coalesced => (false, false),
+            PhaseKind::Coalesced | PhaseKind::PlaneCheckout => (false, false),
             PhaseKind::Retry => (true, false),
             _ => (true, true),
         }
@@ -350,6 +358,13 @@ impl QuerySpan {
         (self.budget_expired, self.degraded, self.deadline_missed).hash(&mut h);
         for p in &self.phases {
             let (use_a, use_b) = p.kind.digest_mask();
+            // Fully masked kinds are skipped outright: not only their
+            // attributes but their *presence* is shaped by the drain path
+            // (a fused drain records a PlaneCheckout, a serial one does
+            // not), so hashing the kind would leak shard count.
+            if !use_a && !use_b {
+                continue;
+            }
             (p.kind as usize).hash(&mut h);
             if use_a {
                 p.a.hash(&mut h);
@@ -464,6 +479,9 @@ impl SpanCollector {
             }
             TraceEvent::HealthTransition { fingerprint } => {
                 self.mark(PhaseKind::HealthTransition, fingerprint, 0)
+            }
+            TraceEvent::PlaneCheckout { shared } => {
+                self.mark(PhaseKind::PlaneCheckout, shared as u64, 0)
             }
             TraceEvent::ProbeStart { .. }
             | TraceEvent::Augment { .. }

@@ -133,6 +133,15 @@ pub enum TraceEvent {
         /// expiry (`achieved - lower_bound` bounds the optimality gap).
         lower_bound: Micros,
     },
+    /// A plane-sharing workspace staged a solve by checking out the
+    /// instance's immutable CSR topology plane (Arc-shared) plus a fresh
+    /// capacity/flow plane, instead of deep-copying the whole arena.
+    /// Emitted only when plane sharing is enabled (the fused batch path).
+    PlaneCheckout {
+        /// True when the workspace already held this epoch's topology
+        /// plane (steady state: the checkout copied only cap/flow values).
+        shared: bool,
+    },
 }
 
 /// Coarse classification of [`TraceEvent`]s, used for per-kind counting.
@@ -167,11 +176,13 @@ pub enum EventKind {
     RefinePass,
     /// [`TraceEvent::BudgetExpired`]
     BudgetExpired,
+    /// [`TraceEvent::PlaneCheckout`]
+    PlaneCheckout,
 }
 
 impl EventKind {
     /// Number of kinds (size of a per-kind counter array).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 15;
 
     /// Every kind, in discriminant order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -189,6 +200,7 @@ impl EventKind {
         EventKind::CacheHit,
         EventKind::RefinePass,
         EventKind::BudgetExpired,
+        EventKind::PlaneCheckout,
     ];
 
     /// Stable snake_case name (used in reports and Prometheus labels).
@@ -208,6 +220,7 @@ impl EventKind {
             EventKind::CacheHit => "cache_hit",
             EventKind::RefinePass => "refine_pass",
             EventKind::BudgetExpired => "budget_expired",
+            EventKind::PlaneCheckout => "plane_checkout",
         }
     }
 }
@@ -230,6 +243,7 @@ impl TraceEvent {
             TraceEvent::CacheHit { .. } => EventKind::CacheHit,
             TraceEvent::RefinePass { .. } => EventKind::RefinePass,
             TraceEvent::BudgetExpired { .. } => EventKind::BudgetExpired,
+            TraceEvent::PlaneCheckout { .. } => EventKind::PlaneCheckout,
         }
     }
 }
@@ -631,6 +645,7 @@ mod tests {
                 achieved: Micros::ZERO,
                 lower_bound: Micros::ZERO,
             },
+            TraceEvent::PlaneCheckout { shared: true },
         ];
         for (e, k) in events.iter().zip(EventKind::ALL) {
             assert_eq!(e.kind(), k);

@@ -43,21 +43,23 @@
 //! health transitions trigger replanning.
 
 use crate::engine::{
-    ArrivalClock, BatchCtx, BatchQuery, Engine, FaultConfig, ProbeClock, ShardTally,
+    new_stream_state, run_one_core, ArrivalClock, BatchCtx, BatchQuery, Engine, FaultConfig,
+    FusedLane, ProbeClock, ShardTally,
 };
 use crate::error::EngineError;
 use crate::obs::metrics::{Histogram, LatencySummary, MetricsRegistry};
 use crate::obs::recorder::{FlightRecorder, RecorderStats};
 use crate::obs::slo::{SloReport, SloTrackerSet};
-use crate::obs::span::{PhaseKind, RejectReason, SpanId, SpanOutcome};
+use crate::obs::span::{PhaseKind, QuerySpan, RejectReason, SpanId, SpanOutcome};
 use crate::schedule::SolveStats;
-use crate::session::SessionOutcome;
+use crate::session::{SessionOutcome, SessionState};
 use crate::solver::RetrievalSolver;
-use crate::spec::SolveBudget;
+use crate::spec::{ArenaLayout, SolveBudget};
 use rds_decluster::allocation::ReplicaSource;
 use rds_decluster::query::Bucket;
+use rds_flow::parallel::WorkerPool;
 use rds_storage::time::Micros;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -289,7 +291,14 @@ pub struct ServeConfig {
     pub shed_watermark: Option<usize>,
     /// How long a worker waits for more arrivals before draining a
     /// non-full queue, to coalesce same-stream requests onto the
-    /// warm-start/delta path. Real clock only; `None` drains immediately.
+    /// warm-start/delta path (and widen fused drains). `None` drains
+    /// immediately. Under [`ServeClock::Virtual`] the duration itself is
+    /// meaningless — any window instead coalesces deterministically
+    /// until the batch reaches [`ServeConfig::batch_max`] or admission
+    /// closes, so batch composition is reproducible for any shard count.
+    /// Virtual callers must therefore not block on
+    /// [`ServeHandle::recv`] before either submitting `batch_max`
+    /// requests to a shard or returning from the serve closure.
     pub batch_window: Option<Duration>,
     /// Maximum requests drained per wakeup.
     pub batch_max: usize,
@@ -329,7 +338,8 @@ impl ServeConfig {
         self
     }
 
-    /// Sets the coalescing window (real clock only).
+    /// Sets the coalescing window (see [`ServeConfig::batch_window`] for
+    /// the deterministic virtual-clock semantics).
     pub fn batch_window(mut self, window: Duration) -> ServeConfig {
         self.batch_window = Some(window);
         self
@@ -948,11 +958,22 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
             objective: self.objective,
         };
         let base_budget = self.budget;
+        // Fused drains need the shared pool; with `batch_fuse` off (or no
+        // pool) every drain takes the serial path.
+        let fuse = if self.batch_fuse {
+            self.pool.clone().map(|pool| FuseCtx {
+                pool,
+                layout: self.lane_layout,
+            })
+        } else {
+            None
+        };
 
         let (output, tallies) = std::thread::scope(|scope| {
             let ctx = &ctx;
             let config = &config;
             let shared_ref = &*shared;
+            let fuse = fuse.as_ref();
             let workers: Vec<_> = self
                 .shards
                 .iter_mut()
@@ -960,7 +981,16 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
                 .map(|(shard_idx, shard)| {
                     let tx = tx.clone();
                     scope.spawn(move || {
-                        serve_worker(shard_idx, shard, ctx, shared_ref, config, base_budget, tx)
+                        serve_worker(
+                            shard_idx,
+                            shard,
+                            ctx,
+                            shared_ref,
+                            config,
+                            base_budget,
+                            fuse,
+                            tx,
+                        )
                     })
                 })
                 .collect();
@@ -1054,8 +1084,16 @@ impl<'a, A: ReplicaSource + Sync, S: RetrievalSolver + Sync> Engine<'a, A, S> {
     }
 }
 
+/// What a fused serve drain needs beyond the serial path: the shared
+/// worker pool and the lane arena layout.
+struct FuseCtx {
+    pool: WorkerPool,
+    layout: ArenaLayout,
+}
+
 /// One shard's serving loop: wait for work, drain a batch FIFO (same-
 /// stream runs hit the warm/delta path), resolve every item exactly once.
+#[allow(clippy::too_many_arguments)]
 fn serve_worker<A: ReplicaSource + ?Sized + Sync, S: RetrievalSolver + ?Sized + Sync>(
     shard_idx: usize,
     shard: &mut crate::engine::Shard,
@@ -1063,6 +1101,7 @@ fn serve_worker<A: ReplicaSource + ?Sized + Sync, S: RetrievalSolver + ?Sized + 
     shared: &Shared,
     config: &ServeConfig,
     base_budget: SolveBudget,
+    fuse: Option<&FuseCtx>,
     tx: mpsc::Sender<ServeResponse>,
 ) -> WorkerTally {
     let mut tally = WorkerTally {
@@ -1082,31 +1121,463 @@ fn serve_worker<A: ReplicaSource + ?Sized + Sync, S: RetrievalSolver + ?Sized + 
             }
             // Coalescing window: give closely-spaced arrivals one chance
             // to land in the same drain, so consecutive same-stream
-            // queries ride the warm-start/delta path.
-            if let (Some(window), ServeClock::Real) = (config.batch_window, shared.clock.mode) {
-                if st.items.len() < config.batch_max && st.open {
-                    let (back, _) = queue.cv.wait_timeout(st, window).expect("queue mutex");
-                    st = back;
+            // queries ride the warm-start/delta path (and fused drains
+            // see wider batches).
+            match (config.batch_window, shared.clock.mode) {
+                (Some(window), ServeClock::Real) => {
+                    if st.items.len() < config.batch_max && st.open {
+                        let (back, _) = queue.cv.wait_timeout(st, window).expect("queue mutex");
+                        st = back;
+                    }
                 }
+                (Some(_), ServeClock::Virtual) => {
+                    // Virtual time has no "window elapsed" signal, so the
+                    // window coalesces up to the only two deterministic
+                    // boundaries: the batch filling to `batch_max`, or
+                    // admission closing. This makes batch composition —
+                    // and therefore fused-drain digests — reproducible
+                    // for any shard count.
+                    while st.items.len() < config.batch_max && st.open {
+                        st = queue.cv.wait(st).expect("queue mutex");
+                    }
+                }
+                (None, _) => {}
             }
             let take = st.items.len().min(config.batch_max);
             batch.extend(st.items.drain(..take));
         }
         let batch_len = batch.len();
-        for item in batch.drain(..) {
-            serve_one(
+        let fused = match fuse {
+            Some(fuse) => serve_fused(
                 shard_idx,
                 shard,
                 ctx,
                 shared,
                 base_budget,
-                item,
-                batch_len,
+                &mut batch,
+                fuse,
                 &tx,
                 &mut tally,
-            );
+            ),
+            None => false,
+        };
+        if !fused {
+            for item in batch.drain(..) {
+                serve_one(
+                    shard_idx,
+                    shard,
+                    ctx,
+                    shared,
+                    base_budget,
+                    item,
+                    batch_len,
+                    &tx,
+                    &mut tally,
+                );
+            }
         }
     }
+}
+
+/// One fused-drain item after the serial prepare stage: its admission
+/// record plus the per-query budget, queue-wait reading and armed span
+/// shell, ready to execute on a lane.
+struct FusedPrep {
+    pos: usize,
+    item: Admitted,
+    budget: SolveBudget,
+    queued: Micros,
+    span: Option<QuerySpan>,
+}
+
+/// What a lane task reports back per item for the serial finish stage.
+struct FusedDone {
+    pos: usize,
+    ticket: Ticket,
+    stream: usize,
+    class: PriorityClass,
+    deadline: Option<Micros>,
+    arrival: Micros,
+    enqueued: Instant,
+    queued: Micros,
+    result: Result<SessionOutcome, ServeError>,
+    panicked: bool,
+    solve_us: u64,
+    span: Option<QuerySpan>,
+}
+
+/// Drains one coalesced batch through the fused path: a serial prepare
+/// stage (span shells from the shard recorder, deadline-aware budgets),
+/// parallel per-stream-group execution on checked-out lanes across the
+/// shared pool, and a serial finish stage in original drain order
+/// (retire spans, SLO accounting, responses). Results are bit-identical
+/// to the serial drain; only wall-clock and plane residency change.
+///
+/// Returns `false` — leaving the batch untouched — when fewer than two
+/// stream groups exist, so the caller falls back to the serial loop.
+#[allow(clippy::too_many_arguments)]
+fn serve_fused<A: ReplicaSource + ?Sized + Sync, S: RetrievalSolver + ?Sized + Sync>(
+    shard_idx: usize,
+    shard: &mut crate::engine::Shard,
+    ctx: &BatchCtx<'_, A, S>,
+    shared: &Shared,
+    base_budget: SolveBudget,
+    batch: &mut Vec<Admitted>,
+    fuse: &FuseCtx,
+    tx: &mpsc::Sender<ServeResponse>,
+    tally: &mut WorkerTally,
+) -> bool {
+    // Group item positions by stream: discovery order across groups,
+    // drain order within one (same-stream requests are load-coupled
+    // through the session clock, so only distinct streams run
+    // concurrently).
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut group_of: HashMap<usize, usize> = HashMap::new();
+    for (pos, item) in batch.iter().enumerate() {
+        let stream = item.req.stream;
+        let g = *group_of.entry(stream).or_insert_with(|| {
+            groups.push((stream, Vec::new()));
+            groups.len() - 1
+        });
+        groups[g].1.push(pos);
+    }
+    if groups.len() < 2 {
+        return false;
+    }
+
+    let batch_len = batch.len();
+    tally.shard.fused_batches += 1;
+    tally.shard.fused_queries += batch_len as u64;
+    let real = shared.clock.mode == ServeClock::Real;
+
+    // Serial prepare, drain order: spans and budgets exactly as
+    // `serve_one` would set them up.
+    let mut preps: Vec<Option<FusedPrep>> = Vec::with_capacity(batch_len);
+    for (pos, item) in batch.drain(..).enumerate() {
+        let queued = if real {
+            Micros::from_micros(item.enqueued.elapsed().as_micros() as u64)
+        } else {
+            Micros::ZERO
+        };
+        let span = if shared.record_spans {
+            let mut span = shard.recorder.checkout();
+            span.id = SpanId(item.ticket.0);
+            span.stream = item.req.stream;
+            span.shard = shard_idx;
+            span.class = item.req.class as usize;
+            span.arrival = item.req.arrival;
+            span.queued_us = queued.as_micros();
+            span.record(
+                PhaseKind::Admitted,
+                0,
+                item.req.arrival.as_micros(),
+                item.req.class as u64,
+            );
+            span.record(
+                PhaseKind::Coalesced,
+                0,
+                batch_len as u64,
+                queued.as_micros(),
+            );
+            Some(span)
+        } else {
+            None
+        };
+        let mut budget = base_budget;
+        if real {
+            if let Some(d) = item.req.deadline {
+                let remaining =
+                    Duration::from_micros(d.saturating_sub(shared.clock.now()).as_micros());
+                budget.wall_clock = Some(budget.wall_clock.map_or(remaining, |b| b.min(remaining)));
+            }
+        }
+        preps.push(Some(FusedPrep {
+            pos,
+            item,
+            budget,
+            queued,
+            span,
+        }));
+    }
+
+    // Check out one lane and the owning stream state per group.
+    shard.ensure_lanes(groups.len(), fuse.layout, base_budget);
+    let mut lane_states: Vec<Option<SessionState>> = groups
+        .iter()
+        .map(|(stream, _)| shard.states.remove(stream))
+        .collect();
+    let mut lane_tallies: Vec<ShardTally> = groups.iter().map(|_| ShardTally::default()).collect();
+    let mut lane_dones: Vec<Vec<FusedDone>> = groups
+        .iter()
+        .map(|(_, g)| Vec::with_capacity(g.len()))
+        .collect();
+    let lane_preps: Vec<Vec<FusedPrep>> = groups
+        .iter()
+        .map(|(_, g)| {
+            g.iter()
+                .map(|&pos| preps[pos].take().expect("each position in one group"))
+                .collect()
+        })
+        .collect();
+
+    {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = shard.lanes[..groups.len()]
+            .iter_mut()
+            .zip(lane_states.iter_mut())
+            .zip(lane_tallies.iter_mut())
+            .zip(lane_preps)
+            .zip(lane_dones.iter_mut())
+            .map(|((((lane, state), lane_tally), preps), dones)| {
+                Box::new(move || {
+                    serve_lane(
+                        shard_idx, ctx, shared, lane, state, lane_tally, preps, dones,
+                    )
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        fuse.pool.run_tasks(tasks);
+    }
+
+    // Deterministic merge in group order, then serial finish in the
+    // original drain order.
+    for ((stream, _), state) in groups.iter().zip(lane_states) {
+        if let Some(state) = state {
+            shard.states.insert(*stream, state);
+        }
+    }
+    for lane_tally in &lane_tallies {
+        tally.shard.merge(lane_tally);
+    }
+    shard.absorb_lane_traces(groups.len());
+
+    let mut dones: Vec<Option<FusedDone>> = (0..batch_len).map(|_| None).collect();
+    for lane in lane_dones {
+        for done in lane {
+            let pos = done.pos;
+            dones[pos] = Some(done);
+        }
+    }
+    for done in dones {
+        let done = done.expect("every item ran on exactly one lane");
+        finish_fused(shard, shared, done, tx, tally);
+    }
+    true
+}
+
+/// Executes one stream group serially on its lane: arm the span and
+/// budget, solve under panic containment, disarm the span — the fused
+/// counterpart of `serve_one`'s middle section.
+#[allow(clippy::too_many_arguments)]
+fn serve_lane<A: ReplicaSource + ?Sized, S: RetrievalSolver + ?Sized>(
+    shard_idx: usize,
+    ctx: &BatchCtx<'_, A, S>,
+    shared: &Shared,
+    lane: &mut FusedLane,
+    state: &mut Option<SessionState>,
+    tally: &mut ShardTally,
+    preps: Vec<FusedPrep>,
+    dones: &mut Vec<FusedDone>,
+) {
+    let real = shared.clock.mode == ServeClock::Real;
+    for prep in preps {
+        let FusedPrep {
+            pos,
+            item,
+            budget,
+            queued,
+            span,
+        } = prep;
+        let Admitted {
+            ticket,
+            req,
+            enqueued,
+        } = item;
+        let stream = req.stream;
+        let class = req.class;
+        let deadline = req.deadline;
+        let arrival = req.arrival;
+        if let Some(span) = span {
+            lane.workspace.tracer.arm_span(span);
+        }
+        lane.workspace.arm_budget(budget);
+        let q = BatchQuery {
+            stream,
+            arrival,
+            buckets: req.buckets,
+        };
+        let st = state.get_or_insert_with(|| new_stream_state(ctx));
+        let started = Instant::now();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            if real {
+                let clock = RealProbeClock {
+                    clock: &shared.clock,
+                    deadline,
+                };
+                run_one_core(
+                    ctx,
+                    &q,
+                    st,
+                    &mut lane.workspace,
+                    &mut lane.health,
+                    &clock,
+                    tally,
+                )
+            } else {
+                run_one_core(
+                    ctx,
+                    &q,
+                    st,
+                    &mut lane.workspace,
+                    &mut lane.health,
+                    &ArrivalClock,
+                    tally,
+                )
+            }
+        }));
+        let solve_us = started.elapsed().as_micros() as u64;
+        tally.metrics.solve_latency_us.record(solve_us);
+        let (result, panicked) = match caught {
+            Ok(r) => (r.map_err(ServeError::from), false),
+            Err(_) => {
+                // Same containment as the serial path: the poisoned
+                // stream restarts fresh, the lane workspace is reclaimed,
+                // batchmates proceed.
+                *state = None;
+                let _ = lane.workspace.take_poisoned();
+                (
+                    Err(ServeError::Engine(EngineError::ShardFailed {
+                        shard: shard_idx,
+                    })),
+                    true,
+                )
+            }
+        };
+        let span = lane.workspace.tracer.disarm_span();
+        dones.push(FusedDone {
+            pos,
+            ticket,
+            stream,
+            class,
+            deadline,
+            arrival,
+            enqueued,
+            queued,
+            result,
+            panicked,
+            solve_us,
+            span,
+        });
+    }
+}
+
+/// The serial finish stage of one fused item, in original drain order:
+/// outcome stamping, span retirement, SLO and stats accounting, and the
+/// exactly-once response — `serve_one`'s tail.
+fn finish_fused(
+    shard: &mut crate::engine::Shard,
+    shared: &Shared,
+    done: FusedDone,
+    tx: &mpsc::Sender<ServeResponse>,
+    tally: &mut WorkerTally,
+) {
+    let FusedDone {
+        pos: _,
+        ticket,
+        stream,
+        class,
+        deadline,
+        arrival,
+        enqueued,
+        queued,
+        result,
+        panicked,
+        solve_us,
+        span,
+    } = done;
+    let real = shared.clock.mode == ServeClock::Real;
+    if panicked {
+        tally.panics += 1;
+        tally.shard.shard_failures += 1;
+    }
+    let deadline_missed = match (&result, deadline) {
+        (Ok(out), Some(d)) => {
+            if real {
+                shared.clock.now() > d
+            } else {
+                out.completion > d
+            }
+        }
+        _ => false,
+    };
+    let turnaround = if real {
+        Micros::from_micros(enqueued.elapsed().as_micros() as u64)
+    } else if let Ok(out) = &result {
+        out.completion.saturating_sub(out.arrival)
+    } else {
+        Micros::ZERO
+    };
+    let completion = match &result {
+        Ok(out) => out.completion,
+        Err(_) if real => shared.clock.now(),
+        Err(_) => arrival,
+    };
+    if shared.record_spans {
+        let mut span = span.unwrap_or_default();
+        span.turnaround_us = turnaround.as_micros();
+        span.deadline_missed = deadline_missed;
+        span.completion = completion;
+        match &result {
+            Ok(_) => {
+                span.outcome = SpanOutcome::Resolved;
+                span.record(PhaseKind::Reply, solve_us, deadline_missed as u64, 0);
+            }
+            Err(_) => {
+                span.outcome = SpanOutcome::Failed;
+                span.record(PhaseKind::Failed, solve_us, 0, 0);
+            }
+        }
+        shard.recorder.retire(span);
+    }
+    let slo_now = if real { shared.clock.now() } else { completion };
+    match &result {
+        Ok(_) => tally.slo.record_response(class, slo_now, turnaround),
+        Err(_) => tally.slo.record_unavailable(class, slo_now),
+    }
+    let cs = &mut tally.classes[class as usize];
+    cs.completed += 1;
+    cs.queue_wait_us.record(queued.as_micros());
+    cs.turnaround_us.record(turnaround.as_micros());
+    if deadline_missed {
+        cs.deadline_misses += 1;
+        tally.deadline_misses += 1;
+    }
+    tally.completed += 1;
+    match &result {
+        Ok(out) => {
+            tally.solve_stats.accumulate(&out.outcome.stats);
+            tally
+                .shard
+                .metrics
+                .probes_per_solve
+                .record(out.outcome.stats.probes);
+            tally
+                .shard
+                .metrics
+                .turnaround_us
+                .record((out.completion - out.arrival).as_micros());
+        }
+        Err(_) => tally.errors += 1,
+    }
+    // The receiver lives in the ServeHandle, which outlives the scope, so
+    // a send failure is unreachable; ignoring it keeps drain unstoppable.
+    let _ = tx.send(ServeResponse {
+        ticket,
+        stream,
+        class,
+        result,
+        queued,
+        deadline_missed,
+    });
 }
 
 /// Resolves one admitted request: arm the deadline-aware budget, solve
@@ -1611,6 +2082,114 @@ mod tests {
                 Some(w) => assert_eq!(&digests, w, "{shards} shards"),
             }
         }
+    }
+
+    #[test]
+    fn fused_serving_matches_serial_across_shard_counts() {
+        use crate::spec::{SolverKind, SolverSpec};
+        let (system, alloc) = setup();
+        let queries: Vec<BatchQuery> = (0..24)
+            .map(|k| BatchQuery {
+                stream: k % 6,
+                arrival: Micros::from_millis((k / 6) as u64 * 3),
+                buckets: RangeQuery::new(k % 5, (k + 1) % 5, 1 + k % 2, 2).buckets(5),
+            })
+            .collect();
+        let spec = SolverSpec::new(SolverKind::PushRelabelBinary)
+            .reuse(crate::session::ReusePolicy::warm());
+        let config = || {
+            ServeConfig::default()
+                .virtual_time()
+                .batch_window(Duration::from_millis(5))
+                .batch_max(8)
+        };
+        // The serial single-shard run pins the goldens: per-ticket
+        // schedules and span digests. Every fused shard count must
+        // reproduce both bit-for-bit.
+        type Golden = (Vec<(Ticket, Micros)>, std::collections::BTreeMap<u64, u64>);
+        let mut want: Option<Golden> = None;
+        for (fuse, shards) in [(false, 1usize), (true, 1), (true, 2), (true, 4)] {
+            let mut engine = Engine::builder(&system, &alloc)
+                .solver_spec(if fuse {
+                    spec.batch_fuse(true).parallelism(3)
+                } else {
+                    spec
+                })
+                .shards(shards)
+                .build();
+            let report = engine.serve(config(), |h| {
+                for q in &queries {
+                    h.submit(QueryRequest::new(q.stream, q.buckets.clone()).arriving_at(q.arrival))
+                        .unwrap();
+                }
+            });
+            assert_eq!(report.stats.completed, 24, "fuse={fuse} {shards} shards");
+            let mut times: Vec<(Ticket, Micros)> = report
+                .unclaimed
+                .iter()
+                .map(|r| (r.ticket, r.result.as_ref().unwrap().outcome.response_time))
+                .collect();
+            times.sort();
+            let pm = engine.postmortem();
+            let digests: std::collections::BTreeMap<u64, u64> = pm
+                .spans
+                .iter()
+                .map(|s| (s.id.0, s.phase_digest()))
+                .collect();
+            assert_eq!(digests.len(), 24, "fuse={fuse} {shards} shards");
+            if fuse {
+                assert!(
+                    engine.stats().fused_batches >= 1,
+                    "{shards} shards: fused drain engaged"
+                );
+            }
+            match &want {
+                None => want = Some((times, digests)),
+                Some((wt, wd)) => {
+                    assert_eq!(&times, wt, "fuse={fuse} {shards} shards: schedules");
+                    assert_eq!(&digests, wd, "fuse={fuse} {shards} shards: timelines");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_batch_window_coalesces_deterministically() {
+        let (system, alloc) = setup();
+        let mut engine = Engine::new(&system, &alloc, PushRelabelBinary, 1);
+        let report = engine.serve(
+            ServeConfig::default()
+                .virtual_time()
+                .batch_window(Duration::from_millis(50))
+                .batch_max(4),
+            |h| {
+                for k in 0..10usize {
+                    let q = RangeQuery::new(k % 5, 0, 1, 2).buckets(5);
+                    h.submit(
+                        QueryRequest::new(k % 2, q).arriving_at(Micros::from_millis(k as u64)),
+                    )
+                    .unwrap();
+                }
+            },
+        );
+        assert_eq!(report.stats.completed, 10);
+        // Under the virtual clock the window coalesces to deterministic
+        // boundaries — the batch fills to batch_max or admission closes —
+        // so 10 submissions with batch_max 4 always drain as [4, 4, 2],
+        // independent of scheduler timing.
+        let pm = engine.postmortem();
+        let mut sizes: Vec<u64> = pm
+            .spans
+            .iter()
+            .filter_map(|s| {
+                s.phases()
+                    .iter()
+                    .find(|p| p.kind == PhaseKind::Coalesced)
+                    .map(|p| p.a)
+            })
+            .collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 2, 4, 4, 4, 4, 4, 4, 4, 4]);
     }
 
     #[test]

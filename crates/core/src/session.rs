@@ -831,6 +831,75 @@ mod tests {
     }
 
     #[test]
+    fn delta_patch_past_compact_bound_fails_typed_with_clean_workspace() {
+        use crate::spec::ArenaLayout;
+        use crate::workspace::Workspace;
+
+        let (system, alloc) = setup();
+        let mut state = SessionState::with_reuse(5, ReusePolicy::warm());
+        let mut ws = Workspace::new();
+        ws.set_arena_layout(ArenaLayout::Compact);
+        let q1 = RangeQuery::new(0, 0, 2, 3).buckets(5);
+        // Same query size, different buckets: the next submit takes the
+        // patch_buckets delta path, not a rebuild.
+        let q2 = RangeQuery::new(0, 1, 2, 3).buckets(5);
+        let _ = state
+            .submit_with(
+                &system,
+                &alloc,
+                &PushRelabelBinary,
+                &mut ws,
+                Micros::ZERO,
+                &q1,
+            )
+            .unwrap();
+        assert_eq!(ws.layout_used(), ArenaLayout::Compact);
+        assert!(state.warm.is_some(), "warm flow captured");
+
+        // A backlog pile-up on one disk drives the next solve's t_max sky
+        // high, and an idle disk converts that budget into more blocks
+        // than the compact guard band admits: the patched, warm-started
+        // solve must fail with the typed overflow, not wrap or panic.
+        state.busy_until[0] = Micros::from_micros(20_000_000_000_000);
+        let err = state
+            .submit_with(
+                &system,
+                &alloc,
+                &PushRelabelBinary,
+                &mut ws,
+                Micros::ZERO,
+                &q2,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SessionError::Solve(SolveError::ArenaOverflow { width: "i32", .. })
+            ),
+            "expected typed ArenaOverflow, got {err:?}"
+        );
+        // Typed failure, not poison: the workspace reports clean.
+        assert_eq!(ws.take_poisoned(), Ok(()));
+        // The stale warm snapshot was dropped with the failed solve.
+        assert!(state.warm.is_none(), "warm flow dropped on overflow");
+
+        // Widening recovers the stream in place, overload and all.
+        ws.set_arena_layout(ArenaLayout::Wide);
+        let out = state
+            .submit_with(
+                &system,
+                &alloc,
+                &PushRelabelBinary,
+                &mut ws,
+                Micros::ZERO,
+                &q2,
+            )
+            .unwrap();
+        assert_eq!(ws.layout_used(), ArenaLayout::Wide);
+        assert_eq!(out.outcome.flow_value, q2.len() as u64);
+    }
+
+    #[test]
     fn first_query_sees_idle_disks() {
         let (system, alloc) = setup();
         let mut session = RetrievalSession::new(&system, &alloc, PushRelabelBinary);

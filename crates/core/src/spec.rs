@@ -275,6 +275,13 @@ pub struct SolverSpec {
     /// Which arena width workspaces solve in
     /// ([`ArenaLayout::Auto`] by default — per-instance selection).
     pub arena_layout: ArenaLayout,
+    /// Fuse batch-window drains: when the serving loop drains K coalesced
+    /// queries in one window, schedule the K solves *across* the engine's
+    /// shared worker pool (distinct streams in parallel, each solve
+    /// sequential) with epoch-shared CSR topology planes, instead of
+    /// solving them serially. Off by default. Results are bit-identical
+    /// to the unfused path; only wall-clock and plane residency change.
+    pub batch_fuse: bool,
 }
 
 impl SolverSpec {
@@ -290,7 +297,15 @@ impl SolverSpec {
             budget: SolveBudget::UNLIMITED,
             slo: SloPolicy::default(),
             arena_layout: ArenaLayout::Auto,
+            batch_fuse: false,
         }
+    }
+
+    /// Enables or disables fused batch-window solves (see
+    /// [`SolverSpec::batch_fuse`]).
+    pub fn batch_fuse(mut self, on: bool) -> SolverSpec {
+        self.batch_fuse = on;
+        self
     }
 
     /// Sets the worker-thread count for the parallel solver (and the
@@ -522,11 +537,14 @@ mod tests {
             .parallelism(2)
             .warm_start(true)
             .cache_capacity(4)
-            .arena_layout(ArenaLayout::Wide);
+            .arena_layout(ArenaLayout::Wide)
+            .batch_fuse(true);
         assert_eq!(spec.parallelism, 2);
         assert!(spec.warm_start);
         assert_eq!(spec.cache_capacity, 4);
         assert_eq!(spec.arena_layout, ArenaLayout::Wide);
+        assert!(spec.batch_fuse);
+        assert!(!SolverSpec::new(SolverKind::PushRelabelBinary).batch_fuse);
         assert_eq!(ArenaLayout::default(), ArenaLayout::Auto);
         assert_eq!(ArenaLayout::Compact.name(), "compact");
         let policy = spec.reuse_policy();

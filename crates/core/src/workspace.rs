@@ -112,6 +112,14 @@ pub struct Workspace {
     /// The caller-requested layout policy ([`ArenaLayout::Auto`] by
     /// default).
     requested: ArenaLayout,
+    /// When set, staging checks out the instance's immutable CSR
+    /// topology plane (Arc-shared, copy-on-write) instead of deep-copying
+    /// it — only the per-query capacity/flow plane is copied. Enabled by
+    /// the fused batch path ([`SolverSpec::batch_fuse`]
+    /// (crate::spec::SolverSpec::batch_fuse)); off by default so the
+    /// rebuild-per-query paths keep their zero-steady-state-allocation
+    /// contract without COW detaches.
+    plane_sharing: bool,
     /// Shared engine-wide worker pool, injected by
     /// [`crate::engine::EngineBuilder`]; the cached parallel engine
     /// attaches to it instead of spawning its own threads.
@@ -191,6 +199,7 @@ impl Workspace {
             graph32: FlowGraph::default(),
             active: ActiveWidth::Wide,
             requested: ArenaLayout::Auto,
+            plane_sharing: false,
             pool: None,
             engine: PushRelabel::new(),
             search: AugmentingPath::new(),
@@ -215,6 +224,27 @@ impl Workspace {
     /// (`Workspace::begin`). The default is [`ArenaLayout::Auto`].
     pub fn set_arena_layout(&mut self, layout: ArenaLayout) {
         self.requested = layout;
+    }
+
+    /// Enables or disables epoch-shared topology-plane checkout for every
+    /// subsequent solve (see the `plane_sharing` field). The first staged
+    /// solve after enabling Arc-shares the instance's topology; further
+    /// solves of the same epoch copy only cap/flow values.
+    pub fn set_plane_sharing(&mut self, on: bool) {
+        self.plane_sharing = on;
+    }
+
+    /// Whether plane sharing is currently enabled.
+    pub fn plane_sharing(&self) -> bool {
+        self.plane_sharing
+    }
+
+    /// Allocation events across both scratch arenas (wide + compact),
+    /// monotone over the workspace's lifetime. Flat between two
+    /// observations means every solve in between reused existing plane
+    /// buffers — the steady-state contract benches pin.
+    pub fn arena_allocation_events(&self) -> u64 {
+        self.graph.arena().allocation_events() + self.graph32.arena().allocation_events()
     }
 
     /// The width the last solve actually ran in — [`ArenaLayout::Compact`]
@@ -290,9 +320,30 @@ impl Workspace {
                 ActiveWidth::Compact => self.graph32.arena().allocation_events(),
             },
         );
-        match self.active {
-            ActiveWidth::Wide => self.graph.copy_from(&inst.graph),
-            ActiveWidth::Compact => self.graph32.try_copy_from(&inst.graph)?,
+        if self.plane_sharing && inst.graph.is_finalized() {
+            // Epoch-shared checkout: Arc-share the instance's immutable
+            // topology plane, copy only the per-query cap/flow plane. A
+            // compact checkout validates every value fits `i32` before
+            // writing anything, so the typed overflow below leaves the
+            // scratch graph's previous plane intact.
+            let shared = match self.active {
+                ActiveWidth::Wide => {
+                    let hit = self.graph.shares_topology_with(&inst.graph);
+                    self.graph.checkout_plane_from(&inst.graph)?;
+                    hit
+                }
+                ActiveWidth::Compact => {
+                    let hit = self.graph32.shares_topology_with(&inst.graph);
+                    self.graph32.checkout_plane_from(&inst.graph)?;
+                    hit
+                }
+            };
+            self.tracer.emit(TraceEvent::PlaneCheckout { shared });
+        } else {
+            match self.active {
+                ActiveWidth::Wide => self.graph.copy_from(&inst.graph),
+                ActiveWidth::Compact => self.graph32.try_copy_from(&inst.graph)?,
+            }
         }
         #[cfg(debug_assertions)]
         debug_assert!(
@@ -692,6 +743,55 @@ mod tests {
             ws.begin(&small_inst).unwrap();
         }
         assert_eq!(ws.graph32.arena().allocation_events(), events32);
+    }
+
+    #[test]
+    fn plane_sharing_checkout_shares_topology_and_stays_allocation_free() {
+        let inst = small_instance();
+        let mut ws = Workspace::new();
+        ws.set_arena_layout(ArenaLayout::Wide);
+        assert!(!ws.plane_sharing());
+        ws.set_plane_sharing(true);
+        ws.begin(&inst).unwrap();
+        assert!(ws.graph.shares_topology_with(&inst.graph));
+        assert_eq!(ws.graph.num_edges(), inst.graph.num_edges());
+        let events = ws.graph.arena().allocation_events();
+        for _ in 0..6 {
+            ws.begin(&inst).unwrap();
+        }
+        assert!(ws.graph.shares_topology_with(&inst.graph));
+        assert_eq!(
+            ws.graph.arena().allocation_events(),
+            events,
+            "steady-state plane checkout grew an arena buffer"
+        );
+        // The compact arena checks out the same wide plane (the plane is
+        // width-free) and narrows only cap/flow.
+        ws.set_arena_layout(ArenaLayout::Compact);
+        ws.begin(&inst).unwrap();
+        assert!(ws.graph32.shares_topology_with(&inst.graph));
+        let events32 = ws.graph32.arena().allocation_events();
+        for _ in 0..6 {
+            ws.begin(&inst).unwrap();
+        }
+        assert_eq!(ws.graph32.arena().allocation_events(), events32);
+    }
+
+    #[test]
+    fn plane_sharing_forced_compact_overflow_stays_typed() {
+        let inst = oversized_instance();
+        let mut ws = Workspace::new();
+        ws.set_arena_layout(ArenaLayout::Compact);
+        ws.set_plane_sharing(true);
+        let err = ws.begin(&inst).unwrap_err();
+        assert!(matches!(
+            err,
+            SolveError::ArenaOverflow { width: "i32", .. }
+        ));
+        assert_eq!(ws.take_poisoned(), Ok(()));
+        // And a fitting instance checks out cleanly afterwards.
+        ws.begin(&small_instance()).unwrap();
+        assert_eq!(ws.layout_used(), ArenaLayout::Compact);
     }
 
     #[test]

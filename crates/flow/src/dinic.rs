@@ -5,7 +5,7 @@
 //! parallel push-relabel) is cross-validated against Dinic on randomized
 //! networks. Dinic is also a practical fallback solver in its own right.
 
-use crate::graph::{ArenaIndex, EdgeId, FlowGraph, VertexId};
+use crate::graph::{ArenaIndex, FlowGraph, VertexId};
 
 /// Reusable Dinic solver state (level graph + current-arc pointers).
 #[derive(Clone, Debug, Default)]
@@ -56,10 +56,15 @@ impl Dinic {
         while head < self.queue.len() {
             let v = self.queue[head] as usize;
             head += 1;
-            for &e in g.out_edges(v) {
-                let e = e as EdgeId;
+            let (lo, hi) = g.adj_bounds(v);
+            for pos in lo..hi {
+                // Level-first rejection: most edges point at vertices the
+                // BFS already reached, so only the `head` word is needed —
+                // prefetch just that line and leave cap/flow alone.
+                g.prefetch_adj_head(pos, hi);
+                let e = g.adj_slot(pos);
                 let w = g.target_fast(e);
-                if g.residual_fast(e) > 0 && self.level[w] < 0 {
+                if self.level[w] < 0 && g.residual_fast(e) > 0 {
                     self.level[w] = self.level[v] + 1;
                     self.queue.push(w as u32);
                 }
@@ -79,8 +84,13 @@ impl Dinic {
         if v == t {
             return limit;
         }
-        while self.iter[v] < g.out_edges(v).len() {
-            let e = g.out_edges(v)[self.iter[v]] as EdgeId;
+        let (lo, hi) = g.adj_bounds(v);
+        while lo + (self.iter[v] as u32) < hi {
+            let pos = lo + self.iter[v] as u32;
+            // The DFS tests residual before level, so it needs the full
+            // per-edge state of upcoming slots.
+            g.prefetch_adj(pos, hi);
+            let e = g.adj_slot(pos);
             let w = g.target_fast(e);
             if g.residual_fast(e) > 0 && self.level[w] == self.level[v] + 1 {
                 let pushed = self.block(g, w, t, limit.min(g.residual_fast(e)));

@@ -144,26 +144,67 @@ impl std::fmt::Display for WidthOverflow {
 
 impl std::error::Error for WidthOverflow {}
 
+/// The immutable half of a CSR arena: everything that describes the
+/// network *shape* and nothing that a solve mutates.
+///
+/// `head`, `adj_index` and `adj_list` are width-free (`u32` regardless of
+/// the capacity width), so one plane can back both the wide and the
+/// compact arena. Planes are held behind an [`std::sync::Arc`] and shared
+/// copy-on-write: [`FlowGraph::checkout_plane_from`] shares a finalized
+/// plane in O(1), and any later topology mutation on either side
+/// ([`FlowGraph::add_edge`], [`FlowGraph::reset`], [`FlowGraph::finalize`]
+/// after new edges) detaches a private copy first — a detach counts as an
+/// [`GraphArena::allocation_events`] event, which is how the serving
+/// layers pin "the epoch plane was never invalidated in steady state".
+#[derive(Clone, Debug, Default)]
+pub struct TopologyPlane {
+    /// `head[e]` is the target vertex of edge slot `e`. The owning (source)
+    /// vertex of `e` is `head[e ^ 1]`.
+    head: Vec<u32>,
+    /// CSR offsets: vertex `v` owns `adj_list[adj_index[v]..adj_index[v+1]]`.
+    adj_index: Vec<u32>,
+    /// Edge slots grouped by owning vertex, insertion order within a vertex.
+    adj_list: Vec<u32>,
+}
+
+/// Returns the plane for mutation, detaching a private copy first when it
+/// is shared (copy-on-write). A detach is a real allocation, so it counts
+/// as a growth event.
+#[inline]
+fn topo_mut<'a>(
+    topo: &'a mut std::sync::Arc<TopologyPlane>,
+    grows: &mut u64,
+) -> &'a mut TopologyPlane {
+    if std::sync::Arc::get_mut(topo).is_none() {
+        *grows += 1;
+    }
+    std::sync::Arc::make_mut(topo)
+}
+
 /// The flat reusable buffers backing a [`FlowGraph`].
+///
+/// The arena is split into two planes: the topology plane
+/// ([`TopologyPlane`]: `head`/`adj_index`/`adj_list`, immutable per epoch
+/// and shareable across graphs of *either* width) and the per-query
+/// capacity/flow plane (`cap`/`flow`, private to this arena and mutated by
+/// every solve).
 ///
 /// The arena never shrinks: [`FlowGraph::reset`] and
 /// [`FlowGraph::copy_from`] clear lengths but keep capacity, so a rebuild of
 /// similar size touches no allocator. [`GraphArena::allocation_events`]
 /// counts the times any buffer actually grew — steady-state serving layers
-/// assert it stays flat (see `rds-core`'s workspace).
+/// assert it stays flat (see `rds-core`'s workspace). Detaching a shared
+/// topology plane (copy-on-write) counts too: in a healthy epoch it never
+/// happens.
 #[derive(Clone, Debug, Default)]
 pub struct GraphArena<W: ArenaIndex = i64> {
-    /// `head[e]` is the target vertex of edge slot `e`. The owning (source)
-    /// vertex of `e` is `head[e ^ 1]`.
-    head: Vec<u32>,
+    /// The shared-or-private topology plane. `Clone` on the arena shares it
+    /// (copy-on-write); deep copies go through [`FlowGraph::copy_from`].
+    topo: std::sync::Arc<TopologyPlane>,
     /// Capacity of each edge slot. Reverse slots have capacity 0.
     cap: Vec<W>,
     /// Current flow on each edge slot; `flow[e ^ 1] == -flow[e]`.
     flow: Vec<W>,
-    /// CSR offsets: vertex `v` owns `adj_list[adj_index[v]..adj_index[v+1]]`.
-    adj_index: Vec<u32>,
-    /// Edge slots grouped by owning vertex, insertion order within a vertex.
-    adj_list: Vec<u32>,
     /// Counting-sort cursors, reused across [`FlowGraph::finalize`] calls.
     cursor: Vec<u32>,
     /// Number of buffer growth events since construction.
@@ -179,11 +220,12 @@ impl<W: ArenaIndex> GraphArena<W> {
         self.grows
     }
 
-    /// Bytes currently reserved by the arena's buffers.
+    /// Bytes currently reserved by the arena's buffers (the topology plane
+    /// is counted in full even when it is shared with other arenas).
     pub fn reserved_bytes(&self) -> usize {
         use std::mem::size_of;
-        (self.head.capacity() + self.adj_index.capacity())
-            .saturating_add(self.adj_list.capacity() + self.cursor.capacity())
+        (self.topo.head.capacity() + self.topo.adj_index.capacity())
+            .saturating_add(self.topo.adj_list.capacity() + self.cursor.capacity())
             * size_of::<u32>()
             + (self.cap.capacity() + self.flow.capacity()) * size_of::<W>()
     }
@@ -235,11 +277,13 @@ impl<W: ArenaIndex> FlowGraph<W> {
     pub fn with_capacity(n: usize, edges: usize) -> Self {
         let mut g = FlowGraph {
             arena: GraphArena {
-                head: Vec::with_capacity(2 * edges),
+                topo: std::sync::Arc::new(TopologyPlane {
+                    head: Vec::with_capacity(2 * edges),
+                    adj_index: Vec::with_capacity(n + 1),
+                    adj_list: Vec::with_capacity(2 * edges),
+                }),
                 cap: Vec::with_capacity(2 * edges),
                 flow: Vec::with_capacity(2 * edges),
-                adj_index: Vec::with_capacity(n + 1),
-                adj_list: Vec::with_capacity(2 * edges),
                 cursor: Vec::with_capacity(n),
                 grows: 0,
             },
@@ -259,13 +303,13 @@ impl<W: ArenaIndex> FlowGraph<W> {
     /// Number of directed edge slots (twice the number of added edges).
     #[inline]
     pub fn num_edge_slots(&self) -> usize {
-        self.arena.head.len()
+        self.arena.topo.head.len()
     }
 
     /// Number of forward edges added via [`FlowGraph::add_edge`].
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.arena.head.len() / 2
+        self.arena.topo.head.len() / 2
     }
 
     /// The backing buffer arena (allocation telemetry).
@@ -286,10 +330,10 @@ impl<W: ArenaIndex> FlowGraph<W> {
     /// running total.
     pub fn add_vertex(&mut self) -> VertexId {
         if !self.dirty {
-            let end = *self.arena.adj_index.last().expect("index has n+1 entries");
-            track_grow(&mut self.arena.grows, &mut self.arena.adj_index, |a| {
-                a.push(end)
-            });
+            let a = &mut self.arena;
+            let t = topo_mut(&mut a.topo, &mut a.grows);
+            let end = *t.adj_index.last().expect("index has n+1 entries");
+            track_grow(&mut a.grows, &mut t.adj_index, |idx| idx.push(end));
         }
         self.n += 1;
         self.n - 1
@@ -305,16 +349,17 @@ impl<W: ArenaIndex> FlowGraph<W> {
     pub fn reserve_edges(&mut self, edges: usize) {
         let slots = edges * 2;
         let a = &mut self.arena;
-        track_grow(&mut a.grows, &mut a.head, |v| {
-            v.reserve(slots.saturating_sub(v.len()))
-        });
         track_grow(&mut a.grows, &mut a.cap, |v| {
             v.reserve(slots.saturating_sub(v.len()))
         });
         track_grow(&mut a.grows, &mut a.flow, |v| {
             v.reserve(slots.saturating_sub(v.len()))
         });
-        track_grow(&mut a.grows, &mut a.adj_list, |v| {
+        let t = topo_mut(&mut a.topo, &mut a.grows);
+        track_grow(&mut a.grows, &mut t.head, |v| {
+            v.reserve(slots.saturating_sub(v.len()))
+        });
+        track_grow(&mut a.grows, &mut t.adj_list, |v| {
             v.reserve(slots.saturating_sub(v.len()))
         });
     }
@@ -331,15 +376,17 @@ impl<W: ArenaIndex> FlowGraph<W> {
         assert!(u < self.n, "source vertex {u} out of range");
         assert!(v < self.n, "target vertex {v} out of range");
         assert!(cap >= 0, "negative capacity {cap}");
-        let e = self.arena.head.len();
-        let before = self.arena.head.capacity();
-        self.arena.head.push(v as u32);
-        self.arena.head.push(u as u32);
-        self.arena.grows += (self.arena.head.capacity() != before) as u64;
-        self.arena.cap.push(W::from_i64(cap));
-        self.arena.cap.push(W::default());
-        self.arena.flow.push(W::default());
-        self.arena.flow.push(W::default());
+        let a = &mut self.arena;
+        let t = topo_mut(&mut a.topo, &mut a.grows);
+        let e = t.head.len();
+        let before = t.head.capacity();
+        t.head.push(v as u32);
+        t.head.push(u as u32);
+        a.grows += (t.head.capacity() != before) as u64;
+        a.cap.push(W::from_i64(cap));
+        a.cap.push(W::default());
+        a.flow.push(W::default());
+        a.flow.push(W::default());
         self.dirty = true;
         e
     }
@@ -358,50 +405,51 @@ impl<W: ArenaIndex> FlowGraph<W> {
         }
         let n = self.n;
         let a = &mut self.arena;
-        let m = a.head.len();
-        let before = a.adj_index.capacity() + a.adj_list.capacity() + a.cursor.capacity();
-        a.adj_index.clear();
-        a.adj_index.resize(n + 1, 0);
+        let t = topo_mut(&mut a.topo, &mut a.grows);
+        let m = t.head.len();
+        let before = t.adj_index.capacity() + t.adj_list.capacity() + a.cursor.capacity();
+        t.adj_index.clear();
+        t.adj_index.resize(n + 1, 0);
         // Count slots per owning vertex; the owner of slot e is head[e ^ 1].
         for e in 0..m {
-            a.adj_index[a.head[e ^ 1] as usize + 1] += 1;
+            t.adj_index[t.head[e ^ 1] as usize + 1] += 1;
         }
         for v in 0..n {
-            a.adj_index[v + 1] += a.adj_index[v];
+            t.adj_index[v + 1] += t.adj_index[v];
         }
         a.cursor.clear();
-        a.cursor.extend_from_slice(&a.adj_index[..n]);
+        a.cursor.extend_from_slice(&t.adj_index[..n]);
         // Stable placement pass: ascending slot id within each vertex. The
         // scattered writes go through spare capacity so the buffer is not
         // zeroed first — every position in `0..m` is written exactly once
         // (the per-vertex counts sum to `m`), which is what makes the
         // `set_len` below sound.
-        a.adj_list.clear();
-        a.adj_list.reserve(m);
-        let spare = a.adj_list.spare_capacity_mut();
+        t.adj_list.clear();
+        t.adj_list.reserve(m);
+        let spare = t.adj_list.spare_capacity_mut();
         for e in 0..m {
-            let src = a.head[e ^ 1] as usize;
+            let src = t.head[e ^ 1] as usize;
             let slot = a.cursor[src];
             spare[slot as usize].write(e as u32);
             a.cursor[src] = slot + 1;
         }
         // SAFETY: the placement pass above initialized all `m` entries.
-        unsafe { a.adj_list.set_len(m) };
+        unsafe { t.adj_list.set_len(m) };
         a.grows +=
-            (a.adj_index.capacity() + a.adj_list.capacity() + a.cursor.capacity() != before) as u64;
+            (t.adj_index.capacity() + t.adj_list.capacity() + a.cursor.capacity() != before) as u64;
         self.dirty = false;
     }
 
     /// Target vertex of edge `e`.
     #[inline]
     pub fn target(&self, e: EdgeId) -> VertexId {
-        self.arena.head[e] as usize
+        self.arena.topo.head[e] as usize
     }
 
     /// Source vertex of edge `e` (the target of its reverse edge).
     #[inline]
     pub fn source(&self, e: EdgeId) -> VertexId {
-        self.arena.head[e ^ 1] as usize
+        self.arena.topo.head[e ^ 1] as usize
     }
 
     /// Capacity of edge `e`.
@@ -468,9 +516,9 @@ impl<W: ArenaIndex> FlowGraph<W> {
     /// debug builds, where every test suite runs.
     #[inline(always)]
     pub(crate) fn target_fast(&self, e: EdgeId) -> VertexId {
-        debug_assert!(e < self.arena.head.len(), "edge {e} out of range");
+        debug_assert!(e < self.arena.topo.head.len(), "edge {e} out of range");
         // SAFETY: guarded by the documented contract + debug_assert above.
-        unsafe { *self.arena.head.get_unchecked(e) as usize }
+        unsafe { *self.arena.topo.head.get_unchecked(e) as usize }
     }
 
     /// Residual capacity of edge `e`, without release-mode bounds checks.
@@ -519,14 +567,14 @@ impl<W: ArenaIndex> FlowGraph<W> {
     pub(crate) fn adj_bounds(&self, v: VertexId) -> (u32, u32) {
         debug_assert!(!self.dirty, "adj_bounds on stale topology: call finalize()");
         debug_assert!(
-            v + 1 < self.arena.adj_index.len(),
+            v + 1 < self.arena.topo.adj_index.len(),
             "vertex {v} out of range"
         );
         // SAFETY: guarded by the documented contract + debug_assert above.
         unsafe {
             (
-                *self.arena.adj_index.get_unchecked(v),
-                *self.arena.adj_index.get_unchecked(v + 1),
+                *self.arena.topo.adj_index.get_unchecked(v),
+                *self.arena.topo.adj_index.get_unchecked(v + 1),
             )
         }
     }
@@ -539,11 +587,11 @@ impl<W: ArenaIndex> FlowGraph<W> {
     pub(crate) fn adj_slot(&self, pos: u32) -> EdgeId {
         debug_assert!(!self.dirty, "adj_slot on stale topology: call finalize()");
         debug_assert!(
-            (pos as usize) < self.arena.adj_list.len(),
+            (pos as usize) < self.arena.topo.adj_list.len(),
             "adjacency position {pos} out of range"
         );
         // SAFETY: guarded by the documented contract + debug_assert above.
-        unsafe { *self.arena.adj_list.get_unchecked(pos as usize) as EdgeId }
+        unsafe { *self.arena.topo.adj_list.get_unchecked(pos as usize) as EdgeId }
     }
 
     /// Prefetches the per-edge state (`head`/`cap`/`flow`) of the edge a
@@ -557,12 +605,12 @@ impl<W: ArenaIndex> FlowGraph<W> {
         const DIST: u32 = 16;
         let p = pos.wrapping_add(DIST);
         if p < hi {
-            debug_assert!((p as usize) < self.arena.adj_list.len());
+            debug_assert!((p as usize) < self.arena.topo.adj_list.len());
             // SAFETY: p < hi <= adj_list.len() per the adj_bounds contract.
-            let e = unsafe { *self.arena.adj_list.get_unchecked(p as usize) } as usize;
+            let e = unsafe { *self.arena.topo.adj_list.get_unchecked(p as usize) } as usize;
             prefetch_read(self.arena.cap.as_ptr().wrapping_add(e));
             prefetch_read(self.arena.flow.as_ptr().wrapping_add(e));
-            prefetch_read(self.arena.head.as_ptr().wrapping_add(e));
+            prefetch_read(self.arena.topo.head.as_ptr().wrapping_add(e));
         }
     }
 
@@ -575,10 +623,10 @@ impl<W: ArenaIndex> FlowGraph<W> {
         const DIST: u32 = 16;
         let p = pos.wrapping_add(DIST);
         if p < hi {
-            debug_assert!((p as usize) < self.arena.adj_list.len());
+            debug_assert!((p as usize) < self.arena.topo.adj_list.len());
             // SAFETY: p < hi <= adj_list.len() per the adj_bounds contract.
-            let e = unsafe { *self.arena.adj_list.get_unchecked(p as usize) } as usize;
-            prefetch_read(self.arena.head.as_ptr().wrapping_add(e));
+            let e = unsafe { *self.arena.topo.adj_list.get_unchecked(p as usize) } as usize;
+            prefetch_read(self.arena.topo.head.as_ptr().wrapping_add(e));
         }
     }
 
@@ -593,9 +641,9 @@ impl<W: ArenaIndex> FlowGraph<W> {
     #[inline]
     pub fn out_edges(&self, v: VertexId) -> &[u32] {
         assert!(!self.dirty, "out_edges on stale topology: call finalize()");
-        let lo = self.arena.adj_index[v] as usize;
-        let hi = self.arena.adj_index[v + 1] as usize;
-        &self.arena.adj_list[lo..hi]
+        let lo = self.arena.topo.adj_index[v] as usize;
+        let hi = self.arena.topo.adj_index[v + 1] as usize;
+        &self.arena.topo.adj_list[lo..hi]
     }
 
     /// Out-degree counting only *forward* edges (even ids), i.e. edges added
@@ -654,13 +702,20 @@ impl<W: ArenaIndex> FlowGraph<W> {
     /// finalized graph yields a finalized graph.
     pub fn copy_from(&mut self, other: &FlowGraph<W>) {
         let (a, b) = (&mut self.arena, &other.arena);
-        track_grow(&mut a.grows, &mut a.head, |v| v.clone_from(&b.head));
         track_grow(&mut a.grows, &mut a.cap, |v| v.clone_from(&b.cap));
         track_grow(&mut a.grows, &mut a.flow, |v| v.clone_from(&b.flow));
-        track_grow(&mut a.grows, &mut a.adj_index, |v| {
-            v.clone_from(&b.adj_index)
-        });
-        track_grow(&mut a.grows, &mut a.adj_list, |v| v.clone_from(&b.adj_list));
+        // A plane already shared with the source is bit-identical by the
+        // copy-on-write invariant — skip the deep topology copy.
+        if !std::sync::Arc::ptr_eq(&a.topo, &b.topo) {
+            let t = topo_mut(&mut a.topo, &mut a.grows);
+            track_grow(&mut a.grows, &mut t.head, |v| v.clone_from(&b.topo.head));
+            track_grow(&mut a.grows, &mut t.adj_index, |v| {
+                v.clone_from(&b.topo.adj_index)
+            });
+            track_grow(&mut a.grows, &mut t.adj_list, |v| {
+                v.clone_from(&b.topo.adj_list)
+            });
+        }
         self.n = other.n;
         self.dirty = other.dirty;
     }
@@ -688,7 +743,6 @@ impl<W: ArenaIndex> FlowGraph<W> {
             }
         }
         let (a, b) = (&mut self.arena, &other.arena);
-        track_grow(&mut a.grows, &mut a.head, |v| v.clone_from(&b.head));
         track_grow(&mut a.grows, &mut a.cap, |v| {
             v.clear();
             v.extend(b.cap.iter().map(|c| W::from_i64(c.to_i64())));
@@ -697,10 +751,18 @@ impl<W: ArenaIndex> FlowGraph<W> {
             v.clear();
             v.extend(b.flow.iter().map(|f| W::from_i64(f.to_i64())));
         });
-        track_grow(&mut a.grows, &mut a.adj_index, |v| {
-            v.clone_from(&b.adj_index)
-        });
-        track_grow(&mut a.grows, &mut a.adj_list, |v| v.clone_from(&b.adj_list));
+        // Cross-width copies still deep-copy the (width-free) topology
+        // unless it is already shared, same as `copy_from`.
+        if !std::sync::Arc::ptr_eq(&a.topo, &b.topo) {
+            let t = topo_mut(&mut a.topo, &mut a.grows);
+            track_grow(&mut a.grows, &mut t.head, |v| v.clone_from(&b.topo.head));
+            track_grow(&mut a.grows, &mut t.adj_index, |v| {
+                v.clone_from(&b.topo.adj_index)
+            });
+            track_grow(&mut a.grows, &mut t.adj_list, |v| {
+                v.clone_from(&b.topo.adj_list)
+            });
+        }
         self.n = other.n;
         self.dirty = other.dirty;
         Ok(())
@@ -711,11 +773,20 @@ impl<W: ArenaIndex> FlowGraph<W> {
     /// allocation-free. The cleared graph is finalized (no edges to index).
     pub fn reset(&mut self, n: usize) {
         let a = &mut self.arena;
-        a.head.clear();
         a.cap.clear();
         a.flow.clear();
-        a.adj_list.clear();
-        track_grow(&mut a.grows, &mut a.adj_index, |idx| {
+        // A shared topology plane is about to be invalidated: detach to a
+        // fresh private plane instead of deep-cloning contents we would
+        // clear anyway. The detach (epoch invalidation) counts as a growth
+        // event; an unshared plane keeps its buffers as before.
+        if std::sync::Arc::get_mut(&mut a.topo).is_none() {
+            a.topo = std::sync::Arc::new(TopologyPlane::default());
+            a.grows += 1;
+        }
+        let t = std::sync::Arc::get_mut(&mut a.topo).expect("plane is private here");
+        t.head.clear();
+        t.adj_list.clear();
+        track_grow(&mut a.grows, &mut t.adj_index, |idx| {
             idx.clear();
             idx.resize(n + 1, 0);
         });
@@ -782,6 +853,7 @@ impl<W: ArenaIndex> FlowGraph<W> {
             let v = v as u32;
             return self
                 .arena
+                .topo
                 .head
                 .iter()
                 .zip(&self.arena.flow)
@@ -805,7 +877,7 @@ impl<W: ArenaIndex> FlowGraph<W> {
 
     /// Iterator over all forward edge ids.
     pub fn forward_edges(&self) -> impl Iterator<Item = EdgeId> {
-        (0..self.arena.head.len()).step_by(2)
+        (0..self.arena.topo.head.len()).step_by(2)
     }
 
     /// Raw CSR offset array (`n + 1` entries). Internal view letting the
@@ -813,7 +885,7 @@ impl<W: ArenaIndex> FlowGraph<W> {
     #[inline]
     pub(crate) fn csr_index(&self) -> &[u32] {
         assert!(!self.dirty, "csr_index on stale topology: call finalize()");
-        &self.arena.adj_index
+        &self.arena.topo.adj_index
     }
 
     /// Raw CSR adjacency array (edge slots grouped by owner). Same contract
@@ -821,13 +893,73 @@ impl<W: ArenaIndex> FlowGraph<W> {
     #[inline]
     pub(crate) fn csr_list(&self) -> &[u32] {
         assert!(!self.dirty, "csr_list on stale topology: call finalize()");
-        &self.arena.adj_list
+        &self.arena.topo.adj_list
     }
 
     /// Raw edge-target array, indexed by edge slot.
     #[inline]
     pub(crate) fn heads(&self) -> &[u32] {
-        &self.arena.head
+        &self.arena.topo.head
+    }
+
+    /// Whether `self` and `other` currently share one topology plane (the
+    /// widths may differ — the plane is width-free). Shared planes are
+    /// bit-identical by construction: any mutation detaches first.
+    pub fn shares_topology_with<V: ArenaIndex>(&self, other: &FlowGraph<V>) -> bool {
+        std::sync::Arc::ptr_eq(&self.arena.topo, &other.arena.topo)
+    }
+
+    /// Checks out `other`'s finalized topology plane by reference (an O(1)
+    /// `Arc` share — no head/adjacency copy) and copies only its
+    /// capacity/flow planes, width-checked. This is the per-query staging
+    /// path of the epoch-shared arena: the shape is borrowed from the
+    /// epoch's instance, the mutable planes are private to this graph.
+    ///
+    /// On [`WidthOverflow`] `self` is left untouched (validation runs
+    /// before any write), exactly like [`FlowGraph::try_copy_from`].
+    /// Allocation-free once the capacity/flow buffers have grown to size
+    /// and the plane is already shared from a previous checkout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` has a stale CSR index — an unfinalized plane is
+    /// not shareable (its adjacency is not built yet).
+    pub fn checkout_plane_from<V: ArenaIndex>(
+        &mut self,
+        other: &FlowGraph<V>,
+    ) -> Result<(), WidthOverflow> {
+        assert!(
+            other.is_finalized(),
+            "checkout_plane_from on stale topology: call finalize()"
+        );
+        if W::MAX < V::MAX {
+            for (e, (c, f)) in other.arena.cap.iter().zip(&other.arena.flow).enumerate() {
+                for value in [c.to_i64(), f.to_i64()] {
+                    if W::try_from_i64(value).is_none() {
+                        return Err(WidthOverflow {
+                            edge: e,
+                            value,
+                            width: W::NAME,
+                        });
+                    }
+                }
+            }
+        }
+        let (a, b) = (&mut self.arena, &other.arena);
+        if !std::sync::Arc::ptr_eq(&a.topo, &b.topo) {
+            a.topo = std::sync::Arc::clone(&b.topo);
+        }
+        track_grow(&mut a.grows, &mut a.cap, |v| {
+            v.clear();
+            v.extend(b.cap.iter().map(|c| W::from_i64(c.to_i64())));
+        });
+        track_grow(&mut a.grows, &mut a.flow, |v| {
+            v.clear();
+            v.extend(b.flow.iter().map(|f| W::from_i64(f.to_i64())));
+        });
+        self.n = other.n;
+        self.dirty = false;
+        Ok(())
     }
 }
 
@@ -1141,6 +1273,100 @@ mod tests {
         snap[0] = 1;
         compact.try_restore_flows(&snap).expect("fits");
         assert_eq!(compact.flow(0), 1);
+    }
+
+    #[test]
+    fn plane_checkout_shares_topology_and_copies_values() {
+        let mut src = diamond();
+        src.push(0, 2);
+        let mut ws: FlowGraph = FlowGraph::new(0);
+        ws.checkout_plane_from(&src).expect("same width fits");
+        assert!(ws.shares_topology_with(&src));
+        assert_eq!(ws.store_flows(), src.store_flows());
+        for v in 0..src.num_vertices() {
+            assert_eq!(ws.out_edges(v), src.out_edges(v));
+        }
+        // The capacity/flow planes are private: mutating them must not
+        // leak into the source or detach the shared topology.
+        ws.set_cap(0, 9);
+        ws.push(4, 1);
+        assert_eq!(src.cap(0), 3);
+        assert_eq!(src.flow(4), 0);
+        assert!(ws.shares_topology_with(&src));
+    }
+
+    #[test]
+    fn plane_checkout_works_across_widths() {
+        let src = diamond();
+        let mut compact = FlowGraph::<i32>::new(0);
+        compact.checkout_plane_from(&src).expect("small caps fit");
+        assert!(compact.shares_topology_with(&src));
+        assert_eq!(compact.out_edges(0), src.out_edges(0));
+        assert_eq!(compact.store_flows(), src.store_flows());
+
+        // An overflowing capacity is rejected before anything is written.
+        let mut big = diamond();
+        big.set_cap(2, i32::MAX as i64 + 1);
+        let err = compact.checkout_plane_from(&big).unwrap_err();
+        assert_eq!(err.edge, 2);
+        assert!(
+            compact.shares_topology_with(&src),
+            "failed checkout must not swap planes"
+        );
+    }
+
+    #[test]
+    fn topology_mutation_detaches_shared_plane() {
+        let mut src = diamond();
+        let mut ws: FlowGraph = FlowGraph::new(0);
+        ws.checkout_plane_from(&src).unwrap();
+        let ws_events = ws.arena().allocation_events();
+
+        // Structural change on the source: the source detaches (one COW
+        // event), the checked-out graph keeps the old epoch's plane.
+        let src_events = src.arena().allocation_events();
+        src.add_edge(0, 3, 1);
+        src.finalize();
+        assert!(!ws.shares_topology_with(&src));
+        assert!(src.arena().allocation_events() > src_events);
+        assert_eq!(ws.arena().allocation_events(), ws_events);
+        assert_eq!(ws.num_edges(), 4);
+        assert_eq!(src.num_edges(), 5);
+
+        // A reset invalidates the epoch the same way.
+        let mut ws2: FlowGraph = FlowGraph::new(0);
+        ws2.checkout_plane_from(&src).unwrap();
+        src.reset(2);
+        assert!(!ws2.shares_topology_with(&src));
+        assert_eq!(ws2.num_edges(), 5);
+    }
+
+    #[test]
+    fn steady_state_plane_checkout_is_allocation_free() {
+        let src = diamond();
+        let mut ws: FlowGraph = FlowGraph::new(0);
+        ws.checkout_plane_from(&src).unwrap();
+        let events = ws.arena().allocation_events();
+        for _ in 0..10 {
+            ws.checkout_plane_from(&src).unwrap();
+        }
+        assert_eq!(
+            ws.arena().allocation_events(),
+            events,
+            "re-checkout from the same epoch must not touch the allocator"
+        );
+    }
+
+    #[test]
+    fn copy_from_skips_deep_copy_of_a_shared_plane() {
+        let src = diamond();
+        let mut ws: FlowGraph = FlowGraph::new(0);
+        ws.checkout_plane_from(&src).unwrap();
+        ws.copy_from(&src);
+        // The deep-copy path keeps the shared plane when it is already
+        // bit-identical (ptr-equal) rather than detaching it.
+        assert!(ws.shares_topology_with(&src));
+        assert_eq!(ws.out_edges(0), src.out_edges(0));
     }
 
     #[test]

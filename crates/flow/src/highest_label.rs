@@ -125,9 +125,12 @@ impl HighestLabelPushRelabel {
         highest: &mut usize,
     ) {
         let n = g.num_vertices() as u32;
+        // Hoist the adjacency bounds once: topology is frozen for the whole
+        // solve, so the bounds cannot move (see `FlowGraph::adj_bounds`).
+        let (lo, hi) = g.adj_bounds(v);
         while self.excess[v] > 0 {
-            let edges_len = g.out_edges(v).len();
-            if (self.cur_arc[v] as usize) >= edges_len {
+            let pos = lo + self.cur_arc[v];
+            if pos >= hi {
                 if !self.relabel(g, v, n) {
                     break;
                 }
@@ -136,7 +139,8 @@ impl HighestLabelPushRelabel {
                 }
                 continue;
             }
-            let e = g.out_edges(v)[self.cur_arc[v] as usize] as EdgeId;
+            g.prefetch_adj(pos, hi);
+            let e = g.adj_slot(pos);
             let w = g.target_fast(e);
             if g.residual_fast(e) > 0 && self.height[v] == self.height[w] + 1 {
                 let delta = self.excess[v].min(g.residual_fast(e));
@@ -154,9 +158,14 @@ impl HighestLabelPushRelabel {
 
     fn relabel<W: ArenaIndex>(&mut self, g: &FlowGraph<W>, v: VertexId, n: u32) -> bool {
         let mut min_h = u32::MAX;
-        for &e in g.out_edges(v) {
-            if g.residual_fast(e as EdgeId) > 0 {
-                min_h = min_h.min(self.height[g.target_fast(e as EdgeId)]);
+        let (lo, hi) = g.adj_bounds(v);
+        for pos in lo..hi {
+            // The min-scan touches every edge's residual, so fetch the full
+            // per-edge state (cap/flow/head) ahead of the walk.
+            g.prefetch_adj(pos, hi);
+            let e = g.adj_slot(pos);
+            if g.residual_fast(e) > 0 {
+                min_h = min_h.min(self.height[g.target_fast(e)]);
             }
         }
         if min_h == u32::MAX {

@@ -410,6 +410,64 @@ fn drain_trapped_excess<W: ArenaIndex>(
     }
 }
 
+/// One claimable slot of a task batch: taken (and run) by exactly one
+/// participant.
+type TaskSlot = Mutex<Option<Box<dyn FnOnce() + Send>>>;
+
+/// A one-shot batch of independent closures, claimed by an atomic cursor.
+///
+/// Task closures are lifetime-erased to `'static` by the dispatcher
+/// ([`WorkerPool::run_tasks`]); soundness rests on the dispatcher blocking
+/// until every task has been claimed, executed and dropped before it
+/// returns — no borrow outlives the call that erased it.
+struct TaskBatch {
+    tasks: Vec<TaskSlot>,
+    /// Next unclaimed task index. `fetch_add` claiming means each task runs
+    /// exactly once, on whichever participant (worker or caller) gets there
+    /// first.
+    next: AtomicUsize,
+    /// Panic payloads caught from tasks, re-raised on the dispatching
+    /// thread once the batch drains (first payload wins).
+    panics: Mutex<Vec<Box<dyn std::any::Any + Send>>>,
+}
+
+impl std::fmt::Debug for TaskBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskBatch")
+            .field("tasks", &self.tasks.len())
+            .field("next", &self.next)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TaskBatch {
+    /// Claims and runs tasks until the cursor passes the end. Task panics
+    /// are caught and stashed so one poisoned query cannot take down a
+    /// worker thread (mirroring the engine's per-query containment).
+    fn run_worker(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.tasks.len() {
+                break;
+            }
+            let task = self.tasks[i].lock().unwrap().take();
+            if let Some(task) = task {
+                if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
+                    self.panics.lock().unwrap().push(payload);
+                }
+            }
+        }
+    }
+}
+
+/// What a dispatch hands the parked workers: a lock-free push/relabel
+/// round, or a batch of independent closures (fused multi-query solves).
+#[derive(Clone, Debug)]
+enum PoolJob {
+    Flow(Arc<JobState>),
+    Batch(Arc<TaskBatch>),
+}
+
 /// Persistent worker threads, parked between jobs.
 ///
 /// The pool is cheaply cloneable — clones share the same threads — so one
@@ -418,6 +476,11 @@ fn drain_trapped_excess<W: ArenaIndex>(
 /// Jobs from concurrent callers are serialized by a dispatch lock; the
 /// push/relabel work itself happens lock-free in the worker loop, each
 /// worker keeping a stable id for the work-stealing ring layout.
+///
+/// Besides push/relabel rounds the same threads also execute closure
+/// batches ([`WorkerPool::run_tasks`]) — the fused batch-solve path
+/// schedules whole independent solves across the pool instead of
+/// parallelizing inside one solve.
 ///
 /// The threads exit when the last clone is dropped.
 #[derive(Clone, Debug)]
@@ -429,6 +492,9 @@ pub struct WorkerPool {
 struct PoolInner {
     shared: Arc<PoolShared>,
     threads: usize,
+    /// The host exposes a single hardware thread: a task-batch dispatch
+    /// can only time-slice against the caller, so batches run inline.
+    solo_host: bool,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -443,7 +509,7 @@ struct PoolShared {
 
 #[derive(Debug)]
 struct PoolState {
-    job: Option<Arc<JobState>>,
+    job: Option<PoolJob>,
     seq: u64,
     running: usize,
     shutdown: bool,
@@ -485,7 +551,10 @@ impl WorkerPool {
                                 st = shared.start.wait(st).unwrap();
                             }
                         };
-                        worker_loop(&job, id);
+                        match &job {
+                            PoolJob::Flow(job) => worker_loop(job, id),
+                            PoolJob::Batch(batch) => batch.run_worker(),
+                        }
                         let mut st = shared.state.lock().unwrap();
                         st.running -= 1;
                         if st.running == 0 {
@@ -495,10 +564,12 @@ impl WorkerPool {
                 })
             })
             .collect();
+        let solo_host = std::thread::available_parallelism().is_ok_and(|n| n.get() == 1);
         WorkerPool {
             inner: Arc::new(PoolInner {
                 shared,
                 threads,
+                solo_host,
                 handles: Mutex::new(handles),
             }),
         }
@@ -515,6 +586,80 @@ impl WorkerPool {
             self.inner.threads,
             "job ring count must match the pool's worker count"
         );
+        self.dispatch(PoolJob::Flow(job), None);
+    }
+
+    /// Runs a batch of independent closures across the pool's workers, with
+    /// the calling thread participating in the claiming loop. Blocks until
+    /// every task has run; if any task panicked, the first panic payload is
+    /// re-raised on the caller *after* the batch fully drains (the
+    /// remaining tasks still run — one poisoned solve does not starve its
+    /// batchmates).
+    ///
+    /// Tasks may borrow from the caller's stack (`'env`): the lifetime is
+    /// erased internally, which is sound because this call does not return
+    /// until every closure has been executed and dropped.
+    ///
+    /// Deadlock rule: a task must not dispatch onto the *same* pool (the
+    /// dispatch lock is held for the whole batch). The fused batch-solve
+    /// path therefore hands its per-lane solvers no pool — each fused
+    /// solve runs sequentially inside its task.
+    pub fn run_tasks<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        match tasks.len() {
+            0 => return,
+            1 => {
+                // One task gains nothing from the handshake: run inline
+                // (panics propagate naturally).
+                let task = tasks.into_iter().next().expect("len checked");
+                task();
+                return;
+            }
+            _ => {}
+        }
+        if self.inner.solo_host {
+            // One hardware thread: waking parked workers just to contend
+            // with the caller is pure handshake loss. Drain the batch on
+            // the caller with identical semantics — every task runs, the
+            // first panic is re-raised after the drain.
+            let mut first_panic = None;
+            for task in tasks {
+                if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+            if let Some(payload) = first_panic {
+                std::panic::resume_unwind(payload);
+            }
+            return;
+        }
+        let erased: Vec<TaskSlot> = tasks
+            .into_iter()
+            .map(|t| {
+                // SAFETY: only the lifetime bound changes. The batch is
+                // fully drained (every closure executed and dropped)
+                // before this function returns — see `dispatch` — so no
+                // erased borrow outlives `'env`.
+                let t: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(t) };
+                Mutex::new(Some(t))
+            })
+            .collect();
+        let batch = Arc::new(TaskBatch {
+            tasks: erased,
+            next: AtomicUsize::new(0),
+            panics: Mutex::new(Vec::new()),
+        });
+        self.dispatch(PoolJob::Batch(Arc::clone(&batch)), Some(&batch));
+        let payload = batch.panics.lock().unwrap().drain(..).next();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Hands `job` to the parked workers and blocks until all of them
+    /// report done. With `participate` set, the dispatching thread joins
+    /// the claiming loop before waiting — for task batches the caller is
+    /// an extra worker, not an idle spectator.
+    fn dispatch(&self, job: PoolJob, participate: Option<&TaskBatch>) {
         let shared = &self.inner.shared;
         let _dispatch = shared.dispatch.lock().unwrap();
         {
@@ -524,6 +669,9 @@ impl WorkerPool {
             st.running = self.inner.threads;
         }
         shared.start.notify_all();
+        if let Some(batch) = participate {
+            batch.run_worker();
+        }
         let mut st = shared.state.lock().unwrap();
         while st.running > 0 {
             st = shared.done.wait(st).unwrap();
@@ -1188,6 +1336,95 @@ mod tests {
         pr.invalidate_topology();
         pr.reset_excess(4);
         assert_eq!(pr.max_flow(&mut g2, 0, 3), 5);
+    }
+
+    #[test]
+    fn run_tasks_executes_every_task_exactly_once() {
+        let pool = WorkerPool::new(3);
+        let mut out = [0u64; 16];
+        {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    Box::new(move || *slot = (i as u64 + 1) * 10) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_tasks(tasks);
+        }
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i as u64 + 1) * 10, "task {i}");
+        }
+    }
+
+    #[test]
+    fn run_tasks_single_task_runs_inline() {
+        let pool = WorkerPool::new(2);
+        let mut hit = false;
+        pool.run_tasks(vec![
+            Box::new(|| hit = true) as Box<dyn FnOnce() + Send + '_>
+        ]);
+        assert!(hit);
+        pool.run_tasks(Vec::new()); // empty batch is a no-op
+    }
+
+    #[test]
+    fn run_tasks_panic_is_reraised_and_batchmates_still_run() {
+        let pool = WorkerPool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+                .map(|i| {
+                    let done = Arc::clone(&done);
+                    Box::new(move || {
+                        if i == 3 {
+                            panic!("task 3 poisoned");
+                        }
+                        done.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            pool.run_tasks(tasks);
+        }));
+        assert!(result.is_err(), "panic must re-raise on the dispatcher");
+        // The batch drains fully before the re-raise.
+        assert_eq!(done.load(Ordering::SeqCst), 7);
+        // The pool survives: both flow jobs and fresh batches still run.
+        let (mut g, s, t) = clrs();
+        let mut pr = ParallelPushRelabel::with_pool(pool.clone());
+        assert_eq!(pr.max_flow(&mut g, s, t), 23);
+        let mut again = 0usize;
+        pool.run_tasks(
+            (0..4)
+                .map(|_| Box::new(|| {}) as Box<dyn FnOnce() + Send>)
+                .collect(),
+        );
+        pool.run_tasks(vec![Box::new(|| again = 1) as Box<dyn FnOnce() + Send + '_>]);
+        assert_eq!(again, 1);
+    }
+
+    #[test]
+    fn flow_jobs_and_task_batches_interleave_on_one_pool() {
+        let pool = WorkerPool::new(2);
+        let mut pr = ParallelPushRelabel::with_pool(pool.clone());
+        for round in 0..4 {
+            let (mut g, s, t) = clrs();
+            assert_eq!(pr.max_flow(&mut g, s, t), 23, "round {round}");
+            pr.reset_excess(g.num_vertices());
+            pr.invalidate_topology();
+            let mut sums = [0u64; 6];
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = sums
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    Box::new(move || *slot = (0..=i as u64).sum()) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_tasks(tasks);
+            for (i, &v) in sums.iter().enumerate() {
+                assert_eq!(v, (i as u64 * (i as u64 + 1)) / 2);
+            }
+        }
     }
 
     #[test]
